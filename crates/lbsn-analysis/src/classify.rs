@@ -1,0 +1,346 @@
+//! A cheater classifier combining the paper's three §4 signals.
+
+use std::collections::HashSet;
+
+use lbsn_crawler::CrawlDatabase;
+use serde::Serialize;
+
+use crate::dispersion::profile_from_locations;
+
+/// Why a user was flagged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Suspicion {
+    /// §4.1: recent-visitor-list presence too high for the total
+    /// ("it is likely a user plays tricks in order to stay in the
+    /// recent visitor list").
+    HighRecentPresence,
+    /// §4.2: reward rate too low for the activity ("many users with
+    /// more than 1000 check-ins only have less than 10 badges").
+    LowRewardRate,
+    /// §4.3: geographically implausible dispersion ("spread over 30
+    /// different cities").
+    WideDispersion,
+    /// §3.4: mayorship hoarding ("mayor of 865 venues … only 1265
+    /// check-ins").
+    MayorHoarding,
+}
+
+/// Thresholds for the combined classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheaterClassifier {
+    /// Minimum total check-ins before any signal applies (low-activity
+    /// accounts carry no evidence).
+    pub min_total: u64,
+    /// §4.1 signal: flag when `recent / total` exceeds this for users
+    /// over `recent_total_floor` totals.
+    pub recent_ratio: f64,
+    /// Totals floor for the recent-presence signal.
+    pub recent_total_floor: u64,
+    /// §4.2 signal: flag when badges < `low_badges` while totals >
+    /// `low_badge_total_floor`.
+    pub low_badges: u64,
+    /// Totals floor for the reward-rate signal.
+    pub low_badge_total_floor: u64,
+    /// §4.3 signal: distinct-cities threshold.
+    pub city_threshold: usize,
+    /// §3.4 signal: mayorships > `hoard_mayors` with totals <
+    /// `hoard_mayors` × `hoard_ratio`.
+    pub hoard_mayors: u64,
+    /// Max check-ins-per-mayorship for the hoarding signal.
+    pub hoard_ratio: f64,
+}
+
+impl Default for CheaterClassifier {
+    fn default() -> Self {
+        CheaterClassifier {
+            min_total: 50,
+            recent_ratio: 0.5,
+            recent_total_floor: 300,
+            low_badges: 10,
+            low_badge_total_floor: 1_000,
+            city_threshold: 20,
+            hoard_mayors: 30,
+            hoard_ratio: 4.0,
+        }
+    }
+}
+
+/// One flagged user.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Suspect {
+    /// The user.
+    pub user_id: u64,
+    /// Which signals fired.
+    pub signals: Vec<Suspicion>,
+}
+
+/// Classifier output scored against ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ClassifierReport {
+    /// All flagged users.
+    pub suspects: Vec<Suspect>,
+    /// Flagged users that are ground-truth cheaters.
+    pub true_positives: u64,
+    /// Flagged honest users.
+    pub false_positives: u64,
+    /// Ground-truth cheaters not flagged.
+    pub false_negatives: u64,
+}
+
+impl ClassifierReport {
+    /// Precision = TP / (TP + FP).
+    pub fn precision(&self) -> f64 {
+        ratio(self.true_positives, self.true_positives + self.false_positives)
+    }
+
+    /// Recall = TP / (TP + FN).
+    pub fn recall(&self) -> f64 {
+        ratio(self.true_positives, self.true_positives + self.false_negatives)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl CheaterClassifier {
+    /// Scans the crawl for suspects. Requires
+    /// [`CrawlDatabase::recompute_aggregates`].
+    pub fn scan(&self, db: &CrawlDatabase) -> Vec<Suspect> {
+        let user_venues = db.user_venue_map();
+        let mut suspects = Vec::new();
+        db.for_each_user(|u| {
+            if u.total_checkins < self.min_total {
+                return;
+            }
+            let mut signals = Vec::new();
+            if u.total_checkins >= self.recent_total_floor
+                && u.recent_checkins as f64 > u.total_checkins as f64 * self.recent_ratio
+            {
+                signals.push(Suspicion::HighRecentPresence);
+            }
+            if u.total_checkins >= self.low_badge_total_floor && u.total_badges < self.low_badges {
+                signals.push(Suspicion::LowRewardRate);
+            }
+            if u.total_mayors >= self.hoard_mayors
+                && (u.total_checkins as f64) < u.total_mayors as f64 * self.hoard_ratio
+            {
+                signals.push(Suspicion::MayorHoarding);
+            }
+            if let Some(venues) = user_venues.get(&u.id) {
+                let locations: Vec<_> = venues
+                    .iter()
+                    .filter_map(|vid| db.venue(*vid).map(|v| v.location))
+                    .collect();
+                let profile = profile_from_locations(u.id, locations);
+                if profile.is_suspicious(self.city_threshold) {
+                    signals.push(Suspicion::WideDispersion);
+                }
+            }
+            if !signals.is_empty() {
+                suspects.push(Suspect {
+                    user_id: u.id,
+                    signals,
+                });
+            }
+        });
+        suspects.sort_by_key(|s| s.user_id);
+        suspects
+    }
+
+    /// Scans and scores against a ground-truth cheater set.
+    pub fn evaluate(&self, db: &CrawlDatabase, cheaters: &HashSet<u64>) -> ClassifierReport {
+        let suspects = self.scan(db);
+        let flagged: HashSet<u64> = suspects.iter().map(|s| s.user_id).collect();
+        let true_positives = flagged.intersection(cheaters).count() as u64;
+        let false_positives = flagged.difference(cheaters).count() as u64;
+        let false_negatives = cheaters.difference(&flagged).count() as u64;
+        ClassifierReport {
+            suspects,
+            true_positives,
+            false_positives,
+            false_negatives,
+        }
+    }
+}
+
+/// How many suspects each signal contributed (a suspect with two
+/// signals counts under both).
+pub fn signal_breakdown(report: &ClassifierReport) -> std::collections::HashMap<Suspicion, usize> {
+    let mut counts = std::collections::HashMap::new();
+    for s in &report.suspects {
+        for sig in &s.signals {
+            *counts.entry(*sig).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+impl CheaterClassifier {
+    /// Precision/recall across a sweep of dispersion thresholds — the
+    /// knob the paper's §4.3 analysis turns implicitly when deciding
+    /// how many cities is "too many".
+    pub fn sweep_city_threshold(
+        &self,
+        db: &CrawlDatabase,
+        cheaters: &HashSet<u64>,
+        thresholds: &[usize],
+    ) -> Vec<(usize, ClassifierReport)> {
+        thresholds
+            .iter()
+            .map(|t| {
+                let c = CheaterClassifier {
+                    city_threshold: *t,
+                    ..self.clone()
+                };
+                (*t, c.evaluate(db, cheaters))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_crawler::{UserInfoRow, VenueInfoRow, VisitorRef};
+    use lbsn_geo::usa::US_METROS;
+    use lbsn_geo::GeoPoint;
+
+    fn user(id: u64, total: u64, badges: u64, recent: u64, mayors: u64) -> UserInfoRow {
+        UserInfoRow {
+            id,
+            username: None,
+            home: None,
+            total_checkins: total,
+            total_badges: badges,
+            friends: 0,
+            points: 0,
+            recent_checkins: recent,
+            total_mayors: mayors,
+        }
+    }
+
+    fn venue_at(id: u64, loc: GeoPoint, visitors: &[u64]) -> VenueInfoRow {
+        VenueInfoRow {
+            id,
+            name: format!("V{id}"),
+            address: String::new(),
+            category: "Other".into(),
+            location: loc,
+            checkins_here: visitors.len() as u64,
+            unique_visitors: visitors.len() as u64,
+            special: None,
+            tips: 0,
+            mayor: None,
+            recent_visitors: visitors.iter().map(|u| VisitorRef::Id(*u)).collect(),
+        }
+    }
+
+    fn sample_db() -> CrawlDatabase {
+        let db = CrawlDatabase::new();
+        // 1: honest regular — moderate everything, one metro.
+        db.insert_user(user(1, 400, 8, 60, 1));
+        // 2: recent-presence cheater.
+        db.insert_user(user(2, 800, 15, 600, 0));
+        // 3: caught cheater — 2000 check-ins, 2 badges.
+        db.insert_user(user(3, 2_000, 2, 10, 0));
+        // 4: mayor hoarder — 80 mayorships from 100 check-ins.
+        db.insert_user(user(4, 100, 5, 80, 80));
+        // 5: dispersed cheater — venues in 25 metros.
+        db.insert_user(user(5, 500, 20, 100, 0));
+        // 6: tiny account, no evidence either way.
+        db.insert_user(user(6, 3, 1, 3, 0));
+        let home = US_METROS[0].location();
+        for i in 0..10 {
+            db.insert_venue(venue_at(
+                i + 1,
+                lbsn_geo::destination(home, (i * 36) as f64, 400.0 * i as f64),
+                &[1, 2],
+            ));
+        }
+        for (i, m) in US_METROS.iter().take(25).enumerate() {
+            db.insert_venue(venue_at(100 + i as u64, m.location(), &[5]));
+        }
+        db
+    }
+
+    #[test]
+    fn each_signal_fires_on_its_archetype() {
+        let db = sample_db();
+        let suspects = CheaterClassifier::default().scan(&db);
+        let get = |id: u64| suspects.iter().find(|s| s.user_id == id);
+        assert!(get(1).is_none(), "honest user flagged");
+        assert!(get(6).is_none(), "tiny account flagged");
+        assert!(get(2)
+            .unwrap()
+            .signals
+            .contains(&Suspicion::HighRecentPresence));
+        assert!(get(3).unwrap().signals.contains(&Suspicion::LowRewardRate));
+        assert!(get(4).unwrap().signals.contains(&Suspicion::MayorHoarding));
+        assert!(get(5).unwrap().signals.contains(&Suspicion::WideDispersion));
+    }
+
+    #[test]
+    fn evaluation_scores_against_truth() {
+        let db = sample_db();
+        let truth: HashSet<u64> = [2, 3, 4, 5].into_iter().collect();
+        let report = CheaterClassifier::default().evaluate(&db, &truth);
+        assert_eq!(report.true_positives, 4);
+        assert_eq!(report.false_positives, 0);
+        assert_eq!(report.false_negatives, 0);
+        assert_eq!(report.precision(), 1.0);
+        assert_eq!(report.recall(), 1.0);
+    }
+
+    #[test]
+    fn missing_cheater_counts_as_false_negative() {
+        let db = sample_db();
+        let truth: HashSet<u64> = [1, 2].into_iter().collect(); // pretend 1 cheats
+        let report = CheaterClassifier::default().evaluate(&db, &truth);
+        assert_eq!(report.false_negatives, 1);
+        assert!(report.recall() < 1.0);
+        assert!(report.false_positives >= 3);
+        assert!(report.precision() < 1.0);
+    }
+
+    #[test]
+    fn breakdown_counts_signals() {
+        let db = sample_db();
+        let truth: HashSet<u64> = [2, 3, 4, 5].into_iter().collect();
+        let report = CheaterClassifier::default().evaluate(&db, &truth);
+        let breakdown = signal_breakdown(&report);
+        assert_eq!(breakdown.get(&Suspicion::HighRecentPresence), Some(&1));
+        assert_eq!(breakdown.get(&Suspicion::LowRewardRate), Some(&1));
+        assert_eq!(breakdown.get(&Suspicion::MayorHoarding), Some(&1));
+        assert_eq!(breakdown.get(&Suspicion::WideDispersion), Some(&1));
+    }
+
+    #[test]
+    fn city_threshold_sweep_trades_recall_for_precision() {
+        let db = sample_db();
+        let truth: HashSet<u64> = [2, 3, 4, 5].into_iter().collect();
+        let sweep =
+            CheaterClassifier::default().sweep_city_threshold(&db, &truth, &[2, 20, 1_000]);
+        assert_eq!(sweep.len(), 3);
+        // A tiny threshold flags ordinary users too (worse precision);
+        // an absurd threshold loses the dispersion signal entirely.
+        let loose = &sweep[0].1;
+        let strict = &sweep[2].1;
+        assert!(loose.false_positives >= strict.false_positives);
+        let strict_breakdown = signal_breakdown(strict);
+        assert_eq!(strict_breakdown.get(&Suspicion::WideDispersion), None);
+    }
+
+    #[test]
+    fn empty_db_empty_report() {
+        let db = CrawlDatabase::new();
+        let report = CheaterClassifier::default().evaluate(&db, &HashSet::new());
+        assert!(report.suspects.is_empty());
+        assert_eq!(report.precision(), 0.0);
+        assert_eq!(report.recall(), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! §4.2's heavy-hitter cohort analysis.
+
+use lbsn_crawler::{CrawlDatabase, UserInfoRow};
+
+/// The ≥N-check-ins club, split the way §4.2 splits it: "These 11 users
+/// … can be divided into two distinct groups by the number of
+/// mayorships they have."
+#[derive(Debug, Clone)]
+pub struct HeavyHitterSplit {
+    /// Threshold used.
+    pub min_checkins: u64,
+    /// Members holding mayorships — the legitimate power users ("each
+    /// of whom is mayor of tens of venues").
+    pub with_mayorships: Vec<UserInfoRow>,
+    /// Members with no mayorships — the caught cheaters ("do not have
+    /// any mayorships, and they received much less badges").
+    pub without_mayorships: Vec<UserInfoRow>,
+}
+
+impl HeavyHitterSplit {
+    /// Total club size.
+    pub fn len(&self) -> usize {
+        self.with_mayorships.len() + self.without_mayorships.len()
+    }
+
+    /// Whether the club is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Average badge count per group `(with, without)` — the reward gap
+    /// that betrays the cheaters.
+    pub fn badge_gap(&self) -> (f64, f64) {
+        (avg_badges(&self.with_mayorships), avg_badges(&self.without_mayorships))
+    }
+
+    /// The member with the global maximum check-in count, if any.
+    pub fn top(&self) -> Option<&UserInfoRow> {
+        self.with_mayorships
+            .iter()
+            .chain(&self.without_mayorships)
+            .max_by_key(|u| u.total_checkins)
+    }
+}
+
+fn avg_badges(rows: &[UserInfoRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|u| u.total_badges).sum::<u64>() as f64 / rows.len() as f64
+}
+
+/// Splits the ≥`min_checkins` club by mayorship (any mayorship counts).
+/// Requires [`CrawlDatabase::recompute_aggregates`] to have filled
+/// `total_mayors`.
+pub fn heavy_hitters(db: &CrawlDatabase, min_checkins: u64) -> HeavyHitterSplit {
+    heavy_hitters_split_at(db, min_checkins, 1)
+}
+
+/// Like [`heavy_hitters`], but the "with mayorships" group requires at
+/// least `min_mayorships`. The paper's first group holds "tens of
+/// venues" each, so a split at ~10 is robust to a stray mayorship on a
+/// cheater's regular haunt.
+pub fn heavy_hitters_split_at(
+    db: &CrawlDatabase,
+    min_checkins: u64,
+    min_mayorships: u64,
+) -> HeavyHitterSplit {
+    let members = db.users_where(|u| u.total_checkins >= min_checkins);
+    let (with_mayorships, without_mayorships) = members
+        .into_iter()
+        .partition(|u| u.total_mayors >= min_mayorships.max(1));
+    HeavyHitterSplit {
+        min_checkins,
+        with_mayorships,
+        without_mayorships,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user(id: u64, total: u64, badges: u64, mayors: u64) -> UserInfoRow {
+        UserInfoRow {
+            id,
+            username: None,
+            home: None,
+            total_checkins: total,
+            total_badges: badges,
+            friends: 0,
+            points: 0,
+            recent_checkins: 0,
+            total_mayors: mayors,
+        }
+    }
+
+    fn db() -> CrawlDatabase {
+        let d = CrawlDatabase::new();
+        d.insert_user(user(1, 6_000, 14, 30)); // power user
+        d.insert_user(user(2, 7_200, 12, 41)); // power user
+        d.insert_user(user(3, 8_000, 3, 0)); // caught cheater
+        d.insert_user(user(4, 12_400, 4, 0)); // the whale
+        d.insert_user(user(5, 400, 9, 2)); // below threshold
+        d
+    }
+
+    #[test]
+    fn split_by_mayorship() {
+        let split = heavy_hitters(&db(), 5_000);
+        assert_eq!(split.len(), 4);
+        assert_eq!(split.with_mayorships.len(), 2);
+        assert_eq!(split.without_mayorships.len(), 2);
+        assert!(!split.is_empty());
+    }
+
+    #[test]
+    fn badge_gap_separates_groups() {
+        let split = heavy_hitters(&db(), 5_000);
+        let (with, without) = split.badge_gap();
+        assert!(with > without, "legit {with} vs caught {without}");
+        assert!((with - 13.0).abs() < 1e-9);
+        assert!((without - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_is_the_whale() {
+        let split = heavy_hitters(&db(), 5_000);
+        let top = split.top().unwrap();
+        assert_eq!(top.id, 4);
+        assert_eq!(top.total_checkins, 12_400);
+        assert_eq!(top.total_mayors, 0, "the record holder is a caught cheater");
+    }
+
+    #[test]
+    fn empty_threshold() {
+        let split = heavy_hitters(&db(), 50_000);
+        assert!(split.is_empty());
+        assert!(split.top().is_none());
+        assert_eq!(split.badge_gap(), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,140 @@
+//! The Fig 4.1 / Fig 4.2 bucketed-average curves.
+
+use std::collections::BTreeMap;
+
+use lbsn_crawler::CrawlDatabase;
+use serde::Serialize;
+
+/// One point of a bucketed-average curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CurvePoint {
+    /// Bucket centre on the x-axis (total check-ins).
+    pub total_checkins: u64,
+    /// Average of the y-metric over users in the bucket.
+    pub average: f64,
+    /// Users in the bucket.
+    pub count: u64,
+}
+
+fn bucketed_average(
+    db: &CrawlDatabase,
+    bucket_width: u64,
+    max_total: u64,
+    metric: impl Fn(&lbsn_crawler::UserInfoRow) -> u64,
+) -> Vec<CurvePoint> {
+    assert!(bucket_width > 0, "bucket width must be positive");
+    let mut buckets: BTreeMap<u64, (u64, u64)> = BTreeMap::new(); // bucket -> (sum, n)
+    db.for_each_user(|u| {
+        if u.total_checkins == 0 || u.total_checkins > max_total {
+            return;
+        }
+        let b = (u.total_checkins - 1) / bucket_width;
+        let e = buckets.entry(b).or_insert((0, 0));
+        e.0 += metric(u);
+        e.1 += 1;
+    });
+    buckets
+        .into_iter()
+        .map(|(b, (sum, n))| CurvePoint {
+            total_checkins: b * bucket_width + bucket_width / 2,
+            average: sum as f64 / n as f64,
+            count: n,
+        })
+        .collect()
+}
+
+/// Fig 4.1: "the average recent check-ins of the users who have a
+/// certain number of total check-ins", for users with `max_total` or
+/// fewer totals (the paper cut at 2000, covering 99.98 % of users).
+///
+/// Requires [`CrawlDatabase::recompute_aggregates`] to have filled the
+/// derived `recent_checkins` column.
+pub fn recent_vs_total(db: &CrawlDatabase, bucket_width: u64, max_total: u64) -> Vec<CurvePoint> {
+    bucketed_average(db, bucket_width, max_total, |u| u.recent_checkins)
+}
+
+/// Fig 4.2: "the average number of badges granted to users who have a
+/// certain number of total check-ins" (the paper plotted up to 14,000).
+pub fn badges_vs_total(db: &CrawlDatabase, bucket_width: u64, max_total: u64) -> Vec<CurvePoint> {
+    bucketed_average(db, bucket_width, max_total, |u| u.total_badges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_crawler::UserInfoRow;
+
+    fn user(id: u64, total: u64, badges: u64, recent: u64) -> UserInfoRow {
+        UserInfoRow {
+            id,
+            username: None,
+            home: None,
+            total_checkins: total,
+            total_badges: badges,
+            friends: 0,
+            points: 0,
+            recent_checkins: recent,
+            total_mayors: 0,
+        }
+    }
+
+    fn db() -> CrawlDatabase {
+        let d = CrawlDatabase::new();
+        d.insert_user(user(1, 0, 0, 0)); // inactive: excluded
+        d.insert_user(user(2, 10, 2, 5));
+        d.insert_user(user(3, 15, 4, 7));
+        d.insert_user(user(4, 120, 10, 40));
+        d.insert_user(user(5, 130, 12, 60));
+        d.insert_user(user(6, 5_000, 1, 900)); // beyond max_total when cut at 2000
+        d
+    }
+
+    #[test]
+    fn buckets_average_correctly() {
+        let d = db();
+        let pts = recent_vs_total(&d, 25, 2_000);
+        // Bucket 0 (1..=25): users 2 and 3 → avg recent 6.
+        let b0 = &pts[0];
+        assert_eq!(b0.count, 2);
+        assert!((b0.average - 6.0).abs() < 1e-9);
+        // Bucket for 101..=125 contains user 4; 126..=150 user 5.
+        assert!(pts.iter().any(|p| p.count == 1 && (p.average - 40.0).abs() < 1e-9));
+        // The 5000-total user is excluded by the cut.
+        assert!(pts.iter().all(|p| p.total_checkins <= 2_000));
+    }
+
+    #[test]
+    fn badges_curve_uses_badge_metric() {
+        let d = db();
+        let pts = badges_vs_total(&d, 25, 14_000);
+        let b0 = &pts[0];
+        assert!((b0.average - 3.0).abs() < 1e-9); // (2+4)/2
+        // The whale appears now, dragging its bucket's badge average to 1.
+        assert!(pts
+            .iter()
+            .any(|p| p.total_checkins > 4_000 && (p.average - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn zero_checkin_users_excluded() {
+        let d = CrawlDatabase::new();
+        d.insert_user(user(1, 0, 0, 0));
+        assert!(recent_vs_total(&d, 10, 100).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_bucket_width_panics() {
+        let d = CrawlDatabase::new();
+        let _ = recent_vs_total(&d, 0, 100);
+    }
+
+    #[test]
+    fn bucket_centres_are_monotone() {
+        let d = db();
+        let pts = badges_vs_total(&d, 50, 14_000);
+        for w in pts.windows(2) {
+            assert!(w[0].total_checkins < w[1].total_checkins);
+        }
+    }
+}

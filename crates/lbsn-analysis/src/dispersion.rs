@@ -1,0 +1,148 @@
+//! §4.3: check-in dispersion maps and the distinct-cities metric.
+
+use lbsn_crawler::CrawlDatabase;
+use lbsn_geo::cluster::{concentration, distinct_cities, DEFAULT_CITY_RADIUS_M};
+use lbsn_geo::{BoundingBox, GeoPoint};
+use serde::Serialize;
+
+/// A user's geographic footprint, reconstructed from the venues whose
+/// recent-visitor lists contain them — exactly the data behind
+/// Fig 4.3/4.4.
+#[derive(Debug, Clone, Serialize)]
+pub struct DispersionProfile {
+    /// The user.
+    pub user_id: u64,
+    /// Venue locations the user recently appeared at.
+    pub locations: Vec<GeoPoint>,
+    /// Number of distinct ~city-sized clusters.
+    pub distinct_cities: usize,
+    /// Fraction of locations in the largest cluster (1.0 = all in one
+    /// city).
+    pub concentration: f64,
+    /// Whether any location is in Alaska (lat > 55, lon < −130) — the
+    /// Fig 4.3 tell.
+    pub visits_alaska: bool,
+    /// Whether any location is in Europe (lon > −30).
+    pub visits_europe: bool,
+}
+
+/// Builds a user's dispersion profile from the crawl.
+pub fn user_map(db: &CrawlDatabase, user_id: u64) -> DispersionProfile {
+    let locations: Vec<GeoPoint> = db
+        .venues_visited_by(user_id)
+        .into_iter()
+        .filter_map(|vid| db.venue(vid).map(|v| v.location))
+        .collect();
+    profile_from_locations(user_id, locations)
+}
+
+/// Builds a profile from an explicit location list (used when the
+/// caller already holds the user→venues map).
+pub fn profile_from_locations(user_id: u64, locations: Vec<GeoPoint>) -> DispersionProfile {
+    let distinct = distinct_cities(&locations);
+    let conc = concentration(&locations, DEFAULT_CITY_RADIUS_M);
+    let visits_alaska = locations.iter().any(|p| p.lat() > 55.0 && p.lon() < -130.0);
+    let visits_europe = locations.iter().any(|p| p.lon() > -30.0);
+    DispersionProfile {
+        user_id,
+        locations,
+        distinct_cities: distinct,
+        concentration: conc,
+        visits_alaska,
+        visits_europe,
+    }
+}
+
+impl DispersionProfile {
+    /// The §4.3 judgement: "those venues are scattered pretty far apart
+    /// and spread over 30 different cities … hence this user is
+    /// suspected of location cheating." The thresholds here encode the
+    /// paper's contrast: the normal user of Fig 4.4 concentrates in ~3
+    /// cities.
+    pub fn is_suspicious(&self, city_threshold: usize) -> bool {
+        self.distinct_cities >= city_threshold
+            || (self.distinct_cities >= city_threshold / 2 && self.concentration < 0.3)
+    }
+
+    /// The map extent (for rendering a Fig 4.3-style scatter).
+    pub fn bounding_box(&self) -> Option<BoundingBox> {
+        BoundingBox::enclosing(self.locations.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_crawler::{VenueInfoRow, VisitorRef};
+    use lbsn_geo::usa::US_METROS;
+
+    fn venue_at(id: u64, loc: GeoPoint, visitors: &[u64]) -> VenueInfoRow {
+        VenueInfoRow {
+            id,
+            name: format!("V{id}"),
+            address: String::new(),
+            category: "Other".into(),
+            location: loc,
+            checkins_here: visitors.len() as u64,
+            unique_visitors: visitors.len() as u64,
+            special: None,
+            tips: 0,
+            mayor: None,
+            recent_visitors: visitors.iter().map(|u| VisitorRef::Id(*u)).collect(),
+        }
+    }
+
+    #[test]
+    fn cheater_profile_triggers_suspicion() {
+        let db = CrawlDatabase::new();
+        // User 9 appears at venues in 32 different metros, incl. Alaska
+        // and Europe (the Fig 4.3 pattern).
+        for (i, m) in US_METROS.iter().take(31).enumerate() {
+            db.insert_venue(venue_at(i as u64 + 1, m.location(), &[9]));
+        }
+        let anchorage = US_METROS.iter().find(|m| m.region == "AK").unwrap();
+        db.insert_venue(venue_at(100, anchorage.location(), &[9]));
+        let london = GeoPoint::new(51.5074, -0.1278).unwrap();
+        db.insert_venue(venue_at(101, london, &[9]));
+
+        let profile = user_map(&db, 9);
+        assert!(profile.distinct_cities >= 30);
+        assert!(profile.visits_alaska);
+        assert!(profile.visits_europe);
+        assert!(profile.is_suspicious(30));
+        assert!(profile.concentration < 0.2);
+        let bbox = profile.bounding_box().unwrap();
+        assert!(bbox.lon_span() > 100.0, "Fig 4.3 spans the map");
+    }
+
+    #[test]
+    fn normal_profile_is_calm() {
+        let db = CrawlDatabase::new();
+        let home = US_METROS[0].location(); // New York
+        for i in 0..20 {
+            db.insert_venue(venue_at(
+                i + 1,
+                lbsn_geo::destination(home, (i * 17 % 360) as f64, 500.0 * (i % 8) as f64),
+                &[5],
+            ));
+        }
+        // One vacation city.
+        db.insert_venue(venue_at(50, US_METROS[7].location(), &[5])); // Miami
+        let profile = user_map(&db, 5);
+        assert_eq!(profile.distinct_cities, 2);
+        assert!(!profile.is_suspicious(30));
+        assert!(!profile.visits_alaska);
+        assert!(!profile.visits_europe);
+        assert!(profile.concentration > 0.9);
+    }
+
+    #[test]
+    fn unknown_user_has_empty_profile() {
+        let db = CrawlDatabase::new();
+        let profile = user_map(&db, 404);
+        assert!(profile.locations.is_empty());
+        assert_eq!(profile.distinct_cities, 0);
+        assert!(!profile.is_suspicious(30));
+        assert!(profile.bounding_box().is_none());
+    }
+}

@@ -1,0 +1,28 @@
+//! Detection analytics over crawled data: the paper's §4 evaluation.
+//!
+//! Everything here consumes a [`lbsn_crawler::CrawlDatabase`] — the same
+//! vantage point the paper had (public pages only, no server internals):
+//!
+//! * [`curves`] — the bucketed averages behind Fig 4.1 (recent vs total
+//!   check-ins) and Fig 4.2 (badges vs total check-ins);
+//! * [`dispersion`] — the §4.3 check-in maps and the distinct-cities
+//!   metric separating Fig 4.3's cheater from Fig 4.4's normal user;
+//! * [`cohort`] — the §4.2 heavy-hitter analysis (the ≥5000 club and
+//!   its split by mayorship);
+//! * [`stats`] — the population summary statistics the thesis quotes;
+//! * [`classify`] — a cheater classifier combining the three signals,
+//!   scored against workload ground truth.
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod cohort;
+pub mod curves;
+pub mod dispersion;
+pub mod stats;
+
+pub use classify::{CheaterClassifier, ClassifierReport, Suspicion};
+pub use cohort::{heavy_hitters, heavy_hitters_split_at, HeavyHitterSplit};
+pub use curves::{badges_vs_total, recent_vs_total, CurvePoint};
+pub use dispersion::{user_map, DispersionProfile};
+pub use stats::{population_summary, PopulationSummary};

@@ -1,0 +1,190 @@
+//! The §4.1–§4.2 population summary statistics.
+
+use lbsn_crawler::CrawlDatabase;
+use serde::Serialize;
+
+/// Every population statistic the thesis quotes, computed from a crawl.
+///
+/// Paper values (August 2010, full scale) for comparison:
+/// 1.89 M users, 5.6 M venues, 20 M recent check-ins; 36.3 % of users
+/// with zero check-ins, 20.4 % with 1–5; 0.2 % with ≥1000; 11 users
+/// ≥5000; 25,074 users in [500, 2000]; 1,291,125 venues with exactly one
+/// check-in; 2,014,305 venues with exactly one visitor; 425,196 users
+/// with mayorships; 2,315,747 venues with mayors; 5.45 mayorships per
+/// mayor-holding user.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PopulationSummary {
+    /// Users crawled.
+    pub users: u64,
+    /// Venues crawled.
+    pub venues: u64,
+    /// `RecentCheckin` relation rows (the paper's "20 million
+    /// check-ins" crawl).
+    pub recent_checkins: u64,
+    /// Fraction of users with zero check-ins.
+    pub zero_checkin_fraction: f64,
+    /// Fraction with one to five.
+    pub one_to_five_fraction: f64,
+    /// Fraction with at least 1000.
+    pub ge_1000_fraction: f64,
+    /// Users with at least 5000.
+    pub ge_5000_count: u64,
+    /// Users with totals in [500, 2000].
+    pub users_500_to_2000: u64,
+    /// Venues with exactly one check-in.
+    pub one_checkin_venues: u64,
+    /// Venues with exactly one unique visitor.
+    pub one_visitor_venues: u64,
+    /// Venues with a mayor.
+    pub venues_with_mayors: u64,
+    /// Users holding at least one mayorship.
+    pub users_with_mayorships: u64,
+    /// Average mayorships per mayor-holding user.
+    pub mayorships_per_mayor_user: f64,
+}
+
+/// Computes the summary. Requires
+/// [`CrawlDatabase::recompute_aggregates`] for the mayorship columns.
+pub fn population_summary(db: &CrawlDatabase) -> PopulationSummary {
+    let mut users = 0u64;
+    let mut zero = 0u64;
+    let mut one_to_five = 0u64;
+    let mut ge_1000 = 0u64;
+    let mut ge_5000 = 0u64;
+    let mut mid = 0u64;
+    let mut mayor_users = 0u64;
+    let mut mayorships = 0u64;
+    db.for_each_user(|u| {
+        users += 1;
+        match u.total_checkins {
+            0 => zero += 1,
+            1..=5 => one_to_five += 1,
+            _ => {}
+        }
+        if u.total_checkins >= 1_000 {
+            ge_1000 += 1;
+        }
+        if u.total_checkins >= 5_000 {
+            ge_5000 += 1;
+        }
+        if (500..=2_000).contains(&u.total_checkins) {
+            mid += 1;
+        }
+        if u.total_mayors > 0 {
+            mayor_users += 1;
+            mayorships += u.total_mayors;
+        }
+    });
+
+    let mut venues = 0u64;
+    let mut one_checkin = 0u64;
+    let mut one_visitor = 0u64;
+    let mut with_mayor = 0u64;
+    db.for_each_venue(|v| {
+        venues += 1;
+        if v.checkins_here == 1 {
+            one_checkin += 1;
+        }
+        if v.unique_visitors == 1 {
+            one_visitor += 1;
+        }
+        if v.mayor.is_some() {
+            with_mayor += 1;
+        }
+    });
+
+    let frac = |n: u64| if users == 0 { 0.0 } else { n as f64 / users as f64 };
+    PopulationSummary {
+        users,
+        venues,
+        recent_checkins: db.recent_checkin_count() as u64,
+        zero_checkin_fraction: frac(zero),
+        one_to_five_fraction: frac(one_to_five),
+        ge_1000_fraction: frac(ge_1000),
+        ge_5000_count: ge_5000,
+        users_500_to_2000: mid,
+        one_checkin_venues: one_checkin,
+        one_visitor_venues: one_visitor,
+        venues_with_mayors: with_mayor,
+        users_with_mayorships: mayor_users,
+        mayorships_per_mayor_user: if mayor_users == 0 {
+            0.0
+        } else {
+            mayorships as f64 / mayor_users as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_crawler::{UserInfoRow, VenueInfoRow, VisitorRef};
+    use lbsn_geo::GeoPoint;
+
+    fn user(id: u64, total: u64) -> UserInfoRow {
+        UserInfoRow {
+            id,
+            username: None,
+            home: None,
+            total_checkins: total,
+            total_badges: 0,
+            friends: 0,
+            points: 0,
+            recent_checkins: 0,
+            total_mayors: 0,
+        }
+    }
+
+    fn venue(id: u64, checkins: u64, visitors: u64, mayor: Option<u64>) -> VenueInfoRow {
+        VenueInfoRow {
+            id,
+            name: format!("V{id}"),
+            address: String::new(),
+            category: "Other".into(),
+            location: GeoPoint::new(35.0, -106.0).unwrap(),
+            checkins_here: checkins,
+            unique_visitors: visitors,
+            special: None,
+            tips: 0,
+            mayor,
+            recent_visitors: (0..visitors.min(5)).map(|u| VisitorRef::Id(u + 1)).collect(),
+        }
+    }
+
+    #[test]
+    fn summary_counts_everything() {
+        let db = CrawlDatabase::new();
+        db.insert_user(user(1, 0));
+        db.insert_user(user(2, 0));
+        db.insert_user(user(3, 3));
+        db.insert_user(user(4, 700));
+        db.insert_user(user(5, 1_500));
+        db.insert_user(user(6, 6_000));
+        db.insert_venue(venue(1, 1, 1, None));
+        db.insert_venue(venue(2, 50, 20, Some(4)));
+        db.insert_venue(venue(3, 2, 1, Some(4)));
+        db.recompute_aggregates();
+        let s = population_summary(&db);
+        assert_eq!(s.users, 6);
+        assert_eq!(s.venues, 3);
+        assert!((s.zero_checkin_fraction - 2.0 / 6.0).abs() < 1e-9);
+        assert!((s.one_to_five_fraction - 1.0 / 6.0).abs() < 1e-9);
+        assert!((s.ge_1000_fraction - 2.0 / 6.0).abs() < 1e-9);
+        assert_eq!(s.ge_5000_count, 1);
+        assert_eq!(s.users_500_to_2000, 2);
+        assert_eq!(s.one_checkin_venues, 1);
+        assert_eq!(s.one_visitor_venues, 2);
+        assert_eq!(s.venues_with_mayors, 2);
+        assert_eq!(s.users_with_mayorships, 1);
+        assert!((s.mayorships_per_mayor_user - 2.0).abs() < 1e-9);
+        assert!(s.recent_checkins > 0);
+    }
+
+    #[test]
+    fn empty_db_is_all_zeroes() {
+        let s = population_summary(&CrawlDatabase::new());
+        assert_eq!(s.users, 0);
+        assert_eq!(s.zero_checkin_fraction, 0.0);
+        assert_eq!(s.mayorships_per_mayor_user, 0.0);
+    }
+}

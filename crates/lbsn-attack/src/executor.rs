@@ -1,0 +1,242 @@
+//! Executing a cheating campaign against the live server.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use lbsn_device::Emulator;
+use lbsn_server::{Badge, CheatFlag, LbsnServer, UserId, VenueId};
+
+use crate::schedule::Schedule;
+
+/// What happened when a schedule was executed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CampaignReport {
+    /// Check-ins attempted.
+    pub attempted: u64,
+    /// Check-ins that earned rewards.
+    pub rewarded: u64,
+    /// Check-ins the cheater code flagged, with their flags.
+    pub flagged: Vec<(VenueId, Vec<CheatFlag>)>,
+    /// Total points earned.
+    pub points: u64,
+    /// Badges unlocked during the campaign.
+    pub badges: Vec<Badge>,
+    /// Venues whose mayorship the attacker took.
+    pub mayorships_gained: Vec<VenueId>,
+    /// Specials unlocked (real-world rewards!).
+    pub specials: Vec<String>,
+}
+
+impl CampaignReport {
+    /// Whether the whole campaign evaded detection.
+    pub fn undetected(&self) -> bool {
+        self.flagged.is_empty()
+    }
+}
+
+/// An attacker driving one spoofed account: the §3.1 emulator rig,
+/// packaged.
+///
+/// Boots an emulator, flashes the recovery image, installs the client
+/// app, and then executes schedules by setting `geo fix` coordinates and
+/// tapping "check in" — advancing the shared virtual clock to each
+/// planned time, exactly as the real attack waits out its intervals.
+pub struct AttackSession {
+    server: Arc<LbsnServer>,
+    emulator: Emulator,
+    app: lbsn_device::ClientApp,
+}
+
+impl std::fmt::Debug for AttackSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttackSession")
+            .field("user", &self.app.user())
+            .finish()
+    }
+}
+
+impl AttackSession {
+    /// Prepares the full §3.1 rig for `user`.
+    pub fn new(server: Arc<LbsnServer>, user: UserId) -> Self {
+        let mut emulator = Emulator::boot();
+        emulator.flash_recovery_image();
+        let app = emulator
+            .install_lbsn_app(Arc::clone(&server), user)
+            .expect("market unlocked after recovery image");
+        AttackSession {
+            server,
+            emulator,
+            app,
+        }
+    }
+
+    /// The attacking account.
+    pub fn user(&self) -> UserId {
+        self.app.user()
+    }
+
+    /// The underlying server (shared clock lives there).
+    pub fn server(&self) -> &Arc<LbsnServer> {
+        &self.server
+    }
+
+    /// The §2.2 badmouthing attack: "a business owner may use location
+    /// cheating to check into a competing business, and badmouth that
+    /// business by leaving negative comments." Spoofs a check-in at the
+    /// competitor (so the account reads like a recent customer), then
+    /// leaves the comment. Returns whether the check-in passed
+    /// verification; the tip posts either way.
+    pub fn badmouth(&self, competitor: VenueId, comment: impl Into<String>) -> bool {
+        let checked_in = self
+            .spoof_and_check_in(competitor)
+            .map(|o| o.rewarded())
+            .unwrap_or(false);
+        let _ = self.server.leave_tip(self.user(), competitor, comment);
+        checked_in
+    }
+
+    /// Spoofs to a single venue and checks in right now.
+    pub fn spoof_and_check_in(&self, venue: VenueId) -> Option<lbsn_server::CheckinOutcome> {
+        let loc = self.server.with_venue(venue, |v| v.location)?;
+        self.emulator
+            .debug_monitor()
+            .geo_fix(loc.lon(), loc.lat())
+            .expect("venue coordinates are valid");
+        self.app.check_in(venue).ok()
+    }
+
+    /// Executes a schedule: waits (in virtual time) until each planned
+    /// check-in, spoofs the GPS, checks in, and accounts the outcome.
+    pub fn execute(&self, schedule: &Schedule) -> CampaignReport {
+        let mut report = CampaignReport::default();
+        let mut mayorships: HashSet<VenueId> = HashSet::new();
+        for item in schedule.items() {
+            self.server.clock().advance_to(item.at);
+            self.emulator
+                .debug_monitor()
+                .geo_fix(item.location.lon(), item.location.lat())
+                .expect("schedule coordinates are valid");
+            report.attempted += 1;
+            match self.app.check_in(item.venue) {
+                Ok(outcome) => {
+                    if outcome.rewarded() {
+                        report.rewarded += 1;
+                        report.points += outcome.points;
+                        report.badges.extend(outcome.new_badges.iter().copied());
+                        if outcome.became_mayor && mayorships.insert(item.venue) {
+                            report.mayorships_gained.push(item.venue);
+                        }
+                        if let Some(s) = outcome.special_unlocked {
+                            report.specials.push(s);
+                        }
+                    } else {
+                        report.flagged.push((item.venue, outcome.flags));
+                    }
+                }
+                Err(_) => {
+                    report.flagged.push((item.venue, Vec::new()));
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{PacingPolicy, Schedule};
+    use lbsn_geo::{destination, GeoPoint};
+    use lbsn_server::{ServerConfig, UserSpec, VenueSpec};
+    use lbsn_sim::{SimClock, Timestamp};
+
+    fn abq() -> GeoPoint {
+        GeoPoint::new(35.0844, -106.6504).unwrap()
+    }
+
+    fn city_server(venues: usize) -> (Arc<LbsnServer>, Vec<(VenueId, GeoPoint)>) {
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let list: Vec<_> = (0..venues)
+            .map(|i| {
+                let loc = destination(abq(), (i * 47 % 360) as f64, 300.0 * (i + 1) as f64);
+                (
+                    server.register_venue(VenueSpec::new(format!("V{i}"), loc)),
+                    loc,
+                )
+            })
+            .collect();
+        (server, list)
+    }
+
+    #[test]
+    fn paced_campaign_is_undetected_and_rewarded() {
+        let (server, venues) = city_server(12);
+        let user = server.register_user(UserSpec::named("attacker"));
+        let session = AttackSession::new(Arc::clone(&server), user);
+        let schedule = Schedule::build(&venues, Timestamp(0), &PacingPolicy::default());
+        let report = session.execute(&schedule);
+        assert_eq!(report.attempted, 12);
+        assert_eq!(report.rewarded, 12);
+        assert!(report.undetected());
+        assert!(report.points > 0);
+        assert!(
+            report.badges.contains(&lbsn_server::Badge::Adventurer),
+            "10+ venues unlocks Adventurer: {:?}",
+            report.badges
+        );
+        // Vacant venues: every check-in took a mayorship.
+        assert_eq!(report.mayorships_gained.len(), 12);
+    }
+
+    #[test]
+    fn unpaced_campaign_gets_flagged() {
+        // Same tour but all at the same instant: super-human speed and
+        // rapid-fire both bite.
+        let (server, venues) = city_server(8);
+        let user = server.register_user(UserSpec::named("greedy"));
+        let session = AttackSession::new(Arc::clone(&server), user);
+        let schedule = Schedule::build(
+            &venues,
+            Timestamp(0),
+            &PacingPolicy {
+                min_interval: lbsn_sim::Duration::secs(1),
+                per_mile: lbsn_sim::Duration::secs(0),
+                venue_cooldown: lbsn_sim::Duration::secs(0),
+            },
+        );
+        let report = session.execute(&schedule);
+        assert!(!report.undetected());
+        assert!(report.rewarded < report.attempted);
+        let u = server.user(user).unwrap();
+        assert_eq!(u.total_checkins, 8, "flagged check-ins still count");
+        assert!(u.valid_checkins < 8);
+    }
+
+    #[test]
+    fn badmouthing_a_competitor() {
+        // §2.2: a bar owner in Albuquerque trashes the rival across town
+        // — having "visited" it via the emulator.
+        let (server, venues) = city_server(1);
+        let rival = venues[0].0;
+        let owner = server.register_user(UserSpec::named("owner"));
+        let session = AttackSession::new(Arc::clone(&server), owner);
+        assert!(session.badmouth(rival, "Dirty tables, rude staff. Avoid."));
+        let v = server.venue(rival).unwrap();
+        assert_eq!(v.tips.len(), 1);
+        assert_eq!(v.tips[0].user, owner);
+        assert!(v.tips[0].text.contains("Avoid"));
+        // The fake visit shows in the recent-visitor list — the comment
+        // reads like a real customer's.
+        assert!(v.recent_visitors.contains(&owner));
+    }
+
+    #[test]
+    fn spoof_and_check_in_single_venue() {
+        let (server, venues) = city_server(1);
+        let user = server.register_user(UserSpec::anonymous());
+        let session = AttackSession::new(Arc::clone(&server), user);
+        let out = session.spoof_and_check_in(venues[0].0).unwrap();
+        assert!(out.rewarded());
+        assert!(session.spoof_and_check_in(VenueId(99)).is_none());
+    }
+}

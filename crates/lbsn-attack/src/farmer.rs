@@ -1,0 +1,255 @@
+//! Mayorship farming and mayor-denial attacks (§3.1 experiment, §3.4).
+
+use lbsn_crawler::CrawlDatabase;
+use lbsn_server::VenueId;
+use lbsn_sim::Duration;
+
+use crate::executor::AttackSession;
+use crate::intel::VenueIntel;
+
+/// Result of farming one venue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FarmResult {
+    /// The farmed venue.
+    pub venue: VenueId,
+    /// Whether the mayorship was taken.
+    pub became_mayor: bool,
+    /// Daily check-ins spent.
+    pub days_spent: u32,
+}
+
+/// Farms mayorships by checking in once per (virtual) day — the paper's
+/// §3.1 experiment: "we kept checking in to it once a day for 4
+/// consecutive days. After 9 days, we had found our test user became the
+/// mayor of the venue."
+#[derive(Debug)]
+pub struct MayorFarmer<'a> {
+    session: &'a AttackSession,
+}
+
+impl<'a> MayorFarmer<'a> {
+    /// Wraps an attack session.
+    pub fn new(session: &'a AttackSession) -> Self {
+        MayorFarmer { session }
+    }
+
+    /// Checks in daily until mayor or until `max_days` is exhausted.
+    ///
+    /// Each attempt waits 25 virtual hours: a beat over a day keeps the
+    /// attempts on distinct days *and* keeps every hop — including the
+    /// teleport from the previously farmed venue, which may be across
+    /// the country — outside the super-human-speed rule's 24-hour
+    /// window. An unpaced farmer gets branded within a handful of
+    /// venues.
+    pub fn farm(&self, venue: VenueId, max_days: u32) -> FarmResult {
+        let clock = self.session.server().clock();
+        for day in 1..=max_days {
+            clock.advance(Duration::hours(25));
+            let outcome = self.session.spoof_and_check_in(venue);
+            let is_mayor = outcome.as_ref().map(|o| o.is_mayor).unwrap_or(false);
+            if is_mayor {
+                return FarmResult {
+                    venue,
+                    became_mayor: true,
+                    days_spent: day,
+                };
+            }
+        }
+        FarmResult {
+            venue,
+            became_mayor: false,
+            days_spent: max_days,
+        }
+    }
+
+    /// Farms every venue in a target list (e.g.
+    /// [`VenueIntel::unclaimed_mayor_specials`]), spending at most
+    /// `max_days_each` per venue. Dormant venues fall on day one — how a
+    /// single account accumulates hundreds of mayorships (the paper's
+    /// 865-mayorship user).
+    pub fn farm_all(&self, venues: &[VenueId], max_days_each: u32) -> Vec<FarmResult> {
+        venues
+            .iter()
+            .map(|v| self.farm(*v, max_days_each))
+            .collect()
+    }
+}
+
+/// Result of a mayor-denial campaign against one victim.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DenialReport {
+    /// The venues the victim was mayor of when the attack started.
+    pub targeted: Vec<VenueId>,
+    /// The venues successfully taken from the victim.
+    pub taken: Vec<VenueId>,
+}
+
+impl DenialReport {
+    /// Fraction of the victim's mayorships captured.
+    pub fn capture_rate(&self) -> f64 {
+        if self.targeted.is_empty() {
+            0.0
+        } else {
+            self.taken.len() as f64 / self.targeted.len() as f64
+        }
+    }
+}
+
+/// The §3.4 mayor-denial attack: "to stop a user from getting any
+/// mayorship, the attacker will analyze venue profiles and find venues
+/// that the victim user is mayor of … then apply an automated cheating
+/// attack on those venues."
+///
+/// For each venue in the victim's crawled portfolio, the attacker checks
+/// in daily until the mayorship flips (needs strictly more active days
+/// in the 60-day window than the incumbent).
+pub fn deny_mayorships(
+    session: &AttackSession,
+    victim: u64,
+    db: &CrawlDatabase,
+    max_days_each: u32,
+) -> DenialReport {
+    let intel = VenueIntel::new(db);
+    let portfolio = intel.mayorships_of(victim);
+    let mut report = DenialReport::default();
+    for row in &portfolio {
+        let venue = VenueId(row.id);
+        report.targeted.push(venue);
+        let result = MayorFarmer::new(session).farm(venue, max_days_each);
+        if result.became_mayor {
+            report.taken.push(venue);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_geo::{destination, GeoPoint};
+    use lbsn_server::{
+        CheckinRequest, CheckinSource, LbsnServer, ServerConfig, UserSpec, VenueSpec,
+    };
+    use lbsn_sim::SimClock;
+    use std::sync::Arc;
+
+    fn abq() -> GeoPoint {
+        GeoPoint::new(35.0844, -106.6504).unwrap()
+    }
+
+    fn setup(venues: usize) -> (Arc<LbsnServer>, Vec<VenueId>) {
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let ids = (0..venues)
+            .map(|i| {
+                server.register_venue(VenueSpec::new(
+                    format!("V{i}"),
+                    destination(abq(), (i * 31 % 360) as f64, 400.0 * (i + 1) as f64),
+                ))
+            })
+            .collect();
+        (server, ids)
+    }
+
+    #[test]
+    fn vacant_venue_farmed_in_one_day() {
+        let (server, venues) = setup(1);
+        let user = server.register_user(UserSpec::anonymous());
+        let session = AttackSession::new(Arc::clone(&server), user);
+        let result = MayorFarmer::new(&session).farm(venues[0], 10);
+        assert!(result.became_mayor);
+        assert_eq!(result.days_spent, 1);
+    }
+
+    #[test]
+    fn defended_venue_takes_more_days_than_incumbent_has() {
+        let (server, venues) = setup(1);
+        let venue = venues[0];
+        // An honest local checks in for 3 days first.
+        let local = server.register_user(UserSpec::named("local"));
+        let loc = server.venue(venue).unwrap().location;
+        for _ in 0..3 {
+            server
+                .check_in(&CheckinRequest {
+                    user: local,
+                    venue,
+                    reported_location: loc,
+                    source: CheckinSource::MobileApp,
+                })
+                .unwrap();
+            server.clock().advance(Duration::days(1));
+        }
+        assert_eq!(server.venue(venue).unwrap().mayor, Some(local));
+
+        let attacker = server.register_user(UserSpec::named("attacker"));
+        let session = AttackSession::new(Arc::clone(&server), attacker);
+        let result = MayorFarmer::new(&session).farm(venue, 10);
+        assert!(result.became_mayor);
+        // Must strictly exceed the incumbent's 3 days: 4 days needed.
+        assert_eq!(result.days_spent, 4);
+        assert_eq!(server.venue(venue).unwrap().mayor, Some(attacker));
+    }
+
+    #[test]
+    fn farm_all_accumulates_portfolio() {
+        let (server, venues) = setup(5);
+        let user = server.register_user(UserSpec::anonymous());
+        let session = AttackSession::new(Arc::clone(&server), user);
+        let results = MayorFarmer::new(&session).farm_all(&venues, 3);
+        assert!(results.iter().all(|r| r.became_mayor));
+        assert_eq!(server.user(user).unwrap().mayorships.len(), 5);
+    }
+
+    #[test]
+    fn denial_takes_victims_crown() {
+        let (server, venues) = setup(2);
+        let victim = server.register_user(UserSpec::named("victim"));
+        for &venue in &venues {
+            let loc = server.venue(venue).unwrap().location;
+            server
+                .check_in(&CheckinRequest {
+                    user: victim,
+                    venue,
+                    reported_location: loc,
+                    source: CheckinSource::MobileApp,
+                })
+                .unwrap();
+            server.clock().advance(Duration::hours(2));
+        }
+        // Crawl the venue profiles (shortcut: hand-build rows).
+        let db = CrawlDatabase::new();
+        for &venue in &venues {
+            let v = server.venue(venue).unwrap();
+            db.insert_venue(lbsn_crawler::VenueInfoRow {
+                id: venue.value(),
+                name: v.name.clone(),
+                address: v.address.clone(),
+                category: "Other".into(),
+                location: v.location,
+                checkins_here: v.checkins_here,
+                unique_visitors: v.unique_visitors.len() as u64,
+                special: None,
+                tips: 0,
+                mayor: v.mayor.map(|m| m.value()),
+                recent_visitors: vec![],
+            });
+        }
+        let attacker = server.register_user(UserSpec::named("attacker"));
+        let session = AttackSession::new(Arc::clone(&server), attacker);
+        let report = deny_mayorships(&session, victim.value(), &db, 10);
+        assert_eq!(report.targeted.len(), 2);
+        assert_eq!(report.taken.len(), 2);
+        assert_eq!(report.capture_rate(), 1.0);
+        assert!(server.user(victim).unwrap().mayorships.is_empty());
+    }
+
+    #[test]
+    fn denial_of_unknown_victim_is_empty() {
+        let (server, _) = setup(1);
+        let attacker = server.register_user(UserSpec::anonymous());
+        let session = AttackSession::new(Arc::clone(&server), attacker);
+        let db = CrawlDatabase::new();
+        let report = deny_mayorships(&session, 12345, &db, 5);
+        assert!(report.targeted.is_empty());
+        assert_eq!(report.capture_rate(), 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Venue-profile intelligence: §3.4's target selection.
+
+use lbsn_crawler::{CrawlDatabase, UserInfoRow, VenueInfoRow};
+
+/// Target-selection queries over a crawl database.
+///
+/// "an attacker may select the victim venues that provide special offers
+/// to their mayors and don't have a mayor yet (or are less competitive
+/// for mayorship) as targets. … Amongst the venues we have crawled,
+/// around 1000 venues fall into this category."
+#[derive(Debug)]
+pub struct VenueIntel<'a> {
+    db: &'a CrawlDatabase,
+}
+
+impl<'a> VenueIntel<'a> {
+    /// Builds intel over a completed crawl.
+    pub fn new(db: &'a CrawlDatabase) -> Self {
+        VenueIntel { db }
+    }
+
+    /// Venues with a mayor-only special and no mayor: one check-in wins
+    /// the real-world reward.
+    pub fn unclaimed_mayor_specials(&self) -> Vec<VenueInfoRow> {
+        self.db.venues_where(|v| v.is_unclaimed_special())
+    }
+
+    /// Venues whose special does not require mayorship — "much easier to
+    /// obtain; it's difficult to find such information without crawling
+    /// the venue profiles."
+    pub fn easy_specials(&self) -> Vec<VenueInfoRow> {
+        self.db
+            .venues_where(|v| matches!(&v.special, Some((kind, _)) if kind != "mayor"))
+    }
+
+    /// Venues with a mayor-only special whose mayorship looks weakly
+    /// defended: a dormant venue (few recent visitors) is cheap to take
+    /// with a handful of daily check-ins.
+    pub fn weak_mayor_targets(&self, max_recent_visitors: usize) -> Vec<VenueInfoRow> {
+        self.db.venues_where(|v| {
+            v.mayor.is_some()
+                && matches!(&v.special, Some((kind, _)) if kind == "mayor")
+                && v.recent_visitors.len() <= max_recent_visitors
+        })
+    }
+
+    /// The victim's mayorship portfolio — the prerequisite for the
+    /// mayor-denial attack ("the attacker will analyze venue profiles
+    /// and find venues that the victim user is mayor of").
+    pub fn mayorships_of(&self, user_id: u64) -> Vec<VenueInfoRow> {
+        self.db.venues_where(|v| v.mayor == Some(user_id))
+    }
+
+    /// The Fig 3.4 query: `SELECT Longitude, Latitude FROM VenueInfo
+    /// WHERE Name LIKE <pattern>`, returned as `(lon, lat)` pairs in the
+    /// figure's axis order.
+    pub fn coordinates_where_name_like(&self, pattern: &str) -> Vec<(f64, f64)> {
+        self.db
+            .venues_where_name_like(pattern)
+            .into_iter()
+            .map(|v| (v.location.lon(), v.location.lat()))
+            .collect()
+    }
+
+    /// Users holding suspiciously many mayorships relative to their
+    /// check-in count — how the paper spotted "a user on Foursquare
+    /// \[who\] is the mayor of 865 venues but with a total number of
+    /// check-ins of only 1265". Requires
+    /// [`CrawlDatabase::recompute_aggregates`] to have run.
+    pub fn mayor_hoarders(&self, min_mayorships: u64) -> Vec<UserInfoRow> {
+        let mut rows = self
+            .db
+            .users_where(|u| u.total_mayors >= min_mayorships);
+        rows.sort_by_key(|u| std::cmp::Reverse(u.total_mayors));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_crawler::VisitorRef;
+    use lbsn_geo::GeoPoint;
+
+    fn venue(
+        id: u64,
+        name: &str,
+        special: Option<(&str, &str)>,
+        mayor: Option<u64>,
+        visitors: &[u64],
+    ) -> VenueInfoRow {
+        VenueInfoRow {
+            id,
+            name: name.to_string(),
+            address: String::new(),
+            category: "Coffee Shop".to_string(),
+            location: GeoPoint::new(35.0 + id as f64 * 0.01, -106.0).unwrap(),
+            checkins_here: visitors.len() as u64,
+            unique_visitors: visitors.len() as u64,
+            special: special.map(|(k, d)| (k.to_string(), d.to_string())),
+            tips: 0,
+            mayor,
+            recent_visitors: visitors.iter().map(|u| VisitorRef::Id(*u)).collect(),
+        }
+    }
+
+    fn sample_db() -> CrawlDatabase {
+        let db = CrawlDatabase::new();
+        db.insert_venue(venue(1, "Starbucks #1", Some(("mayor", "Free coffee")), None, &[]));
+        db.insert_venue(venue(2, "Starbucks #2", Some(("mayor", "Free latte")), Some(9), &[9]));
+        db.insert_venue(venue(3, "Gym", Some(("loyalty", "Free month")), None, &[]));
+        db.insert_venue(venue(4, "Diner", None, Some(9), &[1, 2, 3, 4, 5]));
+        db.insert_venue(venue(5, "Cafe Roma", Some(("mayor", "Free espresso")), Some(7), &[7, 8, 1, 2, 3]));
+        for i in 1..=9 {
+            db.insert_user(lbsn_crawler::UserInfoRow {
+                id: i,
+                username: None,
+                home: None,
+                total_checkins: i * 10,
+                total_badges: 0,
+                friends: 0,
+                points: 0,
+                recent_checkins: 0,
+                total_mayors: 0,
+            });
+        }
+        db.recompute_aggregates();
+        db
+    }
+
+    #[test]
+    fn unclaimed_specials_found() {
+        let db = sample_db();
+        let intel = VenueIntel::new(&db);
+        let targets = intel.unclaimed_mayor_specials();
+        assert_eq!(targets.len(), 1);
+        assert_eq!(targets[0].id, 1);
+    }
+
+    #[test]
+    fn easy_specials_exclude_mayor_only() {
+        let db = sample_db();
+        let intel = VenueIntel::new(&db);
+        let easy = intel.easy_specials();
+        assert_eq!(easy.len(), 1);
+        assert_eq!(easy[0].id, 3);
+    }
+
+    #[test]
+    fn weak_mayors_are_dormant_venues() {
+        let db = sample_db();
+        let intel = VenueIntel::new(&db);
+        // Venue 2's mayor has 1 recent visitor (dormant); venue 5 has 5.
+        let weak = intel.weak_mayor_targets(2);
+        assert_eq!(weak.len(), 1);
+        assert_eq!(weak[0].id, 2);
+        // Loosening the threshold pulls in venue 5 too.
+        assert_eq!(intel.weak_mayor_targets(10).len(), 2);
+    }
+
+    #[test]
+    fn victim_portfolio() {
+        let db = sample_db();
+        let intel = VenueIntel::new(&db);
+        let victim = intel.mayorships_of(9);
+        assert_eq!(
+            victim.iter().map(|v| v.id).collect::<Vec<_>>(),
+            vec![2, 4]
+        );
+        assert!(intel.mayorships_of(42).is_empty());
+    }
+
+    #[test]
+    fn starbucks_coordinates_in_lon_lat_order() {
+        let db = sample_db();
+        let intel = VenueIntel::new(&db);
+        let coords = intel.coordinates_where_name_like("%starbucks%");
+        assert_eq!(coords.len(), 2);
+        // (lon, lat) order like the figure's axes.
+        assert_eq!(coords[0], (-106.0, 35.01));
+    }
+
+    #[test]
+    fn mayor_hoarders_ranked() {
+        let db = sample_db();
+        let intel = VenueIntel::new(&db);
+        let hoarders = intel.mayor_hoarders(1);
+        assert_eq!(hoarders[0].id, 9);
+        assert_eq!(hoarders[0].total_mayors, 2);
+        assert_eq!(hoarders.len(), 2);
+        assert!(intel.mayor_hoarders(3).is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! The automated location-cheating toolkit of §3.3–3.4.
+//!
+//! Everything the paper's "semiautomatic location cheating tool" did,
+//! as a library:
+//!
+//! * [`PacingPolicy`] / [`Schedule`] — turn a venue tour into a check-in
+//!   timetable that evades every cheater-code rule ("we can check into
+//!   venues less than 1 mile apart with a 5-minute interval … if
+//!   D > 1 mile, we let T = D × 5 minutes");
+//! * [`VirtualPath`] / [`VenueSnapper`] — the Fig 3.5 virtual tour:
+//!   "move 500 yards to the west", snap to the nearest crawled venue;
+//! * [`VenueIntel`] — §3.4's target selection over the crawl database:
+//!   venues with unclaimed mayor specials, dormant mayors, a victim's
+//!   mayorship portfolio;
+//! * [`AttackSession`] — drives a spoofed emulator through a schedule
+//!   against the live server;
+//! * [`MayorFarmer`] / [`deny_mayorships`] — the mayorship-farming and
+//!   mayor-denial attacks.
+
+#![warn(missing_docs)]
+
+mod autosquare;
+mod executor;
+mod farmer;
+mod intel;
+mod path;
+mod schedule;
+
+pub use autosquare::{Autosquare, AutosquareReport};
+pub use executor::{AttackSession, CampaignReport};
+pub use farmer::{deny_mayorships, DenialReport, FarmResult, MayorFarmer};
+pub use intel::VenueIntel;
+pub use path::{VenueSnapper, VirtualPath};
+pub use schedule::{PacingPolicy, Schedule, ScheduledCheckin};

@@ -1,0 +1,214 @@
+//! Virtual paths and venue snapping: the Fig 3.5 tour machinery.
+
+use lbsn_crawler::CrawlDatabase;
+use lbsn_geo::{destination, GeoGrid, GeoPoint, Meters, METERS_PER_DEGREE_LAT};
+use lbsn_server::VenueId;
+
+/// A sequence of *desired* locations for a cheating tour — the
+/// cross-points of Fig 3.5. Actual check-ins go to the nearest venue
+/// ([`VenueSnapper::snap`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtualPath {
+    /// Waypoints in visit order (includes the start).
+    pub points: Vec<GeoPoint>,
+}
+
+impl VirtualPath {
+    /// Builds a path from explicit `(bearing°, distance m)` moves — the
+    /// tool's "set the moving direction and distance, for example,
+    /// 'move 500 yards to the west'".
+    pub fn from_moves(start: GeoPoint, moves: &[(f64, Meters)]) -> Self {
+        let mut points = vec![start];
+        let mut here = start;
+        for &(bearing, dist) in moves {
+            here = destination(here, bearing, dist);
+            points.push(here);
+        }
+        VirtualPath { points }
+    }
+
+    /// The Fig 3.5 walk: start heading north, move in fixed-degree
+    /// steps, and turn right every `straight_run` steps, tracing a
+    /// clockwise circuit through the city.
+    ///
+    /// `step_deg` is the per-move displacement in degrees (the paper
+    /// used 0.005°, "equivalent to about 550 meters in latitude
+    /// direction or about 450 meters in longitude direction around this
+    /// location").
+    pub fn clockwise_circuit(
+        start: GeoPoint,
+        step_deg: f64,
+        steps: usize,
+        straight_run: usize,
+    ) -> Self {
+        let step_m = step_deg * METERS_PER_DEGREE_LAT;
+        let headings = [0.0, 90.0, 180.0, 270.0]; // N, E, S, W
+        let mut moves = Vec::with_capacity(steps);
+        for i in 0..steps {
+            let turn = i / straight_run.max(1);
+            moves.push((headings[turn % 4], step_m));
+        }
+        VirtualPath::from_moves(start, &moves)
+    }
+
+    /// Number of waypoints.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the path has no waypoints.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Snaps desired locations to real venues from the crawl database —
+/// "the tool will search for the venue that is the closest to the
+/// target location".
+#[derive(Debug)]
+pub struct VenueSnapper {
+    grid: GeoGrid<VenueId>,
+}
+
+impl VenueSnapper {
+    /// Indexes every crawled venue.
+    pub fn from_db(db: &CrawlDatabase) -> Self {
+        let mut grid = GeoGrid::new(500.0);
+        db.for_each_venue(|v| {
+            grid.insert(v.location, VenueId(v.id));
+        });
+        VenueSnapper { grid }
+    }
+
+    /// Indexes an explicit venue list.
+    pub fn from_venues(venues: impl IntoIterator<Item = (VenueId, GeoPoint)>) -> Self {
+        let mut grid = GeoGrid::new(500.0);
+        for (id, loc) in venues {
+            grid.insert(loc, id);
+        }
+        VenueSnapper { grid }
+    }
+
+    /// The closest venue to a desired location, with the snap distance.
+    pub fn snap(&self, target: GeoPoint) -> Option<(VenueId, Meters)> {
+        self.grid.nearest(target).map(|(id, d)| (*id, d))
+    }
+
+    /// Number of indexed venues.
+    pub fn venue_count(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// Converts a virtual path into a venue tour: snap each waypoint,
+    /// look up the venue's true coordinates (the spoof target), and drop
+    /// consecutive duplicates — exactly the diamond points of Fig 3.5.
+    ///
+    /// `resolve` maps a venue ID to its coordinates (the executor spoofs
+    /// the *venue's* location, not the waypoint's).
+    pub fn tour(
+        &self,
+        path: &VirtualPath,
+        mut resolve: impl FnMut(VenueId) -> Option<GeoPoint>,
+    ) -> Vec<(VenueId, GeoPoint)> {
+        let mut out: Vec<(VenueId, GeoPoint)> = Vec::new();
+        for &waypoint in &path.points {
+            let Some((id, _)) = self.snap(waypoint) else {
+                continue;
+            };
+            if out.last().map(|(last, _)| *last) == Some(id) {
+                continue;
+            }
+            if let Some(loc) = resolve(id) {
+                out.push((id, loc));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_geo::distance;
+
+    fn abq() -> GeoPoint {
+        GeoPoint::new(35.06, -106.62).unwrap()
+    }
+
+    #[test]
+    fn from_moves_traces_waypoints() {
+        let p = VirtualPath::from_moves(abq(), &[(0.0, 550.0), (90.0, 450.0)]);
+        assert_eq!(p.len(), 3);
+        assert!((distance(p.points[0], p.points[1]) - 550.0).abs() < 1.0);
+        assert!((distance(p.points[1], p.points[2]) - 450.0).abs() < 1.0);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn circuit_turns_right_and_returns() {
+        // 24 steps, turning right every 6: a full square circuit that
+        // ends near the start.
+        let p = VirtualPath::clockwise_circuit(abq(), 0.005, 24, 6);
+        assert_eq!(p.len(), 25);
+        let home_gap = distance(p.points[0], *p.points.last().unwrap());
+        assert!(home_gap < 500.0, "circuit should close, gap {home_gap} m");
+        // The far corner is ~6 steps × 550 m away on each axis.
+        let far = p
+            .points
+            .iter()
+            .map(|q| distance(p.points[0], *q))
+            .fold(0.0f64, f64::max);
+        assert!(far > 3_000.0, "far corner {far}");
+    }
+
+    #[test]
+    fn snapper_picks_nearest_venue() {
+        let venues: Vec<_> = (0..20)
+            .map(|i| {
+                (
+                    VenueId(i + 1),
+                    destination(abq(), (i * 18) as f64, 200.0 * (i + 1) as f64),
+                )
+            })
+            .collect();
+        let snapper = VenueSnapper::from_venues(venues.clone());
+        assert_eq!(snapper.venue_count(), 20);
+        let (id, d) = snapper.snap(abq()).unwrap();
+        assert_eq!(id, VenueId(1));
+        assert!((d - 200.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn tour_dedupes_consecutive_snaps() {
+        // One venue only: every waypoint snaps to it; tour has length 1.
+        let v = vec![(VenueId(1), abq())];
+        let snapper = VenueSnapper::from_venues(v.clone());
+        let path = VirtualPath::clockwise_circuit(abq(), 0.005, 8, 2);
+        let tour = snapper.tour(&path, |_| Some(abq()));
+        assert_eq!(tour.len(), 1);
+    }
+
+    #[test]
+    fn tour_visits_distinct_venues_along_path() {
+        // A line of venues every ~550 m heading north; a straight-north
+        // path should sweep them in order.
+        let venues: Vec<_> = (0..10)
+            .map(|i| (VenueId(i + 1), destination(abq(), 0.0, 550.0 * i as f64)))
+            .collect();
+        let lookup: std::collections::HashMap<_, _> = venues.iter().cloned().collect();
+        let snapper = VenueSnapper::from_venues(venues);
+        let path = VirtualPath::from_moves(abq(), &[(0.0, 550.0); 9]);
+        let tour = snapper.tour(&path, |id| lookup.get(&id).copied());
+        assert_eq!(tour.len(), 10);
+        assert_eq!(tour[0].0, VenueId(1));
+        assert_eq!(tour[9].0, VenueId(10));
+    }
+
+    #[test]
+    fn empty_snapper_yields_empty_tour() {
+        let snapper = VenueSnapper::from_venues(std::iter::empty());
+        assert!(snapper.snap(abq()).is_none());
+        let path = VirtualPath::from_moves(abq(), &[(0.0, 500.0)]);
+        assert!(snapper.tour(&path, |_| Some(abq())).is_empty());
+    }
+}

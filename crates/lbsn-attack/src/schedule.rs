@@ -1,0 +1,234 @@
+//! Check-in scheduling: pacing that stays under the cheater code.
+
+use lbsn_geo::{distance, meters_to_miles, GeoPoint};
+use lbsn_server::VenueId;
+use lbsn_sim::{Duration, Timestamp};
+
+/// The empirical pacing law of §3.3.
+///
+/// "Based on our experiments, we can check into venues less than 1 mile
+/// apart with a 5-minute interval without being detected as a cheater.
+/// So for distance D less than 1 mile, we should set T to 5 minutes, if
+/// D > 1 mile, we let T = D × 5 minutes."
+///
+/// `per_mile` is ablation-tunable: the `ablation_pacing` bench sweeps it
+/// downward to find where the super-human-speed rule starts firing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacingPolicy {
+    /// Minimum interval between any two check-ins (paper: 5 minutes).
+    pub min_interval: Duration,
+    /// Additional interval per mile of displacement (paper: 5 minutes).
+    pub per_mile: Duration,
+    /// Same-venue cooldown to respect (paper: 1 hour).
+    pub venue_cooldown: Duration,
+}
+
+impl Default for PacingPolicy {
+    fn default() -> Self {
+        PacingPolicy {
+            min_interval: Duration::minutes(5),
+            per_mile: Duration::minutes(5),
+            venue_cooldown: Duration::hours(1),
+        }
+    }
+}
+
+impl PacingPolicy {
+    /// The wait before a check-in `dist_m` metres from the previous one.
+    pub fn interval_for(&self, dist_m: f64) -> Duration {
+        let miles = meters_to_miles(dist_m);
+        if miles <= 1.0 {
+            self.min_interval
+        } else {
+            Duration::secs((miles * self.per_mile.as_secs() as f64).ceil() as u64)
+        }
+    }
+}
+
+/// One planned check-in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledCheckin {
+    /// Target venue.
+    pub venue: VenueId,
+    /// The coordinates to spoof (the venue's own location).
+    pub location: GeoPoint,
+    /// When to fire.
+    pub at: Timestamp,
+}
+
+/// A time-ordered check-in plan satisfying the pacing policy.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schedule {
+    items: Vec<ScheduledCheckin>,
+}
+
+impl Schedule {
+    /// Plans a tour: visits venues in order, spacing check-ins by the
+    /// pacing law and pushing a revisit past the venue cooldown.
+    ///
+    /// Consecutive duplicate venues are merged (you cannot "move" to the
+    /// venue you are already at).
+    pub fn build(
+        tour: &[(VenueId, GeoPoint)],
+        start: Timestamp,
+        policy: &PacingPolicy,
+    ) -> Schedule {
+        let mut items: Vec<ScheduledCheckin> = Vec::new();
+        let mut t = start;
+        let mut prev_loc: Option<GeoPoint> = None;
+        for &(venue, location) in tour {
+            if let Some(last) = items.last() {
+                if last.venue == venue {
+                    continue;
+                }
+            }
+            if let Some(prev) = prev_loc {
+                t += policy.interval_for(distance(prev, location));
+            }
+            // Respect the same-venue cooldown against our own earlier
+            // visits.
+            if let Some(prior) = items.iter().rev().find(|i| i.venue == venue) {
+                let earliest = prior.at + policy.venue_cooldown + Duration::secs(1);
+                if earliest > t {
+                    t = earliest;
+                }
+            }
+            items.push(ScheduledCheckin {
+                venue,
+                location,
+                at: t,
+            });
+            prev_loc = Some(location);
+        }
+        Schedule { items }
+    }
+
+    /// The planned check-ins, time-ordered.
+    pub fn items(&self) -> &[ScheduledCheckin] {
+        &self.items
+    }
+
+    /// Number of planned check-ins.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total plan duration from first to last check-in.
+    pub fn span(&self) -> Duration {
+        match (self.items.first(), self.items.last()) {
+            (Some(a), Some(b)) => b.at.since(a.at),
+            _ => Duration::secs(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_geo::{destination, miles_to_meters};
+
+    fn abq() -> GeoPoint {
+        GeoPoint::new(35.0844, -106.6504).unwrap()
+    }
+
+    #[test]
+    fn interval_matches_paper_law() {
+        let p = PacingPolicy::default();
+        // Under a mile: flat 5 minutes.
+        assert_eq!(p.interval_for(100.0), Duration::minutes(5));
+        assert_eq!(p.interval_for(miles_to_meters(0.99)), Duration::minutes(5));
+        // Over a mile: 5 minutes per mile.
+        assert_eq!(
+            p.interval_for(miles_to_meters(2.0)),
+            Duration::secs(2 * 300)
+        );
+        let d10 = p.interval_for(miles_to_meters(10.0));
+        assert_eq!(d10, Duration::secs(3000));
+    }
+
+    #[test]
+    fn schedule_spaces_checkins() {
+        let a = abq();
+        let b = destination(a, 90.0, 500.0);
+        let c = destination(a, 90.0, 500.0 + miles_to_meters(3.0));
+        let tour = vec![
+            (VenueId(1), a),
+            (VenueId(2), b),
+            (VenueId(3), c),
+        ];
+        let s = Schedule::build(&tour, Timestamp(0), &PacingPolicy::default());
+        assert_eq!(s.len(), 3);
+        let items = s.items();
+        assert_eq!(items[0].at, Timestamp(0));
+        assert_eq!(items[1].at, Timestamp(300), "short hop: 5 minutes");
+        // 3 miles: ~15 minutes later (ceil of the great-circle distance
+        // can add a second or two).
+        let gap = items[2].at.secs() - items[1].at.secs();
+        assert!((900..=905).contains(&gap), "gap {gap}");
+    }
+
+    #[test]
+    fn revisits_wait_out_the_cooldown() {
+        let a = abq();
+        let b = destination(a, 0.0, 400.0);
+        let tour = vec![(VenueId(1), a), (VenueId(2), b), (VenueId(1), a)];
+        let s = Schedule::build(&tour, Timestamp(0), &PacingPolicy::default());
+        assert_eq!(s.len(), 3);
+        let items = s.items();
+        // The revisit to venue 1 must be > 1 h after its first visit.
+        assert!(items[2].at.secs() > items[0].at.secs() + 3600);
+    }
+
+    #[test]
+    fn consecutive_duplicates_merge() {
+        let a = abq();
+        let tour = vec![(VenueId(1), a), (VenueId(1), a), (VenueId(1), a)];
+        let s = Schedule::build(&tour, Timestamp(0), &PacingPolicy::default());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn empty_tour_empty_schedule() {
+        let s = Schedule::build(&[], Timestamp(0), &PacingPolicy::default());
+        assert!(s.is_empty());
+        assert_eq!(s.span(), Duration::secs(0));
+    }
+
+    #[test]
+    fn span_covers_plan() {
+        let a = abq();
+        let tour: Vec<_> = (0..25)
+            .map(|i| (VenueId(i + 1), destination(a, 90.0, 450.0 * i as f64)))
+            .collect();
+        let s = Schedule::build(&tour, Timestamp(0), &PacingPolicy::default());
+        assert_eq!(s.len(), 25);
+        // 24 hops × 5 min = 2 hours.
+        assert_eq!(s.span(), Duration::minutes(120));
+    }
+
+    #[test]
+    fn schedule_speed_stays_under_cheater_threshold() {
+        // The pacing law implies ≤ 12 mph between consecutive check-ins
+        // — far under the 40 m/s rule.
+        let a = abq();
+        let tour: Vec<_> = (0..10)
+            .map(|i| {
+                (
+                    VenueId(i + 1),
+                    destination(a, (i * 36) as f64 % 360.0, 3_000.0 * i as f64),
+                )
+            })
+            .collect();
+        let s = Schedule::build(&tour, Timestamp(0), &PacingPolicy::default());
+        for w in s.items().windows(2) {
+            let d = distance(w[0].location, w[1].location);
+            let dt = w[1].at.since(w[0].at).as_secs() as f64;
+            assert!(d / dt <= 6.0, "implied speed {} m/s", d / dt);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests: any tour, scheduled under the pacing policy, obeys
+//! every cheater-code bound — the attack's core safety guarantee.
+
+use lbsn_attack::{PacingPolicy, Schedule, VenueSnapper, VirtualPath};
+use lbsn_geo::{destination, distance, GeoPoint};
+use lbsn_server::VenueId;
+use lbsn_sim::{Duration, Timestamp};
+use proptest::prelude::*;
+
+fn abq() -> GeoPoint {
+    GeoPoint::new(35.0844, -106.6504).unwrap()
+}
+
+fn arb_tour() -> impl Strategy<Value = Vec<(VenueId, GeoPoint)>> {
+    prop::collection::vec(
+        (1u64..40, 0.0..360.0f64, 0.0..30_000.0f64),
+        1..40,
+    )
+    .prop_map(|stops| {
+        stops
+            .into_iter()
+            .map(|(id, bearing, dist)| (VenueId(id), destination(abq(), bearing, dist)))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The schedule never implies super-human speed, never violates the
+    /// same-venue cooldown, and never allows a rapid-fire burst.
+    #[test]
+    fn schedules_always_evade_the_cheater_code(tour in arb_tour()) {
+        let policy = PacingPolicy::default();
+        let schedule = Schedule::build(&tour, Timestamp(1_000), &policy);
+        let items = schedule.items();
+        prop_assert!(items.len() <= tour.len());
+        for w in items.windows(2) {
+            let gap = w[1].at.since(w[0].at);
+            // Rapid-fire needs sub-minute intervals; 5-minute floor.
+            prop_assert!(gap >= Duration::minutes(5));
+            // Speed stays far under 40 m/s.
+            let d = distance(w[0].location, w[1].location);
+            let speed = d / gap.as_secs() as f64;
+            prop_assert!(speed <= 6.0, "speed {speed} m/s over {d} m");
+        }
+        // Same-venue revisits obey the one-hour cooldown.
+        for (i, a) in items.iter().enumerate() {
+            for b in &items[i + 1..] {
+                if a.venue == b.venue {
+                    prop_assert!(b.at.since(a.at) > Duration::hours(1));
+                }
+            }
+        }
+        // Time ordering is strict enough to execute.
+        for w in items.windows(2) {
+            prop_assert!(w[0].at < w[1].at);
+        }
+    }
+
+    /// Aggressive policies still produce ordered schedules (they just
+    /// get caught when executed).
+    #[test]
+    fn any_policy_yields_ordered_schedule(
+        tour in arb_tour(),
+        min_s in 0u64..600,
+        per_mile_s in 0u64..600,
+    ) {
+        let policy = PacingPolicy {
+            min_interval: Duration::secs(min_s),
+            per_mile: Duration::secs(per_mile_s),
+            venue_cooldown: Duration::hours(1),
+        };
+        let schedule = Schedule::build(&tour, Timestamp(0), &policy);
+        for w in schedule.items().windows(2) {
+            prop_assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    /// Snapping is idempotent and always returns an indexed venue.
+    #[test]
+    fn snap_returns_member_of_index(
+        venues in prop::collection::vec((0.0..360.0f64, 0.0..20_000.0f64), 1..60),
+        probe_bearing in 0.0..360.0f64,
+        probe_dist in 0.0..25_000.0f64,
+    ) {
+        let list: Vec<(VenueId, GeoPoint)> = venues
+            .iter()
+            .enumerate()
+            .map(|(i, (b, d))| (VenueId(i as u64 + 1), destination(abq(), *b, *d)))
+            .collect();
+        let snapper = VenueSnapper::from_venues(list.iter().copied());
+        let probe = destination(abq(), probe_bearing, probe_dist);
+        let (id, snap_dist) = snapper.snap(probe).unwrap();
+        let loc = list.iter().find(|(v, _)| *v == id).map(|(_, l)| *l).unwrap();
+        // The snap distance matches the actual distance, and no other
+        // venue is meaningfully closer.
+        prop_assert!((distance(probe, loc) - snap_dist).abs() < snap_dist.max(1.0) * 0.02 + 1.0);
+        for (_, other) in &list {
+            prop_assert!(distance(probe, *other) + 2.0 >= snap_dist);
+        }
+    }
+
+    /// Virtual paths have exactly the requested number of waypoints and
+    /// consecutive waypoints are one step apart.
+    #[test]
+    fn circuit_geometry(steps in 1usize..60, straight in 1usize..10, step_deg in 0.001..0.02f64) {
+        let path = VirtualPath::clockwise_circuit(abq(), step_deg, steps, straight);
+        prop_assert_eq!(path.len(), steps + 1);
+        let step_m = step_deg * lbsn_geo::METERS_PER_DEGREE_LAT;
+        for w in path.points.windows(2) {
+            let d = distance(w[0], w[1]);
+            prop_assert!((d - step_m).abs() < step_m * 0.02 + 1.0, "step {d} vs {step_m}");
+        }
+    }
+}

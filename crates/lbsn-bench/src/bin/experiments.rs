@@ -1,0 +1,96 @@
+//! Regenerates every figure and quantitative claim of the paper.
+//!
+//! ```text
+//! cargo run -p lbsn-bench --release --bin experiments -- [--scale 0.02] [--seed N] [--only E5]
+//! ```
+//!
+//! Prints a paper-vs-measured Markdown report to stdout, and writes
+//! `experiments.json` plus per-figure CSV series under
+//! `target/experiments/`.
+
+use std::path::PathBuf;
+
+use lbsn_bench::experiments;
+use lbsn_bench::report::Experiment;
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    only: Option<String>,
+    output: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.02,
+        seed: 0x10CA_7104,
+        only: None,
+        output: PathBuf::from("target/experiments"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--scale" => args.scale = value("--scale").parse().expect("bad --scale"),
+            "--seed" => args.seed = value("--seed").parse().expect("bad --seed"),
+            "--only" => args.only = Some(value("--only").to_uppercase()),
+            "--output" => args.output = PathBuf::from(value("--output")),
+            other => panic!("unknown flag {other} (supported: --scale --seed --only --output)"),
+        }
+    }
+    args
+}
+
+use lbsn_bench::experiments::KNOWN_IDS;
+
+fn main() {
+    let args = parse_args();
+    if let Some(only) = &args.only {
+        assert!(
+            KNOWN_IDS.contains(&only.as_str()),
+            "--only {only} matched nothing; known ids: {KNOWN_IDS:?}"
+        );
+    }
+    std::fs::create_dir_all(&args.output).expect("create output dir");
+    eprintln!(
+        "# building population at scale {} (~{} users, ~{} venues), seed {}",
+        args.scale,
+        (1_890_000.0 * args.scale) as u64,
+        (5_600_000.0 * args.scale) as u64,
+        args.seed
+    );
+    let started = std::time::Instant::now();
+    let all = experiments::run_all(args.scale, args.seed, &args.output);
+    let selected: Vec<&Experiment> = all
+        .iter()
+        .filter(|e| args.only.as_deref().map(|id| e.id == id).unwrap_or(true))
+        .collect();
+    assert!(!selected.is_empty(), "experiment selection came up empty");
+
+    println!("## Location Cheating — reproduction report\n");
+    println!(
+        "Population scale {} (seed {}); wall time {:.1}s.\n",
+        args.scale,
+        args.seed,
+        started.elapsed().as_secs_f64()
+    );
+    let mut ok = 0;
+    for e in &selected {
+        println!("{}", e.to_markdown());
+        if e.all_ok() {
+            ok += 1;
+        }
+    }
+    println!(
+        "\n**{ok}/{} experiments fully reproduced.**",
+        selected.len()
+    );
+
+    let json = serde_json::to_string_pretty(&all).expect("serialize reports");
+    let path = args.output.join("experiments.json");
+    std::fs::write(&path, json).expect("write experiments.json");
+    eprintln!("# wrote {}", path.display());
+}

@@ -1,0 +1,57 @@
+//! One module per experiment family; every figure/claim of the paper's
+//! evaluation has a function here that regenerates it.
+//!
+//! | ID  | Paper artifact | Function |
+//! |-----|----------------|----------|
+//! | E1  | §3.1, Fig 3.1/3.2 — GPS spoofing | [`e01_spoofing`] |
+//! | E2  | §3.2 — crawler throughput | [`e02_crawl_throughput`] |
+//! | E3  | Fig 3.4 — Starbucks map | [`e03_starbucks_map`] |
+//! | E4  | Fig 3.5 — automated virtual tour | [`e04_virtual_tour`] |
+//! | E5  | Fig 4.1 — recent vs total check-ins | [`e05_recent_vs_total`] |
+//! | E6  | Fig 4.2 — badges vs total check-ins | [`e06_badges_vs_total`] |
+//! | E7  | Fig 4.3/4.4 — dispersion | [`e07_dispersion`] |
+//! | E8  | §4.1–4.2 — population statistics | [`e08_population_stats`] |
+//! | E9  | §3.4 — venue intel & mayor attacks | [`e09_venue_intel`] |
+//! | E10 | §5.1 — location verification | [`e10_defenses`] |
+//! | E11 | §5.2 — anti-crawl defenses | [`e11_crawl_defense`] |
+//! | E12 | §2.3 — cheater code rules | [`e12_cheater_code`] |
+
+mod attacks;
+mod crawling;
+mod defense;
+mod figures;
+
+pub use attacks::{e01_spoofing, e04_virtual_tour, e09_venue_intel};
+pub use crawling::{e02_crawl_throughput, e03_starbucks_map, e11_crawl_defense};
+pub use defense::{e10_defenses, e12_cheater_code};
+pub use figures::{
+    e05_recent_vs_total, e06_badges_vs_total, e07_dispersion, e08_population_stats,
+};
+
+use crate::harness::TestBed;
+use crate::report::Experiment;
+
+/// The experiment IDs, in the order [`run_all`] returns them.
+pub const KNOWN_IDS: [&str; 12] = [
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
+];
+
+/// Runs every experiment at the given population scale, sharing one
+/// test bed where possible. Returns reports in [`KNOWN_IDS`] order.
+pub fn run_all(scale: f64, seed: u64, output_dir: &std::path::Path) -> Vec<Experiment> {
+    let bed = TestBed::at_scale(scale, seed);
+    vec![
+        e01_spoofing(),
+        e02_crawl_throughput(seed),
+        e03_starbucks_map(&bed, output_dir),
+        e04_virtual_tour(&bed, output_dir),
+        e05_recent_vs_total(&bed, output_dir),
+        e06_badges_vs_total(&bed, output_dir),
+        e07_dispersion(&bed, output_dir),
+        e08_population_stats(&bed),
+        e09_venue_intel(&bed),
+        e10_defenses(),
+        e11_crawl_defense(seed),
+        e12_cheater_code(seed),
+    ]
+}

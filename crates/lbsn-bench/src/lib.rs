@@ -1,0 +1,22 @@
+//! The benchmark and experiment harness.
+//!
+//! Two entry points:
+//!
+//! * the **experiments binary** (`cargo run -p lbsn-bench --release
+//!   --bin experiments`) regenerates every figure and quantitative claim
+//!   of the paper's evaluation — one [`report::Experiment`] per figure,
+//!   with paper-vs-measured rows (the source of EXPERIMENTS.md);
+//! * the **criterion benches** (`cargo bench`) measure the performance
+//!   of each subsystem a figure depends on, plus the ablations listed in
+//!   DESIGN.md §6.
+//!
+//! Both build on [`harness::TestBed`]: a generated population replayed
+//! through the real server and crawled back into a
+//! [`lbsn_crawler::CrawlDatabase`],
+//! exactly the pipeline the paper ran against production Foursquare.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod report;

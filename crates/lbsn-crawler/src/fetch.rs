@@ -1,0 +1,213 @@
+//! HTTP fetching against the simulated site.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lbsn_server::web::{PageRequest, WebFrontend};
+use lbsn_sim::{LatencyModel, RngStream};
+use parking_lot::Mutex;
+
+/// The result of one page fetch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchResponse {
+    /// HTTP-ish status: 200, 403, 404, or 503 (injected transient
+    /// failure).
+    pub status: u16,
+    /// Page body for 200s.
+    pub body: String,
+    /// The simulated network latency this fetch cost, in milliseconds.
+    /// Recorded so throughput can be reported in the paper's units even
+    /// when wall-clock sleeping is scaled down or disabled.
+    pub simulated_latency_ms: f64,
+}
+
+impl FetchResponse {
+    /// Whether the page loaded.
+    pub fn is_ok(&self) -> bool {
+        self.status == 200
+    }
+}
+
+/// Something that can fetch pages. Implemented by [`SimulatedHttp`];
+/// the defense crate wraps fetchers with rate limiting and blocking.
+pub trait Fetcher: Send + Sync {
+    /// Fetches one path.
+    fn fetch(&self, path: &str) -> FetchResponse;
+}
+
+/// Configuration for the simulated HTTP transport.
+#[derive(Debug, Clone)]
+pub struct SimulatedHttpConfig {
+    /// Per-request network latency distribution.
+    pub latency: LatencyModel,
+    /// Fraction of wall-clock time actually slept per unit of simulated
+    /// latency. `0.0` (default) records latency without sleeping —
+    /// fast, deterministic tests; `1.0` is real time; the E2 throughput
+    /// experiment uses a small scale like `0.02`.
+    pub time_scale: f64,
+    /// Probability a request fails transiently with a 503.
+    pub failure_rate: f64,
+    /// Whether requests carry a logged-in session (needed once the
+    /// §5.2 login gate is up).
+    pub logged_in: bool,
+    /// Seed for the latency/failure RNG.
+    pub seed: u64,
+}
+
+impl Default for SimulatedHttpConfig {
+    fn default() -> Self {
+        SimulatedHttpConfig {
+            latency: LatencyModel::Zero,
+            time_scale: 0.0,
+            failure_rate: 0.0,
+            logged_in: false,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The in-process stand-in for HTTP against the LBSN website.
+///
+/// The paper's crawler did real HTTP GETs against foursquare.com; here
+/// the "network" is a call into [`WebFrontend::handle`] plus a sampled
+/// latency and an optional injected failure. Everything the crawler
+/// measures — pages processed, failures, retries, thread scaling — goes
+/// through the same code paths it would with a socket.
+pub struct SimulatedHttp {
+    frontend: WebFrontend,
+    config: SimulatedHttpConfig,
+    rng: Mutex<RngStream>,
+    requests: AtomicU64,
+}
+
+impl SimulatedHttp {
+    /// Creates a transport over a web frontend.
+    pub fn new(frontend: WebFrontend, config: SimulatedHttpConfig) -> Arc<Self> {
+        let rng = Mutex::new(RngStream::from_seed(config.seed));
+        Arc::new(SimulatedHttp {
+            frontend,
+            config,
+            rng,
+            requests: AtomicU64::new(0),
+        })
+    }
+
+    /// Total requests issued through this transport.
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// The underlying frontend.
+    pub fn frontend(&self) -> &WebFrontend {
+        &self.frontend
+    }
+}
+
+impl Fetcher for SimulatedHttp {
+    fn fetch(&self, path: &str) -> FetchResponse {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let (latency_ms, failed) = {
+            let mut rng = self.rng.lock();
+            (
+                self.config.latency.sample_ms(&mut rng),
+                rng.chance(self.config.failure_rate),
+            )
+        };
+        if self.config.time_scale > 0.0 {
+            let sleep_ms = latency_ms * self.config.time_scale;
+            if sleep_ms > 0.0 {
+                std::thread::sleep(std::time::Duration::from_micros(
+                    (sleep_ms * 1_000.0) as u64,
+                ));
+            }
+        }
+        if failed {
+            return FetchResponse {
+                status: 503,
+                body: String::new(),
+                simulated_latency_ms: latency_ms,
+            };
+        }
+        let req = if self.config.logged_in {
+            PageRequest::get_logged_in(path)
+        } else {
+            PageRequest::get(path)
+        };
+        let resp = self.frontend.handle(&req);
+        FetchResponse {
+            status: resp.status,
+            body: resp.body,
+            simulated_latency_ms: latency_ms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_server::{LbsnServer, ServerConfig, UserSpec};
+    use lbsn_sim::SimClock;
+
+    fn frontend() -> WebFrontend {
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        server.register_user(UserSpec::named("alice"));
+        WebFrontend::new(server)
+    }
+
+    #[test]
+    fn fetch_routes_to_frontend() {
+        let http = SimulatedHttp::new(frontend(), SimulatedHttpConfig::default());
+        let ok = http.fetch("/user/1");
+        assert!(ok.is_ok());
+        assert!(ok.body.contains("alice"));
+        assert_eq!(http.fetch("/user/2").status, 404);
+        assert_eq!(http.request_count(), 2);
+    }
+
+    #[test]
+    fn failure_injection_produces_503s() {
+        let http = SimulatedHttp::new(
+            frontend(),
+            SimulatedHttpConfig {
+                failure_rate: 1.0,
+                ..SimulatedHttpConfig::default()
+            },
+        );
+        assert_eq!(http.fetch("/user/1").status, 503);
+    }
+
+    #[test]
+    fn latency_recorded_without_sleeping() {
+        let http = SimulatedHttp::new(
+            frontend(),
+            SimulatedHttpConfig {
+                latency: LatencyModel::Constant(150.0),
+                time_scale: 0.0,
+                ..SimulatedHttpConfig::default()
+            },
+        );
+        let start = std::time::Instant::now();
+        let resp = http.fetch("/user/1");
+        assert_eq!(resp.simulated_latency_ms, 150.0);
+        assert!(start.elapsed().as_millis() < 50, "should not really sleep");
+    }
+
+    #[test]
+    fn login_flag_passes_gate() {
+        let fe = frontend();
+        fe.set_config(lbsn_server::web::WebConfig {
+            require_login: true,
+            ..lbsn_server::web::WebConfig::default()
+        });
+        let anon = SimulatedHttp::new(fe.clone(), SimulatedHttpConfig::default());
+        assert_eq!(anon.fetch("/user/1").status, 403);
+        let session = SimulatedHttp::new(
+            fe,
+            SimulatedHttpConfig {
+                logged_in: true,
+                ..SimulatedHttpConfig::default()
+            },
+        );
+        assert!(session.fetch("/user/1").is_ok());
+    }
+}

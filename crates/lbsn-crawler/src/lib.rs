@@ -1,0 +1,36 @@
+//! The profile crawler: §3.2's "multi-thread crawler to download and
+//! process a large amount of webpages (over 7 million)".
+//!
+//! Architecture mirrors Fig 3.3 and Appendix A of the thesis:
+//!
+//! * [`UrlSpace`] enumerates profile URLs by incrementing the numeric ID
+//!   — the crawlability weakness;
+//! * a [`Fetcher`] issues the HTTP GETs (the in-process
+//!   [`SimulatedHttp`] stands in for the network, with injectable
+//!   latency and failure rates so thread-scaling measurements are
+//!   meaningful);
+//! * [`scrape`] extracts profile fields from the returned HTML ("we let
+//!   the crawler perform a set of regular expression matches");
+//! * [`CrawlDatabase`] stores the three tables of the paper's MySQL
+//!   schema — `UserInfo`, `VenueInfo`, `RecentCheckin` — including the
+//!   `LIKE "%Starbucks%"` query that draws Fig 3.4;
+//! * [`MultiThreadCrawler`] runs the worker pool with the
+//!   mutex-guarded thread accounting of Appendix A;
+//! * [`recrawl`] diffs successive crawls of the recent-visitor lists to
+//!   recover per-user check-in activity, which has no timestamps on the
+//!   site ("if we crawl the venues daily, then we will be able to
+//!   determine how frequently a user checks into a venue").
+
+#![warn(missing_docs)]
+
+mod crawler;
+pub mod db;
+mod fetch;
+pub mod recrawl;
+pub mod scrape;
+mod urlspace;
+
+pub use crawler::{CrawlStats, CrawlTarget, CrawlerConfig, MultiThreadCrawler};
+pub use db::{CrawlDatabase, RecentCheckinRow, UserInfoRow, VenueInfoRow, VisitorRef};
+pub use fetch::{FetchResponse, Fetcher, SimulatedHttp, SimulatedHttpConfig};
+pub use urlspace::UrlSpace;

@@ -1,0 +1,188 @@
+//! Re-crawl diffing: recovering check-in activity from snapshots.
+//!
+//! Venue pages carry no timestamps: "the venue's recent visitor list
+//! does not have a time stamp to indicate when a user visited this
+//! venue; but if we crawl the venues daily, then we will be able to
+//! determine how frequently a user checks into a venue" (§3.2). This
+//! module compares two crawls of the `VenueInfo` table and infers the
+//! check-ins that must have happened in between.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::db::{CrawlDatabase, VisitorRef};
+
+/// A check-in event inferred from visitor-list churn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InferredCheckin {
+    /// The user who must have checked in between the two crawls.
+    pub user_id: u64,
+    /// Where.
+    pub venue_id: u64,
+}
+
+/// Infers check-ins between two crawls of the same site.
+///
+/// A user generates an inferred check-in at a venue when they appear in
+/// the venue's *new* visitor list but either weren't in the old one or
+/// moved strictly forward in it (lists are newest-first, so moving up
+/// means a fresh visit). Users who merely slid down the list (pushed by
+/// others) are not counted. This under-counts — repeat visits that leave
+/// the ordering unchanged are invisible — matching the paper's caveat
+/// that recent-visitor data is a lower bound on activity.
+pub fn diff_checkins(old: &CrawlDatabase, new: &CrawlDatabase) -> Vec<InferredCheckin> {
+    let mut events = Vec::new();
+    new.for_each_venue(|new_venue| {
+        let old_positions: HashMap<u64, usize> = old
+            .venue(new_venue.id)
+            .map(|old_venue| {
+                old_venue
+                    .recent_visitors
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, v)| match v {
+                        VisitorRef::Id(id) => Some((*id, i)),
+                        VisitorRef::Opaque(_) => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (new_pos, v) in new_venue.recent_visitors.iter().enumerate() {
+            let VisitorRef::Id(user_id) = v else { continue };
+            let fresh = match old_positions.get(user_id) {
+                None => true,
+                Some(old_pos) => new_pos < *old_pos,
+            };
+            if fresh {
+                events.push(InferredCheckin {
+                    user_id: *user_id,
+                    venue_id: new_venue.id,
+                });
+            }
+        }
+    });
+    events.sort_by_key(|e| (e.venue_id, e.user_id));
+    events
+}
+
+/// Per-user inferred check-in counts between two crawls — the
+/// "how frequently a user checks into a venue" measure.
+pub fn per_user_frequency(events: &[InferredCheckin]) -> HashMap<u64, u64> {
+    let mut freq = HashMap::new();
+    for e in events {
+        *freq.entry(e.user_id).or_insert(0) += 1;
+    }
+    freq
+}
+
+/// The distinct venues a user was inferred to visit.
+pub fn venues_visited(events: &[InferredCheckin], user_id: u64) -> HashSet<u64> {
+    events
+        .iter()
+        .filter(|e| e.user_id == user_id)
+        .map(|e| e.venue_id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::VenueInfoRow;
+    use lbsn_geo::GeoPoint;
+
+    fn venue_with_visitors(id: u64, visitors: &[u64]) -> VenueInfoRow {
+        VenueInfoRow {
+            id,
+            name: format!("V{id}"),
+            address: String::new(),
+            category: "Other".to_string(),
+            location: GeoPoint::new(35.0, -106.0).unwrap(),
+            checkins_here: visitors.len() as u64,
+            unique_visitors: visitors.len() as u64,
+            special: None,
+            tips: 0,
+            mayor: None,
+            recent_visitors: visitors.iter().map(|u| VisitorRef::Id(*u)).collect(),
+        }
+    }
+
+    fn db_with(venues: &[(u64, &[u64])]) -> CrawlDatabase {
+        let db = CrawlDatabase::new();
+        for (id, visitors) in venues {
+            db.insert_venue(venue_with_visitors(*id, visitors));
+        }
+        db
+    }
+
+    #[test]
+    fn new_visitor_is_an_event() {
+        let old = db_with(&[(1, &[10, 11])]);
+        let new = db_with(&[(1, &[12, 10, 11])]);
+        let events = diff_checkins(&old, &new);
+        assert_eq!(
+            events,
+            vec![InferredCheckin {
+                user_id: 12,
+                venue_id: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn moving_up_is_an_event_sliding_down_is_not() {
+        // Old list: [10, 11, 12]. New: [11, 10, 12] — 11 revisited and
+        // jumped to the front; 10 slid down; 12 stayed.
+        let old = db_with(&[(1, &[10, 11, 12])]);
+        let new = db_with(&[(1, &[11, 10, 12])]);
+        let events = diff_checkins(&old, &new);
+        assert_eq!(
+            events,
+            vec![InferredCheckin {
+                user_id: 11,
+                venue_id: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn brand_new_venue_counts_all_visitors() {
+        let old = db_with(&[]);
+        let new = db_with(&[(7, &[1, 2])]);
+        let events = diff_checkins(&old, &new);
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn unchanged_lists_produce_no_events() {
+        let old = db_with(&[(1, &[10, 11]), (2, &[12])]);
+        let new = db_with(&[(1, &[10, 11]), (2, &[12])]);
+        assert!(diff_checkins(&old, &new).is_empty());
+    }
+
+    #[test]
+    fn frequency_and_venue_aggregation() {
+        let old = db_with(&[(1, &[]), (2, &[]), (3, &[])]);
+        let new = db_with(&[(1, &[5]), (2, &[5, 6]), (3, &[5])]);
+        let events = diff_checkins(&old, &new);
+        let freq = per_user_frequency(&events);
+        assert_eq!(freq.get(&5), Some(&3));
+        assert_eq!(freq.get(&6), Some(&1));
+        let venues = venues_visited(&events, 5);
+        assert_eq!(venues.len(), 3);
+    }
+
+    #[test]
+    fn opaque_tokens_are_invisible_to_diffing() {
+        // The §5.2 hashing defense: per-crawl churn can't be attributed.
+        let db_old = CrawlDatabase::new();
+        let mut row = venue_with_visitors(1, &[]);
+        row.recent_visitors = vec![VisitorRef::Opaque("ha".into())];
+        db_old.insert_venue(row.clone());
+        let db_new = CrawlDatabase::new();
+        row.recent_visitors = vec![
+            VisitorRef::Opaque("hb".into()),
+            VisitorRef::Opaque("ha".into()),
+        ];
+        db_new.insert_venue(row);
+        assert!(diff_checkins(&db_old, &db_new).is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! HTML scraping: turning profile pages back into structured rows.
+//!
+//! The thesis crawler "perform\[ed\] a set of regular expression matches"
+//! on page source. Every pattern it needed was of the shape *text
+//! between a known prefix and a known suffix*, so instead of pulling in
+//! a regex engine we implement exactly that primitive ([`between`],
+//! [`between_all`]) plus the two page parsers built on it.
+
+use std::fmt;
+
+use lbsn_geo::GeoPoint;
+
+use crate::db::{UserInfoRow, VenueInfoRow, VisitorRef};
+
+/// Scraping failures: the page didn't contain an expected field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrapeError {
+    /// Which field was missing or malformed.
+    pub field: &'static str,
+}
+
+impl fmt::Display for ScrapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page missing or malformed field: {}", self.field)
+    }
+}
+
+impl std::error::Error for ScrapeError {}
+
+/// The text between the first occurrence of `prefix` and the next
+/// occurrence of `suffix` after it.
+///
+/// ```
+/// use lbsn_crawler::scrape::between;
+/// let html = r#"<span class="stat points">42</span>"#;
+/// assert_eq!(between(html, r#"points">"#, "<"), Some("42"));
+/// assert_eq!(between(html, "missing", "<"), None);
+/// ```
+pub fn between<'a>(haystack: &'a str, prefix: &str, suffix: &str) -> Option<&'a str> {
+    let start = haystack.find(prefix)? + prefix.len();
+    let rest = &haystack[start..];
+    let end = rest.find(suffix)?;
+    Some(&rest[..end])
+}
+
+/// Every non-overlapping `prefix…suffix` capture, in document order.
+pub fn between_all<'a>(haystack: &'a str, prefix: &str, suffix: &str) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut rest = haystack;
+    while let Some(start) = rest.find(prefix) {
+        let after = &rest[start + prefix.len()..];
+        match after.find(suffix) {
+            Some(end) => {
+                out.push(&after[..end]);
+                rest = &after[end + suffix.len()..];
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+fn field<'a>(
+    html: &'a str,
+    prefix: &str,
+    suffix: &str,
+    name: &'static str,
+) -> Result<&'a str, ScrapeError> {
+    between(html, prefix, suffix).ok_or(ScrapeError { field: name })
+}
+
+fn num_field(html: &str, prefix: &str, name: &'static str) -> Result<u64, ScrapeError> {
+    field(html, prefix, "<", name)?
+        .parse()
+        .map_err(|_| ScrapeError { field: name })
+}
+
+/// Parses a `/user/<id>` page into a [`UserInfoRow`].
+///
+/// # Errors
+///
+/// [`ScrapeError`] naming the first missing field.
+pub fn parse_user_page(html: &str) -> Result<UserInfoRow, ScrapeError> {
+    let id = field(html, "class=\"user-profile\" data-id=\"", "\"", "user id")?
+        .parse()
+        .map_err(|_| ScrapeError { field: "user id" })?;
+    let display = field(html, "<h1 class=\"username\">", "</h1>", "username")?;
+    // Generated names ("user123") mean the account has no vanity
+    // username — the 73.9 % case the paper measured.
+    let username = if display == format!("user{id}") {
+        None
+    } else {
+        Some(display.to_string())
+    };
+    let home = field(html, "class=\"home\">", "<", "home")?;
+    let home = if home == "unknown" {
+        None
+    } else {
+        Some(home.to_string())
+    };
+    Ok(UserInfoRow {
+        id,
+        username,
+        home,
+        total_checkins: num_field(html, "total-checkins\">", "total-checkins")?,
+        total_badges: num_field(html, "badges\">", "badges")?,
+        friends: num_field(html, "friends\">", "friends")?,
+        points: num_field(html, "points\">", "points")?,
+        recent_checkins: 0,
+        total_mayors: 0,
+    })
+}
+
+/// Parses a `/venue/<id>` page into a [`VenueInfoRow`].
+///
+/// # Errors
+///
+/// [`ScrapeError`] naming the first missing field.
+pub fn parse_venue_page(html: &str) -> Result<VenueInfoRow, ScrapeError> {
+    let id = field(html, "class=\"venue\" data-id=\"", "\"", "venue id")?
+        .parse()
+        .map_err(|_| ScrapeError { field: "venue id" })?;
+    let name = field(html, "class=\"venue-name\">", "</h1>", "venue name")?.to_string();
+    let address = field(html, "class=\"address\">", "<", "address")?.to_string();
+    let category = field(html, "class=\"category\">", "<", "category")?.to_string();
+    let lat: f64 = field(html, "data-lat=\"", "\"", "latitude")?
+        .parse()
+        .map_err(|_| ScrapeError { field: "latitude" })?;
+    let lon: f64 = field(html, "data-lon=\"", "\"", "longitude")?
+        .parse()
+        .map_err(|_| ScrapeError { field: "longitude" })?;
+    let location = GeoPoint::new(lat, lon).map_err(|_| ScrapeError {
+        field: "coordinates",
+    })?;
+    let special = between(html, "class=\"special\" data-kind=\"", "</div>").map(|captured| {
+        // captured looks like `mayor">Free coffee…`.
+        let mut parts = captured.splitn(2, "\">");
+        let kind = parts.next().unwrap_or_default().to_string();
+        let description = parts.next().unwrap_or_default().to_string();
+        (kind, description)
+    });
+    let mayor = between(html, "class=\"mayor\" href=\"/user/", "\"")
+        .and_then(|s| s.parse::<u64>().ok());
+    // Visitor links when public; opaque tokens when the §5.2 hashing
+    // defense is on.
+    let mut recent_visitors: Vec<VisitorRef> =
+        between_all(html, "class=\"visitor\" href=\"/user/", "\"")
+            .into_iter()
+            .filter_map(|s| s.parse::<u64>().ok().map(VisitorRef::Id))
+            .collect();
+    if recent_visitors.is_empty() {
+        recent_visitors = between_all(html, "<span class=\"visitor\">", "</span>")
+            .into_iter()
+            .map(|t| VisitorRef::Opaque(t.to_string()))
+            .collect();
+    }
+    Ok(VenueInfoRow {
+        id,
+        name,
+        address,
+        category,
+        location,
+        checkins_here: num_field(html, "checkins-here\">", "checkins-here")?,
+        unique_visitors: num_field(html, "unique-visitors\">", "unique-visitors")?,
+        special,
+        tips: num_field(html, "class=\"stat tips\">", "tips")?,
+        mayor,
+        recent_visitors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_server::web::{PageRequest, WebFrontend};
+    use lbsn_server::{
+        CheckinRequest, CheckinSource, LbsnServer, ServerConfig, Special, SpecialKind, UserSpec,
+        VenueSpec,
+    };
+    use lbsn_sim::{Duration, SimClock};
+    use std::sync::Arc;
+
+    #[test]
+    fn between_basics() {
+        assert_eq!(between("a[x]b", "[", "]"), Some("x"));
+        assert_eq!(between("no markers", "[", "]"), None);
+        assert_eq!(between("a[x", "[", "]"), None);
+        assert_eq!(between_all("[1][2][3]", "[", "]"), vec!["1", "2", "3"]);
+        assert!(between_all("none", "[", "]").is_empty());
+    }
+
+    /// End-to-end: render a real page with the real frontend, scrape it
+    /// back, and compare against server state.
+    #[test]
+    fn round_trip_user_page() {
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let abq = lbsn_geo::GeoPoint::new(35.0844, -106.6504).unwrap();
+        let uid = server.register_user(UserSpec::named("mai").home(abq));
+        let vid = server.register_venue(VenueSpec::new("Cafe", abq));
+        server
+            .check_in(&CheckinRequest {
+                user: uid,
+                venue: vid,
+                reported_location: abq,
+                source: CheckinSource::MobileApp,
+            })
+            .unwrap();
+        let web = WebFrontend::new(server);
+        let html = web.handle(&PageRequest::get("/user/1")).body;
+        let row = parse_user_page(&html).unwrap();
+        assert_eq!(row.id, 1);
+        assert_eq!(row.username.as_deref(), Some("mai"));
+        assert!(row.home.is_some());
+        assert_eq!(row.total_checkins, 1);
+        assert!(row.total_badges >= 1); // Newbie
+        assert_eq!(row.friends, 0);
+        assert!(row.points > 0);
+    }
+
+    #[test]
+    fn round_trip_anonymous_user() {
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        server.register_user(UserSpec::anonymous());
+        let web = WebFrontend::new(server);
+        let html = web.handle(&PageRequest::get("/user/1")).body;
+        let row = parse_user_page(&html).unwrap();
+        assert_eq!(row.username, None, "generated name means no username");
+        assert_eq!(row.home, None);
+    }
+
+    #[test]
+    fn round_trip_venue_page() {
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let abq = lbsn_geo::GeoPoint::new(35.0844, -106.6504).unwrap();
+        let vid = server.register_venue(
+            VenueSpec::new("Starbucks #5", abq)
+                .address("500 Central Ave")
+                .special(Special {
+                    description: "Free coffee for the mayor!".into(),
+                    kind: SpecialKind::MayorOnly,
+                }),
+        );
+        for _ in 0..3 {
+            let u = server.register_user(UserSpec::anonymous());
+            server
+                .check_in(&CheckinRequest {
+                    user: u,
+                    venue: vid,
+                    reported_location: abq,
+                    source: CheckinSource::MobileApp,
+                })
+                .unwrap();
+            server.clock().advance(Duration::minutes(10));
+        }
+        let web = WebFrontend::new(server);
+        let html = web.handle(&PageRequest::get("/venue/1")).body;
+        let row = parse_venue_page(&html).unwrap();
+        assert_eq!(row.id, 1);
+        assert_eq!(row.name, "Starbucks #5");
+        assert_eq!(row.address, "500 Central Ave");
+        assert!((row.location.lat() - 35.0844).abs() < 1e-4);
+        assert_eq!(row.checkins_here, 3);
+        assert_eq!(row.unique_visitors, 3);
+        assert_eq!(
+            row.special,
+            Some(("mayor".to_string(), "Free coffee for the mayor!".to_string()))
+        );
+        assert_eq!(row.mayor, Some(1));
+        assert_eq!(
+            row.recent_visitors,
+            vec![VisitorRef::Id(3), VisitorRef::Id(2), VisitorRef::Id(1)]
+        );
+        assert_eq!(row.tips, 0);
+    }
+
+    #[test]
+    fn tips_count_scraped() {
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let abq = lbsn_geo::GeoPoint::new(35.0844, -106.6504).unwrap();
+        let vid = server.register_venue(VenueSpec::new("Bar", abq));
+        let uid = server.register_user(UserSpec::anonymous());
+        server.leave_tip(uid, vid, "Terrible service").unwrap();
+        server.leave_tip(uid, vid, "Avoid!").unwrap();
+        let web = WebFrontend::new(server);
+        let html = web.handle(&PageRequest::get("/venue/1")).body;
+        let row = parse_venue_page(&html).unwrap();
+        assert_eq!(row.tips, 2);
+        assert!(html.contains("data-user=\"1\">Avoid!"));
+    }
+
+    #[test]
+    fn venue_without_extras_parses() {
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let abq = lbsn_geo::GeoPoint::new(35.0844, -106.6504).unwrap();
+        server.register_venue(VenueSpec::new("Plain", abq));
+        let web = WebFrontend::new(server);
+        let html = web.handle(&PageRequest::get("/venue/1")).body;
+        let row = parse_venue_page(&html).unwrap();
+        assert_eq!(row.special, None);
+        assert_eq!(row.mayor, None);
+        assert!(row.recent_visitors.is_empty());
+    }
+
+    #[test]
+    fn hashed_visitors_become_opaque_refs() {
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let abq = lbsn_geo::GeoPoint::new(35.0844, -106.6504).unwrap();
+        let vid = server.register_venue(VenueSpec::new("Spot", abq));
+        let u = server.register_user(UserSpec::anonymous());
+        server
+            .check_in(&CheckinRequest {
+                user: u,
+                venue: vid,
+                reported_location: abq,
+                source: CheckinSource::MobileApp,
+            })
+            .unwrap();
+        let web = WebFrontend::new(server);
+        web.set_config(lbsn_server::web::WebConfig {
+            hash_visitor_ids: true,
+            ..lbsn_server::web::WebConfig::default()
+        });
+        let html = web.handle(&PageRequest::get("/venue/1")).body;
+        let row = parse_venue_page(&html).unwrap();
+        assert_eq!(row.recent_visitors.len(), 1);
+        assert!(matches!(row.recent_visitors[0], VisitorRef::Opaque(_)));
+    }
+
+    #[test]
+    fn garbage_pages_error_with_field_name() {
+        let err = parse_user_page("<html>nope</html>").unwrap_err();
+        assert_eq!(err.field, "user id");
+        assert!(err.to_string().contains("user id"));
+        let err = parse_venue_page("<html>nope</html>").unwrap_err();
+        assert_eq!(err.field, "venue id");
+    }
+}

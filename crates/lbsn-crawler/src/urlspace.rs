@@ -1,0 +1,35 @@
+//! Profile-URL enumeration by incrementing numeric IDs.
+
+/// What kind of profile a URL space enumerates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UrlSpace {
+    /// `/user/<id>` pages.
+    Users,
+    /// `/venue/<id>` pages.
+    Venues,
+}
+
+impl UrlSpace {
+    /// The URL for a given numeric ID.
+    ///
+    /// "By changing the ID in the URL, we can crawl almost all of the
+    /// user and venue profiles" (§3.2). This function *is* that
+    /// weakness.
+    pub fn url(self, id: u64) -> String {
+        match self {
+            UrlSpace::Users => format!("/user/{id}"),
+            UrlSpace::Venues => format!("/venue/{id}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn urls_match_site_routes() {
+        assert_eq!(UrlSpace::Users.url(1852791), "/user/1852791");
+        assert_eq!(UrlSpace::Venues.url(1235677), "/venue/1235677");
+    }
+}

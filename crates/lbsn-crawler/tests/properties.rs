@@ -1,0 +1,206 @@
+//! Property tests for the crawler: LIKE matching against an oracle,
+//! scrape round-trips over arbitrary profile content, and re-crawl
+//! diff consistency.
+
+use std::sync::Arc;
+
+use lbsn_crawler::db::like_match;
+use lbsn_crawler::scrape::{parse_user_page, parse_venue_page};
+use lbsn_crawler::{CrawlDatabase, VenueInfoRow, VisitorRef};
+use lbsn_geo::GeoPoint;
+use lbsn_server::web::{PageRequest, WebFrontend};
+use lbsn_server::{
+    CheckinRequest, CheckinSource, LbsnServer, ServerConfig, UserSpec, VenueSpec,
+};
+use lbsn_sim::{Duration, SimClock};
+use proptest::prelude::*;
+
+/// Reference LIKE matcher: dynamic programming, obviously correct.
+fn like_oracle(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.to_lowercase().chars().collect();
+    let t: Vec<char> = text.to_lowercase().chars().collect();
+    let mut dp = vec![vec![false; t.len() + 1]; p.len() + 1];
+    dp[0][0] = true;
+    for i in 1..=p.len() {
+        if p[i - 1] == '%' {
+            dp[i][0] = dp[i - 1][0];
+        }
+    }
+    for i in 1..=p.len() {
+        for j in 1..=t.len() {
+            dp[i][j] = match p[i - 1] {
+                '%' => dp[i - 1][j] || dp[i][j - 1],
+                '_' => dp[i - 1][j - 1],
+                c => dp[i - 1][j - 1] && c == t[j - 1],
+            };
+        }
+    }
+    dp[p.len()][t.len()]
+}
+
+fn arb_pattern() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop_oneof![
+            Just('%'),
+            Just('_'),
+            prop::char::range('a', 'e'),
+        ],
+        0..8,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::char::range('a', 'e'), 0..10)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Names that survive a trip through the HTML frontend unchanged (no
+/// markup metacharacters — the site itself escapes nothing, faithful to
+/// a 2010 scrape target).
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 '#.-]{1,30}".prop_map(|s| s.trim().to_string()).prop_filter(
+        "non-empty after trim",
+        |s| !s.is_empty(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn like_match_agrees_with_oracle(pattern in arb_pattern(), text in arb_text()) {
+        prop_assert_eq!(like_match(&pattern, &text), like_oracle(&pattern, &text));
+    }
+
+    #[test]
+    fn user_page_scrape_roundtrip(
+        name in arb_name(),
+        has_username in any::<bool>(),
+        lat in -80.0..80.0f64,
+        lon in -170.0..170.0f64,
+    ) {
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let home = GeoPoint::new(lat, lon).unwrap();
+        let spec = if has_username {
+            UserSpec::named(name.clone()).home(home)
+        } else {
+            UserSpec::anonymous().home(home)
+        };
+        let id = server.register_user(spec);
+        let web = WebFrontend::new(server);
+        let html = web.handle(&PageRequest::get(format!("/user/{}", id.value()))).body;
+        let row = parse_user_page(&html).unwrap();
+        prop_assert_eq!(row.id, id.value());
+        if has_username {
+            prop_assert_eq!(row.username.as_deref(), Some(name.as_str()));
+        } else {
+            prop_assert_eq!(row.username, None);
+        }
+        prop_assert_eq!(row.total_checkins, 0);
+    }
+
+    #[test]
+    fn venue_page_scrape_roundtrip(
+        name in arb_name(),
+        address in arb_name(),
+        lat in -80.0..80.0f64,
+        lon in -170.0..170.0f64,
+        visitors in 0u64..7,
+    ) {
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let loc = GeoPoint::new(lat, lon).unwrap();
+        let vid = server.register_venue(
+            VenueSpec::new(name.clone(), loc).address(address.clone()),
+        );
+        for _ in 0..visitors {
+            let u = server.register_user(UserSpec::anonymous());
+            server
+                .check_in(&CheckinRequest {
+                    user: u,
+                    venue: vid,
+                    reported_location: loc,
+                    source: CheckinSource::MobileApp,
+                })
+                .unwrap();
+            server.clock().advance(Duration::minutes(10));
+        }
+        let web = WebFrontend::new(server);
+        let html = web.handle(&PageRequest::get(format!("/venue/{}", vid.value()))).body;
+        let row = parse_venue_page(&html).unwrap();
+        prop_assert_eq!(row.id, vid.value());
+        prop_assert_eq!(&row.name, &name);
+        prop_assert_eq!(&row.address, &address);
+        prop_assert!((row.location.lat() - lat).abs() < 1e-5);
+        prop_assert!((row.location.lon() - lon).abs() < 1e-5);
+        prop_assert_eq!(row.checkins_here, visitors);
+        prop_assert_eq!(row.unique_visitors, visitors);
+        prop_assert_eq!(row.recent_visitors.len() as u64, visitors.min(10));
+        // Newest first: the last registered user leads the list.
+        if visitors > 0 {
+            prop_assert_eq!(row.recent_visitors[0].clone(), VisitorRef::Id(visitors));
+        }
+    }
+
+    /// Re-crawl diffing never invents users who aren't on the new lists,
+    /// and always catches first-time appearances.
+    #[test]
+    fn diff_checkins_soundness(
+        old_lists in prop::collection::vec(prop::collection::vec(1u64..12, 0..6), 1..6),
+        new_lists in prop::collection::vec(prop::collection::vec(1u64..12, 0..6), 1..6),
+    ) {
+        let venue_row = |id: u64, visitors: &[u64]| {
+            // Visitor lists can't repeat a user (the site dedupes).
+            let mut seen = std::collections::HashSet::new();
+            let unique: Vec<u64> = visitors.iter().copied().filter(|v| seen.insert(*v)).collect();
+            VenueInfoRow {
+                id,
+                name: format!("V{id}"),
+                address: String::new(),
+                category: "Other".into(),
+                location: GeoPoint::new(35.0, -106.0).unwrap(),
+                checkins_here: unique.len() as u64,
+                unique_visitors: unique.len() as u64,
+                special: None,
+                tips: 0,
+                mayor: None,
+                recent_visitors: unique.into_iter().map(VisitorRef::Id).collect(),
+            }
+        };
+        let old = CrawlDatabase::new();
+        for (i, l) in old_lists.iter().enumerate() {
+            old.insert_venue(venue_row(i as u64 + 1, l));
+        }
+        let new = CrawlDatabase::new();
+        for (i, l) in new_lists.iter().enumerate() {
+            new.insert_venue(venue_row(i as u64 + 1, l));
+        }
+        let events = lbsn_crawler::recrawl::diff_checkins(&old, &new);
+        for e in &events {
+            // Soundness: every inferred check-in is on the new list.
+            let row = new.venue(e.venue_id).unwrap();
+            prop_assert!(row
+                .recent_visitors.contains(&VisitorRef::Id(e.user_id)));
+        }
+        // Completeness for fresh appearances.
+        for (i, l) in new_lists.iter().enumerate() {
+            let vid = i as u64 + 1;
+            let old_members: std::collections::HashSet<u64> = old
+                .venue(vid)
+                .map(|r| r.recent_visitors.iter().filter_map(|v| match v {
+                    VisitorRef::Id(id) => Some(*id),
+                    _ => None,
+                }).collect())
+                .unwrap_or_default();
+            let mut seen = std::collections::HashSet::new();
+            for u in l {
+                if seen.insert(*u) && !old_members.contains(u) {
+                    prop_assert!(
+                        events.iter().any(|e| e.venue_id == vid && e.user_id == *u),
+                        "missed fresh appearance of u{u} at v{vid}"
+                    );
+                }
+            }
+        }
+    }
+}

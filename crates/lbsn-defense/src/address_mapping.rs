@@ -1,0 +1,159 @@
+//! IP address mapping: cheap, coarse geolocation (§5.1).
+
+use lbsn_geo::{distance, Meters};
+
+use crate::verify::{DeploymentCost, IpOrigin, LocationVerifier, VerificationContext, Verdict};
+
+/// An IP-geolocation verifier.
+///
+/// "Using address mapping to geolocate IP addresses has been proposed in
+/// various applications … A challenge of applying IP address mapping to
+/// verify location is that mobile phones may access the Internet from
+/// nonlocal IP addresses."
+///
+/// The verifier accepts a check-in when the IP geolocates within
+/// `tolerance_m` of the claimed venue. Two error sources are modelled:
+///
+/// * database accuracy — city-level at best, folded into `tolerance_m`;
+/// * cellular egress — a [`IpOrigin::CarrierHub`] can sit hundreds of
+///   kilometres from the device, so a strict verifier would reject
+///   honest cellular users. `reject_carrier_hubs` chooses between
+///   rejecting those (high false positives) or treating them as
+///   unverifiable (low coverage) — the exact usability trade-off the
+///   paper flags.
+///
+/// Cost: [`DeploymentCost::Low`] — "the lowest cost and is the easiest
+/// to implement".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AddressMapping {
+    /// Accept radius around the venue (database error allowance).
+    pub tolerance_m: Meters,
+    /// Whether a far-away carrier-hub egress rejects (true) or returns
+    /// [`Verdict::Unverifiable`] (false).
+    pub reject_carrier_hubs: bool,
+}
+
+impl Default for AddressMapping {
+    fn default() -> Self {
+        AddressMapping {
+            // City-level databases locate IPs within ~40 km.
+            tolerance_m: 40_000.0,
+            reject_carrier_hubs: false,
+        }
+    }
+}
+
+impl LocationVerifier for AddressMapping {
+    fn name(&self) -> &'static str {
+        "address-mapping"
+    }
+
+    fn verify(&self, ctx: &VerificationContext) -> Verdict {
+        let estimate = ctx.ip_origin.geolocates_to();
+        let within = distance(estimate, ctx.venue) <= self.tolerance_m;
+        match (within, ctx.ip_origin) {
+            (true, _) => Verdict::Accept,
+            (false, IpOrigin::Local(_)) => Verdict::Reject,
+            (false, IpOrigin::CarrierHub(_)) => {
+                if self.reject_carrier_hubs {
+                    Verdict::Reject
+                } else {
+                    Verdict::Unverifiable
+                }
+            }
+        }
+    }
+
+    fn cost(&self) -> DeploymentCost {
+        DeploymentCost::Low
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_geo::{destination, GeoPoint};
+
+    fn venue() -> GeoPoint {
+        GeoPoint::new(37.8080, -122.4177).unwrap()
+    }
+
+    fn ctx(true_location: GeoPoint, ip: IpOrigin) -> VerificationContext {
+        VerificationContext {
+            claimed: venue(),
+            venue: venue(),
+            true_location,
+            ip_origin: ip,
+            venue_has_router: true,
+        }
+    }
+
+    #[test]
+    fn accepts_local_ip_near_venue() {
+        let am = AddressMapping::default();
+        let nearby = destination(venue(), 45.0, 5_000.0);
+        assert_eq!(
+            am.verify(&ctx(nearby, IpOrigin::Local(nearby))),
+            Verdict::Accept
+        );
+    }
+
+    #[test]
+    fn rejects_remote_spoofer_on_home_broadband() {
+        let am = AddressMapping::default();
+        let albuquerque = GeoPoint::new(35.0844, -106.6504).unwrap();
+        assert_eq!(
+            am.verify(&ctx(albuquerque, IpOrigin::Local(albuquerque))),
+            Verdict::Reject
+        );
+    }
+
+    #[test]
+    fn cannot_verify_cellular_users_by_default() {
+        // An honest visitor on cellular whose carrier egresses in
+        // another city: lenient mode abstains rather than punishing.
+        let am = AddressMapping::default();
+        let chicago_hub = GeoPoint::new(41.8781, -87.6298).unwrap();
+        let verdict = am.verify(&ctx(venue(), IpOrigin::CarrierHub(chicago_hub)));
+        assert_eq!(verdict, Verdict::Unverifiable);
+        // …which also means a *cheater* on cellular sails through this
+        // verifier: the coverage gap the paper warns about.
+    }
+
+    #[test]
+    fn strict_mode_rejects_carrier_hubs() {
+        let am = AddressMapping {
+            reject_carrier_hubs: true,
+            ..AddressMapping::default()
+        };
+        let chicago_hub = GeoPoint::new(41.8781, -87.6298).unwrap();
+        // Honest user, false positive — the usability cost of strict mode.
+        assert_eq!(
+            am.verify(&ctx(venue(), IpOrigin::CarrierHub(chicago_hub))),
+            Verdict::Reject
+        );
+    }
+
+    #[test]
+    fn tolerance_is_the_accept_radius() {
+        let am = AddressMapping {
+            tolerance_m: 10_000.0,
+            reject_carrier_hubs: false,
+        };
+        let inside = destination(venue(), 0.0, 9_000.0);
+        let outside = destination(venue(), 0.0, 11_000.0);
+        assert_eq!(
+            am.verify(&ctx(inside, IpOrigin::Local(inside))),
+            Verdict::Accept
+        );
+        assert_eq!(
+            am.verify(&ctx(outside, IpOrigin::Local(outside))),
+            Verdict::Reject
+        );
+    }
+
+    #[test]
+    fn costs_low() {
+        assert_eq!(AddressMapping::default().cost(), DeploymentCost::Low);
+    }
+}

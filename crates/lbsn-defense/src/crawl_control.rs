@@ -1,0 +1,381 @@
+//! Anti-crawl access control (§5.2).
+//!
+//! "To prevent large-scale profile analysis by attackers, a direct
+//! solution is to take counter measures to stop or limit crawling. …
+//! This can be combined with IP address blocking. … Even if the crawlers
+//! hide behind network address translations (NATs), blocking their IP
+//! addresses causes limited collateral damage" (citing Casado &
+//! Freedman's finding that most NATs hide only a few hosts, while
+//! proxies hide many). "Crawling behind a public proxy cannot achieve
+//! enough performance … tools like Tor … also suffer[] from limited
+//! performance."
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use lbsn_crawler::{FetchResponse, Fetcher};
+use lbsn_sim::RngStream;
+use parking_lot::Mutex;
+
+/// A client network identity (an IPv4 address, abstractly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ClientIp(pub u32);
+
+/// Rate-limit and blocking policy.
+#[derive(Debug, Clone)]
+pub struct CrawlControlConfig {
+    /// Sustained requests per minute allowed per IP.
+    pub requests_per_minute: f64,
+    /// Burst allowance per IP.
+    pub burst: f64,
+    /// After this many rate-limited requests, the IP is blocked
+    /// outright.
+    pub block_after_limit_hits: u64,
+}
+
+impl Default for CrawlControlConfig {
+    fn default() -> Self {
+        CrawlControlConfig {
+            // Generous for humans (a person reads ~a page every few
+            // seconds), fatal for a 100k-pages/hour crawler.
+            requests_per_minute: 60.0,
+            burst: 30.0,
+            block_after_limit_hits: 100,
+        }
+    }
+}
+
+/// The gate's decision for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateDecision {
+    /// Serve the page.
+    Allow,
+    /// 429: over the per-IP rate.
+    RateLimited,
+    /// 403: the IP is blocked.
+    Blocked,
+}
+
+struct ClientState {
+    tokens: f64,
+    last_refill: Instant,
+    limit_hits: u64,
+    blocked: bool,
+}
+
+/// Per-IP rate limiting with automatic escalation to blocking.
+pub struct CrawlGate {
+    config: CrawlControlConfig,
+    clients: Mutex<HashMap<ClientIp, ClientState>>,
+}
+
+impl std::fmt::Debug for CrawlGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrawlGate")
+            .field("config", &self.config)
+            .field("clients", &self.clients.lock().len())
+            .finish()
+    }
+}
+
+impl CrawlGate {
+    /// A gate with the given policy.
+    pub fn new(config: CrawlControlConfig) -> Arc<Self> {
+        Arc::new(CrawlGate {
+            config,
+            clients: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Judges one request from `ip`.
+    pub fn check(&self, ip: ClientIp) -> GateDecision {
+        let mut clients = self.clients.lock();
+        let state = clients.entry(ip).or_insert_with(|| ClientState {
+            tokens: self.config.burst,
+            last_refill: Instant::now(),
+            limit_hits: 0,
+            blocked: false,
+        });
+        if state.blocked {
+            return GateDecision::Blocked;
+        }
+        let now = Instant::now();
+        let elapsed = now.duration_since(state.last_refill).as_secs_f64();
+        state.tokens = (state.tokens + elapsed * self.config.requests_per_minute / 60.0)
+            .min(self.config.burst);
+        state.last_refill = now;
+        if state.tokens >= 1.0 {
+            state.tokens -= 1.0;
+            GateDecision::Allow
+        } else {
+            state.limit_hits += 1;
+            if state.limit_hits >= self.config.block_after_limit_hits {
+                state.blocked = true;
+            }
+            GateDecision::RateLimited
+        }
+    }
+
+    /// IPs currently blocked.
+    pub fn blocked_ips(&self) -> Vec<ClientIp> {
+        let mut ips: Vec<_> = self
+            .clients
+            .lock()
+            .iter()
+            .filter(|(_, s)| s.blocked)
+            .map(|(ip, _)| *ip)
+            .collect();
+        ips.sort();
+        ips
+    }
+
+    /// Manually blocks an IP (operator action).
+    pub fn block(&self, ip: ClientIp) {
+        let mut clients = self.clients.lock();
+        clients
+            .entry(ip)
+            .or_insert_with(|| ClientState {
+                tokens: 0.0,
+                last_refill: Instant::now(),
+                limit_hits: 0,
+                blocked: true,
+            })
+            .blocked = true;
+    }
+}
+
+/// A fetcher routed through the gate, tagged with the crawler's IP.
+pub struct GatedFetcher {
+    inner: Arc<dyn Fetcher>,
+    gate: Arc<CrawlGate>,
+    ip: ClientIp,
+}
+
+impl GatedFetcher {
+    /// Wraps `inner` so every request from `ip` is judged by `gate`.
+    pub fn new(inner: Arc<dyn Fetcher>, gate: Arc<CrawlGate>, ip: ClientIp) -> Arc<Self> {
+        Arc::new(GatedFetcher { inner, gate, ip })
+    }
+}
+
+impl Fetcher for GatedFetcher {
+    fn fetch(&self, path: &str) -> FetchResponse {
+        match self.gate.check(self.ip) {
+            GateDecision::Allow => self.inner.fetch(path),
+            GateDecision::RateLimited => FetchResponse {
+                status: 429,
+                body: String::new(),
+                simulated_latency_ms: 0.0,
+            },
+            GateDecision::Blocked => FetchResponse {
+                status: 403,
+                body: String::new(),
+                simulated_latency_ms: 0.0,
+            },
+        }
+    }
+}
+
+/// The NAT population model after Casado–Freedman: "most NATs only have
+/// a few hosts behind them, and proxies generally have much more."
+#[derive(Debug, Clone)]
+pub struct NatModel {
+    /// `(hosts behind the IP, probability)` buckets; probabilities sum
+    /// to 1.
+    pub buckets: Vec<(u32, f64)>,
+}
+
+impl Default for NatModel {
+    fn default() -> Self {
+        NatModel {
+            buckets: vec![
+                (1, 0.62),  // single host
+                (2, 0.18),  // home NAT
+                (4, 0.12),  // office NAT
+                (8, 0.05),  // small campus
+                (64, 0.03), // proxy / large NAT
+            ],
+        }
+    }
+}
+
+impl NatModel {
+    /// Samples the number of hosts behind one IP.
+    pub fn sample_hosts(&self, rng: &mut RngStream) -> u32 {
+        let mut u = rng.next_f64();
+        for (hosts, p) in &self.buckets {
+            if u < *p {
+                return *hosts;
+            }
+            u -= p;
+        }
+        self.buckets.last().map(|(h, _)| *h).unwrap_or(1)
+    }
+
+    /// Expected hosts per IP.
+    pub fn mean_hosts(&self) -> f64 {
+        self.buckets.iter().map(|(h, p)| *h as f64 * p).sum()
+    }
+}
+
+/// Collateral damage of blocking `blocked` crawler IPs when each IP may
+/// shelter innocent hosts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollateralReport {
+    /// IPs blocked.
+    pub ips_blocked: usize,
+    /// Innocent (non-crawler) hosts caught behind those IPs.
+    pub innocent_hosts_blocked: u64,
+    /// Innocents per blocked IP.
+    pub innocents_per_ip: f64,
+}
+
+/// Estimates the §5.2 collateral-damage claim: block each crawler IP,
+/// count the innocents sharing it (hosts behind the NAT minus the one
+/// crawler).
+pub fn collateral_damage(
+    blocked_ips: usize,
+    model: &NatModel,
+    rng: &mut RngStream,
+) -> CollateralReport {
+    let mut innocents = 0u64;
+    for _ in 0..blocked_ips {
+        innocents += u64::from(model.sample_hosts(rng).saturating_sub(1));
+    }
+    CollateralReport {
+        ips_blocked: blocked_ips,
+        innocent_hosts_blocked: innocents,
+        innocents_per_ip: if blocked_ips == 0 {
+            0.0
+        } else {
+            innocents as f64 / blocked_ips as f64
+        },
+    }
+}
+
+/// Crawl throughput through an anonymising proxy network, in pages per
+/// hour, given the direct per-page latency and the proxy's latency
+/// multiplier ("Tor … suffers from limited performance for the purpose
+/// of crawling").
+pub fn proxied_pages_per_hour(
+    direct_latency_ms: f64,
+    proxy_latency_multiplier: f64,
+    threads: usize,
+) -> f64 {
+    let per_page_ms = direct_latency_ms * proxy_latency_multiplier.max(1.0);
+    if per_page_ms <= 0.0 {
+        return f64::INFINITY;
+    }
+    threads.max(1) as f64 * 3_600_000.0 / per_page_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct AlwaysOk;
+    impl Fetcher for AlwaysOk {
+        fn fetch(&self, _path: &str) -> FetchResponse {
+            FetchResponse {
+                status: 200,
+                body: "<html/>".into(),
+                simulated_latency_ms: 0.0,
+            }
+        }
+    }
+
+    #[test]
+    fn gate_allows_burst_then_limits() {
+        let gate = CrawlGate::new(CrawlControlConfig {
+            requests_per_minute: 0.0001, // effectively no refill in-test
+            burst: 5.0,
+            block_after_limit_hits: 1_000,
+        });
+        let ip = ClientIp(1);
+        let allowed = (0..20)
+            .filter(|_| gate.check(ip) == GateDecision::Allow)
+            .count();
+        assert_eq!(allowed, 5);
+        assert_eq!(gate.check(ip), GateDecision::RateLimited);
+    }
+
+    #[test]
+    fn persistent_offenders_get_blocked() {
+        let gate = CrawlGate::new(CrawlControlConfig {
+            requests_per_minute: 0.0001,
+            burst: 2.0,
+            block_after_limit_hits: 10,
+        });
+        let ip = ClientIp(7);
+        for _ in 0..12 {
+            let _ = gate.check(ip);
+        }
+        assert_eq!(gate.check(ip), GateDecision::Blocked);
+        assert_eq!(gate.blocked_ips(), vec![ip]);
+        // Other clients unaffected.
+        assert_eq!(gate.check(ClientIp(8)), GateDecision::Allow);
+    }
+
+    #[test]
+    fn manual_block_is_immediate() {
+        let gate = CrawlGate::new(CrawlControlConfig::default());
+        gate.block(ClientIp(3));
+        assert_eq!(gate.check(ClientIp(3)), GateDecision::Blocked);
+    }
+
+    #[test]
+    fn gated_fetcher_maps_decisions_to_statuses() {
+        let gate = CrawlGate::new(CrawlControlConfig {
+            requests_per_minute: 0.0001,
+            burst: 1.0,
+            block_after_limit_hits: 2,
+        });
+        let fetcher = GatedFetcher::new(Arc::new(AlwaysOk), gate, ClientIp(1));
+        assert_eq!(fetcher.fetch("/user/1").status, 200);
+        assert_eq!(fetcher.fetch("/user/2").status, 429);
+        assert_eq!(fetcher.fetch("/user/3").status, 429);
+        assert_eq!(fetcher.fetch("/user/4").status, 403, "escalated to block");
+    }
+
+    #[test]
+    fn nat_model_probabilities_sum_to_one() {
+        let m = NatModel::default();
+        let total: f64 = m.buckets.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(m.mean_hosts() > 1.0 && m.mean_hosts() < 10.0);
+    }
+
+    #[test]
+    fn collateral_damage_is_limited() {
+        // The §5.2 claim: most blocked IPs hurt few innocents.
+        let mut rng = RngStream::from_seed(42);
+        let report = collateral_damage(1_000, &NatModel::default(), &mut rng);
+        assert_eq!(report.ips_blocked, 1_000);
+        // Mean hosts ≈ 3.3 → ≈ 2.3 innocents per blocked IP.
+        assert!(
+            report.innocents_per_ip < 4.0,
+            "innocents/IP {}",
+            report.innocents_per_ip
+        );
+    }
+
+    #[test]
+    fn zero_blocks_zero_damage() {
+        let mut rng = RngStream::from_seed(1);
+        let r = collateral_damage(0, &NatModel::default(), &mut rng);
+        assert_eq!(r.innocent_hosts_blocked, 0);
+        assert_eq!(r.innocents_per_ip, 0.0);
+    }
+
+    #[test]
+    fn tor_crawling_is_too_slow() {
+        // Direct: 150 ms/page, 15 threads → 360k pages/hour.
+        let direct = proxied_pages_per_hour(150.0, 1.0, 15);
+        assert!((direct - 360_000.0).abs() < 1.0);
+        // Through Tor at ~20× latency: 18k/hour — a full user crawl
+        // would take over 4 days instead of ~19 hours on one machine.
+        let tor = proxied_pages_per_hour(150.0, 20.0, 15);
+        assert!(tor < direct / 15.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Distance bounding: RF round-trip physics (§5.1).
+
+use lbsn_geo::{distance, Meters};
+
+use crate::verify::{DeploymentCost, LocationVerifier, VerificationContext, Verdict};
+
+/// A distance-bounding verifier deployed at the venue.
+///
+/// "Distance bounding protocols … exploit the limitation on transmission
+/// range or speed of a communication signal for location verification,
+/// which does not rely on GPS inputs." A challenge-response over RF
+/// lower-bounds the prover's distance: the response cannot arrive faster
+/// than light allows, so a device outside `max_range_m` *cannot* pass,
+/// no matter what it claims. Conversely a device inside the range always
+/// passes — distance bounding proves proximity, not identity of intent.
+///
+/// Cost: [`DeploymentCost::High`] — "it's expensive to deploy location
+/// verification based on distance bounding" (dedicated verifier hardware
+/// at every registered venue).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistanceBounding {
+    /// Maximum distance at which the challenge-response succeeds.
+    pub max_range_m: Meters,
+}
+
+impl Default for DistanceBounding {
+    fn default() -> Self {
+        // A generous in-and-around-the-venue bound.
+        DistanceBounding { max_range_m: 250.0 }
+    }
+}
+
+impl LocationVerifier for DistanceBounding {
+    fn name(&self) -> &'static str {
+        "distance-bounding"
+    }
+
+    fn verify(&self, ctx: &VerificationContext) -> Verdict {
+        // Physics consults the device's true position only: the claimed
+        // coordinates are irrelevant to a time-of-flight measurement.
+        if distance(ctx.true_location, ctx.venue) <= self.max_range_m {
+            Verdict::Accept
+        } else {
+            Verdict::Reject
+        }
+    }
+
+    fn cost(&self) -> DeploymentCost {
+        DeploymentCost::High
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::IpOrigin;
+    use lbsn_geo::{destination, GeoPoint};
+
+    fn venue() -> GeoPoint {
+        GeoPoint::new(37.8080, -122.4177).unwrap()
+    }
+
+    fn ctx(true_location: GeoPoint) -> VerificationContext {
+        VerificationContext {
+            claimed: venue(),
+            venue: venue(),
+            true_location,
+            ip_origin: IpOrigin::Local(true_location),
+            venue_has_router: true,
+        }
+    }
+
+    #[test]
+    fn rejects_remote_spoofer_regardless_of_claim() {
+        let db = DistanceBounding::default();
+        let albuquerque = GeoPoint::new(35.0844, -106.6504).unwrap();
+        // The spoofer claims the venue's exact coordinates — irrelevant.
+        assert_eq!(db.verify(&ctx(albuquerque)), Verdict::Reject);
+    }
+
+    #[test]
+    fn accepts_devices_within_range() {
+        let db = DistanceBounding::default();
+        assert_eq!(db.verify(&ctx(venue())), Verdict::Accept);
+        let across_street = destination(venue(), 90.0, 100.0);
+        assert_eq!(db.verify(&ctx(across_street)), Verdict::Accept);
+    }
+
+    #[test]
+    fn boundary_is_the_configured_range() {
+        let db = DistanceBounding { max_range_m: 250.0 };
+        let just_inside = destination(venue(), 0.0, 249.0);
+        let just_outside = destination(venue(), 0.0, 260.0);
+        assert_eq!(db.verify(&ctx(just_inside)), Verdict::Accept);
+        assert_eq!(db.verify(&ctx(just_outside)), Verdict::Reject);
+    }
+
+    #[test]
+    fn costs_high() {
+        assert_eq!(DistanceBounding::default().cost(), DeploymentCost::High);
+        assert_eq!(DistanceBounding::default().name(), "distance-bounding");
+    }
+}

@@ -1,0 +1,238 @@
+//! Verified check-ins: the §6.2.2 future work, built.
+//!
+//! §5.1 sketches the deployment: "the Wi-Fi router takes the
+//! responsibility to measure if a check-in message was sent from a
+//! device in a legal area … If so, the Wi-Fi router sends the
+//! verification information to the corresponding LBS server." This
+//! module wires a [`VerifierStack`] in front of a live [`LbsnServer`]:
+//! check-ins only reach the reward pipeline with a verifier
+//! co-signature (or when no deployed verifier can judge them — the
+//! availability-first fallback a consumer service needs).
+//!
+//! The verifiers consume *physical* evidence (RF round trips, radio
+//! range, IP paths), which in the simulation means the device's true
+//! location — something a GPS spoof cannot forge. This is exactly the
+//! paper's point: the root cause is that the plain server has no such
+//! evidence.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use lbsn_geo::GeoPoint;
+use lbsn_server::{CheckinError, CheckinOutcome, CheckinRequest, LbsnServer, VenueId};
+use parking_lot::RwLock;
+
+use crate::stack::VerifierStack;
+use crate::verify::{IpOrigin, VerificationContext, Verdict};
+
+/// The result of a verified check-in attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VerifiedOutcome {
+    /// Verification passed (or no verifier applied); the server
+    /// processed the check-in as usual — its own cheater code still
+    /// ran.
+    Processed(CheckinOutcome),
+    /// A location verifier rejected the check-in before it reached the
+    /// reward pipeline. Nothing was recorded.
+    RejectedByVerifier,
+}
+
+impl VerifiedOutcome {
+    /// Whether the check-in earned rewards.
+    pub fn rewarded(&self) -> bool {
+        matches!(self, VerifiedOutcome::Processed(o) if o.rewarded())
+    }
+}
+
+/// A server deployment with location verification in the check-in path.
+pub struct VerifiedCheckinService {
+    server: Arc<LbsnServer>,
+    stack: VerifierStack,
+    /// Venues that registered a verification router ("the Wi-Fi router
+    /// must be registered to the LBS server").
+    routers: RwLock<HashSet<VenueId>>,
+}
+
+impl std::fmt::Debug for VerifiedCheckinService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifiedCheckinService")
+            .field("stack", &self.stack)
+            .field("routers", &self.routers.read().len())
+            .finish()
+    }
+}
+
+impl VerifiedCheckinService {
+    /// Fronts `server` with `stack`.
+    pub fn new(server: Arc<LbsnServer>, stack: VerifierStack) -> Self {
+        VerifiedCheckinService {
+            server,
+            stack,
+            routers: RwLock::new(HashSet::new()),
+        }
+    }
+
+    /// Registers a venue's verification router.
+    pub fn register_router(&self, venue: VenueId) {
+        self.routers.write().insert(venue);
+    }
+
+    /// Whether a venue has a registered router.
+    pub fn has_router(&self, venue: VenueId) -> bool {
+        self.routers.read().contains(&venue)
+    }
+
+    /// The fronted server.
+    pub fn server(&self) -> &Arc<LbsnServer> {
+        &self.server
+    }
+
+    /// Processes a check-in with physical evidence attached.
+    ///
+    /// `physical_location` is where the submitting device's radio
+    /// actually is (the quantity RF measurements see); `ip_origin` is
+    /// its network egress. Verification failure short-circuits: the
+    /// check-in never reaches the reward pipeline.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckinError`] for unknown IDs (mirrors
+    /// [`LbsnServer::check_in`]).
+    pub fn check_in(
+        &self,
+        req: &CheckinRequest,
+        physical_location: GeoPoint,
+        ip_origin: IpOrigin,
+    ) -> Result<VerifiedOutcome, CheckinError> {
+        let venue_location = self
+            .server
+            .with_venue(req.venue, |v| v.location)
+            .ok_or(CheckinError::UnknownVenue(req.venue))?;
+        let ctx = VerificationContext {
+            claimed: req.reported_location,
+            venue: venue_location,
+            true_location: physical_location,
+            ip_origin,
+            venue_has_router: self.has_router(req.venue),
+        };
+        if self.stack.verify(&ctx) == Verdict::Reject {
+            return Ok(VerifiedOutcome::RejectedByVerifier);
+        }
+        self.server.check_in(req).map(VerifiedOutcome::Processed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AddressMapping, WifiVerifier};
+    use lbsn_server::{CheckinSource, ServerConfig, UserSpec, VenueSpec};
+    use lbsn_sim::SimClock;
+
+    fn wharf() -> GeoPoint {
+        GeoPoint::new(37.8080, -122.4177).unwrap()
+    }
+
+    fn abq() -> GeoPoint {
+        GeoPoint::new(35.0844, -106.6504).unwrap()
+    }
+
+    fn deploy() -> (VerifiedCheckinService, lbsn_server::UserId, VenueId) {
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let venue = server.register_venue(VenueSpec::new("Wharf", wharf()));
+        let user = server.register_user(UserSpec::anonymous());
+        let stack = VerifierStack::new()
+            .push(Box::new(AddressMapping::default()))
+            .push(Box::new(WifiVerifier::narrowed(30.0)));
+        let service = VerifiedCheckinService::new(server, stack);
+        service.register_router(venue);
+        (service, user, venue)
+    }
+
+    fn req(user: lbsn_server::UserId, venue: VenueId) -> CheckinRequest {
+        CheckinRequest {
+            user,
+            venue,
+            reported_location: wharf(), // always claims the venue
+            source: CheckinSource::MobileApp,
+        }
+    }
+
+    #[test]
+    fn honest_visitor_passes_and_earns() {
+        let (service, user, venue) = deploy();
+        let out = service
+            .check_in(&req(user, venue), wharf(), IpOrigin::Local(wharf()))
+            .unwrap();
+        assert!(out.rewarded());
+        assert_eq!(
+            service.server().user(user).unwrap().valid_checkins,
+            1
+        );
+    }
+
+    #[test]
+    fn gps_spoofer_is_stopped_cold() {
+        // The §3.1 attack that beats the plain server: perfect fake
+        // coordinates. The RF evidence betrays the true position.
+        let (service, user, venue) = deploy();
+        let out = service
+            .check_in(&req(user, venue), abq(), IpOrigin::Local(abq()))
+            .unwrap();
+        assert_eq!(out, VerifiedOutcome::RejectedByVerifier);
+        // Nothing recorded server-side: the co-signature never arrived.
+        assert_eq!(service.server().user(user).unwrap().total_checkins, 0);
+    }
+
+    #[test]
+    fn spoofer_on_cellular_is_still_stopped_by_wifi() {
+        let (service, user, venue) = deploy();
+        let hub = GeoPoint::new(41.8781, -87.6298).unwrap();
+        let out = service
+            .check_in(&req(user, venue), abq(), IpOrigin::CarrierHub(hub))
+            .unwrap();
+        assert_eq!(out, VerifiedOutcome::RejectedByVerifier);
+    }
+
+    #[test]
+    fn unequipped_venue_falls_back_to_plain_pipeline() {
+        let (service, user, _) = deploy();
+        // A second venue with no router: spoofing works again — partial
+        // deployment only protects participating venues.
+        let other = service
+            .server()
+            .register_venue(VenueSpec::new("No Router", wharf()));
+        let out = service
+            .check_in(&req(user, other), abq(), IpOrigin::CarrierHub(abq()))
+            .unwrap();
+        assert!(out.rewarded(), "{out:?}");
+    }
+
+    #[test]
+    fn verifier_pass_does_not_bypass_cheater_code() {
+        // A physically present user who violates the cooldown is still
+        // flagged by the server's own rules.
+        let (service, user, venue) = deploy();
+        assert!(service
+            .check_in(&req(user, venue), wharf(), IpOrigin::Local(wharf()))
+            .unwrap()
+            .rewarded());
+        let out = service
+            .check_in(&req(user, venue), wharf(), IpOrigin::Local(wharf()))
+            .unwrap();
+        match out {
+            VerifiedOutcome::Processed(o) => {
+                assert!(!o.rewarded(), "cooldown must still apply");
+            }
+            VerifiedOutcome::RejectedByVerifier => panic!("verifier should pass"),
+        }
+    }
+
+    #[test]
+    fn unknown_venue_errors() {
+        let (service, user, _) = deploy();
+        assert!(service
+            .check_in(&req(user, VenueId(99)), wharf(), IpOrigin::Local(wharf()))
+            .is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Profile-hiding trade-offs: what the crawler can still learn (§5.2,
+//! §6.2.1).
+//!
+//! "After we crawled webpages for all venues, we built a personal
+//! location history for each user" — the privacy leak behind Fig 4.3.
+//! Hashing visitor IDs (or removing the list) breaks that join; these
+//! helpers quantify by how much.
+
+use lbsn_crawler::{CrawlDatabase, VisitorRef};
+use lbsn_geo::GeoPoint;
+
+/// How joinable a crawl's visitor data is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkabilityReport {
+    /// Visitor-list entries carrying a real user ID.
+    pub id_refs: usize,
+    /// Entries hidden behind opaque tokens.
+    pub opaque_refs: usize,
+    /// `RecentCheckin` relations the crawler could build (= the raw
+    /// material of per-user location histories).
+    pub joinable_relations: usize,
+    /// Venues crawled.
+    pub venues: usize,
+}
+
+impl LinkabilityReport {
+    /// Fraction of visitor references that identify a user.
+    pub fn linkable_fraction(&self) -> f64 {
+        let total = self.id_refs + self.opaque_refs;
+        if total == 0 {
+            0.0
+        } else {
+            self.id_refs as f64 / total as f64
+        }
+    }
+}
+
+/// Measures a crawl's linkability.
+pub fn linkability(db: &CrawlDatabase) -> LinkabilityReport {
+    let mut id_refs = 0;
+    let mut opaque_refs = 0;
+    let mut venues = 0;
+    db.for_each_venue(|v| {
+        venues += 1;
+        for r in &v.recent_visitors {
+            match r {
+                VisitorRef::Id(_) => id_refs += 1,
+                VisitorRef::Opaque(_) => opaque_refs += 1,
+            }
+        }
+    });
+    LinkabilityReport {
+        id_refs,
+        opaque_refs,
+        joinable_relations: db.recent_checkin_count(),
+        venues,
+    }
+}
+
+/// The §6.2.1 leak, reconstructed: every venue location where `user_id`
+/// appears in a recent-visitor list — a per-user location history built
+/// purely from public pages. Under ID hashing this returns nothing.
+pub fn location_history(db: &CrawlDatabase, user_id: u64) -> Vec<GeoPoint> {
+    let mut points = Vec::new();
+    db.for_each_venue(|v| {
+        if v.recent_visitors
+            .iter()
+            .any(|r| matches!(r, VisitorRef::Id(id) if *id == user_id))
+        {
+            points.push(v.location);
+        }
+    });
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_crawler::VenueInfoRow;
+
+    fn venue(id: u64, visitors: Vec<VisitorRef>) -> VenueInfoRow {
+        VenueInfoRow {
+            id,
+            name: format!("V{id}"),
+            address: String::new(),
+            category: "Other".into(),
+            location: GeoPoint::new(30.0 + id as f64, -100.0).unwrap(),
+            checkins_here: 1,
+            unique_visitors: 1,
+            special: None,
+            tips: 0,
+            mayor: None,
+            recent_visitors: visitors,
+        }
+    }
+
+    #[test]
+    fn open_site_is_fully_linkable() {
+        let db = CrawlDatabase::new();
+        db.insert_venue(venue(1, vec![VisitorRef::Id(5), VisitorRef::Id(6)]));
+        db.insert_venue(venue(2, vec![VisitorRef::Id(5)]));
+        let r = linkability(&db);
+        assert_eq!(r.id_refs, 3);
+        assert_eq!(r.opaque_refs, 0);
+        assert_eq!(r.joinable_relations, 3);
+        assert_eq!(r.linkable_fraction(), 1.0);
+        let history = location_history(&db, 5);
+        assert_eq!(history.len(), 2, "user 5's movements reconstructed");
+    }
+
+    #[test]
+    fn hashed_site_breaks_the_join() {
+        let db = CrawlDatabase::new();
+        db.insert_venue(venue(1, vec![VisitorRef::Opaque("ha".into())]));
+        db.insert_venue(venue(2, vec![VisitorRef::Opaque("hb".into())]));
+        let r = linkability(&db);
+        assert_eq!(r.id_refs, 0);
+        assert_eq!(r.opaque_refs, 2);
+        assert_eq!(r.joinable_relations, 0);
+        assert_eq!(r.linkable_fraction(), 0.0);
+        assert!(location_history(&db, 5).is_empty());
+    }
+
+    #[test]
+    fn empty_db_reports_zeroes() {
+        let db = CrawlDatabase::new();
+        let r = linkability(&db);
+        assert_eq!(r.venues, 0);
+        assert_eq!(r.linkable_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Composing verifiers and scoring them against scenario matrices.
+
+use crate::verify::{AttackScenario, LocationVerifier, VerificationContext, Verdict};
+
+/// A stack of verifiers applied to every check-in.
+///
+/// Policy: any [`Verdict::Reject`] rejects; otherwise accept (verifiers
+/// that abstain don't block honest users at unequipped venues — the
+/// availability-first posture a consumer service would ship).
+pub struct VerifierStack {
+    verifiers: Vec<Box<dyn LocationVerifier>>,
+}
+
+impl std::fmt::Debug for VerifierStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifierStack")
+            .field(
+                "verifiers",
+                &self.verifiers.iter().map(|v| v.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+/// How one scenario fared against one verifier or stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioOutcome {
+    /// Cheat correctly rejected.
+    CaughtCheat,
+    /// Cheat accepted — a miss.
+    MissedCheat,
+    /// Honest check-in accepted.
+    HonestPassed,
+    /// Honest check-in rejected — a false positive.
+    FalsePositive,
+}
+
+/// One row of the §5.1 comparison: a mechanism's detection and
+/// false-positive performance over a scenario set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvaluationRow {
+    /// Mechanism (or stack) name.
+    pub name: String,
+    /// Cheats rejected / cheats total.
+    pub detection_rate: f64,
+    /// Honest rejections / honest total.
+    pub false_positive_rate: f64,
+    /// Scenarios the mechanism abstained on.
+    pub unverifiable: usize,
+}
+
+impl VerifierStack {
+    /// An empty stack (accepts everything — today's Foursquare).
+    pub fn new() -> Self {
+        VerifierStack {
+            verifiers: Vec::new(),
+        }
+    }
+
+    /// Adds a verifier.
+    pub fn push(mut self, v: Box<dyn LocationVerifier>) -> Self {
+        self.verifiers.push(v);
+        self
+    }
+
+    /// Number of verifiers in the stack.
+    pub fn len(&self) -> usize {
+        self.verifiers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.verifiers.is_empty()
+    }
+
+    /// The stack's combined verdict.
+    pub fn verify(&self, ctx: &VerificationContext) -> Verdict {
+        let mut any_accept = false;
+        for v in &self.verifiers {
+            match v.verify(ctx) {
+                Verdict::Reject => return Verdict::Reject,
+                Verdict::Accept => any_accept = true,
+                Verdict::Unverifiable => {}
+            }
+        }
+        if any_accept || self.verifiers.is_empty() {
+            Verdict::Accept
+        } else {
+            Verdict::Unverifiable
+        }
+    }
+
+    /// Scores the stack against a scenario matrix.
+    pub fn evaluate(&self, name: &str, scenarios: &[AttackScenario]) -> EvaluationRow {
+        evaluate_fn(name, scenarios, |ctx| self.verify(ctx))
+    }
+}
+
+impl Default for VerifierStack {
+    fn default() -> Self {
+        VerifierStack::new()
+    }
+}
+
+/// Scores a single verifier against a scenario matrix.
+pub fn evaluate_verifier(
+    verifier: &dyn LocationVerifier,
+    scenarios: &[AttackScenario],
+) -> EvaluationRow {
+    evaluate_fn(verifier.name(), scenarios, |ctx| verifier.verify(ctx))
+}
+
+fn evaluate_fn(
+    name: &str,
+    scenarios: &[AttackScenario],
+    mut judge: impl FnMut(&VerificationContext) -> Verdict,
+) -> EvaluationRow {
+    let mut caught = 0usize;
+    let mut cheats = 0usize;
+    let mut false_pos = 0usize;
+    let mut honest = 0usize;
+    let mut unverifiable = 0usize;
+    for s in scenarios {
+        let verdict = judge(&s.ctx);
+        if verdict == Verdict::Unverifiable {
+            unverifiable += 1;
+        }
+        match classify(s, verdict) {
+            ScenarioOutcome::CaughtCheat => {
+                cheats += 1;
+                caught += 1;
+            }
+            ScenarioOutcome::MissedCheat => cheats += 1,
+            ScenarioOutcome::HonestPassed => honest += 1,
+            ScenarioOutcome::FalsePositive => {
+                honest += 1;
+                false_pos += 1;
+            }
+        }
+    }
+    EvaluationRow {
+        name: name.to_string(),
+        detection_rate: ratio(caught, cheats),
+        false_positive_rate: ratio(false_pos, honest),
+        unverifiable,
+    }
+}
+
+/// Classifies a verdict against a scenario's ground truth. Abstentions
+/// count as acceptance (the service must not punish what it cannot
+/// judge).
+pub fn classify(scenario: &AttackScenario, verdict: Verdict) -> ScenarioOutcome {
+    let rejected = verdict == Verdict::Reject;
+    match (scenario.is_cheat, rejected) {
+        (true, true) => ScenarioOutcome::CaughtCheat,
+        (true, false) => ScenarioOutcome::MissedCheat,
+        (false, false) => ScenarioOutcome::HonestPassed,
+        (false, true) => ScenarioOutcome::FalsePositive,
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::IpOrigin;
+    use crate::{AddressMapping, DistanceBounding, WifiVerifier};
+    use lbsn_geo::{destination, GeoPoint};
+
+    fn venue() -> GeoPoint {
+        GeoPoint::new(37.8080, -122.4177).unwrap()
+    }
+
+    fn scenarios() -> Vec<AttackScenario> {
+        let abq = GeoPoint::new(35.0844, -106.6504).unwrap();
+        let hub = GeoPoint::new(41.8781, -87.6298).unwrap();
+        vec![
+            AttackScenario::honest("walk-in wifi", venue(), IpOrigin::Local(venue())),
+            AttackScenario::honest("walk-in cellular", venue(), IpOrigin::CarrierHub(hub)),
+            AttackScenario::remote_spoof("cross-country", abq, venue(), IpOrigin::Local(abq)),
+            AttackScenario::remote_spoof(
+                "cross-country cellular",
+                abq,
+                venue(),
+                IpOrigin::CarrierHub(hub),
+            ),
+            // The 50 m neighbour cheat.
+            AttackScenario::remote_spoof(
+                "next door",
+                destination(venue(), 90.0, 50.0),
+                venue(),
+                IpOrigin::Local(venue()),
+            ),
+        ]
+    }
+
+    #[test]
+    fn empty_stack_accepts_everything() {
+        let stack = VerifierStack::new();
+        assert!(stack.is_empty());
+        let row = stack.evaluate("none", &scenarios());
+        assert_eq!(row.detection_rate, 0.0);
+        assert_eq!(row.false_positive_rate, 0.0);
+    }
+
+    #[test]
+    fn distance_bounding_catches_remote_misses_neighbour() {
+        let row = evaluate_verifier(&DistanceBounding::default(), &scenarios());
+        // Catches both cross-country spoofs, misses the 50 m neighbour.
+        assert!((row.detection_rate - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(row.false_positive_rate, 0.0);
+    }
+
+    #[test]
+    fn address_mapping_is_cheap_but_leaky() {
+        let row = evaluate_verifier(&AddressMapping::default(), &scenarios());
+        // Catches the broadband cross-country spoof only: the cellular
+        // spoof hides behind the carrier hub and the neighbour is local.
+        assert!((row.detection_rate - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(row.false_positive_rate, 0.0);
+        assert_eq!(row.unverifiable, 2);
+    }
+
+    #[test]
+    fn narrowed_wifi_catches_everything_here() {
+        let row = evaluate_verifier(&WifiVerifier::narrowed(30.0), &scenarios());
+        assert_eq!(row.detection_rate, 1.0);
+        assert_eq!(row.false_positive_rate, 0.0);
+    }
+
+    #[test]
+    fn stack_rejects_if_any_rejects() {
+        let stack = VerifierStack::new()
+            .push(Box::new(AddressMapping::default()))
+            .push(Box::new(WifiVerifier::narrowed(30.0)));
+        assert_eq!(stack.len(), 2);
+        let row = stack.evaluate("am+wifi", &scenarios());
+        assert_eq!(row.detection_rate, 1.0);
+        assert_eq!(row.false_positive_rate, 0.0);
+    }
+
+    #[test]
+    fn strict_address_mapping_hurts_honest_cellular_users() {
+        let strict = AddressMapping {
+            reject_carrier_hubs: true,
+            ..AddressMapping::default()
+        };
+        let row = evaluate_verifier(&strict, &scenarios());
+        assert!(row.false_positive_rate > 0.0, "honest cellular walk-in rejected");
+        assert!((row.detection_rate - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classify_matrix() {
+        let s = scenarios();
+        assert_eq!(
+            classify(&s[0], Verdict::Accept),
+            ScenarioOutcome::HonestPassed
+        );
+        assert_eq!(
+            classify(&s[0], Verdict::Reject),
+            ScenarioOutcome::FalsePositive
+        );
+        assert_eq!(classify(&s[2], Verdict::Reject), ScenarioOutcome::CaughtCheat);
+        assert_eq!(
+            classify(&s[2], Verdict::Unverifiable),
+            ScenarioOutcome::MissedCheat
+        );
+    }
+}

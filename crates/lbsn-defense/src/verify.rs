@@ -1,0 +1,166 @@
+//! The verification framework: contexts, verdicts, scenarios.
+
+use lbsn_geo::GeoPoint;
+
+/// Where the device's network traffic egresses to the Internet.
+///
+/// §5.1's address-mapping caveat: "mobile phones may access the Internet
+/// from nonlocal IP addresses" — a phone in Lincoln may egress through a
+/// carrier hub in Chicago.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IpOrigin {
+    /// Local broadband/Wi-Fi: the IP geolocates near the device.
+    Local(GeoPoint),
+    /// Cellular data: the IP geolocates at the carrier's regional hub,
+    /// which can be hundreds of kilometres from the device.
+    CarrierHub(GeoPoint),
+}
+
+impl IpOrigin {
+    /// The point an IP-geolocation database would return.
+    pub fn geolocates_to(&self) -> GeoPoint {
+        match self {
+            IpOrigin::Local(p) | IpOrigin::CarrierHub(p) => *p,
+        }
+    }
+}
+
+/// Everything a location verifier may consult for one check-in.
+///
+/// `true_location` is ground truth the *simulation* knows; each verifier
+/// models a mechanism that observes it imperfectly (RF range, IP
+/// databases, router radio range). No verifier reads it directly except
+/// through its own physics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VerificationContext {
+    /// The GPS fix the client reported (possibly forged).
+    pub claimed: GeoPoint,
+    /// The claimed venue's location.
+    pub venue: GeoPoint,
+    /// Where the device physically is.
+    pub true_location: GeoPoint,
+    /// The device's network egress.
+    pub ip_origin: IpOrigin,
+    /// Whether the claimed venue operates a registered verification
+    /// router (Wi-Fi verification needs venue opt-in).
+    pub venue_has_router: bool,
+}
+
+/// A verifier's decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The check-in is consistent with the device being at the venue.
+    Accept,
+    /// The check-in is inconsistent: flag as location cheating.
+    Reject,
+    /// The mechanism cannot judge this check-in (e.g. the venue has no
+    /// verification router). Falls through to other verifiers.
+    Unverifiable,
+}
+
+/// The paper's deployment-cost comparison axis: "Distance Bounding …
+/// has the highest cost. Address Mapping … has the lowest cost …
+/// Venue Side Location Verification … incurs no extra hardware
+/// purchase."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DeploymentCost {
+    /// Software-only, provider side.
+    Low,
+    /// Venue-side firmware/configuration changes on existing gear.
+    Medium,
+    /// New dedicated hardware per venue.
+    High,
+}
+
+/// A location-verification mechanism.
+pub trait LocationVerifier: Send + Sync {
+    /// Mechanism name for reports.
+    fn name(&self) -> &'static str;
+    /// Judge one check-in.
+    fn verify(&self, ctx: &VerificationContext) -> Verdict;
+    /// Deployment cost class.
+    fn cost(&self) -> DeploymentCost;
+}
+
+/// A labelled evaluation scenario: a check-in plus ground truth about
+/// whether it is honest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackScenario {
+    /// Scenario label ("remote spoof", "honest visit", …).
+    pub name: &'static str,
+    /// The check-in context.
+    pub ctx: VerificationContext,
+    /// Whether this scenario is cheating (true) or honest (false).
+    pub is_cheat: bool,
+}
+
+impl AttackScenario {
+    /// An honest visitor physically at the venue.
+    pub fn honest(name: &'static str, venue: GeoPoint, ip: IpOrigin) -> Self {
+        AttackScenario {
+            name,
+            ctx: VerificationContext {
+                claimed: venue,
+                venue,
+                true_location: venue,
+                ip_origin: ip,
+                venue_has_router: true,
+            },
+            is_cheat: false,
+        }
+    }
+
+    /// A GPS spoofer physically at `actual`, claiming `venue`.
+    pub fn remote_spoof(
+        name: &'static str,
+        actual: GeoPoint,
+        venue: GeoPoint,
+        ip: IpOrigin,
+    ) -> Self {
+        AttackScenario {
+            name,
+            ctx: VerificationContext {
+                claimed: venue,
+                venue,
+                true_location: actual,
+                ip_origin: ip,
+                venue_has_router: true,
+            },
+            is_cheat: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn ip_origin_geolocation() {
+        let here = p(40.8, -96.7);
+        assert_eq!(IpOrigin::Local(here).geolocates_to(), here);
+        assert_eq!(IpOrigin::CarrierHub(here).geolocates_to(), here);
+    }
+
+    #[test]
+    fn scenario_constructors_label_truth() {
+        let venue = p(37.8, -122.4);
+        let h = AttackScenario::honest("visit", venue, IpOrigin::Local(venue));
+        assert!(!h.is_cheat);
+        assert_eq!(h.ctx.true_location, venue);
+        let a = AttackScenario::remote_spoof("spoof", p(35.0, -106.0), venue, IpOrigin::Local(p(35.0, -106.0)));
+        assert!(a.is_cheat);
+        assert_eq!(a.ctx.claimed, venue, "spoofer claims the venue's coords");
+        assert_ne!(a.ctx.true_location, venue);
+    }
+
+    #[test]
+    fn cost_ordering() {
+        assert!(DeploymentCost::Low < DeploymentCost::Medium);
+        assert!(DeploymentCost::Medium < DeploymentCost::High);
+    }
+}

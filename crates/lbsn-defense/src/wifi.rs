@@ -1,0 +1,142 @@
+//! Venue-side Wi-Fi verification (§5.1's recommended mechanism).
+
+use lbsn_geo::{distance, Meters};
+
+use crate::verify::{DeploymentCost, LocationVerifier, VerificationContext, Verdict};
+
+/// Venue-side Wi-Fi location verification.
+///
+/// "The Wi-Fi routers that provide the Wi-Fi hotspot services can work
+/// as location verifiers. This technique provides an intrinsic distance
+/// bounding since only devices that are physically within the radio
+/// communication range of a Wi-Fi router can communicate with it."
+///
+/// * Default `radio_range_m` is 100 m ("the radio range of a Wi-Fi
+///   router is generally no more than one hundred meters").
+/// * The neighbour-cheat residual: "a cheater sitting inside a
+///   McDonald's can check-in to the Wendy's next door, which is only 50
+///   meters away. In this case, the Wendy's owner can configure the
+///   Wi-Fi router to limit the communication within the restaurant" —
+///   [`WifiVerifier::narrowed`] models the DD-WRT power-limiting fix.
+/// * Venues must register their router with the provider ("the Wi-Fi
+///   router must be registered to the LBS server and establish trusted
+///   communication … to block the impersonating attacks"); check-ins at
+///   unregistered venues are [`Verdict::Unverifiable`].
+///
+/// Cost: [`DeploymentCost::Medium`] — "no extra hardware purchase or
+/// installation cost … simply update the software on their existing
+/// routers".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WifiVerifier {
+    /// The router's effective radio range.
+    pub radio_range_m: Meters,
+}
+
+impl Default for WifiVerifier {
+    fn default() -> Self {
+        WifiVerifier {
+            radio_range_m: 100.0,
+        }
+    }
+}
+
+impl WifiVerifier {
+    /// A router power-limited (via DD-WRT-style firmware) to roughly the
+    /// premises.
+    pub fn narrowed(range_m: Meters) -> Self {
+        WifiVerifier {
+            radio_range_m: range_m,
+        }
+    }
+}
+
+impl LocationVerifier for WifiVerifier {
+    fn name(&self) -> &'static str {
+        "wifi-venue-side"
+    }
+
+    fn verify(&self, ctx: &VerificationContext) -> Verdict {
+        if !ctx.venue_has_router {
+            return Verdict::Unverifiable;
+        }
+        // The router measures communication delay to the device: only
+        // physical presence within radio range can produce a valid
+        // co-signature. Claimed coordinates play no part.
+        if distance(ctx.true_location, ctx.venue) <= self.radio_range_m {
+            Verdict::Accept
+        } else {
+            Verdict::Reject
+        }
+    }
+
+    fn cost(&self) -> DeploymentCost {
+        DeploymentCost::Medium
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::IpOrigin;
+    use lbsn_geo::{destination, GeoPoint};
+
+    fn wendys() -> GeoPoint {
+        GeoPoint::new(35.0844, -106.6504).unwrap()
+    }
+
+    fn ctx(true_location: GeoPoint, has_router: bool) -> VerificationContext {
+        VerificationContext {
+            claimed: wendys(),
+            venue: wendys(),
+            true_location,
+            ip_origin: IpOrigin::Local(true_location),
+            venue_has_router: has_router,
+        }
+    }
+
+    #[test]
+    fn rejects_cross_country_spoofers() {
+        let wifi = WifiVerifier::default();
+        let remote = GeoPoint::new(40.7128, -74.0060).unwrap();
+        assert_eq!(wifi.verify(&ctx(remote, true)), Verdict::Reject);
+    }
+
+    #[test]
+    fn accepts_patrons_inside() {
+        let wifi = WifiVerifier::default();
+        assert_eq!(wifi.verify(&ctx(wendys(), true)), Verdict::Accept);
+        let at_the_counter = destination(wendys(), 10.0, 15.0);
+        assert_eq!(wifi.verify(&ctx(at_the_counter, true)), Verdict::Accept);
+    }
+
+    #[test]
+    fn neighbour_cheat_passes_default_range() {
+        // The McDonald's-next-door case: 50 m away, inside the 100 m
+        // radio range — the residual weakness the paper acknowledges.
+        let wifi = WifiVerifier::default();
+        let mcdonalds = destination(wendys(), 90.0, 50.0);
+        assert_eq!(wifi.verify(&ctx(mcdonalds, true)), Verdict::Accept);
+    }
+
+    #[test]
+    fn narrowed_range_defeats_neighbour_cheat() {
+        // Wendy's owner power-limits the router to ~30 m (DD-WRT).
+        let wifi = WifiVerifier::narrowed(30.0);
+        let mcdonalds = destination(wendys(), 90.0, 50.0);
+        assert_eq!(wifi.verify(&ctx(mcdonalds, true)), Verdict::Reject);
+        // Genuine patrons still verify.
+        assert_eq!(wifi.verify(&ctx(wendys(), true)), Verdict::Accept);
+    }
+
+    #[test]
+    fn unregistered_venue_cannot_verify() {
+        let wifi = WifiVerifier::default();
+        assert_eq!(wifi.verify(&ctx(wendys(), false)), Verdict::Unverifiable);
+    }
+
+    #[test]
+    fn costs_medium() {
+        assert_eq!(WifiVerifier::default().cost(), DeploymentCost::Medium);
+        assert_eq!(WifiVerifier::default().name(), "wifi-venue-side");
+    }
+}

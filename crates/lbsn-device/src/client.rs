@@ -1,0 +1,151 @@
+//! The LBS client application installed on a phone.
+
+use std::sync::Arc;
+
+use lbsn_geo::Meters;
+use lbsn_server::api::{ApiClient, VenueSummary};
+use lbsn_server::{CheckinError, CheckinOutcome, CheckinRequest, CheckinSource, LbsnServer, UserId, VenueId};
+
+use crate::phone::Phone;
+
+/// The official LBSN client app, as installed on a (possibly hacked)
+/// phone.
+///
+/// The app does exactly what the paper's decompilation found the
+/// Foursquare client doing: "it gets the GPS location data from the
+/// phone's GPS-related APIs" — and forwards whatever it gets. It has no
+/// way to detect that the OS beneath it lies.
+pub struct ClientApp {
+    phone: Arc<Phone>,
+    server: Arc<LbsnServer>,
+    api: ApiClient,
+    user: UserId,
+}
+
+impl std::fmt::Debug for ClientApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientApp")
+            .field("user", &self.user)
+            .field("phone", &self.phone)
+            .finish()
+    }
+}
+
+impl ClientApp {
+    /// Installs the app on a phone, logged in as `user`.
+    pub fn install(phone: Arc<Phone>, server: Arc<LbsnServer>, user: UserId) -> Self {
+        let api = ApiClient::new(Arc::clone(&server));
+        ClientApp {
+            phone,
+            server,
+            api,
+            user,
+        }
+    }
+
+    /// The logged-in user.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// The "suggested list of nearby venues" (§2.2), computed from the
+    /// OS-reported location. After a spoof, this lists venues near the
+    /// *fake* location — which is how the paper's attacker finds the
+    /// target venue to tap.
+    pub fn nearby_venues(&self, radius: Meters, limit: usize) -> Vec<VenueSummary> {
+        self.api.venues_near(self.phone.os_location(), radius, limit)
+    }
+
+    /// Checks in to a venue, reporting the OS location as the GPS fix.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckinError`] for unknown IDs.
+    pub fn check_in(&self, venue: VenueId) -> Result<CheckinOutcome, CheckinError> {
+        self.server.check_in(&CheckinRequest {
+            user: self.user,
+            venue,
+            reported_location: self.phone.os_location(),
+            source: CheckinSource::MobileApp,
+        })
+    }
+
+    /// Convenience: check in to the nearest venue the app can see.
+    /// Returns `None` when no venue is within `radius`.
+    pub fn check_in_nearest(
+        &self,
+        radius: Meters,
+    ) -> Option<Result<CheckinOutcome, CheckinError>> {
+        let nearest = self.nearby_venues(radius, 1).into_iter().next()?;
+        Some(self.check_in(nearest.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_geo::GeoPoint;
+    use lbsn_server::{ServerConfig, UserSpec, VenueSpec};
+    use lbsn_sim::SimClock;
+
+    fn abq() -> GeoPoint {
+        GeoPoint::new(35.0844, -106.6504).unwrap()
+    }
+
+    fn sf_wharf() -> GeoPoint {
+        GeoPoint::new(37.8080, -122.4177).unwrap()
+    }
+
+    fn setup() -> (Arc<LbsnServer>, Arc<Phone>, ClientApp, VenueId, VenueId) {
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let local = server.register_venue(VenueSpec::new("Local Cafe", abq()));
+        let wharf = server.register_venue(VenueSpec::new("Fisherman's Wharf Sign", sf_wharf()));
+        let user = server.register_user(UserSpec::named("tester"));
+        let phone = Arc::new(Phone::at(abq()));
+        let app = ClientApp::install(Arc::clone(&phone), Arc::clone(&server), user);
+        (server, phone, app, local, wharf)
+    }
+
+    #[test]
+    fn honest_checkin_succeeds_locally() {
+        let (_, _, app, local, _) = setup();
+        let nearby = app.nearby_venues(1_000.0, 10);
+        assert_eq!(nearby.len(), 1);
+        assert_eq!(nearby[0].id, local);
+        let out = app.check_in(local).unwrap();
+        assert!(out.rewarded());
+    }
+
+    #[test]
+    fn honest_remote_checkin_is_flagged() {
+        // Without spoofing, claiming the SF venue from Albuquerque fails
+        // GPS verification.
+        let (_, _, app, _, wharf) = setup();
+        let out = app.check_in(wharf).unwrap();
+        assert!(!out.rewarded());
+    }
+
+    #[test]
+    fn spoofed_phone_sees_and_passes_remote_venue() {
+        let (_, phone, app, _, wharf) = setup();
+        phone.hook_location_api(sf_wharf());
+        // The nearby list now shows San Francisco venues.
+        let nearby = app.nearby_venues(1_000.0, 10);
+        assert_eq!(nearby.len(), 1);
+        assert_eq!(nearby[0].id, wharf);
+        // And the check-in verifies: the server only sees the fake fix.
+        let out = app.check_in(wharf).unwrap();
+        assert!(out.rewarded());
+        assert!(out.became_mayor);
+    }
+
+    #[test]
+    fn check_in_nearest_picks_closest_or_none() {
+        let (_, phone, app, local, _) = setup();
+        let out = app.check_in_nearest(1_000.0).unwrap().unwrap();
+        assert_eq!(out.venue, local);
+        // In the middle of nowhere: nothing nearby.
+        phone.hook_location_api(GeoPoint::new(45.0, -100.0).unwrap());
+        assert!(app.check_in_nearest(1_000.0).is_none());
+    }
+}

@@ -1,0 +1,210 @@
+//! Spoofing vector 4: the device emulator — the method the paper used.
+//!
+//! §3.1: "Taking the Android device emulator for example, we can send it
+//! a specific command to set a location to the simulated GPS module …
+//! this one is the easiest and most reliable". Two faithful details:
+//!
+//! * a stock emulator cannot install market apps; the paper "bypassed
+//!   this limitation by using a full system recovery image from a device
+//!   manufacturer's website" — modelled by
+//!   [`Emulator::flash_recovery_image`];
+//! * the GPS is driven from outside by the Dalvik Debug Monitor's
+//!   `geo fix <longitude> <latitude>` command — note the **lon-lat
+//!   order**, a classic stumbling block reproduced by
+//!   [`DebugMonitor::geo_fix`].
+
+use std::fmt;
+use std::sync::Arc;
+
+use lbsn_geo::{GeoError, GeoPoint};
+use lbsn_server::{LbsnServer, UserId};
+
+use crate::client::ClientApp;
+use crate::gps::SimulatedGpsReceiver;
+use crate::phone::Phone;
+
+/// Errors from emulator operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EmulatorError {
+    /// App installation attempted before flashing the recovery image
+    /// (the stock emulator has no app market).
+    MarketLocked,
+    /// A malformed `geo fix` coordinate.
+    BadCoordinates(GeoError),
+}
+
+impl fmt::Display for EmulatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmulatorError::MarketLocked => {
+                write!(f, "app market unavailable: flash a full recovery image first")
+            }
+            EmulatorError::BadCoordinates(e) => write!(f, "bad geo fix coordinates: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EmulatorError {}
+
+/// An Android-style device emulator: a full virtual phone with a
+/// *configurable* GPS module.
+pub struct Emulator {
+    phone: Arc<Phone>,
+    gps: Arc<SimulatedGpsReceiver>,
+    market_unlocked: bool,
+}
+
+impl fmt::Debug for Emulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Emulator")
+            .field("market_unlocked", &self.market_unlocked)
+            .field("phone", &self.phone)
+            .finish()
+    }
+}
+
+impl Emulator {
+    /// Boots a fresh emulator. The simulated GPS starts at a default
+    /// location (0, 0 — "null island", as real emulators do) and the app
+    /// market is locked.
+    pub fn boot() -> Self {
+        let gps = Arc::new(SimulatedGpsReceiver::fixed(
+            GeoPoint::new(0.0, 0.0).expect("origin is valid"),
+        ));
+        let phone = Arc::new(Phone::with_gps(gps.clone() as Arc<_>));
+        Emulator {
+            phone,
+            gps,
+            market_unlocked: false,
+        }
+    }
+
+    /// The paper's unlock step: restore a manufacturer's full system
+    /// image, which brings the app market back.
+    pub fn flash_recovery_image(&mut self) {
+        self.market_unlocked = true;
+    }
+
+    /// Installs the LBSN client app from the market.
+    ///
+    /// # Errors
+    ///
+    /// [`EmulatorError::MarketLocked`] until a recovery image is flashed.
+    pub fn install_lbsn_app(
+        &self,
+        server: Arc<LbsnServer>,
+        user: UserId,
+    ) -> Result<ClientApp, EmulatorError> {
+        if !self.market_unlocked {
+            return Err(EmulatorError::MarketLocked);
+        }
+        Ok(ClientApp::install(self.phone.clone(), server, user))
+    }
+
+    /// Connects a debug monitor to the emulator's control port.
+    pub fn debug_monitor(&self) -> DebugMonitor {
+        DebugMonitor {
+            gps: self.gps.clone(),
+        }
+    }
+
+    /// The virtual phone (for inspecting what apps see).
+    pub fn phone(&self) -> &Arc<Phone> {
+        &self.phone
+    }
+}
+
+/// The Dalvik-Debug-Monitor-style control channel.
+#[derive(Clone)]
+pub struct DebugMonitor {
+    gps: Arc<SimulatedGpsReceiver>,
+}
+
+impl fmt::Debug for DebugMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DebugMonitor").finish()
+    }
+}
+
+impl DebugMonitor {
+    /// `geo fix <longitude> <latitude>` — sets the emulator's GPS.
+    ///
+    /// Longitude first, like the real command; passing them swapped is
+    /// the #1 user error, and out-of-range values are rejected rather
+    /// than silently clamped.
+    ///
+    /// # Errors
+    ///
+    /// [`EmulatorError::BadCoordinates`] when the pair is not a valid
+    /// position.
+    pub fn geo_fix(&self, longitude: f64, latitude: f64) -> Result<(), EmulatorError> {
+        let p = GeoPoint::new(latitude, longitude).map_err(EmulatorError::BadCoordinates)?;
+        self.gps.set_position(p);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_server::{ServerConfig, UserSpec, VenueSpec};
+    use lbsn_sim::SimClock;
+
+    fn golden_gate() -> GeoPoint {
+        GeoPoint::new(37.8199, -122.4783).unwrap()
+    }
+
+    #[test]
+    fn stock_emulator_market_is_locked() {
+        let emu = Emulator::boot();
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let user = server.register_user(UserSpec::anonymous());
+        assert_eq!(
+            emu.install_lbsn_app(server, user).unwrap_err(),
+            EmulatorError::MarketLocked
+        );
+    }
+
+    #[test]
+    fn geo_fix_takes_lon_lat_and_validates() {
+        let emu = Emulator::boot();
+        let dm = emu.debug_monitor();
+        // Fig B.3: set the emulator to the Golden Gate Bridge.
+        dm.geo_fix(-122.4783, 37.8199).unwrap();
+        assert_eq!(emu.phone().os_location(), golden_gate());
+        // Swapped arguments put latitude out of range: rejected.
+        assert!(matches!(
+            dm.geo_fix(37.8199, -122.4783),
+            Err(EmulatorError::BadCoordinates(_))
+        ));
+    }
+
+    #[test]
+    fn full_paper_workflow_checks_in_remotely() {
+        // "hack the emulator; install and run Foursquare application;
+        //  … set the coordinates in the emulator; … check into the
+        //  target venue."
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let wharf = server.register_venue(VenueSpec::new(
+            "Fisherman's Wharf Sign",
+            GeoPoint::new(37.8080, -122.4177).unwrap(),
+        ));
+        let user = server.register_user(UserSpec::named("test"));
+
+        let mut emu = Emulator::boot();
+        emu.flash_recovery_image();
+        let app = emu.install_lbsn_app(Arc::clone(&server), user).unwrap();
+
+        emu.debug_monitor().geo_fix(-122.4177, 37.8080).unwrap();
+        let nearby = app.nearby_venues(1_000.0, 10);
+        assert_eq!(nearby[0].id, wharf);
+        let out = app.check_in(wharf).unwrap();
+        assert!(out.rewarded());
+        assert!(out.points > 0);
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(EmulatorError::MarketLocked.to_string().contains("recovery image"));
+    }
+}

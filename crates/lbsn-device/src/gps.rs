@@ -1,0 +1,221 @@
+//! GPS hardware: the real module and its malicious stand-ins.
+
+use lbsn_geo::{destination, GeoPoint, Meters};
+use lbsn_sim::RngStream;
+use parking_lot::{Mutex, RwLock};
+
+/// Anything that can serve a position fix to the OS location layer.
+///
+/// The honest implementation is [`GpsModule`]; spoofing vector 2
+/// substitutes a [`SimulatedGpsReceiver`].
+pub trait LocationSource: Send + Sync {
+    /// The current position fix.
+    fn current_fix(&self) -> GeoPoint;
+    /// A short label for diagnostics ("gps-module", "bt-gps-sim"…).
+    fn kind(&self) -> &'static str;
+}
+
+/// The phone's genuine GPS module: reports wherever the device
+/// physically is, optionally with realistic fix error.
+///
+/// Physical movement is modelled by [`GpsModule::move_to`] — only the
+/// *owner of the physical device* can change this, which is exactly why
+/// honest check-ins are honest. Consumer GPS of the 2010 era fixed
+/// within ~5–15 m in the open; [`GpsModule::with_noise`] adds a
+/// Rayleigh-distributed error of that order so honest check-ins
+/// exercise the server's GPS-proximity tolerance.
+#[derive(Debug)]
+pub struct GpsModule {
+    position: RwLock<GeoPoint>,
+    noise_sigma_m: Meters,
+    rng: Mutex<RngStream>,
+}
+
+impl GpsModule {
+    /// A noiseless module for a device physically located at `position`.
+    pub fn at(position: GeoPoint) -> Self {
+        GpsModule::with_noise(position, 0.0, 0)
+    }
+
+    /// A module whose fixes scatter around the true position with the
+    /// given per-axis error sigma (metres).
+    pub fn with_noise(position: GeoPoint, noise_sigma_m: Meters, seed: u64) -> Self {
+        GpsModule {
+            position: RwLock::new(position),
+            noise_sigma_m,
+            rng: Mutex::new(RngStream::from_seed(seed)),
+        }
+    }
+
+    /// Physically relocates the device (the user travels).
+    pub fn move_to(&self, position: GeoPoint) {
+        *self.position.write() = position;
+    }
+}
+
+impl LocationSource for GpsModule {
+    fn current_fix(&self) -> GeoPoint {
+        let truth = *self.position.read();
+        if self.noise_sigma_m <= 0.0 {
+            return truth;
+        }
+        let mut rng = self.rng.lock();
+        // Independent normal error per axis = Rayleigh radial error.
+        let dx = rng.normal() * self.noise_sigma_m;
+        let dy = rng.normal() * self.noise_sigma_m;
+        let r = (dx * dx + dy * dy).sqrt();
+        let bearing = dy.atan2(dx).to_degrees();
+        destination(truth, (bearing + 360.0) % 360.0, r)
+    }
+
+    fn kind(&self) -> &'static str {
+        "gps-module"
+    }
+}
+
+/// Spoofing vector 2: a simulated GPS receiver.
+///
+/// "An attacker can write a program on a computer that simulates the
+/// behavior of a Bluetooth GPS receiver and let the phone connect to
+/// this simulated Bluetooth GPS receiver" (§3.1). Commercial tools cited
+/// by the paper: Skylab GPS Simulator, Zyl Soft, GPS Generator Pro.
+///
+/// The simulator either holds a fixed coordinate or plays back a track
+/// one fix per read, looping at the end — mirroring how those tools
+/// replay NMEA logs.
+#[derive(Debug)]
+pub struct SimulatedGpsReceiver {
+    track: RwLock<(Vec<GeoPoint>, usize)>,
+}
+
+impl SimulatedGpsReceiver {
+    /// A simulator pinned to one coordinate.
+    pub fn fixed(position: GeoPoint) -> Self {
+        SimulatedGpsReceiver {
+            track: RwLock::new((vec![position], 0)),
+        }
+    }
+
+    /// A simulator playing back a track, looping.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty track — a GPS receiver always has *some* fix.
+    pub fn playback(track: Vec<GeoPoint>) -> Self {
+        assert!(!track.is_empty(), "playback track must not be empty");
+        SimulatedGpsReceiver {
+            track: RwLock::new((track, 0)),
+        }
+    }
+
+    /// Replaces the programmed coordinate(s).
+    pub fn set_position(&self, position: GeoPoint) {
+        *self.track.write() = (vec![position], 0);
+    }
+}
+
+impl LocationSource for SimulatedGpsReceiver {
+    fn current_fix(&self) -> GeoPoint {
+        let mut t = self.track.write();
+        let fix = t.0[t.1 % t.0.len()];
+        t.1 = (t.1 + 1) % t.0.len();
+        fix
+    }
+
+    fn kind(&self) -> &'static str {
+        "bt-gps-sim"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn gps_module_tracks_physical_position() {
+        let gps = GpsModule::at(p(35.0, -106.0));
+        assert_eq!(gps.current_fix(), p(35.0, -106.0));
+        gps.move_to(p(40.0, -96.0));
+        assert_eq!(gps.current_fix(), p(40.0, -96.0));
+        assert_eq!(gps.kind(), "gps-module");
+    }
+
+    #[test]
+    fn noisy_gps_scatters_but_stays_close() {
+        let truth = p(35.0, -106.0);
+        let gps = GpsModule::with_noise(truth, 8.0, 42);
+        let mut max_err: f64 = 0.0;
+        let mut sum_err = 0.0;
+        const N: usize = 500;
+        for _ in 0..N {
+            let fix = gps.current_fix();
+            let err = lbsn_geo::distance(truth, fix);
+            max_err = max_err.max(err);
+            sum_err += err;
+        }
+        let mean = sum_err / N as f64;
+        // Rayleigh mean = sigma * sqrt(pi/2) ≈ 10 m for sigma 8.
+        assert!((mean - 10.0).abs() < 2.5, "mean error {mean}");
+        // Essentially never beyond ~6 sigma.
+        assert!(max_err < 60.0, "max error {max_err}");
+        // Fixes differ from call to call.
+        assert_ne!(gps.current_fix(), gps.current_fix());
+    }
+
+    #[test]
+    fn honest_noisy_checkin_still_verifies() {
+        // An honest user with a realistic GPS should never trip the
+        // 500 m proximity check.
+        use lbsn_server::{
+            CheckinRequest, CheckinSource, LbsnServer, ServerConfig, UserSpec, VenueSpec,
+        };
+        use lbsn_sim::{Duration, SimClock};
+        let server = LbsnServer::new(SimClock::new(), ServerConfig::default());
+        let loc = p(35.0844, -106.6504);
+        let venue = server.register_venue(VenueSpec::new("Cafe", loc));
+        let user = server.register_user(UserSpec::anonymous());
+        let gps = GpsModule::with_noise(loc, 12.0, 7);
+        for _ in 0..20 {
+            let out = server
+                .check_in(&CheckinRequest {
+                    user,
+                    venue,
+                    reported_location: gps.current_fix(),
+                    source: CheckinSource::MobileApp,
+                })
+                .unwrap();
+            assert!(out.rewarded() || out.flags == vec![lbsn_server::CheatFlag::TooFrequent]);
+            server.clock().advance(Duration::hours(2));
+        }
+    }
+
+    #[test]
+    fn simulator_fixed_position() {
+        let sim = SimulatedGpsReceiver::fixed(p(37.8, -122.4));
+        assert_eq!(sim.current_fix(), p(37.8, -122.4));
+        assert_eq!(sim.current_fix(), p(37.8, -122.4));
+        sim.set_position(p(48.85, 2.35));
+        assert_eq!(sim.current_fix(), p(48.85, 2.35));
+        assert_eq!(sim.kind(), "bt-gps-sim");
+    }
+
+    #[test]
+    fn simulator_playback_loops() {
+        let a = p(1.0, 1.0);
+        let b = p(2.0, 2.0);
+        let sim = SimulatedGpsReceiver::playback(vec![a, b]);
+        assert_eq!(sim.current_fix(), a);
+        assert_eq!(sim.current_fix(), b);
+        assert_eq!(sim.current_fix(), a, "track loops");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_playback_panics() {
+        let _ = SimulatedGpsReceiver::playback(vec![]);
+    }
+}

@@ -1,0 +1,35 @@
+//! The simulated smartphone and the paper's four GPS-spoofing vectors.
+//!
+//! §3.1 describes the location pipeline the attack subverts (Fig 3.1):
+//!
+//! ```text
+//! GPS satellites → GPS module → OS location APIs → LBS client app → server
+//! ```
+//!
+//! and four places to inject a fake coordinate:
+//!
+//! 1. **Via GPS APIs** — modify the open-source OS's location APIs to
+//!    return attacker-chosen fixes ([`Phone::hook_location_api`]);
+//! 2. **Via GPS module** — replace the hardware, e.g. simulate a
+//!    Bluetooth GPS receiver ([`SimulatedGpsReceiver`] +
+//!    [`Phone::replace_gps_hardware`]);
+//! 3. **Via server APIs** — skip the device entirely
+//!    ([`lbsn_server::api::ApiClient`]);
+//! 4. **Via device emulator** — the method the paper used: an Android
+//!    emulator whose simulated GPS is set through the Dalvik Debug
+//!    Monitor's `geo fix` command ([`Emulator`] / [`DebugMonitor`]).
+//!
+//! The server cannot distinguish any of these from an honest client —
+//! that indistinguishability is the paper's root-cause finding.
+
+#![warn(missing_docs)]
+
+mod client;
+mod emulator;
+mod gps;
+mod phone;
+
+pub use client::ClientApp;
+pub use emulator::{DebugMonitor, Emulator, EmulatorError};
+pub use gps::{GpsModule, LocationSource, SimulatedGpsReceiver};
+pub use phone::Phone;

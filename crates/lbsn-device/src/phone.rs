@@ -1,0 +1,140 @@
+//! The smartphone: hardware → OS location API → apps.
+
+use std::sync::Arc;
+
+use lbsn_geo::GeoPoint;
+use parking_lot::RwLock;
+
+use crate::gps::{GpsModule, LocationSource};
+
+/// A smartphone's location pipeline.
+///
+/// Apps never talk to GPS hardware directly; they call the OS location
+/// API ([`Phone::os_location`]). That indirection is the attack surface:
+///
+/// * vector 1 hooks the API itself ([`Phone::hook_location_api`]) — "these
+///   APIs can be modified to get GPS locations from sources other than
+///   the phone's GPS module";
+/// * vector 2 swaps the hardware underneath
+///   ([`Phone::replace_gps_hardware`]).
+///
+/// ```
+/// use lbsn_device::{GpsModule, Phone};
+/// use lbsn_geo::GeoPoint;
+/// use std::sync::Arc;
+///
+/// let albuquerque = GeoPoint::new(35.0844, -106.6504).unwrap();
+/// let golden_gate = GeoPoint::new(37.8199, -122.4783).unwrap();
+///
+/// let phone = Phone::with_gps(Arc::new(GpsModule::at(albuquerque)));
+/// assert_eq!(phone.os_location(), albuquerque);
+///
+/// // Vector 1: hook the OS location API.
+/// phone.hook_location_api(golden_gate);
+/// assert_eq!(phone.os_location(), golden_gate);
+/// phone.clear_location_hook();
+/// assert_eq!(phone.os_location(), albuquerque);
+/// ```
+pub struct Phone {
+    hardware: RwLock<Arc<dyn LocationSource>>,
+    api_hook: RwLock<Option<GeoPoint>>,
+}
+
+impl std::fmt::Debug for Phone {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Phone")
+            .field("hardware", &self.hardware.read().kind())
+            .field("api_hook", &*self.api_hook.read())
+            .finish()
+    }
+}
+
+impl Phone {
+    /// A phone with the given GPS hardware.
+    pub fn with_gps(hardware: Arc<dyn LocationSource>) -> Self {
+        Phone {
+            hardware: RwLock::new(hardware),
+            api_hook: RwLock::new(None),
+        }
+    }
+
+    /// A stock phone physically located at `position`.
+    pub fn at(position: GeoPoint) -> Self {
+        Phone::with_gps(Arc::new(GpsModule::at(position)))
+    }
+
+    /// What the OS location API reports to apps: the hook if installed,
+    /// else the hardware fix.
+    pub fn os_location(&self) -> GeoPoint {
+        if let Some(fake) = *self.api_hook.read() {
+            return fake;
+        }
+        self.hardware.read().current_fix()
+    }
+
+    /// Spoofing vector 1: patch the OS location APIs to return a fixed
+    /// fake coordinate ("for example, from a server that returns fake
+    /// GPS coordinates, or simply from a local file").
+    pub fn hook_location_api(&self, fake: GeoPoint) {
+        *self.api_hook.write() = Some(fake);
+    }
+
+    /// Removes the vector-1 hook.
+    pub fn clear_location_hook(&self) {
+        *self.api_hook.write() = None;
+    }
+
+    /// Spoofing vector 2: replace the GPS hardware (hardware mod or a
+    /// simulated Bluetooth receiver). Transparent to the OS.
+    pub fn replace_gps_hardware(&self, hardware: Arc<dyn LocationSource>) {
+        *self.hardware.write() = hardware;
+    }
+
+    /// The label of the currently installed hardware.
+    pub fn hardware_kind(&self) -> &'static str {
+        self.hardware.read().kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gps::SimulatedGpsReceiver;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn honest_phone_reports_hardware_fix() {
+        let phone = Phone::at(p(35.0, -106.0));
+        assert_eq!(phone.os_location(), p(35.0, -106.0));
+        assert_eq!(phone.hardware_kind(), "gps-module");
+    }
+
+    #[test]
+    fn api_hook_overrides_hardware() {
+        let phone = Phone::at(p(35.0, -106.0));
+        phone.hook_location_api(p(37.8, -122.4));
+        assert_eq!(phone.os_location(), p(37.8, -122.4));
+        phone.clear_location_hook();
+        assert_eq!(phone.os_location(), p(35.0, -106.0));
+    }
+
+    #[test]
+    fn hardware_swap_is_transparent() {
+        let phone = Phone::at(p(35.0, -106.0));
+        phone.replace_gps_hardware(Arc::new(SimulatedGpsReceiver::fixed(p(51.5, -0.12))));
+        assert_eq!(phone.os_location(), p(51.5, -0.12));
+        assert_eq!(phone.hardware_kind(), "bt-gps-sim");
+    }
+
+    #[test]
+    fn hook_wins_over_swapped_hardware() {
+        // Both vectors installed: the API hook sits above the hardware.
+        let phone = Phone::at(p(35.0, -106.0));
+        phone.replace_gps_hardware(Arc::new(SimulatedGpsReceiver::fixed(p(51.5, -0.12))));
+        phone.hook_location_api(p(48.85, 2.35));
+        assert_eq!(phone.os_location(), p(48.85, 2.35));
+    }
+}

@@ -1,0 +1,161 @@
+//! Axis-aligned geographic bounding boxes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GeoError, GeoPoint};
+
+/// An axis-aligned latitude/longitude rectangle.
+///
+/// Used for the Fig 3.4 silhouette checks (the crawled Starbucks map must
+/// span the continental US plus Alaska and Hawaii) and for the rapid-fire
+/// rule's 180 m × 180 m square test.
+///
+/// Boxes do not cross the antimeridian; all the paper's geography is
+/// US-centric so this restriction never bites, and it keeps `contains`
+/// trivially correct.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundingBox {
+    min_lat: f64,
+    max_lat: f64,
+    min_lon: f64,
+    max_lon: f64,
+}
+
+impl BoundingBox {
+    /// Creates a box from inclusive corner coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError`] if any bound is out of range, or if the
+    /// minimum exceeds the maximum on either axis.
+    pub fn new(min_lat: f64, max_lat: f64, min_lon: f64, max_lon: f64) -> Result<Self, GeoError> {
+        // Reuse GeoPoint validation for range/finiteness checks.
+        GeoPoint::new(min_lat, min_lon)?;
+        GeoPoint::new(max_lat, max_lon)?;
+        if min_lat > max_lat {
+            return Err(GeoError::InvalidLatitude(min_lat));
+        }
+        if min_lon > max_lon {
+            return Err(GeoError::InvalidLongitude(min_lon));
+        }
+        Ok(BoundingBox {
+            min_lat,
+            max_lat,
+            min_lon,
+            max_lon,
+        })
+    }
+
+    /// The smallest box containing every point in the iterator, or `None`
+    /// for an empty iterator.
+    pub fn enclosing<I: IntoIterator<Item = GeoPoint>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let mut b = BoundingBox {
+            min_lat: first.lat(),
+            max_lat: first.lat(),
+            min_lon: first.lon(),
+            max_lon: first.lon(),
+        };
+        for p in it {
+            b.min_lat = b.min_lat.min(p.lat());
+            b.max_lat = b.max_lat.max(p.lat());
+            b.min_lon = b.min_lon.min(p.lon());
+            b.max_lon = b.max_lon.max(p.lon());
+        }
+        Some(b)
+    }
+
+    /// Whether `p` lies inside the box (inclusive).
+    pub fn contains(&self, p: GeoPoint) -> bool {
+        (self.min_lat..=self.max_lat).contains(&p.lat())
+            && (self.min_lon..=self.max_lon).contains(&p.lon())
+    }
+
+    /// Minimum (southern) latitude.
+    pub fn min_lat(&self) -> f64 {
+        self.min_lat
+    }
+
+    /// Maximum (northern) latitude.
+    pub fn max_lat(&self) -> f64 {
+        self.max_lat
+    }
+
+    /// Minimum (western) longitude.
+    pub fn min_lon(&self) -> f64 {
+        self.min_lon
+    }
+
+    /// Maximum (eastern) longitude.
+    pub fn max_lon(&self) -> f64 {
+        self.max_lon
+    }
+
+    /// Latitude span in degrees.
+    pub fn lat_span(&self) -> f64 {
+        self.max_lat - self.min_lat
+    }
+
+    /// Longitude span in degrees.
+    pub fn lon_span(&self) -> f64 {
+        self.max_lon - self.min_lon
+    }
+
+    /// The box's centre point.
+    pub fn center(&self) -> GeoPoint {
+        GeoPoint::new(
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lon + self.max_lon) / 2.0,
+        )
+        .expect("center of a valid box is valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn contains_inclusive_edges() {
+        let b = BoundingBox::new(30.0, 40.0, -110.0, -100.0).unwrap();
+        assert!(b.contains(p(30.0, -110.0)));
+        assert!(b.contains(p(40.0, -100.0)));
+        assert!(b.contains(p(35.0, -105.0)));
+        assert!(!b.contains(p(29.999, -105.0)));
+        assert!(!b.contains(p(35.0, -99.999)));
+    }
+
+    #[test]
+    fn rejects_inverted_bounds() {
+        assert!(BoundingBox::new(40.0, 30.0, -110.0, -100.0).is_err());
+        assert!(BoundingBox::new(30.0, 40.0, -100.0, -110.0).is_err());
+    }
+
+    #[test]
+    fn enclosing_of_points() {
+        let b = BoundingBox::enclosing([p(35.0, -106.0), p(37.0, -122.0), p(30.0, -90.0)]).unwrap();
+        assert_eq!(b.min_lat(), 30.0);
+        assert_eq!(b.max_lat(), 37.0);
+        assert_eq!(b.min_lon(), -122.0);
+        assert_eq!(b.max_lon(), -90.0);
+        assert!(b.contains(p(35.0, -106.0)));
+    }
+
+    #[test]
+    fn enclosing_empty_is_none() {
+        assert!(BoundingBox::enclosing(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn spans_and_center() {
+        let b = BoundingBox::new(30.0, 40.0, -110.0, -100.0).unwrap();
+        assert_eq!(b.lat_span(), 10.0);
+        assert_eq!(b.lon_span(), 10.0);
+        assert_eq!(b.center(), p(35.0, -105.0));
+    }
+}

@@ -1,0 +1,155 @@
+//! Greedy geographic clustering: the "distinct cities visited" metric.
+//!
+//! §4.3 of the paper separates cheaters from normal users by eyeballing
+//! check-in maps: the suspected cheater's venues "spread over 30 different
+//! cities throughout the United States, including Alaska, and Europe",
+//! while the normal user's are "concentrated in three cities". This module
+//! turns that visual judgement into a number: cluster a user's check-in
+//! locations with a city-sized radius and count clusters.
+
+use crate::{distance, GeoPoint, Meters};
+
+/// Default cluster radius: points within 50 km of a cluster centre belong
+/// to the same "city". Metro areas are ~30–80 km across, so this merges a
+/// metro's suburbs while keeping neighbouring cities distinct.
+pub const DEFAULT_CITY_RADIUS_M: Meters = 50_000.0;
+
+/// One geographic cluster produced by [`cluster_points`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cluster {
+    /// Running centroid of member points.
+    pub center: GeoPoint,
+    /// Number of member points.
+    pub size: usize,
+}
+
+/// Greedily clusters points: each point joins the first cluster whose
+/// centre is within `radius`, else founds a new cluster. Centres are
+/// running centroids. `O(points × clusters)` — fine for per-user check-in
+/// histories, which are at most a few thousand points.
+///
+/// The result depends on input order only marginally (centroids drift);
+/// for the city-counting use case the cluster *count* is stable.
+pub fn cluster_points(points: &[GeoPoint], radius: Meters) -> Vec<Cluster> {
+    let mut clusters: Vec<(f64, f64, usize)> = Vec::new(); // (lat sum, lon sum, n)
+    for &p in points {
+        let mut joined = false;
+        for c in clusters.iter_mut() {
+            let center = GeoPoint::new(c.0 / c.2 as f64, c.1 / c.2 as f64)
+                .expect("centroid of valid points is valid");
+            if distance(center, p) <= radius {
+                c.0 += p.lat();
+                c.1 += p.lon();
+                c.2 += 1;
+                joined = true;
+                break;
+            }
+        }
+        if !joined {
+            clusters.push((p.lat(), p.lon(), 1));
+        }
+    }
+    clusters
+        .into_iter()
+        .map(|(lat, lon, n)| Cluster {
+            center: GeoPoint::new(lat / n as f64, lon / n as f64)
+                .expect("centroid of valid points is valid"),
+            size: n,
+        })
+        .collect()
+}
+
+/// Number of distinct "cities" among the points at the default radius.
+///
+/// ```
+/// use lbsn_geo::{cluster::distinct_cities, GeoPoint};
+/// let home = GeoPoint::new(40.8136, -96.7026).unwrap();   // Lincoln
+/// let nearby = GeoPoint::new(40.8000, -96.6800).unwrap(); // still Lincoln
+/// let far = GeoPoint::new(37.7749, -122.4194).unwrap();   // San Francisco
+/// assert_eq!(distinct_cities(&[home, nearby, far]), 2);
+/// ```
+pub fn distinct_cities(points: &[GeoPoint]) -> usize {
+    cluster_points(points, DEFAULT_CITY_RADIUS_M).len()
+}
+
+/// Fraction of points in the largest cluster — a concentration score.
+/// Normal users score high (most check-ins near home); the Fig 4.3
+/// cheater scores low. Returns 1.0 for empty input (vacuously
+/// concentrated).
+pub fn concentration(points: &[GeoPoint], radius: Meters) -> f64 {
+    if points.is_empty() {
+        return 1.0;
+    }
+    let clusters = cluster_points(points, radius);
+    let largest = clusters.iter().map(|c| c.size).max().unwrap_or(0);
+    largest as f64 / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::destination;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(cluster_points(&[], 50_000.0).len(), 0);
+        assert_eq!(distinct_cities(&[]), 0);
+        assert_eq!(concentration(&[], 50_000.0), 1.0);
+    }
+
+    #[test]
+    fn single_city_is_one_cluster() {
+        let home = p(35.0844, -106.6504);
+        let pts: Vec<_> = (0..20)
+            .map(|i| destination(home, (i * 31 % 360) as f64, 500.0 * (i % 7) as f64))
+            .collect();
+        let clusters = cluster_points(&pts, DEFAULT_CITY_RADIUS_M);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].size, 20);
+        assert!(distance(clusters[0].center, home) < 3_000.0);
+    }
+
+    #[test]
+    fn separate_cities_stay_separate() {
+        let pts = [
+            p(35.0844, -106.6504), // Albuquerque
+            p(37.7749, -122.4194), // San Francisco
+            p(61.2181, -149.9003), // Anchorage
+            p(51.5074, -0.1278),   // London
+        ];
+        assert_eq!(distinct_cities(&pts), 4);
+    }
+
+    #[test]
+    fn cheater_vs_normal_separation() {
+        // A synthetic "normal" user: 90 check-ins at home, 10 on vacation.
+        let home = p(40.8136, -96.7026);
+        let vac = p(25.7617, -80.1918);
+        let mut normal: Vec<_> = (0..90)
+            .map(|i| destination(home, (i * 7 % 360) as f64, (i % 10) as f64 * 400.0))
+            .collect();
+        normal.extend((0..10).map(|i| destination(vac, (i * 40 % 360) as f64, 800.0)));
+        assert!(distinct_cities(&normal) <= 3);
+        assert!(concentration(&normal, DEFAULT_CITY_RADIUS_M) >= 0.8);
+
+        // A cheater hopping 30 metros.
+        let cheat: Vec<_> = crate::usa::US_METROS[..30]
+            .iter()
+            .map(|m| m.location())
+            .collect();
+        assert!(distinct_cities(&cheat) >= 25);
+        assert!(concentration(&cheat, DEFAULT_CITY_RADIUS_M) < 0.2);
+    }
+
+    #[test]
+    fn radius_controls_granularity() {
+        let a = p(40.0, -100.0);
+        let b = destination(a, 90.0, 60_000.0);
+        assert_eq!(cluster_points(&[a, b], 50_000.0).len(), 2);
+        assert_eq!(cluster_points(&[a, b], 100_000.0).len(), 1);
+    }
+}

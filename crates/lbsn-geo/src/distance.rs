@@ -1,0 +1,191 @@
+//! Great-circle distance, bearing, and destination-point math.
+
+use crate::GeoPoint;
+
+/// Distance in metres.
+pub type Meters = f64;
+
+/// Speed in metres per second.
+pub type Mps = f64;
+
+/// Mean Earth radius in metres (IUGG value).
+pub const EARTH_RADIUS_M: Meters = 6_371_008.8;
+
+/// Metres per degree of latitude (constant to first order).
+pub const METERS_PER_DEGREE_LAT: Meters = 111_195.0;
+
+/// Metres in a statute mile. The paper's cheater-code pacing rule is
+/// phrased in miles ("check into venues less than 1 mile apart with a
+/// 5-minute interval").
+pub const METERS_PER_MILE: Meters = 1_609.344;
+
+/// Great-circle distance between two points using the haversine formula.
+///
+/// Accurate to ~0.5 % everywhere (the Earth-as-sphere error), which is far
+/// below anything the cheater code or the dispersion analysis cares about.
+///
+/// ```
+/// use lbsn_geo::{distance, GeoPoint};
+/// let a = GeoPoint::new(0.0, 0.0).unwrap();
+/// let b = GeoPoint::new(0.0, 1.0).unwrap();
+/// // One degree of longitude at the equator is ~111.2 km.
+/// assert!((distance(a, b) - 111_195.0).abs() < 200.0);
+/// ```
+pub fn distance(a: GeoPoint, b: GeoPoint) -> Meters {
+    let dlat = (b.lat_rad() - a.lat_rad()) / 2.0;
+    let dlon = (b.lon_rad() - a.lon_rad()) / 2.0;
+    let h = dlat.sin().powi(2) + a.lat_rad().cos() * b.lat_rad().cos() * dlon.sin().powi(2);
+    2.0 * EARTH_RADIUS_M * h.sqrt().min(1.0).asin()
+}
+
+/// Fast flat-Earth approximation of [`distance`], adequate below ~100 km.
+///
+/// The [`crate::GeoGrid`] index uses this in its inner loop; the rapid-fire
+/// rule's 180 m × 180 m square check does too.
+pub fn equirectangular_distance(a: GeoPoint, b: GeoPoint) -> Meters {
+    let mean_lat = (a.lat_rad() + b.lat_rad()) / 2.0;
+    let mut dlon = b.lon_rad() - a.lon_rad();
+    if dlon > std::f64::consts::PI {
+        dlon -= 2.0 * std::f64::consts::PI;
+    } else if dlon < -std::f64::consts::PI {
+        dlon += 2.0 * std::f64::consts::PI;
+    }
+    let x = dlon * mean_lat.cos();
+    let y = b.lat_rad() - a.lat_rad();
+    EARTH_RADIUS_M * (x * x + y * y).sqrt()
+}
+
+/// Initial great-circle bearing from `a` to `b`, in degrees clockwise from
+/// north, in `[0, 360)`.
+pub fn bearing(a: GeoPoint, b: GeoPoint) -> f64 {
+    let dlon = b.lon_rad() - a.lon_rad();
+    let y = dlon.sin() * b.lat_rad().cos();
+    let x = a.lat_rad().cos() * b.lat_rad().sin()
+        - a.lat_rad().sin() * b.lat_rad().cos() * dlon.cos();
+    (y.atan2(x).to_degrees() + 360.0) % 360.0
+}
+
+/// The point reached by travelling `dist` metres from `start` along the
+/// given initial bearing (degrees clockwise from north).
+///
+/// This is how the attack's virtual-path planner (§3.3, Fig 3.5) turns
+/// "move 500 yards to the west" into a target coordinate.
+pub fn destination(start: GeoPoint, bearing_deg: f64, dist: Meters) -> GeoPoint {
+    let ang = dist / EARTH_RADIUS_M;
+    let brg = bearing_deg.to_radians();
+    let lat1 = start.lat_rad();
+    let lon1 = start.lon_rad();
+    let lat2 = (lat1.sin() * ang.cos() + lat1.cos() * ang.sin() * brg.cos()).asin();
+    let lon2 = lon1
+        + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
+    let lat_deg = lat2.to_degrees().clamp(-90.0, 90.0);
+    let mut lon_deg = lon2.to_degrees();
+    while lon_deg > 180.0 {
+        lon_deg -= 360.0;
+    }
+    while lon_deg < -180.0 {
+        lon_deg += 360.0;
+    }
+    GeoPoint::new(lat_deg, lon_deg).expect("destination produces in-range coordinates")
+}
+
+/// The travel speed implied by covering the distance between two points in
+/// `elapsed_secs` seconds. Returns [`Mps::INFINITY`] when the elapsed time
+/// is zero or negative but the points differ.
+///
+/// The cheater code's "super human speed" rule (§2.3) is a threshold on
+/// exactly this quantity.
+pub fn implied_speed_mps(a: GeoPoint, b: GeoPoint, elapsed_secs: f64) -> Mps {
+    let d = distance(a, b);
+    if elapsed_secs <= 0.0 {
+        if d == 0.0 {
+            0.0
+        } else {
+            Mps::INFINITY
+        }
+    } else {
+        d / elapsed_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let a = p(35.0844, -106.6504);
+        assert_eq!(distance(a, a), 0.0);
+    }
+
+    #[test]
+    fn known_city_pair_distance() {
+        // Albuquerque -> San Francisco, the paper's attack hop: ~1,430 km.
+        let d = distance(p(35.0844, -106.6504), p(37.7749, -122.4194));
+        assert!((1_400_000.0..1_460_000.0).contains(&d), "{d}");
+    }
+
+    #[test]
+    fn antipodal_distance_is_half_circumference() {
+        let d = distance(p(0.0, 0.0), p(0.0, 180.0));
+        let half = std::f64::consts::PI * EARTH_RADIUS_M;
+        assert!((d - half).abs() < 1_000.0);
+    }
+
+    #[test]
+    fn equirectangular_matches_haversine_locally() {
+        let a = p(35.08, -106.65);
+        let b = p(35.09, -106.64);
+        let h = distance(a, b);
+        let e = equirectangular_distance(a, b);
+        assert!((h - e).abs() < 1.0, "haversine {h} vs equirect {e}");
+    }
+
+    #[test]
+    fn equirectangular_handles_antimeridian() {
+        let a = p(10.0, 179.95);
+        let b = p(10.0, -179.95);
+        let e = equirectangular_distance(a, b);
+        assert!(e < 12_000.0, "should be ~11 km, got {e}");
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        let o = p(35.0, -106.0);
+        assert!((bearing(o, p(36.0, -106.0)) - 0.0).abs() < 0.1); // north
+        assert!((bearing(o, p(34.0, -106.0)) - 180.0).abs() < 0.1); // south
+        assert!((bearing(o, p(35.0, -105.0)) - 90.0).abs() < 0.5); // east
+        assert!((bearing(o, p(35.0, -107.0)) - 270.0).abs() < 0.5); // west
+    }
+
+    #[test]
+    fn destination_round_trip() {
+        let start = p(35.0844, -106.6504);
+        for brg in [0.0, 45.0, 90.0, 135.0, 200.0, 300.0] {
+            let end = destination(start, brg, 550.0);
+            let d = distance(start, end);
+            assert!((d - 550.0).abs() < 0.5, "bearing {brg}: {d}");
+            let back = bearing(start, end);
+            assert!((back - brg).abs() < 0.5, "bearing {brg} came back {back}");
+        }
+    }
+
+    #[test]
+    fn implied_speed_basics() {
+        let a = p(35.0, -106.0);
+        let b = destination(a, 90.0, 1_000.0);
+        assert!((implied_speed_mps(a, b, 100.0) - 10.0).abs() < 0.05);
+        assert_eq!(implied_speed_mps(a, a, 0.0), 0.0);
+        assert_eq!(implied_speed_mps(a, b, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn mile_constant() {
+        assert!((crate::miles_to_meters(1.0) - 1609.344).abs() < 1e-9);
+        assert!((crate::meters_to_miles(1609.344) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,216 @@
+//! A spatial hash index over geographic points.
+
+use std::collections::HashMap;
+
+use crate::{equirectangular_distance, GeoPoint, Meters, METERS_PER_DEGREE_LAT};
+
+/// A uniform-grid spatial index mapping [`GeoPoint`]s to payloads.
+///
+/// The attack toolkit holds every crawled venue in one of these so that
+/// "find the venue closest to the target location" (the snap step of the
+/// Fig 3.5 virtual tour) and "venues within the 180 m rapid-fire square"
+/// are sublinear. Cells are sized in degrees of latitude; longitude cells
+/// shrink towards the poles, which only makes lookups search a couple of
+/// extra cells — correctness never depends on cell geometry because every
+/// candidate is distance-checked.
+///
+/// ```
+/// use lbsn_geo::{GeoGrid, GeoPoint};
+///
+/// let mut grid = GeoGrid::new(500.0); // 500 m cells
+/// let a = GeoPoint::new(35.0844, -106.6504).unwrap();
+/// grid.insert(a, "Old Town Plaza");
+/// let (venue, dist) = grid.nearest(GeoPoint::new(35.085, -106.651).unwrap()).unwrap();
+/// assert_eq!(*venue, "Old Town Plaza");
+/// assert!(dist < 120.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeoGrid<T> {
+    cell_deg: f64,
+    cells: HashMap<(i32, i32), Vec<(GeoPoint, T)>>,
+    len: usize,
+}
+
+impl<T> GeoGrid<T> {
+    /// Creates an index with roughly `cell_meters`-sized cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_meters` is not strictly positive and finite.
+    pub fn new(cell_meters: Meters) -> Self {
+        assert!(
+            cell_meters.is_finite() && cell_meters > 0.0,
+            "cell size must be positive and finite, got {cell_meters}"
+        );
+        GeoGrid {
+            cell_deg: cell_meters / METERS_PER_DEGREE_LAT,
+            cells: HashMap::new(),
+            len: 0,
+        }
+    }
+
+    fn key(&self, p: GeoPoint) -> (i32, i32) {
+        (
+            (p.lat() / self.cell_deg).floor() as i32,
+            (p.lon() / self.cell_deg).floor() as i32,
+        )
+    }
+
+    /// Inserts a payload at a location. Duplicate locations are allowed.
+    pub fn insert(&mut self, at: GeoPoint, value: T) {
+        let k = self.key(at);
+        self.cells.entry(k).or_default().push((at, value));
+        self.len += 1;
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// All payloads within `radius` metres of `center`, with distances,
+    /// sorted nearest-first.
+    pub fn within_radius(&self, center: GeoPoint, radius: Meters) -> Vec<(&T, Meters)> {
+        let ring = (radius / (self.cell_deg * METERS_PER_DEGREE_LAT)).ceil() as i32 + 1;
+        let (ck_lat, ck_lon) = self.key(center);
+        // Longitude degrees shrink with latitude; widen the lon search.
+        let lon_scale = center.lat_rad().cos().max(0.05);
+        let lon_ring = ((ring as f64) / lon_scale).ceil() as i32;
+        let mut out = Vec::new();
+        for dlat in -ring..=ring {
+            for dlon in -lon_ring..=lon_ring {
+                if let Some(cell) = self.cells.get(&(ck_lat + dlat, ck_lon + dlon)) {
+                    for (p, v) in cell {
+                        let d = equirectangular_distance(center, *p);
+                        if d <= radius {
+                            out.push((v, d));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.1.total_cmp(&b.1));
+        out
+    }
+
+    /// The single nearest payload to `center`, with its distance, or
+    /// `None` if the index is empty.
+    ///
+    /// Uses an expanding ring search; always exact.
+    pub fn nearest(&self, center: GeoPoint) -> Option<(&T, Meters)> {
+        if self.is_empty() {
+            return None;
+        }
+        let cell_m = self.cell_deg * METERS_PER_DEGREE_LAT;
+        let mut radius = cell_m;
+        loop {
+            let hits = self.within_radius(center, radius);
+            if let Some((v, d)) = hits.into_iter().next() {
+                return Some((v, d));
+            }
+            radius *= 4.0;
+            if radius > 25_000_000.0 {
+                // Exceeded Earth's half-circumference: fall back to a scan.
+                return self
+                    .cells
+                    .values()
+                    .flatten()
+                    .map(|(p, v)| (v, equirectangular_distance(center, *p)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1));
+            }
+        }
+    }
+
+    /// Iterates over all `(location, payload)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (GeoPoint, &T)> {
+        self.cells.values().flatten().map(|(p, v)| (*p, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::destination;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::new(lat, lon).unwrap()
+    }
+
+    #[test]
+    fn nearest_on_empty_is_none() {
+        let grid: GeoGrid<u32> = GeoGrid::new(500.0);
+        assert!(grid.nearest(p(0.0, 0.0)).is_none());
+        assert!(grid.is_empty());
+    }
+
+    #[test]
+    fn nearest_finds_closest_of_many() {
+        let center = p(35.0844, -106.6504);
+        let mut grid = GeoGrid::new(250.0);
+        for i in 1..=50 {
+            let q = destination(center, (i * 37 % 360) as f64, 100.0 * i as f64);
+            grid.insert(q, i);
+        }
+        let (got, d) = grid.nearest(center).unwrap();
+        assert_eq!(*got, 1);
+        assert!((d - 100.0).abs() < 1.0);
+        assert_eq!(grid.len(), 50);
+    }
+
+    #[test]
+    fn nearest_works_across_cells() {
+        // Only entry is ~80 km away: forces several ring expansions.
+        let mut grid = GeoGrid::new(200.0);
+        let far = destination(p(35.0, -106.0), 45.0, 80_000.0);
+        grid.insert(far, "far");
+        let (v, d) = grid.nearest(p(35.0, -106.0)).unwrap();
+        assert_eq!(*v, "far");
+        assert!((d - 80_000.0).abs() < 400.0);
+    }
+
+    #[test]
+    fn within_radius_sorted_and_filtered() {
+        let center = p(40.0, -100.0);
+        let mut grid = GeoGrid::new(500.0);
+        grid.insert(destination(center, 0.0, 100.0), "a");
+        grid.insert(destination(center, 90.0, 900.0), "b");
+        grid.insert(destination(center, 180.0, 2_000.0), "c");
+        let hits = grid.within_radius(center, 1_000.0);
+        let names: Vec<_> = hits.iter().map(|(v, _)| **v).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert!(hits[0].1 < hits[1].1);
+    }
+
+    #[test]
+    fn high_latitude_lookup_still_exact() {
+        // Near 64°N a longitude degree is half-size; make sure the widened
+        // lon ring still finds neighbours placed due east.
+        let center = p(64.0, -150.0); // interior Alaska
+        let mut grid = GeoGrid::new(500.0);
+        let east = destination(center, 90.0, 1_200.0);
+        grid.insert(east, "east");
+        let hits = grid.within_radius(center, 1_500.0);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut grid = GeoGrid::new(500.0);
+        grid.insert(p(1.0, 1.0), 1);
+        grid.insert(p(2.0, 2.0), 2);
+        let mut vals: Vec<_> = grid.iter().map(|(_, v)| *v).collect();
+        vals.sort();
+        assert_eq!(vals, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell size must be positive")]
+    fn zero_cell_size_panics() {
+        let _: GeoGrid<()> = GeoGrid::new(0.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Geographic primitives for the location-cheating reproduction.
+//!
+//! Everything in the paper is, at bottom, about coordinates: the spoofed
+//! GPS fixes, the cheater code's speed and proximity rules, the crawled
+//! venue maps (Fig 3.4), the virtual-path tour (Fig 3.5), and the
+//! dispersion analysis that separates cheaters from normal users
+//! (Fig 4.3/4.4). This crate provides the shared vocabulary:
+//!
+//! * [`GeoPoint`] — a validated latitude/longitude pair;
+//! * great-circle [`distance`], [`bearing`], and [`destination`] math;
+//! * [`BoundingBox`] regions;
+//! * [`GeoGrid`] — a spatial hash index for nearest-venue queries;
+//! * [`usa`] — metro-area reference data used to synthesise realistic
+//!   venue and user placements;
+//! * [`cluster`] — the "distinct cities visited" metric behind the
+//!   suspicious-pattern analysis in §4.3 of the paper.
+
+#![warn(missing_docs)]
+
+mod bbox;
+pub mod cluster;
+mod distance;
+mod grid;
+mod point;
+pub mod usa;
+
+pub use bbox::BoundingBox;
+pub use distance::{
+    bearing, destination, distance, equirectangular_distance, implied_speed_mps, Meters, Mps,
+    EARTH_RADIUS_M, METERS_PER_DEGREE_LAT, METERS_PER_MILE,
+};
+pub use grid::GeoGrid;
+pub use point::{GeoError, GeoPoint};
+
+/// Converts metres to miles.
+pub fn meters_to_miles(m: Meters) -> f64 {
+    m / METERS_PER_MILE
+}
+
+/// Converts miles to metres.
+pub fn miles_to_meters(miles: f64) -> Meters {
+    miles * METERS_PER_MILE
+}

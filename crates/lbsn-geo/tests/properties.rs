@@ -1,0 +1,137 @@
+//! Property-based tests for the geographic primitives.
+
+use lbsn_geo::{
+    bearing, destination, distance, equirectangular_distance, BoundingBox, GeoGrid, GeoPoint,
+    EARTH_RADIUS_M,
+};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    // Avoid the exact poles, where bearings are degenerate.
+    (-89.0f64..89.0, -180.0f64..180.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon).unwrap())
+}
+
+fn arb_us_point() -> impl Strategy<Value = GeoPoint> {
+    (20.0f64..60.0, -160.0f64..-60.0).prop_map(|(lat, lon)| GeoPoint::new(lat, lon).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn distance_is_symmetric(a in arb_point(), b in arb_point()) {
+        let ab = distance(a, b);
+        let ba = distance(b, a);
+        prop_assert!((ab - ba).abs() <= 1e-6 * ab.max(1.0));
+    }
+
+    #[test]
+    fn distance_is_nonnegative_and_bounded(a in arb_point(), b in arb_point()) {
+        let d = distance(a, b);
+        prop_assert!(d >= 0.0);
+        // No two points exceed half the circumference.
+        prop_assert!(d <= std::f64::consts::PI * EARTH_RADIUS_M + 1.0);
+    }
+
+    #[test]
+    fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let ab = distance(a, b);
+        let bc = distance(b, c);
+        let ac = distance(a, c);
+        prop_assert!(ac <= ab + bc + 1e-4);
+    }
+
+    #[test]
+    fn destination_travels_requested_distance(
+        start in arb_point(),
+        brg in 0.0f64..360.0,
+        dist in 1.0f64..2_000_000.0,
+    ) {
+        let end = destination(start, brg, dist);
+        let measured = distance(start, end);
+        prop_assert!((measured - dist).abs() < dist * 1e-3 + 1.0,
+            "asked {dist}, got {measured}");
+    }
+
+    #[test]
+    fn destination_initial_bearing_matches(
+        start in arb_us_point(),
+        brg in 0.0f64..360.0,
+        dist in 100.0f64..50_000.0,
+    ) {
+        let end = destination(start, brg, dist);
+        let measured = bearing(start, end);
+        let diff = (measured - brg).abs().min(360.0 - (measured - brg).abs());
+        prop_assert!(diff < 0.5, "asked {brg}, got {measured}");
+    }
+
+    #[test]
+    fn equirectangular_close_to_haversine_for_short_hops(
+        start in arb_us_point(),
+        brg in 0.0f64..360.0,
+        dist in 1.0f64..50_000.0,
+    ) {
+        let end = destination(start, brg, dist);
+        let h = distance(start, end);
+        let e = equirectangular_distance(start, end);
+        prop_assert!((h - e).abs() < h * 0.01 + 1.0, "h={h} e={e}");
+    }
+
+    #[test]
+    fn bbox_contains_its_generators(pts in prop::collection::vec(arb_point(), 1..40)) {
+        let b = BoundingBox::enclosing(pts.iter().copied()).unwrap();
+        for p in &pts {
+            prop_assert!(b.contains(*p));
+        }
+    }
+
+    #[test]
+    fn grid_nearest_agrees_with_linear_scan(
+        center in arb_us_point(),
+        pts in prop::collection::vec(arb_us_point(), 1..60),
+    ) {
+        let mut grid = GeoGrid::new(5_000.0);
+        for (i, p) in pts.iter().enumerate() {
+            grid.insert(*p, i);
+        }
+        let (idx, d) = grid.nearest(center).unwrap();
+        let best = pts
+            .iter()
+            .map(|p| equirectangular_distance(center, *p))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((d - best).abs() < 2.0, "grid {d} (idx {idx}) vs scan {best}");
+    }
+
+    #[test]
+    fn grid_within_radius_is_complete(
+        center in arb_us_point(),
+        pts in prop::collection::vec(arb_us_point(), 1..60),
+        radius in 1_000.0f64..150_000.0,
+    ) {
+        let mut grid = GeoGrid::new(5_000.0);
+        for (i, p) in pts.iter().enumerate() {
+            grid.insert(*p, i);
+        }
+        let hits = grid.within_radius(center, radius);
+        let expected = pts
+            .iter()
+            .filter(|p| equirectangular_distance(center, **p) <= radius)
+            .count();
+        prop_assert_eq!(hits.len(), expected);
+    }
+
+    #[test]
+    fn offset_degrees_always_valid(p in arb_point(), dlat in -200.0f64..200.0, dlon in -400.0f64..400.0) {
+        let q = p.offset_degrees(dlat, dlon);
+        prop_assert!(GeoPoint::new(q.lat(), q.lon()).is_ok());
+    }
+
+    #[test]
+    fn cluster_count_bounded_by_points(pts in prop::collection::vec(arb_us_point(), 0..50)) {
+        let n = lbsn_geo::cluster::distinct_cities(&pts);
+        prop_assert!(n <= pts.len());
+        if !pts.is_empty() {
+            prop_assert!(n >= 1);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The public server API — spoofing vector 3 of §3.1.
+//!
+//! "Foursquare provides a set of application APIs that allow developers
+//! to create new applications … These APIs can be employed by a location
+//! cheater to check into a place. … this method is more convenient to
+//! issue a large-scale cheating attack."
+//!
+//! The API trusts whatever coordinates the caller supplies — exactly the
+//! property the paper exploits. Server-side, an API check-in runs through
+//! the same cheater code as a client check-in; the difference is purely
+//! that no device, no GPS module, and no client app are needed.
+
+use std::sync::Arc;
+
+use lbsn_geo::{GeoPoint, Meters};
+
+use crate::checkin::{CheckinError, CheckinOutcome, CheckinRequest, CheckinSource};
+use crate::venue::VenueCategory;
+use crate::{LbsnServer, UserId, VenueId};
+
+/// A venue record as returned by API search endpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VenueSummary {
+    /// Venue ID.
+    pub id: VenueId,
+    /// Display name.
+    pub name: String,
+    /// Location.
+    pub location: GeoPoint,
+    /// Category.
+    pub category: VenueCategory,
+    /// Whether the venue advertises a special.
+    pub has_special: bool,
+}
+
+/// A developer API client bound to one server.
+///
+/// ```
+/// use lbsn_server::{api::ApiClient, LbsnServer, ServerConfig, UserSpec, VenueSpec};
+/// use lbsn_sim::SimClock;
+/// use lbsn_geo::GeoPoint;
+/// use std::sync::Arc;
+///
+/// let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+/// let sf = GeoPoint::new(37.8080, -122.4177).unwrap();
+/// let venue = server.register_venue(VenueSpec::new("Fisherman's Wharf Sign", sf));
+/// let user = server.register_user(UserSpec::anonymous());
+///
+/// // Vector 3: no device at all — the attacker's script supplies the
+/// // venue's own coordinates and the check-in verifies.
+/// let api = ApiClient::new(server);
+/// let outcome = api.checkin(user, venue, sf).unwrap();
+/// assert!(outcome.rewarded());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ApiClient {
+    server: Arc<LbsnServer>,
+}
+
+impl ApiClient {
+    /// Creates a client for the given server.
+    pub fn new(server: Arc<LbsnServer>) -> Self {
+        ApiClient { server }
+    }
+
+    /// Submits a check-in with caller-supplied coordinates.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckinError`] for unknown IDs.
+    pub fn checkin(
+        &self,
+        user: UserId,
+        venue: VenueId,
+        coordinates: GeoPoint,
+    ) -> Result<CheckinOutcome, CheckinError> {
+        self.server.check_in(&CheckinRequest {
+            user,
+            venue,
+            reported_location: coordinates,
+            source: CheckinSource::ServerApi,
+        })
+    }
+
+    /// Venues near a point, nearest first.
+    pub fn venues_near(&self, center: GeoPoint, radius: Meters, limit: usize) -> Vec<VenueSummary> {
+        self.server
+            .venues_near(center, radius, limit)
+            .into_iter()
+            .filter_map(|(id, _)| self.venue_summary(id))
+            .collect()
+    }
+
+    /// Searches venues by name — the client's venue-search box (§2.2).
+    pub fn search_venues(&self, query: &str, limit: usize) -> Vec<VenueSummary> {
+        self.server
+            .search_venues_by_name(query, limit)
+            .into_iter()
+            .filter_map(|id| self.venue_summary(id))
+            .collect()
+    }
+
+    /// Looks up one venue.
+    pub fn venue_summary(&self, id: VenueId) -> Option<VenueSummary> {
+        self.server.with_venue(id, |v| VenueSummary {
+            id: v.id,
+            name: v.name.clone(),
+            location: v.location,
+            category: v.category,
+            has_special: v.special.is_some(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServerConfig, UserSpec, VenueSpec};
+    use lbsn_geo::destination;
+    use lbsn_sim::SimClock;
+
+    fn abq() -> GeoPoint {
+        GeoPoint::new(35.0844, -106.6504).unwrap()
+    }
+
+    fn setup() -> (Arc<LbsnServer>, ApiClient) {
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let api = ApiClient::new(Arc::clone(&server));
+        (server, api)
+    }
+
+    #[test]
+    fn api_checkin_passes_cheater_code_with_venue_coords() {
+        let (server, api) = setup();
+        let sf = GeoPoint::new(37.8080, -122.4177).unwrap();
+        let venue = server.register_venue(VenueSpec::new("Wharf", sf));
+        let user = server.register_user(UserSpec::anonymous());
+        let out = api.checkin(user, venue, sf).unwrap();
+        assert!(out.rewarded());
+        // Source is recorded, distinguishable in user history.
+        let rec = server.user(user).unwrap().history[0].clone();
+        assert_eq!(rec.source, CheckinSource::ServerApi);
+    }
+
+    #[test]
+    fn api_checkin_with_wrong_coords_is_flagged() {
+        let (server, api) = setup();
+        let venue = server.register_venue(VenueSpec::new("Wharf", abq()));
+        let user = server.register_user(UserSpec::anonymous());
+        let wrong = destination(abq(), 90.0, 10_000.0);
+        let out = api.checkin(user, venue, wrong).unwrap();
+        assert!(!out.rewarded());
+    }
+
+    #[test]
+    fn venues_near_returns_sorted_summaries() {
+        let (server, api) = setup();
+        let far = server.register_venue(VenueSpec::new("Far", destination(abq(), 0.0, 900.0)));
+        let near = server.register_venue(VenueSpec::new("Near", destination(abq(), 0.0, 100.0)));
+        let got = api.venues_near(abq(), 1_000.0, 10);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].id, near);
+        assert_eq!(got[1].id, far);
+        assert_eq!(got[0].name, "Near");
+        // Limit respected.
+        assert_eq!(api.venues_near(abq(), 1_000.0, 1).len(), 1);
+        // Radius respected.
+        assert!(api.venues_near(abq(), 50.0, 10).is_empty());
+    }
+
+    #[test]
+    fn search_by_name_is_case_insensitive_and_capped() {
+        let (server, api) = setup();
+        server.register_venue(VenueSpec::new("Starbucks Downtown", abq()));
+        server.register_venue(VenueSpec::new("STARBUCKS Airport", abq()));
+        server.register_venue(VenueSpec::new("Joe's Diner", abq()));
+        let hits = api.search_venues("starbucks", 10);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|v| v.name.to_lowercase().contains("starbucks")));
+        assert_eq!(api.search_venues("starbucks", 1).len(), 1);
+        assert!(api.search_venues("wendy", 10).is_empty());
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let (server, api) = setup();
+        let venue = server.register_venue(VenueSpec::new("V", abq()));
+        assert!(api.checkin(UserId(5), venue, abq()).is_err());
+        assert!(api.venue_summary(VenueId(9)).is_none());
+    }
+}

@@ -1,0 +1,72 @@
+//! Numeric, incrementing identifiers.
+//!
+//! The paper's crawl (§3.2) works *because* these are dense integers:
+//! "Foursquare uses incrementing numerical IDs to identify their users
+//! and venues. By changing the ID in the URL, we can crawl almost all of
+//! the user and venue profiles." We reproduce that weakness faithfully:
+//! IDs start at 1 and increment per registration, so an attacker who can
+//! fetch `/user/1` can enumerate everyone.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The raw numeric value.
+            pub fn value(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A user identifier. Dense, incrementing, starting at 1.
+    UserId,
+    "u"
+);
+
+id_type!(
+    /// A venue identifier. Dense, incrementing, starting at 1.
+    VenueId,
+    "v"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_value() {
+        assert_eq!(UserId(1852791).to_string(), "u1852791");
+        assert_eq!(VenueId(1235677).to_string(), "v1235677");
+        assert_eq!(UserId(7).value(), 7);
+        assert_eq!(VenueId::from(9).value(), 9);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(UserId(2) < UserId(10));
+        assert!(VenueId(100) > VenueId(99));
+    }
+}

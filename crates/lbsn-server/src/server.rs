@@ -1,0 +1,842 @@
+//! The LBSN server: registration, the check-in pipeline, and state access.
+
+use std::collections::HashMap;
+
+use lbsn_geo::{GeoGrid, GeoPoint, Meters};
+use lbsn_sim::{SimClock, Timestamp, DAY};
+use parking_lot::RwLock;
+
+use crate::checkin::{
+    CheckinError, CheckinOutcome, CheckinRecord, CheckinRequest,
+};
+use crate::cheatercode::{CheaterCode, CheaterCodeConfig, RuleContext};
+use crate::rewards::{decide_mayor, evaluate_badges, PointsPolicy};
+use crate::user::{User, UserSpec};
+use crate::venue::{SpecialKind, Venue, VenueSpec};
+use crate::{UserId, VenueId};
+
+/// Server-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Anti-cheating rule parameters.
+    pub cheater_code: CheaterCodeConfig,
+    /// Point values.
+    pub points: PointsPolicy,
+    /// Length of each venue's public "Who's been here" list. The paper
+    /// crawled these lists; their truncation is what makes a user's
+    /// *recent check-in* count (Fig 4.1) diverge from their total.
+    pub recent_visitors_len: usize,
+    /// Account-level branding: after this many flagged check-ins the
+    /// account itself is marked a cheater — all subsequent check-ins
+    /// are invalidated and held mayorships are stripped. `None`
+    /// disables branding (per-check-in judgement only). Models §4.2's
+    /// caught cohort, whose check-ins "yielded no rewards" wholesale.
+    pub account_flag_threshold: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            cheater_code: CheaterCodeConfig::default(),
+            points: PointsPolicy::default(),
+            recent_visitors_len: 10,
+            account_flag_threshold: Some(10),
+        }
+    }
+}
+
+struct State {
+    users: Vec<User>,
+    venues: Vec<Venue>,
+    usernames: HashMap<String, UserId>,
+    venue_grid: GeoGrid<VenueId>,
+}
+
+/// The simulated location-based social network service.
+///
+/// Thread-safe: the crawler hammers the read paths from worker threads
+/// while the simulation drives check-ins. All mutation funnels through
+/// [`LbsnServer::check_in`], which reproduces the full §2 pipeline:
+/// GPS verification → cheater code → rewards.
+///
+/// ```
+/// use lbsn_server::{CheckinRequest, CheckinSource, LbsnServer, ServerConfig, UserSpec, VenueSpec};
+/// use lbsn_sim::SimClock;
+/// use lbsn_geo::GeoPoint;
+///
+/// let server = LbsnServer::new(SimClock::new(), ServerConfig::default());
+/// let cafe = server.register_venue(VenueSpec::new(
+///     "Starbucks",
+///     GeoPoint::new(35.0844, -106.6504).unwrap(),
+/// ));
+/// let user = server.register_user(UserSpec::named("mayor-hopeful"));
+/// let outcome = server
+///     .check_in(&CheckinRequest {
+///         user,
+///         venue: cafe,
+///         reported_location: GeoPoint::new(35.0845, -106.6503).unwrap(),
+///         source: CheckinSource::MobileApp,
+///     })
+///     .unwrap();
+/// assert!(outcome.rewarded());
+/// assert!(outcome.became_mayor, "vacant venue: one check-in takes it");
+/// ```
+pub struct LbsnServer {
+    clock: SimClock,
+    config: ServerConfig,
+    cheater_code: CheaterCode,
+    state: RwLock<State>,
+}
+
+impl std::fmt::Debug for LbsnServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.read();
+        f.debug_struct("LbsnServer")
+            .field("users", &s.users.len())
+            .field("venues", &s.venues.len())
+            .field("cheater_code", &self.cheater_code)
+            .finish()
+    }
+}
+
+impl LbsnServer {
+    /// Creates a server reading the given virtual clock.
+    pub fn new(clock: SimClock, config: ServerConfig) -> Self {
+        let cheater_code = CheaterCode::from_config(&config.cheater_code);
+        LbsnServer {
+            clock,
+            config,
+            cheater_code,
+            state: RwLock::new(State {
+                users: Vec::new(),
+                venues: Vec::new(),
+                usernames: HashMap::new(),
+                venue_grid: GeoGrid::new(1_000.0),
+            }),
+        }
+    }
+
+    /// The server's clock handle.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Registers a user; IDs are dense and incrementing from 1.
+    pub fn register_user(&self, spec: UserSpec) -> UserId {
+        let mut s = self.state.write();
+        let id = UserId(s.users.len() as u64 + 1);
+        if let Some(name) = &spec.username {
+            s.usernames.insert(name.clone(), id);
+        }
+        let user = User::from_spec(id, spec, self.clock.now());
+        s.users.push(user);
+        id
+    }
+
+    /// Registers a venue; IDs are dense and incrementing from 1.
+    pub fn register_venue(&self, spec: VenueSpec) -> VenueId {
+        let mut s = self.state.write();
+        let id = VenueId(s.venues.len() as u64 + 1);
+        let venue = Venue::from_spec(id, spec, self.clock.now());
+        s.venue_grid.insert(venue.location, id);
+        s.venues.push(venue);
+        id
+    }
+
+    /// Venues within `radius` metres of `center`, nearest first, capped
+    /// at `limit` — the "suggested list of nearby venues" the client app
+    /// shows (§2.2), which is also what the spoofing attack scrolls
+    /// through after forging a fix.
+    pub fn venues_near(
+        &self,
+        center: GeoPoint,
+        radius: Meters,
+        limit: usize,
+    ) -> Vec<(VenueId, Meters)> {
+        let s = self.state.read();
+        s.venue_grid
+            .within_radius(center, radius)
+            .into_iter()
+            .take(limit)
+            .map(|(id, d)| (*id, d))
+            .collect()
+    }
+
+    /// Records a symmetric friendship.
+    pub fn add_friendship(&self, a: UserId, b: UserId) -> Result<(), CheckinError> {
+        let mut s = self.state.write();
+        let n = s.users.len() as u64;
+        for id in [a, b] {
+            if id.value() == 0 || id.value() > n {
+                return Err(CheckinError::UnknownUser(id));
+            }
+        }
+        s.users[(a.value() - 1) as usize].friends.insert(b);
+        s.users[(b.value() - 1) as usize].friends.insert(a);
+        Ok(())
+    }
+
+    /// Processes a check-in through the full pipeline.
+    ///
+    /// Flagged check-ins are recorded (they count toward the user's
+    /// total) but earn nothing and do not touch venue state — exactly the
+    /// policy §4.2 infers from the caught-cheater cohort.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckinError`] for unknown user or venue IDs; nothing is
+    /// recorded in that case.
+    pub fn check_in(&self, req: &CheckinRequest) -> Result<CheckinOutcome, CheckinError> {
+        let now = self.clock.now();
+        let mut s = self.state.write();
+        let uidx = id_index(req.user.value(), s.users.len())
+            .ok_or(CheckinError::UnknownUser(req.user))?;
+        let vidx = id_index(req.venue.value(), s.venues.len())
+            .ok_or(CheckinError::UnknownVenue(req.venue))?;
+
+        // 1. Judge the check-in with immutable borrows. A branded
+        // account is rejected outright.
+        let flags = if s.users[uidx].branded_cheater {
+            vec![crate::CheatFlag::AccountFlagged]
+        } else {
+            let ctx = RuleContext {
+                user: &s.users[uidx],
+                venue: &s.venues[vidx],
+                request: req,
+                now,
+            };
+            self.cheater_code.evaluate(&ctx)
+        };
+
+        // 2. Record it (always — totals include flagged check-ins).
+        let rewarded = flags.is_empty();
+        let record = CheckinRecord {
+            venue: req.venue,
+            at: now,
+            location: req.reported_location,
+            source: req.source,
+            rewarded,
+            flags: flags.clone(),
+        };
+
+        // Attributes that must be read *before* the record is appended.
+        let day_start = Timestamp(now.secs() / DAY * DAY);
+        let first_of_day = s.users[uidx].valid_checkins_since(day_start).next().is_none();
+        let first_visit = !s.users[uidx].visited_venues.contains(&req.venue);
+
+        {
+            let user = &mut s.users[uidx];
+            user.history.push(record);
+            user.total_checkins += 1;
+        }
+
+        if !rewarded {
+            s.users[uidx].flagged_checkins += 1;
+            // Escalate to account branding once the flags pile up: the
+            // account loses everything, including held mayorships.
+            if let Some(threshold) = self.config.account_flag_threshold {
+                if !s.users[uidx].branded_cheater && s.users[uidx].flagged_checkins >= threshold {
+                    s.users[uidx].branded_cheater = true;
+                    let held: Vec<VenueId> = s.users[uidx].mayorships.drain().collect();
+                    for v in held {
+                        if let Some(vi) = id_index(v.value(), s.venues.len()) {
+                            if s.venues[vi].mayor == Some(req.user) {
+                                s.venues[vi].mayor = None;
+                            }
+                        }
+                    }
+                }
+            }
+            return Ok(CheckinOutcome {
+                user: req.user,
+                venue: req.venue,
+                at: now,
+                points: 0,
+                new_badges: Vec::new(),
+                is_mayor: s.venues[vidx].mayor == Some(req.user),
+                became_mayor: false,
+                special_unlocked: None,
+                flags,
+            });
+        }
+
+        // 3. Apply the valid check-in to user and venue state.
+        {
+            let user = &mut s.users[uidx];
+            user.valid_checkins += 1;
+            if first_visit {
+                user.visited_venues.insert(req.venue);
+            }
+        }
+        if first_visit {
+            let category = s.venues[vidx].category;
+            let user = &mut s.users[uidx];
+            *user.venues_by_category.entry(category).or_insert(0) += 1;
+        }
+        let recent_cap = self.config.recent_visitors_len;
+        s.venues[vidx].record_valid_checkin(req.user, recent_cap);
+
+        // 4. Mayorship.
+        let became_mayor = {
+            let venue = &s.venues[vidx];
+            let challenger = &s.users[uidx];
+            let incumbent = venue
+                .mayor
+                .and_then(|m| id_index(m.value(), s.users.len()))
+                .map(|i| &s.users[i]);
+            decide_mayor(venue, challenger, incumbent, now)
+        };
+        if became_mayor {
+            if let Some(old) = s.venues[vidx].mayor {
+                if let Some(oidx) = id_index(old.value(), s.users.len()) {
+                    s.users[oidx].mayorships.remove(&req.venue);
+                }
+            }
+            s.venues[vidx].mayor = Some(req.user);
+            s.users[uidx].mayorships.insert(req.venue);
+        }
+        let is_mayor = s.venues[vidx].mayor == Some(req.user);
+
+        // 5. Badges (evaluated on post-update state).
+        let new_badges = {
+            let user = &s.users[uidx];
+            let venue = &s.venues[vidx];
+            evaluate_badges(user, venue, now, &s.venues[..])
+        };
+        for b in &new_badges {
+            s.users[uidx].badges.insert(*b);
+        }
+
+        // 6. Points.
+        let points = self
+            .config
+            .points
+            .award(first_visit, first_of_day, became_mayor);
+        s.users[uidx].points += points;
+
+        // 7. Specials.
+        let special_unlocked = {
+            let venue = &s.venues[vidx];
+            let user = &s.users[uidx];
+            venue.special.as_ref().and_then(|sp| match sp.kind {
+                SpecialKind::MayorOnly if is_mayor => Some(sp.description.clone()),
+                SpecialKind::MayorOnly => None,
+                SpecialKind::EveryCheckin => Some(sp.description.clone()),
+                SpecialKind::Loyalty { visits } => {
+                    let count = user
+                        .history
+                        .iter()
+                        .filter(|r| r.rewarded && r.venue == req.venue)
+                        .count();
+                    (count as u32 >= visits).then(|| sp.description.clone())
+                }
+            })
+        };
+
+        Ok(CheckinOutcome {
+            user: req.user,
+            venue: req.venue,
+            at: now,
+            points,
+            new_badges,
+            is_mayor,
+            became_mayor,
+            special_unlocked,
+            flags,
+        })
+    }
+
+    /// Number of registered users.
+    pub fn user_count(&self) -> u64 {
+        self.state.read().users.len() as u64
+    }
+
+    /// Number of registered venues.
+    pub fn venue_count(&self) -> u64 {
+        self.state.read().venues.len() as u64
+    }
+
+    /// Clones a user's full record (history included — prefer
+    /// [`LbsnServer::with_user`] on hot paths).
+    pub fn user(&self, id: UserId) -> Option<User> {
+        let s = self.state.read();
+        id_index(id.value(), s.users.len()).map(|i| s.users[i].clone())
+    }
+
+    /// Clones a venue's full record.
+    pub fn venue(&self, id: VenueId) -> Option<Venue> {
+        let s = self.state.read();
+        id_index(id.value(), s.venues.len()).map(|i| s.venues[i].clone())
+    }
+
+    /// Runs a closure against a user's record without cloning.
+    pub fn with_user<R>(&self, id: UserId, f: impl FnOnce(&User) -> R) -> Option<R> {
+        let s = self.state.read();
+        id_index(id.value(), s.users.len()).map(|i| f(&s.users[i]))
+    }
+
+    /// Runs a closure against a venue's record without cloning.
+    pub fn with_venue<R>(&self, id: VenueId, f: impl FnOnce(&Venue) -> R) -> Option<R> {
+        let s = self.state.read();
+        id_index(id.value(), s.venues.len()).map(|i| f(&s.venues[i]))
+    }
+
+    /// Resolves a vanity username to an ID.
+    pub fn user_id_by_name(&self, name: &str) -> Option<UserId> {
+        self.state.read().usernames.get(name).copied()
+    }
+
+    /// Searches venues by name substring (case-insensitive), ID order —
+    /// §2.2's "searching for a venue by name". Capped at `limit`.
+    pub fn search_venues_by_name(&self, query: &str, limit: usize) -> Vec<VenueId> {
+        let needle = query.to_lowercase();
+        let s = self.state.read();
+        s.venues
+            .iter()
+            .filter(|v| v.name.to_lowercase().contains(&needle))
+            .take(limit)
+            .map(|v| v.id)
+            .collect()
+    }
+
+    /// Leaves a tip/comment on a venue, newest first.
+    ///
+    /// Tips require no check-in — which is exactly what makes §2.2's
+    /// badmouthing attack sting: a location cheat plus a tip reads like
+    /// a real recent customer's complaint.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckinError`] for unknown user or venue IDs.
+    pub fn leave_tip(
+        &self,
+        user: UserId,
+        venue: VenueId,
+        text: impl Into<String>,
+    ) -> Result<(), CheckinError> {
+        let now = self.clock.now();
+        let mut s = self.state.write();
+        id_index(user.value(), s.users.len()).ok_or(CheckinError::UnknownUser(user))?;
+        let vidx =
+            id_index(venue.value(), s.venues.len()).ok_or(CheckinError::UnknownVenue(venue))?;
+        s.venues[vidx].tips.insert(
+            0,
+            crate::venue::Tip {
+                user,
+                text: text.into(),
+                at: now,
+            },
+        );
+        Ok(())
+    }
+
+    /// The points leaderboard: the top `n` users by points, ties broken
+    /// by lower (older) ID. Foursquare surfaced a weekly leaderboard;
+    /// the reproduction uses the global all-time variant.
+    pub fn leaderboard(&self, n: usize) -> Vec<(UserId, u64)> {
+        let s = self.state.read();
+        let mut rows: Vec<(UserId, u64)> = s.users.iter().map(|u| (u.id, u.points)).collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows
+    }
+
+    /// Visits every user under the read lock.
+    pub fn for_each_user(&self, mut f: impl FnMut(&User)) {
+        let s = self.state.read();
+        for u in &s.users {
+            f(u);
+        }
+    }
+
+    /// Visits every venue under the read lock.
+    pub fn for_each_venue(&self, mut f: impl FnMut(&Venue)) {
+        let s = self.state.read();
+        for v in &s.venues {
+            f(v);
+        }
+    }
+}
+
+fn id_index(id: u64, len: usize) -> Option<usize> {
+    if id >= 1 && id <= len as u64 {
+        Some((id - 1) as usize)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkin::{CheatFlag, CheckinSource};
+    use crate::rewards::Badge;
+    use lbsn_geo::{destination, GeoPoint};
+    use lbsn_sim::Duration;
+
+    fn abq() -> GeoPoint {
+        GeoPoint::new(35.0844, -106.6504).unwrap()
+    }
+
+    fn setup() -> (LbsnServer, UserId, VenueId) {
+        let server = LbsnServer::new(SimClock::new(), ServerConfig::default());
+        let venue = server.register_venue(VenueSpec::new("Cafe", abq()));
+        let user = server.register_user(UserSpec::named("tester"));
+        (server, user, venue)
+    }
+
+    fn req(user: UserId, venue: VenueId, loc: GeoPoint) -> CheckinRequest {
+        CheckinRequest {
+            user,
+            venue,
+            reported_location: loc,
+            source: CheckinSource::MobileApp,
+        }
+    }
+
+    #[test]
+    fn ids_are_dense_and_incrementing() {
+        let server = LbsnServer::new(SimClock::new(), ServerConfig::default());
+        assert_eq!(server.register_user(UserSpec::anonymous()), UserId(1));
+        assert_eq!(server.register_user(UserSpec::anonymous()), UserId(2));
+        assert_eq!(
+            server.register_venue(VenueSpec::new("A", abq())),
+            VenueId(1)
+        );
+        assert_eq!(
+            server.register_venue(VenueSpec::new("B", abq())),
+            VenueId(2)
+        );
+    }
+
+    #[test]
+    fn valid_checkin_awards_points_and_newbie() {
+        let (server, user, venue) = setup();
+        let out = server.check_in(&req(user, venue, abq())).unwrap();
+        assert!(out.rewarded());
+        // per_checkin 1 + first visit 4 + first of day 2 + new mayor 5.
+        assert_eq!(out.points, 12);
+        assert!(out.new_badges.contains(&Badge::Newbie));
+        assert!(out.became_mayor);
+        let u = server.user(user).unwrap();
+        assert_eq!(u.total_checkins, 1);
+        assert_eq!(u.valid_checkins, 1);
+        assert_eq!(u.points, 12);
+    }
+
+    #[test]
+    fn unknown_ids_record_nothing() {
+        let (server, user, venue) = setup();
+        assert_eq!(
+            server.check_in(&req(UserId(99), venue, abq())),
+            Err(CheckinError::UnknownUser(UserId(99)))
+        );
+        assert_eq!(
+            server.check_in(&req(user, VenueId(99), abq())),
+            Err(CheckinError::UnknownVenue(VenueId(99)))
+        );
+        assert_eq!(server.user(user).unwrap().total_checkins, 0);
+        assert_eq!(server.check_in(&req(UserId(0), venue, abq())),
+            Err(CheckinError::UnknownUser(UserId(0))));
+    }
+
+    #[test]
+    fn flagged_checkin_counts_but_earns_nothing() {
+        let (server, user, venue) = setup();
+        // Report a fix 5 km from the venue: GPS mismatch.
+        let far = destination(abq(), 90.0, 5_000.0);
+        let out = server.check_in(&req(user, venue, far)).unwrap();
+        assert!(!out.rewarded());
+        assert_eq!(out.flags, vec![CheatFlag::GpsMismatch]);
+        assert_eq!(out.points, 0);
+        assert!(out.new_badges.is_empty());
+        let u = server.user(user).unwrap();
+        assert_eq!(u.total_checkins, 1, "flagged check-ins count in totals");
+        assert_eq!(u.valid_checkins, 0);
+        assert_eq!(u.points, 0);
+        // Venue state untouched.
+        let v = server.venue(venue).unwrap();
+        assert_eq!(v.checkins_here, 0);
+        assert!(v.recent_visitors.is_empty());
+        assert_eq!(v.mayor, None);
+    }
+
+    #[test]
+    fn cooldown_then_allowed_after_hour() {
+        let (server, user, venue) = setup();
+        assert!(server.check_in(&req(user, venue, abq())).unwrap().rewarded());
+        server.clock().advance(Duration::minutes(30));
+        let blocked = server.check_in(&req(user, venue, abq())).unwrap();
+        assert_eq!(blocked.flags, vec![CheatFlag::TooFrequent]);
+        server.clock().advance(Duration::minutes(31));
+        let ok = server.check_in(&req(user, venue, abq())).unwrap();
+        assert!(ok.rewarded());
+        let u = server.user(user).unwrap();
+        assert_eq!(u.total_checkins, 3);
+        assert_eq!(u.valid_checkins, 2);
+    }
+
+    #[test]
+    fn mayorship_transfers_on_more_days() {
+        let (server, alice, venue) = setup();
+        let bob = server.register_user(UserSpec::named("bob"));
+        // Alice checks in on 2 days.
+        for _ in 0..2 {
+            assert!(server.check_in(&req(alice, venue, abq())).unwrap().rewarded());
+            server.clock().advance(Duration::days(1));
+        }
+        assert_eq!(server.venue(venue).unwrap().mayor, Some(alice));
+        // Bob checks in on 3 days: takes the crown on the third.
+        let mut took = false;
+        for _ in 0..3 {
+            let out = server.check_in(&req(bob, venue, abq())).unwrap();
+            took = out.became_mayor;
+            server.clock().advance(Duration::days(1));
+        }
+        assert!(took);
+        assert_eq!(server.venue(venue).unwrap().mayor, Some(bob));
+        assert!(server.user(alice).unwrap().mayorships.is_empty());
+        assert!(server.user(bob).unwrap().mayorships.contains(&venue));
+    }
+
+    #[test]
+    fn mayor_only_special_goes_to_mayor() {
+        let server = LbsnServer::new(SimClock::new(), ServerConfig::default());
+        let venue = server.register_venue(
+            VenueSpec::new("Cafe", abq()).special(crate::Special {
+                description: "Free coffee for the mayor!".into(),
+                kind: SpecialKind::MayorOnly,
+            }),
+        );
+        let user = server.register_user(UserSpec::anonymous());
+        let out = server.check_in(&req(user, venue, abq())).unwrap();
+        assert!(out.became_mayor);
+        assert_eq!(
+            out.special_unlocked.as_deref(),
+            Some("Free coffee for the mayor!")
+        );
+        // A second user checking in does not unlock it.
+        let other = server.register_user(UserSpec::anonymous());
+        server.clock().advance(Duration::hours(2));
+        let out2 = server.check_in(&req(other, venue, abq())).unwrap();
+        assert!(out2.rewarded());
+        assert_eq!(out2.special_unlocked, None);
+    }
+
+    #[test]
+    fn loyalty_special_unlocks_at_threshold() {
+        let server = LbsnServer::new(SimClock::new(), ServerConfig::default());
+        let venue = server.register_venue(
+            VenueSpec::new("Sandwiches", abq()).special(crate::Special {
+                description: "Free sub after 3 visits".into(),
+                kind: SpecialKind::Loyalty { visits: 3 },
+            }),
+        );
+        let user = server.register_user(UserSpec::anonymous());
+        for i in 0..3 {
+            let out = server.check_in(&req(user, venue, abq())).unwrap();
+            assert!(out.rewarded());
+            if i < 2 {
+                assert_eq!(out.special_unlocked, None, "visit {}", i + 1);
+            } else {
+                assert_eq!(out.special_unlocked.as_deref(), Some("Free sub after 3 visits"));
+            }
+            server.clock().advance(Duration::hours(2));
+        }
+    }
+
+    #[test]
+    fn username_resolution() {
+        let (server, user, _) = setup();
+        assert_eq!(server.user_id_by_name("tester"), Some(user));
+        assert_eq!(server.user_id_by_name("nobody"), None);
+    }
+
+    #[test]
+    fn friendship_is_symmetric() {
+        let (server, alice, _) = setup();
+        let bob = server.register_user(UserSpec::anonymous());
+        server.add_friendship(alice, bob).unwrap();
+        assert!(server.user(alice).unwrap().friends.contains(&bob));
+        assert!(server.user(bob).unwrap().friends.contains(&alice));
+        assert!(server.add_friendship(alice, UserId(999)).is_err());
+    }
+
+    #[test]
+    fn recent_visitor_list_capped_by_config() {
+        let server = LbsnServer::new(
+            SimClock::new(),
+            ServerConfig {
+                recent_visitors_len: 2,
+                ..ServerConfig::default()
+            },
+        );
+        let venue = server.register_venue(VenueSpec::new("Hot Spot", abq()));
+        for _ in 0..4 {
+            let u = server.register_user(UserSpec::anonymous());
+            server.check_in(&req(u, venue, abq())).unwrap();
+            server.clock().advance(Duration::minutes(5));
+        }
+        let v = server.venue(venue).unwrap();
+        assert_eq!(v.recent_visitors.len(), 2);
+        assert_eq!(v.unique_visitors.len(), 4);
+        assert_eq!(v.checkins_here, 4);
+    }
+
+    #[test]
+    fn adventurer_badge_after_ten_venues() {
+        // Reproduces the paper's §3.1 result: ten distant venues, spoofed
+        // fixes at each venue's own location, all accepted; the tenth
+        // unlocks Adventurer.
+        let server = LbsnServer::new(SimClock::new(), ServerConfig::default());
+        let user = server.register_user(UserSpec::named("cheater"));
+        let mut venues = Vec::new();
+        for i in 0..10 {
+            let loc = destination(abq(), 90.0, 2_000.0 * i as f64);
+            venues.push(server.register_venue(VenueSpec::new(format!("V{i}"), loc)));
+        }
+        let mut last = None;
+        for v in &venues {
+            let loc = server.venue(*v).unwrap().location;
+            last = Some(server.check_in(&req(user, *v, loc)).unwrap());
+            server.clock().advance(Duration::minutes(10));
+        }
+        let last = last.unwrap();
+        assert!(last.rewarded());
+        assert!(last.new_badges.contains(&Badge::Adventurer));
+    }
+
+    #[test]
+    fn tips_post_newest_first_and_validate_ids() {
+        let (server, user, venue) = setup();
+        server.leave_tip(user, venue, "Great coffee").unwrap();
+        server.clock().advance(Duration::minutes(5));
+        server.leave_tip(user, venue, "Long line today").unwrap();
+        let v = server.venue(venue).unwrap();
+        assert_eq!(v.tips.len(), 2);
+        assert_eq!(v.tips[0].text, "Long line today");
+        assert_eq!(v.tips[1].text, "Great coffee");
+        assert!(v.tips[0].at > v.tips[1].at);
+        assert_eq!(
+            server.leave_tip(UserId(99), venue, "x"),
+            Err(CheckinError::UnknownUser(UserId(99)))
+        );
+        assert_eq!(
+            server.leave_tip(user, VenueId(99), "x"),
+            Err(CheckinError::UnknownVenue(VenueId(99)))
+        );
+    }
+
+    #[test]
+    fn leaderboard_ranks_by_points_then_id() {
+        let server = LbsnServer::new(SimClock::new(), ServerConfig::default());
+        let venue = server.register_venue(VenueSpec::new("Cafe", abq()));
+        let a = server.register_user(UserSpec::anonymous());
+        let b = server.register_user(UserSpec::anonymous());
+        let c = server.register_user(UserSpec::anonymous());
+        // a takes the venue first (first-visit + mayor bonuses: 12
+        // points); b revisits twice without the mayor bonus (7 + 1);
+        // c never checks in.
+        server.check_in(&req(a, venue, abq())).unwrap();
+        server.clock().advance(Duration::hours(2));
+        server.check_in(&req(b, venue, abq())).unwrap();
+        server.clock().advance(Duration::hours(2));
+        server.check_in(&req(b, venue, abq())).unwrap();
+        let (pa, pb) = (
+            server.user(a).unwrap().points,
+            server.user(b).unwrap().points,
+        );
+        assert!(pa > pb, "a {pa} vs b {pb}");
+        let board = server.leaderboard(10);
+        assert_eq!(board[0], (a, pa));
+        assert_eq!(board[1], (b, pb));
+        assert_eq!(board[2], (c, 0));
+        assert_eq!(server.leaderboard(1).len(), 1);
+    }
+
+    #[test]
+    fn repeated_flags_brand_the_account_and_strip_mayorships() {
+        let server = LbsnServer::new(
+            SimClock::new(),
+            ServerConfig {
+                account_flag_threshold: Some(3),
+                ..ServerConfig::default()
+            },
+        );
+        let venue = server.register_venue(VenueSpec::new("Home", abq()));
+        let user = server.register_user(UserSpec::anonymous());
+        // A legitimate mayorship first.
+        assert!(server.check_in(&req(user, venue, abq())).unwrap().became_mayor);
+        // Three GPS-mismatch attempts: branded on the third.
+        let far = destination(abq(), 90.0, 10_000.0);
+        for _ in 0..3 {
+            server.clock().advance(Duration::hours(2));
+            assert!(!server.check_in(&req(user, venue, far)).unwrap().rewarded());
+        }
+        let u = server.user(user).unwrap();
+        assert!(u.branded_cheater);
+        assert_eq!(u.flagged_checkins, 3);
+        assert!(u.mayorships.is_empty(), "mayorships stripped");
+        assert_eq!(server.venue(venue).unwrap().mayor, None);
+        // Even a perfectly-formed check-in is now invalidated.
+        server.clock().advance(Duration::days(2));
+        let out = server.check_in(&req(user, venue, abq())).unwrap();
+        assert_eq!(out.flags, vec![CheatFlag::AccountFlagged]);
+        assert_eq!(server.user(user).unwrap().total_checkins, 5);
+    }
+
+    #[test]
+    fn branding_disabled_keeps_per_checkin_judgement() {
+        let server = LbsnServer::new(
+            SimClock::new(),
+            ServerConfig {
+                account_flag_threshold: None,
+                ..ServerConfig::default()
+            },
+        );
+        let venue = server.register_venue(VenueSpec::new("Home", abq()));
+        let user = server.register_user(UserSpec::anonymous());
+        let far = destination(abq(), 90.0, 10_000.0);
+        for _ in 0..20 {
+            server.clock().advance(Duration::hours(2));
+            server.check_in(&req(user, venue, far)).unwrap();
+        }
+        // Still not branded; an honest check-in succeeds.
+        server.clock().advance(Duration::hours(2));
+        assert!(server.check_in(&req(user, venue, abq())).unwrap().rewarded());
+        assert!(!server.user(user).unwrap().branded_cheater);
+    }
+
+    #[test]
+    fn concurrent_reads_during_writes() {
+        use std::sync::Arc;
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let venue = server.register_venue(VenueSpec::new("Busy", abq()));
+        for _ in 0..50 {
+            server.register_user(UserSpec::anonymous());
+        }
+        let reader = {
+            let s = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let mut seen = 0;
+                for _ in 0..200 {
+                    s.for_each_venue(|v| seen += v.checkins_here);
+                }
+                seen
+            })
+        };
+        for i in 1..=50 {
+            server
+                .check_in(&req(UserId(i), venue, abq()))
+                .unwrap();
+            server.clock().advance(Duration::minutes(2));
+        }
+        reader.join().unwrap();
+        assert_eq!(server.venue(venue).unwrap().checkins_here, 50);
+    }
+}

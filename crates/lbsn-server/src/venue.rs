@@ -1,0 +1,292 @@
+//! Venues: places users check into, with specials and a mayor.
+
+use std::collections::{HashSet, VecDeque};
+
+use lbsn_geo::GeoPoint;
+use lbsn_sim::Timestamp;
+use serde::{Deserialize, Serialize};
+
+use crate::{UserId, VenueId};
+
+/// Coarse venue category, used by category badges (Fresh Brew, Gym Rat…)
+/// and by the workload generator's chain synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VenueCategory {
+    /// Coffee shops (the paper's Starbucks free-coffee example).
+    Coffee,
+    /// Restaurants.
+    Restaurant,
+    /// Bars and nightlife.
+    Bar,
+    /// Gyms.
+    Gym,
+    /// Hotels.
+    Hotel,
+    /// Airports.
+    Airport,
+    /// Tourist landmarks (e.g. "Fisherman's Wharf Sign").
+    Landmark,
+    /// Retail.
+    Shop,
+    /// Offices.
+    Office,
+    /// Parks.
+    Park,
+    /// Anything else.
+    Other,
+}
+
+impl VenueCategory {
+    /// Human-readable label, as the web frontend prints it.
+    pub fn label(self) -> &'static str {
+        match self {
+            VenueCategory::Coffee => "Coffee Shop",
+            VenueCategory::Restaurant => "Restaurant",
+            VenueCategory::Bar => "Bar",
+            VenueCategory::Gym => "Gym",
+            VenueCategory::Hotel => "Hotel",
+            VenueCategory::Airport => "Airport",
+            VenueCategory::Landmark => "Landmark",
+            VenueCategory::Shop => "Shop",
+            VenueCategory::Office => "Office",
+            VenueCategory::Park => "Park",
+            VenueCategory::Other => "Other",
+        }
+    }
+}
+
+/// Who qualifies for a venue's real-world special.
+///
+/// The paper found that "more than 90 % of the rewards were only for
+/// mayors", and §3.4 notes some specials "do not require mayorship which
+/// are much easier to obtain".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpecialKind {
+    /// Only the current mayor gets the special.
+    MayorOnly,
+    /// Every valid check-in gets the special.
+    EveryCheckin,
+    /// Unlocks after `visits` valid check-ins by the same user.
+    Loyalty {
+        /// Check-ins needed to unlock.
+        visits: u32,
+    },
+}
+
+/// A real-world reward offered by a partner venue (§2.1's "free cup of
+/// coffee from Starbucks").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Special {
+    /// What the business offers ("Free coffee for the mayor!").
+    pub description: String,
+    /// Eligibility rule.
+    pub kind: SpecialKind,
+}
+
+/// A user-left tip/comment on a venue — the medium of §2.2's
+/// badmouthing scenario: "A business owner may use location cheating to
+/// check into a competing business, and badmouth that business by
+/// leaving negative comments."
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tip {
+    /// The author.
+    pub user: UserId,
+    /// The comment text.
+    pub text: String,
+    /// When it was left.
+    pub at: Timestamp,
+}
+
+/// Parameters for registering a venue.
+#[derive(Debug, Clone)]
+pub struct VenueSpec {
+    /// Venue display name.
+    pub name: String,
+    /// Street address shown on the profile page.
+    pub address: String,
+    /// Geographic location.
+    pub location: GeoPoint,
+    /// Category.
+    pub category: VenueCategory,
+    /// Partner special, if any.
+    pub special: Option<Special>,
+}
+
+impl VenueSpec {
+    /// A minimal spec: name and location, `Other` category, no special.
+    pub fn new(name: impl Into<String>, location: GeoPoint) -> Self {
+        VenueSpec {
+            name: name.into(),
+            address: String::new(),
+            location,
+            category: VenueCategory::Other,
+            special: None,
+        }
+    }
+
+    /// Sets the category.
+    pub fn category(mut self, category: VenueCategory) -> Self {
+        self.category = category;
+        self
+    }
+
+    /// Sets the street address.
+    pub fn address(mut self, address: impl Into<String>) -> Self {
+        self.address = address.into();
+        self
+    }
+
+    /// Attaches a special.
+    pub fn special(mut self, special: Special) -> Self {
+        self.special = Some(special);
+        self
+    }
+}
+
+/// Server-side venue state.
+///
+/// The public profile page (crate [`crate::web`]) exposes `name`,
+/// `address`, coordinates, `checkins_here`, `unique_visitors`, the
+/// special, the mayor link, and the recent-visitor list — the exact
+/// fields the paper's `VenueInfo` table stores (Fig 3.3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Venue {
+    /// Venue ID (dense, incrementing).
+    pub id: VenueId,
+    /// Display name.
+    pub name: String,
+    /// Street address.
+    pub address: String,
+    /// Location.
+    pub location: GeoPoint,
+    /// Category.
+    pub category: VenueCategory,
+    /// Partner special, if any.
+    pub special: Option<Special>,
+    /// Current mayor, if any.
+    pub mayor: Option<UserId>,
+    /// Total *valid* check-ins here.
+    pub checkins_here: u64,
+    /// Distinct users who have validly checked in here.
+    pub unique_visitors: HashSet<UserId>,
+    /// The "Who's been here" list: most recent distinct visitors,
+    /// newest first, capped at the server's configured length.
+    pub recent_visitors: VecDeque<UserId>,
+    /// User-left tips, newest first.
+    pub tips: Vec<Tip>,
+    /// Registration time.
+    pub created_at: Timestamp,
+}
+
+impl Venue {
+    pub(crate) fn from_spec(id: VenueId, spec: VenueSpec, now: Timestamp) -> Self {
+        Venue {
+            id,
+            name: spec.name,
+            address: spec.address,
+            location: spec.location,
+            category: spec.category,
+            special: spec.special,
+            mayor: None,
+            checkins_here: 0,
+            unique_visitors: HashSet::new(),
+            recent_visitors: VecDeque::new(),
+            tips: Vec::new(),
+            created_at: now,
+        }
+    }
+
+    /// Records a valid check-in's effect on venue counters and the
+    /// recent-visitor list. A visitor already on the list is moved to the
+    /// front rather than duplicated (the paper's list diffing relies on
+    /// presence, not multiplicity).
+    pub(crate) fn record_valid_checkin(&mut self, user: UserId, recent_cap: usize) {
+        self.checkins_here += 1;
+        self.unique_visitors.insert(user);
+        if let Some(pos) = self.recent_visitors.iter().position(|u| *u == user) {
+            self.recent_visitors.remove(pos);
+        }
+        self.recent_visitors.push_front(user);
+        while self.recent_visitors.len() > recent_cap {
+            self.recent_visitors.pop_back();
+        }
+    }
+
+    /// Whether this venue currently has a mayor-only special with no
+    /// mayor — the §3.4 "easy win" target class.
+    pub fn is_unclaimed_special(&self) -> bool {
+        self.mayor.is_none()
+            && matches!(
+                self.special,
+                Some(Special {
+                    kind: SpecialKind::MayorOnly,
+                    ..
+                })
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn venue() -> Venue {
+        let spec = VenueSpec::new("Test Cafe", GeoPoint::new(35.0, -106.0).unwrap())
+            .category(VenueCategory::Coffee)
+            .address("123 Central Ave")
+            .special(Special {
+                description: "Free coffee for the mayor!".into(),
+                kind: SpecialKind::MayorOnly,
+            });
+        Venue::from_spec(VenueId(1), spec, Timestamp(0))
+    }
+
+    #[test]
+    fn from_spec_initialises_counters() {
+        let v = venue();
+        assert_eq!(v.checkins_here, 0);
+        assert!(v.unique_visitors.is_empty());
+        assert!(v.recent_visitors.is_empty());
+        assert_eq!(v.mayor, None);
+        assert_eq!(v.category.label(), "Coffee Shop");
+    }
+
+    #[test]
+    fn recent_list_dedupes_and_caps() {
+        let mut v = venue();
+        for i in 1..=5 {
+            v.record_valid_checkin(UserId(i), 3);
+        }
+        // Cap 3: only the 3 most recent remain, newest first.
+        assert_eq!(v.recent_visitors, VecDeque::from(vec![
+            UserId(5),
+            UserId(4),
+            UserId(3)
+        ]));
+        // Revisit by user 3 moves them to the front without duplication.
+        v.record_valid_checkin(UserId(3), 3);
+        assert_eq!(v.recent_visitors, VecDeque::from(vec![
+            UserId(3),
+            UserId(5),
+            UserId(4)
+        ]));
+        assert_eq!(v.checkins_here, 6);
+        assert_eq!(v.unique_visitors.len(), 5);
+    }
+
+    #[test]
+    fn unclaimed_special_detection() {
+        let mut v = venue();
+        assert!(v.is_unclaimed_special());
+        v.mayor = Some(UserId(9));
+        assert!(!v.is_unclaimed_special());
+        v.mayor = None;
+        v.special = Some(Special {
+            description: "10% off any check-in".into(),
+            kind: SpecialKind::EveryCheckin,
+        });
+        assert!(!v.is_unclaimed_special(), "non-mayor specials don't count");
+        v.special = None;
+        assert!(!v.is_unclaimed_special());
+    }
+}

@@ -1,0 +1,489 @@
+//! The public web frontend: the pages the paper's crawler scraped.
+//!
+//! §3.2: "Two types of URLs can be used to access user profiles. The
+//! first one is with an internal user ID in URL, like
+//! `http://Foursquare.com/user/1852791` … For venue profiles, Foursquare
+//! only uses numbered IDs". We render the same routes and the same
+//! information content:
+//!
+//! * `/user/<id>` and `/user/<name>` — username, home, total check-ins,
+//!   badge/friend counts. Mayorships and check-in history are *not*
+//!   shown (the paper infers them from venue pages).
+//! * `/venue/<id>` — name, address, coordinates, check-in and
+//!   unique-visitor counts, the special, a link to the mayor, and the
+//!   "Who's been here" recent-visitor list (Fig B.1 — the section
+//!   Foursquare removed right after the authors finished crawling).
+//!
+//! [`WebConfig`] carries the §5.2 defense switches: login gating for
+//! profile pages, hashing of visitor IDs, and removal of the visitor
+//! list.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::{LbsnServer, UserId, VenueId};
+
+/// Defense-related frontend switches (§5.2).
+#[derive(Debug, Clone)]
+pub struct WebConfig {
+    /// Require a logged-in session to view profile pages ("If a user
+    /// must login to view the publicly available profile pages, it's
+    /// easier to detect the crawling users and block them").
+    pub require_login: bool,
+    /// Replace visitor user IDs with opaque hashes ("the service
+    /// provider may use the hash function to hide necessary information
+    /// (such as user IDs in the recent check-in list)").
+    pub hash_visitor_ids: bool,
+    /// Render the "Who's been here" section at all. Foursquare removed
+    /// it after the crawl; setting this false reproduces the post-fix
+    /// site.
+    pub show_whos_been_here: bool,
+}
+
+impl Default for WebConfig {
+    fn default() -> Self {
+        // The August-2010 site the paper crawled: everything public.
+        WebConfig {
+            require_login: false,
+            hash_visitor_ids: false,
+            show_whos_been_here: true,
+        }
+    }
+}
+
+/// A minimal HTTP-ish request. The transport is in-process; only the
+/// fields the frontend and the anti-crawl defenses inspect exist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageRequest {
+    /// Request path, e.g. `/user/1852791`.
+    pub path: String,
+    /// Whether the client presented a valid login session.
+    pub logged_in: bool,
+}
+
+impl PageRequest {
+    /// An anonymous GET for `path`.
+    pub fn get(path: impl Into<String>) -> Self {
+        PageRequest {
+            path: path.into(),
+            logged_in: false,
+        }
+    }
+
+    /// A logged-in GET for `path`.
+    pub fn get_logged_in(path: impl Into<String>) -> Self {
+        PageRequest {
+            path: path.into(),
+            logged_in: true,
+        }
+    }
+}
+
+/// An HTTP-ish response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageResponse {
+    /// 200, 403, or 404.
+    pub status: u16,
+    /// HTML body (empty for non-200).
+    pub body: String,
+}
+
+impl PageResponse {
+    fn ok(body: String) -> Self {
+        PageResponse { status: 200, body }
+    }
+
+    fn not_found() -> Self {
+        PageResponse {
+            status: 404,
+            body: String::new(),
+        }
+    }
+
+    fn login_required() -> Self {
+        PageResponse {
+            status: 403,
+            body: String::new(),
+        }
+    }
+
+    /// Whether this is a successful page load.
+    pub fn is_ok(&self) -> bool {
+        self.status == 200
+    }
+}
+
+/// The web frontend. Cheap to clone; thread-safe — the crawler calls
+/// [`WebFrontend::handle`] from many worker threads.
+#[derive(Clone)]
+pub struct WebFrontend {
+    server: Arc<LbsnServer>,
+    config: Arc<RwLock<WebConfig>>,
+}
+
+impl std::fmt::Debug for WebFrontend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WebFrontend")
+            .field("config", &*self.config.read())
+            .finish()
+    }
+}
+
+impl WebFrontend {
+    /// A frontend over a server with the August-2010 (fully public)
+    /// configuration.
+    pub fn new(server: Arc<LbsnServer>) -> Self {
+        WebFrontend::with_config(server, WebConfig::default())
+    }
+
+    /// A frontend with an explicit configuration.
+    pub fn with_config(server: Arc<LbsnServer>, config: WebConfig) -> Self {
+        WebFrontend {
+            server,
+            config: Arc::new(RwLock::new(config)),
+        }
+    }
+
+    /// Swaps the configuration (the defense experiments flip switches
+    /// mid-run).
+    pub fn set_config(&self, config: WebConfig) {
+        *self.config.write() = config;
+    }
+
+    /// A snapshot of the current configuration.
+    pub fn config(&self) -> WebConfig {
+        self.config.read().clone()
+    }
+
+    /// The server this frontend renders.
+    pub fn server(&self) -> &Arc<LbsnServer> {
+        &self.server
+    }
+
+    /// Routes and renders a request.
+    pub fn handle(&self, req: &PageRequest) -> PageResponse {
+        let config = self.config.read().clone();
+        if config.require_login && !req.logged_in {
+            return PageResponse::login_required();
+        }
+        let mut parts = req.path.trim_start_matches('/').splitn(2, '/');
+        match (parts.next(), parts.next()) {
+            (Some("user"), Some(rest)) => self.user_page(rest),
+            (Some("venue"), Some(rest)) => self.venue_page(rest, &config),
+            _ => PageResponse::not_found(),
+        }
+    }
+
+    fn user_page(&self, key: &str) -> PageResponse {
+        let id = if let Ok(n) = key.parse::<u64>() {
+            UserId(n)
+        } else if let Some(id) = self.server.user_id_by_name(key) {
+            id
+        } else {
+            return PageResponse::not_found();
+        };
+        let page = self.server.with_user(id, |u| {
+            let display = u
+                .username
+                .clone()
+                .unwrap_or_else(|| format!("user{}", u.id.value()));
+            let home = u
+                .home
+                .map(|h| format!("{:.4}, {:.4}", h.lat(), h.lon()))
+                .unwrap_or_else(|| "unknown".to_string());
+            format!(
+                "<html><head><title>LBSN user {id}</title></head><body>\n\
+                 <div class=\"user-profile\" data-id=\"{id}\">\n\
+                 <h1 class=\"username\">{display}</h1>\n\
+                 <span class=\"home\">{home}</span>\n\
+                 <span class=\"stat total-checkins\">{total}</span>\n\
+                 <span class=\"stat badges\">{badges}</span>\n\
+                 <span class=\"stat friends\">{friends}</span>\n\
+                 <span class=\"stat points\">{points}</span>\n\
+                 </div></body></html>",
+                id = u.id.value(),
+                display = display,
+                home = home,
+                total = u.total_checkins,
+                badges = u.badge_count(),
+                friends = u.friends.len(),
+                points = u.points,
+            )
+        });
+        match page {
+            Some(body) => PageResponse::ok(body),
+            None => PageResponse::not_found(),
+        }
+    }
+
+    fn venue_page(&self, key: &str, config: &WebConfig) -> PageResponse {
+        let id = match key.parse::<u64>() {
+            Ok(n) => VenueId(n),
+            Err(_) => return PageResponse::not_found(),
+        };
+        let page = self.server.with_venue(id, |v| {
+            let special_html = match &v.special {
+                Some(s) => {
+                    let kind = match s.kind {
+                        crate::SpecialKind::MayorOnly => "mayor",
+                        crate::SpecialKind::EveryCheckin => "everyone",
+                        crate::SpecialKind::Loyalty { .. } => "loyalty",
+                    };
+                    format!(
+                        "<div class=\"special\" data-kind=\"{kind}\">{}</div>\n",
+                        s.description
+                    )
+                }
+                None => String::new(),
+            };
+            let mayor_html = match v.mayor {
+                Some(m) => format!(
+                    "<a class=\"mayor\" href=\"/user/{0}\">u{0}</a>\n",
+                    m.value()
+                ),
+                None => "<span class=\"mayor none\">No mayor yet</span>\n".to_string(),
+            };
+            let visitors_html = if config.show_whos_been_here {
+                let entries: String = v
+                    .recent_visitors
+                    .iter()
+                    .map(|u| {
+                        if config.hash_visitor_ids {
+                            format!(
+                                "<span class=\"visitor\">{}</span>",
+                                opaque_visitor_token(*u)
+                            )
+                        } else {
+                            format!(
+                                "<a class=\"visitor\" href=\"/user/{0}\">u{0}</a>",
+                                u.value()
+                            )
+                        }
+                    })
+                    .collect();
+                format!("<div class=\"whos-been-here\">{entries}</div>\n")
+            } else {
+                String::new()
+            };
+            // Up to five most-recent tips appear on the page.
+            let tips_html = {
+                let entries: String = v
+                    .tips
+                    .iter()
+                    .take(5)
+                    .map(|t| {
+                        format!(
+                            "<div class=\"tip\" data-user=\"{}\">{}</div>",
+                            t.user.value(),
+                            t.text
+                        )
+                    })
+                    .collect();
+                format!(
+                    "<span class=\"stat tips\">{}</span>\n<div class=\"tips\">{entries}</div>\n",
+                    v.tips.len()
+                )
+            };
+            format!(
+                "<html><head><title>LBSN venue {id}</title></head><body>\n\
+                 <div class=\"venue\" data-id=\"{id}\">\n\
+                 <h1 class=\"venue-name\">{name}</h1>\n\
+                 <span class=\"address\">{address}</span>\n\
+                 <span class=\"category\">{category}</span>\n\
+                 <span class=\"geo\" data-lat=\"{lat:.6}\" data-lon=\"{lon:.6}\"></span>\n\
+                 <span class=\"stat checkins-here\">{checkins}</span>\n\
+                 <span class=\"stat unique-visitors\">{unique}</span>\n\
+                 {tips}{special}{mayor}{visitors}</div></body></html>",
+                id = v.id.value(),
+                name = v.name,
+                address = v.address,
+                category = v.category.label(),
+                lat = v.location.lat(),
+                lon = v.location.lon(),
+                checkins = v.checkins_here,
+                unique = v.unique_visitors.len(),
+                tips = tips_html,
+                special = special_html,
+                mayor = mayor_html,
+                visitors = visitors_html,
+            )
+        });
+        match page {
+            Some(body) => PageResponse::ok(body),
+            None => PageResponse::not_found(),
+        }
+    }
+}
+
+/// The §5.2 mitigation: a keyed one-way token in place of a visitor's
+/// user ID. Crawlers can still count list entries but can no longer join
+/// them across venues into per-user location histories, because the
+/// token is salted per deployment.
+fn opaque_visitor_token(u: UserId) -> String {
+    // FNV-1a over the id with a fixed deployment salt.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ 0x5A5A_1EB5_0CA1_5EED;
+    for b in u.value().to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    format!("h{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        CheckinRequest, CheckinSource, ServerConfig, Special, SpecialKind, UserSpec, VenueSpec,
+    };
+    use lbsn_geo::GeoPoint;
+    use lbsn_sim::{Duration, SimClock};
+
+    fn setup() -> (Arc<LbsnServer>, WebFrontend) {
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let frontend = WebFrontend::new(Arc::clone(&server));
+        (server, frontend)
+    }
+
+    fn abq() -> GeoPoint {
+        GeoPoint::new(35.0844, -106.6504).unwrap()
+    }
+
+    #[test]
+    fn user_page_by_id_and_name() {
+        let (server, web) = setup();
+        let id = server.register_user(UserSpec::named("mai").home(abq()));
+        let by_id = web.handle(&PageRequest::get(format!("/user/{}", id.value())));
+        assert!(by_id.is_ok());
+        assert!(by_id.body.contains("<h1 class=\"username\">mai</h1>"));
+        assert!(by_id.body.contains("total-checkins\">0<"));
+        let by_name = web.handle(&PageRequest::get("/user/mai"));
+        assert_eq!(by_id.body, by_name.body);
+    }
+
+    #[test]
+    fn unknown_routes_404() {
+        let (_, web) = setup();
+        assert_eq!(web.handle(&PageRequest::get("/user/999")).status, 404);
+        assert_eq!(web.handle(&PageRequest::get("/venue/999")).status, 404);
+        assert_eq!(web.handle(&PageRequest::get("/nothing/1")).status, 404);
+        assert_eq!(web.handle(&PageRequest::get("/user")).status, 404);
+        assert_eq!(web.handle(&PageRequest::get("")).status, 404);
+    }
+
+    #[test]
+    fn venue_page_shows_profile_fields() {
+        let (server, web) = setup();
+        let vid = server.register_venue(
+            VenueSpec::new("Starbucks #5", abq())
+                .address("500 Central Ave")
+                .category(crate::VenueCategory::Coffee)
+                .special(Special {
+                    description: "Free coffee for the mayor!".into(),
+                    kind: SpecialKind::MayorOnly,
+                }),
+        );
+        let uid = server.register_user(UserSpec::anonymous());
+        server
+            .check_in(&CheckinRequest {
+                user: uid,
+                venue: vid,
+                reported_location: abq(),
+                source: CheckinSource::MobileApp,
+            })
+            .unwrap();
+        let page = web.handle(&PageRequest::get("/venue/1"));
+        assert!(page.is_ok());
+        let b = &page.body;
+        assert!(b.contains("venue-name\">Starbucks #5<"));
+        assert!(b.contains("data-lat=\"35.084400\""));
+        assert!(b.contains("data-lon=\"-106.650400\""));
+        assert!(b.contains("checkins-here\">1<"));
+        assert!(b.contains("unique-visitors\">1<"));
+        assert!(b.contains("data-kind=\"mayor\""));
+        assert!(b.contains("class=\"mayor\" href=\"/user/1\""));
+        assert!(b.contains("whos-been-here"));
+        assert!(b.contains("href=\"/user/1\">u1</a>"));
+    }
+
+    #[test]
+    fn venue_without_mayor_says_so() {
+        let (server, web) = setup();
+        server.register_venue(VenueSpec::new("Quiet Spot", abq()));
+        let page = web.handle(&PageRequest::get("/venue/1"));
+        assert!(page.body.contains("No mayor yet"));
+    }
+
+    #[test]
+    fn login_gate_blocks_anonymous() {
+        let (server, web) = setup();
+        server.register_user(UserSpec::anonymous());
+        web.set_config(WebConfig {
+            require_login: true,
+            ..WebConfig::default()
+        });
+        assert_eq!(web.handle(&PageRequest::get("/user/1")).status, 403);
+        assert!(web
+            .handle(&PageRequest::get_logged_in("/user/1"))
+            .is_ok());
+    }
+
+    #[test]
+    fn hashed_visitor_ids_hide_identity_but_keep_counts() {
+        let (server, web) = setup();
+        let vid = server.register_venue(VenueSpec::new("Spot", abq()));
+        for _ in 0..3 {
+            let u = server.register_user(UserSpec::anonymous());
+            server
+                .check_in(&CheckinRequest {
+                    user: u,
+                    venue: vid,
+                    reported_location: abq(),
+                    source: CheckinSource::MobileApp,
+                })
+                .unwrap();
+            server.clock().advance(Duration::minutes(5));
+        }
+        web.set_config(WebConfig {
+            hash_visitor_ids: true,
+            ..WebConfig::default()
+        });
+        let page = web.handle(&PageRequest::get("/venue/1"));
+        assert!(!page.body.contains("class=\"visitor\" href"));
+        assert_eq!(page.body.matches("<span class=\"visitor\">h").count(), 3);
+        // Tokens are stable per user but opaque.
+        let again = web.handle(&PageRequest::get("/venue/1"));
+        assert_eq!(page.body, again.body);
+    }
+
+    #[test]
+    fn whos_been_here_removable() {
+        let (server, web) = setup();
+        let vid = server.register_venue(VenueSpec::new("Spot", abq()));
+        let u = server.register_user(UserSpec::anonymous());
+        server
+            .check_in(&CheckinRequest {
+                user: u,
+                venue: vid,
+                reported_location: abq(),
+                source: CheckinSource::MobileApp,
+            })
+            .unwrap();
+        web.set_config(WebConfig {
+            show_whos_been_here: false,
+            ..WebConfig::default()
+        });
+        let page = web.handle(&PageRequest::get("/venue/1"));
+        assert!(page.is_ok());
+        assert!(!page.body.contains("whos-been-here"));
+    }
+
+    #[test]
+    fn anonymous_user_renders_generated_name() {
+        let (server, web) = setup();
+        server.register_user(UserSpec::anonymous());
+        let page = web.handle(&PageRequest::get("/user/1"));
+        assert!(page.body.contains("username\">user1<"));
+        assert!(page.body.contains("home\">unknown<"));
+    }
+}

@@ -1,0 +1,239 @@
+//! Virtual time: the shared simulation clock and time newtypes.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds in a virtual minute.
+pub const MINUTE: u64 = 60;
+/// Seconds in a virtual hour.
+pub const HOUR: u64 = 60 * MINUTE;
+/// Seconds in a virtual day.
+pub const DAY: u64 = 24 * HOUR;
+
+/// A point in virtual time: seconds since the service launched.
+///
+/// Epoch 0 corresponds to the paper's "Foursquare launched in March 2009";
+/// the August-2010 crawl is then around day 520. Nothing depends on the
+/// absolute calendar — only on differences and on day boundaries (the
+/// mayorship algorithm counts *days with check-ins*).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Timestamp at the given number of whole virtual days since launch.
+    pub fn at_day(day: u64) -> Self {
+        Timestamp(day * DAY)
+    }
+
+    /// The virtual day index this timestamp falls in.
+    pub fn day(self) -> u64 {
+        self.0 / DAY
+    }
+
+    /// Seconds since launch.
+    pub fn secs(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "d{}+{:02}:{:02}:{:02}",
+            self.day(),
+            (self.0 % DAY) / HOUR,
+            (self.0 % HOUR) / MINUTE,
+            self.0 % MINUTE
+        )
+    }
+}
+
+/// A span of virtual time in seconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    /// A duration of `n` seconds.
+    pub fn secs(n: u64) -> Self {
+        Duration(n)
+    }
+
+    /// A duration of `n` minutes.
+    pub fn minutes(n: u64) -> Self {
+        Duration(n * MINUTE)
+    }
+
+    /// A duration of `n` hours.
+    pub fn hours(n: u64) -> Self {
+        Duration(n * HOUR)
+    }
+
+    /// A duration of `n` days.
+    pub fn days(n: u64) -> Self {
+        Duration(n * DAY)
+    }
+
+    /// The span as seconds.
+    pub fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// The span as fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / HOUR as f64
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    fn sub(self, rhs: Timestamp) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+/// The shared, monotonic virtual clock.
+///
+/// Cheap to clone (an `Arc` around an atomic); every component of the
+/// simulation — server, devices, crawler, attack schedulers — reads the
+/// same clock, and the test driver advances it.
+///
+/// ```
+/// use lbsn_sim::{Duration, SimClock};
+///
+/// let clock = SimClock::new();
+/// let h = clock.clone();
+/// clock.advance(Duration::minutes(5));
+/// assert_eq!(h.now().secs(), 300);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A clock starting at virtual time zero (service launch).
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// A clock starting at the given time.
+    pub fn starting_at(t: Timestamp) -> Self {
+        let c = SimClock::new();
+        c.now.store(t.0, Ordering::SeqCst);
+        c
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> Timestamp {
+        Timestamp(self.now.load(Ordering::SeqCst))
+    }
+
+    /// Advances the clock by `d`. Returns the new time.
+    pub fn advance(&self, d: Duration) -> Timestamp {
+        Timestamp(self.now.fetch_add(d.0, Ordering::SeqCst) + d.0)
+    }
+
+    /// Moves the clock forward to `t`. A no-op if `t` is in the past —
+    /// the clock never runs backwards.
+    pub fn advance_to(&self, t: Timestamp) {
+        self.now.fetch_max(t.0, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), Timestamp(0));
+        assert_eq!(c.advance(Duration::secs(10)), Timestamp(10));
+        assert_eq!(c.now(), Timestamp(10));
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let c = SimClock::new();
+        let d = c.clone();
+        c.advance(Duration::hours(1));
+        assert_eq!(d.now().secs(), HOUR);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let c = SimClock::starting_at(Timestamp(100));
+        c.advance_to(Timestamp(50));
+        assert_eq!(c.now(), Timestamp(100));
+        c.advance_to(Timestamp(150));
+        assert_eq!(c.now(), Timestamp(150));
+    }
+
+    #[test]
+    fn day_boundaries() {
+        assert_eq!(Timestamp(0).day(), 0);
+        assert_eq!(Timestamp(DAY - 1).day(), 0);
+        assert_eq!(Timestamp(DAY).day(), 1);
+        assert_eq!(Timestamp::at_day(520).day(), 520);
+    }
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(Duration::minutes(5).as_secs(), 300);
+        assert_eq!(Duration::hours(2).as_secs(), 7200);
+        assert_eq!(Duration::days(1).as_secs(), 86_400);
+        assert_eq!(Duration::hours(3).as_hours_f64(), 3.0);
+    }
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = Timestamp(100);
+        assert_eq!(t + Duration::secs(50), Timestamp(150));
+        assert_eq!(Timestamp(150) - t, Duration(50));
+        // Saturating: earlier - later is zero, not underflow.
+        assert_eq!(t - Timestamp(150), Duration(0));
+        let mut u = t;
+        u += Duration::secs(1);
+        assert_eq!(u, Timestamp(101));
+    }
+
+    #[test]
+    fn timestamp_display() {
+        let t = Timestamp::at_day(3) + Duration::hours(4) + Duration::minutes(5);
+        assert_eq!(t.to_string(), "d3+04:05:00");
+    }
+}

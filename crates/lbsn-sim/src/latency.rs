@@ -1,0 +1,117 @@
+//! Latency models for simulated network operations.
+
+use crate::RngStream;
+
+/// A distribution of operation latencies, in milliseconds.
+///
+/// The crawler experiments (§3.2 of the paper) are throughput studies:
+/// pages per hour as a function of thread count. Their shape is set by
+/// the per-request latency distribution, so the simulated HTTP fetcher
+/// samples from one of these. `Zero` makes tests instant; `Lognormal`
+/// approximates real web-server response times (long right tail).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
+pub enum LatencyModel {
+    /// No latency at all (unit tests).
+    #[default]
+    Zero,
+    /// A fixed latency in milliseconds.
+    Constant(f64),
+    /// Uniform between `lo` and `hi` milliseconds.
+    Uniform {
+        /// Lower bound (ms).
+        lo: f64,
+        /// Upper bound (ms).
+        hi: f64,
+    },
+    /// Log-normal with the given median and sigma of the underlying
+    /// normal — the classic web-latency shape.
+    Lognormal {
+        /// Median latency (ms).
+        median_ms: f64,
+        /// Spread of the underlying normal.
+        sigma: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Samples one latency in milliseconds. Never negative.
+    pub fn sample_ms(&self, rng: &mut RngStream) -> f64 {
+        match *self {
+            LatencyModel::Zero => 0.0,
+            LatencyModel::Constant(ms) => ms.max(0.0),
+            LatencyModel::Uniform { lo, hi } => {
+                if hi <= lo {
+                    lo.max(0.0)
+                } else {
+                    rng.range_f64(lo, hi).max(0.0)
+                }
+            }
+            LatencyModel::Lognormal { median_ms, sigma } => {
+                (median_ms.max(0.0)) * (sigma * rng.normal()).exp()
+            }
+        }
+    }
+
+    /// The distribution mean in milliseconds (exact, not sampled).
+    pub fn mean_ms(&self) -> f64 {
+        match *self {
+            LatencyModel::Zero => 0.0,
+            LatencyModel::Constant(ms) => ms.max(0.0),
+            LatencyModel::Uniform { lo, hi } => ((lo + hi) / 2.0).max(0.0),
+            LatencyModel::Lognormal { median_ms, sigma } => {
+                median_ms.max(0.0) * (sigma * sigma / 2.0).exp()
+            }
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_constant() {
+        let mut r = RngStream::from_seed(1);
+        assert_eq!(LatencyModel::Zero.sample_ms(&mut r), 0.0);
+        assert_eq!(LatencyModel::Constant(150.0).sample_ms(&mut r), 150.0);
+        assert_eq!(LatencyModel::Constant(-5.0).sample_ms(&mut r), 0.0);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = RngStream::from_seed(2);
+        let m = LatencyModel::Uniform { lo: 10.0, hi: 20.0 };
+        for _ in 0..500 {
+            let v = m.sample_ms(&mut r);
+            assert!((10.0..20.0).contains(&v));
+        }
+        // Degenerate bounds collapse to lo.
+        let bad = LatencyModel::Uniform { lo: 5.0, hi: 5.0 };
+        assert_eq!(bad.sample_ms(&mut r), 5.0);
+    }
+
+    #[test]
+    fn lognormal_mean_matches_formula() {
+        let mut r = RngStream::from_seed(3);
+        let m = LatencyModel::Lognormal {
+            median_ms: 100.0,
+            sigma: 0.5,
+        };
+        let n = 40_000;
+        let avg = (0..n).map(|_| m.sample_ms(&mut r)).sum::<f64>() / n as f64;
+        assert!(
+            (avg - m.mean_ms()).abs() < m.mean_ms() * 0.05,
+            "sampled {avg}, formula {}",
+            m.mean_ms()
+        );
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(LatencyModel::Zero.mean_ms(), 0.0);
+        assert_eq!(LatencyModel::Constant(7.0).mean_ms(), 7.0);
+        assert_eq!(LatencyModel::Uniform { lo: 0.0, hi: 10.0 }.mean_ms(), 5.0);
+    }
+}

@@ -1,0 +1,22 @@
+//! Simulation substrate: virtual time, deterministic randomness, latency
+//! models, and rate limiting.
+//!
+//! The paper's experiments ran against live Foursquare over days (the
+//! mayorship took 4 daily check-ins plus a 9-day wait; the crawl took ~2
+//! days per full pass). The reproduction replays those timelines against a
+//! virtual clock so a "week" of check-ins takes microseconds, while the
+//! crawler's thread-scaling experiments use real threads with injectable
+//! latency. Everything is seeded and deterministic: the same
+//! [`RngStream`] seed regenerates the same population, the same figures.
+
+#![warn(missing_docs)]
+
+mod clock;
+mod latency;
+mod rate;
+mod rng;
+
+pub use clock::{Duration, SimClock, Timestamp, DAY, HOUR, MINUTE};
+pub use latency::LatencyModel;
+pub use rate::TokenBucket;
+pub use rng::RngStream;

@@ -1,0 +1,128 @@
+//! Token-bucket rate limiting over virtual time.
+
+use crate::{Duration, Timestamp};
+
+/// A token bucket metering events against the virtual clock.
+///
+/// Used by the anti-crawl defenses (§5.2): per-IP request limits are a
+/// bucket per client, and the crawler's throughput collapses once its
+/// request rate exceeds the refill rate.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: f64,
+    tokens: f64,
+    refill_per_sec: f64,
+    last: Timestamp,
+}
+
+impl TokenBucket {
+    /// A bucket holding at most `capacity` tokens, refilling at
+    /// `refill_per_sec` tokens per virtual second. Starts full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `refill_per_sec` is not positive/finite.
+    pub fn new(capacity: f64, refill_per_sec: f64, now: Timestamp) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive, got {capacity}"
+        );
+        assert!(
+            refill_per_sec.is_finite() && refill_per_sec >= 0.0,
+            "refill rate must be non-negative, got {refill_per_sec}"
+        );
+        TokenBucket {
+            capacity,
+            tokens: capacity,
+            refill_per_sec,
+            last: now,
+        }
+    }
+
+    /// A bucket allowing `n` events per virtual period, with burst equal
+    /// to `n`.
+    pub fn per(n: u64, period: Duration, now: Timestamp) -> Self {
+        let rate = n as f64 / period.as_secs().max(1) as f64;
+        TokenBucket::new(n.max(1) as f64, rate, now)
+    }
+
+    fn refill(&mut self, now: Timestamp) {
+        let elapsed = now.since(self.last).as_secs() as f64;
+        self.tokens = (self.tokens + elapsed * self.refill_per_sec).min(self.capacity);
+        self.last = self.last.max(now);
+    }
+
+    /// Attempts to consume one token at virtual time `now`. Returns
+    /// whether the event is allowed.
+    pub fn try_acquire(&mut self, now: Timestamp) -> bool {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after refilling to `now`).
+    pub fn available(&mut self, now: Timestamp) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_drains() {
+        let mut b = TokenBucket::new(3.0, 1.0, Timestamp(0));
+        assert!(b.try_acquire(Timestamp(0)));
+        assert!(b.try_acquire(Timestamp(0)));
+        assert!(b.try_acquire(Timestamp(0)));
+        assert!(!b.try_acquire(Timestamp(0)));
+    }
+
+    #[test]
+    fn refills_over_time() {
+        let mut b = TokenBucket::new(2.0, 0.5, Timestamp(0)); // 1 token / 2s
+        assert!(b.try_acquire(Timestamp(0)));
+        assert!(b.try_acquire(Timestamp(0)));
+        assert!(!b.try_acquire(Timestamp(1)));
+        assert!(b.try_acquire(Timestamp(2)));
+        assert!(!b.try_acquire(Timestamp(2)));
+    }
+
+    #[test]
+    fn refill_caps_at_capacity() {
+        let mut b = TokenBucket::new(2.0, 100.0, Timestamp(0));
+        assert_eq!(b.available(Timestamp(1000)), 2.0);
+    }
+
+    #[test]
+    fn per_helper_allows_n_per_period() {
+        let mut b = TokenBucket::per(10, Duration::hours(1), Timestamp(0));
+        let allowed = (0..20).filter(|_| b.try_acquire(Timestamp(0))).count();
+        assert_eq!(allowed, 10);
+        // After a full period the bucket is full again.
+        let allowed2 = (0..20)
+            .filter(|_| b.try_acquire(Timestamp(crate::HOUR)))
+            .count();
+        assert_eq!(allowed2, 10);
+    }
+
+    #[test]
+    fn time_moving_backwards_is_harmless() {
+        let mut b = TokenBucket::new(1.0, 1.0, Timestamp(100));
+        assert!(b.try_acquire(Timestamp(100)));
+        // A stale timestamp neither panics nor grants free tokens.
+        assert!(!b.try_acquire(Timestamp(50)));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = TokenBucket::new(0.0, 1.0, Timestamp(0));
+    }
+}

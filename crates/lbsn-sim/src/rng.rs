@@ -1,0 +1,223 @@
+//! Deterministic, forkable random-number streams.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded random stream that can be forked into independent substreams.
+///
+/// Reproducibility discipline: every experiment takes one root seed, and
+/// every component forks its own labelled stream. Adding a new consumer
+/// (say, a second cheater archetype) never perturbs the draws seen by
+/// existing ones, so figures stay stable as the codebase grows.
+///
+/// ```
+/// use lbsn_sim::RngStream;
+///
+/// let mut root = RngStream::from_seed(42);
+/// let mut venues = root.fork("venues");
+/// let mut users = root.fork("users");
+/// // Forks are deterministic functions of (seed, label):
+/// let mut venues2 = RngStream::from_seed(42).fork("venues");
+/// assert_eq!(venues.next_u64(), venues2.next_u64());
+/// # let _ = users.next_u64();
+/// ```
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    seed: u64,
+    rng: StdRng,
+}
+
+impl RngStream {
+    /// Creates a stream from a root seed.
+    pub fn from_seed(seed: u64) -> Self {
+        RngStream {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Forks an independent substream identified by a label.
+    ///
+    /// The fork depends only on this stream's original seed and the
+    /// label — not on how many values have been drawn — so call order
+    /// does not matter.
+    pub fn fork(&self, label: &str) -> RngStream {
+        let mixed = fnv1a(label) ^ self.seed.rotate_left(17) ^ 0x9E37_79B9_7F4A_7C15;
+        RngStream::from_seed(splitmix64(mixed))
+    }
+
+    /// Forks a numbered substream (e.g. one per user).
+    pub fn fork_indexed(&self, label: &str, index: u64) -> RngStream {
+        let mixed = fnv1a(label) ^ self.seed.rotate_left(17) ^ splitmix64(index);
+        RngStream::from_seed(splitmix64(mixed))
+    }
+
+    /// The next `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// A uniform integer in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// A uniform float in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// A standard-normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// A log-normal sample with the given parameters of the underlying
+    /// normal. Used for the heavy-tailed check-in-count distribution.
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Picks a uniformly random element. Returns `None` on an empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.range_u64(0, items.len() as u64) as usize;
+            Some(&items[i])
+        }
+    }
+
+    /// Fisher–Yates shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range_u64(0, (i + 1) as u64) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Access to the underlying `rand` RNG for generic APIs.
+    pub fn as_rng(&mut self) -> &mut impl Rng {
+        &mut self.rng
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = RngStream::from_seed(7);
+        let mut b = RngStream::from_seed(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_of_draw_order() {
+        let mut root1 = RngStream::from_seed(1);
+        let _ = root1.next_u64(); // consume some values first
+        let _ = root1.next_u64();
+        let mut f1 = root1.fork("x");
+
+        let root2 = RngStream::from_seed(1);
+        let mut f2 = root2.fork("x");
+        assert_eq!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let root = RngStream::from_seed(1);
+        assert_ne!(root.fork("a").next_u64(), root.fork("b").next_u64());
+        assert_ne!(
+            root.fork_indexed("u", 0).next_u64(),
+            root.fork_indexed("u", 1).next_u64()
+        );
+    }
+
+    #[test]
+    fn uniform_ranges_respect_bounds() {
+        let mut r = RngStream::from_seed(3);
+        for _ in 0..1000 {
+            let v = r.range_u64(5, 10);
+            assert!((5..10).contains(&v));
+            let f = r.range_f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = RngStream::from_seed(4);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-5.0));
+        assert!(r.chance(5.0));
+    }
+
+    #[test]
+    fn normal_has_sane_moments() {
+        let mut r = RngStream::from_seed(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = RngStream::from_seed(6);
+        for _ in 0..1000 {
+            assert!(r.log_normal(1.0, 2.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut r = RngStream::from_seed(8);
+        let empty: [u8; 0] = [];
+        assert!(r.choose(&empty).is_none());
+        let items = [1, 2, 3];
+        assert!(items.contains(r.choose(&items).unwrap()));
+
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle of 100 items left them sorted");
+    }
+}

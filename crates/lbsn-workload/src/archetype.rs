@@ -1,0 +1,111 @@
+//! User archetypes: the behavioural cohorts of §4.
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of account a synthetic user is — the ground truth every
+/// detection experiment scores against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Archetype {
+    /// Registered, never checked in (36.3 % of accounts).
+    Inactive,
+    /// One to five lifetime check-ins (20.4 %).
+    Dabbler,
+    /// Ordinary active user: log-normal lifetime total, one home metro,
+    /// occasional vacations.
+    Regular,
+    /// §4.2's first ≥5000 group: "each of whom is mayor of tens of
+    /// venues, which are all concentrated in a city area". Legitimate.
+    PowerUser,
+    /// An undetected §3.1/§3.3 attacker: emulator spoofing with the
+    /// paced virtual-tour strategy, hopping 30+ cities (Fig 4.3).
+    EmulatorCheater,
+    /// A cheater Foursquare's cheater code caught: teleporting
+    /// check-ins that count toward totals but earn nothing (Fig 4.2's
+    /// low-reward band).
+    CaughtCheater,
+    /// §4.2's second ≥5000 group: caught cheaters with enormous totals
+    /// (one exceeds 12,000 — the global maximum), no mayorships, few
+    /// badges.
+    CaughtWhale,
+    /// §3.4's farmer: one check-in at each of hundreds of dormant
+    /// venues, hoarding mayorships (865 at full scale) from only ~1265
+    /// check-ins.
+    MayorFarmer,
+}
+
+impl Archetype {
+    /// Whether this account is cheating (ground truth for detection
+    /// precision/recall).
+    pub fn is_cheater(self) -> bool {
+        matches!(
+            self,
+            Archetype::EmulatorCheater
+                | Archetype::CaughtCheater
+                | Archetype::CaughtWhale
+                | Archetype::MayorFarmer
+        )
+    }
+
+    /// Whether the service's own cheater code catches this account
+    /// (caught cohorts) or not (the paper's novel attacks).
+    pub fn caught_by_cheater_code(self) -> bool {
+        matches!(self, Archetype::CaughtCheater | Archetype::CaughtWhale)
+    }
+
+    /// Stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Archetype::Inactive => "inactive",
+            Archetype::Dabbler => "dabbler",
+            Archetype::Regular => "regular",
+            Archetype::PowerUser => "power-user",
+            Archetype::EmulatorCheater => "emulator-cheater",
+            Archetype::CaughtCheater => "caught-cheater",
+            Archetype::CaughtWhale => "caught-whale",
+            Archetype::MayorFarmer => "mayor-farmer",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cheater_classification() {
+        assert!(!Archetype::Inactive.is_cheater());
+        assert!(!Archetype::Dabbler.is_cheater());
+        assert!(!Archetype::Regular.is_cheater());
+        assert!(!Archetype::PowerUser.is_cheater());
+        assert!(Archetype::EmulatorCheater.is_cheater());
+        assert!(Archetype::CaughtCheater.is_cheater());
+        assert!(Archetype::CaughtWhale.is_cheater());
+        assert!(Archetype::MayorFarmer.is_cheater());
+    }
+
+    #[test]
+    fn caught_vs_undetected() {
+        assert!(Archetype::CaughtWhale.caught_by_cheater_code());
+        assert!(Archetype::CaughtCheater.caught_by_cheater_code());
+        assert!(!Archetype::EmulatorCheater.caught_by_cheater_code());
+        assert!(!Archetype::MayorFarmer.caught_by_cheater_code());
+    }
+
+    #[test]
+    fn labels_unique() {
+        let all = [
+            Archetype::Inactive,
+            Archetype::Dabbler,
+            Archetype::Regular,
+            Archetype::PowerUser,
+            Archetype::EmulatorCheater,
+            Archetype::CaughtCheater,
+            Archetype::CaughtWhale,
+            Archetype::MayorFarmer,
+        ];
+        let mut labels: Vec<_> = all.iter().map(|a| a.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), all.len());
+    }
+}

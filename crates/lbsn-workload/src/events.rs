@@ -1,0 +1,603 @@
+//! Per-user check-in event planning.
+//!
+//! Every archetype's behaviour becomes a deterministic list of
+//! `(time, user, venue)` events. Honest behaviour is planned to *never*
+//! trip the cheater code (real users don't teleport); caught-cheater
+//! behaviour is planned to trip it constantly; emulator cheaters follow
+//! the paper's §3.3 pacing law and sail through.
+
+use std::collections::HashSet;
+
+use lbsn_geo::{distance, meters_to_miles, GeoPoint};
+use lbsn_sim::{RngStream, Timestamp, DAY, HOUR, MINUTE};
+
+use crate::archetype::Archetype;
+use crate::spec::PopulationSpec;
+use crate::venues::{sample_dormant_venue, sample_venue, venue_location, VenuePlan};
+
+/// One planned check-in: plan indices, not server IDs (index `i` maps
+/// to `UserId(i+1)` / `VenueId(i+1)` after registration replay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedEvent {
+    /// When.
+    pub at: Timestamp,
+    /// Plan index of the user.
+    pub user: usize,
+    /// Plan index of the venue.
+    pub venue: usize,
+}
+
+/// Plans all events for one user.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_user_events(
+    user: usize,
+    archetype: Archetype,
+    total_target: u64,
+    home_metro: usize,
+    signup_day: u64,
+    spec: &PopulationSpec,
+    venues: &VenuePlan,
+    rng: &mut RngStream,
+) -> Vec<PlannedEvent> {
+    match archetype {
+        Archetype::Inactive => Vec::new(),
+        Archetype::Dabbler | Archetype::Regular | Archetype::PowerUser => honest_events(
+            user,
+            archetype,
+            total_target,
+            home_metro,
+            signup_day,
+            spec,
+            venues,
+            rng,
+        ),
+        Archetype::EmulatorCheater => {
+            emulator_tour(user, total_target, signup_day, spec, venues, rng)
+        }
+        Archetype::CaughtCheater | Archetype::CaughtWhale => {
+            teleport_spam(user, total_target, home_metro, signup_day, spec, venues, rng)
+        }
+        Archetype::MayorFarmer => mayor_farm(user, signup_day, spec, venues, rng),
+    }
+}
+
+/// How many distinct venues a user with `total` check-ins frequents.
+/// Sub-linear: heavy users revisit favourites. Produces the Fig 4.1
+/// plateau (recent-list presence tracks distinct venues, not totals).
+fn distinct_pool_size(total: u64) -> usize {
+    let f = 8.0 + (total as f64).powf(0.78);
+    (f as usize).min(total as usize).max(1)
+}
+
+/// Samples a pool of distinct venues in a metro; `dormant_share` of the
+/// picks come from the deep tail.
+fn sample_pool(
+    venues: &VenuePlan,
+    metro: usize,
+    size: usize,
+    dormant_share: f64,
+    rng: &mut RngStream,
+) -> Vec<usize> {
+    let mut pool = Vec::with_capacity(size);
+    let mut seen = HashSet::new();
+    let mut attempts = 0;
+    while pool.len() < size && attempts < size * 4 {
+        attempts += 1;
+        let pick = if rng.chance(dormant_share) {
+            sample_dormant_venue(venues, metro, rng)
+        } else {
+            sample_venue(venues, metro, rng)
+        };
+        if let Some(idx) = pick {
+            if seen.insert(idx) {
+                pool.push(idx);
+            }
+        }
+    }
+    pool
+}
+
+/// Spreads `k` event times across one day's 8:00–24:00 window with at
+/// least a 40-minute gap — calm enough that no honest rule ever fires.
+fn day_times(day: u64, k: usize, rng: &mut RngStream) -> Vec<Timestamp> {
+    let k = k.max(1) as u64;
+    let start = day * DAY + 8 * HOUR + rng.range_u64(0, HOUR);
+    let gap = ((15 * HOUR) / k).max(40 * MINUTE);
+    (0..k)
+        .map(|i| Timestamp(start + i * gap))
+        .filter(|t| t.secs() < (day + 1) * DAY)
+        .collect()
+}
+
+/// Daily event count targeting `remaining` events over `days_left`.
+fn day_quota(remaining: u64, days_left: u64, cap: u64, rng: &mut RngStream) -> u64 {
+    if remaining == 0 || days_left == 0 {
+        return remaining.min(cap);
+    }
+    let rate = remaining as f64 / days_left as f64;
+    let base = rate.floor() as u64;
+    let extra = u64::from(rng.chance(rate - base as f64));
+    (base + extra).min(cap).min(remaining)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn honest_events(
+    user: usize,
+    archetype: Archetype,
+    total_target: u64,
+    home_metro: usize,
+    signup_day: u64,
+    spec: &PopulationSpec,
+    venues: &VenuePlan,
+    rng: &mut RngStream,
+) -> Vec<PlannedEvent> {
+    if total_target == 0 || signup_day >= spec.crawl_day {
+        return Vec::new();
+    }
+    let (pool_dormant_share, daily_cap) = match archetype {
+        Archetype::PowerUser => (0.4, 28),
+        _ => (0.06, 10),
+    };
+    let pool = sample_pool(
+        venues,
+        home_metro,
+        distinct_pool_size(total_target),
+        pool_dormant_share,
+        rng,
+    );
+    if pool.is_empty() {
+        return Vec::new();
+    }
+
+    // Vacation blocks: [start_day, end_day), with a travel day on each
+    // side carrying no check-ins (keeps the metro hop outside the
+    // 24-hour speed-rule window).
+    let mut vacations: Vec<(u64, u64, usize, Vec<usize>)> = Vec::new();
+    if total_target >= 20 && spec.crawl_day > signup_day + 30 {
+        let n_vac = if rng.chance(0.5) { 1 } else { 0 } + if rng.chance(0.2) { 1 } else { 0 };
+        for _ in 0..n_vac {
+            let metro = rng.range_u64(0, lbsn_geo::usa::US_METROS.len() as u64) as usize;
+            if metro == home_metro {
+                continue;
+            }
+            let len = 3 + rng.range_u64(0, 4);
+            let start = signup_day + 2 + rng.range_u64(0, spec.crawl_day - signup_day - len - 2);
+            let vpool = sample_pool(venues, metro, 6, 0.2, rng);
+            if !vpool.is_empty() {
+                vacations.push((start, start + len, metro, vpool));
+            }
+        }
+    }
+    let in_vacation = |day: u64| {
+        vacations
+            .iter()
+            .find(|(s, e, _, _)| day >= *s && day < *e)
+    };
+    let is_travel_day = |day: u64| {
+        vacations
+            .iter()
+            .any(|(s, e, _, _)| day + 1 == *s || day == *e)
+    };
+
+    let mut events = Vec::with_capacity(total_target as usize);
+    let mut remaining = total_target;
+    for day in signup_day..spec.crawl_day {
+        if remaining == 0 {
+            break;
+        }
+        if is_travel_day(day) {
+            continue;
+        }
+        let days_left = spec.crawl_day - day;
+        let k = day_quota(remaining, days_left, daily_cap, rng);
+        if k == 0 {
+            continue;
+        }
+        let day_pool: &[usize] = match in_vacation(day) {
+            Some((_, _, _, vpool)) => vpool,
+            None => &pool,
+        };
+        // Distinct venues within the day: no accidental cooldown flags.
+        let mut order: Vec<usize> = day_pool.to_vec();
+        rng.shuffle(&mut order);
+        let k = k.min(order.len() as u64);
+        for (i, t) in day_times(day, k as usize, rng).into_iter().enumerate() {
+            events.push(PlannedEvent {
+                at: t,
+                user,
+                venue: order[i],
+            });
+            remaining -= 1;
+        }
+    }
+    events
+}
+
+/// The §3.3 attack: a paced tour of many cities, all check-ins valid.
+fn emulator_tour(
+    user: usize,
+    total_target: u64,
+    signup_day: u64,
+    spec: &PopulationSpec,
+    venues: &VenuePlan,
+    rng: &mut RngStream,
+) -> Vec<PlannedEvent> {
+    // Itinerary: 30+ cities, always including Alaska and Europe — the
+    // Fig 4.3 signature.
+    let metro_count = venues.metros.len();
+    let mut cities: Vec<usize> = (0..metro_count).collect();
+    rng.shuffle(&mut cities);
+    let mut itinerary: Vec<usize> = cities
+        .into_iter()
+        .take(30 + rng.range_u64(0, 8) as usize)
+        .collect();
+    if let Some(ak) = venues.metros.iter().position(|m| m.region == "AK") {
+        if !itinerary.contains(&ak) {
+            itinerary.push(ak);
+        }
+    }
+    // European metros sit after the US block in the plan's metro list.
+    let eu_start = lbsn_geo::usa::US_METROS.len();
+    if eu_start < metro_count {
+        let eu = eu_start + rng.range_u64(0, (metro_count - eu_start) as u64) as usize;
+        if !itinerary.contains(&eu) {
+            itinerary.push(eu);
+        }
+    }
+
+    let mut events = Vec::new();
+    let mut remaining = total_target;
+    let mut day = signup_day + 1;
+    let mut city_cursor = 0usize;
+    while remaining > 0 && day < spec.crawl_day {
+        let metro = itinerary[city_cursor % itinerary.len()];
+        city_cursor += 1;
+        let k = (8 + rng.range_u64(0, 8)).min(remaining);
+        let day_venues = sample_pool(venues, metro, k as usize, 0.7, rng);
+        // Paced check-ins: T = max(5 min, D miles × 5 min) — the law
+        // that evades the cheater code.
+        let mut t = day * DAY + 8 * HOUR + rng.range_u64(0, HOUR);
+        let mut prev: Option<GeoPoint> = None;
+        for &v in &day_venues {
+            let loc = venue_location(venues, v);
+            if let Some(p) = prev {
+                let miles = meters_to_miles(distance(p, loc));
+                let wait = ((miles.max(1.0)) * 300.0).ceil() as u64;
+                t += wait;
+            }
+            if t >= (day + 1) * DAY - 2 * HOUR {
+                break;
+            }
+            events.push(PlannedEvent {
+                at: Timestamp(t),
+                user,
+                venue: v,
+            });
+            remaining = remaining.saturating_sub(1);
+            prev = Some(loc);
+        }
+        // Rest/travel day between cities keeps metro hops outside the
+        // speed-rule window.
+        day += 2;
+    }
+    events
+}
+
+/// A caught cheater: one plausible check-in near home each day, then
+/// rapid cross-country teleports that the speed rule flags.
+#[allow(clippy::too_many_arguments)]
+fn teleport_spam(
+    user: usize,
+    total_target: u64,
+    home_metro: usize,
+    signup_day: u64,
+    spec: &PopulationSpec,
+    venues: &VenuePlan,
+    rng: &mut RngStream,
+) -> Vec<PlannedEvent> {
+    let mut events = Vec::new();
+    let mut remaining = total_target;
+    // The day's first check-in happens near home and is plausible, so
+    // it earns rewards — §4.2's observation that even the caught whales
+    // "appeared in a recent visitor list of a venue". Rotating the
+    // anchor across the metro's ~60 most popular venues keeps the
+    // whale's days-per-venue inside any 60-day mayor window at ~1, so
+    // organically defended venues never fall to them — matching "do not
+    // have any mayorships".
+    let anchors: Vec<usize> = venues
+        .by_metro
+        .get(home_metro)
+        .map(|list| list.iter().take(60).copied().collect())
+        .unwrap_or_default();
+    if anchors.is_empty() {
+        return events;
+    }
+    // Teleport targets must be far enough from home that the implied
+    // speed stays super-human even late in a burst (after 2.5 h the
+    // 40 m/s rule only flags hops beyond ~360 km; 1000 km clears it for
+    // the longest bursts).
+    let home_loc = venues.metros[home_metro.min(venues.metros.len() - 1)].location();
+    let far_metros: Vec<usize> = (0..lbsn_geo::usa::US_METROS.len())
+        .filter(|&m| distance(venues.metros[m].location(), home_loc) > 1_000_000.0)
+        .collect();
+    if far_metros.is_empty() {
+        return events;
+    }
+    for day in (signup_day + 1)..spec.crawl_day {
+        if remaining == 0 {
+            break;
+        }
+        let days_left = spec.crawl_day - day;
+        // Teleport spam comes in bursts of at least a few check-ins —
+        // a lone daily check-in would never trip the speed rule.
+        let k = day_quota(remaining, days_left, 30, rng)
+            .max(4)
+            .min(remaining);
+        let mut t = day * DAY + 9 * HOUR;
+        for i in 0..k {
+            // First of the day: the home anchor (valid). The rest: a
+            // different metro every six minutes, each flagged as
+            // super-human speed.
+            let pick = if i == 0 {
+                Some(anchors[(day as usize) % anchors.len()])
+            } else {
+                let metro = far_metros[rng.range_u64(0, far_metros.len() as u64) as usize];
+                sample_venue(venues, metro, rng)
+            };
+            if let Some(v) = pick {
+                events.push(PlannedEvent {
+                    at: Timestamp(t),
+                    user,
+                    venue: v,
+                });
+                remaining -= 1;
+            }
+            t += 6 * MINUTE;
+        }
+    }
+    events
+}
+
+/// The §3.4 farmer: a few dormant venues per day, one check-in each,
+/// paced; rest days between metros.
+fn mayor_farm(
+    user: usize,
+    signup_day: u64,
+    spec: &PopulationSpec,
+    venues: &VenuePlan,
+    rng: &mut RngStream,
+) -> Vec<PlannedEvent> {
+    let mayorship_target = spec.scaled(spec.full_farmer_mayorships);
+    let revisit_budget = spec.scaled(1265 - 865);
+    let us_metros = lbsn_geo::usa::US_METROS.len();
+    let mut events = Vec::new();
+    let mut claimed = HashSet::new();
+    let mut day = signup_day + 1;
+    let mut revisits_left = revisit_budget;
+    // Overshoot the mayorship target: a sliver of dormant venues do get
+    // organic visitors later, and a two-day challenger dethrones the
+    // farmer's single check-in. Claiming ~40 % extra keeps the held
+    // count at the target through that attrition.
+    let claim_budget = mayorship_target + mayorship_target * 2 / 5 + 2;
+    while (claimed.len() as u64) < claim_budget && day < spec.crawl_day {
+        let metro = rng.range_u64(0, us_metros as u64) as usize;
+        let k = 2 + rng.range_u64(0, 4);
+        let mut t = day * DAY + 9 * HOUR;
+        let mut prev: Option<GeoPoint> = None;
+        let mut first_today = None;
+        for _ in 0..k {
+            if claimed.len() as u64 >= claim_budget {
+                break;
+            }
+            let Some(v) = sample_dormant_venue(venues, metro, rng) else {
+                break;
+            };
+            if !claimed.insert(v) {
+                continue;
+            }
+            let loc = venue_location(venues, v);
+            if let Some(p) = prev {
+                let miles = meters_to_miles(distance(p, loc));
+                t += ((miles.max(1.0)) * 300.0).ceil() as u64;
+            }
+            events.push(PlannedEvent {
+                at: Timestamp(t),
+                user,
+                venue: v,
+            });
+            first_today.get_or_insert(v);
+            prev = Some(loc);
+        }
+        // Keep totals above mayorships: revisit today's first venue
+        // after the cooldown.
+        if revisits_left > 0 {
+            if let Some(v) = first_today {
+                events.push(PlannedEvent {
+                    at: Timestamp(t + 2 * HOUR),
+                    user,
+                    venue: v,
+                });
+                revisits_left -= 1;
+            }
+        }
+        day += 2; // travel day between metros
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::venues::plan_venues;
+
+    fn setup() -> (PopulationSpec, VenuePlan) {
+        let spec = PopulationSpec::tiny(3_000, 11);
+        let venues = plan_venues(&spec);
+        (spec, venues)
+    }
+
+    fn plan(
+        archetype: Archetype,
+        total: u64,
+        spec: &PopulationSpec,
+        venues: &VenuePlan,
+    ) -> Vec<PlannedEvent> {
+        let mut rng = RngStream::from_seed(99).fork_indexed("user", 1);
+        plan_user_events(0, archetype, total, 0, 10, spec, venues, &mut rng)
+    }
+
+    #[test]
+    fn inactive_users_have_no_events() {
+        let (spec, venues) = setup();
+        assert!(plan(Archetype::Inactive, 0, &spec, &venues).is_empty());
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_capped() {
+        let (spec, venues) = setup();
+        for archetype in [
+            Archetype::Dabbler,
+            Archetype::Regular,
+            Archetype::PowerUser,
+            Archetype::EmulatorCheater,
+            Archetype::CaughtCheater,
+        ] {
+            let total = match archetype {
+                Archetype::Dabbler => 4,
+                Archetype::Regular => 80,
+                _ => 600,
+            };
+            let events = plan(archetype, total, &spec, &venues);
+            assert!(
+                events.len() as u64 <= total,
+                "{archetype:?}: {} > {total}",
+                events.len()
+            );
+            assert!(!events.is_empty(), "{archetype:?} produced nothing");
+            for w in events.windows(2) {
+                assert!(w[0].at <= w[1].at, "{archetype:?} events out of order");
+            }
+            assert!(events.iter().all(|e| e.at.day() < spec.crawl_day));
+        }
+    }
+
+    #[test]
+    fn dabbler_hits_small_targets() {
+        let (spec, venues) = setup();
+        for total in 1..=5 {
+            let events = plan(Archetype::Dabbler, total, &spec, &venues);
+            assert_eq!(events.len() as u64, total, "target {total}");
+        }
+    }
+
+    #[test]
+    fn regular_events_roughly_hit_target() {
+        let (spec, venues) = setup();
+        let events = plan(Archetype::Regular, 200, &spec, &venues);
+        assert!(
+            (events.len() as i64 - 200).abs() < 30,
+            "got {}",
+            events.len()
+        );
+    }
+
+    #[test]
+    fn honest_users_never_repeat_a_venue_within_a_day() {
+        let (spec, venues) = setup();
+        let events = plan(Archetype::Regular, 150, &spec, &venues);
+        let mut per_day: std::collections::HashMap<u64, HashSet<usize>> =
+            std::collections::HashMap::new();
+        for e in &events {
+            assert!(
+                per_day.entry(e.at.day()).or_default().insert(e.venue),
+                "venue repeated within day {}",
+                e.at.day()
+            );
+        }
+    }
+
+    #[test]
+    fn honest_gaps_are_calm() {
+        let (spec, venues) = setup();
+        let events = plan(Archetype::PowerUser, 2_000, &spec, &venues);
+        for w in events.windows(2) {
+            let gap = w[1].at.since(w[0].at).as_secs();
+            assert!(gap >= 40 * MINUTE, "gap {gap}s too tight for honesty");
+        }
+    }
+
+    #[test]
+    fn emulator_tour_visits_many_metros_with_pacing() {
+        let (spec, venues) = setup();
+        let events = plan(Archetype::EmulatorCheater, 800, &spec, &venues);
+        assert!(events.len() > 200);
+        let metros: HashSet<usize> = events
+            .iter()
+            .map(|e| venues.venues[e.venue].metro)
+            .collect();
+        assert!(metros.len() >= 25, "only {} metros", metros.len());
+        // Pacing: consecutive same-day check-ins obey T = D × 5 min.
+        for w in events.windows(2) {
+            if w[0].at.day() != w[1].at.day() {
+                continue;
+            }
+            let d = distance(
+                venue_location(&venues, w[0].venue),
+                venue_location(&venues, w[1].venue),
+            );
+            let gap = w[1].at.since(w[0].at).as_secs() as f64;
+            assert!(gap + 1.0 >= meters_to_miles(d).max(1.0) * 300.0, "gap {gap} for {d} m");
+        }
+    }
+
+    #[test]
+    fn teleport_spam_hops_metros_within_minutes() {
+        let (spec, venues) = setup();
+        let events = plan(Archetype::CaughtCheater, 500, &spec, &venues);
+        let mut teleports = 0;
+        for w in events.windows(2) {
+            if w[0].at.day() != w[1].at.day() {
+                continue;
+            }
+            let d = distance(
+                venue_location(&venues, w[0].venue),
+                venue_location(&venues, w[1].venue),
+            );
+            let gap = w[1].at.since(w[0].at).as_secs() as f64;
+            if d / gap.max(1.0) > 40.0 {
+                teleports += 1;
+            }
+        }
+        assert!(teleports > 100, "only {teleports} super-human hops");
+    }
+
+    #[test]
+    fn mayor_farmer_claims_scaled_target() {
+        let (spec, venues) = setup();
+        let mut rng = RngStream::from_seed(3);
+        let events = plan_user_events(
+            0,
+            Archetype::MayorFarmer,
+            0,
+            0,
+            5,
+            &spec,
+            &venues,
+            &mut rng,
+        );
+        let distinct: HashSet<usize> = events.iter().map(|e| e.venue).collect();
+        let target = spec.scaled(spec.full_farmer_mayorships) as usize;
+        assert!(
+            distinct.len() >= target.min(events.len()),
+            "distinct {} target {target}",
+            distinct.len()
+        );
+        // All targets are dormant-tail venues.
+        for v in &distinct {
+            let pv = &venues.venues[*v];
+            assert!(pv.rank * 10 >= venues.by_metro[pv.metro].len() * 6);
+        }
+        // Totals exceed distinct (the 1265 vs 865 gap).
+        assert!(events.len() > distinct.len());
+    }
+}

@@ -1,0 +1,47 @@
+//! Synthetic population generation, calibrated to the August-2010
+//! Foursquare crawl the paper reports.
+//!
+//! The thesis measured a live service; we regenerate an equivalent one.
+//! Every constant in [`PopulationSpec`] traces to a number in the text:
+//! 1.89 M users and 5.6 M venues; 36.3 % of users with zero check-ins
+//! and 20.4 % with one to five; 0.2 % with ≥ 1000; exactly 11 accounts
+//! over 5000 check-ins split 6 legitimate power users / 5 caught
+//! cheaters (§4.2); the 865-mayorship account (§3.4); undetected
+//! emulator cheaters hopping 30+ cities including Alaska and Europe
+//! (Fig 4.3); and a Starbucks chain whose branches trace the US map
+//! (Fig 3.4).
+//!
+//! Generation happens in two phases:
+//!
+//! 1. [`plan`] — deterministically lay out venues, user archetypes, and
+//!    every check-in event (who, where, when) from a seed;
+//! 2. [`generate`] — replay the plan through a real [`LbsnServer`], so
+//!    every downstream figure reads *actual server state* shaped by the
+//!    real cheater code and reward engine, not painted numbers.
+
+#![warn(missing_docs)]
+
+mod archetype;
+mod events;
+mod generate;
+mod spec;
+mod venues;
+
+pub use archetype::Archetype;
+pub use events::PlannedEvent;
+pub use generate::{
+    generate, plan, register_world, replay_span, GenerationStats, Population, PopulationPlan,
+    UserTruth,
+};
+pub use spec::PopulationSpec;
+pub use venues::{PlannedVenue, VenuePlan};
+
+use lbsn_server::LbsnServer;
+
+/// Convenience: plan and generate in one call.
+///
+/// See [`plan`] and [`generate`] for the two phases.
+pub fn build(server: &LbsnServer, spec: &PopulationSpec) -> Population {
+    let plan = plan(spec);
+    generate(server, &plan)
+}

@@ -1,0 +1,181 @@
+//! The population specification: every paper constant, parameterised.
+
+/// Parameters of the synthetic population.
+///
+/// Defaults reproduce the August-2010 Foursquare the paper crawled, at a
+/// configurable `scale`. Counts that describe *populations* scale;
+/// counts that describe *individuals* (the eleven ≥5000-check-in
+/// accounts, the 865-mayorship farmer) do not — they are injected
+/// verbatim at any scale, with their per-account activity scaled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationSpec {
+    /// Root RNG seed; everything is a deterministic function of it.
+    pub seed: u64,
+    /// Fraction of the production population to generate (1.0 = 1.89 M
+    /// users, 5.6 M venues).
+    pub scale: f64,
+
+    /// Production user count ("1.89 million users in August 2010").
+    pub full_users: u64,
+    /// Production venue count ("5.6 million venues").
+    pub full_venues: u64,
+    /// Day of the crawl relative to launch (March 2009 → August 2010).
+    pub crawl_day: u64,
+
+    /// "36.3 % have never checked into any venues."
+    pub inactive_fraction: f64,
+    /// "20.4 % have one to five check-ins."
+    pub dabbler_fraction: f64,
+    /// Log-normal location parameter for active users' lifetime totals
+    /// (median ≈ e^mu check-ins).
+    pub active_total_mu: f64,
+    /// Log-normal shape for the activity tail; tuned so ≈ 0.2 % of all
+    /// users exceed 1000 check-ins, as §4.2 reports.
+    pub active_total_sigma: f64,
+    /// Hard cap on a regular user's simulated lifetime check-ins.
+    pub active_total_cap: u64,
+
+    /// Fraction of users running the §3.1 emulator attack, undetected
+    /// (the suspicious cohort Fig 4.3 exposes).
+    pub emulator_cheater_fraction: f64,
+    /// Fraction of users caught by the cheater code (flagged totals,
+    /// no rewards — the Fig 4.2 oscillation).
+    pub caught_cheater_fraction: f64,
+    /// The §4.2 club: accounts over 5000 check-ins, injected verbatim.
+    pub power_users_over_5000: usize,
+    /// Caught-cheater members of that club (one gets the global maximum,
+    /// "over 12,000 check-ins").
+    pub caught_over_5000: usize,
+    /// Whether to inject the §3.4 farmer ("mayor of 865 venues … total
+    /// number of check-ins of only 1265").
+    pub include_mayor_farmer: bool,
+    /// The farmer's venue count at full scale.
+    pub full_farmer_mayorships: u64,
+
+    /// "Out of 1.89 million users, only 26.1 % have usernames."
+    pub username_fraction: f64,
+    /// Fraction of venues carrying a special offer.
+    pub special_fraction: f64,
+    /// "More than 90 % of the rewards were only for mayors."
+    pub mayor_only_special_fraction: f64,
+    /// §3.4: "around 1000 venues" with a mayor-only special and no
+    /// mayor, at full scale. Implemented by pinning this many specials
+    /// (scaled) on venues in the dormant tail.
+    pub full_unclaimed_specials: u64,
+    /// Starbucks branches per venue (the Fig 3.4 chain).
+    pub starbucks_fraction: f64,
+    /// Fraction of venues placed in Europe (so Fig 4.3's cheater can
+    /// "visit Europe").
+    pub europe_venue_fraction: f64,
+}
+
+impl PopulationSpec {
+    /// The production population at a given scale.
+    pub fn at_scale(scale: f64, seed: u64) -> Self {
+        assert!(
+            scale.is_finite() && scale > 0.0 && scale <= 1.0,
+            "scale must be in (0, 1], got {scale}"
+        );
+        PopulationSpec {
+            seed,
+            scale,
+            full_users: 1_890_000,
+            full_venues: 5_600_000,
+            crawl_day: 520,
+            inactive_fraction: 0.363,
+            dabbler_fraction: 0.204,
+            active_total_mu: 15.0_f64.ln(),
+            active_total_sigma: 1.6,
+            active_total_cap: 4_000,
+            emulator_cheater_fraction: 0.0005,
+            caught_cheater_fraction: 0.0004,
+            power_users_over_5000: 6,
+            caught_over_5000: 5,
+            include_mayor_farmer: true,
+            full_farmer_mayorships: 865,
+            username_fraction: 0.261,
+            special_fraction: 0.01,
+            mayor_only_special_fraction: 0.92,
+            full_unclaimed_specials: 1_000,
+            starbucks_fraction: 0.002,
+            europe_venue_fraction: 0.005,
+        }
+    }
+
+    /// A small, fast population for unit and integration tests
+    /// (~`users` users, venues in proportion). Keeps all the special
+    /// cohorts but shrinks their activity.
+    pub fn tiny(users: u64, seed: u64) -> Self {
+        let scale = users as f64 / 1_890_000.0;
+        PopulationSpec::at_scale(scale.clamp(1e-6, 1.0), seed)
+    }
+
+    /// The number of users to generate.
+    pub fn user_count(&self) -> u64 {
+        ((self.full_users as f64 * self.scale).round() as u64).max(50)
+    }
+
+    /// The number of venues to generate.
+    pub fn venue_count(&self) -> u64 {
+        ((self.full_venues as f64 * self.scale).round() as u64).max(100)
+    }
+
+    /// Individual-account activity scaled to the population (so the
+    /// farmer holds 865 mayorships at full scale, ~43 at 1/20).
+    pub fn scaled(&self, full_value: u64) -> u64 {
+        ((full_value as f64 * self.scale).round() as u64).max(3)
+    }
+}
+
+impl Default for PopulationSpec {
+    /// The default experiment scale: 1/50 of production (≈ 37.8 k users,
+    /// 112 k venues) — large enough for every curve shape, small enough
+    /// to regenerate in seconds.
+    fn default() -> Self {
+        PopulationSpec::at_scale(0.02, 0x10CA_7104)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_counts() {
+        let spec = PopulationSpec::default();
+        assert_eq!(spec.user_count(), 37_800);
+        assert_eq!(spec.venue_count(), 112_000);
+        assert_eq!(spec.crawl_day, 520);
+    }
+
+    #[test]
+    fn fractions_are_sane() {
+        let spec = PopulationSpec::default();
+        assert!(spec.inactive_fraction + spec.dabbler_fraction < 1.0);
+        assert!(spec.mayor_only_special_fraction > 0.9);
+        let cheaters = spec.emulator_cheater_fraction + spec.caught_cheater_fraction;
+        assert!(cheaters < 0.01, "cheaters are a sliver of the population");
+    }
+
+    #[test]
+    fn scaled_individuals() {
+        let spec = PopulationSpec::at_scale(0.05, 1);
+        assert_eq!(spec.scaled(865), 43);
+        assert_eq!(spec.scaled(20), 3, "floor keeps cohorts non-trivial");
+        let full = PopulationSpec::at_scale(1.0, 1);
+        assert_eq!(full.scaled(865), 865);
+    }
+
+    #[test]
+    fn tiny_spec_floors() {
+        let spec = PopulationSpec::tiny(500, 7);
+        assert!(spec.user_count() >= 50);
+        assert!(spec.venue_count() >= 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn zero_scale_rejected() {
+        let _ = PopulationSpec::at_scale(0.0, 1);
+    }
+}

@@ -1,0 +1,387 @@
+//! Venue synthesis: metros, chains, specials, and the popularity tail.
+
+use lbsn_geo::usa::{Metro, EUROPE_CITIES, US_METROS};
+use lbsn_geo::{destination, GeoPoint};
+use lbsn_server::{Special, SpecialKind, VenueCategory, VenueSpec};
+use lbsn_sim::RngStream;
+
+use crate::spec::PopulationSpec;
+
+/// One planned venue. Venue IDs are assigned by registration order:
+/// index `i` in the plan becomes `VenueId(i + 1)`.
+#[derive(Debug, Clone)]
+pub struct PlannedVenue {
+    /// Registration spec.
+    pub spec: VenueSpec,
+    /// Index of the metro this venue belongs to (into
+    /// [`VenuePlan::metros`]).
+    pub metro: usize,
+    /// Popularity rank within the metro (0 = most popular). User venue
+    /// selection is log-uniform over rank, so high ranks form the
+    /// dormant tail.
+    pub rank: usize,
+}
+
+/// The full venue layout.
+#[derive(Debug, Clone)]
+pub struct VenuePlan {
+    /// All venues, in registration (ID) order.
+    pub venues: Vec<PlannedVenue>,
+    /// The metros used (US first, then Europe).
+    pub metros: Vec<&'static Metro>,
+    /// Venue indices per metro, sorted by rank.
+    pub by_metro: Vec<Vec<usize>>,
+}
+
+const CATEGORIES: &[(VenueCategory, f64)] = &[
+    (VenueCategory::Restaurant, 0.24),
+    (VenueCategory::Shop, 0.20),
+    (VenueCategory::Coffee, 0.08),
+    (VenueCategory::Bar, 0.08),
+    (VenueCategory::Office, 0.12),
+    (VenueCategory::Park, 0.06),
+    (VenueCategory::Gym, 0.04),
+    (VenueCategory::Hotel, 0.04),
+    (VenueCategory::Landmark, 0.04),
+    (VenueCategory::Airport, 0.005),
+    (VenueCategory::Other, 0.095),
+];
+
+fn sample_category(rng: &mut RngStream) -> VenueCategory {
+    let mut u = rng.next_f64();
+    for (cat, p) in CATEGORIES {
+        if u < *p {
+            return *cat;
+        }
+        u -= p;
+    }
+    VenueCategory::Other
+}
+
+fn street_name(rng: &mut RngStream) -> &'static str {
+    const STREETS: &[&str] = &[
+        "Main St", "Central Ave", "Broadway", "1st St", "Market St", "Oak St", "Park Ave",
+        "2nd Ave", "Washington Blvd", "Lincoln Way",
+    ];
+    STREETS[rng.range_u64(0, STREETS.len() as u64) as usize]
+}
+
+/// Plans every venue deterministically from the spec.
+///
+/// * Venues are distributed over US metros by population weight, plus a
+///   small European slice.
+/// * Each metro gets Starbucks branches in proportion (Fig 3.4's chain)
+///   and a few other chains for name realism.
+/// * Specials go to low-rank (popular) venues, at
+///   [`PopulationSpec::mayor_only_special_fraction`] mayor-only — except
+///   a pinned batch of mayor-only specials on deep-tail venues, which
+///   will still be mayor-less at crawl time: §3.4's ~1000 easy targets.
+pub fn plan_venues(spec: &PopulationSpec) -> VenuePlan {
+    let rng = RngStream::from_seed(spec.seed).fork("venues");
+    let total = spec.venue_count() as usize;
+    let europe_total = (total as f64 * spec.europe_venue_fraction).round() as usize;
+    let us_total = total - europe_total;
+
+    let metros: Vec<&'static Metro> = US_METROS.iter().chain(EUROPE_CITIES).collect();
+    let us_weight: f64 = US_METROS.iter().map(|m| m.weight).sum();
+    let eu_weight: f64 = EUROPE_CITIES.iter().map(|m| m.weight).sum();
+
+    // Allocate per-metro counts proportionally (largest remainder not
+    // needed; rounding noise is irrelevant at these sizes).
+    let mut counts: Vec<usize> = Vec::with_capacity(metros.len());
+    for (i, m) in metros.iter().enumerate() {
+        let (pool, weight_sum) = if i < US_METROS.len() {
+            (us_total, us_weight)
+        } else {
+            (europe_total, eu_weight)
+        };
+        counts.push(((pool as f64) * m.weight / weight_sum).round() as usize);
+    }
+
+    let mut venues = Vec::with_capacity(total);
+    let mut by_metro: Vec<Vec<usize>> = vec![Vec::new(); metros.len()];
+
+    for (mi, metro) in metros.iter().enumerate() {
+        let n = counts[mi];
+        // Every metro with any venues gets at least one Starbucks —
+        // the chain really is everywhere, and Fig 3.4 needs Alaska and
+        // Hawaii dots even at small simulation scales.
+        let starbucks = (((n as f64) * spec.starbucks_fraction).round() as usize).max(usize::from(n > 0));
+        for rank in 0..n {
+            let mut vrng = rng.fork_indexed("venue", (mi * 1_000_000 + rank) as u64);
+            // Scatter within ~12 km of the metro centre, denser towards
+            // downtown (sqrt keeps a core, linear tail spreads suburbs).
+            let r = 12_000.0 * vrng.next_f64().powf(0.7);
+            let bearing = vrng.range_f64(0.0, 360.0);
+            let location = destination(metro.location(), bearing, r);
+            let (name, category) = venue_identity(rank, starbucks, metro, &mut vrng);
+            let address = format!(
+                "{} {} , {}, {}",
+                100 + vrng.range_u64(0, 9900),
+                street_name(&mut vrng),
+                metro.name,
+                metro.region
+            );
+            let mut vspec = VenueSpec::new(name, location)
+                .category(category)
+                .address(address);
+            // Popular-venue specials.
+            if rank < n / 3 && vrng.chance(spec.special_fraction * 3.0) {
+                vspec = vspec.special(make_special(spec, &mut vrng));
+            }
+            let idx = venues.len();
+            venues.push(PlannedVenue {
+                spec: vspec,
+                metro: mi,
+                rank,
+            });
+            by_metro[mi].push(idx);
+        }
+    }
+
+    // Pin the §3.4 "unclaimed mayor special" batch on deep-tail venues.
+    let unclaimed = spec.scaled(spec.full_unclaimed_specials) as usize;
+    let mut pinned = 0;
+    let mut probe = rng.fork("unclaimed");
+    while pinned < unclaimed && !venues.is_empty() {
+        let idx = probe.range_u64(0, venues.len() as u64) as usize;
+        let v = &mut venues[idx];
+        let metro_size = by_metro[v.metro].len();
+        // Deep tail only: rank in the bottom 40 % of its metro.
+        if v.rank * 10 >= metro_size * 6 && v.spec.special.is_none() {
+            v.spec.special = Some(Special {
+                description: "Free treat for the mayor!".to_string(),
+                kind: SpecialKind::MayorOnly,
+            });
+            pinned += 1;
+        }
+    }
+
+    VenuePlan {
+        venues,
+        metros,
+        by_metro,
+    }
+}
+
+fn venue_identity(
+    rank: usize,
+    starbucks: usize,
+    metro: &Metro,
+    rng: &mut RngStream,
+) -> (String, VenueCategory) {
+    // Chains occupy the popular end of each metro; Starbucks first so
+    // the Fig 3.4 query has hits everywhere.
+    if rank < starbucks {
+        return (
+            format!("Starbucks {} #{rank}", metro.name),
+            VenueCategory::Coffee,
+        );
+    }
+    if rank < starbucks * 2 {
+        return (
+            format!("McDonald's {} #{rank}", metro.name),
+            VenueCategory::Restaurant,
+        );
+    }
+    let category = sample_category(rng);
+    const ADJ: &[&str] = &[
+        "Blue", "Golden", "Old Town", "Corner", "Grand", "Silver", "Happy", "Royal", "Green",
+        "Sunny",
+    ];
+    const NOUN: &[&str] = &[
+        "Bistro", "House", "Place", "Spot", "Lounge", "Garden", "Works", "Room", "Station",
+        "Market",
+    ];
+    let name = format!(
+        "{} {} {}",
+        ADJ[rng.range_u64(0, ADJ.len() as u64) as usize],
+        NOUN[rng.range_u64(0, NOUN.len() as u64) as usize],
+        rank
+    );
+    (name, category)
+}
+
+fn make_special(spec: &PopulationSpec, rng: &mut RngStream) -> Special {
+    if rng.chance(spec.mayor_only_special_fraction) {
+        Special {
+            description: "Free coffee for the mayor!".to_string(),
+            kind: SpecialKind::MayorOnly,
+        }
+    } else if rng.chance(0.5) {
+        Special {
+            description: "10% off any check-in".to_string(),
+            kind: SpecialKind::EveryCheckin,
+        }
+    } else {
+        Special {
+            description: "Free item every 5 visits".to_string(),
+            kind: SpecialKind::Loyalty { visits: 5 },
+        }
+    }
+}
+
+/// Samples a venue index from a metro's popularity distribution:
+/// log-uniform over rank (Zipf-1), so rank 0 dominates and the tail is
+/// long.
+pub fn sample_venue(plan: &VenuePlan, metro: usize, rng: &mut RngStream) -> Option<usize> {
+    let list = plan.by_metro.get(metro)?;
+    if list.is_empty() {
+        return None;
+    }
+    let n = list.len() as f64;
+    let rank = (n.powf(rng.next_f64()) - 1.0).floor() as usize;
+    list.get(rank.min(list.len() - 1)).copied()
+}
+
+/// Picks a deep-tail (likely dormant) venue in a metro.
+pub fn sample_dormant_venue(plan: &VenuePlan, metro: usize, rng: &mut RngStream) -> Option<usize> {
+    let list = plan.by_metro.get(metro)?;
+    if list.is_empty() {
+        return None;
+    }
+    let start = list.len() * 6 / 10;
+    if start >= list.len() {
+        return list.last().copied();
+    }
+    let i = start + rng.range_u64(0, (list.len() - start) as u64) as usize;
+    list.get(i).copied()
+}
+
+/// The location of a planned venue.
+pub fn venue_location(plan: &VenuePlan, idx: usize) -> GeoPoint {
+    plan.venues[idx].spec.location
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_geo::BoundingBox;
+
+    fn small_spec() -> PopulationSpec {
+        PopulationSpec::tiny(3_000, 42)
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let a = plan_venues(&small_spec());
+        let b = plan_venues(&small_spec());
+        assert_eq!(a.venues.len(), b.venues.len());
+        for (x, y) in a.venues.iter().zip(&b.venues) {
+            assert_eq!(x.spec.name, y.spec.name);
+            assert_eq!(x.spec.location, y.spec.location);
+        }
+    }
+
+    #[test]
+    fn venue_count_and_metro_assignment() {
+        let plan = plan_venues(&small_spec());
+        // Rounding may drift a little from the target.
+        let target = small_spec().venue_count() as f64;
+        assert!((plan.venues.len() as f64 - target).abs() / target < 0.05);
+        let assigned: usize = plan.by_metro.iter().map(|v| v.len()).sum();
+        assert_eq!(assigned, plan.venues.len());
+    }
+
+    #[test]
+    fn starbucks_everywhere_spans_us() {
+        let plan = plan_venues(&small_spec());
+        let sb: Vec<&PlannedVenue> = plan
+            .venues
+            .iter()
+            .filter(|v| v.spec.name.contains("Starbucks"))
+            .collect();
+        assert!(!sb.is_empty(), "need Starbucks branches");
+        assert!(sb.iter().all(|v| v.spec.category == VenueCategory::Coffee));
+        let bbox =
+            BoundingBox::enclosing(sb.iter().map(|v| v.spec.location)).expect("non-empty");
+        // The Fig 3.4 silhouette: spans the continental US at least.
+        assert!(bbox.lon_span() > 50.0, "lon span {}", bbox.lon_span());
+        assert!(bbox.lat_span() > 15.0, "lat span {}", bbox.lat_span());
+    }
+
+    #[test]
+    fn unclaimed_specials_pinned_on_tail() {
+        let spec = small_spec();
+        let plan = plan_venues(&spec);
+        let unclaimed_target = spec.scaled(spec.full_unclaimed_specials) as usize;
+        let tail_specials = plan
+            .venues
+            .iter()
+            .filter(|v| {
+                v.spec.special.as_ref().map(|s| s.kind) == Some(SpecialKind::MayorOnly)
+                    && v.rank * 10 >= plan.by_metro[v.metro].len() * 6
+            })
+            .count();
+        assert!(
+            tail_specials >= unclaimed_target,
+            "{tail_specials} < {unclaimed_target}"
+        );
+    }
+
+    #[test]
+    fn mayor_only_dominates_specials() {
+        let plan = plan_venues(&PopulationSpec::tiny(20_000, 7));
+        let (mut mayor_only, mut other) = (0, 0);
+        for v in &plan.venues {
+            match v.spec.special.as_ref().map(|s| s.kind) {
+                Some(SpecialKind::MayorOnly) => mayor_only += 1,
+                Some(_) => other += 1,
+                None => {}
+            }
+        }
+        assert!(mayor_only + other > 0);
+        let frac = mayor_only as f64 / (mayor_only + other) as f64;
+        assert!(frac > 0.9, "mayor-only fraction {frac}");
+    }
+
+    #[test]
+    fn sampling_prefers_popular_ranks() {
+        let plan = plan_venues(&small_spec());
+        let metro = 0; // New York, biggest list
+        let mut rng = RngStream::from_seed(5);
+        let n = plan.by_metro[metro].len();
+        let mut top_decile = 0;
+        const DRAWS: usize = 4_000;
+        for _ in 0..DRAWS {
+            let idx = sample_venue(&plan, metro, &mut rng).unwrap();
+            if plan.venues[idx].rank * 10 < n {
+                top_decile += 1;
+            }
+        }
+        // Log-uniform: P(rank < N/10) = log(N/10)/log(N) — well over half
+        // for metro-sized N.
+        assert!(
+            top_decile as f64 / DRAWS as f64 > 0.5,
+            "top-decile share {}",
+            top_decile as f64 / DRAWS as f64
+        );
+    }
+
+    #[test]
+    fn dormant_sampling_stays_in_tail() {
+        let plan = plan_venues(&small_spec());
+        let mut rng = RngStream::from_seed(6);
+        for _ in 0..200 {
+            let idx = sample_dormant_venue(&plan, 0, &mut rng).unwrap();
+            let v = &plan.venues[idx];
+            assert!(v.rank * 10 >= plan.by_metro[0].len() * 6);
+        }
+    }
+
+    #[test]
+    fn europe_has_venues() {
+        let plan = plan_venues(&PopulationSpec::tiny(20_000, 3));
+        let eu_start = lbsn_geo::usa::US_METROS.len();
+        let eu_count: usize = plan.by_metro[eu_start..].iter().map(|v| v.len()).sum();
+        assert!(eu_count > 0, "Fig 4.3's cheater needs European venues");
+    }
+
+    #[test]
+    fn bad_metro_index_is_none() {
+        let plan = plan_venues(&small_spec());
+        let mut rng = RngStream::from_seed(1);
+        assert!(sample_venue(&plan, 9_999, &mut rng).is_none());
+        assert!(sample_dormant_venue(&plan, 9_999, &mut rng).is_none());
+    }
+}

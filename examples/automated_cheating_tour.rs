@@ -1,0 +1,93 @@
+//! The Fig 3.5 automated cheating tour: crawl the venue map, plan a
+//! virtual walk through the city, snap each step to the nearest venue,
+//! pace check-ins with the §3.3 law, and execute — undetected.
+//!
+//! ```text
+//! cargo run --release --example automated_cheating_tour
+//! ```
+
+use std::sync::Arc;
+
+use lbsn::attack::{PacingPolicy, AttackSession, Schedule, VenueSnapper, VirtualPath};
+use lbsn::crawler::{
+    CrawlDatabase, CrawlTarget, CrawlerConfig, MultiThreadCrawler, SimulatedHttp,
+    SimulatedHttpConfig,
+};
+use lbsn::prelude::*;
+use lbsn::server::web::WebFrontend;
+
+fn main() {
+    // A city's worth of venues around downtown Albuquerque.
+    let downtown = GeoPoint::new(35.0844, -106.6504).unwrap();
+    let clock = SimClock::new();
+    let server = Arc::new(LbsnServer::new(clock.clone(), ServerConfig::default()));
+    for i in 0..800u64 {
+        let loc = lbsn::geo::destination(
+            downtown,
+            (i * 47 % 360) as f64,
+            150.0 + (i * 37 % 9_000) as f64,
+        );
+        server.register_venue(VenueSpec::new(format!("ABQ venue {i}"), loc));
+    }
+
+    // Step 1 (§3.2): crawl the venue profiles — the attack's map data.
+    let web = WebFrontend::new(Arc::clone(&server));
+    let http = SimulatedHttp::new(web, SimulatedHttpConfig::default());
+    let db = Arc::new(CrawlDatabase::new());
+    let stats = MultiThreadCrawler::new(
+        http,
+        Arc::clone(&db),
+        CrawlerConfig {
+            threads: 6,
+            target: CrawlTarget::Venues,
+            ..CrawlerConfig::default()
+        },
+    )
+    .run();
+    println!(
+        "crawled {} venue profiles ({} threads, {} pages processed)",
+        db.venue_count(),
+        stats.threads,
+        stats.processed
+    );
+
+    // Step 2 (§3.3): plan the virtual walk — start downtown, head
+    // north, keep turning right, 0.005° steps (Fig 3.5's recipe).
+    let path = VirtualPath::clockwise_circuit(downtown, 0.005, 40, 7);
+    let snapper = VenueSnapper::from_db(&db);
+    let lookup = |id: VenueId| server.venue(id).map(|v| v.location);
+    let tour: Vec<(VenueId, GeoPoint)> = snapper
+        .tour(&path, lookup)
+        .into_iter()
+        .take(25)
+        .collect();
+    println!(
+        "virtual path: {} waypoints snapped to {} distinct venues",
+        path.len(),
+        tour.len()
+    );
+
+    // Step 3: schedule under the pacing law — T = max(5 min, D × 5 min
+    // per mile) plus the one-hour same-venue cooldown.
+    let schedule = Schedule::build(&tour, clock.now(), &PacingPolicy::default());
+    println!(
+        "schedule: {} check-ins over {} virtual minutes",
+        schedule.len(),
+        schedule.span().as_secs() / 60
+    );
+
+    // Step 4: execute through the emulator rig.
+    let attacker = server.register_user(UserSpec::named("tour-bot"));
+    let session = AttackSession::new(Arc::clone(&server), attacker);
+    let report = session.execute(&schedule);
+
+    println!("\n--- campaign report ---");
+    println!("check-ins attempted : {}", report.attempted);
+    println!("check-ins rewarded  : {}", report.rewarded);
+    println!("cheater-code flags  : {}", report.flagged.len());
+    println!("points earned       : {}", report.points);
+    println!("badges earned       : {:?}", report.badges);
+    println!("mayorships taken    : {}", report.mayorships_gained.len());
+    assert!(report.undetected(), "the paced tour must evade the cheater code");
+    println!("\nundetected — “we continued checking into 25 venues without being detected as a cheater.”");
+}

@@ -1,0 +1,122 @@
+//! The §3.2 + §4 pipeline: generate a population with hidden cheaters,
+//! crawl the public site, and find the cheaters from crawl data alone —
+//! the Fig 4.1/4.2/4.3 analyses plus the combined classifier.
+//!
+//! ```text
+//! cargo run --release --example crawl_and_analyze
+//! ```
+
+use lbsn::analysis::{
+    badges_vs_total, population_summary, recent_vs_total, user_map, CheaterClassifier,
+};
+use lbsn::workload::{Archetype, PopulationSpec};
+
+fn main() {
+    // A small population with every cohort from the paper: honest
+    // users, power users, caught cheaters, and undetected emulator
+    // cheaters. (lbsn-bench's TestBed wraps exactly this recipe.)
+    let spec = PopulationSpec::tiny(4_000, 2026);
+    let clock = lbsn::sim::SimClock::new();
+    let server = std::sync::Arc::new(lbsn::server::LbsnServer::new(
+        clock,
+        lbsn::server::ServerConfig::default(),
+    ));
+    let plan = lbsn::workload::plan(&spec);
+    let population = lbsn::workload::generate(&server, &plan);
+    println!(
+        "generated {} users / {} venues; replayed {} check-ins ({} flagged by the cheater code)",
+        server.user_count(),
+        server.venue_count(),
+        population.stats.submitted,
+        population.stats.flagged
+    );
+
+    // Crawl every public profile page, exactly like the paper.
+    let web = lbsn::server::web::WebFrontend::new(std::sync::Arc::clone(&server));
+    let db = lbsn_bench_style_crawl(&web);
+    println!(
+        "crawled {} user and {} venue profiles; {} recent-check-in relations",
+        db.user_count(),
+        db.venue_count(),
+        db.recent_checkin_count()
+    );
+
+    // §4.1 / Fig 4.1: recent vs total check-ins.
+    println!("\nFig 4.1 — avg recent check-ins by total check-ins (bucketed):");
+    for p in recent_vs_total(&db, 100, 2_000).iter().step_by(8) {
+        println!(
+            "  totals ≈{:<5} avg recent {:>7.1}  ({} users)",
+            p.total_checkins, p.average, p.count
+        );
+    }
+
+    // §4.2 / Fig 4.2: badges vs total check-ins.
+    println!("\nFig 4.2 — avg badges by total check-ins (bucketed):");
+    for p in badges_vs_total(&db, 500, 14_000).iter().step_by(4) {
+        println!(
+            "  totals ≈{:<6} avg badges {:>6.1}  ({} users)",
+            p.total_checkins, p.average, p.count
+        );
+    }
+
+    // §4 summary statistics.
+    let s = population_summary(&db);
+    println!("\npopulation summary (paper values in parentheses):");
+    println!(
+        "  zero check-ins: {:.1}% (36.3%)   1–5: {:.1}% (20.4%)   ≥1000: {:.2}% (0.2%)",
+        s.zero_checkin_fraction * 100.0,
+        s.one_to_five_fraction * 100.0,
+        s.ge_1000_fraction * 100.0
+    );
+    println!(
+        "  ≥5000 club: {} (11)   mayorships/mayor-user: {:.2} (5.45)",
+        s.ge_5000_count, s.mayorships_per_mayor_user
+    );
+
+    // §4.3: the dispersion contrast, and the combined classifier.
+    let cheater = population.ids_of(Archetype::EmulatorCheater)[0];
+    let profile = user_map(&db, cheater.value());
+    println!(
+        "\nFig 4.3 — an undetected cheater's footprint: {} cities, alaska={}, europe={}",
+        profile.distinct_cities, profile.visits_alaska, profile.visits_europe
+    );
+
+    let truth: std::collections::HashSet<u64> = population
+        .cheater_ids()
+        .into_iter()
+        .map(|id| id.value())
+        .collect();
+    let report = CheaterClassifier::default().evaluate(&db, &truth);
+    println!(
+        "\ncombined classifier: {} suspects, precision {:.2}, recall {:.2}",
+        report.suspects.len(),
+        report.precision(),
+        report.recall()
+    );
+    for s in report.suspects.iter().take(8) {
+        println!("  u{} flagged by {:?}", s.user_id, s.signals);
+    }
+}
+
+/// Crawl users then venues with the multi-threaded crawler.
+fn lbsn_bench_style_crawl(
+    web: &lbsn::server::web::WebFrontend,
+) -> std::sync::Arc<lbsn::crawler::CrawlDatabase> {
+    use lbsn::crawler::*;
+    let db = std::sync::Arc::new(CrawlDatabase::new());
+    let http = SimulatedHttp::new(web.clone(), SimulatedHttpConfig::default());
+    for target in [CrawlTarget::Users, CrawlTarget::Venues] {
+        MultiThreadCrawler::new(
+            http.clone(),
+            std::sync::Arc::clone(&db),
+            CrawlerConfig {
+                threads: 8,
+                target,
+                ..CrawlerConfig::default()
+            },
+        )
+        .run();
+    }
+    db.recompute_aggregates();
+    db
+}

@@ -1,0 +1,97 @@
+//! The paper's headline attack (§3.1, Fig 3.1–3.2), end to end: an
+//! attacker physically in Albuquerque checks into Fisherman's Wharf in
+//! San Francisco, earns points and badges, and takes the mayorship —
+//! using the same emulator + debug-monitor rig the authors used.
+//!
+//! ```text
+//! cargo run --example gps_spoofing_attack
+//! ```
+
+use std::sync::Arc;
+
+use lbsn::device::Emulator;
+use lbsn::prelude::*;
+
+fn main() {
+    let clock = SimClock::new();
+    let server = Arc::new(LbsnServer::new(clock.clone(), ServerConfig::default()));
+
+    // Ten San Francisco venues; the attacker has never been near any.
+    let wharf_loc = GeoPoint::new(37.8080, -122.4177).unwrap();
+    let mut venues = vec![server.register_venue(VenueSpec::new(
+        "Fisherman's Wharf Sign",
+        wharf_loc,
+    ))];
+    for i in 1..10 {
+        venues.push(server.register_venue(VenueSpec::new(
+            format!("San Francisco venue #{i}"),
+            lbsn::geo::destination(wharf_loc, (i * 36) as f64, 1_200.0 * i as f64),
+        )));
+    }
+    let user = server.register_user(UserSpec::named("test"));
+
+    // The §3.1 recipe, step by step.
+    println!("1. boot the emulator and hack it (flash a recovery image)");
+    let mut emulator = Emulator::boot();
+    emulator.flash_recovery_image();
+
+    println!("2. install the LBSN client app from the restored market");
+    let app = emulator
+        .install_lbsn_app(Arc::clone(&server), user)
+        .expect("market unlocked");
+
+    println!("3. look up the target's coordinates (the paper used Google Earth)");
+    println!("   Fisherman's Wharf Sign: {wharf_loc}");
+
+    println!("4. `geo fix` the emulator's GPS there (Dalvik Debug Monitor)");
+    let dm = emulator.debug_monitor();
+    dm.geo_fix(wharf_loc.lon(), wharf_loc.lat()).unwrap();
+
+    println!("5. the app now lists *San Francisco* venues as nearby:");
+    for v in app.nearby_venues(2_000.0, 5) {
+        println!("   - {} ({})", v.name, v.id);
+    }
+
+    println!("6. check in to every target venue:");
+    for (i, v) in venues.iter().enumerate() {
+        let loc = server.venue(*v).unwrap().location;
+        dm.geo_fix(loc.lon(), loc.lat()).unwrap();
+        let outcome = app.check_in(*v).unwrap();
+        println!(
+            "   #{:<2} {:<28} -> {} (+{} pts){}",
+            i + 1,
+            server.venue(*v).unwrap().name,
+            if outcome.rewarded() { "ACCEPTED" } else { "FLAGGED" },
+            outcome.points,
+            if outcome.new_badges.is_empty() {
+                String::new()
+            } else {
+                format!("  {}", outcome.new_badges[0].message())
+            }
+        );
+        clock.advance(Duration::minutes(30));
+    }
+
+    println!("7. four daily check-ins at the Wharf take the mayorship:");
+    dm.geo_fix(wharf_loc.lon(), wharf_loc.lat()).unwrap();
+    for day in 1..=4 {
+        clock.advance(Duration::days(1));
+        let outcome = app.check_in(venues[0]).unwrap();
+        println!(
+            "   day {day}: {}{}",
+            if outcome.rewarded() { "accepted" } else { "flagged" },
+            if outcome.is_mayor { " — MAYOR of Fisherman's Wharf Sign" } else { "" },
+        );
+    }
+
+    let u = server.user(user).unwrap();
+    println!(
+        "\nfinal account state: {} check-ins, {} points, {} badges, mayor of {} venue(s)",
+        u.total_checkins,
+        u.points,
+        u.badges.len(),
+        u.mayorships.len()
+    );
+    assert!(u.mayorships.contains(&venues[0]));
+    println!("the attacker never left Albuquerque.");
+}

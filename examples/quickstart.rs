@@ -1,0 +1,73 @@
+//! Quickstart: stand up the simulated LBSN, register a venue and a
+//! user, check in honestly, and watch the reward ladder work.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use lbsn::prelude::*;
+use lbsn::server::{Special, SpecialKind, VenueCategory};
+
+fn main() {
+    // The whole simulation runs on a virtual clock: no waiting.
+    let clock = SimClock::new();
+    let server = Arc::new(LbsnServer::new(clock.clone(), ServerConfig::default()));
+
+    // A partner venue with a mayor-only special, like the paper's
+    // Starbucks free-coffee example (§2.1).
+    let cafe = server.register_venue(
+        VenueSpec::new(
+            "Starbucks Old Town",
+            GeoPoint::new(35.0953, -106.6698).unwrap(),
+        )
+        .category(VenueCategory::Coffee)
+        .address("2100 Central Ave SW, Albuquerque, NM")
+        .special(Special {
+            description: "Free coffee for the mayor!".into(),
+            kind: SpecialKind::MayorOnly,
+        }),
+    );
+
+    let alice = server.register_user(UserSpec::named("alice"));
+    println!("registered venue {cafe} and user {alice}");
+
+    // Check in from the venue itself — an honest check-in.
+    let at_the_cafe = server.venue(cafe).unwrap().location;
+    for day in 1..=3 {
+        let outcome = server
+            .check_in(&CheckinRequest {
+                user: alice,
+                venue: cafe,
+                reported_location: at_the_cafe,
+                source: CheckinSource::MobileApp,
+            })
+            .expect("known user and venue");
+        println!(
+            "day {day}: +{} points{}{}{}",
+            outcome.points,
+            if outcome.became_mayor { ", became MAYOR" } else { "" },
+            outcome
+                .special_unlocked
+                .as_deref()
+                .map(|s| format!(", special unlocked: {s}"))
+                .unwrap_or_default(),
+            if outcome.new_badges.is_empty() {
+                String::new()
+            } else {
+                format!(", badges: {:?}", outcome.new_badges)
+            },
+        );
+        clock.advance(Duration::days(1));
+    }
+
+    // …and what the public sees: the venue's profile page, the same
+    // page the paper's crawler scraped.
+    let web = lbsn::server::web::WebFrontend::new(Arc::clone(&server));
+    let page = web.handle(&lbsn::server::web::PageRequest::get(format!(
+        "/venue/{}",
+        cafe.value()
+    )));
+    println!("\n--- public venue page (status {}) ---\n{}", page.status, page.body);
+}

@@ -1,0 +1,64 @@
+//! # lbsn — Location Cheating reproduction
+//!
+//! Facade crate for the reproduction of *Location Cheating: A Security
+//! Challenge to Location-based Social Network Services* (Ren, ICDCS 2011).
+//!
+//! The workspace builds, from scratch, everything the paper needed:
+//!
+//! * a simulated location-based social network service with Foursquare's
+//!   externally observable behaviour — check-ins, points, badges,
+//!   mayorships, venue specials, and the **cheater code** ([`server`]);
+//! * a simulated smartphone location pipeline with the paper's four
+//!   GPS-spoofing vectors ([`device`]);
+//! * the multi-threaded profile crawler and its table store ([`crawler`]);
+//! * the automated-cheating toolkit — schedules, virtual paths, venue
+//!   intelligence ([`attack`]);
+//! * the location-verification and anti-crawl defenses ([`defense`]);
+//! * the detection analytics behind the paper's evaluation figures
+//!   ([`analysis`]);
+//! * a synthetic population calibrated to every statistic the paper
+//!   reports about the August-2010 Foursquare crawl ([`workload`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lbsn::prelude::*;
+//!
+//! let clock = SimClock::new();
+//! let server = LbsnServer::new(clock.clone(), ServerConfig::default());
+//!
+//! // Register a venue and a user.
+//! let wharf = server.register_venue(
+//!     VenueSpec::new("Fisherman's Wharf Sign", GeoPoint::new(37.8080, -122.4177).unwrap()),
+//! );
+//! let user = server.register_user(UserSpec::named("test"));
+//!
+//! // An honest check-in from the venue itself.
+//! let outcome = server.check_in(&CheckinRequest {
+//!     user,
+//!     venue: wharf,
+//!     reported_location: server.venue(wharf).unwrap().location,
+//!     source: CheckinSource::MobileApp,
+//! }).unwrap();
+//! assert!(outcome.rewarded());
+//! assert!(outcome.points > 0);
+//! ```
+pub use lbsn_analysis as analysis;
+pub use lbsn_attack as attack;
+pub use lbsn_crawler as crawler;
+pub use lbsn_defense as defense;
+pub use lbsn_device as device;
+pub use lbsn_geo as geo;
+pub use lbsn_server as server;
+pub use lbsn_sim as sim;
+pub use lbsn_workload as workload;
+
+/// The most commonly used types, re-exported for `use lbsn::prelude::*`.
+pub mod prelude {
+    pub use lbsn_geo::{GeoPoint, BoundingBox, Meters};
+    pub use lbsn_server::{
+        CheckinOutcome, CheckinRequest, CheckinSource, LbsnServer, ServerConfig, UserId, UserSpec,
+        VenueId, VenueSpec,
+    };
+    pub use lbsn_sim::{Duration, SimClock, Timestamp};
+}

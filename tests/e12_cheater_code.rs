@@ -1,0 +1,173 @@
+//! Integration test for E12 (§2.3): the cheater code's observable rules,
+//! probed black-box through the public check-in interface — the same way
+//! the paper reverse-engineered them.
+
+use std::sync::Arc;
+
+use lbsn::prelude::*;
+use lbsn::server::CheatFlag;
+
+fn abq() -> GeoPoint {
+    GeoPoint::new(35.0844, -106.6504).unwrap()
+}
+
+fn setup() -> Arc<LbsnServer> {
+    Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()))
+}
+
+fn check(server: &LbsnServer, user: UserId, venue: VenueId, loc: GeoPoint) -> lbsn::server::CheckinOutcome {
+    server
+        .check_in(&CheckinRequest {
+            user,
+            venue,
+            reported_location: loc,
+            source: CheckinSource::MobileApp,
+        })
+        .unwrap()
+}
+
+#[test]
+fn frequent_checkins_one_hour_cooldown() {
+    let server = setup();
+    let venue = server.register_venue(VenueSpec::new("Cafe", abq()));
+    let user = server.register_user(UserSpec::anonymous());
+    assert!(check(&server, user, venue, abq()).rewarded());
+    for minutes in [5u64, 20, 59] {
+        let server2 = setup();
+        let v = server2.register_venue(VenueSpec::new("Cafe", abq()));
+        let u = server2.register_user(UserSpec::anonymous());
+        check(&server2, u, v, abq());
+        server2.clock().advance(Duration::minutes(minutes));
+        assert_eq!(
+            check(&server2, u, v, abq()).flags,
+            vec![CheatFlag::TooFrequent],
+            "at +{minutes}min"
+        );
+    }
+    server.clock().advance(Duration::minutes(61));
+    assert!(check(&server, user, venue, abq()).rewarded());
+}
+
+#[test]
+fn super_human_speed_cross_country() {
+    let server = setup();
+    let home = server.register_venue(VenueSpec::new("Home", abq()));
+    let sf = GeoPoint::new(37.7749, -122.4194).unwrap();
+    let wharf = server.register_venue(VenueSpec::new("Wharf", sf));
+    let user = server.register_user(UserSpec::anonymous());
+    assert!(check(&server, user, home, abq()).rewarded());
+    server.clock().advance(Duration::minutes(10));
+    let flagged = check(&server, user, wharf, sf);
+    assert!(flagged.flags.contains(&CheatFlag::SuperhumanSpeed));
+    // After a long gap (a real flight), the same hop is fine.
+    server.clock().advance(Duration::days(2));
+    assert!(check(&server, user, wharf, sf).rewarded());
+}
+
+#[test]
+fn rapid_fire_warns_on_fourth_in_mall() {
+    let server = setup();
+    let user = server.register_user(UserSpec::anonymous());
+    let shops: Vec<VenueId> = (0..5)
+        .map(|i| {
+            server.register_venue(VenueSpec::new(
+                format!("Mall Shop {i}"),
+                lbsn::geo::destination(abq(), 90.0, 35.0 * i as f64),
+            ))
+        })
+        .collect();
+    let mut outcomes = Vec::new();
+    for v in &shops {
+        let loc = server.venue(*v).unwrap().location;
+        outcomes.push(check(&server, user, *v, loc));
+        server.clock().advance(Duration::secs(50));
+    }
+    assert!(outcomes[..3].iter().all(|o| o.rewarded()), "first three fine");
+    assert!(
+        outcomes[3].flags.contains(&CheatFlag::RapidFire),
+        "fourth flagged: {:?}",
+        outcomes[3].flags
+    );
+    assert!(
+        outcomes[4].flags.contains(&CheatFlag::RapidFire),
+        "burst continues: {:?}",
+        outcomes[4].flags
+    );
+}
+
+#[test]
+fn walking_pace_through_the_mall_is_fine() {
+    // Same five shops, but 20 minutes apart — a real shopper.
+    let server = setup();
+    let user = server.register_user(UserSpec::anonymous());
+    for i in 0..5 {
+        let v = server.register_venue(VenueSpec::new(
+            format!("Shop {i}"),
+            lbsn::geo::destination(abq(), 90.0, 35.0 * i as f64),
+        ));
+        let loc = server.venue(v).unwrap().location;
+        assert!(check(&server, user, v, loc).rewarded(), "shop {i}");
+        server.clock().advance(Duration::minutes(20));
+    }
+}
+
+#[test]
+fn flagged_checkins_count_toward_totals_only() {
+    let server = setup();
+    let venue = server.register_venue(VenueSpec::new("Cafe", abq()));
+    let user = server.register_user(UserSpec::anonymous());
+    check(&server, user, venue, abq());
+    // Five cooldown violations.
+    for _ in 0..5 {
+        server.clock().advance(Duration::minutes(5));
+        assert!(!check(&server, user, venue, abq()).rewarded());
+    }
+    let u = server.user(user).unwrap();
+    assert_eq!(u.total_checkins, 6);
+    assert_eq!(u.valid_checkins, 1);
+    assert_eq!(u.flagged_checkins, 5);
+}
+
+#[test]
+fn rules_limit_daily_throughput() {
+    // §2.3's conclusion: "These rules essentially limit the number of
+    // check-ins a user can perform daily." Verify the ceiling: with
+    // venues 1 mile apart, the speed rule caps an attacker at roughly
+    // one check-in per 5 minutes of travel time.
+    let server = setup();
+    let user = server.register_user(UserSpec::anonymous());
+    let mile = lbsn::geo::miles_to_meters(1.0);
+    let venues: Vec<VenueId> = (0..200)
+        .map(|i| {
+            server.register_venue(VenueSpec::new(
+                format!("Strip {i}"),
+                lbsn::geo::destination(abq(), 90.0, mile * i as f64),
+            ))
+        })
+        .collect();
+    // Try to sweep the strip at 2-minute intervals: 1 mile / 120 s =
+    // 13.4 m/s — passes the 40 m/s limit, but rapid-fire doesn't bite
+    // either (venues a mile apart). The *cooldown* never bites
+    // (distinct venues). So a 2-minute pace is actually sustainable…
+    let mut rewarded = 0;
+    for v in venues.iter().take(50) {
+        let loc = server.venue(*v).unwrap().location;
+        if check(&server, user, *v, loc).rewarded() {
+            rewarded += 1;
+        }
+        server.clock().advance(Duration::minutes(2));
+    }
+    assert_eq!(rewarded, 50, "paced mile-hops all pass");
+    // …but teleporting the strip at 10-second intervals is not:
+    // 1 mile / 10 s = 161 m/s.
+    let user2 = server.register_user(UserSpec::anonymous());
+    let mut rewarded2 = 0;
+    for v in venues.iter().skip(50).take(50) {
+        let loc = server.venue(*v).unwrap().location;
+        if check(&server, user2, *v, loc).rewarded() {
+            rewarded2 += 1;
+        }
+        server.clock().advance(Duration::secs(10));
+    }
+    assert!(rewarded2 <= 2, "teleport sweep mostly flagged, got {rewarded2}");
+}

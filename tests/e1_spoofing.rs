@@ -1,0 +1,141 @@
+//! Integration test for E1 (§3.1): the four spoofing vectors end to end,
+//! spanning device + server crates.
+
+use std::sync::Arc;
+
+use lbsn::device::{Emulator, EmulatorError, Phone, SimulatedGpsReceiver};
+use lbsn::prelude::*;
+use lbsn::server::api::ApiClient;
+
+fn abq() -> GeoPoint {
+    GeoPoint::new(35.0844, -106.6504).unwrap()
+}
+
+fn sf() -> GeoPoint {
+    GeoPoint::new(37.8080, -122.4177).unwrap()
+}
+
+fn setup() -> (Arc<LbsnServer>, VenueId) {
+    let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+    let wharf = server.register_venue(VenueSpec::new("Fisherman's Wharf Sign", sf()));
+    (server, wharf)
+}
+
+#[test]
+fn unspoofed_remote_checkin_fails_gps_verification() {
+    let (server, wharf) = setup();
+    let user = server.register_user(UserSpec::anonymous());
+    let phone = Arc::new(Phone::at(abq()));
+    let app = lbsn::device::ClientApp::install(phone, Arc::clone(&server), user);
+    let outcome = app.check_in(wharf).unwrap();
+    assert!(!outcome.rewarded());
+    assert!(outcome
+        .flags
+        .contains(&lbsn::server::CheatFlag::GpsMismatch));
+}
+
+#[test]
+fn vector1_api_hook_passes() {
+    let (server, wharf) = setup();
+    let user = server.register_user(UserSpec::anonymous());
+    let phone = Arc::new(Phone::at(abq()));
+    let app = lbsn::device::ClientApp::install(phone.clone(), Arc::clone(&server), user);
+    phone.hook_location_api(sf());
+    assert!(app.check_in(wharf).unwrap().rewarded());
+}
+
+#[test]
+fn vector2_simulated_gps_module_passes() {
+    let (server, wharf) = setup();
+    let user = server.register_user(UserSpec::anonymous());
+    let phone = Arc::new(Phone::at(abq()));
+    phone.replace_gps_hardware(Arc::new(SimulatedGpsReceiver::fixed(sf())));
+    let app = lbsn::device::ClientApp::install(phone, Arc::clone(&server), user);
+    assert!(app.check_in(wharf).unwrap().rewarded());
+}
+
+#[test]
+fn vector3_server_api_passes() {
+    let (server, wharf) = setup();
+    let user = server.register_user(UserSpec::anonymous());
+    let api = ApiClient::new(Arc::clone(&server));
+    assert!(api.checkin(user, wharf, sf()).unwrap().rewarded());
+}
+
+#[test]
+fn vector4_emulator_full_paper_recipe() {
+    let (server, wharf) = setup();
+    let user = server.register_user(UserSpec::named("test"));
+    let mut emulator = Emulator::boot();
+    // The market is locked on a stock emulator — the hack is required.
+    assert_eq!(
+        emulator
+            .install_lbsn_app(Arc::clone(&server), user)
+            .unwrap_err(),
+        EmulatorError::MarketLocked
+    );
+    emulator.flash_recovery_image();
+    let app = emulator.install_lbsn_app(Arc::clone(&server), user).unwrap();
+    emulator.debug_monitor().geo_fix(sf().lon(), sf().lat()).unwrap();
+    // The nearby list shows SF venues from Albuquerque.
+    let nearby = app.nearby_venues(2_000.0, 10);
+    assert_eq!(nearby[0].id, wharf);
+    let outcome = app.check_in(wharf).unwrap();
+    assert!(outcome.rewarded());
+    assert!(outcome.became_mayor, "vacant venue falls to one check-in");
+}
+
+#[test]
+fn mayorship_farmed_with_daily_checkins() {
+    // The Fig 3.2 experiment: daily check-ins, mayor status maintained.
+    let (server, wharf) = setup();
+    // A competitor holds the mayorship with 2 days first.
+    let local = server.register_user(UserSpec::anonymous());
+    for _ in 0..2 {
+        server
+            .check_in(&CheckinRequest {
+                user: local,
+                venue: wharf,
+                reported_location: sf(),
+                source: CheckinSource::MobileApp,
+            })
+            .unwrap();
+        server.clock().advance(Duration::days(1));
+    }
+    let attacker = server.register_user(UserSpec::named("test"));
+    let session = lbsn::attack::AttackSession::new(Arc::clone(&server), attacker);
+    let farm = lbsn::attack::MayorFarmer::new(&session).farm(wharf, 10);
+    assert!(farm.became_mayor);
+    assert_eq!(farm.days_spent, 3, "needs strictly more days than the local's 2");
+    // Status is *maintained* on later check-ins (Fig 3.2's caption).
+    server.clock().advance(Duration::days(1));
+    let again = session.spoof_and_check_in(wharf).unwrap();
+    assert!(again.is_mayor);
+}
+
+#[test]
+fn all_vectors_indistinguishable_to_the_server() {
+    // The root cause: the server's view of a spoofed mobile check-in is
+    // byte-identical to an honest one.
+    let (server, wharf) = setup();
+    let honest = server.register_user(UserSpec::anonymous());
+    let spoofer = server.register_user(UserSpec::anonymous());
+
+    // Honest user physically present.
+    let phone_h = Arc::new(Phone::at(sf()));
+    let app_h = lbsn::device::ClientApp::install(phone_h, Arc::clone(&server), honest);
+    app_h.check_in(wharf).unwrap();
+
+    // Spoofer far away.
+    server.clock().advance(Duration::hours(2));
+    let phone_s = Arc::new(Phone::at(abq()));
+    phone_s.hook_location_api(sf());
+    let app_s = lbsn::device::ClientApp::install(phone_s, Arc::clone(&server), spoofer);
+    app_s.check_in(wharf).unwrap();
+
+    let rec_h = server.user(honest).unwrap().history[0].clone();
+    let rec_s = server.user(spoofer).unwrap().history[0].clone();
+    assert_eq!(rec_h.location, rec_s.location);
+    assert_eq!(rec_h.source, rec_s.source);
+    assert_eq!(rec_h.rewarded, rec_s.rewarded);
+}

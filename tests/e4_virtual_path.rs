@@ -1,0 +1,131 @@
+//! Integration test for E4 (Fig 3.5): crawl → plan → pace → execute,
+//! spanning server, crawler, and attack crates.
+
+use std::sync::Arc;
+
+use lbsn::attack::{AttackSession, PacingPolicy, Schedule, VenueSnapper, VirtualPath};
+use lbsn::crawler::{
+    CrawlDatabase, CrawlTarget, CrawlerConfig, MultiThreadCrawler, SimulatedHttp,
+    SimulatedHttpConfig,
+};
+use lbsn::prelude::*;
+use lbsn::server::web::WebFrontend;
+
+fn abq() -> GeoPoint {
+    GeoPoint::new(35.0844, -106.6504).unwrap()
+}
+
+fn city_server(venues: u64) -> Arc<LbsnServer> {
+    let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+    for i in 0..venues {
+        let loc = lbsn::geo::destination(abq(), (i * 47 % 360) as f64, 150.0 + (i * 53 % 8_000) as f64);
+        server.register_venue(VenueSpec::new(format!("V{i}"), loc));
+    }
+    server
+}
+
+fn crawl_venues(server: &Arc<LbsnServer>) -> Arc<CrawlDatabase> {
+    let web = WebFrontend::new(Arc::clone(server));
+    let http = SimulatedHttp::new(web, SimulatedHttpConfig::default());
+    let db = Arc::new(CrawlDatabase::new());
+    MultiThreadCrawler::new(
+        http,
+        Arc::clone(&db),
+        CrawlerConfig {
+            threads: 4,
+            target: CrawlTarget::Venues,
+            ..CrawlerConfig::default()
+        },
+    )
+    .run();
+    db
+}
+
+#[test]
+fn paced_virtual_tour_is_fully_rewarded() {
+    let server = city_server(500);
+    let db = crawl_venues(&server);
+    assert_eq!(db.venue_count(), 500);
+
+    let path = VirtualPath::clockwise_circuit(abq(), 0.005, 40, 7);
+    let snapper = VenueSnapper::from_db(&db);
+    let tour: Vec<(VenueId, GeoPoint)> = snapper
+        .tour(&path, |id| server.venue(id).map(|v| v.location))
+        .into_iter()
+        .take(25)
+        .collect();
+    assert!(tour.len() >= 15, "snapped only {} venues", tour.len());
+
+    let schedule = Schedule::build(&tour, server.clock().now(), &PacingPolicy::default());
+    let attacker = server.register_user(UserSpec::named("bot"));
+    let session = AttackSession::new(Arc::clone(&server), attacker);
+    let report = session.execute(&schedule);
+
+    assert_eq!(report.attempted as usize, tour.len());
+    assert_eq!(report.rewarded as usize, tour.len());
+    assert!(report.undetected(), "flags: {:?}", report.flagged);
+    assert!(report.points > 0);
+    // Ground truth on the server agrees.
+    let u = server.user(attacker).unwrap();
+    assert_eq!(u.total_checkins, u.valid_checkins);
+    assert!(!u.branded_cheater);
+}
+
+#[test]
+fn greedy_pacing_gets_caught() {
+    // The control: same tour, 10-second intervals — the cheater code
+    // catches it and eventually brands the account.
+    let server = city_server(300);
+    let db = crawl_venues(&server);
+    let path = VirtualPath::clockwise_circuit(abq(), 0.005, 60, 7);
+    let snapper = VenueSnapper::from_db(&db);
+    let tour: Vec<(VenueId, GeoPoint)> = snapper
+        .tour(&path, |id| server.venue(id).map(|v| v.location))
+        .into_iter()
+        .take(40)
+        .collect();
+    let schedule = Schedule::build(
+        &tour,
+        server.clock().now(),
+        &PacingPolicy {
+            min_interval: Duration::secs(10),
+            per_mile: Duration::secs(0),
+            venue_cooldown: Duration::secs(0),
+        },
+    );
+    let attacker = server.register_user(UserSpec::named("greedy"));
+    let session = AttackSession::new(Arc::clone(&server), attacker);
+    let report = session.execute(&schedule);
+    assert!(!report.undetected());
+    assert!(
+        report.flagged.len() as u64 > report.rewarded,
+        "{} flagged vs {} rewarded",
+        report.flagged.len(),
+        report.rewarded
+    );
+}
+
+#[test]
+fn tour_schedule_respects_every_cheater_code_bound() {
+    let server = city_server(400);
+    let db = crawl_venues(&server);
+    let path = VirtualPath::clockwise_circuit(abq(), 0.005, 30, 6);
+    let snapper = VenueSnapper::from_db(&db);
+    let tour: Vec<(VenueId, GeoPoint)> =
+        snapper.tour(&path, |id| server.venue(id).map(|v| v.location));
+    let schedule = Schedule::build(&tour, Timestamp(0), &PacingPolicy::default());
+    let items = schedule.items();
+    for w in items.windows(2) {
+        let gap = w[1].at.since(w[0].at).as_secs();
+        assert!(gap >= 300, "interval {gap}s under the 5-minute floor");
+        let d = lbsn::geo::distance(w[0].location, w[1].location);
+        let speed = d / gap as f64;
+        assert!(speed < 6.0, "implied speed {speed} m/s");
+    }
+    // Same-venue revisits (if any) respect the one-hour cooldown.
+    for (i, a) in items.iter().enumerate() {
+        for b in items[i + 1..].iter().filter(|b| b.venue == a.venue) {
+            assert!(b.at.since(a.at).as_secs() > 3_600);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! The §3.2 re-crawl methodology: "the venue's recent visitor list does
+//! not have a time stamp … but if we crawl the venues daily, then we
+//! will be able to determine how frequently a user checks into a
+//! venue." Crawl, let the world run, crawl again, diff — and check the
+//! inferred activity against server ground truth.
+
+use std::sync::Arc;
+
+use lbsn::crawler::recrawl::{diff_checkins, per_user_frequency};
+use lbsn::crawler::{
+    CrawlDatabase, CrawlTarget, CrawlerConfig, MultiThreadCrawler, SimulatedHttp,
+    SimulatedHttpConfig,
+};
+use lbsn::server::web::WebFrontend;
+use lbsn::server::{LbsnServer, ServerConfig};
+use lbsn::sim::SimClock;
+use lbsn::workload::{plan, register_world, replay_span, PopulationSpec};
+
+fn crawl_venues(web: &WebFrontend) -> Arc<CrawlDatabase> {
+    let db = Arc::new(CrawlDatabase::new());
+    let http = SimulatedHttp::new(web.clone(), SimulatedHttpConfig::default());
+    MultiThreadCrawler::new(
+        http,
+        Arc::clone(&db),
+        CrawlerConfig {
+            threads: 6,
+            target: CrawlTarget::Venues,
+            ..CrawlerConfig::default()
+        },
+    )
+    .run();
+    db
+}
+
+#[test]
+fn recrawl_diff_recovers_between_crawl_activity() {
+    let spec = PopulationSpec::tiny(1_200, 0x2ECA);
+    let p = plan(&spec);
+    let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+    let population = register_world(&server, &p);
+    let web = WebFrontend::new(Arc::clone(&server));
+
+    // Run the world up to 10 days before the crawl, snapshot…
+    let cut = spec.crawl_day - 10;
+    replay_span(&server, &p, 0, cut);
+    let first = crawl_venues(&web);
+
+    // …let the final 10 days happen, crawl again.
+    let late = replay_span(&server, &p, cut, u64::MAX);
+    assert!(late.submitted > 0, "the last 10 days must have activity");
+    let second = crawl_venues(&web);
+
+    let events = diff_checkins(&first, &second);
+    assert!(
+        !events.is_empty(),
+        "visitor-list churn must expose late activity"
+    );
+
+    // Soundness: every inferred check-in belongs to a user who really
+    // had a *valid* check-in in the window (the lists only show valid
+    // visits).
+    let window_start = lbsn::sim::Timestamp::at_day(cut);
+    for e in &events {
+        let truly_active = server
+            .with_user(lbsn::server::UserId(e.user_id), |u| {
+                u.history
+                    .iter()
+                    .rev()
+                    .take_while(|r| r.at >= window_start)
+                    .any(|r| r.rewarded && r.venue.value() == e.venue_id)
+            })
+            .expect("inferred user exists");
+        assert!(
+            truly_active,
+            "u{} inferred at v{} without a real valid visit",
+            e.user_id, e.venue_id
+        );
+    }
+
+    // The most-frequently-inferred users are genuinely the most active
+    // late-window users (top-rank overlap, not exact counts — the list
+    // is a lossy lower bound).
+    let freq = per_user_frequency(&events);
+    let mut inferred: Vec<(u64, u64)> = freq.into_iter().collect();
+    inferred.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    let top_inferred = &inferred[..inferred.len().min(5)];
+    for (user_id, inferred_count) in top_inferred {
+        let real = server
+            .with_user(lbsn::server::UserId(*user_id), |u| {
+                u.history
+                    .iter()
+                    .rev()
+                    .take_while(|r| r.at >= window_start)
+                    .filter(|r| r.rewarded)
+                    .count() as u64
+            })
+            .unwrap();
+        assert!(
+            real >= *inferred_count,
+            "u{user_id}: inferred {inferred_count} exceeds real {real}"
+        );
+        assert!(
+            real >= 3,
+            "u{user_id} inferred as highly active but only {real} real check-ins"
+        );
+    }
+    let _ = population;
+}
