@@ -90,12 +90,18 @@ pub struct ClassifierReport {
 impl ClassifierReport {
     /// Precision = TP / (TP + FP).
     pub fn precision(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_positives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_positives,
+        )
     }
 
     /// Recall = TP / (TP + FN).
     pub fn recall(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_negatives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_negatives,
+        )
     }
 }
 
@@ -323,8 +329,7 @@ mod tests {
     fn city_threshold_sweep_trades_recall_for_precision() {
         let db = sample_db();
         let truth: HashSet<u64> = [2, 3, 4, 5].into_iter().collect();
-        let sweep =
-            CheaterClassifier::default().sweep_city_threshold(&db, &truth, &[2, 20, 1_000]);
+        let sweep = CheaterClassifier::default().sweep_city_threshold(&db, &truth, &[2, 20, 1_000]);
         assert_eq!(sweep.len(), 3);
         // A tiny threshold flags ordinary users too (worse precision);
         // an absurd threshold loses the dispersion signal entirely.

@@ -31,7 +31,10 @@ impl HeavyHitterSplit {
     /// Average badge count per group `(with, without)` — the reward gap
     /// that betrays the cheaters.
     pub fn badge_gap(&self) -> (f64, f64) {
-        (avg_badges(&self.with_mayorships), avg_badges(&self.without_mayorships))
+        (
+            avg_badges(&self.with_mayorships),
+            avg_badges(&self.without_mayorships),
+        )
     }
 
     /// The member with the global maximum check-in count, if any.

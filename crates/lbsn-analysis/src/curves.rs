@@ -98,7 +98,9 @@ mod tests {
         assert_eq!(b0.count, 2);
         assert!((b0.average - 6.0).abs() < 1e-9);
         // Bucket for 101..=125 contains user 4; 126..=150 user 5.
-        assert!(pts.iter().any(|p| p.count == 1 && (p.average - 40.0).abs() < 1e-9));
+        assert!(pts
+            .iter()
+            .any(|p| p.count == 1 && (p.average - 40.0).abs() < 1e-9));
         // The 5000-total user is excluded by the cut.
         assert!(pts.iter().all(|p| p.total_checkins <= 2_000));
     }
@@ -109,7 +111,7 @@ mod tests {
         let pts = badges_vs_total(&d, 25, 14_000);
         let b0 = &pts[0];
         assert!((b0.average - 3.0).abs() < 1e-9); // (2+4)/2
-        // The whale appears now, dragging its bucket's badge average to 1.
+                                                  // The whale appears now, dragging its bucket's badge average to 1.
         assert!(pts
             .iter()
             .any(|p| p.total_checkins > 4_000 && (p.average - 1.0).abs() < 1e-9));

@@ -93,7 +93,13 @@ pub fn population_summary(db: &CrawlDatabase) -> PopulationSummary {
         }
     });
 
-    let frac = |n: u64| if users == 0 { 0.0 } else { n as f64 / users as f64 };
+    let frac = |n: u64| {
+        if users == 0 {
+            0.0
+        } else {
+            n as f64 / users as f64
+        }
+    };
     PopulationSummary {
         users,
         venues,
@@ -147,7 +153,9 @@ mod tests {
             special: None,
             tips: 0,
             mayor,
-            recent_visitors: (0..visitors.min(5)).map(|u| VisitorRef::Id(u + 1)).collect(),
+            recent_visitors: (0..visitors.min(5))
+                .map(|u| VisitorRef::Id(u + 1))
+                .collect(),
         }
     }
 

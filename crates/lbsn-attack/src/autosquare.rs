@@ -105,7 +105,10 @@ mod tests {
             },
         ));
         // Venues all over the country, far from the user's claim.
-        for (i, name) in ["Blue Bistro", "Golden Gate Bridge", "Joe's Diner"].iter().enumerate() {
+        for (i, name) in ["Blue Bistro", "Golden Gate Bridge", "Joe's Diner"]
+            .iter()
+            .enumerate()
+        {
             server.register_venue(VenueSpec::new(
                 *name,
                 destination(abq(), (i * 100) as f64, 500_000.0 * (i + 1) as f64),

@@ -4,9 +4,40 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use lbsn_device::Emulator;
+use lbsn_obs::{Counter, Histogram, Registry};
 use lbsn_server::{Badge, CheatFlag, LbsnServer, UserId, VenueId};
 
 use crate::schedule::Schedule;
+
+/// Evasion-streak histogram buckets: streaks are small integers, not
+/// latencies, so the default nanosecond layout would waste resolution.
+const STREAK_BUCKETS: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+
+/// Pre-resolved observability handles for an attack session (scheme
+/// `attack.component.metric`).
+struct AttackMetrics {
+    /// `attack.checkins.attempted`: spoofed check-ins submitted.
+    attempted: Counter,
+    /// `attack.checkins.rewarded`: check-ins that earned rewards.
+    rewarded: Counter,
+    /// `attack.checkins.flagged`: check-ins the cheater code caught.
+    flagged: Counter,
+    /// `attack.evasion.streak`: lengths of consecutive-unflagged runs,
+    /// recorded each time a streak ends (a flag, or end of campaign).
+    evasion_streak: Histogram,
+}
+
+impl AttackMetrics {
+    fn new(registry: &Registry) -> Self {
+        AttackMetrics {
+            attempted: registry.counter("attack.checkins.attempted"),
+            rewarded: registry.counter("attack.checkins.rewarded"),
+            flagged: registry.counter("attack.checkins.flagged"),
+            evasion_streak: registry
+                .histogram_with_buckets("attack.evasion.streak", &STREAK_BUCKETS),
+        }
+    }
+}
 
 /// What happened when a schedule was executed.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -45,6 +76,7 @@ pub struct AttackSession {
     server: Arc<LbsnServer>,
     emulator: Emulator,
     app: lbsn_device::ClientApp,
+    metrics: AttackMetrics,
 }
 
 impl std::fmt::Debug for AttackSession {
@@ -56,8 +88,14 @@ impl std::fmt::Debug for AttackSession {
 }
 
 impl AttackSession {
-    /// Prepares the full §3.1 rig for `user`.
+    /// Prepares the full §3.1 rig for `user`, reporting metrics into
+    /// the process-wide [`lbsn_obs::global`] registry.
     pub fn new(server: Arc<LbsnServer>, user: UserId) -> Self {
+        Self::with_registry(server, user, &lbsn_obs::global())
+    }
+
+    /// Prepares the rig, reporting metrics into an injected registry.
+    pub fn with_registry(server: Arc<LbsnServer>, user: UserId, registry: &Registry) -> Self {
         let mut emulator = Emulator::boot();
         emulator.flash_recovery_image();
         let app = emulator
@@ -67,6 +105,7 @@ impl AttackSession {
             server,
             emulator,
             app,
+            metrics: AttackMetrics::new(registry),
         }
     }
 
@@ -102,7 +141,16 @@ impl AttackSession {
             .debug_monitor()
             .geo_fix(loc.lon(), loc.lat())
             .expect("venue coordinates are valid");
-        self.app.check_in(venue).ok()
+        self.metrics.attempted.inc();
+        let outcome = self.app.check_in(venue).ok();
+        if let Some(o) = &outcome {
+            if o.rewarded() {
+                self.metrics.rewarded.inc();
+            } else {
+                self.metrics.flagged.inc();
+            }
+        }
+        outcome
     }
 
     /// Executes a schedule: waits (in virtual time) until each planned
@@ -110,6 +158,9 @@ impl AttackSession {
     pub fn execute(&self, schedule: &Schedule) -> CampaignReport {
         let mut report = CampaignReport::default();
         let mut mayorships: HashSet<VenueId> = HashSet::new();
+        // Consecutive check-ins that evaded the cheater code; recorded
+        // into `attack.evasion.streak` whenever a flag ends the run.
+        let mut streak: u64 = 0;
         for item in schedule.items() {
             self.server.clock().advance_to(item.at);
             self.emulator
@@ -117,9 +168,12 @@ impl AttackSession {
                 .geo_fix(item.location.lon(), item.location.lat())
                 .expect("schedule coordinates are valid");
             report.attempted += 1;
+            self.metrics.attempted.inc();
+            let mut caught = true;
             match self.app.check_in(item.venue) {
                 Ok(outcome) => {
                     if outcome.rewarded() {
+                        caught = false;
                         report.rewarded += 1;
                         report.points += outcome.points;
                         report.badges.extend(outcome.new_badges.iter().copied());
@@ -137,6 +191,18 @@ impl AttackSession {
                     report.flagged.push((item.venue, Vec::new()));
                 }
             }
+            if caught {
+                self.metrics.flagged.inc();
+                self.metrics.evasion_streak.record(streak);
+                streak = 0;
+            } else {
+                self.metrics.rewarded.inc();
+                streak += 1;
+            }
+        }
+        if streak > 0 {
+            // A campaign that ends clean still contributes its tail.
+            self.metrics.evasion_streak.record(streak);
         }
         report
     }

@@ -68,9 +68,7 @@ impl<'a> VenueIntel<'a> {
     /// check-ins of only 1265". Requires
     /// [`CrawlDatabase::recompute_aggregates`] to have run.
     pub fn mayor_hoarders(&self, min_mayorships: u64) -> Vec<UserInfoRow> {
-        let mut rows = self
-            .db
-            .users_where(|u| u.total_mayors >= min_mayorships);
+        let mut rows = self.db.users_where(|u| u.total_mayors >= min_mayorships);
         rows.sort_by_key(|u| std::cmp::Reverse(u.total_mayors));
         rows
     }
@@ -106,11 +104,29 @@ mod tests {
 
     fn sample_db() -> CrawlDatabase {
         let db = CrawlDatabase::new();
-        db.insert_venue(venue(1, "Starbucks #1", Some(("mayor", "Free coffee")), None, &[]));
-        db.insert_venue(venue(2, "Starbucks #2", Some(("mayor", "Free latte")), Some(9), &[9]));
+        db.insert_venue(venue(
+            1,
+            "Starbucks #1",
+            Some(("mayor", "Free coffee")),
+            None,
+            &[],
+        ));
+        db.insert_venue(venue(
+            2,
+            "Starbucks #2",
+            Some(("mayor", "Free latte")),
+            Some(9),
+            &[9],
+        ));
         db.insert_venue(venue(3, "Gym", Some(("loyalty", "Free month")), None, &[]));
         db.insert_venue(venue(4, "Diner", None, Some(9), &[1, 2, 3, 4, 5]));
-        db.insert_venue(venue(5, "Cafe Roma", Some(("mayor", "Free espresso")), Some(7), &[7, 8, 1, 2, 3]));
+        db.insert_venue(venue(
+            5,
+            "Cafe Roma",
+            Some(("mayor", "Free espresso")),
+            Some(7),
+            &[7, 8, 1, 2, 3],
+        ));
         for i in 1..=9 {
             db.insert_user(lbsn_crawler::UserInfoRow {
                 id: i,
@@ -163,10 +179,7 @@ mod tests {
         let db = sample_db();
         let intel = VenueIntel::new(&db);
         let victim = intel.mayorships_of(9);
-        assert_eq!(
-            victim.iter().map(|v| v.id).collect::<Vec<_>>(),
-            vec![2, 4]
-        );
+        assert_eq!(victim.iter().map(|v| v.id).collect::<Vec<_>>(), vec![2, 4]);
         assert!(intel.mayorships_of(42).is_empty());
     }
 

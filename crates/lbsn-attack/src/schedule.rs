@@ -156,11 +156,7 @@ mod tests {
         let a = abq();
         let b = destination(a, 90.0, 500.0);
         let c = destination(a, 90.0, 500.0 + miles_to_meters(3.0));
-        let tour = vec![
-            (VenueId(1), a),
-            (VenueId(2), b),
-            (VenueId(3), c),
-        ];
+        let tour = vec![(VenueId(1), a), (VenueId(2), b), (VenueId(3), c)];
         let s = Schedule::build(&tour, Timestamp(0), &PacingPolicy::default());
         assert_eq!(s.len(), 3);
         let items = s.items();

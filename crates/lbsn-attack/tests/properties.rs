@@ -12,11 +12,7 @@ fn abq() -> GeoPoint {
 }
 
 fn arb_tour() -> impl Strategy<Value = Vec<(VenueId, GeoPoint)>> {
-    prop::collection::vec(
-        (1u64..40, 0.0..360.0f64, 0.0..30_000.0f64),
-        1..40,
-    )
-    .prop_map(|stops| {
+    prop::collection::vec((1u64..40, 0.0..360.0f64, 0.0..30_000.0f64), 1..40).prop_map(|stops| {
         stops
             .into_iter()
             .map(|(id, bearing, dist)| (VenueId(id), destination(abq(), bearing, dist)))

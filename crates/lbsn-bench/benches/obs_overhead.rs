@@ -1,0 +1,77 @@
+//! Instrumentation overhead on the check-in hot path.
+//!
+//! The lbsn-obs acceptance budget is <5% overhead: a check-in through a
+//! server with an enabled registry must cost within 5% of one whose
+//! registry is disabled (every metric update degraded to a single
+//! relaxed atomic load, timers never reading the clock).
+//!
+//! Run with `cargo bench -p lbsn-bench --bench obs_overhead` and
+//! compare the `checkin/enabled` and `checkin/disabled` means.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbsn_geo::{destination, GeoPoint};
+use lbsn_obs::Registry;
+use lbsn_server::{
+    CheckinRequest, CheckinSource, LbsnServer, ServerConfig, UserSpec, VenueId, VenueSpec,
+};
+use lbsn_sim::{Duration, SimClock};
+
+const VENUES: usize = 64;
+const USERS: u64 = 256;
+
+/// A server with a ring of venues and a pool of users; check-ins cycle
+/// user × venue so the cooldown rule never trips and the pipeline runs
+/// its full accepted path.
+fn checkin_rig(registry: Arc<Registry>) -> (Arc<LbsnServer>, Vec<VenueId>) {
+    let server = Arc::new(LbsnServer::with_registry(
+        SimClock::new(),
+        ServerConfig::default(),
+        registry,
+    ));
+    let abq = GeoPoint::new(35.0844, -106.6504).unwrap();
+    let venues: Vec<VenueId> = (0..VENUES)
+        .map(|i| {
+            server.register_venue(VenueSpec::new(
+                format!("V{i}"),
+                destination(abq, (i * 5 % 360) as f64, 50.0 * (i + 1) as f64),
+            ))
+        })
+        .collect();
+    for _ in 0..USERS {
+        server.register_user(UserSpec::anonymous());
+    }
+    (server, venues)
+}
+
+fn bench_checkin_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkin");
+    for (label, enabled) in [("enabled", true), ("disabled", false)] {
+        let registry = Arc::new(Registry::new());
+        registry.set_enabled(enabled);
+        let (server, venues) = checkin_rig(Arc::clone(&registry));
+        let mut i: u64 = 0;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let user = lbsn_server::UserId(i % USERS + 1);
+                let venue = venues[(i / USERS) as usize % venues.len()];
+                let loc = server.with_venue(venue, |v| v.location).unwrap();
+                server.clock().advance(Duration::secs(90));
+                i += 1;
+                server
+                    .check_in(&CheckinRequest {
+                        user,
+                        venue,
+                        reported_location: loc,
+                        source: CheckinSource::MobileApp,
+                    })
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(obs_overhead, bench_checkin_overhead);
+criterion_main!(obs_overhead);

@@ -51,7 +51,9 @@ fn e1_spoof_vectors(c: &mut Criterion) {
     let user = server.register_user(UserSpec::anonymous());
     let mut emulator = Emulator::boot();
     emulator.flash_recovery_image();
-    let app = emulator.install_lbsn_app(Arc::clone(&server), user).unwrap();
+    let app = emulator
+        .install_lbsn_app(Arc::clone(&server), user)
+        .unwrap();
     let dm = emulator.debug_monitor();
     let mut i = 0usize;
     c.bench_function("e1_spoof_vectors/emulator_checkin", |b| {

@@ -93,4 +93,16 @@ fn main() {
     let path = args.output.join("experiments.json");
     std::fs::write(&path, json).expect("write experiments.json");
     eprintln!("# wrote {}", path.display());
+
+    // Dump each experiment's observability snapshot on its own too, so
+    // runs can be diffed without digging through experiments.json.
+    let metrics_dir = args.output.join("metrics");
+    std::fs::create_dir_all(&metrics_dir).expect("create metrics dir");
+    for e in &all {
+        if let Some(snapshot) = &e.metrics {
+            let path = metrics_dir.join(format!("{}.json", e.id));
+            std::fs::write(&path, snapshot.to_json()).expect("write metrics snapshot");
+        }
+    }
+    eprintln!("# wrote {}/E*.json", metrics_dir.display());
 }

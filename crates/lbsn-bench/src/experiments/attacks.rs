@@ -27,7 +27,8 @@ pub fn e01_spoofing() -> Experiment {
     let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
     // Ten San Francisco venues (the Adventurer badge needs ten).
     let wharf_loc = GeoPoint::new(37.8080, -122.4177).unwrap();
-    let mut venues = vec![server.register_venue(VenueSpec::new("Fisherman's Wharf Sign", wharf_loc))];
+    let mut venues =
+        vec![server.register_venue(VenueSpec::new("Fisherman's Wharf Sign", wharf_loc))];
     for i in 1..10 {
         venues.push(server.register_venue(VenueSpec::new(
             format!("SF Venue {i}"),
@@ -53,7 +54,12 @@ pub fn e01_spoofing() -> Experiment {
     let app1 = lbsn_device::ClientApp::install(p1.clone(), Arc::clone(&server), u1);
     p1.hook_location_api(wharf_loc);
     let r1 = app1.check_in(venues[0]).unwrap();
-    exp.row("vector 1: hooked GPS APIs", "accepted", outcome_str(&r1), r1.rewarded());
+    exp.row(
+        "vector 1: hooked GPS APIs",
+        "accepted",
+        outcome_str(&r1),
+        r1.rewarded(),
+    );
 
     // Vector 2: simulated Bluetooth GPS receiver as the hardware.
     server.clock().advance(Duration::hours(2));
@@ -62,14 +68,24 @@ pub fn e01_spoofing() -> Experiment {
     p2.replace_gps_hardware(Arc::new(SimulatedGpsReceiver::fixed(wharf_loc)));
     let app2 = lbsn_device::ClientApp::install(p2, Arc::clone(&server), u2);
     let r2 = app2.check_in(venues[0]).unwrap();
-    exp.row("vector 2: simulated GPS module", "accepted", outcome_str(&r2), r2.rewarded());
+    exp.row(
+        "vector 2: simulated GPS module",
+        "accepted",
+        outcome_str(&r2),
+        r2.rewarded(),
+    );
 
     // Vector 3: the public server API, no device at all.
     server.clock().advance(Duration::hours(2));
     let u3 = server.register_user(UserSpec::named("v3"));
     let api = ApiClient::new(Arc::clone(&server));
     let r3 = api.checkin(u3, venues[0], wharf_loc).unwrap();
-    exp.row("vector 3: server API", "accepted", outcome_str(&r3), r3.rewarded());
+    exp.row(
+        "vector 3: server API",
+        "accepted",
+        outcome_str(&r3),
+        r3.rewarded(),
+    );
 
     // Vector 4: the emulator rig the paper used, across ten venues —
     // collecting points, the Adventurer badge, and the mayorship after

@@ -76,11 +76,18 @@ pub fn e02_crawl_throughput(seed: u64) -> Experiment {
             *pph > expected * 0.5 && *pph < expected * 2.5,
         );
     }
-    let at_15 = series.iter().find(|(t, _)| *t == 15).map(|(_, p)| *p).unwrap_or(0.0);
+    let at_15 = series
+        .iter()
+        .find(|(t, _)| *t == 15)
+        .map(|(_, p)| *p)
+        .unwrap_or(0.0);
     exp.row(
         "the paper's rig: 3 machines × 15 threads",
         "100,000 users/hour",
-        format!("{:.0}k users/hour (3 × measured 15-thread rate)", 3.0 * at_15 / 1_000.0),
+        format!(
+            "{:.0}k users/hour (3 × measured 15-thread rate)",
+            3.0 * at_15 / 1_000.0
+        ),
         (3.0 * at_15) > 50_000.0 && (3.0 * at_15) < 220_000.0,
     );
     let (t1, p1) = series[0];
@@ -116,7 +123,11 @@ pub fn e02_crawl_throughput(seed: u64) -> Experiment {
 /// E3 (Fig 3.4): `SELECT Longitude, Latitude FROM VenueInfo WHERE Name
 /// LIKE "%Starbucks%"` traces the US silhouette.
 pub fn e03_starbucks_map(bed: &TestBed, output_dir: &Path) -> Experiment {
-    let mut exp = Experiment::new("E3", "Starbucks branches crawled from the website", "Fig 3.4");
+    let mut exp = Experiment::new(
+        "E3",
+        "Starbucks branches crawled from the website",
+        "Fig 3.4",
+    );
     let rows = bed.db.venues_where_name_like("%Starbucks%");
     exp.row(
         "query returns the chain",
@@ -124,8 +135,7 @@ pub fn e03_starbucks_map(bed: &TestBed, output_dir: &Path) -> Experiment {
         format!("{} branches", rows.len()),
         rows.len() >= 60,
     );
-    let bbox = BoundingBox::enclosing(rows.iter().map(|v| v.location))
-        .expect("chain is non-empty");
+    let bbox = BoundingBox::enclosing(rows.iter().map(|v| v.location)).expect("chain is non-empty");
     exp.row(
         "longitude span",
         "≈ −160…−60 (Hawaii/Alaska to the east coast)",
@@ -142,7 +152,12 @@ pub fn e03_starbucks_map(bed: &TestBed, output_dir: &Path) -> Experiment {
     exp.row(
         "category integrity",
         "coffee shops",
-        if all_coffee { "all Coffee Shop" } else { "mixed" }.to_string(),
+        if all_coffee {
+            "all Coffee Shop"
+        } else {
+            "mixed"
+        }
+        .to_string(),
         all_coffee,
     );
     let _ = write_csv(
@@ -198,7 +213,11 @@ pub fn e11_crawl_defense(seed: u64) -> Experiment {
     exp.row(
         "login required, anonymous crawler",
         "crawl blocked (\"easier to detect … and block them\")",
-        format!("{} stored, {} blocked", login_db.user_count(), login_stats.blocked),
+        format!(
+            "{} stored, {} blocked",
+            login_db.user_count(),
+            login_stats.blocked
+        ),
         login_db.user_count() == 0,
     );
     gated_web.set_config(WebConfig::default());

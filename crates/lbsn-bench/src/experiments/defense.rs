@@ -25,7 +25,11 @@ fn scenario_matrix() -> Vec<AttackScenario> {
     let hub = GeoPoint::new(41.8781, -87.6298).unwrap(); // Chicago carrier hub
     vec![
         AttackScenario::honest("honest walk-in (Wi-Fi)", venue(), IpOrigin::Local(venue())),
-        AttackScenario::honest("honest walk-in (cellular)", venue(), IpOrigin::CarrierHub(hub)),
+        AttackScenario::honest(
+            "honest walk-in (cellular)",
+            venue(),
+            IpOrigin::CarrierHub(hub),
+        ),
         AttackScenario::remote_spoof(
             "cross-country spoof (broadband)",
             abq,

@@ -126,7 +126,11 @@ pub fn e06_badges_vs_total(bed: &TestBed, output_dir: &Path) -> Experiment {
 
     // Stable region: badge averages rise with totals below 1000.
     let early: Vec<&_> = curve.iter().filter(|p| p.total_checkins < 1_000).collect();
-    let rising = early.first().zip(early.last()).map(|(a, b)| b.average > a.average).unwrap_or(false);
+    let rising = early
+        .first()
+        .zip(early.last())
+        .map(|(a, b)| b.average > a.average)
+        .unwrap_or(false);
     exp.row(
         "≤1000 totals: more check-ins → more badges",
         "\"stable … likely to get more badges after doing more check-ins\"",
@@ -333,7 +337,10 @@ pub fn e08_population_stats(bed: &TestBed) -> Experiment {
     );
     exp.row(
         "venues with exactly one visitor",
-        format!("2,014,305 ≈ 36 % of venues (measured {:.0} %)", 100.0 * s.one_visitor_venues as f64 / s.venues.max(1) as f64),
+        format!(
+            "2,014,305 ≈ 36 % of venues (measured {:.0} %)",
+            100.0 * s.one_visitor_venues as f64 / s.venues.max(1) as f64
+        ),
         format!("{}", s.one_visitor_venues),
         {
             let frac = s.one_visitor_venues as f64 / s.venues.max(1) as f64;
@@ -371,8 +378,13 @@ pub fn e08_population_stats(bed: &TestBed) -> Experiment {
     exp.row(
         "the record holder",
         "over 12,000 check-ins, no mayorships (a caught cheater)",
-        top.map(|t| format!("{} check-ins, {} mayorships", t.total_checkins, t.total_mayors))
-            .unwrap_or_else(|| "none".into()),
+        top.map(|t| {
+            format!(
+                "{} check-ins, {} mayorships",
+                t.total_checkins, t.total_mayors
+            )
+        })
+        .unwrap_or_else(|| "none".into()),
         top.map(|t| t.total_checkins > 12_000 && t.total_mayors <= 1)
             .unwrap_or(false),
     );

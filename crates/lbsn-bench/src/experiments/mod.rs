@@ -24,9 +24,7 @@ mod figures;
 pub use attacks::{e01_spoofing, e04_virtual_tour, e09_venue_intel};
 pub use crawling::{e02_crawl_throughput, e03_starbucks_map, e11_crawl_defense};
 pub use defense::{e10_defenses, e12_cheater_code};
-pub use figures::{
-    e05_recent_vs_total, e06_badges_vs_total, e07_dispersion, e08_population_stats,
-};
+pub use figures::{e05_recent_vs_total, e06_badges_vs_total, e07_dispersion, e08_population_stats};
 
 use crate::harness::TestBed;
 use crate::report::Experiment;
@@ -36,22 +34,42 @@ pub const KNOWN_IDS: [&str; 12] = [
     "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12",
 ];
 
+/// Runs `run` against a freshly-reset process-wide registry and
+/// attaches what it recorded — used for experiments that stand up their
+/// own servers/crawlers (those default to [`lbsn_obs::global`]).
+fn with_global_metrics(run: impl FnOnce() -> Experiment) -> Experiment {
+    let registry = lbsn_obs::global();
+    registry.reset();
+    let mut e = run();
+    e.attach_metrics(registry.snapshot());
+    e
+}
+
+/// Runs `run` and attaches the shared bed's registry snapshot (check-in
+/// pipeline + stand-up crawl, cumulative over the bed's lifetime).
+fn with_bed_metrics(bed: &TestBed, run: impl FnOnce() -> Experiment) -> Experiment {
+    let mut e = run();
+    e.attach_metrics(bed.metrics_snapshot());
+    e
+}
+
 /// Runs every experiment at the given population scale, sharing one
-/// test bed where possible. Returns reports in [`KNOWN_IDS`] order.
+/// test bed where possible. Returns reports in [`KNOWN_IDS`] order,
+/// each with a metrics snapshot attached.
 pub fn run_all(scale: f64, seed: u64, output_dir: &std::path::Path) -> Vec<Experiment> {
     let bed = TestBed::at_scale(scale, seed);
     vec![
-        e01_spoofing(),
-        e02_crawl_throughput(seed),
-        e03_starbucks_map(&bed, output_dir),
-        e04_virtual_tour(&bed, output_dir),
-        e05_recent_vs_total(&bed, output_dir),
-        e06_badges_vs_total(&bed, output_dir),
-        e07_dispersion(&bed, output_dir),
-        e08_population_stats(&bed),
-        e09_venue_intel(&bed),
-        e10_defenses(),
-        e11_crawl_defense(seed),
-        e12_cheater_code(seed),
+        with_global_metrics(e01_spoofing),
+        with_global_metrics(|| e02_crawl_throughput(seed)),
+        with_bed_metrics(&bed, || e03_starbucks_map(&bed, output_dir)),
+        with_bed_metrics(&bed, || e04_virtual_tour(&bed, output_dir)),
+        with_bed_metrics(&bed, || e05_recent_vs_total(&bed, output_dir)),
+        with_bed_metrics(&bed, || e06_badges_vs_total(&bed, output_dir)),
+        with_bed_metrics(&bed, || e07_dispersion(&bed, output_dir)),
+        with_bed_metrics(&bed, || e08_population_stats(&bed)),
+        with_bed_metrics(&bed, || e09_venue_intel(&bed)),
+        with_global_metrics(e10_defenses),
+        with_global_metrics(|| e11_crawl_defense(seed)),
+        with_global_metrics(|| e12_cheater_code(seed)),
     ]
 }

@@ -6,6 +6,7 @@ use lbsn_crawler::{
     CrawlDatabase, CrawlTarget, CrawlerConfig, MultiThreadCrawler, SimulatedHttp,
     SimulatedHttpConfig,
 };
+use lbsn_obs::{Registry, Snapshot};
 use lbsn_server::web::WebFrontend;
 use lbsn_server::{LbsnServer, ServerConfig};
 use lbsn_sim::SimClock;
@@ -29,6 +30,10 @@ pub struct TestBed {
     pub web: WebFrontend,
     /// The crawled database, aggregates recomputed.
     pub db: Arc<CrawlDatabase>,
+    /// The bed's private metric registry: the server pipeline and the
+    /// stand-up crawl report here, isolated from other beds and from
+    /// the process-wide registry.
+    pub registry: Arc<Registry>,
 }
 
 impl TestBed {
@@ -41,17 +46,23 @@ impl TestBed {
     /// Builds a test bed from an explicit spec.
     pub fn from_spec(spec: &PopulationSpec) -> TestBed {
         let clock = SimClock::new();
-        let server = Arc::new(LbsnServer::new(clock, ServerConfig::default()));
+        let registry = Arc::new(Registry::new());
+        let server = Arc::new(LbsnServer::with_registry(
+            clock,
+            ServerConfig::default(),
+            Arc::clone(&registry),
+        ));
         let plan = lbsn_workload::plan(spec);
         let population = lbsn_workload::generate(&server, &plan);
         let web = WebFrontend::new(Arc::clone(&server));
-        let db = crawl_everything(&web);
+        let db = crawl_everything_with_registry(&web, Arc::clone(&registry));
         TestBed {
             server,
             plan,
             population,
             web,
             db,
+            registry,
         }
     }
 
@@ -63,16 +74,31 @@ impl TestBed {
             .map(|id| id.value())
             .collect()
     }
+
+    /// Captures the bed's registry — check-in stage latencies, flag
+    /// counters, crawler counters — as plain data.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
 }
 
 /// Crawls every user and venue page of a frontend into a fresh database
 /// and recomputes the derived aggregates — the full §3.2 pipeline with
-/// zero latency.
+/// zero latency. Crawl metrics go to the process-wide registry.
 pub fn crawl_everything(web: &WebFrontend) -> Arc<CrawlDatabase> {
+    crawl_everything_with_registry(web, lbsn_obs::global())
+}
+
+/// [`crawl_everything`], reporting crawl metrics into an injected
+/// registry.
+pub fn crawl_everything_with_registry(
+    web: &WebFrontend,
+    registry: Arc<Registry>,
+) -> Arc<CrawlDatabase> {
     let db = Arc::new(CrawlDatabase::new());
     let http = SimulatedHttp::new(web.clone(), SimulatedHttpConfig::default());
     for target in [CrawlTarget::Users, CrawlTarget::Venues] {
-        let crawler = MultiThreadCrawler::new(
+        let crawler = MultiThreadCrawler::with_registry(
             http.clone(),
             Arc::clone(&db),
             CrawlerConfig {
@@ -80,6 +106,7 @@ pub fn crawl_everything(web: &WebFrontend) -> Arc<CrawlDatabase> {
                 target,
                 ..CrawlerConfig::default()
             },
+            Arc::clone(&registry),
         );
         crawler.run();
     }

@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 use std::path::Path;
 
+use lbsn_obs::Snapshot;
 use serde::Serialize;
 
 /// One paper-vs-measured comparison row.
@@ -48,6 +49,10 @@ pub struct Experiment {
     pub rows: Vec<Row>,
     /// Free-form notes (scale, substitutions, caveats).
     pub notes: Vec<String>,
+    /// Observability snapshot taken when the experiment finished —
+    /// counters, gauges, histograms, and recent events from the
+    /// registry the experiment ran against (see `lbsn-obs`).
+    pub metrics: Option<Snapshot>,
 }
 
 impl Experiment {
@@ -59,7 +64,14 @@ impl Experiment {
             artifact: artifact.to_string(),
             rows: Vec::new(),
             notes: Vec::new(),
+            metrics: None,
         }
+    }
+
+    /// Attaches the metrics snapshot captured after the experiment ran.
+    pub fn attach_metrics(&mut self, snapshot: Snapshot) -> &mut Self {
+        self.metrics = Some(snapshot);
+        self
     }
 
     /// Adds a comparison row.
@@ -89,7 +101,11 @@ impl Experiment {
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
         let status = if self.all_ok() { "✅" } else { "⚠️" };
-        let _ = writeln!(out, "### {} — {} ({}) {}\n", self.id, self.title, self.artifact, status);
+        let _ = writeln!(
+            out,
+            "### {} — {} ({}) {}\n",
+            self.id, self.title, self.artifact, status
+        );
         let _ = writeln!(out, "| Quantity | Paper | Measured | Repro |");
         let _ = writeln!(out, "|---|---|---|---|");
         for r in &self.rows {
@@ -107,6 +123,17 @@ impl Experiment {
             for n in &self.notes {
                 let _ = writeln!(out, "- {n}");
             }
+        }
+        if let Some(m) = &self.metrics {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "_metrics snapshot: {} counters, {} gauges, {} histograms, {} events_",
+                m.counters.len(),
+                m.gauges.len(),
+                m.histograms.len(),
+                m.events.len()
+            );
         }
         out
     }

@@ -1,0 +1,78 @@
+//! End-to-end observability: a full test-bed stand-up (generate →
+//! serve → crawl) plus a flagged cheating check-in must leave a
+//! coherent trail in the bed's registry.
+
+use lbsn_bench::harness::TestBed;
+use lbsn_geo::destination;
+use lbsn_server::{CheatFlag, CheckinRequest, CheckinSource, UserSpec};
+use lbsn_workload::PopulationSpec;
+
+#[test]
+fn testbed_run_populates_the_registry() {
+    let bed = TestBed::from_spec(&PopulationSpec::tiny(600, 17));
+
+    // A blatant GPS-mismatch check-in on top of the generated traffic,
+    // so at least one specific flag counter is guaranteed non-zero.
+    let venue = lbsn_server::VenueId(1);
+    let venue_loc = bed.server.venue(venue).unwrap().location;
+    let cheater = bed.server.register_user(UserSpec::named("obs-cheater"));
+    let outcome = bed
+        .server
+        .check_in(&CheckinRequest {
+            user: cheater,
+            venue,
+            reported_location: destination(venue_loc, 45.0, 25_000.0),
+            source: CheckinSource::MobileApp,
+        })
+        .unwrap();
+    assert!(outcome.flags.contains(&CheatFlag::GpsMismatch));
+
+    let snap = bed.metrics_snapshot();
+
+    // Crawler counters: the stand-up crawl fetched every user and venue
+    // page (plus end-of-space probes) and stored every row.
+    assert!(snap.counter("crawler.fetch.pages") > 0);
+    assert_eq!(
+        snap.counter("crawler.store.users"),
+        bed.db.user_count() as u64
+    );
+    assert_eq!(
+        snap.counter("crawler.store.venues"),
+        bed.db.venue_count() as u64
+    );
+    assert!(snap
+        .gauges
+        .contains_key("crawler.throughput.users_per_hour"));
+    assert!(snap
+        .gauges
+        .contains_key("crawler.throughput.venues_per_hour"));
+
+    // Per-CheatFlag counters: the explicit mismatch plus whatever the
+    // generated cheaters tripped.
+    assert!(snap.counter("server.checkin.flag.gps_mismatch") >= 1);
+    let rejected = snap.counter("server.checkin.rejected");
+    let accepted = snap.counter("server.checkin.accepted");
+    assert!(rejected >= 1);
+    assert!(
+        accepted > 0,
+        "generated population produced valid check-ins"
+    );
+
+    // Stage histograms: every check-in passed through the cheater-code
+    // stage and the total timer; only accepted ones reached rewards.
+    let total = &snap.histograms["server.checkin.total"];
+    assert_eq!(total.count, accepted + rejected);
+    assert_eq!(
+        snap.histograms["server.checkin.stage.cheater_code"].count,
+        total.count
+    );
+    assert_eq!(
+        snap.histograms["server.checkin.stage.rewards"].count,
+        accepted
+    );
+    assert!(total.sum > 0, "timers recorded real elapsed time");
+
+    // The snapshot a bed hands to reports is self-consistent JSON.
+    let back = lbsn_obs::Snapshot::from_json(&snap.to_json()).unwrap();
+    assert_eq!(back, snap);
+}

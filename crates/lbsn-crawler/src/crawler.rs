@@ -11,6 +11,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use lbsn_obs::{Counter, Registry};
+
 use crate::db::CrawlDatabase;
 use crate::fetch::Fetcher;
 use crate::scrape::{parse_user_page, parse_venue_page};
@@ -108,11 +110,53 @@ impl CrawlStats {
     }
 }
 
+/// Pre-resolved observability handles for a crawl (metric scheme
+/// `crawler.component.metric`). Throughput gauges are in the paper's
+/// Fig 3.3/3.4 units — profiles per hour of simulated network time.
+struct CrawlerMetrics {
+    registry: Arc<Registry>,
+    /// `crawler.fetch.pages`: HTTP requests issued, retries included.
+    pages: Counter,
+    /// `crawler.fetch.retries`: re-fetches after a transient 503.
+    retries: Counter,
+    /// `crawler.fetch.errors`: permanently failed pages (retry
+    /// exhaustion, 403 blocks, unexpected statuses).
+    errors: Counter,
+    /// `crawler.parse.errors`: 200 responses the scraper rejected.
+    parse_errors: Counter,
+    /// `crawler.store.users` / `crawler.store.venues`: rows stored.
+    stored_users: Counter,
+    stored_venues: Counter,
+}
+
+impl CrawlerMetrics {
+    fn new(registry: Arc<Registry>) -> Self {
+        let r = &registry;
+        CrawlerMetrics {
+            pages: r.counter("crawler.fetch.pages"),
+            retries: r.counter("crawler.fetch.retries"),
+            errors: r.counter("crawler.fetch.errors"),
+            parse_errors: r.counter("crawler.parse.errors"),
+            stored_users: r.counter("crawler.store.users"),
+            stored_venues: r.counter("crawler.store.venues"),
+            registry,
+        }
+    }
+
+    fn stored_counter(&self, target: CrawlTarget) -> &Counter {
+        match target {
+            CrawlTarget::Users => &self.stored_users,
+            CrawlTarget::Venues => &self.stored_venues,
+        }
+    }
+}
+
 /// The worker pool.
 pub struct MultiThreadCrawler {
     fetcher: Arc<dyn Fetcher>,
     db: Arc<CrawlDatabase>,
     config: CrawlerConfig,
+    metrics: CrawlerMetrics,
 }
 
 impl std::fmt::Debug for MultiThreadCrawler {
@@ -135,12 +179,25 @@ struct Shared {
 }
 
 impl MultiThreadCrawler {
-    /// Creates a crawler writing into `db` through `fetcher`.
+    /// Creates a crawler writing into `db` through `fetcher`,
+    /// reporting metrics into the process-wide [`lbsn_obs::global`]
+    /// registry.
     pub fn new(fetcher: Arc<dyn Fetcher>, db: Arc<CrawlDatabase>, config: CrawlerConfig) -> Self {
+        Self::with_registry(fetcher, db, config, lbsn_obs::global())
+    }
+
+    /// Creates a crawler reporting metrics into an injected registry.
+    pub fn with_registry(
+        fetcher: Arc<dyn Fetcher>,
+        db: Arc<CrawlDatabase>,
+        config: CrawlerConfig,
+        registry: Arc<Registry>,
+    ) -> Self {
         MultiThreadCrawler {
             fetcher,
             db,
             config,
+            metrics: CrawlerMetrics::new(registry),
         }
     }
 
@@ -158,16 +215,19 @@ impl MultiThreadCrawler {
             stored: AtomicU64::new(0),
         });
         let start = Instant::now();
-        let worker_virtual_ms: Vec<f64> = std::thread::scope(|scope| {
+        let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let shared = Arc::clone(&shared);
                     scope.spawn(move || self.worker(&shared))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("crawler worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("crawler worker panicked"))
+                .collect()
         });
-        CrawlStats {
+        let stats = CrawlStats {
             processed: shared.processed.load(Ordering::Relaxed),
             failed: shared.failed.load(Ordering::Relaxed),
             blocked: shared.blocked.load(Ordering::Relaxed),
@@ -175,14 +235,51 @@ impl MultiThreadCrawler {
             stored: shared.stored.load(Ordering::Relaxed),
             threads,
             wall: start.elapsed(),
-            simulated_ms: worker_virtual_ms.iter().copied().fold(0.0, f64::max),
+            simulated_ms: tallies.iter().map(|t| t.virtual_ms).fold(0.0, f64::max),
+        };
+        self.publish_throughput(&stats, &tallies);
+        stats
+    }
+
+    /// Publishes aggregate and per-thread throughput gauges in the
+    /// paper's profiles-per-hour units (Fig 3.3/3.4), plus a run-summary
+    /// event.
+    fn publish_throughput(&self, stats: &CrawlStats, tallies: &[WorkerTally]) {
+        let unit = match self.config.target {
+            CrawlTarget::Users => "users_per_hour",
+            CrawlTarget::Venues => "venues_per_hour",
+        };
+        let registry = &self.metrics.registry;
+        registry
+            .gauge(&format!("crawler.throughput.{unit}"))
+            .set(stats.pages_per_hour());
+        for (i, tally) in tallies.iter().enumerate() {
+            let pph = if tally.virtual_ms > 0.0 {
+                tally.stored as f64 / (tally.virtual_ms / 3_600_000.0)
+            } else {
+                0.0
+            };
+            registry
+                .gauge(&format!("crawler.thread.{i}.{unit}"))
+                .set(pph);
         }
+        registry.event(
+            "crawler.run.finished",
+            &[
+                ("target", format!("{:?}", self.config.target)),
+                ("processed", stats.processed.to_string()),
+                ("stored", stats.stored.to_string()),
+                ("failed", stats.failed.to_string()),
+                ("threads", stats.threads.to_string()),
+            ],
+        );
     }
 
     /// One worker: claim the next ID, fetch with retries, scrape, store.
-    /// Returns its accumulated simulated latency.
-    fn worker(&self, shared: &Shared) -> f64 {
+    /// Returns its accumulated simulated latency and stored-row count.
+    fn worker(&self, shared: &Shared) -> WorkerTally {
         let mut virtual_ms = 0.0;
+        let mut tally_stored = 0u64;
         loop {
             if shared.stop.load(Ordering::Relaxed) {
                 break;
@@ -197,11 +294,14 @@ impl MultiThreadCrawler {
 
             // Fetch with transient-failure retries.
             let mut response = self.fetcher.fetch(&url);
+            self.metrics.pages.inc();
             virtual_ms += response.simulated_latency_ms;
             let mut attempts = 0;
             while response.status == 503 && attempts < self.config.retries {
                 attempts += 1;
                 response = self.fetcher.fetch(&url);
+                self.metrics.pages.inc();
+                self.metrics.retries.inc();
                 virtual_ms += response.simulated_latency_ms;
             }
 
@@ -227,8 +327,11 @@ impl MultiThreadCrawler {
                     };
                     if stored {
                         shared.stored.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.stored_counter(self.config.target).inc();
+                        tally_stored += 1;
                     } else {
                         shared.failed.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.parse_errors.inc();
                     }
                 }
                 404 => {
@@ -241,14 +344,25 @@ impl MultiThreadCrawler {
                 403 => {
                     shared.blocked.fetch_add(1, Ordering::Relaxed);
                     shared.failed.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.errors.inc();
                 }
                 _ => {
                     shared.failed.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.errors.inc();
                 }
             }
         }
-        virtual_ms
+        WorkerTally {
+            virtual_ms,
+            stored: tally_stored,
+        }
     }
+}
+
+/// What one worker thread accumulated over a run.
+struct WorkerTally {
+    virtual_ms: f64,
+    stored: u64,
 }
 
 #[cfg(test)]
@@ -317,7 +431,12 @@ mod tests {
     #[test]
     fn crawls_all_users_by_id_enumeration() {
         let server = populated_server(30, 5);
-        let (db, stats) = crawl(server, CrawlTarget::Users, 4, SimulatedHttpConfig::default());
+        let (db, stats) = crawl(
+            server,
+            CrawlTarget::Users,
+            4,
+            SimulatedHttpConfig::default(),
+        );
         assert_eq!(db.user_count(), 30);
         assert_eq!(stats.stored, 30);
         assert_eq!(stats.failed, 0);
@@ -330,7 +449,12 @@ mod tests {
     #[test]
     fn crawls_venues_with_relations() {
         let server = populated_server(20, 5);
-        let (db, stats) = crawl(server, CrawlTarget::Venues, 3, SimulatedHttpConfig::default());
+        let (db, stats) = crawl(
+            server,
+            CrawlTarget::Venues,
+            3,
+            SimulatedHttpConfig::default(),
+        );
         assert_eq!(db.venue_count(), 5);
         assert_eq!(stats.stored, 5);
         assert!(db.recent_checkin_count() > 0);
@@ -343,10 +467,7 @@ mod tests {
     #[test]
     fn explicit_range_does_not_overrun() {
         let server = populated_server(30, 0);
-        let http = SimulatedHttp::new(
-            WebFrontend::new(server),
-            SimulatedHttpConfig::default(),
-        );
+        let http = SimulatedHttp::new(WebFrontend::new(server), SimulatedHttpConfig::default());
         let db = Arc::new(CrawlDatabase::new());
         let crawler = MultiThreadCrawler::new(
             Arc::clone(&http) as Arc<dyn Fetcher>,

@@ -82,8 +82,7 @@ impl VenueInfoRow {
     /// §3.4's target class: a mayor-only special with the mayorship
     /// unclaimed.
     pub fn is_unclaimed_special(&self) -> bool {
-        self.mayor.is_none()
-            && matches!(&self.special, Some((kind, _)) if kind == "mayor")
+        self.mayor.is_none() && matches!(&self.special, Some((kind, _)) if kind == "mayor")
     }
 }
 
@@ -325,9 +324,7 @@ pub fn like_match(pattern: &str, text: &str) -> bool {
     fn rec(p: &[char], t: &[char]) -> bool {
         match p.split_first() {
             None => t.is_empty(),
-            Some(('%', rest)) => {
-                (0..=t.len()).any(|skip| rec(rest, &t[skip..]))
-            }
+            Some(('%', rest)) => (0..=t.len()).any(|skip| rec(rest, &t[skip..])),
             Some(('_', rest)) => !t.is_empty() && rec(rest, &t[1..]),
             Some((c, rest)) => match t.split_first() {
                 Some((tc, trest)) => c == tc && rec(rest, trest),

@@ -139,8 +139,8 @@ pub fn parse_venue_page(html: &str) -> Result<VenueInfoRow, ScrapeError> {
         let description = parts.next().unwrap_or_default().to_string();
         (kind, description)
     });
-    let mayor = between(html, "class=\"mayor\" href=\"/user/", "\"")
-        .and_then(|s| s.parse::<u64>().ok());
+    let mayor =
+        between(html, "class=\"mayor\" href=\"/user/", "\"").and_then(|s| s.parse::<u64>().ok());
     // Visitor links when public; opaque tokens when the §5.2 hashing
     // defense is on.
     let mut recent_visitors: Vec<VisitorRef> =
@@ -263,7 +263,10 @@ mod tests {
         assert_eq!(row.unique_visitors, 3);
         assert_eq!(
             row.special,
-            Some(("mayor".to_string(), "Free coffee for the mayor!".to_string()))
+            Some((
+                "mayor".to_string(),
+                "Free coffee for the mayor!".to_string()
+            ))
         );
         assert_eq!(row.mayor, Some(1));
         assert_eq!(

@@ -9,9 +9,7 @@ use lbsn_crawler::scrape::{parse_user_page, parse_venue_page};
 use lbsn_crawler::{CrawlDatabase, VenueInfoRow, VisitorRef};
 use lbsn_geo::GeoPoint;
 use lbsn_server::web::{PageRequest, WebFrontend};
-use lbsn_server::{
-    CheckinRequest, CheckinSource, LbsnServer, ServerConfig, UserSpec, VenueSpec,
-};
+use lbsn_server::{CheckinRequest, CheckinSource, LbsnServer, ServerConfig, UserSpec, VenueSpec};
 use lbsn_sim::{Duration, SimClock};
 use proptest::prelude::*;
 
@@ -40,11 +38,7 @@ fn like_oracle(pattern: &str, text: &str) -> bool {
 
 fn arb_pattern() -> impl Strategy<Value = String> {
     prop::collection::vec(
-        prop_oneof![
-            Just('%'),
-            Just('_'),
-            prop::char::range('a', 'e'),
-        ],
+        prop_oneof![Just('%'), Just('_'), prop::char::range('a', 'e'),],
         0..8,
     )
     .prop_map(|chars| chars.into_iter().collect())
@@ -59,10 +53,9 @@ fn arb_text() -> impl Strategy<Value = String> {
 /// markup metacharacters — the site itself escapes nothing, faithful to
 /// a 2010 scrape target).
 fn arb_name() -> impl Strategy<Value = String> {
-    "[a-zA-Z0-9 '#.-]{1,30}".prop_map(|s| s.trim().to_string()).prop_filter(
-        "non-empty after trim",
-        |s| !s.is_empty(),
-    )
+    "[a-zA-Z0-9 '#.-]{1,30}"
+        .prop_map(|s| s.trim().to_string())
+        .prop_filter("non-empty after trim", |s| !s.is_empty())
 }
 
 proptest! {

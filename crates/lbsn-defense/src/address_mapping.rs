@@ -2,7 +2,7 @@
 
 use lbsn_geo::{distance, Meters};
 
-use crate::verify::{DeploymentCost, IpOrigin, LocationVerifier, VerificationContext, Verdict};
+use crate::verify::{DeploymentCost, IpOrigin, LocationVerifier, Verdict, VerificationContext};
 
 /// An IP-geolocation verifier.
 ///

@@ -2,7 +2,7 @@
 
 use lbsn_geo::{distance, Meters};
 
-use crate::verify::{DeploymentCost, LocationVerifier, VerificationContext, Verdict};
+use crate::verify::{DeploymentCost, LocationVerifier, Verdict, VerificationContext};
 
 /// A distance-bounding verifier deployed at the venue.
 ///

@@ -23,7 +23,7 @@ use lbsn_server::{CheckinError, CheckinOutcome, CheckinRequest, LbsnServer, Venu
 use parking_lot::RwLock;
 
 use crate::stack::VerifierStack;
-use crate::verify::{IpOrigin, VerificationContext, Verdict};
+use crate::verify::{IpOrigin, Verdict, VerificationContext};
 
 /// The result of a verified check-in attempt.
 #[derive(Debug, Clone, PartialEq)]
@@ -165,10 +165,7 @@ mod tests {
             .check_in(&req(user, venue), wharf(), IpOrigin::Local(wharf()))
             .unwrap();
         assert!(out.rewarded());
-        assert_eq!(
-            service.server().user(user).unwrap().valid_checkins,
-            1
-        );
+        assert_eq!(service.server().user(user).unwrap().valid_checkins, 1);
     }
 
     #[test]

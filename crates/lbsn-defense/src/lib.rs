@@ -40,6 +40,6 @@ pub use distance_bounding::DistanceBounding;
 pub use integration::{VerifiedCheckinService, VerifiedOutcome};
 pub use stack::{classify, evaluate_verifier, EvaluationRow, ScenarioOutcome, VerifierStack};
 pub use verify::{
-    AttackScenario, DeploymentCost, IpOrigin, LocationVerifier, VerificationContext, Verdict,
+    AttackScenario, DeploymentCost, IpOrigin, LocationVerifier, Verdict, VerificationContext,
 };
 pub use wifi::WifiVerifier;

@@ -1,6 +1,6 @@
 //! Composing verifiers and scoring them against scenario matrices.
 
-use crate::verify::{AttackScenario, LocationVerifier, VerificationContext, Verdict};
+use crate::verify::{AttackScenario, LocationVerifier, Verdict, VerificationContext};
 
 /// A stack of verifiers applied to every check-in.
 ///
@@ -253,7 +253,10 @@ mod tests {
             ..AddressMapping::default()
         };
         let row = evaluate_verifier(&strict, &scenarios());
-        assert!(row.false_positive_rate > 0.0, "honest cellular walk-in rejected");
+        assert!(
+            row.false_positive_rate > 0.0,
+            "honest cellular walk-in rejected"
+        );
         assert!((row.detection_rate - 2.0 / 3.0).abs() < 1e-9);
     }
 
@@ -268,7 +271,10 @@ mod tests {
             classify(&s[0], Verdict::Reject),
             ScenarioOutcome::FalsePositive
         );
-        assert_eq!(classify(&s[2], Verdict::Reject), ScenarioOutcome::CaughtCheat);
+        assert_eq!(
+            classify(&s[2], Verdict::Reject),
+            ScenarioOutcome::CaughtCheat
+        );
         assert_eq!(
             classify(&s[2], Verdict::Unverifiable),
             ScenarioOutcome::MissedCheat

@@ -152,7 +152,12 @@ mod tests {
         let h = AttackScenario::honest("visit", venue, IpOrigin::Local(venue));
         assert!(!h.is_cheat);
         assert_eq!(h.ctx.true_location, venue);
-        let a = AttackScenario::remote_spoof("spoof", p(35.0, -106.0), venue, IpOrigin::Local(p(35.0, -106.0)));
+        let a = AttackScenario::remote_spoof(
+            "spoof",
+            p(35.0, -106.0),
+            venue,
+            IpOrigin::Local(p(35.0, -106.0)),
+        );
         assert!(a.is_cheat);
         assert_eq!(a.ctx.claimed, venue, "spoofer claims the venue's coords");
         assert_ne!(a.ctx.true_location, venue);

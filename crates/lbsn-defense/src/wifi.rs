@@ -2,7 +2,7 @@
 
 use lbsn_geo::{distance, Meters};
 
-use crate::verify::{DeploymentCost, LocationVerifier, VerificationContext, Verdict};
+use crate::verify::{DeploymentCost, LocationVerifier, Verdict, VerificationContext};
 
 /// Venue-side Wi-Fi location verification.
 ///

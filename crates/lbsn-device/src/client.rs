@@ -4,7 +4,9 @@ use std::sync::Arc;
 
 use lbsn_geo::Meters;
 use lbsn_server::api::{ApiClient, VenueSummary};
-use lbsn_server::{CheckinError, CheckinOutcome, CheckinRequest, CheckinSource, LbsnServer, UserId, VenueId};
+use lbsn_server::{
+    CheckinError, CheckinOutcome, CheckinRequest, CheckinSource, LbsnServer, UserId, VenueId,
+};
 
 use crate::phone::Phone;
 
@@ -53,7 +55,8 @@ impl ClientApp {
     /// *fake* location — which is how the paper's attacker finds the
     /// target venue to tap.
     pub fn nearby_venues(&self, radius: Meters, limit: usize) -> Vec<VenueSummary> {
-        self.api.venues_near(self.phone.os_location(), radius, limit)
+        self.api
+            .venues_near(self.phone.os_location(), radius, limit)
     }
 
     /// Checks in to a venue, reporting the OS location as the GPS fix.
@@ -72,10 +75,7 @@ impl ClientApp {
 
     /// Convenience: check in to the nearest venue the app can see.
     /// Returns `None` when no venue is within `radius`.
-    pub fn check_in_nearest(
-        &self,
-        radius: Meters,
-    ) -> Option<Result<CheckinOutcome, CheckinError>> {
+    pub fn check_in_nearest(&self, radius: Meters) -> Option<Result<CheckinOutcome, CheckinError>> {
         let nearest = self.nearby_venues(radius, 1).into_iter().next()?;
         Some(self.check_in(nearest.id))
     }

@@ -37,7 +37,10 @@ impl fmt::Display for EmulatorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EmulatorError::MarketLocked => {
-                write!(f, "app market unavailable: flash a full recovery image first")
+                write!(
+                    f,
+                    "app market unavailable: flash a full recovery image first"
+                )
             }
             EmulatorError::BadCoordinates(e) => write!(f, "bad geo fix coordinates: {e}"),
         }
@@ -205,6 +208,8 @@ mod tests {
 
     #[test]
     fn error_messages() {
-        assert!(EmulatorError::MarketLocked.to_string().contains("recovery image"));
+        assert!(EmulatorError::MarketLocked
+            .to_string()
+            .contains("recovery image"));
     }
 }

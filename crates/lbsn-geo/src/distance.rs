@@ -60,8 +60,8 @@ pub fn equirectangular_distance(a: GeoPoint, b: GeoPoint) -> Meters {
 pub fn bearing(a: GeoPoint, b: GeoPoint) -> f64 {
     let dlon = b.lon_rad() - a.lon_rad();
     let y = dlon.sin() * b.lat_rad().cos();
-    let x = a.lat_rad().cos() * b.lat_rad().sin()
-        - a.lat_rad().sin() * b.lat_rad().cos() * dlon.cos();
+    let x =
+        a.lat_rad().cos() * b.lat_rad().sin() - a.lat_rad().sin() * b.lat_rad().cos() * dlon.cos();
     (y.atan2(x).to_degrees() + 360.0) % 360.0
 }
 
@@ -76,8 +76,8 @@ pub fn destination(start: GeoPoint, bearing_deg: f64, dist: Meters) -> GeoPoint 
     let lat1 = start.lat_rad();
     let lon1 = start.lon_rad();
     let lat2 = (lat1.sin() * ang.cos() + lat1.cos() * ang.sin() * brg.cos()).asin();
-    let lon2 = lon1
-        + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
+    let lon2 =
+        lon1 + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
     let lat_deg = lat2.to_degrees().clamp(-90.0, 90.0);
     let mut lon_deg = lon2.to_degrees();
     while lon_deg > 180.0 {

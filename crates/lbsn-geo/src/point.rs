@@ -162,7 +162,9 @@ mod tests {
         let p = GeoPoint::new(0.0, 179.9).unwrap();
         let q = p.offset_degrees(0.0, 0.2);
         assert!((q.lon() - (-179.9)).abs() < 1e-9);
-        let r = GeoPoint::new(0.0, -179.9).unwrap().offset_degrees(0.0, -0.2);
+        let r = GeoPoint::new(0.0, -179.9)
+            .unwrap()
+            .offset_degrees(0.0, -0.2);
         assert!((r.lon() - 179.9).abs() < 1e-9);
     }
 

@@ -36,85 +36,535 @@ impl Metro {
 /// Fig 3.4 silhouette spans the same bounding box as the paper's plot
 /// (longitude ≈ −160…−60, latitude ≈ 19…61).
 pub const US_METROS: &[Metro] = &[
-    Metro { name: "New York", region: "NY", lat: 40.7128, lon: -74.0060, weight: 19.0 },
-    Metro { name: "Los Angeles", region: "CA", lat: 34.0522, lon: -118.2437, weight: 12.8 },
-    Metro { name: "Chicago", region: "IL", lat: 41.8781, lon: -87.6298, weight: 9.5 },
-    Metro { name: "Dallas", region: "TX", lat: 32.7767, lon: -96.7970, weight: 6.4 },
-    Metro { name: "Philadelphia", region: "PA", lat: 39.9526, lon: -75.1652, weight: 6.0 },
-    Metro { name: "Houston", region: "TX", lat: 29.7604, lon: -95.3698, weight: 5.9 },
-    Metro { name: "Washington", region: "DC", lat: 38.9072, lon: -77.0369, weight: 5.6 },
-    Metro { name: "Miami", region: "FL", lat: 25.7617, lon: -80.1918, weight: 5.5 },
-    Metro { name: "Atlanta", region: "GA", lat: 33.7490, lon: -84.3880, weight: 5.3 },
-    Metro { name: "Boston", region: "MA", lat: 42.3601, lon: -71.0589, weight: 4.6 },
-    Metro { name: "San Francisco", region: "CA", lat: 37.7749, lon: -122.4194, weight: 4.3 },
-    Metro { name: "Detroit", region: "MI", lat: 42.3314, lon: -83.0458, weight: 4.3 },
-    Metro { name: "Phoenix", region: "AZ", lat: 33.4484, lon: -112.0740, weight: 4.2 },
-    Metro { name: "Seattle", region: "WA", lat: 47.6062, lon: -122.3321, weight: 3.4 },
-    Metro { name: "Minneapolis", region: "MN", lat: 44.9778, lon: -93.2650, weight: 3.3 },
-    Metro { name: "San Diego", region: "CA", lat: 32.7157, lon: -117.1611, weight: 3.1 },
-    Metro { name: "St. Louis", region: "MO", lat: 38.6270, lon: -90.1994, weight: 2.8 },
-    Metro { name: "Tampa", region: "FL", lat: 27.9506, lon: -82.4572, weight: 2.8 },
-    Metro { name: "Baltimore", region: "MD", lat: 39.2904, lon: -76.6122, weight: 2.7 },
-    Metro { name: "Denver", region: "CO", lat: 39.7392, lon: -104.9903, weight: 2.5 },
-    Metro { name: "Pittsburgh", region: "PA", lat: 40.4406, lon: -79.9959, weight: 2.4 },
-    Metro { name: "Portland", region: "OR", lat: 45.5152, lon: -122.6784, weight: 2.2 },
-    Metro { name: "Charlotte", region: "NC", lat: 35.2271, lon: -80.8431, weight: 2.2 },
-    Metro { name: "Sacramento", region: "CA", lat: 38.5816, lon: -121.4944, weight: 2.1 },
-    Metro { name: "San Antonio", region: "TX", lat: 29.4241, lon: -98.4936, weight: 2.1 },
-    Metro { name: "Orlando", region: "FL", lat: 28.5383, lon: -81.3792, weight: 2.1 },
-    Metro { name: "Cincinnati", region: "OH", lat: 39.1031, lon: -84.5120, weight: 2.1 },
-    Metro { name: "Cleveland", region: "OH", lat: 41.4993, lon: -81.6944, weight: 2.1 },
-    Metro { name: "Kansas City", region: "MO", lat: 39.0997, lon: -94.5786, weight: 2.0 },
-    Metro { name: "Las Vegas", region: "NV", lat: 36.1699, lon: -115.1398, weight: 1.9 },
-    Metro { name: "Columbus", region: "OH", lat: 39.9612, lon: -82.9988, weight: 1.8 },
-    Metro { name: "Indianapolis", region: "IN", lat: 39.7684, lon: -86.1581, weight: 1.8 },
-    Metro { name: "Austin", region: "TX", lat: 30.2672, lon: -97.7431, weight: 1.7 },
-    Metro { name: "Nashville", region: "TN", lat: 36.1627, lon: -86.7816, weight: 1.6 },
-    Metro { name: "Virginia Beach", region: "VA", lat: 36.8529, lon: -75.9780, weight: 1.7 },
-    Metro { name: "Providence", region: "RI", lat: 41.8240, lon: -71.4128, weight: 1.6 },
-    Metro { name: "Milwaukee", region: "WI", lat: 43.0389, lon: -87.9065, weight: 1.6 },
-    Metro { name: "Jacksonville", region: "FL", lat: 30.3322, lon: -81.6557, weight: 1.3 },
-    Metro { name: "Memphis", region: "TN", lat: 35.1495, lon: -90.0490, weight: 1.3 },
-    Metro { name: "Oklahoma City", region: "OK", lat: 35.4676, lon: -97.5164, weight: 1.3 },
-    Metro { name: "Louisville", region: "KY", lat: 38.2527, lon: -85.7585, weight: 1.3 },
-    Metro { name: "Richmond", region: "VA", lat: 37.5407, lon: -77.4360, weight: 1.2 },
-    Metro { name: "New Orleans", region: "LA", lat: 29.9511, lon: -90.0715, weight: 1.2 },
-    Metro { name: "Raleigh", region: "NC", lat: 35.7796, lon: -78.6382, weight: 1.1 },
-    Metro { name: "Salt Lake City", region: "UT", lat: 40.7608, lon: -111.8910, weight: 1.1 },
-    Metro { name: "Buffalo", region: "NY", lat: 42.8864, lon: -78.8784, weight: 1.1 },
-    Metro { name: "Birmingham", region: "AL", lat: 33.5186, lon: -86.8104, weight: 1.1 },
-    Metro { name: "Rochester", region: "NY", lat: 43.1566, lon: -77.6088, weight: 1.0 },
-    Metro { name: "Tucson", region: "AZ", lat: 32.2226, lon: -110.9747, weight: 1.0 },
-    Metro { name: "Honolulu", region: "HI", lat: 21.3069, lon: -157.8583, weight: 0.9 },
-    Metro { name: "Tulsa", region: "OK", lat: 36.1540, lon: -95.9928, weight: 0.9 },
-    Metro { name: "Fresno", region: "CA", lat: 36.7378, lon: -119.7871, weight: 0.9 },
-    Metro { name: "Omaha", region: "NE", lat: 41.2565, lon: -95.9345, weight: 0.9 },
-    Metro { name: "Albuquerque", region: "NM", lat: 35.0844, lon: -106.6504, weight: 0.9 },
-    Metro { name: "El Paso", region: "TX", lat: 31.7619, lon: -106.4850, weight: 0.8 },
-    Metro { name: "Boise", region: "ID", lat: 43.6150, lon: -116.2023, weight: 0.6 },
-    Metro { name: "Spokane", region: "WA", lat: 47.6588, lon: -117.4260, weight: 0.5 },
-    Metro { name: "Des Moines", region: "IA", lat: 41.5868, lon: -93.6250, weight: 0.6 },
-    Metro { name: "Lincoln", region: "NE", lat: 40.8136, lon: -96.7026, weight: 0.3 },
-    Metro { name: "Billings", region: "MT", lat: 45.7833, lon: -108.5007, weight: 0.2 },
-    Metro { name: "Fargo", region: "ND", lat: 46.8772, lon: -96.7898, weight: 0.2 },
-    Metro { name: "Sioux Falls", region: "SD", lat: 43.5446, lon: -96.7311, weight: 0.2 },
-    Metro { name: "Cheyenne", region: "WY", lat: 41.1400, lon: -104.8202, weight: 0.1 },
-    Metro { name: "Burlington", region: "VT", lat: 44.4759, lon: -73.2121, weight: 0.2 },
-    Metro { name: "Portland ME", region: "ME", lat: 43.6591, lon: -70.2568, weight: 0.5 },
-    Metro { name: "Anchorage", region: "AK", lat: 61.2181, lon: -149.9003, weight: 0.4 },
-    Metro { name: "Fairbanks", region: "AK", lat: 64.8378, lon: -147.7164, weight: 0.1 },
-    Metro { name: "Jackson", region: "MS", lat: 32.2988, lon: -90.1848, weight: 0.5 },
-    Metro { name: "Little Rock", region: "AR", lat: 34.7465, lon: -92.2896, weight: 0.7 },
-    Metro { name: "Wichita", region: "KS", lat: 37.6872, lon: -97.3301, weight: 0.6 },
+    Metro {
+        name: "New York",
+        region: "NY",
+        lat: 40.7128,
+        lon: -74.0060,
+        weight: 19.0,
+    },
+    Metro {
+        name: "Los Angeles",
+        region: "CA",
+        lat: 34.0522,
+        lon: -118.2437,
+        weight: 12.8,
+    },
+    Metro {
+        name: "Chicago",
+        region: "IL",
+        lat: 41.8781,
+        lon: -87.6298,
+        weight: 9.5,
+    },
+    Metro {
+        name: "Dallas",
+        region: "TX",
+        lat: 32.7767,
+        lon: -96.7970,
+        weight: 6.4,
+    },
+    Metro {
+        name: "Philadelphia",
+        region: "PA",
+        lat: 39.9526,
+        lon: -75.1652,
+        weight: 6.0,
+    },
+    Metro {
+        name: "Houston",
+        region: "TX",
+        lat: 29.7604,
+        lon: -95.3698,
+        weight: 5.9,
+    },
+    Metro {
+        name: "Washington",
+        region: "DC",
+        lat: 38.9072,
+        lon: -77.0369,
+        weight: 5.6,
+    },
+    Metro {
+        name: "Miami",
+        region: "FL",
+        lat: 25.7617,
+        lon: -80.1918,
+        weight: 5.5,
+    },
+    Metro {
+        name: "Atlanta",
+        region: "GA",
+        lat: 33.7490,
+        lon: -84.3880,
+        weight: 5.3,
+    },
+    Metro {
+        name: "Boston",
+        region: "MA",
+        lat: 42.3601,
+        lon: -71.0589,
+        weight: 4.6,
+    },
+    Metro {
+        name: "San Francisco",
+        region: "CA",
+        lat: 37.7749,
+        lon: -122.4194,
+        weight: 4.3,
+    },
+    Metro {
+        name: "Detroit",
+        region: "MI",
+        lat: 42.3314,
+        lon: -83.0458,
+        weight: 4.3,
+    },
+    Metro {
+        name: "Phoenix",
+        region: "AZ",
+        lat: 33.4484,
+        lon: -112.0740,
+        weight: 4.2,
+    },
+    Metro {
+        name: "Seattle",
+        region: "WA",
+        lat: 47.6062,
+        lon: -122.3321,
+        weight: 3.4,
+    },
+    Metro {
+        name: "Minneapolis",
+        region: "MN",
+        lat: 44.9778,
+        lon: -93.2650,
+        weight: 3.3,
+    },
+    Metro {
+        name: "San Diego",
+        region: "CA",
+        lat: 32.7157,
+        lon: -117.1611,
+        weight: 3.1,
+    },
+    Metro {
+        name: "St. Louis",
+        region: "MO",
+        lat: 38.6270,
+        lon: -90.1994,
+        weight: 2.8,
+    },
+    Metro {
+        name: "Tampa",
+        region: "FL",
+        lat: 27.9506,
+        lon: -82.4572,
+        weight: 2.8,
+    },
+    Metro {
+        name: "Baltimore",
+        region: "MD",
+        lat: 39.2904,
+        lon: -76.6122,
+        weight: 2.7,
+    },
+    Metro {
+        name: "Denver",
+        region: "CO",
+        lat: 39.7392,
+        lon: -104.9903,
+        weight: 2.5,
+    },
+    Metro {
+        name: "Pittsburgh",
+        region: "PA",
+        lat: 40.4406,
+        lon: -79.9959,
+        weight: 2.4,
+    },
+    Metro {
+        name: "Portland",
+        region: "OR",
+        lat: 45.5152,
+        lon: -122.6784,
+        weight: 2.2,
+    },
+    Metro {
+        name: "Charlotte",
+        region: "NC",
+        lat: 35.2271,
+        lon: -80.8431,
+        weight: 2.2,
+    },
+    Metro {
+        name: "Sacramento",
+        region: "CA",
+        lat: 38.5816,
+        lon: -121.4944,
+        weight: 2.1,
+    },
+    Metro {
+        name: "San Antonio",
+        region: "TX",
+        lat: 29.4241,
+        lon: -98.4936,
+        weight: 2.1,
+    },
+    Metro {
+        name: "Orlando",
+        region: "FL",
+        lat: 28.5383,
+        lon: -81.3792,
+        weight: 2.1,
+    },
+    Metro {
+        name: "Cincinnati",
+        region: "OH",
+        lat: 39.1031,
+        lon: -84.5120,
+        weight: 2.1,
+    },
+    Metro {
+        name: "Cleveland",
+        region: "OH",
+        lat: 41.4993,
+        lon: -81.6944,
+        weight: 2.1,
+    },
+    Metro {
+        name: "Kansas City",
+        region: "MO",
+        lat: 39.0997,
+        lon: -94.5786,
+        weight: 2.0,
+    },
+    Metro {
+        name: "Las Vegas",
+        region: "NV",
+        lat: 36.1699,
+        lon: -115.1398,
+        weight: 1.9,
+    },
+    Metro {
+        name: "Columbus",
+        region: "OH",
+        lat: 39.9612,
+        lon: -82.9988,
+        weight: 1.8,
+    },
+    Metro {
+        name: "Indianapolis",
+        region: "IN",
+        lat: 39.7684,
+        lon: -86.1581,
+        weight: 1.8,
+    },
+    Metro {
+        name: "Austin",
+        region: "TX",
+        lat: 30.2672,
+        lon: -97.7431,
+        weight: 1.7,
+    },
+    Metro {
+        name: "Nashville",
+        region: "TN",
+        lat: 36.1627,
+        lon: -86.7816,
+        weight: 1.6,
+    },
+    Metro {
+        name: "Virginia Beach",
+        region: "VA",
+        lat: 36.8529,
+        lon: -75.9780,
+        weight: 1.7,
+    },
+    Metro {
+        name: "Providence",
+        region: "RI",
+        lat: 41.8240,
+        lon: -71.4128,
+        weight: 1.6,
+    },
+    Metro {
+        name: "Milwaukee",
+        region: "WI",
+        lat: 43.0389,
+        lon: -87.9065,
+        weight: 1.6,
+    },
+    Metro {
+        name: "Jacksonville",
+        region: "FL",
+        lat: 30.3322,
+        lon: -81.6557,
+        weight: 1.3,
+    },
+    Metro {
+        name: "Memphis",
+        region: "TN",
+        lat: 35.1495,
+        lon: -90.0490,
+        weight: 1.3,
+    },
+    Metro {
+        name: "Oklahoma City",
+        region: "OK",
+        lat: 35.4676,
+        lon: -97.5164,
+        weight: 1.3,
+    },
+    Metro {
+        name: "Louisville",
+        region: "KY",
+        lat: 38.2527,
+        lon: -85.7585,
+        weight: 1.3,
+    },
+    Metro {
+        name: "Richmond",
+        region: "VA",
+        lat: 37.5407,
+        lon: -77.4360,
+        weight: 1.2,
+    },
+    Metro {
+        name: "New Orleans",
+        region: "LA",
+        lat: 29.9511,
+        lon: -90.0715,
+        weight: 1.2,
+    },
+    Metro {
+        name: "Raleigh",
+        region: "NC",
+        lat: 35.7796,
+        lon: -78.6382,
+        weight: 1.1,
+    },
+    Metro {
+        name: "Salt Lake City",
+        region: "UT",
+        lat: 40.7608,
+        lon: -111.8910,
+        weight: 1.1,
+    },
+    Metro {
+        name: "Buffalo",
+        region: "NY",
+        lat: 42.8864,
+        lon: -78.8784,
+        weight: 1.1,
+    },
+    Metro {
+        name: "Birmingham",
+        region: "AL",
+        lat: 33.5186,
+        lon: -86.8104,
+        weight: 1.1,
+    },
+    Metro {
+        name: "Rochester",
+        region: "NY",
+        lat: 43.1566,
+        lon: -77.6088,
+        weight: 1.0,
+    },
+    Metro {
+        name: "Tucson",
+        region: "AZ",
+        lat: 32.2226,
+        lon: -110.9747,
+        weight: 1.0,
+    },
+    Metro {
+        name: "Honolulu",
+        region: "HI",
+        lat: 21.3069,
+        lon: -157.8583,
+        weight: 0.9,
+    },
+    Metro {
+        name: "Tulsa",
+        region: "OK",
+        lat: 36.1540,
+        lon: -95.9928,
+        weight: 0.9,
+    },
+    Metro {
+        name: "Fresno",
+        region: "CA",
+        lat: 36.7378,
+        lon: -119.7871,
+        weight: 0.9,
+    },
+    Metro {
+        name: "Omaha",
+        region: "NE",
+        lat: 41.2565,
+        lon: -95.9345,
+        weight: 0.9,
+    },
+    Metro {
+        name: "Albuquerque",
+        region: "NM",
+        lat: 35.0844,
+        lon: -106.6504,
+        weight: 0.9,
+    },
+    Metro {
+        name: "El Paso",
+        region: "TX",
+        lat: 31.7619,
+        lon: -106.4850,
+        weight: 0.8,
+    },
+    Metro {
+        name: "Boise",
+        region: "ID",
+        lat: 43.6150,
+        lon: -116.2023,
+        weight: 0.6,
+    },
+    Metro {
+        name: "Spokane",
+        region: "WA",
+        lat: 47.6588,
+        lon: -117.4260,
+        weight: 0.5,
+    },
+    Metro {
+        name: "Des Moines",
+        region: "IA",
+        lat: 41.5868,
+        lon: -93.6250,
+        weight: 0.6,
+    },
+    Metro {
+        name: "Lincoln",
+        region: "NE",
+        lat: 40.8136,
+        lon: -96.7026,
+        weight: 0.3,
+    },
+    Metro {
+        name: "Billings",
+        region: "MT",
+        lat: 45.7833,
+        lon: -108.5007,
+        weight: 0.2,
+    },
+    Metro {
+        name: "Fargo",
+        region: "ND",
+        lat: 46.8772,
+        lon: -96.7898,
+        weight: 0.2,
+    },
+    Metro {
+        name: "Sioux Falls",
+        region: "SD",
+        lat: 43.5446,
+        lon: -96.7311,
+        weight: 0.2,
+    },
+    Metro {
+        name: "Cheyenne",
+        region: "WY",
+        lat: 41.1400,
+        lon: -104.8202,
+        weight: 0.1,
+    },
+    Metro {
+        name: "Burlington",
+        region: "VT",
+        lat: 44.4759,
+        lon: -73.2121,
+        weight: 0.2,
+    },
+    Metro {
+        name: "Portland ME",
+        region: "ME",
+        lat: 43.6591,
+        lon: -70.2568,
+        weight: 0.5,
+    },
+    Metro {
+        name: "Anchorage",
+        region: "AK",
+        lat: 61.2181,
+        lon: -149.9003,
+        weight: 0.4,
+    },
+    Metro {
+        name: "Fairbanks",
+        region: "AK",
+        lat: 64.8378,
+        lon: -147.7164,
+        weight: 0.1,
+    },
+    Metro {
+        name: "Jackson",
+        region: "MS",
+        lat: 32.2988,
+        lon: -90.1848,
+        weight: 0.5,
+    },
+    Metro {
+        name: "Little Rock",
+        region: "AR",
+        lat: 34.7465,
+        lon: -92.2896,
+        weight: 0.7,
+    },
+    Metro {
+        name: "Wichita",
+        region: "KS",
+        lat: 37.6872,
+        lon: -97.3301,
+        weight: 0.6,
+    },
 ];
 
 /// A handful of European cities so the Fig 4.3 cheater can "visit Europe".
 pub const EUROPE_CITIES: &[Metro] = &[
-    Metro { name: "London", region: "UK", lat: 51.5074, lon: -0.1278, weight: 8.0 },
-    Metro { name: "Paris", region: "FR", lat: 48.8566, lon: 2.3522, weight: 10.5 },
-    Metro { name: "Berlin", region: "DE", lat: 52.5200, lon: 13.4050, weight: 3.4 },
-    Metro { name: "Amsterdam", region: "NL", lat: 52.3676, lon: 4.9041, weight: 1.1 },
-    Metro { name: "Madrid", region: "ES", lat: 40.4168, lon: -3.7038, weight: 6.0 },
+    Metro {
+        name: "London",
+        region: "UK",
+        lat: 51.5074,
+        lon: -0.1278,
+        weight: 8.0,
+    },
+    Metro {
+        name: "Paris",
+        region: "FR",
+        lat: 48.8566,
+        lon: 2.3522,
+        weight: 10.5,
+    },
+    Metro {
+        name: "Berlin",
+        region: "DE",
+        lat: 52.5200,
+        lon: 13.4050,
+        weight: 3.4,
+    },
+    Metro {
+        name: "Amsterdam",
+        region: "NL",
+        lat: 52.3676,
+        lon: 4.9041,
+        weight: 1.1,
+    },
+    Metro {
+        name: "Madrid",
+        region: "ES",
+        lat: 40.4168,
+        lon: -3.7038,
+        weight: 6.0,
+    },
 ];
 
 /// Total US sampling weight (sum of [`US_METROS`] weights).

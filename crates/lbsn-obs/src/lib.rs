@@ -1,0 +1,45 @@
+//! Workspace-wide observability: named metrics, scoped timers, and a
+//! structured-event trace behind a global-or-injected [`Registry`].
+//!
+//! Every hot path in the reproduction (check-in pipeline, crawler
+//! workers, attack executor) holds pre-resolved handles — a metric
+//! update is one relaxed atomic check plus one atomic RMW, no map
+//! lookups and no locks. Disabling a registry turns every update into
+//! the single flag check, which is what keeps instrumentation overhead
+//! under the benchmarked budget (see `lbsn-bench/benches/obs_overhead`).
+//!
+//! Metric names follow `subsystem.component.metric`, e.g.
+//! `server.checkin.flag.gps_mismatch` or
+//! `crawler.throughput.users_per_hour`.
+//!
+//! A [`Snapshot`] captures every metric and the recent event trace as
+//! plain data; it serializes to JSON and round-trips losslessly, so
+//! bench reports can embed it and tooling can diff runs.
+
+mod metrics;
+mod registry;
+mod snapshot;
+mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, ScopedTimer};
+pub use registry::{global, Registry};
+pub use snapshot::{BucketSnapshot, EventRecord, HistogramSnapshot, Snapshot};
+pub use trace::EventTrace;
+
+/// Default histogram bucket upper bounds, in nanoseconds: exponential
+/// from 256 ns to ~4.4 s, a spread that covers both a sub-microsecond
+/// cheater-code pass and a simulated multi-second HTTP fetch.
+pub const DEFAULT_LATENCY_BUCKETS_NS: [u64; 12] = [
+    256,
+    1 << 10,
+    1 << 12,
+    1 << 14,
+    1 << 16,
+    1 << 18,
+    1 << 20,
+    1 << 22,
+    1 << 24,
+    1 << 27,
+    1 << 30,
+    1 << 32,
+];

@@ -1,0 +1,265 @@
+//! The metric registry: name → cell resolution, the enabled flag, and
+//! snapshot capture.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+
+use crate::metrics::{Counter, CounterCell, Gauge, GaugeCell, Histogram, HistogramCell};
+use crate::snapshot::{BucketSnapshot, HistogramSnapshot, Snapshot};
+use crate::trace::EventTrace;
+use crate::DEFAULT_LATENCY_BUCKETS_NS;
+
+#[derive(Default)]
+struct Cells {
+    counters: BTreeMap<String, Arc<CounterCell>>,
+    gauges: BTreeMap<String, Arc<GaugeCell>>,
+    histograms: BTreeMap<String, Arc<HistogramCell>>,
+}
+
+/// Holds every named metric plus the event trace. Components take an
+/// `Arc<Registry>` at construction (defaulting to [`global`]), resolve
+/// their handles once, and update them lock-free afterwards.
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    cells: RwLock<Cells>,
+    events: EventTrace,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An enabled registry with an empty metric set and a 1024-event
+    /// trace ring.
+    pub fn new() -> Self {
+        Registry {
+            enabled: Arc::new(AtomicBool::new(true)),
+            cells: RwLock::new(Cells::default()),
+            events: EventTrace::new(1024),
+        }
+    }
+
+    /// Turns metric recording on or off. Handles stay valid; updates
+    /// through them become no-ops while disabled.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Resolves (registering on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(cell) = self.cells.read().counters.get(name) {
+            return Counter {
+                enabled: Arc::clone(&self.enabled),
+                cell: Arc::clone(cell),
+            };
+        }
+        let mut cells = self.cells.write();
+        let cell = cells.counters.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(CounterCell {
+                value: Default::default(),
+            })
+        });
+        Counter {
+            enabled: Arc::clone(&self.enabled),
+            cell: Arc::clone(cell),
+        }
+    }
+
+    /// Resolves (registering on first use) the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(cell) = self.cells.read().gauges.get(name) {
+            return Gauge {
+                enabled: Arc::clone(&self.enabled),
+                cell: Arc::clone(cell),
+            };
+        }
+        let mut cells = self.cells.write();
+        let cell = cells.gauges.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(GaugeCell {
+                bits: Default::default(),
+            })
+        });
+        Gauge {
+            enabled: Arc::clone(&self.enabled),
+            cell: Arc::clone(cell),
+        }
+    }
+
+    /// Resolves the histogram `name` with the default latency buckets
+    /// (nanoseconds, see [`DEFAULT_LATENCY_BUCKETS_NS`]).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with_buckets(name, &DEFAULT_LATENCY_BUCKETS_NS)
+    }
+
+    /// Resolves the histogram `name`, creating it with `bounds`
+    /// (inclusive upper bucket bounds) on first use. A histogram keeps
+    /// the bounds it was first registered with.
+    pub fn histogram_with_buckets(&self, name: &str, bounds: &[u64]) -> Histogram {
+        if let Some(cell) = self.cells.read().histograms.get(name) {
+            return Histogram {
+                enabled: Arc::clone(&self.enabled),
+                cell: Arc::clone(cell),
+            };
+        }
+        let mut cells = self.cells.write();
+        let cell = cells
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HistogramCell::new(bounds.to_vec())));
+        Histogram {
+            enabled: Arc::clone(&self.enabled),
+            cell: Arc::clone(cell),
+        }
+    }
+
+    /// Appends a structured event to the trace ring (dropped while
+    /// disabled).
+    pub fn event(&self, name: &str, fields: &[(&str, String)]) {
+        if self.is_enabled() {
+            self.events.record(name, fields);
+        }
+    }
+
+    /// The event trace.
+    pub fn events(&self) -> &EventTrace {
+        &self.events
+    }
+
+    /// Captures every metric and the retained events as plain data.
+    pub fn snapshot(&self) -> Snapshot {
+        let cells = self.cells.read();
+        let counters = cells
+            .counters
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.value.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = cells
+            .gauges
+            .iter()
+            .map(|(name, cell)| {
+                (
+                    name.clone(),
+                    f64::from_bits(cell.bits.load(Ordering::Relaxed)),
+                )
+            })
+            .collect();
+        let histograms = cells
+            .histograms
+            .iter()
+            .map(|(name, cell)| {
+                let count = cell.count.load(Ordering::Relaxed);
+                let min = cell.min.load(Ordering::Relaxed);
+                let buckets = cell
+                    .bounds
+                    .iter()
+                    .copied()
+                    .chain([u64::MAX])
+                    .zip(cell.buckets.iter())
+                    .map(|(le, bucket)| BucketSnapshot {
+                        le,
+                        count: bucket.load(Ordering::Relaxed),
+                    })
+                    .collect();
+                let snap = HistogramSnapshot {
+                    count,
+                    sum: cell.sum.load(Ordering::Relaxed),
+                    min: if count == 0 { 0 } else { min },
+                    max: cell.max.load(Ordering::Relaxed),
+                    buckets,
+                };
+                (name.clone(), snap)
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+            events: self.events.drain_copy(),
+        }
+    }
+
+    /// Zeroes every metric value and clears the event trace; resolved
+    /// handles keep working. Registered names and bucket layouts stay.
+    pub fn reset(&self) {
+        let cells = self.cells.read();
+        for cell in cells.counters.values() {
+            cell.value.store(0, Ordering::Relaxed);
+        }
+        for cell in cells.gauges.values() {
+            cell.bits.store(0, Ordering::Relaxed);
+        }
+        for cell in cells.histograms.values() {
+            for bucket in &cell.buckets {
+                bucket.store(0, Ordering::Relaxed);
+            }
+            cell.count.store(0, Ordering::Relaxed);
+            cell.sum.store(0, Ordering::Relaxed);
+            cell.min.store(u64::MAX, Ordering::Relaxed);
+            cell.max.store(0, Ordering::Relaxed);
+        }
+        drop(cells);
+        self.events.clear();
+    }
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// The process-wide registry. Components default to this when no
+/// registry is injected.
+pub fn global() -> Arc<Registry> {
+    Arc::clone(GLOBAL.get_or_init(|| Arc::new(Registry::new())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_is_shared() {
+        let a = global();
+        let b = global();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_names() {
+        let registry = Registry::new();
+        registry.counter("a.b").add(3);
+        registry.gauge("a.g").set(1.5);
+        registry.histogram_with_buckets("a.h", &[10]).record(4);
+        registry.event("boot", &[("phase", "one".to_string())]);
+        registry.reset();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["a.b"], 0);
+        assert_eq!(snap.gauges["a.g"], 0.0);
+        assert_eq!(snap.histograms["a.h"].count, 0);
+        assert_eq!(snap.histograms["a.h"].min, 0);
+        assert!(snap.events.is_empty());
+        // The old handle still points at the registered cell.
+        registry.counter("a.b").inc();
+        assert_eq!(registry.snapshot().counters["a.b"], 1);
+    }
+
+    #[test]
+    fn first_bucket_layout_wins() {
+        let registry = Registry::new();
+        let first = registry.histogram_with_buckets("h", &[1, 2, 3]);
+        let second = registry.histogram_with_buckets("h", &[9]);
+        first.record(2);
+        second.record(2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms["h"].buckets.len(), 4);
+        assert_eq!(snap.histograms["h"].count, 2);
+    }
+}

@@ -1,0 +1,163 @@
+//! Plain-data capture of a registry's state, serializable to JSON.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One histogram bucket: observations `<= le` (the last bucket has
+/// `le == u64::MAX` and catches overflow).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketSnapshot {
+    /// Inclusive upper bound.
+    pub le: u64,
+    /// Observations in this bucket.
+    pub count: u64,
+}
+
+/// Captured state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Cumulative-free per-bucket counts, ascending by bound.
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (0..=1) from bucket bounds: returns
+    /// the upper bound of the bucket containing the target rank,
+    /// clamped into `[min, max]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for bucket in &self.buckets {
+            seen += bucket.count;
+            if seen >= target {
+                return bucket.le.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// One structured event from the trace ring.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Global sequence number (gaps reveal ring evictions).
+    pub seq: u64,
+    /// Event name, `subsystem.event` style.
+    pub name: String,
+    /// Ordered key/value payload.
+    pub fields: Vec<(String, String)>,
+}
+
+/// Full captured state of a [`crate::Registry`]: every counter, gauge,
+/// and histogram by name, plus the retained event trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Snapshot {
+    /// Counter values by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by metric name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by metric name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Retained events, oldest first.
+    pub events: Vec<EventRecord>,
+}
+
+impl Snapshot {
+    /// Serializes to pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// Parses a snapshot from JSON text.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Counter value, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, 0 when absent.
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_from_buckets() {
+        let hist = HistogramSnapshot {
+            count: 10,
+            sum: 100,
+            min: 1,
+            max: 40,
+            buckets: vec![
+                BucketSnapshot { le: 10, count: 5 },
+                BucketSnapshot { le: 20, count: 3 },
+                BucketSnapshot {
+                    le: u64::MAX,
+                    count: 2,
+                },
+            ],
+        };
+        assert_eq!(hist.quantile(0.5), 10);
+        assert_eq!(hist.quantile(0.8), 20);
+        assert_eq!(hist.quantile(1.0), 40); // overflow bound clamps to max
+        assert_eq!(hist.mean(), 10.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut snapshot = Snapshot::default();
+        snapshot.counters.insert("a.b".to_string(), 7);
+        snapshot.gauges.insert("a.g".to_string(), 12.25);
+        snapshot.histograms.insert(
+            "a.h".to_string(),
+            HistogramSnapshot {
+                count: 2,
+                sum: 30,
+                min: 10,
+                max: 20,
+                buckets: vec![
+                    BucketSnapshot { le: 16, count: 1 },
+                    BucketSnapshot {
+                        le: u64::MAX,
+                        count: 1,
+                    },
+                ],
+            },
+        );
+        snapshot.events.push(EventRecord {
+            seq: 3,
+            name: "phase.start".to_string(),
+            fields: vec![("phase".to_string(), "crawl".to_string())],
+        });
+        let back = Snapshot::from_json(&snapshot.to_json()).unwrap();
+        assert_eq!(back, snapshot);
+    }
+}

@@ -1,0 +1,96 @@
+//! Bounded ring buffer of structured events.
+//!
+//! Events are cheap breadcrumbs — a name plus key/value fields — kept
+//! in a fixed-capacity ring so a long run retains only the most recent
+//! slice. The ring is the one mutex-guarded piece of the observability
+//! layer; it is meant for low-rate milestones (phase changes, flag
+//! escalations), not per-check-in traffic.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::snapshot::EventRecord;
+
+/// Fixed-capacity, thread-safe trace of [`EventRecord`]s.
+pub struct EventTrace {
+    capacity: usize,
+    seq: AtomicU64,
+    ring: Mutex<VecDeque<EventRecord>>,
+}
+
+impl EventTrace {
+    /// A trace retaining at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "event trace needs capacity");
+        EventTrace {
+            capacity,
+            seq: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Appends an event, evicting the oldest once full. The sequence
+    /// number keeps growing across evictions, so gaps are visible.
+    pub fn record(&self, name: &str, fields: &[(&str, String)]) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let record = EventRecord {
+            seq,
+            name: name.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.clone()))
+                .collect(),
+        };
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(record);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ring.lock().is_empty()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Copies the retained events, oldest first.
+    pub fn drain_copy(&self) -> Vec<EventRecord> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    /// Discards all retained events (the sequence counter keeps going).
+    pub fn clear(&self) {
+        self.ring.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let trace = EventTrace::new(3);
+        for i in 0..5 {
+            trace.record("tick", &[("i", i.to_string())]);
+        }
+        let events = trace.drain_copy();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 2);
+        assert_eq!(events[2].seq, 4);
+        assert_eq!(trace.total_recorded(), 5);
+        assert_eq!(events[0].fields, vec![("i".to_string(), "2".to_string())]);
+    }
+}

@@ -176,7 +176,9 @@ mod tests {
         server.register_venue(VenueSpec::new("Joe's Diner", abq()));
         let hits = api.search_venues("starbucks", 10);
         assert_eq!(hits.len(), 2);
-        assert!(hits.iter().all(|v| v.name.to_lowercase().contains("starbucks")));
+        assert!(hits
+            .iter()
+            .all(|v| v.name.to_lowercase().contains("starbucks")));
         assert_eq!(api.search_venues("starbucks", 1).len(), 1);
         assert!(api.search_venues("wendy", 10).is_empty());
     }

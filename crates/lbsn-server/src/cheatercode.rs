@@ -199,9 +199,11 @@ impl CheatRule for SuperhumanSpeedRule {
         if gap > self.max_gap {
             return None;
         }
-        let speed =
-            lbsn_geo::implied_speed_mps(prev.location, ctx.request.reported_location, gap
-                .as_secs() as f64);
+        let speed = lbsn_geo::implied_speed_mps(
+            prev.location,
+            ctx.request.reported_location,
+            gap.as_secs() as f64,
+        );
         if speed > self.max_speed_mps {
             Some(CheatFlag::SuperhumanSpeed)
         } else {
@@ -528,10 +530,7 @@ mod tests {
         assert_eq!(rule.check(&ctx(&fresh, &v, &req, 600)), None);
         // 2-day gap: could have flown.
         let u = user_with(vec![rec(1, 0, home(), true)]);
-        assert_eq!(
-            rule.check(&ctx(&u, &v, &req, 2 * lbsn_sim::DAY)),
-            None
-        );
+        assert_eq!(rule.check(&ctx(&u, &v, &req, 2 * lbsn_sim::DAY)), None);
     }
 
     #[test]
@@ -694,7 +693,11 @@ mod tests {
     #[test]
     fn square_extent_measures_correctly() {
         let base = home();
-        let pts = vec![base, destination(base, 90.0, 100.0), destination(base, 0.0, 150.0)];
+        let pts = vec![
+            base,
+            destination(base, 90.0, 100.0),
+            destination(base, 0.0, 150.0),
+        ];
         let ext = square_extent_m(&pts);
         assert!((ext - 150.0).abs() < 5.0, "extent {ext}");
         assert_eq!(square_extent_m(&[base]), 0.0);

@@ -25,20 +25,22 @@
 #![warn(missing_docs)]
 
 pub mod api;
-mod checkin;
 pub mod cheatercode;
+mod checkin;
 mod ids;
+pub mod metrics;
 pub mod rewards;
 mod server;
 mod user;
 mod venue;
 pub mod web;
 
+pub use cheatercode::CheaterCodeConfig;
 pub use checkin::{
     CheatFlag, CheckinError, CheckinOutcome, CheckinRecord, CheckinRequest, CheckinSource,
 };
-pub use cheatercode::CheaterCodeConfig;
 pub use ids::{UserId, VenueId};
+pub use metrics::ServerMetrics;
 pub use rewards::{Badge, PointsPolicy};
 pub use server::{LbsnServer, ServerConfig};
 pub use user::{User, UserSpec};

@@ -1,0 +1,115 @@
+//! Pre-resolved observability handles for the check-in pipeline.
+//!
+//! All handles are resolved once at server construction so the hot
+//! path never touches the registry's name map — each update is one
+//! relaxed atomic check plus one RMW (see `lbsn-obs`).
+//!
+//! Metric names (scheme `subsystem.component.metric`):
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `server.checkin.total` | histogram (ns) | whole-pipeline latency |
+//! | `server.checkin.stage.cheater_code` | histogram (ns) | GPS verify + cheater-code rules |
+//! | `server.checkin.stage.record` | histogram (ns) | history append + flag bookkeeping |
+//! | `server.checkin.stage.rewards` | histogram (ns) | mayorship, badges, points, specials |
+//! | `server.checkin.accepted` | counter | check-ins that earned rewards |
+//! | `server.checkin.rejected` | counter | flagged check-ins |
+//! | `server.checkin.flag.*` | counter | one per [`CheatFlag`] rule fired |
+//! | `server.checkin.branded` | counter | accounts escalated to branded cheater |
+//! | `server.rewards.badges_granted` | counter | badges awarded |
+//! | `server.rewards.mayorships_granted` | counter | mayorship handovers |
+//! | `server.rewards.points_granted` | counter | points awarded |
+
+use std::sync::Arc;
+
+use lbsn_obs::{Counter, Histogram, Registry};
+
+use crate::checkin::CheatFlag;
+
+/// Handles for every metric the server emits.
+pub struct ServerMetrics {
+    registry: Arc<Registry>,
+    /// Whole check-in pipeline latency, nanoseconds.
+    pub checkin_total: Histogram,
+    /// Stage 1: GPS verification + cheater-code rule evaluation.
+    pub stage_cheater_code: Histogram,
+    /// Stage 2: recording the check-in and flag bookkeeping.
+    pub stage_record: Histogram,
+    /// Stage 3: mayorship, badges, points, specials.
+    pub stage_rewards: Histogram,
+    /// Check-ins that passed the cheater code.
+    pub accepted: Counter,
+    /// Check-ins flagged by at least one rule.
+    pub rejected: Counter,
+    flag_gps_mismatch: Counter,
+    flag_too_frequent: Counter,
+    flag_superhuman_speed: Counter,
+    flag_rapid_fire: Counter,
+    flag_account_flagged: Counter,
+    /// Accounts escalated to branded-cheater status.
+    pub branded: Counter,
+    /// Badges awarded.
+    pub badges_granted: Counter,
+    /// Mayorship handovers (became-mayor transitions).
+    pub mayorships_granted: Counter,
+    /// Points awarded.
+    pub points_granted: Counter,
+}
+
+impl ServerMetrics {
+    /// Resolves every server metric against `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        let r = &registry;
+        ServerMetrics {
+            checkin_total: r.histogram("server.checkin.total"),
+            stage_cheater_code: r.histogram("server.checkin.stage.cheater_code"),
+            stage_record: r.histogram("server.checkin.stage.record"),
+            stage_rewards: r.histogram("server.checkin.stage.rewards"),
+            accepted: r.counter("server.checkin.accepted"),
+            rejected: r.counter("server.checkin.rejected"),
+            flag_gps_mismatch: r.counter("server.checkin.flag.gps_mismatch"),
+            flag_too_frequent: r.counter("server.checkin.flag.too_frequent"),
+            flag_superhuman_speed: r.counter("server.checkin.flag.superhuman_speed"),
+            flag_rapid_fire: r.counter("server.checkin.flag.rapid_fire"),
+            flag_account_flagged: r.counter("server.checkin.flag.account_flagged"),
+            branded: r.counter("server.checkin.branded"),
+            badges_granted: r.counter("server.rewards.badges_granted"),
+            mayorships_granted: r.counter("server.rewards.mayorships_granted"),
+            points_granted: r.counter("server.rewards.points_granted"),
+            registry,
+        }
+    }
+
+    /// The registry these handles resolve into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The counter tracking how often `flag` has fired.
+    pub fn flag_counter(&self, flag: CheatFlag) -> &Counter {
+        match flag {
+            CheatFlag::GpsMismatch => &self.flag_gps_mismatch,
+            CheatFlag::TooFrequent => &self.flag_too_frequent,
+            CheatFlag::SuperhumanSpeed => &self.flag_superhuman_speed,
+            CheatFlag::RapidFire => &self.flag_rapid_fire,
+            CheatFlag::AccountFlagged => &self.flag_account_flagged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_obs::Registry;
+
+    #[test]
+    fn flag_counters_are_distinct() {
+        let metrics = ServerMetrics::new(Arc::new(Registry::new()));
+        metrics.flag_counter(CheatFlag::GpsMismatch).inc();
+        metrics.flag_counter(CheatFlag::RapidFire).add(2);
+        let snap = metrics.registry().snapshot();
+        assert_eq!(snap.counter("server.checkin.flag.gps_mismatch"), 1);
+        assert_eq!(snap.counter("server.checkin.flag.rapid_fire"), 2);
+        assert_eq!(snap.counter("server.checkin.flag.too_frequent"), 0);
+    }
+}

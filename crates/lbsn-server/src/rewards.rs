@@ -45,9 +45,21 @@ impl PointsPolicy {
     /// Points for a valid check-in with the given attributes.
     pub fn award(&self, first_visit: bool, first_of_day: bool, became_mayor: bool) -> u64 {
         self.per_checkin
-            + if first_visit { self.first_visit_bonus } else { 0 }
-            + if first_of_day { self.first_of_day_bonus } else { 0 }
-            + if became_mayor { self.new_mayor_bonus } else { 0 }
+            + if first_visit {
+                self.first_visit_bonus
+            } else {
+                0
+            }
+            + if first_of_day {
+                self.first_of_day_bonus
+            } else {
+                0
+            }
+            + if became_mayor {
+                self.new_mayor_bonus
+            } else {
+                0
+            }
     }
 }
 
@@ -541,7 +553,12 @@ mod tests {
         let mut mayor = user(1);
         add_valid(&mut mayor, 1, 100 * DAY);
         v.mayor = Some(mayor.id);
-        assert!(!decide_mayor(&v, &mayor, Some(&mayor), Timestamp(100 * DAY)));
+        assert!(!decide_mayor(
+            &v,
+            &mayor,
+            Some(&mayor),
+            Timestamp(100 * DAY)
+        ));
     }
 
     #[test]

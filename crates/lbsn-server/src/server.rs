@@ -1,15 +1,16 @@
 //! The LBSN server: registration, the check-in pipeline, and state access.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use lbsn_geo::{GeoGrid, GeoPoint, Meters};
+use lbsn_obs::Registry;
 use lbsn_sim::{SimClock, Timestamp, DAY};
 use parking_lot::RwLock;
 
-use crate::checkin::{
-    CheckinError, CheckinOutcome, CheckinRecord, CheckinRequest,
-};
 use crate::cheatercode::{CheaterCode, CheaterCodeConfig, RuleContext};
+use crate::checkin::{CheckinError, CheckinOutcome, CheckinRecord, CheckinRequest};
+use crate::metrics::ServerMetrics;
 use crate::rewards::{decide_mayor, evaluate_badges, PointsPolicy};
 use crate::user::{User, UserSpec};
 use crate::venue::{SpecialKind, Venue, VenueSpec};
@@ -85,6 +86,7 @@ pub struct LbsnServer {
     clock: SimClock,
     config: ServerConfig,
     cheater_code: CheaterCode,
+    metrics: ServerMetrics,
     state: RwLock<State>,
 }
 
@@ -100,13 +102,22 @@ impl std::fmt::Debug for LbsnServer {
 }
 
 impl LbsnServer {
-    /// Creates a server reading the given virtual clock.
+    /// Creates a server reading the given virtual clock, reporting
+    /// metrics into the process-wide [`lbsn_obs::global`] registry.
     pub fn new(clock: SimClock, config: ServerConfig) -> Self {
+        Self::with_registry(clock, config, lbsn_obs::global())
+    }
+
+    /// Creates a server reporting metrics into an injected registry —
+    /// what the bench harness uses to keep per-experiment snapshots
+    /// isolated from each other.
+    pub fn with_registry(clock: SimClock, config: ServerConfig, registry: Arc<Registry>) -> Self {
         let cheater_code = CheaterCode::from_config(&config.cheater_code);
         LbsnServer {
             clock,
             config,
             cheater_code,
+            metrics: ServerMetrics::new(registry),
             state: RwLock::new(State {
                 users: Vec::new(),
                 venues: Vec::new(),
@@ -119,6 +130,11 @@ impl LbsnServer {
     /// The server's clock handle.
     pub fn clock(&self) -> &SimClock {
         &self.clock
+    }
+
+    /// The server's resolved metric handles.
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
     }
 
     /// The active configuration.
@@ -194,13 +210,15 @@ impl LbsnServer {
     pub fn check_in(&self, req: &CheckinRequest) -> Result<CheckinOutcome, CheckinError> {
         let now = self.clock.now();
         let mut s = self.state.write();
-        let uidx = id_index(req.user.value(), s.users.len())
-            .ok_or(CheckinError::UnknownUser(req.user))?;
+        let uidx =
+            id_index(req.user.value(), s.users.len()).ok_or(CheckinError::UnknownUser(req.user))?;
         let vidx = id_index(req.venue.value(), s.venues.len())
             .ok_or(CheckinError::UnknownVenue(req.venue))?;
+        let total_timer = self.metrics.checkin_total.start_timer();
 
         // 1. Judge the check-in with immutable borrows. A branded
         // account is rejected outright.
+        let stage = self.metrics.stage_cheater_code.start_timer();
         let flags = if s.users[uidx].branded_cheater {
             vec![crate::CheatFlag::AccountFlagged]
         } else {
@@ -212,8 +230,13 @@ impl LbsnServer {
             };
             self.cheater_code.evaluate(&ctx)
         };
+        stage.stop();
+        for &flag in &flags {
+            self.metrics.flag_counter(flag).inc();
+        }
 
         // 2. Record it (always — totals include flagged check-ins).
+        let stage = self.metrics.stage_record.start_timer();
         let rewarded = flags.is_empty();
         let record = CheckinRecord {
             venue: req.venue,
@@ -226,7 +249,10 @@ impl LbsnServer {
 
         // Attributes that must be read *before* the record is appended.
         let day_start = Timestamp(now.secs() / DAY * DAY);
-        let first_of_day = s.users[uidx].valid_checkins_since(day_start).next().is_none();
+        let first_of_day = s.users[uidx]
+            .valid_checkins_since(day_start)
+            .next()
+            .is_none();
         let first_visit = !s.users[uidx].visited_venues.contains(&req.venue);
 
         {
@@ -236,12 +262,24 @@ impl LbsnServer {
         }
 
         if !rewarded {
+            self.metrics.rejected.inc();
             s.users[uidx].flagged_checkins += 1;
             // Escalate to account branding once the flags pile up: the
             // account loses everything, including held mayorships.
             if let Some(threshold) = self.config.account_flag_threshold {
                 if !s.users[uidx].branded_cheater && s.users[uidx].flagged_checkins >= threshold {
                     s.users[uidx].branded_cheater = true;
+                    self.metrics.branded.inc();
+                    self.metrics.registry().event(
+                        "server.account.branded",
+                        &[
+                            ("user", req.user.value().to_string()),
+                            (
+                                "flagged_checkins",
+                                s.users[uidx].flagged_checkins.to_string(),
+                            ),
+                        ],
+                    );
                     let held: Vec<VenueId> = s.users[uidx].mayorships.drain().collect();
                     for v in held {
                         if let Some(vi) = id_index(v.value(), s.venues.len()) {
@@ -252,6 +290,8 @@ impl LbsnServer {
                     }
                 }
             }
+            stage.stop();
+            total_timer.stop();
             return Ok(CheckinOutcome {
                 user: req.user,
                 venue: req.venue,
@@ -265,7 +305,11 @@ impl LbsnServer {
             });
         }
 
+        stage.stop();
+        self.metrics.accepted.inc();
+
         // 3. Apply the valid check-in to user and venue state.
+        let stage = self.metrics.stage_rewards.start_timer();
         {
             let user = &mut s.users[uidx];
             user.valid_checkins += 1;
@@ -337,6 +381,14 @@ impl LbsnServer {
                 }
             })
         };
+
+        if became_mayor {
+            self.metrics.mayorships_granted.inc();
+        }
+        self.metrics.badges_granted.add(new_badges.len() as u64);
+        self.metrics.points_granted.add(points);
+        stage.stop();
+        total_timer.stop();
 
         Ok(CheckinOutcome {
             user: req.user,
@@ -541,8 +593,10 @@ mod tests {
             Err(CheckinError::UnknownVenue(VenueId(99)))
         );
         assert_eq!(server.user(user).unwrap().total_checkins, 0);
-        assert_eq!(server.check_in(&req(UserId(0), venue, abq())),
-            Err(CheckinError::UnknownUser(UserId(0))));
+        assert_eq!(
+            server.check_in(&req(UserId(0), venue, abq())),
+            Err(CheckinError::UnknownUser(UserId(0)))
+        );
     }
 
     #[test]
@@ -569,7 +623,10 @@ mod tests {
     #[test]
     fn cooldown_then_allowed_after_hour() {
         let (server, user, venue) = setup();
-        assert!(server.check_in(&req(user, venue, abq())).unwrap().rewarded());
+        assert!(server
+            .check_in(&req(user, venue, abq()))
+            .unwrap()
+            .rewarded());
         server.clock().advance(Duration::minutes(30));
         let blocked = server.check_in(&req(user, venue, abq())).unwrap();
         assert_eq!(blocked.flags, vec![CheatFlag::TooFrequent]);
@@ -587,7 +644,10 @@ mod tests {
         let bob = server.register_user(UserSpec::named("bob"));
         // Alice checks in on 2 days.
         for _ in 0..2 {
-            assert!(server.check_in(&req(alice, venue, abq())).unwrap().rewarded());
+            assert!(server
+                .check_in(&req(alice, venue, abq()))
+                .unwrap()
+                .rewarded());
             server.clock().advance(Duration::days(1));
         }
         assert_eq!(server.venue(venue).unwrap().mayor, Some(alice));
@@ -607,12 +667,10 @@ mod tests {
     #[test]
     fn mayor_only_special_goes_to_mayor() {
         let server = LbsnServer::new(SimClock::new(), ServerConfig::default());
-        let venue = server.register_venue(
-            VenueSpec::new("Cafe", abq()).special(crate::Special {
-                description: "Free coffee for the mayor!".into(),
-                kind: SpecialKind::MayorOnly,
-            }),
-        );
+        let venue = server.register_venue(VenueSpec::new("Cafe", abq()).special(crate::Special {
+            description: "Free coffee for the mayor!".into(),
+            kind: SpecialKind::MayorOnly,
+        }));
         let user = server.register_user(UserSpec::anonymous());
         let out = server.check_in(&req(user, venue, abq())).unwrap();
         assert!(out.became_mayor);
@@ -631,12 +689,11 @@ mod tests {
     #[test]
     fn loyalty_special_unlocks_at_threshold() {
         let server = LbsnServer::new(SimClock::new(), ServerConfig::default());
-        let venue = server.register_venue(
-            VenueSpec::new("Sandwiches", abq()).special(crate::Special {
+        let venue =
+            server.register_venue(VenueSpec::new("Sandwiches", abq()).special(crate::Special {
                 description: "Free sub after 3 visits".into(),
                 kind: SpecialKind::Loyalty { visits: 3 },
-            }),
-        );
+            }));
         let user = server.register_user(UserSpec::anonymous());
         for i in 0..3 {
             let out = server.check_in(&req(user, venue, abq())).unwrap();
@@ -644,7 +701,10 @@ mod tests {
             if i < 2 {
                 assert_eq!(out.special_unlocked, None, "visit {}", i + 1);
             } else {
-                assert_eq!(out.special_unlocked.as_deref(), Some("Free sub after 3 visits"));
+                assert_eq!(
+                    out.special_unlocked.as_deref(),
+                    Some("Free sub after 3 visits")
+                );
             }
             server.clock().advance(Duration::hours(2));
         }
@@ -771,7 +831,12 @@ mod tests {
         let venue = server.register_venue(VenueSpec::new("Home", abq()));
         let user = server.register_user(UserSpec::anonymous());
         // A legitimate mayorship first.
-        assert!(server.check_in(&req(user, venue, abq())).unwrap().became_mayor);
+        assert!(
+            server
+                .check_in(&req(user, venue, abq()))
+                .unwrap()
+                .became_mayor
+        );
         // Three GPS-mismatch attempts: branded on the third.
         let far = destination(abq(), 90.0, 10_000.0);
         for _ in 0..3 {
@@ -808,7 +873,10 @@ mod tests {
         }
         // Still not branded; an honest check-in succeeds.
         server.clock().advance(Duration::hours(2));
-        assert!(server.check_in(&req(user, venue, abq())).unwrap().rewarded());
+        assert!(server
+            .check_in(&req(user, venue, abq()))
+            .unwrap()
+            .rewarded());
         assert!(!server.user(user).unwrap().branded_cheater);
     }
 
@@ -831,9 +899,7 @@ mod tests {
             })
         };
         for i in 1..=50 {
-            server
-                .check_in(&req(UserId(i), venue, abq()))
-                .unwrap();
+            server.check_in(&req(UserId(i), venue, abq())).unwrap();
             server.clock().advance(Duration::minutes(2));
         }
         reader.join().unwrap();

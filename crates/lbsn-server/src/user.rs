@@ -198,10 +198,7 @@ mod tests {
 
     #[test]
     fn last_checkin_accessors() {
-        let u = user_with_history(vec![
-            record(1, 100, true),
-            record(2, 200, false),
-        ]);
+        let u = user_with_history(vec![record(1, 100, true), record(2, 200, false)]);
         assert_eq!(u.last_checkin().unwrap().venue, VenueId(2));
         assert_eq!(u.last_valid_checkin().unwrap().venue, VenueId(1));
         let empty = user_with_history(vec![]);
@@ -225,10 +222,10 @@ mod tests {
     #[test]
     fn distinct_days_respects_window_and_validity() {
         let u = user_with_history(vec![
-            record(7, 0, true),           // before window
-            record(7, 10 * DAY, false),   // flagged: ignored
+            record(7, 0, true),         // before window
+            record(7, 10 * DAY, false), // flagged: ignored
             record(7, 11 * DAY, true),
-            record(8, 12 * DAY, true),    // other venue: ignored
+            record(8, 12 * DAY, true), // other venue: ignored
         ]);
         let since = Timestamp(5 * DAY);
         assert_eq!(u.distinct_days_at(VenueId(7), since), 1);

@@ -258,18 +258,16 @@ mod tests {
             v.record_valid_checkin(UserId(i), 3);
         }
         // Cap 3: only the 3 most recent remain, newest first.
-        assert_eq!(v.recent_visitors, VecDeque::from(vec![
-            UserId(5),
-            UserId(4),
-            UserId(3)
-        ]));
+        assert_eq!(
+            v.recent_visitors,
+            VecDeque::from(vec![UserId(5), UserId(4), UserId(3)])
+        );
         // Revisit by user 3 moves them to the front without duplication.
         v.record_valid_checkin(UserId(3), 3);
-        assert_eq!(v.recent_visitors, VecDeque::from(vec![
-            UserId(3),
-            UserId(5),
-            UserId(4)
-        ]));
+        assert_eq!(
+            v.recent_visitors,
+            VecDeque::from(vec![UserId(3), UserId(5), UserId(4)])
+        );
         assert_eq!(v.checkins_here, 6);
         assert_eq!(v.unique_visitors.len(), 5);
     }

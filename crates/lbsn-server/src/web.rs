@@ -423,9 +423,7 @@ mod tests {
             ..WebConfig::default()
         });
         assert_eq!(web.handle(&PageRequest::get("/user/1")).status, 403);
-        assert!(web
-            .handle(&PageRequest::get_logged_in("/user/1"))
-            .is_ok());
+        assert!(web.handle(&PageRequest::get_logged_in("/user/1")).is_ok());
     }
 
     #[test]

@@ -33,19 +33,21 @@ fn arb_step(users: u64, venues: u64) -> impl Strategy<Value = Step> {
         0.0..360.0f64,
         prop_oneof![
             Just(0u64),
-            1u64..120,             // rapid-fire territory
-            1_800u64..10_800,      // calm spacing
-            86_400u64..200_000,    // day+ gaps
+            1u64..120,          // rapid-fire territory
+            1_800u64..10_800,   // calm spacing
+            86_400u64..200_000, // day+ gaps
         ],
     )
-        .prop_map(|(user, venue, fix_offset_m, fix_bearing, advance_secs)| Step {
-            user,
-            venue,
-            fix_offset_m,
-            fix_bearing,
-            advance_secs,
-        })
-    }
+        .prop_map(
+            |(user, venue, fix_offset_m, fix_bearing, advance_secs)| Step {
+                user,
+                venue,
+                fix_offset_m,
+                fix_bearing,
+                advance_secs,
+            },
+        )
+}
 
 fn build_world(users: u64, venues: u64) -> Arc<LbsnServer> {
     let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));

@@ -9,8 +9,7 @@ use crate::RngStream;
 /// the per-request latency distribution, so the simulated HTTP fetcher
 /// samples from one of these. `Zero` makes tests instant; `Lognormal`
 /// approximates real web-server response times (long right tail).
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum LatencyModel {
     /// No latency at all (unit tests).
     #[default]
@@ -65,7 +64,6 @@ impl LatencyModel {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -54,9 +54,15 @@ pub fn plan_user_events(
         Archetype::EmulatorCheater => {
             emulator_tour(user, total_target, signup_day, spec, venues, rng)
         }
-        Archetype::CaughtCheater | Archetype::CaughtWhale => {
-            teleport_spam(user, total_target, home_metro, signup_day, spec, venues, rng)
-        }
+        Archetype::CaughtCheater | Archetype::CaughtWhale => teleport_spam(
+            user,
+            total_target,
+            home_metro,
+            signup_day,
+            spec,
+            venues,
+            rng,
+        ),
         Archetype::MayorFarmer => mayor_farm(user, signup_day, spec, venues, rng),
     }
 }
@@ -168,11 +174,7 @@ fn honest_events(
             }
         }
     }
-    let in_vacation = |day: u64| {
-        vacations
-            .iter()
-            .find(|(s, e, _, _)| day >= *s && day < *e)
-    };
+    let in_vacation = |day: u64| vacations.iter().find(|(s, e, _, _)| day >= *s && day < *e);
     let is_travel_day = |day: u64| {
         vacations
             .iter()
@@ -546,7 +548,10 @@ mod tests {
                 venue_location(&venues, w[1].venue),
             );
             let gap = w[1].at.since(w[0].at).as_secs() as f64;
-            assert!(gap + 1.0 >= meters_to_miles(d).max(1.0) * 300.0, "gap {gap} for {d} m");
+            assert!(
+                gap + 1.0 >= meters_to_miles(d).max(1.0) * 300.0,
+                "gap {gap} for {d} m"
+            );
         }
     }
 
@@ -575,16 +580,7 @@ mod tests {
     fn mayor_farmer_claims_scaled_target() {
         let (spec, venues) = setup();
         let mut rng = RngStream::from_seed(3);
-        let events = plan_user_events(
-            0,
-            Archetype::MayorFarmer,
-            0,
-            0,
-            5,
-            &spec,
-            &venues,
-            &mut rng,
-        );
+        let events = plan_user_events(0, Archetype::MayorFarmer, 0, 0, 5, &spec, &venues, &mut rng);
         let distinct: HashSet<usize> = events.iter().map(|e| e.venue).collect();
         let target = spec.scaled(spec.full_farmer_mayorships) as usize;
         assert!(

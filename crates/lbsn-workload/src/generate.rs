@@ -130,7 +130,9 @@ pub fn plan(spec: &PopulationSpec) -> PopulationPlan {
     if spec.include_mayor_farmer {
         place(1, Archetype::MayorFarmer, &mut rng);
     }
-    let emulator_count = ((n as f64) * spec.emulator_cheater_fraction).round().max(1.0) as usize;
+    let emulator_count = ((n as f64) * spec.emulator_cheater_fraction)
+        .round()
+        .max(1.0) as usize;
     let caught_count = ((n as f64) * spec.caught_cheater_fraction).round().max(1.0) as usize;
     place(emulator_count, Archetype::EmulatorCheater, &mut rng);
     place(caught_count, Archetype::CaughtCheater, &mut rng);
@@ -161,9 +163,7 @@ pub fn plan(spec: &PopulationSpec) -> PopulationPlan {
                 urng.range_u64(0, 40)
             }
             // "the user has used Foursquare for less than one year"
-            Archetype::EmulatorCheater => {
-                spec.crawl_day - 350 + urng.range_u64(0, 180)
-            }
+            Archetype::EmulatorCheater => spec.crawl_day - 350 + urng.range_u64(0, 180),
             _ => natural_signup.min(spec.crawl_day.saturating_sub(1)),
         };
         let total_target = match archetype {
@@ -572,7 +572,10 @@ mod tests {
                 to_check.push((truth.id, f));
             }
         }
-        assert!(edges > pop.users.len() as u64 / 2, "only {edges} friend links");
+        assert!(
+            edges > pop.users.len() as u64 / 2,
+            "only {edges} friend links"
+        );
         for (a, b) in to_check {
             assert!(
                 server.with_user(b, |v| v.friends.contains(&a)).unwrap(),
@@ -621,7 +624,10 @@ mod tests {
         assert!(pop.truth(UserId(999_999)).is_none());
         assert_eq!(
             pop.cheater_ids().len(),
-            pop.users.iter().filter(|u| u.archetype.is_cheater()).count()
+            pop.users
+                .iter()
+                .filter(|u| u.archetype.is_cheater())
+                .count()
         );
     }
 }

@@ -60,8 +60,16 @@ fn sample_category(rng: &mut RngStream) -> VenueCategory {
 
 fn street_name(rng: &mut RngStream) -> &'static str {
     const STREETS: &[&str] = &[
-        "Main St", "Central Ave", "Broadway", "1st St", "Market St", "Oak St", "Park Ave",
-        "2nd Ave", "Washington Blvd", "Lincoln Way",
+        "Main St",
+        "Central Ave",
+        "Broadway",
+        "1st St",
+        "Market St",
+        "Oak St",
+        "Park Ave",
+        "2nd Ave",
+        "Washington Blvd",
+        "Lincoln Way",
     ];
     STREETS[rng.range_u64(0, STREETS.len() as u64) as usize]
 }
@@ -106,7 +114,8 @@ pub fn plan_venues(spec: &PopulationSpec) -> VenuePlan {
         // Every metro with any venues gets at least one Starbucks —
         // the chain really is everywhere, and Fig 3.4 needs Alaska and
         // Hawaii dots even at small simulation scales.
-        let starbucks = (((n as f64) * spec.starbucks_fraction).round() as usize).max(usize::from(n > 0));
+        let starbucks =
+            (((n as f64) * spec.starbucks_fraction).round() as usize).max(usize::from(n > 0));
         for rank in 0..n {
             let mut vrng = rng.fork_indexed("venue", (mi * 1_000_000 + rank) as u64);
             // Scatter within ~12 km of the metro centre, denser towards
@@ -293,8 +302,7 @@ mod tests {
             .collect();
         assert!(!sb.is_empty(), "need Starbucks branches");
         assert!(sb.iter().all(|v| v.spec.category == VenueCategory::Coffee));
-        let bbox =
-            BoundingBox::enclosing(sb.iter().map(|v| v.spec.location)).expect("non-empty");
+        let bbox = BoundingBox::enclosing(sb.iter().map(|v| v.spec.location)).expect("non-empty");
         // The Fig 3.4 silhouette: spans the continental US at least.
         assert!(bbox.lon_span() > 50.0, "lon span {}", bbox.lon_span());
         assert!(bbox.lat_span() > 15.0, "lat span {}", bbox.lat_span());
@@ -332,7 +340,10 @@ mod tests {
         }
         assert!(mayor_only + other > 0);
         let frac = mayor_only as f64 / (mayor_only + other) as f64;
-        assert!(frac > 0.9, "mayor-only fraction {frac}");
+        // mayor_only_special_fraction is 0.92; at this population size only
+        // a few hundred specials are drawn, so leave ~3 sigma of binomial
+        // slack rather than asserting right at the mean.
+        assert!(frac > 0.85, "mayor-only fraction {frac}");
     }
 
     #[test]
@@ -365,7 +376,10 @@ mod tests {
         for _ in 0..200 {
             let idx = sample_dormant_venue(&plan, 0, &mut rng).unwrap();
             let v = &plan.venues[idx];
-            assert!(v.rank * 10 >= plan.by_metro[0].len() * 6);
+            // Same floor-division boundary the sampler uses; the ceil-style
+            // `rank * 10 >= len * 6` check is one rank stricter whenever
+            // len * 6 % 10 != 0 and spuriously rejects the boundary rank.
+            assert!(v.rank >= plan.by_metro[0].len() * 6 / 10);
         }
     }
 

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use lbsn::attack::{PacingPolicy, AttackSession, Schedule, VenueSnapper, VirtualPath};
+use lbsn::attack::{AttackSession, PacingPolicy, Schedule, VenueSnapper, VirtualPath};
 use lbsn::crawler::{
     CrawlDatabase, CrawlTarget, CrawlerConfig, MultiThreadCrawler, SimulatedHttp,
     SimulatedHttpConfig,
@@ -56,11 +56,7 @@ fn main() {
     let path = VirtualPath::clockwise_circuit(downtown, 0.005, 40, 7);
     let snapper = VenueSnapper::from_db(&db);
     let lookup = |id: VenueId| server.venue(id).map(|v| v.location);
-    let tour: Vec<(VenueId, GeoPoint)> = snapper
-        .tour(&path, lookup)
-        .into_iter()
-        .take(25)
-        .collect();
+    let tour: Vec<(VenueId, GeoPoint)> = snapper.tour(&path, lookup).into_iter().take(25).collect();
     println!(
         "virtual path: {} waypoints snapped to {} distinct venues",
         path.len(),
@@ -88,6 +84,9 @@ fn main() {
     println!("points earned       : {}", report.points);
     println!("badges earned       : {:?}", report.badges);
     println!("mayorships taken    : {}", report.mayorships_gained.len());
-    assert!(report.undetected(), "the paced tour must evade the cheater code");
+    assert!(
+        report.undetected(),
+        "the paced tour must evade the cheater code"
+    );
     println!("\nundetected — “we continued checking into 25 venues without being detected as a cheater.”");
 }

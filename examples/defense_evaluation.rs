@@ -88,7 +88,8 @@ fn main() {
         server.register_user(UserSpec::anonymous());
     }
     let web = lbsn::server::web::WebFrontend::new(server);
-    let http = lbsn::crawler::SimulatedHttp::new(web, lbsn::crawler::SimulatedHttpConfig::default());
+    let http =
+        lbsn::crawler::SimulatedHttp::new(web, lbsn::crawler::SimulatedHttpConfig::default());
     let gate = CrawlGate::new(CrawlControlConfig {
         requests_per_minute: 60.0,
         burst: 25.0,

@@ -18,10 +18,8 @@ fn main() {
 
     // Ten San Francisco venues; the attacker has never been near any.
     let wharf_loc = GeoPoint::new(37.8080, -122.4177).unwrap();
-    let mut venues = vec![server.register_venue(VenueSpec::new(
-        "Fisherman's Wharf Sign",
-        wharf_loc,
-    ))];
+    let mut venues =
+        vec![server.register_venue(VenueSpec::new("Fisherman's Wharf Sign", wharf_loc))];
     for i in 1..10 {
         venues.push(server.register_venue(VenueSpec::new(
             format!("San Francisco venue #{i}"),
@@ -61,7 +59,11 @@ fn main() {
             "   #{:<2} {:<28} -> {} (+{} pts){}",
             i + 1,
             server.venue(*v).unwrap().name,
-            if outcome.rewarded() { "ACCEPTED" } else { "FLAGGED" },
+            if outcome.rewarded() {
+                "ACCEPTED"
+            } else {
+                "FLAGGED"
+            },
             outcome.points,
             if outcome.new_badges.is_empty() {
                 String::new()
@@ -79,8 +81,16 @@ fn main() {
         let outcome = app.check_in(venues[0]).unwrap();
         println!(
             "   day {day}: {}{}",
-            if outcome.rewarded() { "accepted" } else { "flagged" },
-            if outcome.is_mayor { " — MAYOR of Fisherman's Wharf Sign" } else { "" },
+            if outcome.rewarded() {
+                "accepted"
+            } else {
+                "flagged"
+            },
+            if outcome.is_mayor {
+                " — MAYOR of Fisherman's Wharf Sign"
+            } else {
+                ""
+            },
         );
     }
 

@@ -47,7 +47,11 @@ fn main() {
         println!(
             "day {day}: +{} points{}{}{}",
             outcome.points,
-            if outcome.became_mayor { ", became MAYOR" } else { "" },
+            if outcome.became_mayor {
+                ", became MAYOR"
+            } else {
+                ""
+            },
             outcome
                 .special_unlocked
                 .as_deref()
@@ -69,5 +73,8 @@ fn main() {
         "/venue/{}",
         cafe.value()
     )));
-    println!("\n--- public venue page (status {}) ---\n{}", page.status, page.body);
+    println!(
+        "\n--- public venue page (status {}) ---\n{}",
+        page.status, page.body
+    );
 }

@@ -55,7 +55,7 @@ pub use lbsn_workload as workload;
 
 /// The most commonly used types, re-exported for `use lbsn::prelude::*`.
 pub mod prelude {
-    pub use lbsn_geo::{GeoPoint, BoundingBox, Meters};
+    pub use lbsn_geo::{BoundingBox, GeoPoint, Meters};
     pub use lbsn_server::{
         CheckinOutcome, CheckinRequest, CheckinSource, LbsnServer, ServerConfig, UserId, UserSpec,
         VenueId, VenueSpec,

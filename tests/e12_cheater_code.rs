@@ -15,7 +15,12 @@ fn setup() -> Arc<LbsnServer> {
     Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()))
 }
 
-fn check(server: &LbsnServer, user: UserId, venue: VenueId, loc: GeoPoint) -> lbsn::server::CheckinOutcome {
+fn check(
+    server: &LbsnServer,
+    user: UserId,
+    venue: VenueId,
+    loc: GeoPoint,
+) -> lbsn::server::CheckinOutcome {
     server
         .check_in(&CheckinRequest {
             user,
@@ -82,7 +87,10 @@ fn rapid_fire_warns_on_fourth_in_mall() {
         outcomes.push(check(&server, user, *v, loc));
         server.clock().advance(Duration::secs(50));
     }
-    assert!(outcomes[..3].iter().all(|o| o.rewarded()), "first three fine");
+    assert!(
+        outcomes[..3].iter().all(|o| o.rewarded()),
+        "first three fine"
+    );
     assert!(
         outcomes[3].flags.contains(&CheatFlag::RapidFire),
         "fourth flagged: {:?}",
@@ -169,5 +177,8 @@ fn rules_limit_daily_throughput() {
         }
         server.clock().advance(Duration::secs(10));
     }
-    assert!(rewarded2 <= 2, "teleport sweep mostly flagged, got {rewarded2}");
+    assert!(
+        rewarded2 <= 2,
+        "teleport sweep mostly flagged, got {rewarded2}"
+    );
 }

@@ -75,8 +75,13 @@ fn vector4_emulator_full_paper_recipe() {
         EmulatorError::MarketLocked
     );
     emulator.flash_recovery_image();
-    let app = emulator.install_lbsn_app(Arc::clone(&server), user).unwrap();
-    emulator.debug_monitor().geo_fix(sf().lon(), sf().lat()).unwrap();
+    let app = emulator
+        .install_lbsn_app(Arc::clone(&server), user)
+        .unwrap();
+    emulator
+        .debug_monitor()
+        .geo_fix(sf().lon(), sf().lat())
+        .unwrap();
     // The nearby list shows SF venues from Albuquerque.
     let nearby = app.nearby_venues(2_000.0, 10);
     assert_eq!(nearby[0].id, wharf);
@@ -106,7 +111,10 @@ fn mayorship_farmed_with_daily_checkins() {
     let session = lbsn::attack::AttackSession::new(Arc::clone(&server), attacker);
     let farm = lbsn::attack::MayorFarmer::new(&session).farm(wharf, 10);
     assert!(farm.became_mayor);
-    assert_eq!(farm.days_spent, 3, "needs strictly more days than the local's 2");
+    assert_eq!(
+        farm.days_spent, 3,
+        "needs strictly more days than the local's 2"
+    );
     // Status is *maintained* on later check-ins (Fig 3.2's caption).
     server.clock().advance(Duration::days(1));
     let again = session.spoof_and_check_in(wharf).unwrap();

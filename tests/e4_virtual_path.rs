@@ -18,7 +18,11 @@ fn abq() -> GeoPoint {
 fn city_server(venues: u64) -> Arc<LbsnServer> {
     let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
     for i in 0..venues {
-        let loc = lbsn::geo::destination(abq(), (i * 47 % 360) as f64, 150.0 + (i * 53 % 8_000) as f64);
+        let loc = lbsn::geo::destination(
+            abq(),
+            (i * 47 % 360) as f64,
+            150.0 + (i * 53 % 8_000) as f64,
+        );
         server.register_venue(VenueSpec::new(format!("V{i}"), loc));
     }
     server

@@ -178,10 +178,18 @@ fn dispersion_signature_of_the_fig43_cheater() {
         .users
         .iter()
         .filter(|t| t.archetype == Archetype::Regular)
-        .max_by_key(|t| p.db.user(t.id.value()).map(|u| u.total_checkins).unwrap_or(0))
+        .max_by_key(|t| {
+            p.db.user(t.id.value())
+                .map(|u| u.total_checkins)
+                .unwrap_or(0)
+        })
         .unwrap();
     let normal = user_map(&p.db, regular.id.value());
-    assert!(normal.distinct_cities <= 6, "{} cities", normal.distinct_cities);
+    assert!(
+        normal.distinct_cities <= 6,
+        "{} cities",
+        normal.distinct_cities
+    );
 }
 
 #[test]

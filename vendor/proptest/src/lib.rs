@@ -1,0 +1,619 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the sampling core of proptest's API — [`Strategy`] with
+//! `prop_map`/`prop_filter`, [`Just`], numeric ranges, tuples,
+//! `prop::collection::vec`, `prop::char::range`, a character-class
+//! regex subset for `&str` strategies, `prop_oneof!`, `any::<T>()`,
+//! and the [`proptest!`]/[`prop_assert!`] macros — without shrinking.
+//! Failing cases report the case number and seed instead of a
+//! minimized input. Seeds are derived from the test's module path and
+//! name, so runs are deterministic and reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::fmt;
+
+/// Deterministic generator handed to strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A generator seeded from a stable hash of `name` (FNV-1a), so a
+    /// given test sees the same case sequence on every run.
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash),
+        }
+    }
+
+    /// Uniform `usize` in `[0, bound)`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        self.inner.gen_range(0..bound)
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// A failed property case; carries the assertion message.
+#[derive(Debug)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// An assertion failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Runner configuration; only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Rejects values failing `pred`, resampling up to a retry cap.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> FilterStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterStrategy {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct FilterStrategy<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for FilterStrategy<S, F> {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.sample(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 consecutive samples",
+            self.whence
+        );
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.inner.gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.inner.gen()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.inner.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.inner.gen()
+    }
+}
+
+/// Strategy for [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// A boxed sampler, as stored by [`Union`].
+pub type BoxedSampler<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Uniform choice between boxed strategies; built by [`prop_oneof!`].
+pub struct Union<V> {
+    options: Vec<BoxedSampler<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over pre-boxed samplers.
+    pub fn new(options: Vec<BoxedSampler<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.options.len());
+        (self.options[idx])(rng)
+    }
+}
+
+/// Strategy for `&'static str` character-class patterns, e.g.
+/// `"[a-z0-9]{1,30}"`. Supports literal characters, `[...]` classes
+/// with ranges, and `{n}` / `{m,n}` repetitions — the subset the
+/// workspace's tests use.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let elements = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &elements {
+            let n = if lo == hi {
+                *lo
+            } else {
+                rng.below(hi - lo + 1) + lo
+            };
+            for _ in 0..n {
+                out.push(chars[rng.below(chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+type PatternElement = (Vec<char>, usize, usize);
+
+fn parse_pattern(pattern: &str) -> Vec<PatternElement> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut elements: Vec<PatternElement> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let alphabet = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern `{pattern}`"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '{' | '}' | ']' | '(' | ')' | '*' | '+' | '?' | '|' | '^' | '$' => {
+                panic!(
+                    "unsupported regex syntax `{}` in pattern `{pattern}`",
+                    chars[i]
+                )
+            }
+            '\\' => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed `{{` in pattern `{pattern}`"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!alphabet.is_empty(), "empty character class in `{pattern}`");
+        elements.push((alphabet, lo, hi));
+    }
+    elements
+}
+
+/// `prop::` module tree, mirroring proptest's layout.
+pub mod prop {
+    /// Character strategies.
+    pub mod char {
+        use crate::{Strategy, TestRng};
+
+        /// Uniform character in `[lo, hi]`.
+        pub struct CharRange {
+            lo: u32,
+            hi: u32,
+        }
+
+        /// A strategy for characters in the inclusive range `[lo, hi]`.
+        pub fn range(lo: char, hi: char) -> CharRange {
+            assert!(lo <= hi, "empty char range");
+            CharRange {
+                lo: lo as u32,
+                hi: hi as u32,
+            }
+        }
+
+        impl Strategy for CharRange {
+            type Value = char;
+
+            fn sample(&self, rng: &mut TestRng) -> char {
+                // Resample codepoints landing in the surrogate gap.
+                loop {
+                    let span = (self.hi - self.lo + 1) as usize;
+                    let v = self.lo + rng.below(span) as u32;
+                    if let Some(c) = char::from_u32(v) {
+                        return c;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+
+        /// Vector of `element` samples with length drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: core::ops::Range<usize>,
+        }
+
+        /// A strategy for vectors whose length is in `size`.
+        pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(size.start < size.end, "empty size range");
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = self.size.end - self.size.start;
+                let len = self.size.start + rng.below(span);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $({
+                let __s = $strategy;
+                ::std::boxed::Box::new(move |__rng: &mut $crate::TestRng| {
+                    $crate::Strategy::sample(&__s, __rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::TestRng) -> _>
+            }),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the
+/// whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body
+/// runs `cases` times over freshly sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let __test_name = concat!(module_path!(), "::", stringify!($name));
+            let mut __rng = $crate::TestRng::deterministic(__test_name);
+            for __case in 0..__config.cases {
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), &mut __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__err) = __outcome {
+                    panic!(
+                        "proptest {}: case {}/{} failed:\n{}",
+                        __test_name,
+                        __case + 1,
+                        __config.cases,
+                        __err
+                    );
+                }
+            }
+        }
+    )*};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@config ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_respects_class_and_length() {
+        let strategy = "[a-c9]{2,5}";
+        let mut rng = crate::TestRng::deterministic("pattern");
+        for _ in 0..500 {
+            let s = crate::Strategy::sample(&strategy, &mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | '9')), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn union_hits_every_option() {
+        let strategy = prop_oneof![Just('x'), Just('y'), prop::char::range('a', 'b')];
+        let mut rng = crate::TestRng::deterministic("union");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(crate::Strategy::sample(&strategy, &mut rng));
+        }
+        assert!(seen.contains(&'x') && seen.contains(&'y') && seen.contains(&'a'));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_samples_all_argument_kinds(
+            flag in any::<bool>(),
+            count in 1u64..10,
+            scale in 0.5..2.0f64,
+            items in prop::collection::vec((1u32..5, 0.0..1.0f64), 0..8),
+        ) {
+            prop_assert!((1..10).contains(&count));
+            prop_assert!((0.5..2.0).contains(&scale));
+            prop_assert!(items.len() < 8);
+            prop_assert_eq!(flag as u8 <= 1, true);
+        }
+    }
+}

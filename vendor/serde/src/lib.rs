@@ -1,0 +1,592 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a minimal serde replacement. Instead of serde's visitor
+//! architecture, this one round-trips through an in-memory [`Value`]
+//! tree: `Serialize` renders a type into a `Value`, `Deserialize`
+//! rebuilds it from one. The derive macros (re-exported from the
+//! companion `serde_derive` crate) generate externally-tagged shapes
+//! compatible with real serde's JSON output: newtype structs are
+//! transparent, unit enum variants are strings, tuple/struct variants
+//! are single-key objects.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped number: integers keep exact representations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A floating-point value.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `f64` (always possible, may lose precision).
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+
+    /// The value as `i128` when it is an integer.
+    pub fn as_i128(self) -> Option<i128> {
+        match self {
+            Number::PosInt(v) => Some(v as i128),
+            Number::NegInt(v) => Some(v as i128),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map of [`Value`]s.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Builds a map from `(key, value)` pairs, keeping order.
+    pub fn from_pairs(entries: Vec<(String, Value)>) -> Self {
+        Map { entries }
+    }
+
+    /// Appends an entry (no key de-duplication; JSON emit keeps order).
+    pub fn insert(&mut self, key: String, value: Value) {
+        self.entries.push((key, value));
+    }
+
+    /// Looks up the first entry with `key`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The sole entry, if the map holds exactly one.
+    pub fn single_entry(&self) -> Option<(&String, &Value)> {
+        if self.entries.len() == 1 {
+            self.entries.first().map(|(k, v)| (k, v))
+        } else {
+            None
+        }
+    }
+}
+
+/// An in-memory JSON-shaped value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object.
+    Object(Map),
+}
+
+impl Value {
+    /// The string contents, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The map, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is a `Number`.
+    pub fn as_number(&self) -> Option<Number> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with a free-form message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// A required object field was absent.
+    pub fn missing_field(name: &str) -> Self {
+        Error {
+            msg: format!("missing field `{name}`"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a `Value` tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a `Value` tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "expected bool, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_number()
+                    .and_then(Number::as_i128)
+                    .ok_or_else(|| {
+                        Error::custom(format!("expected integer, got {}", value.kind()))
+                    })?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v < 0 {
+                    Value::Number(Number::NegInt(v))
+                } else {
+                    Value::Number(Number::PosInt(v as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_number()
+                    .and_then(Number::as_i128)
+                    .ok_or_else(|| {
+                        Error::custom(format!("expected integer, got {}", value.kind()))
+                    })?;
+                <$t>::try_from(n)
+                    .map_err(|_| Error::custom(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_number()
+            .map(Number::as_f64)
+            .ok_or_else(|| Error::custom(format!("expected number, got {}", value.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::custom(format!("expected char, got {}", value.kind())))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected a single-character string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom(format!("expected string, got {}", value.kind())))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+fn seq_to_value<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>) -> Value {
+    Value::Array(items.map(Serialize::to_value).collect())
+}
+
+fn seq_from_value<T: Deserialize>(value: &Value) -> Result<Vec<T>, Error> {
+    value
+        .as_array()
+        .ok_or_else(|| Error::custom(format!("expected array, got {}", value.kind())))?
+        .iter()
+        .map(T::deserialize)
+        .collect()
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        seq_from_value(value)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        seq_from_value(value)
+            .map(Vec::into_iter)
+            .map(VecDeque::from_iter)
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        seq_from_value(value)
+            .map(Vec::into_iter)
+            .map(HashSet::from_iter)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        seq_from_value(value)
+            .map(Vec::into_iter)
+            .map(BTreeSet::from_iter)
+    }
+}
+
+/// Renders a map key. JSON object keys must be strings, so integers
+/// and unit enum variants are stringified, matching real serde_json.
+fn key_to_string<K: Serialize>(key: &K) -> String {
+    match key.to_value() {
+        Value::String(s) => s,
+        Value::Number(Number::PosInt(v)) => v.to_string(),
+        Value::Number(Number::NegInt(v)) => v.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map key serialized to non-stringable {}", other.kind()),
+    }
+}
+
+/// Rebuilds a map key from its string form: tries the string value
+/// first (unit enums, `String`), then a numeric reinterpretation.
+fn key_from_str<K: Deserialize>(key: &str) -> Result<K, Error> {
+    let as_string = K::deserialize(&Value::String(key.to_string()));
+    if as_string.is_ok() {
+        return as_string;
+    }
+    if let Ok(v) = key.parse::<u64>() {
+        return K::deserialize(&Value::Number(Number::PosInt(v)));
+    }
+    if let Ok(v) = key.parse::<i64>() {
+        return K::deserialize(&Value::Number(Number::NegInt(v)));
+    }
+    as_string
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(Map::from_pairs(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_value()))
+                .collect(),
+        ))
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {}", value.kind())))?;
+        obj.iter()
+            .map(|(k, v)| Ok((key_from_str(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(Map::from_pairs(
+            self.iter()
+                .map(|(k, v)| (key_to_string(k), v.to_value()))
+                .collect(),
+        ))
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {}", value.kind())))?;
+        obj.iter()
+            .map(|(k, v)| Ok((key_from_str(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let arr = value.as_array().ok_or_else(|| {
+                    Error::custom(format!("expected array, got {}", value.kind()))
+                })?;
+                let expected = [$($idx),+].len();
+                if arr.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected array of {expected}, got {}",
+                        arr.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_round_trip_exactly() {
+        let v = u64::MAX.to_value();
+        assert_eq!(u64::deserialize(&v).unwrap(), u64::MAX);
+        let v = (-37i64).to_value();
+        assert_eq!(i64::deserialize(&v).unwrap(), -37);
+        assert!(u32::deserialize(&(-1i64).to_value()).is_err());
+    }
+
+    #[test]
+    fn option_maps_to_null() {
+        let none: Option<u32> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Option::<u32>::deserialize(&5u32.to_value()).unwrap(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::deserialize(&v.to_value()).unwrap(), v);
+
+        let mut m = HashMap::new();
+        m.insert(7u64, "seven".to_string());
+        let back = HashMap::<u64, String>::deserialize(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+
+        let t = ("a".to_string(), 2u32);
+        assert_eq!(<(String, u32)>::deserialize(&t.to_value()).unwrap(), t);
+    }
+}

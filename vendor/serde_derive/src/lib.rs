@@ -1,0 +1,414 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize`/`Deserialize` impls for the companion vendored
+//! `serde` crate without depending on `syn`/`quote`: the item is parsed
+//! directly from the `proc_macro` token stream and the impl is emitted
+//! as a source string. Supported shapes — everything this workspace
+//! derives on:
+//!
+//! - named-field structs → JSON objects
+//! - one-field tuple structs (newtypes) → transparent
+//! - multi-field tuple structs → JSON arrays
+//! - enums with unit variants → strings, tuple variants →
+//!   `{"Variant": value}` / `{"Variant": [..]}`, struct variants →
+//!   `{"Variant": {..}}` (real serde's externally-tagged form)
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and panic
+//! at expansion time, so misuse fails the build loudly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Advances past `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match toks.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    i += 2;
+                }
+                _ => panic!("malformed attribute"),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Skips one field/discriminant expression: everything up to the next
+/// comma at angle-bracket depth zero. Groups are atomic tokens, so only
+/// `<`/`>` puncts need depth tracking (e.g. `HashMap<K, V>`).
+fn skip_to_top_level_comma(toks: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while let Some(t) = toks.get(i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses `name: Type, ...` named-field lists (struct bodies and
+/// struct-variant bodies).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            if i >= toks.len() {
+                break;
+            }
+            panic!("expected field name, got {:?}", toks[i].to_string());
+        };
+        fields.push(name.to_string());
+        i = skip_to_top_level_comma(&toks, i + 1) + 1;
+    }
+    fields
+}
+
+/// Counts tuple-struct / tuple-variant fields.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        count += 1;
+        i = skip_to_top_level_comma(&toks, i) + 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(&toks, i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            if i >= toks.len() {
+                break;
+            }
+            panic!("expected variant name, got {:?}", toks[i].to_string());
+        };
+        let name = name.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        i = skip_to_top_level_comma(&toks, i) + 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let keyword = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive on generic type `{name}` is not supported by the vendored serde");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => ItemKind::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, got {other:?}"),
+        },
+        other => panic!("can only derive on struct/enum, got `{other}`"),
+    };
+    Item { name, kind }
+}
+
+/// Derives `serde::Serialize` (Value-based, see the vendored `serde`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut s = String::from("let mut __map = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__map.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__map)");
+            s
+        }
+        ItemKind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut __map = ::serde::Map::new();\n\
+                             __map.insert(\"{vname}\".to_string(), {inner});\n\
+                             ::serde::Value::Object(__map)\n\
+                             }}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inner = String::from("let mut __inner = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__inner.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             {inner}\
+                             let mut __map = ::serde::Map::new();\n\
+                             __map.insert(\"{vname}\".to_string(), ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__map)\n\
+                             }}\n",
+                            fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (Value-based, see the vendored `serde`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut s = format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\"expected object for {name}, got {{}}\", __v.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize(__obj.get(\"{f}\")\
+                     .ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?)?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        ItemKind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        ItemKind::TupleStruct(n) => {
+            let mut s = format!(
+                "let __arr = __v.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\"expected array for {name}, got {{}}\", __v.kind())))?;\n\
+                 if __arr.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 format!(\"expected {n} elements for {name}, got {{}}\", __arr.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}(\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "::serde::Deserialize::deserialize(&__arr[{i}])?,\n"
+                ));
+            }
+            s.push_str("))");
+            s
+        }
+        ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let tagged: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let mut s = String::new();
+            if !unit.is_empty() {
+                s.push_str("if let ::std::option::Option::Some(__s) = __v.as_str() {\n");
+                s.push_str("return match __s {\n");
+                for v in &unit {
+                    let vname = &v.name;
+                    s.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+                s.push_str(&format!(
+                    "__other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown {name} variant `{{__other}}`\"))),\n}};\n}}\n"
+                ));
+            }
+            if tagged.is_empty() {
+                s.push_str(&format!(
+                    "::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"expected string for {name}, got {{}}\", __v.kind())))"
+                ));
+            } else {
+                s.push_str(&format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(format!(\"expected {name} variant, got {{}}\", __v.kind())))?;\n\
+                     let (__tag, __val) = __obj.single_entry().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected single-key variant object for {name}\"))?;\n\
+                     match __tag.as_str() {{\n"
+                ));
+                for v in &tagged {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => unreachable!(),
+                        VariantKind::Tuple(1) => s.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok(\
+                             {name}::{vname}(::serde::Deserialize::deserialize(__val)?)),\n"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let mut arm = format!(
+                                "\"{vname}\" => {{\n\
+                                 let __arr = __val.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {name}::{vname}\"))?;\n\
+                                 if __arr.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\
+                                 format!(\"expected {n} elements for {name}::{vname}, got {{}}\", __arr.len())));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}(\n"
+                            );
+                            for i in 0..*n {
+                                arm.push_str(&format!(
+                                    "::serde::Deserialize::deserialize(&__arr[{i}])?,\n"
+                                ));
+                            }
+                            arm.push_str("))\n}\n");
+                            s.push_str(&arm);
+                        }
+                        VariantKind::Struct(fields) => {
+                            let mut arm = format!(
+                                "\"{vname}\" => {{\n\
+                                 let __inner = __val.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected object for {name}::{vname}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{vname} {{\n"
+                            );
+                            for f in fields {
+                                arm.push_str(&format!(
+                                    "{f}: ::serde::Deserialize::deserialize(__inner.get(\"{f}\")\
+                                     .ok_or_else(|| ::serde::Error::missing_field(\"{f}\"))?)?,\n"
+                                ));
+                            }
+                            arm.push_str("})\n}\n");
+                            s.push_str(&arm);
+                        }
+                    }
+                }
+                s.push_str(&format!(
+                    "__other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown {name} variant `{{__other}}`\"))),\n}}"
+                ));
+            }
+            s
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
