@@ -16,6 +16,8 @@ const STREAK_BUCKETS: [u64; 10] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
 /// Pre-resolved observability handles for an attack session (scheme
 /// `attack.component.metric`).
 struct AttackMetrics {
+    /// Kept for campaign/step spans, which must be opened per execute.
+    registry: Arc<Registry>,
     /// `attack.checkins.attempted`: spoofed check-ins submitted.
     attempted: Counter,
     /// `attack.checkins.rewarded`: check-ins that earned rewards.
@@ -28,13 +30,14 @@ struct AttackMetrics {
 }
 
 impl AttackMetrics {
-    fn new(registry: &Registry) -> Self {
+    fn new(registry: Arc<Registry>) -> Self {
         AttackMetrics {
             attempted: registry.counter("attack.checkins.attempted"),
             rewarded: registry.counter("attack.checkins.rewarded"),
             flagged: registry.counter("attack.checkins.flagged"),
             evasion_streak: registry
                 .histogram_with_buckets("attack.evasion.streak", &STREAK_BUCKETS),
+            registry,
         }
     }
 }
@@ -91,11 +94,11 @@ impl AttackSession {
     /// Prepares the full §3.1 rig for `user`, reporting metrics into
     /// the process-wide [`lbsn_obs::global`] registry.
     pub fn new(server: Arc<LbsnServer>, user: UserId) -> Self {
-        Self::with_registry(server, user, &lbsn_obs::global())
+        Self::with_registry(server, user, lbsn_obs::global())
     }
 
     /// Prepares the rig, reporting metrics into an injected registry.
-    pub fn with_registry(server: Arc<LbsnServer>, user: UserId, registry: &Registry) -> Self {
+    pub fn with_registry(server: Arc<LbsnServer>, user: UserId, registry: Arc<Registry>) -> Self {
         let mut emulator = Emulator::boot();
         emulator.flash_recovery_image();
         let app = emulator
@@ -158,6 +161,11 @@ impl AttackSession {
     pub fn execute(&self, schedule: &Schedule) -> CampaignReport {
         let mut report = CampaignReport::default();
         let mut mayorships: HashSet<VenueId> = HashSet::new();
+        // Campaigns are rare, high-value roots: force-sample so every
+        // one appears in the trace with one child span per path step.
+        let mut campaign = self.metrics.registry.span_forced("attack.campaign");
+        campaign.attr("user", self.user().value());
+        campaign.attr("steps", schedule.items().len());
         // Consecutive check-ins that evaded the cheater code; recorded
         // into `attack.evasion.streak` whenever a flag ends the run.
         let mut streak: u64 = 0;
@@ -167,6 +175,9 @@ impl AttackSession {
                 .debug_monitor()
                 .geo_fix(item.location.lon(), item.location.lat())
                 .expect("schedule coordinates are valid");
+            let mut step = campaign.child("attack.step");
+            step.attr("venue", item.venue.value());
+            step.attr("at_secs", item.at.secs());
             report.attempted += 1;
             self.metrics.attempted.inc();
             let mut caught = true;
@@ -184,10 +195,14 @@ impl AttackSession {
                             report.specials.push(s);
                         }
                     } else {
+                        for &flag in &outcome.flags {
+                            step.event_with(|| format!("flag.{flag:?}"));
+                        }
                         report.flagged.push((item.venue, outcome.flags));
                     }
                 }
                 Err(_) => {
+                    step.event("checkin.error");
                     report.flagged.push((item.venue, Vec::new()));
                 }
             }
@@ -199,11 +214,14 @@ impl AttackSession {
                 self.metrics.rewarded.inc();
                 streak += 1;
             }
+            step.end();
         }
         if streak > 0 {
             // A campaign that ends clean still contributes its tail.
             self.metrics.evasion_streak.record(streak);
         }
+        campaign.attr("rewarded", report.rewarded);
+        campaign.attr("flagged", report.flagged.len());
         report
     }
 }

@@ -5,14 +5,22 @@
 //! registry is disabled (every metric update degraded to a single
 //! relaxed atomic load, timers never reading the clock).
 //!
-//! Run with `cargo bench -p lbsn-bench --bench obs_overhead` and
-//! compare the `checkin/enabled` and `checkin/disabled` means.
+//! Run with `cargo bench -p lbsn-bench --bench obs_overhead`. Three
+//! groups:
+//!
+//! * `checkin/{enabled,disabled}` — the headline budget above;
+//! * `checkin-spans/{sampled-1-in-16,all,off}` — the same pipeline
+//!   under head-sampling settings, isolating span cost (the default
+//!   1-in-16 must sit within the 5% budget; `all` shows worst case);
+//! * `record/{histogram,sketch,latency-stat}` — a single observation
+//!   into a fixed-bucket histogram vs the log-bucket sketch vs the
+//!   combined stat (histogram + sketch + window).
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lbsn_geo::{destination, GeoPoint};
-use lbsn_obs::Registry;
+use lbsn_obs::{ObsConfig, Registry};
 use lbsn_server::{
     CheckinRequest, CheckinSource, LbsnServer, ServerConfig, UserSpec, VenueId, VenueSpec,
 };
@@ -73,5 +81,78 @@ fn bench_checkin_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(obs_overhead, bench_checkin_overhead);
+fn bench_span_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkin-spans");
+    for (label, sample_every, sample_all) in [
+        ("sampled-1-in-16", 16, false),
+        ("all", 1, true),
+        ("off", 0, false),
+    ] {
+        let registry = Arc::new(Registry::with_config(ObsConfig {
+            span_sample_every: sample_every,
+            span_sample_all: sample_all,
+            ..ObsConfig::default()
+        }));
+        let (server, venues) = checkin_rig(Arc::clone(&registry));
+        let mut i: u64 = 0;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let user = lbsn_server::UserId(i % USERS + 1);
+                let venue = venues[(i / USERS) as usize % venues.len()];
+                let loc = server.with_venue(venue, |v| v.location).unwrap();
+                server.clock().advance(Duration::secs(90));
+                i += 1;
+                server
+                    .check_in(&CheckinRequest {
+                        user,
+                        venue,
+                        reported_location: loc,
+                        source: CheckinSource::MobileApp,
+                    })
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_record_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("record");
+    let registry = Registry::new();
+    let histogram = registry.histogram("bench.histogram");
+    let sketch = registry.sketch("bench.sketch");
+    let stat = registry.latency("bench.latency_stat");
+    // Cycle across decades so every fixed bucket and many log buckets
+    // get touched, as a real latency stream would.
+    let samples: Vec<u64> = (0..1024)
+        .map(|i: u64| (i % 9 + 1) * 10u64.pow((i % 7) as u32 + 2))
+        .collect();
+    let mut i = 0usize;
+    group.bench_function("histogram", |b| {
+        b.iter(|| {
+            histogram.record(samples[i % samples.len()]);
+            i += 1;
+        });
+    });
+    group.bench_function("sketch", |b| {
+        b.iter(|| {
+            sketch.record(samples[i % samples.len()]);
+            i += 1;
+        });
+    });
+    group.bench_function("latency-stat", |b| {
+        b.iter(|| {
+            stat.record_ns(samples[i % samples.len()]);
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    obs_overhead,
+    bench_checkin_overhead,
+    bench_span_sampling,
+    bench_record_variants
+);
 criterion_main!(obs_overhead);

@@ -105,4 +105,24 @@ fn main() {
         }
     }
     eprintln!("# wrote {}/E*.json", metrics_dir.display());
+
+    // Merge every experiment's sampled spans into one Chrome-trace file
+    // (open in chrome://tracing or Perfetto). Bed-backed experiments
+    // share one registry, so the same span can appear in several
+    // snapshots — dedup on (id, start_ns); ids restart only with a new
+    // registry, where start_ns offsets differ.
+    let mut seen = std::collections::HashSet::new();
+    let mut spans = Vec::new();
+    for e in &all {
+        if let Some(snapshot) = &e.metrics {
+            for span in &snapshot.spans {
+                if seen.insert((span.id, span.start_ns)) {
+                    spans.push(span.clone());
+                }
+            }
+        }
+    }
+    let trace_path = args.output.join("trace.json");
+    std::fs::write(&trace_path, lbsn_obs::chrome_trace_json(&spans)).expect("write trace.json");
+    eprintln!("# wrote {} ({} spans)", trace_path.display(), spans.len());
 }

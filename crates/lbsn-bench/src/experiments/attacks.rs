@@ -176,7 +176,8 @@ pub fn e04_virtual_tour(bed: &TestBed, output_dir: &Path) -> Experiment {
     let schedule = Schedule::build(&tour, start, &PacingPolicy::default());
 
     let attacker = bed.server.register_user(UserSpec::named("tour-attacker"));
-    let session = AttackSession::new(Arc::clone(&bed.server), attacker);
+    let session =
+        AttackSession::with_registry(Arc::clone(&bed.server), attacker, Arc::clone(&bed.registry));
     let report = session.execute(&schedule);
 
     exp.row(
@@ -276,7 +277,8 @@ pub fn e09_venue_intel(bed: &TestBed) -> Experiment {
         .expect("population includes power users");
     let victim_mayorships = intel.mayorships_of(victim.value()).len();
     let attacker = bed.server.register_user(UserSpec::named("denial-attacker"));
-    let session = AttackSession::new(Arc::clone(&bed.server), attacker);
+    let session =
+        AttackSession::with_registry(Arc::clone(&bed.server), attacker, Arc::clone(&bed.registry));
     let denial = deny_mayorships(&session, victim.value(), &bed.db, 70);
     exp.row(
         "mayor-denial attack on a power user",

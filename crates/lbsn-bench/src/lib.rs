@@ -8,7 +8,11 @@
 //!   with paper-vs-measured rows (the source of EXPERIMENTS.md);
 //! * the **criterion benches** (`cargo bench`) measure the performance
 //!   of each subsystem a figure depends on, plus the ablations listed in
-//!   DESIGN.md §6.
+//!   DESIGN.md §6;
+//! * the **obs-report binary** (`cargo run -p lbsn-bench --release
+//!   --bin obs-report -- baseline.json new.json`) diffs two metric
+//!   snapshots and gates the new one on an SLO policy (see
+//!   [`obsreport`]).
 //!
 //! Both build on [`harness::TestBed`]: a generated population replayed
 //! through the real server and crawled back into a
@@ -19,4 +23,5 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod obsreport;
 pub mod report;

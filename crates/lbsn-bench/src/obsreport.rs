@@ -1,0 +1,275 @@
+//! Snapshot diffing and SLO gating — the library behind the
+//! `obs-report` binary.
+//!
+//! Takes two [`Snapshot`] JSON documents (a committed baseline and a
+//! fresh run), prints a regression table of counters, gauges, and
+//! sketch quantiles, then evaluates an [`SloPolicy`] against the new
+//! snapshot. The binary exits nonzero on any SLO breach, which is what
+//! turns `target/experiments/metrics/E*.json` trajectories into a
+//! machine-checkable CI gate.
+
+use std::collections::BTreeSet;
+
+use lbsn_obs::{SloOutcome, SloPolicy, SloRule, Snapshot};
+
+/// Quantiles shown per latency metric in the diff table.
+const QUANTILES: [(f64, &str); 3] = [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")];
+
+/// One row of the regression table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Metric name (quantile rows are suffixed, e.g. `foo p99`).
+    pub metric: String,
+    /// Baseline value, when the metric existed there.
+    pub old: Option<f64>,
+    /// New-run value, when the metric exists now.
+    pub new: Option<f64>,
+}
+
+impl DiffRow {
+    /// Relative change new-vs-old in percent; `None` when either side
+    /// is missing or the baseline is zero.
+    pub fn delta_pct(&self) -> Option<f64> {
+        match (self.old, self.new) {
+            (Some(o), Some(n)) if o != 0.0 => Some((n - o) / o * 100.0),
+            _ => None,
+        }
+    }
+}
+
+fn fmt_value(v: Option<f64>) -> String {
+    match v {
+        None => "—".to_string(),
+        Some(v) if v == v.trunc() && v.abs() < 1e15 => format!("{}", v as i64),
+        Some(v) => format!("{v:.2}"),
+    }
+}
+
+fn fmt_delta(row: &DiffRow) -> String {
+    match row.delta_pct() {
+        None => "—".to_string(),
+        Some(d) => format!("{d:+.1}%"),
+    }
+}
+
+/// Builds the regression rows: every counter and gauge in either
+/// snapshot, plus p50/p95/p99 for every latency metric that has a
+/// sketch or histogram on either side.
+pub fn diff_rows(old: &Snapshot, new: &Snapshot) -> Vec<DiffRow> {
+    let mut rows = Vec::new();
+    let counter_names: BTreeSet<&String> = old.counters.keys().chain(new.counters.keys()).collect();
+    for name in counter_names {
+        rows.push(DiffRow {
+            metric: name.clone(),
+            old: old.counters.get(name).map(|&v| v as f64),
+            new: new.counters.get(name).map(|&v| v as f64),
+        });
+    }
+    let gauge_names: BTreeSet<&String> = old.gauges.keys().chain(new.gauges.keys()).collect();
+    for name in gauge_names {
+        rows.push(DiffRow {
+            metric: name.clone(),
+            old: old.gauges.get(name).copied(),
+            new: new.gauges.get(name).copied(),
+        });
+    }
+    let latency_names: BTreeSet<&String> = old
+        .sketches
+        .keys()
+        .chain(new.sketches.keys())
+        .chain(old.histograms.keys())
+        .chain(new.histograms.keys())
+        .collect();
+    for name in latency_names {
+        for (q, label) in QUANTILES {
+            rows.push(DiffRow {
+                metric: format!("{name} {label}"),
+                old: old.quantile_ns(name, q).map(|v| v as f64),
+                new: new.quantile_ns(name, q).map(|v| v as f64),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the regression table as Markdown.
+pub fn render_diff_table(rows: &[DiffRow]) -> String {
+    let mut out = String::from("| metric | baseline | new | Δ |\n|---|---:|---:|---:|\n");
+    for row in rows {
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} |\n",
+            row.metric,
+            fmt_value(row.old),
+            fmt_value(row.new),
+            fmt_delta(row),
+        ));
+    }
+    out
+}
+
+/// Renders SLO outcomes as Markdown, breaches first.
+pub fn render_slo_table(outcomes: &[SloOutcome]) -> String {
+    let mut out = String::from("| SLO | observed | verdict |\n|---|---:|---|\n");
+    let (breached, held): (Vec<_>, Vec<_>) = outcomes.iter().partition(|o| !o.pass);
+    for o in breached.iter().chain(held.iter()) {
+        let observed = match o.observed {
+            None => "missing".to_string(),
+            Some(v) => fmt_value(Some(v)),
+        };
+        let verdict = if o.pass { "ok" } else { "**BREACH**" };
+        out.push_str(&format!("| `{}` | {} | {} |\n", o.rule, observed, verdict));
+    }
+    out
+}
+
+/// The full report: diff table + SLO evaluation of the new snapshot.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Rendered Markdown (diff table + SLO table).
+    pub markdown: String,
+    /// Per-rule outcomes.
+    pub outcomes: Vec<SloOutcome>,
+}
+
+impl Report {
+    /// Whether any SLO rule was breached.
+    pub fn breached(&self) -> bool {
+        self.outcomes.iter().any(|o| !o.pass)
+    }
+}
+
+/// Diffs `new` against `old` and gates `new` on `policy`.
+pub fn run_report(old: &Snapshot, new: &Snapshot, policy: &SloPolicy) -> Report {
+    let rows = diff_rows(old, new);
+    let outcomes = policy.evaluate(new);
+    let verdict = if outcomes.iter().all(|o| o.pass) {
+        "all SLOs hold"
+    } else {
+        "SLO BREACH"
+    };
+    let markdown = format!(
+        "## obs-report — schema {} baseline vs schema {} run\n\n\
+         ### Metric diff\n\n{}\n### SLO gate `{}` — {}\n\n{}",
+        old.schema,
+        new.schema,
+        render_diff_table(&rows),
+        policy.name,
+        verdict,
+        render_slo_table(&outcomes),
+    );
+    Report { markdown, outcomes }
+}
+
+/// The default gate for experiment runs: loose enough to hold on any
+/// development machine, tight enough that an order-of-magnitude
+/// check-in regression, a dead crawl, or a spike in fetch errors
+/// breaks CI. Applied to the bed-registry snapshots (`metrics/E8.json`
+/// carries both the check-in pipeline and the stand-up crawl).
+pub fn default_policy() -> SloPolicy {
+    SloPolicy {
+        name: "experiments-default".to_string(),
+        rules: vec![
+            SloRule::QuantileMaxNs {
+                metric: "server.checkin.total".to_string(),
+                q: 0.99,
+                max_ns: 50_000_000, // 50 ms: in-process pipeline, huge headroom
+            },
+            SloRule::QuantileMaxNs {
+                metric: "crawler.fetch".to_string(),
+                q: 0.99,
+                max_ns: 5_000_000_000, // 5 s simulated round-trip ceiling
+            },
+            SloRule::CounterMin {
+                metric: "server.checkin.accepted".to_string(),
+                min: 100, // the workload actually exercised the pipeline
+            },
+            SloRule::CounterMin {
+                metric: "crawler.store.users".to_string(),
+                min: 100, // the crawl actually stored profiles
+            },
+            SloRule::RatioMax {
+                numerator: "crawler.fetch.errors".to_string(),
+                denominator: "crawler.fetch.pages".to_string(),
+                max_ratio: 0.01,
+            },
+            SloRule::GaugeMin {
+                metric: "crawler.throughput.users_per_hour".to_string(),
+                min: 1_000.0, // paper's Fig 3.3 scale is ~100k/h
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_obs::Registry;
+
+    fn sample() -> Snapshot {
+        let registry = Registry::new();
+        registry.counter("c.pages").add(10);
+        registry.gauge("g.rate").set(2.0);
+        registry.latency("lat").record_ns(1_000);
+        registry.snapshot()
+    }
+
+    #[test]
+    fn diff_covers_counters_gauges_and_quantiles() {
+        let old = sample();
+        let mut new = old.clone();
+        new.counters.insert("c.pages".to_string(), 20);
+        let rows = diff_rows(&old, &new);
+        let pages = rows.iter().find(|r| r.metric == "c.pages").unwrap();
+        assert_eq!(pages.old, Some(10.0));
+        assert_eq!(pages.new, Some(20.0));
+        assert_eq!(pages.delta_pct(), Some(100.0));
+        assert!(rows.iter().any(|r| r.metric == "lat p99"));
+        let table = render_diff_table(&rows);
+        assert!(table.contains("| `c.pages` | 10 | 20 | +100.0% |"));
+    }
+
+    #[test]
+    fn missing_side_renders_dash() {
+        let old = Snapshot::default();
+        let new = sample();
+        let rows = diff_rows(&old, &new);
+        let pages = rows.iter().find(|r| r.metric == "c.pages").unwrap();
+        assert_eq!(pages.old, None);
+        assert_eq!(pages.delta_pct(), None);
+        assert!(render_diff_table(&rows).contains("| `c.pages` | — | 10 | — |"));
+    }
+
+    #[test]
+    fn report_flags_breaches() {
+        let snap = sample();
+        let ok_policy = SloPolicy {
+            name: "ok".to_string(),
+            rules: vec![SloRule::CounterMin {
+                metric: "c.pages".to_string(),
+                min: 1,
+            }],
+        };
+        let report = run_report(&snap, &snap, &ok_policy);
+        assert!(!report.breached());
+        assert!(report.markdown.contains("all SLOs hold"));
+
+        let breach_policy = SloPolicy {
+            name: "tight".to_string(),
+            rules: vec![SloRule::CounterMin {
+                metric: "c.pages".to_string(),
+                min: 1_000_000,
+            }],
+        };
+        let report = run_report(&snap, &snap, &breach_policy);
+        assert!(report.breached());
+        assert!(report.markdown.contains("**BREACH**"));
+    }
+
+    #[test]
+    fn default_policy_round_trips() {
+        let policy = default_policy();
+        let back = SloPolicy::from_json(&policy.to_json()).unwrap();
+        assert_eq!(back, policy);
+        assert!(!policy.rules.is_empty());
+    }
+}

@@ -72,6 +72,50 @@ fn testbed_run_populates_the_registry() {
     );
     assert!(total.sum > 0, "timers recorded real elapsed time");
 
+    // Quantile sketches ride along on the hot-path latency stats, with
+    // ordered quantiles and counts agreeing with the histograms.
+    assert_eq!(snap.schema, lbsn_obs::SNAPSHOT_SCHEMA_VERSION);
+    for name in ["server.checkin.total", "crawler.fetch"] {
+        let sketch = snap
+            .sketches
+            .get(name)
+            .unwrap_or_else(|| panic!("sketch {name} missing"));
+        let p50 = sketch.quantile(0.50);
+        let p95 = sketch.quantile(0.95);
+        let p99 = sketch.quantile(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{name}: {p50} {p95} {p99}");
+        assert!(snap.windows.contains_key(name), "window {name} missing");
+    }
+    assert_eq!(snap.sketches["server.checkin.total"].count, total.count);
+    assert_eq!(
+        snap.quantile_ns("server.checkin.total", 0.99),
+        Some(snap.sketches["server.checkin.total"].quantile(0.99))
+    );
+
+    // Head-sampled spans made it into the sink: check-in roots with
+    // their per-stage children, and crawler page spans.
+    assert!(snap.counter("trace.finished_spans") > 0);
+    let names: std::collections::HashSet<&str> =
+        snap.spans.iter().map(|s| s.name.as_str()).collect();
+    assert!(names.contains("server.checkin"), "{names:?}");
+    assert!(names.contains("crawler.page"), "{names:?}");
+    for span in &snap.spans {
+        if span.parent != 0 {
+            assert!(span.name.contains('.'), "child spans are namespaced");
+        }
+        assert!(span.end_ns >= span.start_ns);
+    }
+
+    // The merged span set exports as a loadable Chrome trace.
+    let trace = lbsn_obs::chrome_trace_json(&snap.spans);
+    let doc: serde::Value = serde_json::from_str(&trace).expect("trace.json parses");
+    let events = doc
+        .as_object()
+        .and_then(|o| o.get("traceEvents"))
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    assert!(events.len() >= snap.spans.len());
+
     // The snapshot a bed hands to reports is self-consistent JSON.
     let back = lbsn_obs::Snapshot::from_json(&snap.to_json()).unwrap();
     assert_eq!(back, snap);

@@ -11,7 +11,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use lbsn_obs::{Counter, Registry};
+use lbsn_obs::{Counter, LatencyStat, Registry};
 
 use crate::db::CrawlDatabase;
 use crate::fetch::Fetcher;
@@ -117,6 +117,11 @@ struct CrawlerMetrics {
     registry: Arc<Registry>,
     /// `crawler.fetch.pages`: HTTP requests issued, retries included.
     pages: Counter,
+    /// `crawler.fetch`: per-request simulated network latency,
+    /// nanoseconds — histogram + quantile sketch + per-second window,
+    /// so a run exposes fetch p50/p95/p99 next to the throughput
+    /// gauges.
+    fetch_latency: LatencyStat,
     /// `crawler.fetch.retries`: re-fetches after a transient 503.
     retries: Counter,
     /// `crawler.fetch.errors`: permanently failed pages (retry
@@ -134,6 +139,7 @@ impl CrawlerMetrics {
         let r = &registry;
         CrawlerMetrics {
             pages: r.counter("crawler.fetch.pages"),
+            fetch_latency: r.latency("crawler.fetch"),
             retries: r.counter("crawler.fetch.retries"),
             errors: r.counter("crawler.fetch.errors"),
             parse_errors: r.counter("crawler.parse.errors"),
@@ -275,6 +281,14 @@ impl MultiThreadCrawler {
         );
     }
 
+    /// Records one fetch's simulated network latency into the
+    /// `crawler.fetch` latency stat (milliseconds → nanoseconds).
+    fn record_fetch_latency(&self, response: &crate::fetch::FetchResponse) {
+        self.metrics
+            .fetch_latency
+            .record_ns((response.simulated_latency_ms * 1_000_000.0) as u64);
+    }
+
     /// One worker: claim the next ID, fetch with retries, scrape, store.
     /// Returns its accumulated simulated latency and stored-row count.
     fn worker(&self, shared: &Shared) -> WorkerTally {
@@ -291,38 +305,62 @@ impl MultiThreadCrawler {
                 }
             }
             let url = self.config.target.space().url(id);
+            // One root span per page (head-sampled): fetch → parse →
+            // store become children, so a sampled page's lifecycle
+            // reads end to end in chrome://tracing.
+            let mut span = self.metrics.registry.span("crawler.page");
+            span.attr("url", &url);
 
             // Fetch with transient-failure retries.
+            let mut fetch_span = span.child("crawler.fetch");
             let mut response = self.fetcher.fetch(&url);
             self.metrics.pages.inc();
+            self.record_fetch_latency(&response);
             virtual_ms += response.simulated_latency_ms;
             let mut attempts = 0;
             while response.status == 503 && attempts < self.config.retries {
                 attempts += 1;
+                fetch_span.event("fetch.retry");
                 response = self.fetcher.fetch(&url);
                 self.metrics.pages.inc();
                 self.metrics.retries.inc();
+                self.record_fetch_latency(&response);
                 virtual_ms += response.simulated_latency_ms;
             }
+            fetch_span.end();
+            span.attr("status", response.status);
 
             shared.processed.fetch_add(1, Ordering::Relaxed);
             match response.status {
                 200 => {
                     shared.consecutive_404s.store(0, Ordering::Relaxed);
+                    let parse_span = span.child("crawler.parse");
                     let stored = match self.config.target {
                         CrawlTarget::Users => match parse_user_page(&response.body) {
                             Ok(row) => {
+                                parse_span.end();
+                                let store_span = span.child("crawler.store");
                                 self.db.insert_user(row);
+                                store_span.end();
                                 true
                             }
-                            Err(_) => false,
+                            Err(_) => {
+                                parse_span.end();
+                                false
+                            }
                         },
                         CrawlTarget::Venues => match parse_venue_page(&response.body) {
                             Ok(row) => {
+                                parse_span.end();
+                                let store_span = span.child("crawler.store");
                                 self.db.insert_venue(row);
+                                store_span.end();
                                 true
                             }
-                            Err(_) => false,
+                            Err(_) => {
+                                parse_span.end();
+                                false
+                            }
                         },
                     };
                     if stored {
@@ -332,6 +370,7 @@ impl MultiThreadCrawler {
                     } else {
                         shared.failed.fetch_add(1, Ordering::Relaxed);
                         self.metrics.parse_errors.inc();
+                        span.event("parse.error");
                     }
                 }
                 404 => {

@@ -1,0 +1,148 @@
+//! Chrome-trace-event export: turns retained spans into a `trace.json`
+//! document loadable in `chrome://tracing` and Perfetto.
+//!
+//! The format is the Trace Event JSON object form
+//! (`{"traceEvents": [...]}`) with microsecond timestamps. Each span
+//! becomes one complete (`"ph": "X"`) event carrying its id, parent,
+//! and attributes in `args`; each span event becomes a thread-scoped
+//! instant (`"ph": "i"`) event, so cheater flags show up as ticks
+//! inside the check-in slice that raised them.
+
+use serde::{Map, Serialize, Value};
+
+use crate::span::SpanRecord;
+
+fn us(ns: u64) -> Value {
+    (ns as f64 / 1_000.0).to_value()
+}
+
+fn span_event(span: &SpanRecord) -> Value {
+    let mut args = Map::new();
+    args.insert("id".to_string(), span.id.to_value());
+    if span.parent != 0 {
+        args.insert("parent".to_string(), span.parent.to_value());
+    }
+    for (key, value) in &span.attrs {
+        args.insert(key.clone(), value.to_value());
+    }
+    Value::Object(Map::from_pairs(vec![
+        ("name".to_string(), span.name.to_value()),
+        ("cat".to_string(), "span".to_value()),
+        ("ph".to_string(), "X".to_value()),
+        ("ts".to_string(), us(span.start_ns)),
+        ("dur".to_string(), us(span.duration_ns())),
+        ("pid".to_string(), 1u64.to_value()),
+        ("tid".to_string(), span.thread.to_value()),
+        ("args".to_string(), Value::Object(args)),
+    ]))
+}
+
+fn instant_events(span: &SpanRecord) -> impl Iterator<Item = Value> + '_ {
+    span.events.iter().map(|ev| {
+        Value::Object(Map::from_pairs(vec![
+            ("name".to_string(), ev.name.to_value()),
+            ("cat".to_string(), "span.event".to_value()),
+            ("ph".to_string(), "i".to_value()),
+            ("ts".to_string(), us(ev.at_ns)),
+            ("pid".to_string(), 1u64.to_value()),
+            ("tid".to_string(), span.thread.to_value()),
+            // Thread-scoped instant: renders as a tick on the lane.
+            ("s".to_string(), "t".to_value()),
+        ]))
+    })
+}
+
+/// Renders spans as a Chrome Trace Event JSON document
+/// (`{"traceEvents": [...]}`, timestamps in microseconds).
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut events: Vec<Value> = Vec::with_capacity(spans.len());
+    for span in spans {
+        events.push(span_event(span));
+        events.extend(instant_events(span));
+    }
+    let doc = Value::Object(Map::from_pairs(vec![
+        ("traceEvents".to_string(), Value::Array(events)),
+        ("displayTimeUnit".to_string(), "ms".to_value()),
+    ]));
+    serde_json::to_string_pretty(&doc).expect("trace serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanEventRecord;
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        vec![
+            SpanRecord {
+                id: 2,
+                parent: 1,
+                name: "server.checkin.verify".to_string(),
+                thread: 1,
+                start_ns: 1_500,
+                end_ns: 4_500,
+                attrs: vec![],
+                events: vec![SpanEventRecord {
+                    at_ns: 2_000,
+                    name: "flag.SpeedLimit".to_string(),
+                }],
+            },
+            SpanRecord {
+                id: 1,
+                parent: 0,
+                name: "server.checkin".to_string(),
+                thread: 1,
+                start_ns: 1_000,
+                end_ns: 6_000,
+                attrs: vec![("user".to_string(), "7".to_string())],
+                events: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn emits_complete_and_instant_events() {
+        let json = chrome_trace_json(&sample_spans());
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        let events = doc
+            .as_object()
+            .unwrap()
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        // Two spans plus one instant.
+        assert_eq!(events.len(), 3);
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.as_object().unwrap().get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(phases, vec!["X", "i", "X"]);
+        // Microsecond timestamps: 1500ns → 1.5µs.
+        let first = events[0].as_object().unwrap();
+        assert_eq!(first.get("ts").unwrap().as_number().unwrap().as_f64(), 1.5);
+        assert_eq!(first.get("dur").unwrap().as_number().unwrap().as_f64(), 3.0);
+        // Parent link and attrs land in args.
+        let args = first.get("args").unwrap().as_object().unwrap();
+        assert!(args.get("parent").is_some());
+        let root_args = events[2].as_object().unwrap().get("args").unwrap();
+        assert_eq!(
+            root_args.as_object().unwrap().get("user").unwrap().as_str(),
+            Some("7")
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_still_valid() {
+        let json = chrome_trace_json(&[]);
+        let doc: Value = serde_json::from_str(&json).unwrap();
+        assert!(doc
+            .as_object()
+            .unwrap()
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,30 +1,55 @@
-//! Workspace-wide observability: named metrics, scoped timers, and a
+//! Workspace-wide observability: named metrics, scoped timers, spans,
+//! quantile sketches, windowed time series, SLO rules, and a
 //! structured-event trace behind a global-or-injected [`Registry`].
 //!
 //! Every hot path in the reproduction (check-in pipeline, crawler
 //! workers, attack executor) holds pre-resolved handles — a metric
 //! update is one relaxed atomic check plus one atomic RMW, no map
 //! lookups and no locks. Disabling a registry turns every update into
-//! the single flag check, which is what keeps instrumentation overhead
-//! under the benchmarked budget (see `lbsn-bench/benches/obs_overhead`).
+//! the single flag check, and unsampled spans are fully inert, which is
+//! what keeps instrumentation overhead under the benchmarked budget
+//! (see `lbsn-bench/benches/obs_overhead`).
 //!
 //! Metric names follow `subsystem.component.metric`, e.g.
 //! `server.checkin.flag.gps_mismatch` or
 //! `crawler.throughput.users_per_hour`.
 //!
-//! A [`Snapshot`] captures every metric and the recent event trace as
-//! plain data; it serializes to JSON and round-trips losslessly, so
-//! bench reports can embed it and tooling can diff runs.
+//! The layer answers three kinds of questions:
+//!
+//! - **What happened to this one request?** [`Span`]s (head-sampled,
+//!   parent-linked, with attributes and timestamped events) follow a
+//!   check-in, a crawl fetch, or an attack step through its stages, and
+//!   [`chrome_trace_json`] exports them for `chrome://tracing`.
+//! - **What is the tail doing?** [`QuantileSketch`]es give p50/p95/p99
+//!   with a guaranteed relative-error bound; [`TimeWindow`]s give
+//!   per-second rates. [`LatencyStat`] feeds histogram + sketch +
+//!   window from one timer.
+//! - **Did this run regress?** A [`Snapshot`] captures everything as
+//!   schema-versioned JSON, and an [`SloPolicy`] turns thresholds into
+//!   a machine-checkable gate (the `obs-report` binary in `lbsn-bench`).
 
+mod export;
 mod metrics;
 mod registry;
+mod sketch;
+mod slo;
 mod snapshot;
+mod span;
 mod trace;
+mod window;
 
-pub use metrics::{Counter, Gauge, Histogram, ScopedTimer};
-pub use registry::{global, Registry};
-pub use snapshot::{BucketSnapshot, EventRecord, HistogramSnapshot, Snapshot};
+pub use export::chrome_trace_json;
+pub use metrics::{Counter, Gauge, Histogram, LatencyStat, LatencyTimer, ScopedTimer};
+pub use registry::{global, ObsConfig, Registry};
+pub use sketch::{QuantileSketch, DEFAULT_SKETCH_ALPHA};
+pub use slo::{SloOutcome, SloPolicy, SloRule};
+pub use snapshot::{
+    BucketSnapshot, EventRecord, HistogramSnapshot, SketchBucket, SketchSnapshot, Snapshot,
+    WindowSlot, WindowSnapshot, SNAPSHOT_SCHEMA_VERSION,
+};
+pub use span::{Span, SpanEventRecord, SpanRecord};
 pub use trace::EventTrace;
+pub use window::{TimeWindow, DEFAULT_WINDOW_SLOTS};
 
 /// Default histogram bucket upper bounds, in nanoseconds: exponential
 /// from 256 ns to ~4.4 s, a spread that covers both a sub-microsecond

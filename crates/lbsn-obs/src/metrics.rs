@@ -173,6 +173,85 @@ impl Drop for ScopedTimer {
     }
 }
 
+/// One latency metric, three views: the fixed-bucket [`Histogram`]
+/// (decade-level shape, v1-compatible), a [`QuantileSketch`] (tight
+/// p50/p95/p99), and a per-second [`TimeWindow`] (rate over time). All
+/// three share the metric's name and are fed by a single timer or
+/// `record_ns` call, so hot paths pay one clock read for the full
+/// picture. Resolved through [`crate::Registry::latency`].
+#[derive(Clone)]
+pub struct LatencyStat {
+    pub(crate) histogram: Histogram,
+    pub(crate) sketch: crate::QuantileSketch,
+    pub(crate) window: crate::TimeWindow,
+}
+
+impl LatencyStat {
+    /// Records one latency observation (nanoseconds) into the
+    /// histogram, the sketch, and the current window slot.
+    #[inline]
+    pub fn record_ns(&self, nanos: u64) {
+        self.histogram.record(nanos);
+        self.sketch.record(nanos);
+        self.window.record(nanos);
+    }
+
+    /// Starts a timer that records elapsed nanoseconds into all three
+    /// views when dropped. Inert when the registry is disabled.
+    #[inline]
+    pub fn start_timer(&self) -> LatencyTimer {
+        LatencyTimer {
+            start: self
+                .histogram
+                .enabled
+                .load(Ordering::Relaxed)
+                .then(Instant::now),
+            stat: self.clone(),
+        }
+    }
+
+    /// The fixed-bucket histogram view.
+    pub fn histogram(&self) -> &Histogram {
+        &self.histogram
+    }
+
+    /// The quantile-sketch view.
+    pub fn sketch(&self) -> &crate::QuantileSketch {
+        &self.sketch
+    }
+
+    /// The per-second window view.
+    pub fn window(&self) -> &crate::TimeWindow {
+        &self.window
+    }
+}
+
+/// Drop-based timer tied to a [`LatencyStat`]; created by
+/// [`LatencyStat::start_timer`].
+pub struct LatencyTimer {
+    start: Option<Instant>,
+    stat: LatencyStat,
+}
+
+impl LatencyTimer {
+    /// Stops the timer now instead of at scope end.
+    pub fn stop(self) {}
+
+    /// Abandons the timer without recording.
+    pub fn discard(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for LatencyTimer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            self.stat.record_ns(nanos);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use crate::Registry;
@@ -226,6 +305,61 @@ mod tests {
         registry.set_enabled(true);
         c.inc();
         assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn overflow_saturates_with_visible_max() {
+        let registry = Registry::new();
+        let h = registry.histogram_with_buckets("t.h", &[10, 100]);
+        h.record(1_000_000); // way past the last bound
+        h.record(5);
+        let snap = registry.snapshot();
+        let hs = &snap.histograms["t.h"];
+        // The overflow lands in the +Inf bucket, not silently in the
+        // last bounded one, and min/max/sum still see the raw value.
+        assert_eq!(hs.overflow(), 1);
+        assert_eq!(hs.max, 1_000_000);
+        assert_eq!(hs.min, 5);
+        assert_eq!(hs.sum, 1_000_005);
+        // Quantiles saturate at the observed max instead of u64::MAX.
+        assert_eq!(hs.quantile(1.0), 1_000_000);
+    }
+
+    #[test]
+    fn latency_stat_feeds_all_three_views() {
+        let registry = Registry::new();
+        let stat = registry.latency("t.lat");
+        stat.record_ns(1_000);
+        stat.record_ns(2_000);
+        {
+            let _t = stat.start_timer();
+        }
+        assert_eq!(stat.histogram().count(), 3);
+        assert_eq!(stat.sketch().count(), 3);
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms["t.lat"].count, 3);
+        assert_eq!(snap.sketches["t.lat"].count, 3);
+        assert_eq!(snap.windows["t.lat"].total_count(), 3);
+
+        let timer = stat.start_timer();
+        timer.discard();
+        assert_eq!(stat.sketch().count(), 3);
+        let timer = stat.start_timer();
+        timer.stop();
+        assert_eq!(stat.sketch().count(), 4);
+    }
+
+    #[test]
+    fn disabled_latency_stat_is_inert() {
+        let registry = Registry::new();
+        registry.set_enabled(false);
+        let stat = registry.latency("t.lat");
+        stat.record_ns(99);
+        {
+            let _t = stat.start_timer();
+        }
+        assert_eq!(stat.histogram().count(), 0);
+        assert_eq!(stat.sketch().count(), 0);
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The metric registry: name → cell resolution, the enabled flag, and
-//! snapshot capture.
+//! The metric registry: name → cell resolution, the enabled flag, span
+//! sampling, and snapshot capture.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -7,25 +7,62 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 
-use crate::metrics::{Counter, CounterCell, Gauge, GaugeCell, Histogram, HistogramCell};
-use crate::snapshot::{BucketSnapshot, HistogramSnapshot, Snapshot};
+use crate::metrics::{
+    Counter, CounterCell, Gauge, GaugeCell, Histogram, HistogramCell, LatencyStat,
+};
+use crate::sketch::{QuantileSketch, SketchCell, DEFAULT_SKETCH_ALPHA};
+use crate::snapshot::{BucketSnapshot, HistogramSnapshot, Snapshot, SNAPSHOT_SCHEMA_VERSION};
+use crate::span::{Span, SpanSink};
 use crate::trace::EventTrace;
+use crate::window::{ObsClock, TimeWindow, WindowCell, DEFAULT_WINDOW_SLOTS};
 use crate::DEFAULT_LATENCY_BUCKETS_NS;
+
+/// Capacities and sampling knobs for a [`Registry`]. The defaults match
+/// what PR 1 hard-coded (1024 retained events) plus conservative span
+/// settings: 4096 retained spans, head-sampled 1-in-16.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Events retained in the trace ring.
+    pub event_capacity: usize,
+    /// Finished spans retained in the span ring.
+    pub span_capacity: usize,
+    /// Head-sample one root span in every N (0 disables sampling
+    /// entirely; forced spans still record).
+    pub span_sample_every: u64,
+    /// Sample every root span regardless of the 1-in-N counter.
+    pub span_sample_all: bool,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            event_capacity: 1024,
+            span_capacity: 4096,
+            span_sample_every: 16,
+            span_sample_all: false,
+        }
+    }
+}
 
 #[derive(Default)]
 struct Cells {
     counters: BTreeMap<String, Arc<CounterCell>>,
     gauges: BTreeMap<String, Arc<GaugeCell>>,
     histograms: BTreeMap<String, Arc<HistogramCell>>,
+    sketches: BTreeMap<String, Arc<SketchCell>>,
+    windows: BTreeMap<String, Arc<WindowCell>>,
 }
 
-/// Holds every named metric plus the event trace. Components take an
-/// `Arc<Registry>` at construction (defaulting to [`global`]), resolve
-/// their handles once, and update them lock-free afterwards.
+/// Holds every named metric plus the event trace and span sink.
+/// Components take an `Arc<Registry>` at construction (defaulting to
+/// [`global`]), resolve their handles once, and update them lock-free
+/// afterwards.
 pub struct Registry {
     enabled: Arc<AtomicBool>,
     cells: RwLock<Cells>,
     events: EventTrace,
+    clock: Arc<ObsClock>,
+    spans: Arc<SpanSink>,
 }
 
 impl Default for Registry {
@@ -35,18 +72,31 @@ impl Default for Registry {
 }
 
 impl Registry {
-    /// An enabled registry with an empty metric set and a 1024-event
-    /// trace ring.
+    /// An enabled registry with the default [`ObsConfig`].
     pub fn new() -> Self {
+        Registry::with_config(ObsConfig::default())
+    }
+
+    /// An enabled registry with explicit capacities and span sampling.
+    pub fn with_config(config: ObsConfig) -> Self {
+        let clock = Arc::new(ObsClock::new());
         Registry {
             enabled: Arc::new(AtomicBool::new(true)),
             cells: RwLock::new(Cells::default()),
-            events: EventTrace::new(1024),
+            events: EventTrace::new(config.event_capacity),
+            spans: Arc::new(SpanSink::new(
+                config.span_capacity,
+                config.span_sample_every,
+                config.span_sample_all,
+                Arc::clone(&clock),
+            )),
+            clock,
         }
     }
 
     /// Turns metric recording on or off. Handles stay valid; updates
-    /// through them become no-ops while disabled.
+    /// through them become no-ops while disabled. Spans started while
+    /// disabled are inert.
     pub fn set_enabled(&self, enabled: bool) {
         self.enabled.store(enabled, Ordering::Relaxed);
     }
@@ -123,6 +173,95 @@ impl Registry {
         }
     }
 
+    /// Resolves the quantile sketch `name` at the default ±1% relative
+    /// error (see [`DEFAULT_SKETCH_ALPHA`]).
+    pub fn sketch(&self, name: &str) -> QuantileSketch {
+        self.sketch_with_alpha(name, DEFAULT_SKETCH_ALPHA)
+    }
+
+    /// Resolves the quantile sketch `name`, creating it with
+    /// relative-error target `alpha` on first use. A sketch keeps the
+    /// alpha it was first registered with.
+    pub fn sketch_with_alpha(&self, name: &str, alpha: f64) -> QuantileSketch {
+        if let Some(cell) = self.cells.read().sketches.get(name) {
+            return QuantileSketch {
+                enabled: Arc::clone(&self.enabled),
+                cell: Arc::clone(cell),
+            };
+        }
+        let mut cells = self.cells.write();
+        let cell = cells
+            .sketches
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(SketchCell::new(alpha)));
+        QuantileSketch {
+            enabled: Arc::clone(&self.enabled),
+            cell: Arc::clone(cell),
+        }
+    }
+
+    /// Resolves the per-second window ring `name` (one minute of
+    /// history, see [`DEFAULT_WINDOW_SLOTS`]).
+    pub fn window(&self, name: &str) -> TimeWindow {
+        if let Some(cell) = self.cells.read().windows.get(name) {
+            return TimeWindow {
+                enabled: Arc::clone(&self.enabled),
+                clock: Arc::clone(&self.clock),
+                cell: Arc::clone(cell),
+            };
+        }
+        let mut cells = self.cells.write();
+        let cell = cells
+            .windows
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(WindowCell::new(DEFAULT_WINDOW_SLOTS)));
+        TimeWindow {
+            enabled: Arc::clone(&self.enabled),
+            clock: Arc::clone(&self.clock),
+            cell: Arc::clone(cell),
+        }
+    }
+
+    /// Resolves the composite latency metric `name`: one histogram, one
+    /// sketch, and one window sharing the name, fed by a single timer.
+    pub fn latency(&self, name: &str) -> LatencyStat {
+        LatencyStat {
+            histogram: self.histogram(name),
+            sketch: self.sketch(name),
+            window: self.window(name),
+        }
+    }
+
+    /// Opens a root span named `name`, subject to head sampling (and
+    /// inert while the registry is disabled).
+    pub fn span(&self, name: &str) -> Span {
+        if !self.is_enabled() {
+            return Span::disabled();
+        }
+        Span::start_root(&self.spans, name, false)
+    }
+
+    /// Opens a root span that bypasses head sampling — for low-rate,
+    /// high-value roots (an attack campaign, a flagged request) that
+    /// must always appear in the trace. Still inert while disabled.
+    pub fn span_forced(&self, name: &str) -> Span {
+        if !self.is_enabled() {
+            return Span::disabled();
+        }
+        Span::start_root(&self.spans, name, true)
+    }
+
+    /// Changes the head-sampling rate to 1-in-`every` (0 disables
+    /// sampling; forced spans still record).
+    pub fn set_span_sample_every(&self, every: u64) {
+        self.spans.set_sample_every(every);
+    }
+
+    /// Samples every root span when `all` is set, regardless of rate.
+    pub fn set_span_sample_all(&self, all: bool) {
+        self.spans.set_sample_all(all);
+    }
+
     /// Appends a structured event to the trace ring (dropped while
     /// disabled).
     pub fn event(&self, name: &str, fields: &[(&str, String)]) {
@@ -136,14 +275,19 @@ impl Registry {
         &self.events
     }
 
-    /// Captures every metric and the retained events as plain data.
+    /// Captures every metric, the retained events, and the retained
+    /// spans as plain data. Ring truncation is surfaced as synthesized
+    /// `trace.dropped_events` / `trace.dropped_spans` counters.
     pub fn snapshot(&self) -> Snapshot {
         let cells = self.cells.read();
-        let counters = cells
+        let mut counters: BTreeMap<String, u64> = cells
             .counters
             .iter()
             .map(|(name, cell)| (name.clone(), cell.value.load(Ordering::Relaxed)))
             .collect();
+        counters.insert("trace.dropped_events".to_string(), self.events.dropped());
+        counters.insert("trace.dropped_spans".to_string(), self.spans.dropped());
+        counters.insert("trace.finished_spans".to_string(), self.spans.finished());
         let gauges = cells
             .gauges
             .iter()
@@ -181,16 +325,32 @@ impl Registry {
                 (name.clone(), snap)
             })
             .collect();
+        let sketches = cells
+            .sketches
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.snapshot()))
+            .collect();
+        let windows = cells
+            .windows
+            .iter()
+            .map(|(name, cell)| (name.clone(), cell.snapshot()))
+            .collect();
         Snapshot {
+            schema: SNAPSHOT_SCHEMA_VERSION,
             counters,
             gauges,
             histograms,
+            sketches,
+            windows,
             events: self.events.drain_copy(),
+            spans: self.spans.drain_copy(),
         }
     }
 
-    /// Zeroes every metric value and clears the event trace; resolved
-    /// handles keep working. Registered names and bucket layouts stay.
+    /// Zeroes every metric value and clears the event trace and span
+    /// ring; resolved handles keep working. Registered names, bucket
+    /// layouts, and sketch alphas stay; span ids keep growing so they
+    /// remain unique across resets.
     pub fn reset(&self) {
         let cells = self.cells.read();
         for cell in cells.counters.values() {
@@ -208,8 +368,15 @@ impl Registry {
             cell.min.store(u64::MAX, Ordering::Relaxed);
             cell.max.store(0, Ordering::Relaxed);
         }
+        for cell in cells.sketches.values() {
+            cell.reset();
+        }
+        for cell in cells.windows.values() {
+            cell.reset();
+        }
         drop(cells);
         self.events.clear();
+        self.spans.clear();
     }
 }
 
@@ -238,17 +405,26 @@ mod tests {
         registry.counter("a.b").add(3);
         registry.gauge("a.g").set(1.5);
         registry.histogram_with_buckets("a.h", &[10]).record(4);
+        registry.sketch("a.s").record(7);
+        registry.window("a.w").record(1);
         registry.event("boot", &[("phase", "one".to_string())]);
+        registry.span_forced("a.root").end();
         registry.reset();
         let snap = registry.snapshot();
         assert_eq!(snap.counters["a.b"], 0);
         assert_eq!(snap.gauges["a.g"], 0.0);
         assert_eq!(snap.histograms["a.h"].count, 0);
         assert_eq!(snap.histograms["a.h"].min, 0);
+        assert_eq!(snap.sketches["a.s"].count, 0);
+        assert!(snap.windows["a.w"].slots.is_empty());
         assert!(snap.events.is_empty());
+        assert!(snap.spans.is_empty());
         // The old handle still points at the registered cell.
         registry.counter("a.b").inc();
         assert_eq!(registry.snapshot().counters["a.b"], 1);
+        // Span ids keep growing across resets.
+        let s = registry.span_forced("a.root");
+        assert!(s.id().unwrap() > 1);
     }
 
     #[test]
@@ -261,5 +437,47 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.histograms["h"].buckets.len(), 4);
         assert_eq!(snap.histograms["h"].count, 2);
+    }
+
+    #[test]
+    fn config_controls_capacities_and_sampling() {
+        let registry = Registry::with_config(ObsConfig {
+            event_capacity: 2,
+            span_capacity: 2,
+            span_sample_every: 1,
+            span_sample_all: false,
+        });
+        for i in 0..5 {
+            registry.event("tick", &[("i", i.to_string())]);
+            registry.span("req").end();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.counter("trace.dropped_events"), 3);
+        assert_eq!(snap.counter("trace.dropped_spans"), 3);
+    }
+
+    #[test]
+    fn disabled_registry_spans_are_inert() {
+        let registry = Registry::new();
+        registry.set_enabled(false);
+        assert!(!registry.span_forced("req").sampled());
+        registry.set_enabled(true);
+        assert!(registry.span_forced("req").sampled());
+    }
+
+    #[test]
+    fn sample_all_overrides_rate() {
+        let registry = Registry::with_config(ObsConfig {
+            span_sample_every: 0,
+            ..ObsConfig::default()
+        });
+        assert!(!registry.span("req").sampled());
+        registry.set_span_sample_all(true);
+        assert!(registry.span("req").sampled());
+        registry.set_span_sample_all(false);
+        registry.set_span_sample_every(1);
+        assert!(registry.span("req").sampled());
     }
 }

@@ -1,8 +1,23 @@
 //! Plain-data capture of a registry's state, serializable to JSON.
+//!
+//! # Schema versioning
+//!
+//! The snapshot JSON carries a `schema` field. Version 1 (PR 1) had
+//! `counters` / `gauges` / `histograms` / `events` only; version 2 adds
+//! `sketches` (log-bucket quantile sketches), `windows` (per-second
+//! ring slots), and `spans` (finished sampled spans). Deserialization
+//! is backward-compatible: a v1 document (no `schema` field) parses
+//! with the new collections empty and `schema == 1`, so `obs-report`
+//! can diff old baselines against new runs.
 
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
+
+use crate::span::SpanRecord;
+
+/// The snapshot JSON schema version written by this build.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
 
 /// One histogram bucket: observations `<= le` (the last bucket has
 /// `le == u64::MAX` and catches overflow).
@@ -39,9 +54,22 @@ impl HistogramSnapshot {
         }
     }
 
+    /// Observations that overflowed past the last finite bound into the
+    /// `+Inf` bucket. These saturate rather than vanish: they still
+    /// drive `max`, `sum`, and `mean`, and [`Self::quantile`] reports
+    /// them at the observed `max` instead of an unbounded sentinel.
+    pub fn overflow(&self) -> u64 {
+        self.buckets
+            .last()
+            .filter(|b| b.le == u64::MAX)
+            .map(|b| b.count)
+            .unwrap_or(0)
+    }
+
     /// Estimates the `q`-quantile (0..=1) from bucket bounds: returns
     /// the upper bound of the bucket containing the target rank,
-    /// clamped into `[min, max]`.
+    /// clamped into `[min, max]` — so overflowed observations saturate
+    /// at the observed maximum.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -58,6 +86,113 @@ impl HistogramSnapshot {
     }
 }
 
+/// One non-empty log bucket of a quantile sketch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SketchBucket {
+    /// Bucket index: holds values `v` with `gamma^(idx-1) < v <= gamma^idx`.
+    pub idx: u32,
+    /// Observations in this bucket.
+    pub count: u64,
+}
+
+/// Captured state of one log-bucket quantile sketch (see
+/// [`crate::QuantileSketch`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SketchSnapshot {
+    /// Relative-error target of the sketch.
+    pub alpha: f64,
+    /// Bucket growth ratio, `(1 + alpha) / (1 - alpha)`.
+    pub gamma: f64,
+    /// Total observations (zeros included).
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Observations equal to zero.
+    pub zero: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets, ascending by index.
+    pub buckets: Vec<SketchBucket>,
+}
+
+impl SketchSnapshot {
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (0..=1). The estimate is within
+    /// `alpha` relative error of the true rank value, clamped into
+    /// `[min, max]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.zero;
+        if seen >= target {
+            return 0;
+        }
+        for bucket in &self.buckets {
+            seen += bucket.count;
+            if seen >= target {
+                let est = 2.0 * self.gamma.powi(bucket.idx as i32) / (self.gamma + 1.0);
+                return (est.round() as u64).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// One live per-second slot of a window ring.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSlot {
+    /// The second this slot covers (since the registry's clock started).
+    pub sec: u64,
+    /// Observations in that second.
+    pub count: u64,
+    /// Sum of observed values in that second.
+    pub sum: u64,
+}
+
+/// Captured state of one window ring (see [`crate::TimeWindow`]):
+/// per-second counts and sums, ascending by second.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSnapshot {
+    /// Width of each slot in seconds (currently always 1).
+    pub slot_secs: u64,
+    /// Live slots, ascending by `sec`.
+    pub slots: Vec<WindowSlot>,
+}
+
+impl WindowSnapshot {
+    /// Observations across all live slots.
+    pub fn total_count(&self) -> u64 {
+        self.slots.iter().map(|s| s.count).sum()
+    }
+
+    /// Sum of values across all live slots.
+    pub fn total_sum(&self) -> u64 {
+        self.slots.iter().map(|s| s.sum).sum()
+    }
+
+    /// Mean observations per second over the covered span (first to
+    /// last live second, inclusive); 0 when empty.
+    pub fn rate_per_sec(&self) -> f64 {
+        let (Some(first), Some(last)) = (self.slots.first(), self.slots.last()) else {
+            return 0.0;
+        };
+        let secs = (last.sec - first.sec + 1) as f64;
+        self.total_count() as f64 / secs
+    }
+}
+
 /// One structured event from the trace ring.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EventRecord {
@@ -70,17 +205,81 @@ pub struct EventRecord {
 }
 
 /// Full captured state of a [`crate::Registry`]: every counter, gauge,
-/// and histogram by name, plus the retained event trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+/// histogram, sketch, and window by name, plus the retained event trace
+/// and finished sampled spans.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Snapshot {
+    /// Schema version of this document (see
+    /// [`SNAPSHOT_SCHEMA_VERSION`]).
+    pub schema: u32,
     /// Counter values by metric name.
     pub counters: BTreeMap<String, u64>,
     /// Gauge values by metric name.
     pub gauges: BTreeMap<String, f64>,
     /// Histogram states by metric name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Quantile-sketch states by metric name (schema ≥ 2).
+    pub sketches: BTreeMap<String, SketchSnapshot>,
+    /// Window-ring states by metric name (schema ≥ 2).
+    pub windows: BTreeMap<String, WindowSnapshot>,
     /// Retained events, oldest first.
     pub events: Vec<EventRecord>,
+    /// Retained finished spans, oldest first (schema ≥ 2).
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Snapshot {
+            schema: SNAPSHOT_SCHEMA_VERSION,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            sketches: BTreeMap::new(),
+            windows: BTreeMap::new(),
+            events: Vec::new(),
+            spans: Vec::new(),
+        }
+    }
+}
+
+// Hand-written so v1 documents (no `schema`, `sketches`, `windows`, or
+// `spans` fields) still parse; the vendored serde derive requires every
+// field to be present.
+impl Deserialize for Snapshot {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for Snapshot"))?;
+        fn required<T: Deserialize>(obj: &serde::Map, key: &str) -> Result<T, serde::Error> {
+            Deserialize::deserialize(
+                obj.get(key)
+                    .ok_or_else(|| serde::Error::missing_field(key))?,
+            )
+        }
+        fn optional<T: Deserialize + Default>(
+            obj: &serde::Map,
+            key: &str,
+        ) -> Result<T, serde::Error> {
+            match obj.get(key) {
+                Some(v) => Deserialize::deserialize(v),
+                None => Ok(T::default()),
+            }
+        }
+        Ok(Snapshot {
+            schema: match obj.get("schema") {
+                Some(v) => Deserialize::deserialize(v)?,
+                None => 1,
+            },
+            counters: required(obj, "counters")?,
+            gauges: required(obj, "gauges")?,
+            histograms: required(obj, "histograms")?,
+            sketches: optional(obj, "sketches")?,
+            windows: optional(obj, "windows")?,
+            events: required(obj, "events")?,
+            spans: optional(obj, "spans")?,
+        })
+    }
 }
 
 impl Snapshot {
@@ -89,7 +288,7 @@ impl Snapshot {
         serde_json::to_string_pretty(self).expect("snapshot serializes")
     }
 
-    /// Parses a snapshot from JSON text.
+    /// Parses a snapshot from JSON text (schema 1 or 2).
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(json)
     }
@@ -102,6 +301,17 @@ impl Snapshot {
     /// Gauge value, 0 when absent.
     pub fn gauge(&self, name: &str) -> f64 {
         self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Estimates the `q`-quantile of metric `name`, preferring the
+    /// sketch (tight relative error) and falling back to the
+    /// fixed-bucket histogram. `None` when the metric exists in
+    /// neither map.
+    pub fn quantile_ns(&self, name: &str, q: f64) -> Option<u64> {
+        if let Some(sketch) = self.sketches.get(name) {
+            return Some(sketch.quantile(q));
+        }
+        self.histograms.get(name).map(|h| h.quantile(q))
     }
 }
 
@@ -129,6 +339,7 @@ mod tests {
         assert_eq!(hist.quantile(0.8), 20);
         assert_eq!(hist.quantile(1.0), 40); // overflow bound clamps to max
         assert_eq!(hist.mean(), 10.0);
+        assert_eq!(hist.overflow(), 2);
     }
 
     #[test]
@@ -152,12 +363,106 @@ mod tests {
                 ],
             },
         );
+        snapshot.sketches.insert(
+            "a.s".to_string(),
+            SketchSnapshot {
+                alpha: 0.01,
+                gamma: 1.01 / 0.99,
+                count: 1,
+                sum: 100,
+                zero: 0,
+                min: 100,
+                max: 100,
+                buckets: vec![SketchBucket { idx: 231, count: 1 }],
+            },
+        );
+        snapshot.windows.insert(
+            "a.w".to_string(),
+            WindowSnapshot {
+                slot_secs: 1,
+                slots: vec![WindowSlot {
+                    sec: 3,
+                    count: 4,
+                    sum: 40,
+                }],
+            },
+        );
         snapshot.events.push(EventRecord {
             seq: 3,
             name: "phase.start".to_string(),
             fields: vec![("phase".to_string(), "crawl".to_string())],
         });
+        snapshot.spans.push(SpanRecord {
+            id: 1,
+            parent: 0,
+            name: "req".to_string(),
+            thread: 1,
+            start_ns: 10,
+            end_ns: 25,
+            attrs: vec![("user".to_string(), "7".to_string())],
+            events: vec![crate::SpanEventRecord {
+                at_ns: 12,
+                name: "flag".to_string(),
+            }],
+        });
         let back = Snapshot::from_json(&snapshot.to_json()).unwrap();
         assert_eq!(back, snapshot);
+        assert_eq!(back.schema, SNAPSHOT_SCHEMA_VERSION);
+    }
+
+    #[test]
+    fn v1_documents_still_parse() {
+        // A schema-1 snapshot as PR 1 wrote them: no schema, sketches,
+        // windows, or spans fields.
+        let v1 = r#"{
+            "counters": {"server.checkin.accepted": 5},
+            "gauges": {"crawler.throughput.users_per_hour": 98000.0},
+            "histograms": {
+                "server.checkin.total": {
+                    "count": 1, "sum": 512, "min": 512, "max": 512,
+                    "buckets": [
+                        {"le": 1024, "count": 1},
+                        {"le": 18446744073709551615, "count": 0}
+                    ]
+                }
+            },
+            "events": []
+        }"#;
+        let snap = Snapshot::from_json(v1).unwrap();
+        assert_eq!(snap.schema, 1);
+        assert_eq!(snap.counter("server.checkin.accepted"), 5);
+        assert!(snap.sketches.is_empty());
+        assert!(snap.windows.is_empty());
+        assert!(snap.spans.is_empty());
+        // quantile_ns falls back to the histogram for v1 documents.
+        assert_eq!(snap.quantile_ns("server.checkin.total", 0.99), Some(512));
+        assert_eq!(snap.quantile_ns("absent.metric", 0.5), None);
+    }
+
+    #[test]
+    fn window_rates() {
+        let w = WindowSnapshot {
+            slot_secs: 1,
+            slots: vec![
+                WindowSlot {
+                    sec: 2,
+                    count: 10,
+                    sum: 100,
+                },
+                WindowSlot {
+                    sec: 5,
+                    count: 2,
+                    sum: 20,
+                },
+            ],
+        };
+        assert_eq!(w.total_count(), 12);
+        assert_eq!(w.total_sum(), 120);
+        assert!((w.rate_per_sec() - 3.0).abs() < 1e-9);
+        let empty = WindowSnapshot {
+            slot_secs: 1,
+            slots: vec![],
+        };
+        assert_eq!(empty.rate_per_sec(), 0.0);
     }
 }

@@ -17,6 +17,7 @@ use crate::snapshot::EventRecord;
 pub struct EventTrace {
     capacity: usize,
     seq: AtomicU64,
+    dropped: AtomicU64,
     ring: Mutex<VecDeque<EventRecord>>,
 }
 
@@ -27,8 +28,14 @@ impl EventTrace {
         EventTrace {
             capacity,
             seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
             ring: Mutex::new(VecDeque::with_capacity(capacity)),
         }
+    }
+
+    /// Retention limit this trace was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Appends an event, evicting the oldest once full. The sequence
@@ -46,6 +53,7 @@ impl EventTrace {
         let mut ring = self.ring.lock();
         if ring.len() == self.capacity {
             ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(record);
     }
@@ -65,14 +73,22 @@ impl EventTrace {
         self.seq.load(Ordering::Relaxed)
     }
 
+    /// Events evicted from the ring — exposed in snapshots as the
+    /// `trace.dropped_events` counter so truncation is never silent.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     /// Copies the retained events, oldest first.
     pub fn drain_copy(&self) -> Vec<EventRecord> {
         self.ring.lock().iter().cloned().collect()
     }
 
-    /// Discards all retained events (the sequence counter keeps going).
+    /// Discards all retained events and zeroes the dropped tally (the
+    /// sequence counter keeps going).
     pub fn clear(&self) {
         self.ring.lock().clear();
+        self.dropped.store(0, Ordering::Relaxed);
     }
 }
 
@@ -91,6 +107,10 @@ mod tests {
         assert_eq!(events[0].seq, 2);
         assert_eq!(events[2].seq, 4);
         assert_eq!(trace.total_recorded(), 5);
+        assert_eq!(trace.dropped(), 2);
         assert_eq!(events[0].fields, vec![("i".to_string(), "2".to_string())]);
+        trace.clear();
+        assert_eq!(trace.dropped(), 0);
+        assert_eq!(trace.capacity(), 3);
     }
 }

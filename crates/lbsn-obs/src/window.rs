@@ -1,0 +1,184 @@
+//! Windowed time series: a fixed ring of per-second slots.
+//!
+//! A [`TimeWindow`] answers "what happened in the last N seconds" —
+//! event rate and value throughput per second — which is what separates
+//! a tail-latency regression from a load artifact. Each registry owns a
+//! monotonic [`ObsClock`]; recording maps the current second onto a
+//! fixed slot ring and bumps two relaxed atomics, so the hot path stays
+//! lock-free. A slot is lazily recycled the first time a new second
+//! lands on it; the reset is advisory (a racing recorder on the exact
+//! boundary may lose one observation), which is acceptable for
+//! telemetry and keeps the path free of CAS loops.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::snapshot::{WindowSlot, WindowSnapshot};
+
+/// Slots in a default window ring: one minute of per-second history.
+pub const DEFAULT_WINDOW_SLOTS: usize = 60;
+
+/// The registry's monotonic time base: nanoseconds since the registry
+/// was created. Spans and windows share one instance so their
+/// timestamps line up in exports.
+pub(crate) struct ObsClock {
+    start: Instant,
+}
+
+impl ObsClock {
+    pub(crate) fn new() -> Self {
+        ObsClock {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the clock (registry) was created.
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+struct Slot {
+    /// Slot-second + 1 (0 marks a never-used slot).
+    epoch: AtomicU64,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+pub(crate) struct WindowCell {
+    slots: Vec<Slot>,
+}
+
+impl WindowCell {
+    pub(crate) fn new(slots: usize) -> Self {
+        assert!(slots > 0, "window needs at least one slot");
+        WindowCell {
+            slots: (0..slots)
+                .map(|_| Slot {
+                    epoch: AtomicU64::new(0),
+                    count: AtomicU64::new(0),
+                    sum: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    pub(crate) fn record_at(&self, now_ns: u64, value: u64) {
+        let sec = now_ns / 1_000_000_000;
+        let epoch = sec + 1;
+        let slot = &self.slots[(sec as usize) % self.slots.len()];
+        if slot.epoch.load(Ordering::Relaxed) != epoch {
+            let prev = slot.epoch.swap(epoch, Ordering::Relaxed);
+            if prev != epoch {
+                slot.count.store(0, Ordering::Relaxed);
+                slot.sum.store(0, Ordering::Relaxed);
+            }
+        }
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    pub(crate) fn reset(&self) {
+        for slot in &self.slots {
+            slot.epoch.store(0, Ordering::Relaxed);
+            slot.count.store(0, Ordering::Relaxed);
+            slot.sum.store(0, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn snapshot(&self) -> WindowSnapshot {
+        let mut slots: Vec<WindowSlot> = self
+            .slots
+            .iter()
+            .filter(|s| s.epoch.load(Ordering::Relaxed) != 0)
+            .map(|s| WindowSlot {
+                sec: s.epoch.load(Ordering::Relaxed) - 1,
+                count: s.count.load(Ordering::Relaxed),
+                sum: s.sum.load(Ordering::Relaxed),
+            })
+            .collect();
+        slots.sort_by_key(|s| s.sec);
+        WindowSnapshot {
+            slot_secs: 1,
+            slots,
+        }
+    }
+}
+
+/// A named per-second window ring behind a cheap cloneable handle.
+/// Resolved through [`crate::Registry::window`]; recording is two
+/// relaxed atomic RMWs plus the registry's enabled check.
+#[derive(Clone)]
+pub struct TimeWindow {
+    pub(crate) enabled: Arc<AtomicBool>,
+    pub(crate) clock: Arc<ObsClock>,
+    pub(crate) cell: Arc<WindowCell>,
+}
+
+impl TimeWindow {
+    /// Records one observation (count +1, sum +`value`) in the current
+    /// second's slot.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.cell.record_at(self.clock.now_ns(), value);
+        }
+    }
+
+    /// Captures the live slots as plain data.
+    pub fn snapshot(&self) -> WindowSnapshot {
+        self.cell.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_accumulate_within_a_second() {
+        let cell = WindowCell::new(8);
+        for v in [5u64, 7, 9] {
+            cell.record_at(100, v);
+        }
+        let snap = cell.snapshot();
+        assert_eq!(snap.slots.len(), 1);
+        assert_eq!(snap.slots[0].sec, 0);
+        assert_eq!(snap.slots[0].count, 3);
+        assert_eq!(snap.slots[0].sum, 21);
+    }
+
+    #[test]
+    fn seconds_land_in_distinct_slots() {
+        let cell = WindowCell::new(8);
+        cell.record_at(0, 1);
+        cell.record_at(1_500_000_000, 2);
+        cell.record_at(3_000_000_000, 3);
+        let snap = cell.snapshot();
+        let secs: Vec<u64> = snap.slots.iter().map(|s| s.sec).collect();
+        assert_eq!(secs, vec![0, 1, 3]);
+        assert_eq!(snap.total_count(), 3);
+        assert_eq!(snap.total_sum(), 6);
+    }
+
+    #[test]
+    fn old_slots_are_recycled_after_wrap() {
+        let cell = WindowCell::new(4);
+        cell.record_at(0, 10);
+        // Second 4 maps onto second 0's slot and evicts it.
+        cell.record_at(4_000_000_000, 20);
+        let snap = cell.snapshot();
+        assert_eq!(snap.slots.len(), 1);
+        assert_eq!(snap.slots[0].sec, 4);
+        assert_eq!(snap.slots[0].sum, 20);
+    }
+
+    #[test]
+    fn reset_clears_all_slots() {
+        let cell = WindowCell::new(4);
+        cell.record_at(0, 1);
+        cell.reset();
+        assert!(cell.snapshot().slots.is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! Property test: sketch quantile estimates stay within the
+//! configured relative-error bound of a sorted-vector oracle.
+//!
+//! The sketch is DDSketch-style with α = 0.01, so any estimated
+//! quantile must land within ~1% of the true value; we allow 2% to
+//! absorb the integer rounding of the bucket-midpoint estimator.
+
+use lbsn_obs::Registry;
+use proptest::prelude::*;
+
+/// The true quantile: nearest-rank over the sorted samples, matching
+/// the sketch's `ceil(q * count)` rank convention.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sketch_quantiles_track_oracle_within_relative_error(
+        samples in prop::collection::vec(1u64..10_000_000_000, 1..400),
+        q in 0.01f64..1.0,
+    ) {
+        let registry = Registry::new();
+        let sketch = registry.sketch("prop.lat");
+        for &s in &samples {
+            sketch.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        let estimated = sketch.quantile(q) as f64;
+        let truth = oracle_quantile(&sorted, q) as f64;
+        let rel = (estimated - truth).abs() / truth;
+        prop_assert!(
+            rel <= 0.02,
+            "q={q:.3}: estimated {estimated} vs oracle {truth} (rel err {rel:.4}) over {} samples",
+            samples.len()
+        );
+    }
+
+    #[test]
+    fn sketch_extremes_stay_in_observed_range(
+        samples in prop::collection::vec(1u64..1_000_000_000, 1..200),
+    ) {
+        let registry = Registry::new();
+        let sketch = registry.sketch("prop.extremes");
+        for &s in &samples {
+            sketch.record(s);
+        }
+        let min = *samples.iter().min().unwrap() as f64;
+        let max = *samples.iter().max().unwrap() as f64;
+        // Estimates clamp into the observed [min, max] envelope, and
+        // the tails sit within the error bound of the true extremes.
+        let p0 = sketch.quantile(0.0) as f64;
+        let p100 = sketch.quantile(1.0) as f64;
+        prop_assert!(p0 >= min && p0 <= max, "p0 {p0} outside [{min}, {max}]");
+        prop_assert!(p100 >= min && p100 <= max, "p100 {p100} outside [{min}, {max}]");
+        prop_assert!((p0 - min).abs() / min <= 0.02, "p0 {p0} vs min {min}");
+        prop_assert!((p100 - max).abs() / max <= 0.02, "p100 {p100} vs max {max}");
+    }
+
+    #[test]
+    fn sketch_snapshot_quantiles_match_live_reads(
+        samples in prop::collection::vec(0u64..100_000_000, 1..200),
+    ) {
+        let registry = Registry::new();
+        let sketch = registry.sketch("prop.snap");
+        for &s in &samples {
+            sketch.record(s);
+        }
+        let snap = registry.snapshot();
+        let stored = snap.sketches.get("prop.snap").expect("sketch in snapshot");
+        for q in [0.5, 0.95, 0.99] {
+            prop_assert_eq!(stored.quantile(q), sketch.quantile(q));
+        }
+        prop_assert_eq!(stored.count, samples.len() as u64);
+    }
+}

@@ -1,0 +1,93 @@
+//! Concurrency stress: eight threads hammer one registry's span sink
+//! and no span id is ever lost or duplicated.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use lbsn_obs::{ObsConfig, Registry};
+
+const THREADS: usize = 8;
+const ROOTS_PER_THREAD: usize = 200;
+const CHILDREN_PER_ROOT: usize = 2;
+
+#[test]
+fn eight_threads_no_lost_or_duplicate_span_ids() {
+    let total = THREADS * ROOTS_PER_THREAD * (1 + CHILDREN_PER_ROOT);
+    let registry = Arc::new(Registry::with_config(ObsConfig {
+        span_capacity: total + 64,
+        span_sample_all: true,
+        ..ObsConfig::default()
+    }));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let registry = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                let mut ids = Vec::with_capacity(ROOTS_PER_THREAD * (1 + CHILDREN_PER_ROOT));
+                for i in 0..ROOTS_PER_THREAD {
+                    let mut root = registry.span("stress.root");
+                    root.attr("thread", t);
+                    root.attr("iter", i);
+                    ids.push(root.id().expect("sample_all keeps every root"));
+                    for _ in 0..CHILDREN_PER_ROOT {
+                        let mut child = root.child("stress.child");
+                        child.event("tick");
+                        ids.push(child.id().expect("sampled parent keeps children"));
+                        child.end();
+                    }
+                    root.end();
+                }
+                ids
+            })
+        })
+        .collect();
+
+    let mut handed_out: Vec<u64> = Vec::with_capacity(total);
+    for h in handles {
+        handed_out.extend(h.join().expect("stress thread panicked"));
+    }
+    assert_eq!(handed_out.len(), total);
+    let unique: HashSet<u64> = handed_out.iter().copied().collect();
+    assert_eq!(unique.len(), total, "duplicate span ids handed out");
+
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.counter("trace.finished_spans"), total as u64);
+    assert_eq!(snapshot.counter("trace.dropped_spans"), 0);
+    assert_eq!(snapshot.spans.len(), total, "sink lost finished spans");
+
+    let recorded: HashSet<u64> = snapshot.spans.iter().map(|s| s.id).collect();
+    assert_eq!(recorded.len(), total, "duplicate span ids in the sink");
+    assert_eq!(recorded, unique, "sink ids differ from handed-out ids");
+
+    // Every child's parent is a recorded root, and spans stay on the
+    // thread that opened them.
+    let by_id: HashMap<u64, &lbsn_obs::SpanRecord> =
+        snapshot.spans.iter().map(|s| (s.id, s)).collect();
+    for span in &snapshot.spans {
+        if span.parent != 0 {
+            let parent = by_id[&span.parent];
+            assert_eq!(parent.name, "stress.root");
+            assert_eq!(parent.thread, span.thread, "child migrated threads");
+        }
+    }
+}
+
+#[test]
+fn sampled_subset_never_reuses_ids_across_reset() {
+    let registry = Registry::with_config(ObsConfig {
+        span_sample_every: 7,
+        ..ObsConfig::default()
+    });
+    let mut before = HashSet::new();
+    for _ in 0..100 {
+        if let Some(id) = registry.span("phase.a").id() {
+            before.insert(id);
+        }
+    }
+    registry.reset();
+    for _ in 0..100 {
+        if let Some(id) = registry.span("phase.b").id() {
+            assert!(!before.contains(&id), "span id {id} reused after reset");
+        }
+    }
+}

@@ -8,7 +8,7 @@
 //!
 //! | metric | kind | meaning |
 //! |---|---|---|
-//! | `server.checkin.total` | histogram (ns) | whole-pipeline latency |
+//! | `server.checkin.total` | histogram + sketch + window (ns) | whole-pipeline latency |
 //! | `server.checkin.stage.cheater_code` | histogram (ns) | GPS verify + cheater-code rules |
 //! | `server.checkin.stage.record` | histogram (ns) | history append + flag bookkeeping |
 //! | `server.checkin.stage.rewards` | histogram (ns) | mayorship, badges, points, specials |
@@ -22,15 +22,16 @@
 
 use std::sync::Arc;
 
-use lbsn_obs::{Counter, Histogram, Registry};
+use lbsn_obs::{Counter, Histogram, LatencyStat, Registry};
 
 use crate::checkin::CheatFlag;
 
 /// Handles for every metric the server emits.
 pub struct ServerMetrics {
     registry: Arc<Registry>,
-    /// Whole check-in pipeline latency, nanoseconds.
-    pub checkin_total: Histogram,
+    /// Whole check-in pipeline latency, nanoseconds — histogram plus
+    /// quantile sketch plus per-second window under one name.
+    pub checkin_total: LatencyStat,
     /// Stage 1: GPS verification + cheater-code rule evaluation.
     pub stage_cheater_code: Histogram,
     /// Stage 2: recording the check-in and flag bookkeeping.
@@ -61,7 +62,7 @@ impl ServerMetrics {
     pub fn new(registry: Arc<Registry>) -> Self {
         let r = &registry;
         ServerMetrics {
-            checkin_total: r.histogram("server.checkin.total"),
+            checkin_total: r.latency("server.checkin.total"),
             stage_cheater_code: r.histogram("server.checkin.stage.cheater_code"),
             stage_record: r.histogram("server.checkin.stage.record"),
             stage_rewards: r.histogram("server.checkin.stage.rewards"),

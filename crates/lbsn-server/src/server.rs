@@ -215,9 +215,16 @@ impl LbsnServer {
         let vidx = id_index(req.venue.value(), s.venues.len())
             .ok_or(CheckinError::UnknownVenue(req.venue))?;
         let total_timer = self.metrics.checkin_total.start_timer();
+        // One root span per check-in (head-sampled); stages become
+        // children and cheater flags become span events, so a sampled
+        // request can be followed end to end in chrome://tracing.
+        let mut span = self.metrics.registry().span("server.checkin");
+        span.attr("user", req.user.value());
+        span.attr("venue", req.venue.value());
 
         // 1. Judge the check-in with immutable borrows. A branded
         // account is rejected outright.
+        let stage_span = span.child("server.checkin.stage.cheater_code");
         let stage = self.metrics.stage_cheater_code.start_timer();
         let flags = if s.users[uidx].branded_cheater {
             vec![crate::CheatFlag::AccountFlagged]
@@ -231,11 +238,14 @@ impl LbsnServer {
             self.cheater_code.evaluate(&ctx)
         };
         stage.stop();
+        stage_span.end();
         for &flag in &flags {
             self.metrics.flag_counter(flag).inc();
+            span.event_with(|| format!("flag.{flag:?}"));
         }
 
         // 2. Record it (always — totals include flagged check-ins).
+        let mut stage_span = span.child("server.checkin.stage.record");
         let stage = self.metrics.stage_record.start_timer();
         let rewarded = flags.is_empty();
         let record = CheckinRecord {
@@ -270,6 +280,7 @@ impl LbsnServer {
                 if !s.users[uidx].branded_cheater && s.users[uidx].flagged_checkins >= threshold {
                     s.users[uidx].branded_cheater = true;
                     self.metrics.branded.inc();
+                    stage_span.event("account.branded");
                     self.metrics.registry().event(
                         "server.account.branded",
                         &[
@@ -291,6 +302,7 @@ impl LbsnServer {
                 }
             }
             stage.stop();
+            stage_span.end();
             total_timer.stop();
             return Ok(CheckinOutcome {
                 user: req.user,
@@ -306,9 +318,11 @@ impl LbsnServer {
         }
 
         stage.stop();
+        stage_span.end();
         self.metrics.accepted.inc();
 
         // 3. Apply the valid check-in to user and venue state.
+        let stage_span = span.child("server.checkin.stage.rewards");
         let stage = self.metrics.stage_rewards.start_timer();
         {
             let user = &mut s.users[uidx];
@@ -388,6 +402,7 @@ impl LbsnServer {
         self.metrics.badges_granted.add(new_badges.len() as u64);
         self.metrics.points_granted.add(points);
         stage.stop();
+        stage_span.end();
         total_timer.stop();
 
         Ok(CheckinOutcome {
