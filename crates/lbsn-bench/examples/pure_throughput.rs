@@ -1,0 +1,10 @@
+//! One-off pure single-thread throughput probe (sharded engine).
+use lbsn_bench::throughput::{run, ThroughputConfig, Workload};
+fn main() {
+    let ops: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let r = run(&ThroughputConfig::pure(Workload::DistinctUsers, 1, ops));
+    println!("{:.1}", r.checkins_per_sec);
+}

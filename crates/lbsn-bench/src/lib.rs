@@ -25,3 +25,4 @@ pub mod experiments;
 pub mod harness;
 pub mod obsreport;
 pub mod report;
+pub mod throughput;

@@ -196,6 +196,18 @@ impl LatencyStat {
         self.window.record(nanos);
     }
 
+    /// Records a zero-valued observation into the histogram and sketch
+    /// views only, skipping the window's clock read — for ultra-hot
+    /// fast paths whose observation is known to be 0 (e.g. uncontended
+    /// lock acquisitions). Quantiles stay exact; the window view then
+    /// counts only the slow-path (nonzero) observations, i.e. it
+    /// becomes a contention-rate-over-time signal.
+    #[inline]
+    pub fn record_zero(&self) {
+        self.histogram.record(0);
+        self.sketch.record(0);
+    }
+
     /// Starts a timer that records elapsed nanoseconds into all three
     /// views when dropped. Inert when the registry is disabled.
     #[inline]

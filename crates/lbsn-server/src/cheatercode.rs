@@ -367,7 +367,9 @@ mod tests {
 
     fn user_with(records: Vec<CheckinRecord>) -> User {
         let mut u = User::from_spec(UserId(1), UserSpec::anonymous(), Timestamp(0));
-        u.history = records;
+        for r in records {
+            u.push_record(r);
+        }
         u
     }
 

@@ -31,6 +31,7 @@ mod ids;
 pub mod metrics;
 pub mod rewards;
 mod server;
+mod shard;
 mod user;
 mod venue;
 pub mod web;

@@ -19,10 +19,12 @@
 //! | `server.rewards.badges_granted` | counter | badges awarded |
 //! | `server.rewards.mayorships_granted` | counter | mayorship handovers |
 //! | `server.rewards.points_granted` | counter | points awarded |
+//! | `server.shard.lock_wait` | histogram + sketch + window (ns) | shard-lock acquisition wait (0 on the uncontended fast path) |
+//! | `server.shard.count` | gauge | configured lock-stripe count |
 
 use std::sync::Arc;
 
-use lbsn_obs::{Counter, Histogram, LatencyStat, Registry};
+use lbsn_obs::{Counter, Gauge, Histogram, LatencyStat, Registry};
 
 use crate::checkin::CheatFlag;
 
@@ -55,6 +57,13 @@ pub struct ServerMetrics {
     pub mayorships_granted: Counter,
     /// Points awarded.
     pub points_granted: Counter,
+    /// Shard-lock acquisition wait, nanoseconds. Uncontended try-lock
+    /// acquisitions record 0 without reading the clock, so the stat's
+    /// p99 is a direct contention signal bounded by the SLO gate.
+    pub shard_lock_wait: LatencyStat,
+    /// Number of lock stripes over user/venue state (set once at
+    /// construction).
+    pub shard_count: Gauge,
 }
 
 impl ServerMetrics {
@@ -77,6 +86,8 @@ impl ServerMetrics {
             badges_granted: r.counter("server.rewards.badges_granted"),
             mayorships_granted: r.counter("server.rewards.mayorships_granted"),
             points_granted: r.counter("server.rewards.points_granted"),
+            shard_lock_wait: r.latency("server.shard.lock_wait"),
+            shard_count: r.gauge("server.shard.count"),
             registry,
         }
     }

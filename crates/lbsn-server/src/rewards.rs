@@ -314,7 +314,7 @@ mod tests {
     /// Appends a valid check-in directly to the user's state (test
     /// shortcut bypassing the server pipeline).
     fn add_valid(u: &mut User, venue: u64, at: u64) {
-        u.history.push(CheckinRecord {
+        u.push_record(CheckinRecord {
             venue: VenueId(venue),
             at: Timestamp(at),
             location: loc(),
@@ -322,7 +322,6 @@ mod tests {
             rewarded: true,
             flags: vec![],
         });
-        u.total_checkins += 1;
         u.valid_checkins += 1;
         u.visited_venues.insert(VenueId(venue));
     }

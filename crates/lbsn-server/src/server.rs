@@ -1,20 +1,39 @@
 //! The LBSN server: registration, the check-in pipeline, and state access.
+//!
+//! # Concurrency model
+//!
+//! Server state is lock-striped, not monolithic: users and venues each
+//! live in a [`ShardedVec`] — a power-of-two number of independently
+//! locked shards, id-hashed — so the §2 check-in pipeline runs in
+//! parallel across shards while §3.2-style crawler threads scrape read
+//! paths that only touch the shards they need. The deadlock-freedom
+//! rules (user shards before venue shards, ascending order within a
+//! family, at most one venue shard at a time, side maps as leaf locks)
+//! are documented on [`crate::shard`] and in DESIGN.md.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use lbsn_geo::{GeoGrid, GeoPoint, Meters};
 use lbsn_obs::Registry;
 use lbsn_sim::{SimClock, Timestamp, DAY};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 
 use crate::cheatercode::{CheaterCode, CheaterCodeConfig, RuleContext};
 use crate::checkin::{CheckinError, CheckinOutcome, CheckinRecord, CheckinRequest};
 use crate::metrics::ServerMetrics;
-use crate::rewards::{decide_mayor, evaluate_badges, PointsPolicy};
+use crate::rewards::{decide_mayor, evaluate_badges, PointsPolicy, VenueLookup};
+use crate::shard::{ShardedVec, WriteSet};
 use crate::user::{User, UserSpec};
-use crate::venue::{SpecialKind, Venue, VenueSpec};
+use crate::venue::{SpecialKind, Venue, VenueCategory, VenueSpec};
 use crate::{UserId, VenueId};
+
+/// After this many optimistic lock-set retries (the venue's mayor kept
+/// hopping to shards outside the held set), fall back to locking every
+/// user shard — slow but guaranteed to converge.
+const MAYOR_LOCK_RETRIES: u32 = 3;
 
 /// Server-wide configuration.
 #[derive(Debug, Clone)]
@@ -33,6 +52,10 @@ pub struct ServerConfig {
     /// disables branding (per-check-in judgement only). Models §4.2's
     /// caught cohort, whose check-ins "yielded no rewards" wholesale.
     pub account_flag_threshold: Option<u64>,
+    /// Lock-stripe width for user and venue state. Rounded up to a
+    /// power of two (minimum 1) at construction; exposed as the
+    /// `server.shard.count` gauge.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -42,23 +65,17 @@ impl Default for ServerConfig {
             points: PointsPolicy::default(),
             recent_visitors_len: 10,
             account_flag_threshold: Some(10),
+            shards: 16,
         }
     }
-}
-
-struct State {
-    users: Vec<User>,
-    venues: Vec<Venue>,
-    usernames: HashMap<String, UserId>,
-    venue_grid: GeoGrid<VenueId>,
 }
 
 /// The simulated location-based social network service.
 ///
 /// Thread-safe: the crawler hammers the read paths from worker threads
-/// while the simulation drives check-ins. All mutation funnels through
-/// [`LbsnServer::check_in`], which reproduces the full §2 pipeline:
-/// GPS verification → cheater code → rewards.
+/// while check-ins run concurrently on every shard pair. All mutation
+/// funnels through [`LbsnServer::check_in`], which reproduces the full
+/// §2 pipeline: GPS verification → cheater code → rewards.
 ///
 /// ```
 /// use lbsn_server::{CheckinRequest, CheckinSource, LbsnServer, ServerConfig, UserSpec, VenueSpec};
@@ -87,17 +104,44 @@ pub struct LbsnServer {
     config: ServerConfig,
     cheater_code: CheaterCode,
     metrics: ServerMetrics,
-    state: RwLock<State>,
+    users: ShardedVec<User>,
+    venues: ShardedVec<Venue>,
+    /// Vanity-name resolution (leaf lock).
+    usernames: RwLock<HashMap<String, UserId>>,
+    /// Spatial index for `venues_near` (leaf lock) — read paths never
+    /// touch a venue shard just to find ids near a point.
+    venue_grid: RwLock<GeoGrid<VenueId>>,
+    /// Per-venue category, append-only (leaf lock). Categories are
+    /// immutable after registration, so badge evaluation reads this
+    /// table instead of locking arbitrary venue shards mid-check-in.
+    venue_categories: RwLock<Vec<VenueCategory>>,
+    /// Serializes user registration so shard slots fill densely in id
+    /// order. Holds the count of registered users.
+    user_reg: Mutex<u64>,
+    /// Serializes venue registration; holds the registered count.
+    venue_reg: Mutex<u64>,
+    user_count: AtomicU64,
+    venue_count: AtomicU64,
 }
 
 impl std::fmt::Debug for LbsnServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = self.state.read();
         f.debug_struct("LbsnServer")
-            .field("users", &s.users.len())
-            .field("venues", &s.venues.len())
+            .field("users", &self.user_count())
+            .field("venues", &self.venue_count())
+            .field("shards", &self.users.shard_count())
             .field("cheater_code", &self.cheater_code)
             .finish()
+    }
+}
+
+/// Category lookup backed by the server's append-only category table.
+struct CategoryTable<'a>(&'a [VenueCategory]);
+
+impl VenueLookup for CategoryTable<'_> {
+    fn category_of(&self, venue: VenueId) -> Option<VenueCategory> {
+        let idx = venue.value().checked_sub(1)? as usize;
+        self.0.get(idx).copied()
     }
 }
 
@@ -113,17 +157,25 @@ impl LbsnServer {
     /// isolated from each other.
     pub fn with_registry(clock: SimClock, config: ServerConfig, registry: Arc<Registry>) -> Self {
         let cheater_code = CheaterCode::from_config(&config.cheater_code);
+        let metrics = ServerMetrics::new(registry);
+        let shards = config.shards.max(1).next_power_of_two();
+        metrics.shard_count.set(shards as f64);
+        let users = ShardedVec::new(shards, metrics.shard_lock_wait.clone());
+        let venues = ShardedVec::new(shards, metrics.shard_lock_wait.clone());
         LbsnServer {
             clock,
             config,
             cheater_code,
-            metrics: ServerMetrics::new(registry),
-            state: RwLock::new(State {
-                users: Vec::new(),
-                venues: Vec::new(),
-                usernames: HashMap::new(),
-                venue_grid: GeoGrid::new(1_000.0),
-            }),
+            metrics,
+            users,
+            venues,
+            usernames: RwLock::new(HashMap::new()),
+            venue_grid: RwLock::new(GeoGrid::new(1_000.0)),
+            venue_categories: RwLock::new(Vec::new()),
+            user_reg: Mutex::new(0),
+            venue_reg: Mutex::new(0),
+            user_count: AtomicU64::new(0),
+            venue_count: AtomicU64::new(0),
         }
     }
 
@@ -142,58 +194,85 @@ impl LbsnServer {
         &self.config
     }
 
+    /// The number of lock stripes over user and venue state.
+    pub fn shard_count(&self) -> usize {
+        self.users.shard_count()
+    }
+
     /// Registers a user; IDs are dense and incrementing from 1.
     pub fn register_user(&self, spec: UserSpec) -> UserId {
-        let mut s = self.state.write();
-        let id = UserId(s.users.len() as u64 + 1);
-        if let Some(name) = &spec.username {
-            s.usernames.insert(name.clone(), id);
-        }
+        let mut registered = self.user_reg.lock();
+        let id = UserId(*registered + 1);
         let user = User::from_spec(id, spec, self.clock.now());
-        s.users.push(user);
+        let username = user.username.clone();
+        {
+            let mut shard = self.users.write_shard(self.users.shard_of(id.value()));
+            debug_assert_eq!(shard.len(), self.users.slot_of(id.value()));
+            shard.push(user);
+        }
+        // The name resolves only once the profile is visible.
+        if let Some(name) = username {
+            self.usernames.write().insert(name, id);
+        }
+        *registered += 1;
+        self.user_count.fetch_add(1, Ordering::Release);
         id
     }
 
     /// Registers a venue; IDs are dense and incrementing from 1.
     pub fn register_venue(&self, spec: VenueSpec) -> VenueId {
-        let mut s = self.state.write();
-        let id = VenueId(s.venues.len() as u64 + 1);
+        let mut registered = self.venue_reg.lock();
+        let id = VenueId(*registered + 1);
         let venue = Venue::from_spec(id, spec, self.clock.now());
-        s.venue_grid.insert(venue.location, id);
-        s.venues.push(venue);
+        let location = venue.location;
+        // Category first: by the time the venue is visible in its
+        // shard, badge evaluation can already resolve its category.
+        self.venue_categories.write().push(venue.category);
+        {
+            let mut shard = self.venues.write_shard(self.venues.shard_of(id.value()));
+            debug_assert_eq!(shard.len(), self.venues.slot_of(id.value()));
+            shard.push(venue);
+        }
+        // Discoverability last.
+        self.venue_grid.write().insert(location, id);
+        *registered += 1;
+        self.venue_count.fetch_add(1, Ordering::Release);
         id
     }
 
     /// Venues within `radius` metres of `center`, nearest first, capped
     /// at `limit` — the "suggested list of nearby venues" the client app
     /// shows (§2.2), which is also what the spoofing attack scrolls
-    /// through after forging a fix.
+    /// through after forging a fix. Touches only the spatial index —
+    /// never a venue shard.
     pub fn venues_near(
         &self,
         center: GeoPoint,
         radius: Meters,
         limit: usize,
     ) -> Vec<(VenueId, Meters)> {
-        let s = self.state.read();
-        s.venue_grid
-            .within_radius(center, radius)
+        let grid = self.venue_grid.read();
+        grid.within_radius(center, radius)
             .into_iter()
             .take(limit)
             .map(|(id, d)| (*id, d))
             .collect()
     }
 
-    /// Records a symmetric friendship.
+    /// Records a symmetric friendship. Locks only the two users'
+    /// shards, in ascending shard order.
     pub fn add_friendship(&self, a: UserId, b: UserId) -> Result<(), CheckinError> {
-        let mut s = self.state.write();
-        let n = s.users.len() as u64;
+        let mut set = self.users.write_set(&mut vec![
+            self.users.shard_of(a.value()),
+            self.users.shard_of(b.value()),
+        ]);
         for id in [a, b] {
-            if id.value() == 0 || id.value() > n {
+            if set.get(id.value()).is_none() {
                 return Err(CheckinError::UnknownUser(id));
             }
         }
-        s.users[(a.value() - 1) as usize].friends.insert(b);
-        s.users[(b.value() - 1) as usize].friends.insert(a);
+        set.get_mut(a.value()).unwrap().friends.insert(b);
+        set.get_mut(b.value()).unwrap().friends.insert(a);
         Ok(())
     }
 
@@ -203,17 +282,82 @@ impl LbsnServer {
     /// total) but earn nothing and do not touch venue state — exactly the
     /// policy §4.2 infers from the caught-cheater cohort.
     ///
+    /// Locking: the submitting user's shard and the venue's shard are
+    /// held for the whole pipeline; the incumbent mayor's shard (needed
+    /// to judge a mayorship challenge) is discovered optimistically and
+    /// added to the lock set on retry if the first guess misses.
+    ///
     /// # Errors
     ///
     /// [`CheckinError`] for unknown user or venue IDs; nothing is
     /// recorded in that case.
     pub fn check_in(&self, req: &CheckinRequest) -> Result<CheckinOutcome, CheckinError> {
         let now = self.clock.now();
-        let mut s = self.state.write();
-        let uidx =
-            id_index(req.user.value(), s.users.len()).ok_or(CheckinError::UnknownUser(req.user))?;
-        let vidx = id_index(req.venue.value(), s.venues.len())
-            .ok_or(CheckinError::UnknownVenue(req.venue))?;
+        let user_shard = self.users.shard_of(req.user.value());
+        let venue_shard = self.venues.shard_of(req.venue.value());
+        let venue_slot = self.venues.slot_of(req.venue.value());
+
+        // Peek the incumbent mayor's shard with a cheap try-read so the
+        // first real acquisition almost always covers it (the venue's
+        // mayor usually lives in a different user shard than the
+        // requester; without the peek nearly every check-in would pay
+        // an acquire-drop-reacquire round trip). Racy by design — the
+        // covered-incumbent re-check under the real locks catches any
+        // change.
+        let mut incumbent_shard: Option<usize> = self
+            .venues
+            .try_read_shard(venue_shard)
+            .and_then(|guard| guard.get(venue_slot).and_then(|v| v.mayor))
+            .map(|m| self.users.shard_of(m.value()));
+        let mut shard_ids: Vec<usize> = Vec::with_capacity(2);
+        let mut attempt: u32 = 0;
+        loop {
+            // User shards (ascending) strictly before the venue shard.
+            shard_ids.clear();
+            if attempt >= MAYOR_LOCK_RETRIES {
+                shard_ids.extend(0..self.users.shard_count());
+            } else {
+                shard_ids.push(user_shard);
+                if let Some(extra) = incumbent_shard {
+                    shard_ids.push(extra);
+                }
+            }
+            let uset = self.users.write_set(&mut shard_ids);
+            if uset.get(req.user.value()).is_none() {
+                return Err(CheckinError::UnknownUser(req.user));
+            }
+            let vguard = self.venues.write_shard(venue_shard);
+            let Some(venue) = vguard.get(venue_slot) else {
+                return Err(CheckinError::UnknownVenue(req.venue));
+            };
+            // The mayorship decision reads the incumbent's record; if
+            // the current mayor's shard is outside the held set, retry
+            // with it included (the venue shard is re-checked because
+            // the mayor may change between attempts).
+            if let Some(mayor) = venue.mayor {
+                if !uset.covers(mayor.value()) {
+                    incumbent_shard = Some(self.users.shard_of(mayor.value()));
+                    attempt += 1;
+                    drop(vguard);
+                    drop(uset);
+                    continue;
+                }
+            }
+            return Ok(self.check_in_locked(req, now, uset, vguard, venue_slot));
+        }
+    }
+
+    /// The pipeline body, entered with the user lock set and the venue
+    /// shard held and every id validated.
+    fn check_in_locked(
+        &self,
+        req: &CheckinRequest,
+        now: Timestamp,
+        mut uset: WriteSet<'_, User>,
+        mut vguard: RwLockWriteGuard<'_, Vec<Venue>>,
+        venue_slot: usize,
+    ) -> CheckinOutcome {
+        let uid = req.user.value();
         let total_timer = self.metrics.checkin_total.start_timer();
         // One root span per check-in (head-sampled); stages become
         // children and cheater flags become span events, so a sampled
@@ -226,16 +370,19 @@ impl LbsnServer {
         // account is rejected outright.
         let stage_span = span.child("server.checkin.stage.cheater_code");
         let stage = self.metrics.stage_cheater_code.start_timer();
-        let flags = if s.users[uidx].branded_cheater {
-            vec![crate::CheatFlag::AccountFlagged]
-        } else {
-            let ctx = RuleContext {
-                user: &s.users[uidx],
-                venue: &s.venues[vidx],
-                request: req,
-                now,
-            };
-            self.cheater_code.evaluate(&ctx)
+        let flags = {
+            let user = uset.get(uid).unwrap();
+            if user.branded_cheater {
+                vec![crate::CheatFlag::AccountFlagged]
+            } else {
+                let ctx = RuleContext {
+                    user,
+                    venue: &vguard[venue_slot],
+                    request: req,
+                    now,
+                };
+                self.cheater_code.evaluate(&ctx)
+            }
         };
         stage.stop();
         stage_span.end();
@@ -259,62 +406,72 @@ impl LbsnServer {
 
         // Attributes that must be read *before* the record is appended.
         let day_start = Timestamp(now.secs() / DAY * DAY);
-        let first_of_day = s.users[uidx]
-            .valid_checkins_since(day_start)
-            .next()
-            .is_none();
-        let first_visit = !s.users[uidx].visited_venues.contains(&req.venue);
+        let (first_of_day, first_visit) = {
+            let user = uset.get(uid).unwrap();
+            (
+                user.valid_checkins_since(day_start).next().is_none(),
+                !user.visited_venues.contains(&req.venue),
+            )
+        };
 
-        {
-            let user = &mut s.users[uidx];
-            user.history.push(record);
-            user.total_checkins += 1;
-        }
+        uset.get_mut(uid).unwrap().push_record(record);
 
         if !rewarded {
             self.metrics.rejected.inc();
-            s.users[uidx].flagged_checkins += 1;
             // Escalate to account branding once the flags pile up: the
             // account loses everything, including held mayorships.
-            if let Some(threshold) = self.config.account_flag_threshold {
-                if !s.users[uidx].branded_cheater && s.users[uidx].flagged_checkins >= threshold {
-                    s.users[uidx].branded_cheater = true;
-                    self.metrics.branded.inc();
-                    stage_span.event("account.branded");
-                    self.metrics.registry().event(
-                        "server.account.branded",
-                        &[
-                            ("user", req.user.value().to_string()),
-                            (
-                                "flagged_checkins",
-                                s.users[uidx].flagged_checkins.to_string(),
-                            ),
-                        ],
-                    );
-                    let held: Vec<VenueId> = s.users[uidx].mayorships.drain().collect();
-                    for v in held {
-                        if let Some(vi) = id_index(v.value(), s.venues.len()) {
-                            if s.venues[vi].mayor == Some(req.user) {
-                                s.venues[vi].mayor = None;
-                            }
-                        }
+            let mut stripped: Vec<VenueId> = Vec::new();
+            let mut branded_now = false;
+            {
+                let user = uset.get_mut(uid).unwrap();
+                user.flagged_checkins += 1;
+                if let Some(threshold) = self.config.account_flag_threshold {
+                    if !user.branded_cheater && user.flagged_checkins >= threshold {
+                        user.branded_cheater = true;
+                        branded_now = true;
+                        stripped = user.mayorships.drain().collect();
                     }
                 }
             }
+            if branded_now {
+                self.metrics.branded.inc();
+                stage_span.event("account.branded");
+                let flagged = uset.get(uid).unwrap().flagged_checkins;
+                self.metrics.registry().event(
+                    "server.account.branded",
+                    &[
+                        ("user", req.user.value().to_string()),
+                        ("flagged_checkins", flagged.to_string()),
+                    ],
+                );
+            }
+            let is_mayor = if branded_now {
+                false
+            } else {
+                vguard[venue_slot].mayor == Some(req.user)
+            };
+            // Two-phase strip (lock rule 3): the user-side mayorship
+            // set is already drained; release the held shards, then
+            // clear the venue-side seats one shard at a time. A
+            // concurrent check-in by this user is already rejected
+            // (`branded_cheater` is set), so nothing re-enters the set.
+            drop(vguard);
+            drop(uset);
+            self.strip_mayor_seats(req.user, &stripped);
             stage.stop();
             stage_span.end();
             total_timer.stop();
-            return Ok(CheckinOutcome {
+            return CheckinOutcome {
                 user: req.user,
                 venue: req.venue,
                 at: now,
                 points: 0,
                 new_badges: Vec::new(),
-                is_mayor: s.venues[vidx].mayor == Some(req.user),
+                is_mayor,
                 became_mayor: false,
                 special_unlocked: None,
                 flags,
-            });
+            };
         }
 
         stage.stop();
@@ -325,49 +482,48 @@ impl LbsnServer {
         let stage_span = span.child("server.checkin.stage.rewards");
         let stage = self.metrics.stage_rewards.start_timer();
         {
-            let user = &mut s.users[uidx];
+            let user = uset.get_mut(uid).unwrap();
             user.valid_checkins += 1;
             if first_visit {
                 user.visited_venues.insert(req.venue);
             }
         }
         if first_visit {
-            let category = s.venues[vidx].category;
-            let user = &mut s.users[uidx];
+            let category = vguard[venue_slot].category;
+            let user = uset.get_mut(uid).unwrap();
             *user.venues_by_category.entry(category).or_insert(0) += 1;
         }
         let recent_cap = self.config.recent_visitors_len;
-        s.venues[vidx].record_valid_checkin(req.user, recent_cap);
+        vguard[venue_slot].record_valid_checkin(req.user, recent_cap);
 
-        // 4. Mayorship.
+        // 4. Mayorship. The incumbent (if any) is covered by the lock
+        // set — `check_in` validated that before entering.
         let became_mayor = {
-            let venue = &s.venues[vidx];
-            let challenger = &s.users[uidx];
-            let incumbent = venue
-                .mayor
-                .and_then(|m| id_index(m.value(), s.users.len()))
-                .map(|i| &s.users[i]);
+            let venue = &vguard[venue_slot];
+            let challenger = uset.get(uid).unwrap();
+            let incumbent = venue.mayor.and_then(|m| uset.get(m.value()));
             decide_mayor(venue, challenger, incumbent, now)
         };
         if became_mayor {
-            if let Some(old) = s.venues[vidx].mayor {
-                if let Some(oidx) = id_index(old.value(), s.users.len()) {
-                    s.users[oidx].mayorships.remove(&req.venue);
+            if let Some(old) = vguard[venue_slot].mayor {
+                if let Some(old_mayor) = uset.get_mut(old.value()) {
+                    old_mayor.mayorships.remove(&req.venue);
                 }
             }
-            s.venues[vidx].mayor = Some(req.user);
-            s.users[uidx].mayorships.insert(req.venue);
+            vguard[venue_slot].mayor = Some(req.user);
+            uset.get_mut(uid).unwrap().mayorships.insert(req.venue);
         }
-        let is_mayor = s.venues[vidx].mayor == Some(req.user);
+        let is_mayor = vguard[venue_slot].mayor == Some(req.user);
 
-        // 5. Badges (evaluated on post-update state).
+        // 5. Badges (evaluated on post-update state). Categories come
+        // from the append-only table — no extra venue shards locked.
         let new_badges = {
-            let user = &s.users[uidx];
-            let venue = &s.venues[vidx];
-            evaluate_badges(user, venue, now, &s.venues[..])
+            let categories = self.venue_categories.read();
+            let user = uset.get(uid).unwrap();
+            evaluate_badges(user, &vguard[venue_slot], now, &CategoryTable(&categories))
         };
         for b in &new_badges {
-            s.users[uidx].badges.insert(*b);
+            uset.get_mut(uid).unwrap().badges.insert(*b);
         }
 
         // 6. Points.
@@ -375,12 +531,12 @@ impl LbsnServer {
             .config
             .points
             .award(first_visit, first_of_day, became_mayor);
-        s.users[uidx].points += points;
+        uset.get_mut(uid).unwrap().points += points;
 
         // 7. Specials.
         let special_unlocked = {
-            let venue = &s.venues[vidx];
-            let user = &s.users[uidx];
+            let venue = &vguard[venue_slot];
+            let user = uset.get(uid).unwrap();
             venue.special.as_ref().and_then(|sp| match sp.kind {
                 SpecialKind::MayorOnly if is_mayor => Some(sp.description.clone()),
                 SpecialKind::MayorOnly => None,
@@ -405,7 +561,7 @@ impl LbsnServer {
         stage_span.end();
         total_timer.stop();
 
-        Ok(CheckinOutcome {
+        CheckinOutcome {
             user: req.user,
             venue: req.venue,
             at: now,
@@ -415,60 +571,97 @@ impl LbsnServer {
             became_mayor,
             special_unlocked,
             flags,
-        })
+        }
+    }
+
+    /// Clears `user` out of the mayor seat of every venue in `venues`,
+    /// one shard at a time in ascending shard order (no other lock is
+    /// held on entry). A venue whose seat has already been taken over
+    /// by someone else is left alone.
+    fn strip_mayor_seats(&self, user: UserId, venues: &[VenueId]) {
+        if venues.is_empty() {
+            return;
+        }
+        let mut by_shard: Vec<(usize, VenueId)> = venues
+            .iter()
+            .map(|v| (self.venues.shard_of(v.value()), *v))
+            .collect();
+        by_shard.sort_unstable_by_key(|(shard, v)| (*shard, v.value()));
+        let mut i = 0;
+        while i < by_shard.len() {
+            let shard = by_shard[i].0;
+            let mut guard = self.venues.write_shard(shard);
+            while i < by_shard.len() && by_shard[i].0 == shard {
+                let v = by_shard[i].1;
+                if let Some(venue) = guard.get_mut(self.venues.slot_of(v.value())) {
+                    if venue.mayor == Some(user) {
+                        venue.mayor = None;
+                    }
+                }
+                i += 1;
+            }
+        }
     }
 
     /// Number of registered users.
     pub fn user_count(&self) -> u64 {
-        self.state.read().users.len() as u64
+        self.user_count.load(Ordering::Acquire)
     }
 
     /// Number of registered venues.
     pub fn venue_count(&self) -> u64 {
-        self.state.read().venues.len() as u64
+        self.venue_count.load(Ordering::Acquire)
     }
 
     /// Clones a user's full record (history included — prefer
     /// [`LbsnServer::with_user`] on hot paths).
     pub fn user(&self, id: UserId) -> Option<User> {
-        let s = self.state.read();
-        id_index(id.value(), s.users.len()).map(|i| s.users[i].clone())
+        self.users.with(id.value(), |u| u.clone())
     }
 
     /// Clones a venue's full record.
     pub fn venue(&self, id: VenueId) -> Option<Venue> {
-        let s = self.state.read();
-        id_index(id.value(), s.venues.len()).map(|i| s.venues[i].clone())
+        self.venues.with(id.value(), |v| v.clone())
     }
 
-    /// Runs a closure against a user's record without cloning.
+    /// Runs a closure against a user's record without cloning, under
+    /// only that user's shard lock.
     pub fn with_user<R>(&self, id: UserId, f: impl FnOnce(&User) -> R) -> Option<R> {
-        let s = self.state.read();
-        id_index(id.value(), s.users.len()).map(|i| f(&s.users[i]))
+        self.users.with(id.value(), f)
     }
 
-    /// Runs a closure against a venue's record without cloning.
+    /// Runs a closure against a venue's record without cloning, under
+    /// only that venue's shard lock.
     pub fn with_venue<R>(&self, id: VenueId, f: impl FnOnce(&Venue) -> R) -> Option<R> {
-        let s = self.state.read();
-        id_index(id.value(), s.venues.len()).map(|i| f(&s.venues[i]))
+        self.venues.with(id.value(), f)
     }
 
     /// Resolves a vanity username to an ID.
     pub fn user_id_by_name(&self, name: &str) -> Option<UserId> {
-        self.state.read().usernames.get(name).copied()
+        self.usernames.read().get(name).copied()
     }
 
     /// Searches venues by name substring (case-insensitive), ID order —
     /// §2.2's "searching for a venue by name". Capped at `limit`.
+    /// Scans one shard at a time; within a shard slots are already in
+    /// id order, so each shard contributes its first `limit` matches
+    /// and the merged result is the global first `limit` by id.
     pub fn search_venues_by_name(&self, query: &str, limit: usize) -> Vec<VenueId> {
         let needle = query.to_lowercase();
-        let s = self.state.read();
-        s.venues
-            .iter()
-            .filter(|v| v.name.to_lowercase().contains(&needle))
-            .take(limit)
-            .map(|v| v.id)
-            .collect()
+        let mut hits: Vec<VenueId> = Vec::new();
+        for shard in 0..self.venues.shard_count() {
+            let guard = self.venues.read_shard(shard);
+            hits.extend(
+                guard
+                    .iter()
+                    .filter(|v| v.name.to_lowercase().contains(&needle))
+                    .take(limit)
+                    .map(|v| v.id),
+            );
+        }
+        hits.sort_unstable_by_key(|v| v.value());
+        hits.truncate(limit);
+        hits
     }
 
     /// Leaves a tip/comment on a venue, newest first.
@@ -487,11 +680,14 @@ impl LbsnServer {
         text: impl Into<String>,
     ) -> Result<(), CheckinError> {
         let now = self.clock.now();
-        let mut s = self.state.write();
-        id_index(user.value(), s.users.len()).ok_or(CheckinError::UnknownUser(user))?;
-        let vidx =
-            id_index(venue.value(), s.venues.len()).ok_or(CheckinError::UnknownVenue(venue))?;
-        s.venues[vidx].tips.insert(
+        if self.users.with(user.value(), |_| ()).is_none() {
+            return Err(CheckinError::UnknownUser(user));
+        }
+        let mut guard = self.venues.write_shard(self.venues.shard_of(venue.value()));
+        let v = guard
+            .get_mut(self.venues.slot_of(venue.value()))
+            .ok_or(CheckinError::UnknownVenue(venue))?;
+        v.tips.insert(
             0,
             crate::venue::Tip {
                 user,
@@ -505,36 +701,56 @@ impl LbsnServer {
     /// The points leaderboard: the top `n` users by points, ties broken
     /// by lower (older) ID. Foursquare surfaced a weekly leaderboard;
     /// the reproduction uses the global all-time variant.
+    ///
+    /// Bounded top-n selection: a size-`n` min-heap over one shard at a
+    /// time — no full clone, no full sort, and writers on other shards
+    /// keep running.
     pub fn leaderboard(&self, n: usize) -> Vec<(UserId, u64)> {
-        let s = self.state.read();
-        let mut rows: Vec<(UserId, u64)> = s.users.iter().map(|u| (u.id, u.points)).collect();
+        if n == 0 {
+            return Vec::new();
+        }
+        // Key order: more points wins, then lower id wins.
+        let mut heap: BinaryHeap<Reverse<(u64, Reverse<u64>)>> = BinaryHeap::with_capacity(n + 1);
+        for shard in 0..self.users.shard_count() {
+            let guard = self.users.read_shard(shard);
+            for u in guard.iter() {
+                let key = (u.points, Reverse(u.id.value()));
+                if heap.len() < n {
+                    heap.push(Reverse(key));
+                } else if key > heap.peek().unwrap().0 {
+                    heap.pop();
+                    heap.push(Reverse(key));
+                }
+            }
+        }
+        let mut rows: Vec<(UserId, u64)> = heap
+            .into_iter()
+            .map(|Reverse((points, Reverse(id)))| (UserId(id), points))
+            .collect();
         rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        rows.truncate(n);
         rows
     }
 
-    /// Visits every user under the read lock.
+    /// Visits every user, one shard read lock at a time, in shard-major
+    /// order (ids interleave across shards — not global id order).
     pub fn for_each_user(&self, mut f: impl FnMut(&User)) {
-        let s = self.state.read();
-        for u in &s.users {
-            f(u);
+        for shard in 0..self.users.shard_count() {
+            let guard = self.users.read_shard(shard);
+            for u in guard.iter() {
+                f(u);
+            }
         }
     }
 
-    /// Visits every venue under the read lock.
+    /// Visits every venue, one shard read lock at a time, in
+    /// shard-major order (not global id order).
     pub fn for_each_venue(&self, mut f: impl FnMut(&Venue)) {
-        let s = self.state.read();
-        for v in &s.venues {
-            f(v);
+        for shard in 0..self.venues.shard_count() {
+            let guard = self.venues.read_shard(shard);
+            for v in guard.iter() {
+                f(v);
+            }
         }
-    }
-}
-
-fn id_index(id: u64, len: usize) -> Option<usize> {
-    if id >= 1 && id <= len as u64 {
-        Some((id - 1) as usize)
-    } else {
-        None
     }
 }
 
@@ -579,6 +795,43 @@ mod tests {
             server.register_venue(VenueSpec::new("B", abq())),
             VenueId(2)
         );
+    }
+
+    #[test]
+    fn shard_count_rounds_up_to_power_of_two() {
+        let server = LbsnServer::new(
+            SimClock::new(),
+            ServerConfig {
+                shards: 5,
+                ..ServerConfig::default()
+            },
+        );
+        assert_eq!(server.shard_count(), 8);
+        let single = LbsnServer::new(
+            SimClock::new(),
+            ServerConfig {
+                shards: 0,
+                ..ServerConfig::default()
+            },
+        );
+        assert_eq!(single.shard_count(), 1);
+    }
+
+    #[test]
+    fn single_shard_server_runs_the_pipeline() {
+        // The degenerate one-lock configuration must behave identically.
+        let server = LbsnServer::new(
+            SimClock::new(),
+            ServerConfig {
+                shards: 1,
+                ..ServerConfig::default()
+            },
+        );
+        let venue = server.register_venue(VenueSpec::new("Cafe", abq()));
+        let user = server.register_user(UserSpec::anonymous());
+        let out = server.check_in(&req(user, venue, abq())).unwrap();
+        assert!(out.rewarded());
+        assert!(out.became_mayor);
     }
 
     #[test]
@@ -677,6 +930,42 @@ mod tests {
         assert_eq!(server.venue(venue).unwrap().mayor, Some(bob));
         assert!(server.user(alice).unwrap().mayorships.is_empty());
         assert!(server.user(bob).unwrap().mayorships.contains(&venue));
+    }
+
+    #[test]
+    fn mayorship_transfer_across_shards() {
+        // Challenger and incumbent land in different user shards, so
+        // the optimistic lock set must widen on retry.
+        let server = LbsnServer::new(
+            SimClock::new(),
+            ServerConfig {
+                shards: 4,
+                ..ServerConfig::default()
+            },
+        );
+        let venue = server.register_venue(VenueSpec::new("Cafe", abq()));
+        let alice = server.register_user(UserSpec::anonymous()); // shard 0
+        let _pad = server.register_user(UserSpec::anonymous());
+        let bob = server.register_user(UserSpec::anonymous()); // shard 2
+        assert_ne!(
+            server.users.shard_of(alice.value()),
+            server.users.shard_of(bob.value())
+        );
+        for _ in 0..2 {
+            server.check_in(&req(alice, venue, abq())).unwrap();
+            server.clock().advance(Duration::days(1));
+        }
+        let mut took = false;
+        for _ in 0..3 {
+            took = server
+                .check_in(&req(bob, venue, abq()))
+                .unwrap()
+                .became_mayor;
+            server.clock().advance(Duration::days(1));
+        }
+        assert!(took);
+        assert_eq!(server.venue(venue).unwrap().mayor, Some(bob));
+        assert!(server.user(alice).unwrap().mayorships.is_empty());
     }
 
     #[test]
@@ -832,6 +1121,31 @@ mod tests {
         assert_eq!(board[1], (b, pb));
         assert_eq!(board[2], (c, 0));
         assert_eq!(server.leaderboard(1).len(), 1);
+        assert!(server.leaderboard(0).is_empty());
+    }
+
+    #[test]
+    fn leaderboard_bounded_selection_matches_full_sort() {
+        // Many users spread across shards with colliding point totals:
+        // the heap selection must agree with a naive full sort.
+        let server = LbsnServer::new(SimClock::new(), ServerConfig::default());
+        let venue = server.register_venue(VenueSpec::new("Cafe", abq()));
+        let n = 100;
+        for _ in 0..n {
+            server.register_user(UserSpec::anonymous());
+        }
+        for i in 1..=n {
+            // Every third user revisits for extra points.
+            for _ in 0..(i % 3 + 1) {
+                server.check_in(&req(UserId(i), venue, abq())).unwrap();
+                server.clock().advance(Duration::hours(2));
+            }
+        }
+        let mut naive: Vec<(UserId, u64)> = Vec::new();
+        server.for_each_user(|u| naive.push((u.id, u.points)));
+        naive.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        naive.truncate(10);
+        assert_eq!(server.leaderboard(10), naive);
     }
 
     #[test]
@@ -868,6 +1182,41 @@ mod tests {
         let out = server.check_in(&req(user, venue, abq())).unwrap();
         assert_eq!(out.flags, vec![CheatFlag::AccountFlagged]);
         assert_eq!(server.user(user).unwrap().total_checkins, 5);
+    }
+
+    #[test]
+    fn branding_strips_mayorships_across_every_shard() {
+        // Venues in every shard, all held by one user: branding must
+        // clear every seat via the two-phase shard walk.
+        let server = LbsnServer::new(
+            SimClock::new(),
+            ServerConfig {
+                account_flag_threshold: Some(3),
+                shards: 8,
+                ..ServerConfig::default()
+            },
+        );
+        let user = server.register_user(UserSpec::anonymous());
+        let mut venues = Vec::new();
+        for i in 0..16u64 {
+            let loc = destination(abq(), (i * 20 % 360) as f64, 300.0 * (i + 1) as f64);
+            venues.push(server.register_venue(VenueSpec::new(format!("V{i}"), loc)));
+        }
+        for v in &venues {
+            let loc = server.venue(*v).unwrap().location;
+            assert!(server.check_in(&req(user, *v, loc)).unwrap().became_mayor);
+            server.clock().advance(Duration::hours(2));
+        }
+        assert_eq!(server.user(user).unwrap().mayorships.len(), 16);
+        let far = destination(abq(), 90.0, 50_000.0);
+        for _ in 0..3 {
+            server.clock().advance(Duration::hours(2));
+            server.check_in(&req(user, venues[0], far)).unwrap();
+        }
+        assert!(server.user(user).unwrap().mayorships.is_empty());
+        for v in &venues {
+            assert_eq!(server.venue(*v).unwrap().mayor, None, "seat {v:?} cleared");
+        }
     }
 
     #[test]
@@ -919,5 +1268,24 @@ mod tests {
         }
         reader.join().unwrap();
         assert_eq!(server.venue(venue).unwrap().checkins_here, 50);
+    }
+
+    #[test]
+    fn shard_metrics_are_exported() {
+        let registry = Arc::new(Registry::new());
+        let server = LbsnServer::with_registry(
+            SimClock::new(),
+            ServerConfig::default(),
+            Arc::clone(&registry),
+        );
+        let venue = server.register_venue(VenueSpec::new("Cafe", abq()));
+        let user = server.register_user(UserSpec::anonymous());
+        server.check_in(&req(user, venue, abq())).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("server.shard.count"), 16.0);
+        assert!(
+            snap.quantile_ns("server.shard.lock_wait", 0.99).is_some(),
+            "lock-wait stat populated"
+        );
     }
 }

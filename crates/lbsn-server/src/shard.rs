@@ -1,0 +1,272 @@
+//! Lock-striped entity storage: the concurrency layer under
+//! [`crate::LbsnServer`].
+//!
+//! Entities (users, venues) carry dense IDs from 1. A [`ShardedVec`]
+//! splits them across a power-of-two number of independently locked
+//! shards: entity `id` lives in shard `(id - 1) % shards` at slot
+//! `(id - 1) / shards`, so dense registration fills every shard evenly
+//! and a lookup is a mask, a shift, and one shard lock — never a global
+//! one. Crawler threads scraping profile pages therefore only ever
+//! contend with check-ins that touch the *same* shard, not with the
+//! whole service.
+//!
+//! # Lock discipline
+//!
+//! Deadlock freedom across the server rests on four rules, stated here
+//! once and relied on everywhere (see DESIGN.md §"Sharded concurrency"):
+//!
+//! 1. **Families are ordered**: user shards are always acquired before
+//!    venue shards. No code path acquires a user shard while holding a
+//!    venue shard.
+//! 2. **Within a family, ascending order**: when more than one shard of
+//!    the same family must be held simultaneously ([`ShardedVec::
+//!    write_set`]), shards are locked in ascending shard-index order.
+//! 3. **At most one venue shard** is held at a time. Cross-venue
+//!    transitions (mayor stripping on account branding) are two-phase:
+//!    collect the venue list under the user's shard, release, then
+//!    apply shard-by-shard in ascending order.
+//! 4. **Side maps are leaves**: the username map, the venue grid, and
+//!    the category table each have their own lock and are never held
+//!    while acquiring any other lock.
+//!
+//! Every acquisition is timed into the `server.shard.lock_wait`
+//! latency stat: the uncontended try-lock fast path records 0 ns
+//! without reading the clock, the contended slow path records the
+//! measured wait, so the stat's p99 is a direct contention signal the
+//! SLO gate can bound.
+
+use std::time::Instant;
+
+use lbsn_obs::LatencyStat;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Pads a shard's lock to its own cache line so lock words of adjacent
+/// shards never false-share under cross-core traffic.
+#[repr(align(64))]
+struct CacheAligned<T>(T);
+
+/// A vector of entities split across independently locked shards.
+///
+/// IDs are dense and 1-based; id 0 (and any unregistered id) simply
+/// misses every lookup. Shard count is a power of two fixed at
+/// construction.
+pub(crate) struct ShardedVec<T> {
+    shards: Box<[CacheAligned<RwLock<Vec<T>>>]>,
+    /// log2(shard count).
+    bits: u32,
+    /// shard count - 1.
+    mask: u64,
+    /// Acquisition-wait stat shared by every shard of this map.
+    lock_wait: LatencyStat,
+}
+
+impl<T> ShardedVec<T> {
+    /// Creates an empty map with `shard_count` shards (must be a power
+    /// of two ≥ 1) reporting lock waits into `lock_wait`.
+    pub fn new(shard_count: usize, lock_wait: LatencyStat) -> Self {
+        assert!(
+            shard_count.is_power_of_two(),
+            "shard count must be a power of two, got {shard_count}"
+        );
+        let shards: Box<[_]> = (0..shard_count)
+            .map(|_| CacheAligned(RwLock::new(Vec::new())))
+            .collect();
+        ShardedVec {
+            shards,
+            bits: shard_count.trailing_zeros(),
+            mask: (shard_count - 1) as u64,
+            lock_wait,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard an id hashes to. For id 0 the wrap-around yields an
+    /// in-range shard whose [`Self::slot_of`] is astronomically out of
+    /// bounds, so lookups miss without a special case.
+    pub fn shard_of(&self, id: u64) -> usize {
+        (id.wrapping_sub(1) & self.mask) as usize
+    }
+
+    /// The slot inside its shard an id maps to.
+    pub fn slot_of(&self, id: u64) -> usize {
+        (id.wrapping_sub(1) >> self.bits) as usize
+    }
+
+    /// Read-locks one shard only if immediately available (used for
+    /// optimistic peeks that have a correct slow path anyway). Not
+    /// counted in the lock-wait stat — a peek is not an acquisition.
+    pub fn try_read_shard(&self, shard: usize) -> Option<RwLockReadGuard<'_, Vec<T>>> {
+        self.shards[shard].0.try_read()
+    }
+
+    /// Read-locks one shard, recording the acquisition wait.
+    pub fn read_shard(&self, shard: usize) -> RwLockReadGuard<'_, Vec<T>> {
+        let lock = &self.shards[shard].0;
+        if let Some(guard) = lock.try_read() {
+            self.lock_wait.record_zero();
+            return guard;
+        }
+        let start = Instant::now();
+        let guard = lock.read();
+        self.record_wait(start);
+        guard
+    }
+
+    /// Write-locks one shard, recording the acquisition wait.
+    pub fn write_shard(&self, shard: usize) -> RwLockWriteGuard<'_, Vec<T>> {
+        let lock = &self.shards[shard].0;
+        if let Some(guard) = lock.try_write() {
+            self.lock_wait.record_zero();
+            return guard;
+        }
+        let start = Instant::now();
+        let guard = lock.write();
+        self.record_wait(start);
+        guard
+    }
+
+    fn record_wait(&self, start: Instant) {
+        let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.lock_wait.record_ns(nanos);
+    }
+
+    /// Runs a closure against the entity with `id` under its shard's
+    /// read lock, without cloning. `None` for unregistered ids.
+    pub fn with<R>(&self, id: u64, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let guard = self.read_shard(self.shard_of(id));
+        guard.get(self.slot_of(id)).map(f)
+    }
+
+    /// Write-locks a set of shards in ascending index order (rule 2).
+    /// `shard_ids` may contain duplicates and be unsorted; it is sorted
+    /// and deduplicated in place (callers on the hot path reuse one
+    /// scratch vector across retries instead of allocating per attempt).
+    pub fn write_set(&self, shard_ids: &mut Vec<usize>) -> WriteSet<'_, T> {
+        shard_ids.sort_unstable();
+        shard_ids.dedup();
+        let guards = shard_ids
+            .iter()
+            .map(|&i| (i, self.write_shard(i)))
+            .collect();
+        WriteSet {
+            guards,
+            bits: self.bits,
+            mask: self.mask,
+        }
+    }
+}
+
+/// A set of simultaneously held shard write guards, acquired in
+/// ascending shard order, addressable by entity id.
+pub(crate) struct WriteSet<'a, T> {
+    /// (shard index, guard), ascending by shard index.
+    guards: Vec<(usize, RwLockWriteGuard<'a, Vec<T>>)>,
+    bits: u32,
+    mask: u64,
+}
+
+impl<T> WriteSet<'_, T> {
+    fn locate(&self, id: u64) -> (usize, usize) {
+        (
+            (id.wrapping_sub(1) & self.mask) as usize,
+            (id.wrapping_sub(1) >> self.bits) as usize,
+        )
+    }
+
+    /// Whether the entity's shard is part of this lock set.
+    pub fn covers(&self, id: u64) -> bool {
+        let (shard, _) = self.locate(id);
+        self.guards.iter().any(|(i, _)| *i == shard)
+    }
+
+    /// The entity with `id`, if registered and covered.
+    pub fn get(&self, id: u64) -> Option<&T> {
+        let (shard, slot) = self.locate(id);
+        self.guards
+            .iter()
+            .find(|(i, _)| *i == shard)
+            .and_then(|(_, g)| g.get(slot))
+    }
+
+    /// Mutable access to the entity with `id`, if registered and
+    /// covered.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut T> {
+        let (shard, slot) = self.locate(id);
+        self.guards
+            .iter_mut()
+            .find(|(i, _)| *i == shard)
+            .and_then(|(_, g)| g.get_mut(slot))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbsn_obs::Registry;
+
+    fn map(shards: usize) -> ShardedVec<u64> {
+        ShardedVec::new(shards, Registry::new().latency("test.lock_wait"))
+    }
+
+    #[test]
+    fn id_to_shard_slot_round_trips_densely() {
+        let m = map(8);
+        // Dense ids fill shards round-robin and slots densely per shard.
+        for id in 1..=64u64 {
+            let shard = m.shard_of(id);
+            let slot = m.slot_of(id);
+            assert_eq!(shard, ((id - 1) % 8) as usize);
+            assert_eq!(slot, ((id - 1) / 8) as usize);
+        }
+    }
+
+    #[test]
+    fn id_zero_misses_without_panicking() {
+        let m = map(4);
+        m.write_shard(m.shard_of(1)).push(10);
+        assert!(m.shard_of(0) < 4, "id 0 wraps to an in-range shard");
+        assert_eq!(m.with(0, |v| *v), None);
+        assert_eq!(m.with(1, |v| *v), Some(10));
+        assert_eq!(m.with(2, |v| *v), None);
+    }
+
+    #[test]
+    fn write_set_sorts_and_dedups() {
+        let m = map(8);
+        for id in 1..=16u64 {
+            m.write_shard(m.shard_of(id)).push(id * 100);
+        }
+        let mut set = m.write_set(&mut vec![5, 1, 5, 3]);
+        assert_eq!(
+            set.guards.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![1, 3, 5]
+        );
+        // ids 2, 4, 6 live in shards 1, 3, 5.
+        assert!(set.covers(2) && set.covers(4) && set.covers(6));
+        assert!(!set.covers(1) && !set.covers(8));
+        assert_eq!(set.get(4), Some(&400));
+        *set.get_mut(4).unwrap() = 7;
+        assert_eq!(set.get(4), Some(&7));
+        assert_eq!(set.get(1), None, "uncovered shard");
+        assert_eq!(set.get(99), None, "unregistered id");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        map(6);
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_one_lock() {
+        let m = map(1);
+        for id in 1..=10u64 {
+            assert_eq!(m.shard_of(id), 0);
+            assert_eq!(m.slot_of(id), (id - 1) as usize);
+        }
+    }
+}

@@ -84,6 +84,11 @@ pub struct User {
     pub visited_venues: HashSet<VenueId>,
     /// Distinct venues per category (drives category badges).
     pub venues_by_category: HashMap<VenueCategory, u32>,
+    /// Index into `history` of the most recent *rewarded* check-in.
+    /// Maintained by [`User::push_record`] so the speed rule's
+    /// [`User::last_valid_checkin`] is O(1) even for the cheater
+    /// cohort's shape — long histories that are almost all flagged.
+    pub latest_rewarded_idx: Option<usize>,
 }
 
 impl User {
@@ -104,7 +109,20 @@ impl User {
             friends: HashSet::new(),
             visited_venues: HashSet::new(),
             venues_by_category: HashMap::new(),
+            latest_rewarded_idx: None,
         }
+    }
+
+    /// Appends a check-in to the history, bumping the submitted-total
+    /// and maintaining the latest-rewarded index. All history growth
+    /// must go through here — pushing to `history` directly desyncs
+    /// [`User::last_valid_checkin`].
+    pub fn push_record(&mut self, record: CheckinRecord) {
+        if record.rewarded {
+            self.latest_rewarded_idx = Some(self.history.len());
+        }
+        self.history.push(record);
+        self.total_checkins += 1;
     }
 
     /// The most recent check-in, if any (valid or flagged).
@@ -112,9 +130,10 @@ impl User {
         self.history.last()
     }
 
-    /// The most recent *valid* check-in, if any.
+    /// The most recent *valid* check-in, if any. O(1) via the cached
+    /// index — no reverse scan over flag-heavy histories.
     pub fn last_valid_checkin(&self) -> Option<&CheckinRecord> {
-        self.history.iter().rev().find(|r| r.rewarded)
+        self.latest_rewarded_idx.map(|i| &self.history[i])
     }
 
     /// Iterates over valid check-ins at `venue` no earlier than `since`,
@@ -178,13 +197,12 @@ mod tests {
 
     fn user_with_history(records: Vec<CheckinRecord>) -> User {
         let mut u = User::from_spec(UserId(1), UserSpec::anonymous(), Timestamp(0));
-        for r in &records {
-            u.total_checkins += 1;
+        for r in records {
             if r.rewarded {
                 u.valid_checkins += 1;
             }
+            u.push_record(r);
         }
-        u.history = records;
         u
     }
 
@@ -204,6 +222,23 @@ mod tests {
         let empty = user_with_history(vec![]);
         assert!(empty.last_checkin().is_none());
         assert!(empty.last_valid_checkin().is_none());
+    }
+
+    #[test]
+    fn latest_rewarded_index_tracks_pushes() {
+        let mut u = user_with_history(vec![record(1, 100, true)]);
+        assert_eq!(u.latest_rewarded_idx, Some(0));
+        // A run of flagged check-ins leaves the cache pointing at the
+        // last rewarded one.
+        for i in 0..50u64 {
+            u.push_record(record(2, 200 + i, false));
+        }
+        assert_eq!(u.latest_rewarded_idx, Some(0));
+        assert_eq!(u.last_valid_checkin().unwrap().venue, VenueId(1));
+        u.push_record(record(3, 300, true));
+        assert_eq!(u.latest_rewarded_idx, Some(51));
+        assert_eq!(u.last_valid_checkin().unwrap().venue, VenueId(3));
+        assert_eq!(u.total_checkins, 52);
     }
 
     #[test]

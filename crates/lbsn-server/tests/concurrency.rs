@@ -1,0 +1,365 @@
+//! Concurrency invariants of the sharded check-in engine.
+//!
+//! Every test runs its work on a helper thread pool and is guarded by a
+//! watchdog: a deadlock shows up as a test failure (watchdog timeout),
+//! not a hung CI job. The stress tests assert *exact* counter totals —
+//! under locks there is no "close enough".
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Barrier};
+use std::time::Duration as StdDuration;
+
+use lbsn_geo::{destination, GeoPoint};
+use lbsn_obs::Registry;
+use lbsn_server::{
+    CheckinRequest, CheckinSource, LbsnServer, ServerConfig, UserId, UserSpec, VenueId, VenueSpec,
+};
+use lbsn_sim::{Duration, SimClock};
+
+const WATCHDOG: StdDuration = StdDuration::from_secs(120);
+
+fn abq() -> GeoPoint {
+    GeoPoint::new(35.0844, -106.6504).unwrap()
+}
+
+/// Runs `f` under a watchdog: panics if it does not finish in time
+/// (the deadlock signature), otherwise propagates its result.
+fn with_watchdog<R: Send + 'static>(name: &str, f: impl FnOnce() -> R + Send + 'static) -> R {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let r = f();
+        let _ = tx.send(());
+        r
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(()) => handle.join().expect("test body panicked"),
+        Err(_) => panic!("{name}: watchdog timeout — suspected deadlock"),
+    }
+}
+
+fn req(user: UserId, venue: VenueId, loc: GeoPoint) -> CheckinRequest {
+    CheckinRequest {
+        user,
+        venue,
+        reported_location: loc,
+        source: CheckinSource::MobileApp,
+    }
+}
+
+/// 8 threads × 10k check-ins with a per-thread honest cohort and one
+/// cheater, over venues shared across threads. Asserts *exact*
+/// accepted/rejected/branded totals from the metrics registry against
+/// the per-thread op counts.
+#[test]
+fn stress_exact_counter_totals() {
+    with_watchdog("stress_exact_counter_totals", || {
+        const THREADS: usize = 8;
+        const OPS: usize = 10_000;
+        // Brand after 10 flags (default); the cheater spends every op
+        // flagged: GPS mismatch until branded, account-flagged after.
+        let registry = Arc::new(Registry::new());
+        let server = Arc::new(LbsnServer::with_registry(
+            SimClock::new(),
+            ServerConfig::default(),
+            Arc::clone(&registry),
+        ));
+        // Venues shared by all threads, spread over every shard.
+        let venues: Vec<(VenueId, GeoPoint)> = (0..32u64)
+            .map(|i| {
+                let loc = destination(abq(), ((i * 13) % 360) as f64, 80.0 * (i + 1) as f64);
+                (
+                    server.register_venue(VenueSpec::new(format!("V{i}"), loc)),
+                    loc,
+                )
+            })
+            .collect();
+        let far = destination(abq(), 45.0, 500_000.0);
+        // Per thread: 3 honest users cycling venues + 1 dedicated cheater.
+        let mut plans = Vec::new();
+        for _ in 0..THREADS {
+            let honest: Vec<UserId> = (0..3)
+                .map(|_| server.register_user(UserSpec::anonymous()))
+                .collect();
+            let cheater = server.register_user(UserSpec::anonymous());
+            plans.push((honest, cheater));
+        }
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let mut workers = Vec::new();
+        for (t, (honest, cheater)) in plans.into_iter().enumerate() {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            let venues = venues.clone();
+            workers.push(std::thread::spawn(move || {
+                barrier.wait();
+                let (mut ok, mut bad) = (0u64, 0u64);
+                for i in 0..OPS {
+                    // Every 4th op is the cheater spoofing from 500 km
+                    // away; the rest are honest check-ins at the venue.
+                    server.clock().advance(Duration::secs(121));
+                    if i % 4 == 3 {
+                        let (venue, _) = venues[(t + i) % venues.len()];
+                        let out = server.check_in(&req(cheater, venue, far)).unwrap();
+                        assert!(!out.rewarded());
+                        bad += 1;
+                    } else {
+                        let user = honest[i % honest.len()];
+                        let (venue, loc) = venues[(t * 7 + i / 3) % venues.len()];
+                        let out = server.check_in(&req(user, venue, loc)).unwrap();
+                        assert!(out.rewarded(), "honest check-in flagged: {:?}", out.flags);
+                        ok += 1;
+                    }
+                }
+                (ok, bad)
+            }));
+        }
+        let (mut accepted, mut rejected) = (0u64, 0u64);
+        for w in workers {
+            let (ok, bad) = w.join().expect("worker panicked");
+            accepted += ok;
+            rejected += bad;
+        }
+        assert_eq!(accepted + rejected, (THREADS * OPS) as u64);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("server.checkin.accepted"), accepted);
+        assert_eq!(snap.counter("server.checkin.rejected"), rejected);
+        // Each thread's cheater crosses the 10-flag threshold exactly
+        // once: 10 GPS mismatches, then account-flagged forever.
+        assert_eq!(snap.counter("server.checkin.branded"), THREADS as u64);
+        assert_eq!(
+            snap.counter("server.checkin.flag.gps_mismatch"),
+            10 * THREADS as u64
+        );
+        assert_eq!(
+            snap.counter("server.checkin.flag.account_flagged"),
+            rejected - 10 * THREADS as u64
+        );
+        // Per-user bookkeeping survived the interleaving exactly.
+        let mut total = 0;
+        server.for_each_user(|u| total += u.total_checkins);
+        assert_eq!(total, (THREADS * OPS) as u64);
+    });
+}
+
+/// Threads fight over mayorships of a small venue set; at every moment
+/// afterwards each venue has at most one mayor and the venue-side seat
+/// agrees exactly with the user-side mayorship sets (a bijection).
+#[test]
+fn mayorship_bijection_under_contention() {
+    with_watchdog("mayorship_bijection_under_contention", || {
+        const THREADS: usize = 8;
+        const OPS: usize = 2_000;
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let venues: Vec<(VenueId, GeoPoint)> = (0..4u64)
+            .map(|i| {
+                let loc = destination(abq(), (i * 90) as f64, 200.0 * (i + 1) as f64);
+                (
+                    server.register_venue(VenueSpec::new(format!("V{i}"), loc)),
+                    loc,
+                )
+            })
+            .collect();
+        let users: Vec<UserId> = (0..THREADS)
+            .map(|_| server.register_user(UserSpec::anonymous()))
+            .collect();
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let mut workers = Vec::new();
+        for (t, user) in users.iter().copied().enumerate() {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            let venues = venues.clone();
+            workers.push(std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..OPS {
+                    let (venue, loc) = venues[(t + i) % venues.len()];
+                    server.clock().advance(Duration::secs(3700));
+                    server.check_in(&req(user, venue, loc)).unwrap();
+                }
+            }));
+        }
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+        // Venue-side seats...
+        let mut seats: HashMap<VenueId, UserId> = HashMap::new();
+        server.for_each_venue(|v| {
+            if let Some(m) = v.mayor {
+                assert!(
+                    seats.insert(v.id, m).is_none(),
+                    "venue listed twice in for_each_venue"
+                );
+            }
+        });
+        // ...must agree exactly with user-side mayorship sets.
+        let mut claimed: HashMap<VenueId, UserId> = HashMap::new();
+        server.for_each_user(|u| {
+            for &v in &u.mayorships {
+                assert!(
+                    claimed.insert(v, u.id).is_none(),
+                    "venue {v:?} claimed by two users"
+                );
+            }
+        });
+        assert_eq!(
+            seats, claimed,
+            "venue seats and user mayorship sets diverge"
+        );
+    });
+}
+
+/// A user holding mayorships across every shard gets branded while
+/// other threads keep checking in: afterwards the branded user holds
+/// nothing and every surviving seat belongs to someone else.
+#[test]
+fn strip_on_brand_under_concurrent_checkins() {
+    with_watchdog("strip_on_brand_under_concurrent_checkins", || {
+        let server = Arc::new(LbsnServer::new(
+            SimClock::new(),
+            ServerConfig {
+                account_flag_threshold: Some(5),
+                shards: 8,
+                ..ServerConfig::default()
+            },
+        ));
+        let victim = server.register_user(UserSpec::anonymous());
+        let venues: Vec<(VenueId, GeoPoint)> = (0..24u64)
+            .map(|i| {
+                let loc = destination(abq(), ((i * 15) % 360) as f64, 150.0 * (i + 1) as f64);
+                (
+                    server.register_venue(VenueSpec::new(format!("V{i}"), loc)),
+                    loc,
+                )
+            })
+            .collect();
+        for (venue, loc) in &venues {
+            assert!(
+                server
+                    .check_in(&req(victim, *venue, *loc))
+                    .unwrap()
+                    .became_mayor
+            );
+            server.clock().advance(Duration::hours(2));
+        }
+        // Background honest traffic from other users while the victim
+        // gets branded.
+        let stop = Arc::new(AtomicU64::new(0));
+        let mut workers = Vec::new();
+        for t in 0..4 {
+            let server = Arc::clone(&server);
+            let venues = venues.clone();
+            let stop = Arc::clone(&stop);
+            let user = server.register_user(UserSpec::anonymous());
+            workers.push(std::thread::spawn(move || {
+                let mut i = 0usize;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    let (venue, loc) = venues[(t * 5 + i) % venues.len()];
+                    server.clock().advance(Duration::secs(121));
+                    server.check_in(&req(user, venue, loc)).unwrap();
+                    i += 1;
+                }
+            }));
+        }
+        let far = destination(abq(), 10.0, 300_000.0);
+        for _ in 0..5 {
+            server.clock().advance(Duration::secs(121));
+            let out = server.check_in(&req(victim, venues[0].0, far)).unwrap();
+            assert!(!out.rewarded());
+        }
+        stop.store(1, Ordering::Relaxed);
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+        let u = server.user(victim).unwrap();
+        assert!(u.branded_cheater);
+        assert!(u.mayorships.is_empty(), "branded user keeps no mayorships");
+        server.for_each_venue(|v| {
+            assert_ne!(v.mayor, Some(victim), "stripped seat {:?} still held", v.id);
+        });
+    });
+}
+
+/// Crawler-style readers hammer every read path while writers run:
+/// must terminate (no reader/writer deadlock) and reads must always
+/// observe internally consistent profiles.
+#[test]
+fn crawler_reads_run_concurrently_with_writers() {
+    with_watchdog("crawler_reads_run_concurrently_with_writers", || {
+        const WRITERS: usize = 4;
+        const READERS: usize = 4;
+        const OPS: usize = 3_000;
+        let server = Arc::new(LbsnServer::new(SimClock::new(), ServerConfig::default()));
+        let venues: Vec<(VenueId, GeoPoint)> = (0..16u64)
+            .map(|i| {
+                let loc = destination(abq(), ((i * 23) % 360) as f64, 120.0 * (i + 1) as f64);
+                (
+                    server.register_venue(VenueSpec::new(format!("Cafe {i}"), loc)),
+                    loc,
+                )
+            })
+            .collect();
+        let mut pools = Vec::new();
+        for _ in 0..WRITERS {
+            let users: Vec<UserId> = (0..16)
+                .map(|_| server.register_user(UserSpec::anonymous()))
+                .collect();
+            pools.push(users);
+        }
+        let barrier = Arc::new(Barrier::new(WRITERS + READERS));
+        let mut workers = Vec::new();
+        for (t, users) in pools.into_iter().enumerate() {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            let venues = venues.clone();
+            workers.push(std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..OPS {
+                    let user = users[i % users.len()];
+                    let (venue, loc) = venues[(t * 3 + i / users.len()) % venues.len()];
+                    server.clock().advance(Duration::secs(121));
+                    server.check_in(&req(user, venue, loc)).unwrap();
+                }
+            }));
+        }
+        for r in 0..READERS {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            workers.push(std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..OPS {
+                    match (r + i) % 5 {
+                        0 => {
+                            server.for_each_venue(|v| {
+                                assert!(v.unique_visitors.len() as u64 <= v.checkins_here);
+                            });
+                        }
+                        1 => {
+                            server.for_each_user(|u| {
+                                assert!(u.valid_checkins <= u.total_checkins);
+                            });
+                        }
+                        2 => {
+                            let _ = server.leaderboard(10);
+                        }
+                        3 => {
+                            let _ = server.venues_near(abq(), 10_000.0, 50);
+                            let _ = server.search_venues_by_name("cafe", 10);
+                        }
+                        _ => {
+                            let id = UserId((i % 64 + 1) as u64);
+                            server.with_user(id, |u| {
+                                assert_eq!(u.id, id);
+                            });
+                        }
+                    }
+                }
+            }));
+        }
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+        let snap_total = (WRITERS * OPS) as u64;
+        let mut total = 0;
+        server.for_each_user(|u| total += u.total_checkins);
+        assert_eq!(total, snap_total);
+    });
+}
