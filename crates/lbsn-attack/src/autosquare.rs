@@ -99,10 +99,7 @@ mod tests {
     fn world(cheater_code: CheaterCodeConfig) -> (Arc<LbsnServer>, UserId) {
         let server = Arc::new(LbsnServer::new(
             SimClock::new(),
-            ServerConfig {
-                cheater_code,
-                ..ServerConfig::default()
-            },
+            ServerConfig::with_detectors(cheater_code),
         ));
         // Venues all over the country, far from the user's claim.
         for (i, name) in ["Blue Bistro", "Golden Gate Bridge", "Joe's Diner"]

@@ -4,8 +4,11 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use lbsn_device::Emulator;
+use lbsn_geo::GeoPoint;
 use lbsn_obs::{Counter, Histogram, Registry};
-use lbsn_server::{Badge, CheatFlag, LbsnServer, UserId, VenueId};
+use lbsn_server::{
+    AdmissionOutcome, Badge, CheatFlag, CheckinError, CheckinEvidence, LbsnServer, UserId, VenueId,
+};
 
 use crate::schedule::Schedule;
 
@@ -24,6 +27,9 @@ struct AttackMetrics {
     rewarded: Counter,
     /// `attack.checkins.flagged`: check-ins the cheater code caught.
     flagged: Counter,
+    /// `attack.checkins.verifier_rejected`: check-ins a §5.1 verifier
+    /// stage dropped before the server recorded them.
+    verifier_rejected: Counter,
     /// `attack.evasion.streak`: lengths of consecutive-unflagged runs,
     /// recorded each time a streak ends (a flag, or end of campaign).
     evasion_streak: Histogram,
@@ -35,6 +41,7 @@ impl AttackMetrics {
             attempted: registry.counter("attack.checkins.attempted"),
             rewarded: registry.counter("attack.checkins.rewarded"),
             flagged: registry.counter("attack.checkins.flagged"),
+            verifier_rejected: registry.counter("attack.checkins.verifier_rejected"),
             evasion_streak: registry
                 .histogram_with_buckets("attack.evasion.streak", &STREAK_BUCKETS),
             registry,
@@ -51,6 +58,10 @@ pub struct CampaignReport {
     pub rewarded: u64,
     /// Check-ins the cheater code flagged, with their flags.
     pub flagged: Vec<(VenueId, Vec<CheatFlag>)>,
+    /// Check-ins dropped by a pre-admission verifier stage (verified
+    /// deployments only) — never recorded server-side, unlike flagged
+    /// check-ins, which still count toward the account's totals.
+    pub verifier_rejected: u64,
     /// Total points earned.
     pub points: u64,
     /// Badges unlocked during the campaign.
@@ -64,7 +75,7 @@ pub struct CampaignReport {
 impl CampaignReport {
     /// Whether the whole campaign evaded detection.
     pub fn undetected(&self) -> bool {
-        self.flagged.is_empty()
+        self.flagged.is_empty() && self.verifier_rejected == 0
     }
 }
 
@@ -159,6 +170,33 @@ impl AttackSession {
     /// Executes a schedule: waits (in virtual time) until each planned
     /// check-in, spoofs the GPS, checks in, and accounts the outcome.
     pub fn execute(&self, schedule: &Schedule) -> CampaignReport {
+        self.run(schedule, |venue| {
+            self.app.check_in(venue).map(AdmissionOutcome::Processed)
+        })
+    }
+
+    /// Executes a schedule against a *verified* deployment (§5.1): the
+    /// attacker's device physically sits at `true_location` (their
+    /// desk) while the spoofed GPS walks the schedule. Each submission
+    /// travels with transport evidence carrying the true position, so
+    /// any installed verifier stage gets to judge it — dropped
+    /// check-ins land in [`CampaignReport::verifier_rejected`].
+    pub fn execute_with_evidence(
+        &self,
+        schedule: &Schedule,
+        true_location: GeoPoint,
+    ) -> CampaignReport {
+        let evidence = CheckinEvidence::local(true_location);
+        self.run(schedule, |venue| {
+            self.app.check_in_verified(venue, &evidence)
+        })
+    }
+
+    fn run(
+        &self,
+        schedule: &Schedule,
+        submit: impl Fn(VenueId) -> Result<AdmissionOutcome, CheckinError>,
+    ) -> CampaignReport {
         let mut report = CampaignReport::default();
         let mut mayorships: HashSet<VenueId> = HashSet::new();
         // Campaigns are rare, high-value roots: force-sample so every
@@ -181,8 +219,8 @@ impl AttackSession {
             report.attempted += 1;
             self.metrics.attempted.inc();
             let mut caught = true;
-            match self.app.check_in(item.venue) {
-                Ok(outcome) => {
+            match submit(item.venue) {
+                Ok(AdmissionOutcome::Processed(outcome)) => {
                     if outcome.rewarded() {
                         caught = false;
                         report.rewarded += 1;
@@ -199,15 +237,21 @@ impl AttackSession {
                             step.event_with(|| format!("flag.{flag:?}"));
                         }
                         report.flagged.push((item.venue, outcome.flags));
+                        self.metrics.flagged.inc();
                     }
+                }
+                Ok(AdmissionOutcome::VerifierRejected { verifier }) => {
+                    step.event_with(|| format!("verifier.rejected.{verifier}"));
+                    report.verifier_rejected += 1;
+                    self.metrics.verifier_rejected.inc();
                 }
                 Err(_) => {
                     step.event("checkin.error");
                     report.flagged.push((item.venue, Vec::new()));
+                    self.metrics.flagged.inc();
                 }
             }
             if caught {
-                self.metrics.flagged.inc();
                 self.metrics.evasion_streak.record(streak);
                 streak = 0;
             } else {
@@ -312,6 +356,45 @@ mod tests {
         // The fake visit shows in the recent-visitor list — the comment
         // reads like a real customer's.
         assert!(v.recent_visitors.contains(&owner));
+    }
+
+    #[test]
+    fn verified_deployment_drops_the_paced_campaign() {
+        // The §3.3 pacing that beats the cheater code is useless against
+        // a venue-side WiFi verifier: the attacker's device never left
+        // Albuquerque, and the transport evidence says so.
+        use lbsn_defense::{RouterRegistry, VerifierStack, VerifierStage, WifiVerifier};
+        let routers = Arc::new(RouterRegistry::new());
+        let stage = VerifierStage::new(
+            VerifierStack::new().push(Box::new(WifiVerifier::narrowed(30.0))),
+            Arc::clone(&routers),
+        );
+        let server = Arc::new(LbsnServer::with_pipeline(
+            SimClock::new(),
+            ServerConfig::default(),
+            Arc::new(lbsn_obs::Registry::new()),
+            vec![Box::new(stage)],
+        ));
+        let venues: Vec<_> = (0..6)
+            .map(|i| {
+                let loc = destination(abq(), (i * 47 % 360) as f64, 2_000.0 * (i + 1) as f64);
+                let v = server.register_venue(VenueSpec::new(format!("V{i}"), loc));
+                routers.register(v);
+                (v, loc)
+            })
+            .collect();
+        let user = server.register_user(UserSpec::named("caught"));
+        let session = AttackSession::new(Arc::clone(&server), user);
+        let schedule = Schedule::build(&venues, Timestamp(0), &PacingPolicy::default());
+        let home = abq(); // the device never moves
+        let report = session.execute_with_evidence(&schedule, home);
+        assert_eq!(report.attempted, 6);
+        assert_eq!(report.verifier_rejected, 6);
+        assert_eq!(report.rewarded, 0);
+        assert!(!report.undetected());
+        // Dropped, not flagged: nothing was recorded server-side.
+        assert!(report.flagged.is_empty());
+        assert_eq!(server.user(user).unwrap().total_checkins, 0);
     }
 
     #[test]

@@ -58,10 +58,8 @@ fn ablation_rules(c: &mut Criterion) {
     // Account branding off: the ablation isolates what each *rule*
     // catches per check-in (branding would re-flag everything after the
     // first ten hits regardless of which rule fired).
-    let server_config = |cheater_code: CheaterCodeConfig| ServerConfig {
-        cheater_code,
-        account_flag_threshold: None,
-        ..ServerConfig::default()
+    let server_config = |cheater_code: CheaterCodeConfig| {
+        ServerConfig::with_detectors(cheater_code.branding_threshold(None))
     };
     // Print the functional ablation once.
     for (name, config) in &configs {

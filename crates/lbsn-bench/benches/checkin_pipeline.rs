@@ -1,0 +1,322 @@
+//! Per-detector cost of the admission pipeline.
+//!
+//! Two parts, mirroring `checkin_throughput`:
+//!
+//! * criterion groups (`checkin_pipeline/{variant}`) timing a batch of
+//!   honest check-ins through one pipeline configuration per variant;
+//! * a report pass that measures ns/check-in per variant and writes
+//!   `BENCH_checkin_pipeline.json` at the repo root — the committed
+//!   record of what each §2.3 detector (and the §5.1 Wi-Fi verifier
+//!   stage) adds on top of the detector-free pipeline.
+//!
+//! Every variant is pure [`PolicyConfig`] data — the same sweep the
+//! E13 experiment drives from `policies/*.json`, here pointed at cost
+//! instead of admission outcomes. The workload is honest by
+//! construction (distinct venues 100 m apart, two simulated minutes
+//! between check-ins) so every detector runs to its cheap "pass" exit:
+//! the numbers are steady-state overhead, not rejection-path cost.
+//!
+//! `LBSN_BENCH_QUICK=1` shrinks op counts for CI smoke runs (the JSON
+//! records which mode produced it).
+
+use std::sync::Arc;
+use std::time::{Duration as WallDuration, Instant};
+
+use criterion::{criterion_group, Criterion};
+use lbsn_defense::{RouterRegistry, VerifierStack, VerifierStage, WifiVerifier};
+use lbsn_geo::destination;
+use lbsn_obs::Registry;
+use lbsn_server::{
+    CheckinEvidence, CheckinRequest, CheckinSource, CheckinVerifier, DetectorConfig, LbsnServer,
+    ServerConfig, UserSpec, VenueSpec,
+};
+use lbsn_sim::{Duration, SimClock};
+
+const VENUE_RING: usize = 64;
+/// Check-ins rotate over this many users so per-user history stays
+/// bounded: the bench measures steady-state pipeline cost, not
+/// record-growth effects. A multiple of `VENUE_RING`, so each user
+/// lands on one fixed venue, revisited far outside the cooldown.
+const USERS: usize = 128;
+
+fn quick() -> bool {
+    std::env::var("LBSN_BENCH_QUICK").is_ok()
+}
+
+/// One pipeline configuration under test.
+struct Variant {
+    name: &'static str,
+    detectors: DetectorConfig,
+    wifi_verifier: bool,
+}
+
+/// Detector-set sweep: none → each rule alone → the full chain → the
+/// full chain behind the Wi-Fi verifier stage. Branding is off except
+/// in the full-chain rows (it never fires on this honest workload
+/// either way; keeping it on there matches the shipped default).
+fn variants() -> Vec<Variant> {
+    let none = || DetectorConfig::disabled().branding_threshold(None);
+    vec![
+        Variant {
+            name: "no-detectors",
+            detectors: none(),
+            wifi_verifier: false,
+        },
+        Variant {
+            name: "gps-only",
+            detectors: DetectorConfig {
+                enable_gps: true,
+                ..none()
+            },
+            wifi_verifier: false,
+        },
+        Variant {
+            name: "cooldown-only",
+            detectors: DetectorConfig {
+                enable_cooldown: true,
+                ..none()
+            },
+            wifi_verifier: false,
+        },
+        Variant {
+            name: "speed-only",
+            detectors: DetectorConfig {
+                enable_speed: true,
+                ..none()
+            },
+            wifi_verifier: false,
+        },
+        Variant {
+            name: "rapid-fire-only",
+            detectors: DetectorConfig {
+                enable_rapid_fire: true,
+                ..none()
+            },
+            wifi_verifier: false,
+        },
+        Variant {
+            name: "full-chain",
+            detectors: DetectorConfig::default(),
+            wifi_verifier: false,
+        },
+        Variant {
+            name: "full-chain+wifi-verifier",
+            detectors: DetectorConfig::default(),
+            wifi_verifier: true,
+        },
+    ]
+}
+
+/// A server plus an honest check-in driver for one variant.
+struct Rig {
+    server: LbsnServer,
+    venues: Vec<lbsn_server::VenueId>,
+    // Venue locations, precomputed so the timed loop never pays for a
+    // venue-record clone: the loop should cost one check-in, plus the
+    // couple of instructions picking the next user/venue.
+    locs: Vec<lbsn_geo::GeoPoint>,
+    users: Vec<lbsn_server::UserId>,
+    registry: Arc<Registry>,
+    verified: bool,
+}
+
+fn rig(variant: &Variant) -> Rig {
+    let routers = Arc::new(RouterRegistry::new());
+    let verifiers: Vec<Box<dyn CheckinVerifier>> = if variant.wifi_verifier {
+        vec![Box::new(VerifierStage::new(
+            VerifierStack::new().push(Box::new(WifiVerifier::default())),
+            Arc::clone(&routers),
+        ))]
+    } else {
+        Vec::new()
+    };
+    let registry = Arc::new(Registry::new());
+    let server = LbsnServer::with_pipeline(
+        SimClock::new(),
+        ServerConfig::with_detectors(variant.detectors.clone()),
+        Arc::clone(&registry),
+        verifiers,
+    );
+    let origin = lbsn_geo::GeoPoint::new(37.8080, -122.4177).unwrap();
+    // An actual circle (adjacent venues ~100 m apart, wrap included) so
+    // the i%RING walk never takes a superhuman hop.
+    let radius = VENUE_RING as f64 * 100.0 / std::f64::consts::TAU;
+    let venues: Vec<_> = (0..VENUE_RING)
+        .map(|i| {
+            let v = server.register_venue(VenueSpec::new(
+                format!("Ring {i}"),
+                destination(origin, 360.0 * i as f64 / VENUE_RING as f64, radius),
+            ));
+            if variant.wifi_verifier {
+                routers.register(v);
+            }
+            v
+        })
+        .collect();
+    let users = (0..USERS)
+        .map(|_| server.register_user(UserSpec::anonymous()))
+        .collect();
+    let locs = venues
+        .iter()
+        .map(|&v| server.venue(v).unwrap().location)
+        .collect();
+    Rig {
+        server,
+        venues,
+        locs,
+        users,
+        registry,
+        verified: variant.wifi_verifier,
+    }
+}
+
+impl Rig {
+    /// Runs `ops` honest check-ins, two simulated minutes apart,
+    /// rotating over the user pool and the 100 m-spaced venue ring so
+    /// no rule fires: adjacent hops are sub-walking-speed, and any one
+    /// user revisits its venue hours outside the cooldown.
+    fn run(&self, ops: usize) {
+        for i in 0..ops {
+            let venue = self.venues[i % VENUE_RING];
+            let loc = self.locs[i % VENUE_RING];
+            let req = CheckinRequest {
+                user: self.users[i % USERS],
+                venue,
+                reported_location: loc,
+                source: CheckinSource::MobileApp,
+            };
+            let out = if self.verified {
+                let evidence = CheckinEvidence::local(loc);
+                match self.server.check_in_with_evidence(&req, Some(&evidence)) {
+                    Ok(out) => out.rewarded(),
+                    Err(_) => false,
+                }
+            } else {
+                self.server.check_in(&req).is_ok_and(|o| o.rewarded())
+            };
+            assert!(out, "bench workload must stay honest");
+            self.server.clock().advance(Duration::minutes(2));
+        }
+    }
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkin_pipeline");
+    let ops = if quick() { 100 } else { 1_000 };
+    if quick() {
+        group
+            .sample_size(2)
+            .warm_up_time(WallDuration::from_millis(10))
+            .measurement_time(WallDuration::from_millis(100));
+    }
+    for variant in variants() {
+        group.bench_function(variant.name, |b| {
+            let rig = rig(&variant);
+            b.iter(|| rig.run(ops));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(checkin_pipeline, bench_pipeline);
+
+/// Best-of-`rounds` ns/check-in for one variant (fresh rig per round so
+/// user history never accumulates across rounds).
+fn best_ns_per_op(variant: &Variant, ops: usize, rounds: usize) -> f64 {
+    (0..rounds)
+        .map(|_| {
+            let r = rig(variant);
+            let start = Instant::now();
+            r.run(ops);
+            start.elapsed().as_nanos() as f64 / ops as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Per-detector p50/p99, read from the pipeline's own
+/// `server.checkin.detector.{slug}.latency` histograms after an
+/// instrumented run — far more precise than differencing noisy
+/// end-to-end totals, since each sample times exactly one detector.
+fn detector_rows(variant: &Variant, ops: usize) -> Vec<String> {
+    let r = rig(variant);
+    r.run(ops);
+    let snap = r.registry.snapshot();
+    let mut rows = Vec::new();
+    let mut quantiles = |label: &str, metric: &str| {
+        let p50 = snap.quantile_ns(metric, 0.50);
+        let p99 = snap.quantile_ns(metric, 0.99);
+        if let (Some(p50), Some(p99)) = (p50, p99) {
+            println!("  {label}: p50 {p50} ns, p99 {p99} ns");
+            rows.push(format!(
+                "{{\"stage\": \"{label}\", \"p50_ns\": {p50}, \"p99_ns\": {p99}}}"
+            ));
+        }
+    };
+    for slug in [
+        "branded_account",
+        "gps_proximity",
+        "frequent_checkins",
+        "superhuman_speed",
+        "rapid_fire",
+    ] {
+        quantiles(slug, &format!("server.checkin.detector.{slug}.latency"));
+    }
+    quantiles("wifi-verify-stage", "server.checkin.stage.verify");
+    rows
+}
+
+fn write_report() {
+    let quick = quick();
+    let (ops, rounds) = if quick { (2_000, 1) } else { (50_000, 3) };
+
+    println!("== report: end-to-end cost per variant ({ops} check-ins x {rounds}) ==");
+    let all = variants();
+    let mut measured = Vec::new();
+    for variant in &all {
+        let ns = best_ns_per_op(variant, ops, rounds);
+        println!("  {}: {ns:.1} ns/check-in", variant.name);
+        measured.push((variant.name, ns));
+    }
+    let rows: Vec<String> = measured
+        .iter()
+        .map(|(name, ns)| format!("{{\"variant\": \"{name}\", \"ns_per_checkin\": {ns:.1}}}"))
+        .collect();
+
+    println!("== report: per-stage cost from pipeline histograms ({ops} check-ins) ==");
+    let stages = detector_rows(all.last().unwrap(), ops);
+
+    let indent = |rows: &[String]| {
+        rows.iter()
+            .map(|r| format!("    {r}"))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
+    let json = format!(
+        r#"{{
+  "bench": "checkin_pipeline",
+  "mode": "{mode}",
+  "note": "Single-thread honest workload (venue ring, user pool, 2 simulated minutes between check-ins): every detector takes its pass exit, so stages[] is steady-state per-rule cost, not rejection-path cost. stages[] comes from the pipeline's own server.checkin.detector.*.latency histograms during the full-chain+wifi-verifier run; each sample times exactly one stage, so those numbers resolve far below box noise. variants[] is the end-to-end check-in cost per pipeline configuration — on a shared box it swings +/-20% with neighbor load, so treat it as scale, not signal.",
+  "variants": [
+{variant_rows}
+  ],
+  "stages": [
+{stage_rows}
+  ]
+}}
+"#,
+        mode = if quick { "quick" } else { "full" },
+        variant_rows = indent(&rows),
+        stage_rows = indent(&stages),
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_checkin_pipeline.json"
+    );
+    std::fs::write(path, json).expect("write BENCH_checkin_pipeline.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    checkin_pipeline();
+    write_report();
+}

@@ -213,10 +213,7 @@ fn e12_cheatercode_overhead(c: &mut Criterion) {
                 || {
                     let server = LbsnServer::new(
                         SimClock::new(),
-                        ServerConfig {
-                            cheater_code: config.clone(),
-                            ..ServerConfig::default()
-                        },
+                        ServerConfig::with_detectors(config.clone()),
                     );
                     let venue = server.register_venue(VenueSpec::new("V", abq()));
                     let user = server.register_user(UserSpec::anonymous());

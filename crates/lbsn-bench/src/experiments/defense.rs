@@ -316,16 +316,12 @@ fn ok(o: &lbsn_server::CheckinOutcome) -> &'static str {
 }
 
 fn flagged_with(seed: u64, cheater_code: CheaterCodeConfig) -> u64 {
+    // Disable account branding: the ablation isolates what each *rule*
+    // catches per check-in, and branding would re-flag everything after
+    // the first ten hits regardless of rule.
     let server = LbsnServer::new(
         SimClock::new(),
-        ServerConfig {
-            cheater_code,
-            // Disable account branding: the ablation isolates what each
-            // *rule* catches per check-in, and branding would re-flag
-            // everything after the first ten hits regardless of rule.
-            account_flag_threshold: None,
-            ..ServerConfig::default()
-        },
+        ServerConfig::with_detectors(cheater_code.branding_threshold(None)),
     );
     let plan = lbsn_workload::plan(&PopulationSpec::tiny(400, seed));
     let pop = lbsn_workload::generate(&server, &plan);

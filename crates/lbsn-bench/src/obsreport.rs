@@ -179,6 +179,24 @@ pub fn default_policy() -> SloPolicy {
                 q: 0.99,
                 max_ns: 5_000_000_000, // 5 s simulated round-trip ceiling
             },
+            SloRule::QuantileMaxNs {
+                metric: "server.shard.lock_wait".to_string(),
+                q: 0.99,
+                max_ns: 5_000_000, // 5 ms shard-contention ceiling
+            },
+            SloRule::QuantileMaxNs {
+                // Per-detector cost gate: each cheater-code rule is an
+                // O(1)-ish predicate over the locked user record; if one
+                // ever grows a scan that pushes its p99 past ~1 ms
+                // (1 << 20 ns, a histogram bucket bound), the admission
+                // pipeline's budget is being spent in the wrong stage.
+                // The GPS detector stands proxy for the chain — it runs
+                // on every non-branded check-in under the default
+                // policy.
+                metric: "server.checkin.detector.gps_proximity.latency".to_string(),
+                q: 0.99,
+                max_ns: 1 << 20,
+            },
             SloRule::CounterMin {
                 metric: "server.checkin.accepted".to_string(),
                 min: 100, // the workload actually exercised the pipeline

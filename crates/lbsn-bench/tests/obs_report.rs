@@ -16,9 +16,13 @@ fn healthy_snapshot_json() -> String {
     let registry = Registry::new();
     let checkin = registry.latency("server.checkin.total");
     let fetch = registry.latency("crawler.fetch");
+    let lock_wait = registry.latency("server.shard.lock_wait");
+    let gps = registry.latency("server.checkin.detector.gps_proximity.latency");
     for _ in 0..200 {
         checkin.record_ns(1_000_000); // 1 ms
         fetch.record_ns(40_000_000); // 40 ms
+        lock_wait.record_ns(2_000); // 2 µs
+        gps.record_ns(500); // 500 ns
     }
     registry.counter("server.checkin.accepted").add(200);
     registry.counter("crawler.store.users").add(200);

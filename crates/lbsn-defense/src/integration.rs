@@ -1,5 +1,17 @@
 //! Verified check-ins: the §6.2.2 future work, built.
 //!
+//! **Superseded by [`crate::stage::VerifierStage`].** This module keeps
+//! the original *wrapper-service* deployment shape — a
+//! [`VerifiedCheckinService`] fronting the server from outside — which
+//! only verifies check-ins that remember to go through the wrapper. The
+//! stage-based deployment installs the same [`VerifierStack`] *inside*
+//! the server's admission pipeline
+//! ([`LbsnServer::with_pipeline`](lbsn_server::LbsnServer::with_pipeline)),
+//! so every entry point is covered and rejections show up in the
+//! server's own `server.checkin.verifier.*` metrics. New code should
+//! build deployments from [`crate::stage`]; this wrapper remains for
+//! callers that want verification without reconstructing the server.
+//!
 //! §5.1 sketches the deployment: "the Wi-Fi router takes the
 //! responsibility to measure if a check-in message was sent from a
 //! device in a legal area … If so, the Wi-Fi router sends the
@@ -45,6 +57,10 @@ impl VerifiedOutcome {
 }
 
 /// A server deployment with location verification in the check-in path.
+///
+/// Superseded by [`crate::stage::VerifierStage`], which installs the
+/// same stack as a first-class pipeline stage — see the module docs for
+/// the trade-off.
 pub struct VerifiedCheckinService {
     server: Arc<LbsnServer>,
     stack: VerifierStack,

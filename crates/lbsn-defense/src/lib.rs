@@ -11,6 +11,9 @@
 //!   "intrinsic distance bounding" within radio range). A
 //!   [`VerifierStack`] composes them and the evaluation harness scores
 //!   each against a matrix of honest and attack scenarios.
+//!   [`VerifierStage`] installs a stack as a first-class stage of the
+//!   server's own admission pipeline (the preferred deployment);
+//!   [`VerifiedCheckinService`] is the older external-wrapper shape.
 //!
 //! * **Crawl mitigation** (§5.2) — [`crawl_control`] gates the web
 //!   frontend with login requirements, per-IP rate limits and automatic
@@ -32,6 +35,7 @@ mod distance_bounding;
 pub mod integration;
 pub mod privacy;
 mod stack;
+pub mod stage;
 mod verify;
 mod wifi;
 
@@ -39,6 +43,7 @@ pub use address_mapping::AddressMapping;
 pub use distance_bounding::DistanceBounding;
 pub use integration::{VerifiedCheckinService, VerifiedOutcome};
 pub use stack::{classify, evaluate_verifier, EvaluationRow, ScenarioOutcome, VerifierStack};
+pub use stage::{RouterRegistry, VerifierStage};
 pub use verify::{
     AttackScenario, DeploymentCost, IpOrigin, LocationVerifier, Verdict, VerificationContext,
 };

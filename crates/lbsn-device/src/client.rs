@@ -5,7 +5,8 @@ use std::sync::Arc;
 use lbsn_geo::Meters;
 use lbsn_server::api::{ApiClient, VenueSummary};
 use lbsn_server::{
-    CheckinError, CheckinOutcome, CheckinRequest, CheckinSource, LbsnServer, UserId, VenueId,
+    AdmissionOutcome, CheckinError, CheckinEvidence, CheckinOutcome, CheckinRequest, CheckinSource,
+    LbsnServer, UserId, VenueId,
 };
 
 use crate::phone::Phone;
@@ -71,6 +72,32 @@ impl ClientApp {
             reported_location: self.phone.os_location(),
             source: CheckinSource::MobileApp,
         })
+    }
+
+    /// Checks in against a verified deployment (§5.1): the GPS fix
+    /// still comes from the (spoofable) OS location API, but the
+    /// submission travels with out-of-band transport `evidence` the app
+    /// cannot forge — in a real deployment the venue's router or the
+    /// carrier produces it, so the harness supplies the physically
+    /// observed values rather than asking the phone.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckinError`] for unknown IDs.
+    pub fn check_in_verified(
+        &self,
+        venue: VenueId,
+        evidence: &CheckinEvidence,
+    ) -> Result<AdmissionOutcome, CheckinError> {
+        self.server.check_in_with_evidence(
+            &CheckinRequest {
+                user: self.user,
+                venue,
+                reported_location: self.phone.os_location(),
+                source: CheckinSource::MobileApp,
+            },
+            Some(evidence),
+        )
     }
 
     /// Convenience: check in to the nearest venue the app can see.

@@ -174,8 +174,9 @@ impl Drop for ScopedTimer {
 }
 
 /// One latency metric, three views: the fixed-bucket [`Histogram`]
-/// (decade-level shape, v1-compatible), a [`QuantileSketch`] (tight
-/// p50/p95/p99), and a per-second [`TimeWindow`] (rate over time). All
+/// (decade-level shape, v1-compatible), a
+/// [`QuantileSketch`](crate::QuantileSketch) (tight p50/p95/p99), and a
+/// per-second [`TimeWindow`](crate::TimeWindow) (rate over time). All
 /// three share the metric's name and are fed by a single timer or
 /// `record_ns` call, so hot paths pay one clock read for the full
 /// picture. Resolved through [`crate::Registry::latency`].

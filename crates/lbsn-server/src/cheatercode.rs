@@ -2,17 +2,15 @@
 //!
 //! §2.3 of the paper reverse-engineers three rules through black-box
 //! experiments, plus the basic GPS proximity check. Each is implemented
-//! here as a [`CheatRule`]; the set is configurable so the benchmark
-//! harness can ablate rules individually and measure what each one
-//! catches.
+//! here as a [`CheatRule`] (re-exported as
+//! [`Detector`](crate::pipeline::Detector) by the admission pipeline);
+//! the set is configurable so the benchmark harness can ablate rules
+//! individually and measure what each one catches.
 //!
-//! The real cheater code was concealed; these parameters encode exactly
-//! what the paper observed:
-//!
-//! * a user cannot check in to the same venue again within **one hour**;
-//! * continuously checking in far apart trips "**super human speed**";
-//! * a **fourth** check-in among venues inside a **180 m × 180 m** square
-//!   at **1-minute** intervals draws a "rapid-fire check-ins" warning.
+//! The rules' thresholds live in the serde-loadable
+//! [`DetectorConfig`](crate::policy::DetectorConfig) (re-exported here
+//! under its historical name [`CheaterCodeConfig`]), so ablation sweeps
+//! are pure configuration — see [`crate::policy`].
 
 use lbsn_geo::{distance, equirectangular_distance, GeoPoint, Meters, METERS_PER_DEGREE_LAT};
 use lbsn_sim::{Duration, Timestamp};
@@ -21,80 +19,9 @@ use crate::checkin::{CheatFlag, CheckinRequest};
 use crate::user::User;
 use crate::venue::Venue;
 
-/// Tunable parameters for the standard rule set.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CheaterCodeConfig {
-    /// Max distance between the reported GPS fix and the claimed venue
-    /// for the check-in to verify. Foursquare's client only offered
-    /// venues "nearby" the fix; 500 m approximates that.
-    pub gps_radius_m: Meters,
-    /// Whether GPS proximity verification is active. Before ~April 2010
-    /// Foursquare had no location verification at all (§2.2's
-    /// "basic cheating method worked in the early days"); turning this
-    /// off reproduces that era.
-    pub enable_gps: bool,
-
-    /// Same-venue cooldown (paper: one hour).
-    pub same_venue_cooldown: Duration,
-    /// Whether the cooldown rule is active.
-    pub enable_cooldown: bool,
-
-    /// Maximum plausible travel speed in metres/second. The paper never
-    /// learned Foursquare's exact threshold, only that 1 mile per 5
-    /// minutes (~5.4 m/s) was safe and that cross-country hops were
-    /// flagged. 40 m/s (~90 mph) is a road-travel upper bound that keeps
-    /// both observations true.
-    pub max_speed_mps: f64,
-    /// Speed checks only apply when the gap since the last valid
-    /// check-in is shorter than this; longer gaps could plausibly
-    /// include a flight.
-    pub speed_rule_max_gap: Duration,
-    /// Whether the super-human-speed rule is active.
-    pub enable_speed: bool,
-
-    /// Rapid-fire: the check-in count at which the warning fires
-    /// (paper: the fourth).
-    pub rapid_fire_count: usize,
-    /// Rapid-fire: the square side length (paper: 180 m).
-    pub rapid_fire_square_m: Meters,
-    /// Rapid-fire: max interval between consecutive check-ins for them
-    /// to chain into a burst (paper: 1 minute).
-    pub rapid_fire_max_interval: Duration,
-    /// Whether the rapid-fire rule is active.
-    pub enable_rapid_fire: bool,
-}
-
-impl Default for CheaterCodeConfig {
-    fn default() -> Self {
-        CheaterCodeConfig {
-            gps_radius_m: 500.0,
-            enable_gps: true,
-            same_venue_cooldown: Duration::hours(1),
-            enable_cooldown: true,
-            max_speed_mps: 40.0,
-            speed_rule_max_gap: Duration::hours(24),
-            enable_speed: true,
-            rapid_fire_count: 4,
-            rapid_fire_square_m: 180.0,
-            rapid_fire_max_interval: Duration::minutes(1),
-            enable_rapid_fire: true,
-        }
-    }
-}
-
-impl CheaterCodeConfig {
-    /// The pre-April-2010 service: no verification at all. Check-ins to
-    /// anywhere succeed — the era of "Autosquare".
-    pub fn disabled() -> Self {
-        CheaterCodeConfig {
-            enable_gps: false,
-            enable_cooldown: false,
-            enable_speed: false,
-            enable_rapid_fire: false,
-            ..CheaterCodeConfig::default()
-        }
-    }
-}
+/// Historical name for the detector parameters, now defined in
+/// [`crate::policy`] where the whole admission policy lives.
+pub use crate::policy::DetectorConfig as CheaterCodeConfig;
 
 /// Everything a rule may inspect when judging a check-in.
 pub struct RuleContext<'a> {
@@ -115,10 +42,19 @@ pub struct RuleContext<'a> {
 /// `None`. The server collects flags from every active rule (the paper's
 /// experiments could observe multiple independent warnings).
 pub trait CheatRule: Send + Sync {
-    /// Stable rule name, used in ablation reports.
+    /// Stable rule name, used in ablation reports and the per-detector
+    /// `server.checkin.detector.{name}.*` metrics.
     fn name(&self) -> &'static str;
     /// Judge a check-in.
     fn check(&self, ctx: &RuleContext<'_>) -> Option<CheatFlag>;
+    /// Whether a raised flag ends detection outright: when a terminal
+    /// detector fires, its flag is the check-in's *only* flag and no
+    /// later detector runs. The branded-account detector is terminal
+    /// (a branded account's check-in reports nothing else, §4.2);
+    /// ordinary rules are not.
+    fn is_terminal(&self) -> bool {
+        false
+    }
 }
 
 /// GPS proximity verification: the claimed venue must be near the

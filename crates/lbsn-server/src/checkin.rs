@@ -39,6 +39,48 @@ pub struct CheckinRequest {
     pub source: CheckinSource,
 }
 
+/// Out-of-band evidence a verified deployment captures alongside a
+/// check-in, for the §5.1 verifier stages to judge.
+///
+/// Unlike [`CheckinRequest::reported_location`], none of these fields
+/// come from the client's say-so: the physical location is simulation
+/// ground truth (what a WiFi AP proximity check would physically
+/// observe), and the IP origin is what the transport layer sees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckinEvidence {
+    /// Where the submitting device physically is.
+    pub physical_location: GeoPoint,
+    /// Where the submission's source IP geolocates to. For cellular
+    /// clients this is the carrier hub, which may sit far from the
+    /// device — the known blind spot of IP-based verification (§5.1).
+    pub ip_location: GeoPoint,
+    /// Whether the submission arrived over a cellular data connection
+    /// (IP geolocates to the carrier hub, not the device).
+    pub cellular: bool,
+}
+
+impl CheckinEvidence {
+    /// Evidence for a device on a local (non-cellular) connection whose
+    /// IP geolocates to where it physically is.
+    pub fn local(location: GeoPoint) -> Self {
+        CheckinEvidence {
+            physical_location: location,
+            ip_location: location,
+            cellular: false,
+        }
+    }
+
+    /// Evidence for a device on a cellular connection: physically at
+    /// `location`, IP geolocating to `carrier_hub`.
+    pub fn cellular(location: GeoPoint, carrier_hub: GeoPoint) -> Self {
+        CheckinEvidence {
+            physical_location: location,
+            ip_location: carrier_hub,
+            cellular: true,
+        }
+    }
+}
+
 /// Why the cheater code (or GPS verification) invalidated a check-in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum CheatFlag {
@@ -124,6 +166,43 @@ impl CheckinOutcome {
     }
 }
 
+/// What the full admission pipeline decided about a check-in.
+///
+/// A check-in rejected by a pre-admission verifier stage is *dropped*,
+/// not recorded — unlike a cheater-code flag, which records the
+/// check-in and withholds rewards. This is the distinction §5.1 draws
+/// between verification at submission time and after-the-fact
+/// detection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionOutcome {
+    /// The check-in reached the detector/record/reward stages; the
+    /// outcome says whether it was rewarded or flagged.
+    Processed(CheckinOutcome),
+    /// A verifier stage rejected the check-in before it was recorded.
+    VerifierRejected {
+        /// Name of the verifier stage that rejected.
+        verifier: &'static str,
+    },
+}
+
+impl AdmissionOutcome {
+    /// Whether the check-in was admitted *and* earned rewards.
+    pub fn rewarded(&self) -> bool {
+        match self {
+            AdmissionOutcome::Processed(o) => o.rewarded(),
+            AdmissionOutcome::VerifierRejected { .. } => false,
+        }
+    }
+
+    /// The processed outcome, if the check-in got past the verifiers.
+    pub fn outcome(&self) -> Option<&CheckinOutcome> {
+        match self {
+            AdmissionOutcome::Processed(o) => Some(o),
+            AdmissionOutcome::VerifierRejected { .. } => None,
+        }
+    }
+}
+
 /// Errors for malformed check-in submissions.
 ///
 /// Note the asymmetry with [`CheatFlag`]: an unknown user or venue is a
@@ -135,6 +214,14 @@ pub enum CheckinError {
     UnknownUser(UserId),
     /// No such venue.
     UnknownVenue(VenueId),
+    /// A verifier stage rejected the check-in before it was recorded
+    /// (carries the stage name). Only reachable on servers built with
+    /// verifier stages; surfaced through the plain
+    /// [`check_in`](crate::LbsnServer::check_in) API, which has no way
+    /// to express a dropped-not-recorded submission as an outcome —
+    /// use [`check_in_with_evidence`](crate::LbsnServer::check_in_with_evidence)
+    /// to observe the rejection as an [`AdmissionOutcome`] instead.
+    VerifierRejected(&'static str),
 }
 
 impl fmt::Display for CheckinError {
@@ -142,6 +229,9 @@ impl fmt::Display for CheckinError {
         match self {
             CheckinError::UnknownUser(u) => write!(f, "unknown user {u}"),
             CheckinError::UnknownVenue(v) => write!(f, "unknown venue {v}"),
+            CheckinError::VerifierRejected(stage) => {
+                write!(f, "rejected by location verifier {stage}")
+            }
         }
     }
 }

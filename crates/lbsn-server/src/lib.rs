@@ -29,6 +29,8 @@ pub mod cheatercode;
 mod checkin;
 mod ids;
 pub mod metrics;
+pub mod pipeline;
+pub mod policy;
 pub mod rewards;
 mod server;
 mod shard;
@@ -36,12 +38,18 @@ mod user;
 mod venue;
 pub mod web;
 
-pub use cheatercode::CheaterCodeConfig;
+pub use cheatercode::{CheaterCodeConfig, RuleContext};
 pub use checkin::{
-    CheatFlag, CheckinError, CheckinOutcome, CheckinRecord, CheckinRequest, CheckinSource,
+    AdmissionOutcome, CheatFlag, CheckinError, CheckinEvidence, CheckinOutcome, CheckinRecord,
+    CheckinRequest, CheckinSource,
 };
 pub use ids::{UserId, VenueId};
 pub use metrics::ServerMetrics;
+pub use pipeline::{
+    AdmissionPipeline, BrandedAccountDetector, CheckinVerifier, Detector, RewardContext,
+    RewardRule, VerifierVerdict, VerifyContext,
+};
+pub use policy::{DetectorConfig, PolicyConfig, RewardConfig};
 pub use rewards::{Badge, PointsPolicy};
 pub use server::{LbsnServer, ServerConfig};
 pub use user::{User, UserSpec};

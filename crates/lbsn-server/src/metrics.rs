@@ -9,12 +9,17 @@
 //! | metric | kind | meaning |
 //! |---|---|---|
 //! | `server.checkin.total` | histogram + sketch + window (ns) | whole-pipeline latency |
+//! | `server.checkin.stage.verify` | histogram (ns) | pre-admission verifier stages (only sampled when verifiers are installed) |
 //! | `server.checkin.stage.cheater_code` | histogram (ns) | GPS verify + cheater-code rules |
 //! | `server.checkin.stage.record` | histogram (ns) | history append + flag bookkeeping |
 //! | `server.checkin.stage.rewards` | histogram (ns) | mayorship, badges, points, specials |
 //! | `server.checkin.accepted` | counter | check-ins that earned rewards |
 //! | `server.checkin.rejected` | counter | flagged check-ins |
+//! | `server.checkin.verifier_rejected` | counter | check-ins dropped by a verifier stage before recording |
 //! | `server.checkin.flag.*` | counter | one per [`CheatFlag`] rule fired |
+//! | `server.checkin.detector.{name}.rejected` | counter | times detector `{name}` raised its flag |
+//! | `server.checkin.detector.{name}.latency` | histogram (ns) | per-check-in cost of detector `{name}` |
+//! | `server.checkin.verifier.{name}.rejected` | counter | times verifier stage `{name}` rejected |
 //! | `server.checkin.branded` | counter | accounts escalated to branded cheater |
 //! | `server.rewards.badges_granted` | counter | badges awarded |
 //! | `server.rewards.mayorships_granted` | counter | mayorship handovers |
@@ -34,6 +39,9 @@ pub struct ServerMetrics {
     /// Whole check-in pipeline latency, nanoseconds — histogram plus
     /// quantile sketch plus per-second window under one name.
     pub checkin_total: LatencyStat,
+    /// Stage 0 (verified deployments only): pre-admission verifier
+    /// stages. No samples on the plain pipeline.
+    pub stage_verify: Histogram,
     /// Stage 1: GPS verification + cheater-code rule evaluation.
     pub stage_cheater_code: Histogram,
     /// Stage 2: recording the check-in and flag bookkeeping.
@@ -44,6 +52,8 @@ pub struct ServerMetrics {
     pub accepted: Counter,
     /// Check-ins flagged by at least one rule.
     pub rejected: Counter,
+    /// Check-ins dropped by a verifier stage before being recorded.
+    pub verifier_rejected: Counter,
     flag_gps_mismatch: Counter,
     flag_too_frequent: Counter,
     flag_superhuman_speed: Counter,
@@ -72,11 +82,13 @@ impl ServerMetrics {
         let r = &registry;
         ServerMetrics {
             checkin_total: r.latency("server.checkin.total"),
+            stage_verify: r.histogram("server.checkin.stage.verify"),
             stage_cheater_code: r.histogram("server.checkin.stage.cheater_code"),
             stage_record: r.histogram("server.checkin.stage.record"),
             stage_rewards: r.histogram("server.checkin.stage.rewards"),
             accepted: r.counter("server.checkin.accepted"),
             rejected: r.counter("server.checkin.rejected"),
+            verifier_rejected: r.counter("server.checkin.verifier_rejected"),
             flag_gps_mismatch: r.counter("server.checkin.flag.gps_mismatch"),
             flag_too_frequent: r.counter("server.checkin.flag.too_frequent"),
             flag_superhuman_speed: r.counter("server.checkin.flag.superhuman_speed"),
@@ -95,6 +107,32 @@ impl ServerMetrics {
     /// The registry these handles resolve into.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// Resolves the per-detector observability pair for detector
+    /// `name`: the `server.checkin.detector.{name}.rejected` counter
+    /// and the `server.checkin.detector.{name}.latency` histogram
+    /// (dashes in the stable detector name become underscores, keeping
+    /// the metric namespace dot-and-underscore only).
+    ///
+    /// Called once per detector at pipeline assembly; the returned
+    /// handles are hot-path-cheap.
+    pub fn detector_metrics(&self, name: &str) -> (Counter, Histogram) {
+        let slug = name.replace('-', "_");
+        (
+            self.registry
+                .counter(&format!("server.checkin.detector.{slug}.rejected")),
+            self.registry
+                .histogram(&format!("server.checkin.detector.{slug}.latency")),
+        )
+    }
+
+    /// Resolves the `server.checkin.verifier.{name}.rejected` counter
+    /// for a verifier stage.
+    pub fn verifier_rejected_counter(&self, name: &str) -> Counter {
+        let slug = name.replace('-', "_");
+        self.registry
+            .counter(&format!("server.checkin.verifier.{slug}.rejected"))
     }
 
     /// The counter tracking how often `flag` has fired.

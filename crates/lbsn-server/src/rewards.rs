@@ -17,8 +17,10 @@ use crate::user::User;
 use crate::venue::{Venue, VenueCategory};
 use crate::VenueId;
 
-/// Point values for check-in events.
-#[derive(Debug, Clone, PartialEq)]
+/// Point values for check-in events. Serde-round-trippable so a whole
+/// reward policy can live in a JSON scenario file (see
+/// [`crate::policy`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PointsPolicy {
     /// Base points for any valid check-in.
     pub per_checkin: u64,

@@ -20,14 +20,17 @@ use lbsn_geo::{GeoGrid, GeoPoint, Meters};
 use lbsn_obs::Registry;
 use lbsn_sim::{SimClock, Timestamp, DAY};
 use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
+use serde::{Deserialize, Serialize};
 
-use crate::cheatercode::{CheaterCode, CheaterCodeConfig, RuleContext};
-use crate::checkin::{CheckinError, CheckinOutcome, CheckinRecord, CheckinRequest};
+use crate::checkin::{
+    AdmissionOutcome, CheckinError, CheckinEvidence, CheckinOutcome, CheckinRecord, CheckinRequest,
+};
 use crate::metrics::ServerMetrics;
-use crate::rewards::{decide_mayor, evaluate_badges, PointsPolicy, VenueLookup};
+use crate::pipeline::{AdmissionPipeline, CheckinVerifier, RuleContext, VerifyContext};
+use crate::policy::{DetectorConfig, PolicyConfig};
 use crate::shard::{ShardedVec, WriteSet};
 use crate::user::{User, UserSpec};
-use crate::venue::{SpecialKind, Venue, VenueCategory, VenueSpec};
+use crate::venue::{Venue, VenueCategory, VenueSpec};
 use crate::{UserId, VenueId};
 
 /// After this many optimistic lock-set retries (the venue's mayor kept
@@ -35,23 +38,18 @@ use crate::{UserId, VenueId};
 /// user shard — slow but guaranteed to converge.
 const MAYOR_LOCK_RETRIES: u32 = 3;
 
-/// Server-wide configuration.
-#[derive(Debug, Clone)]
+/// Server-wide configuration: the admission policy plus deployment
+/// parameters. Serde-round-trippable, so a whole scenario lives in one
+/// JSON file (`policies/default.json` is the committed default policy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerConfig {
-    /// Anti-cheating rule parameters.
-    pub cheater_code: CheaterCodeConfig,
-    /// Point values.
-    pub points: PointsPolicy,
+    /// The admission policy: detector thresholds/switches and reward
+    /// rules (see [`crate::policy`]).
+    pub policy: PolicyConfig,
     /// Length of each venue's public "Who's been here" list. The paper
     /// crawled these lists; their truncation is what makes a user's
     /// *recent check-in* count (Fig 4.1) diverge from their total.
     pub recent_visitors_len: usize,
-    /// Account-level branding: after this many flagged check-ins the
-    /// account itself is marked a cheater — all subsequent check-ins
-    /// are invalidated and held mayorships are stripped. `None`
-    /// disables branding (per-check-in judgement only). Models §4.2's
-    /// caught cohort, whose check-ins "yielded no rewards" wholesale.
-    pub account_flag_threshold: Option<u64>,
     /// Lock-stripe width for user and venue state. Rounded up to a
     /// power of two (minimum 1) at construction; exposed as the
     /// `server.shard.count` gauge.
@@ -61,12 +59,26 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            cheater_code: CheaterCodeConfig::default(),
-            points: PointsPolicy::default(),
+            policy: PolicyConfig::default(),
             recent_visitors_len: 10,
-            account_flag_threshold: Some(10),
             shards: 16,
         }
+    }
+}
+
+impl ServerConfig {
+    /// A default deployment running the given admission policy.
+    pub fn with_policy(policy: PolicyConfig) -> Self {
+        ServerConfig {
+            policy,
+            ..ServerConfig::default()
+        }
+    }
+
+    /// A default deployment with the given detector set (rewards stay
+    /// at their defaults).
+    pub fn with_detectors(detectors: DetectorConfig) -> Self {
+        Self::with_policy(PolicyConfig::with_detectors(detectors))
     }
 }
 
@@ -102,7 +114,7 @@ impl Default for ServerConfig {
 pub struct LbsnServer {
     clock: SimClock,
     config: ServerConfig,
-    cheater_code: CheaterCode,
+    pipeline: AdmissionPipeline,
     metrics: ServerMetrics,
     users: ShardedVec<User>,
     venues: ShardedVec<Venue>,
@@ -130,18 +142,8 @@ impl std::fmt::Debug for LbsnServer {
             .field("users", &self.user_count())
             .field("venues", &self.venue_count())
             .field("shards", &self.users.shard_count())
-            .field("cheater_code", &self.cheater_code)
+            .field("pipeline", &self.pipeline)
             .finish()
-    }
-}
-
-/// Category lookup backed by the server's append-only category table.
-struct CategoryTable<'a>(&'a [VenueCategory]);
-
-impl VenueLookup for CategoryTable<'_> {
-    fn category_of(&self, venue: VenueId) -> Option<VenueCategory> {
-        let idx = venue.value().checked_sub(1)? as usize;
-        self.0.get(idx).copied()
     }
 }
 
@@ -156,8 +158,22 @@ impl LbsnServer {
     /// what the bench harness uses to keep per-experiment snapshots
     /// isolated from each other.
     pub fn with_registry(clock: SimClock, config: ServerConfig, registry: Arc<Registry>) -> Self {
-        let cheater_code = CheaterCode::from_config(&config.cheater_code);
+        Self::with_pipeline(clock, config, registry, Vec::new())
+    }
+
+    /// Creates a server whose admission pipeline includes the given
+    /// pre-admission verifier stages (§5.1 defenses). A verified
+    /// deployment is thereby a pipeline *configuration*, not a wrapper
+    /// service: check-ins flow through verify → detect → record →
+    /// reward on the one code path.
+    pub fn with_pipeline(
+        clock: SimClock,
+        config: ServerConfig,
+        registry: Arc<Registry>,
+        verifiers: Vec<Box<dyn CheckinVerifier>>,
+    ) -> Self {
         let metrics = ServerMetrics::new(registry);
+        let pipeline = AdmissionPipeline::from_policy(&config.policy, &metrics, verifiers);
         let shards = config.shards.max(1).next_power_of_two();
         metrics.shard_count.set(shards as f64);
         let users = ShardedVec::new(shards, metrics.shard_lock_wait.clone());
@@ -165,7 +181,7 @@ impl LbsnServer {
         LbsnServer {
             clock,
             config,
-            cheater_code,
+            pipeline,
             metrics,
             users,
             venues,
@@ -290,9 +306,64 @@ impl LbsnServer {
     /// # Errors
     ///
     /// [`CheckinError`] for unknown user or venue IDs; nothing is
-    /// recorded in that case.
+    /// recorded in that case. On a server built with verifier stages
+    /// ([`LbsnServer::with_pipeline`]), a pre-admission rejection
+    /// surfaces as [`CheckinError::VerifierRejected`] — use
+    /// [`LbsnServer::check_in_with_evidence`] to observe it as an
+    /// [`AdmissionOutcome`] instead.
     pub fn check_in(&self, req: &CheckinRequest) -> Result<CheckinOutcome, CheckinError> {
+        match self.check_in_with_evidence(req, None)? {
+            AdmissionOutcome::Processed(outcome) => Ok(outcome),
+            AdmissionOutcome::VerifierRejected { verifier } => {
+                Err(CheckinError::VerifierRejected(verifier))
+            }
+        }
+    }
+
+    /// Processes a check-in through the full admission pipeline,
+    /// including the pre-admission verifier stages, with optional
+    /// out-of-band [`CheckinEvidence`] for the verifiers to judge.
+    ///
+    /// The verify stage runs *before* any shard lock is taken: a
+    /// rejected check-in is dropped, not recorded, so it must not touch
+    /// user or venue state at all. On a server with no verifier stages
+    /// the stage is skipped entirely — no span, no histogram sample —
+    /// keeping the plain pipeline's cost profile unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckinError`] for unknown user or venue IDs; nothing is
+    /// recorded in that case.
+    pub fn check_in_with_evidence(
+        &self,
+        req: &CheckinRequest,
+        evidence: Option<&CheckinEvidence>,
+    ) -> Result<AdmissionOutcome, CheckinError> {
         let now = self.clock.now();
+        if self.pipeline.has_verifiers() {
+            let mut span = self.metrics.registry().span("server.checkin.stage.verify");
+            span.attr("user", req.user.value());
+            span.attr("venue", req.venue.value());
+            let stage = self.metrics.stage_verify.start_timer();
+            let venue_location = self
+                .with_venue(req.venue, |v| v.location)
+                .ok_or(CheckinError::UnknownVenue(req.venue))?;
+            let ctx = VerifyContext {
+                request: req,
+                venue_location,
+                evidence,
+                now,
+            };
+            let rejected_by = self.pipeline.verify(&ctx);
+            stage.stop();
+            if let Some(verifier) = rejected_by {
+                self.metrics.verifier_rejected.inc();
+                span.event_with(|| format!("verifier.rejected.{verifier}"));
+                span.end();
+                return Ok(AdmissionOutcome::VerifierRejected { verifier });
+            }
+            span.end();
+        }
         let user_shard = self.users.shard_of(req.user.value());
         let venue_shard = self.venues.shard_of(req.venue.value());
         let venue_slot = self.venues.slot_of(req.venue.value());
@@ -343,7 +414,9 @@ impl LbsnServer {
                     continue;
                 }
             }
-            return Ok(self.check_in_locked(req, now, uset, vguard, venue_slot));
+            return Ok(AdmissionOutcome::Processed(
+                self.check_in_locked(req, now, uset, vguard, venue_slot),
+            ));
         }
     }
 
@@ -366,23 +439,21 @@ impl LbsnServer {
         span.attr("user", req.user.value());
         span.attr("venue", req.venue.value());
 
-        // 1. Judge the check-in with immutable borrows. A branded
-        // account is rejected outright.
+        // 1. Judge the check-in with immutable borrows. The detector
+        // chain starts with the terminal branded-account detector, so a
+        // branded account short-circuits to rejection before any
+        // threshold rule runs.
         let stage_span = span.child("server.checkin.stage.cheater_code");
         let stage = self.metrics.stage_cheater_code.start_timer();
         let flags = {
             let user = uset.get(uid).unwrap();
-            if user.branded_cheater {
-                vec![crate::CheatFlag::AccountFlagged]
-            } else {
-                let ctx = RuleContext {
-                    user,
-                    venue: &vguard[venue_slot],
-                    request: req,
-                    now,
-                };
-                self.cheater_code.evaluate(&ctx)
-            }
+            let ctx = RuleContext {
+                user,
+                venue: &vguard[venue_slot],
+                request: req,
+                now,
+            };
+            self.pipeline.detect(&ctx)
         };
         stage.stop();
         stage_span.end();
@@ -425,7 +496,7 @@ impl LbsnServer {
             {
                 let user = uset.get_mut(uid).unwrap();
                 user.flagged_checkins += 1;
-                if let Some(threshold) = self.config.account_flag_threshold {
+                if let Some(threshold) = self.config.policy.detectors.account_flag_threshold {
                     if !user.branded_cheater && user.flagged_checkins >= threshold {
                         user.branded_cheater = true;
                         branded_now = true;
@@ -496,61 +567,27 @@ impl LbsnServer {
         let recent_cap = self.config.recent_visitors_len;
         vguard[venue_slot].record_valid_checkin(req.user, recent_cap);
 
-        // 4. Mayorship. The incumbent (if any) is covered by the lock
-        // set — `check_in` validated that before entering.
-        let became_mayor = {
-            let venue = &vguard[venue_slot];
-            let challenger = uset.get(uid).unwrap();
-            let incumbent = venue.mayor.and_then(|m| uset.get(m.value()));
-            decide_mayor(venue, challenger, incumbent, now)
-        };
-        if became_mayor {
-            if let Some(old) = vguard[venue_slot].mayor {
-                if let Some(old_mayor) = uset.get_mut(old.value()) {
-                    old_mayor.mayorships.remove(&req.venue);
-                }
-            }
-            vguard[venue_slot].mayor = Some(req.user);
-            uset.get_mut(uid).unwrap().mayorships.insert(req.venue);
-        }
-        let is_mayor = vguard[venue_slot].mayor == Some(req.user);
-
-        // 5. Badges (evaluated on post-update state). Categories come
-        // from the append-only table — no extra venue shards locked.
-        let new_badges = {
-            let categories = self.venue_categories.read();
-            let user = uset.get(uid).unwrap();
-            evaluate_badges(user, &vguard[venue_slot], now, &CategoryTable(&categories))
-        };
-        for b in &new_badges {
-            uset.get_mut(uid).unwrap().badges.insert(*b);
-        }
-
-        // 6. Points.
-        let points = self
-            .config
-            .points
-            .award(first_visit, first_of_day, became_mayor);
-        uset.get_mut(uid).unwrap().points += points;
-
-        // 7. Specials.
-        let special_unlocked = {
-            let venue = &vguard[venue_slot];
-            let user = uset.get(uid).unwrap();
-            venue.special.as_ref().and_then(|sp| match sp.kind {
-                SpecialKind::MayorOnly if is_mayor => Some(sp.description.clone()),
-                SpecialKind::MayorOnly => None,
-                SpecialKind::EveryCheckin => Some(sp.description.clone()),
-                SpecialKind::Loyalty { visits } => {
-                    let count = user
-                        .history
-                        .iter()
-                        .filter(|r| r.rewarded && r.venue == req.venue)
-                        .count();
-                    (count as u32 >= visits).then(|| sp.description.clone())
-                }
-            })
-        };
+        // 4. Run the reward-rule chain (mayorship → badges → points →
+        // specials under the default policy). The incumbent mayor (if
+        // any) is covered by the lock set — `check_in_with_evidence`
+        // validated that before entering.
+        let reward = self.pipeline.reward(
+            req,
+            now,
+            first_visit,
+            first_of_day,
+            &mut uset,
+            &mut vguard,
+            venue_slot,
+            &self.venue_categories,
+        );
+        let crate::pipeline::RewardOutcome {
+            points,
+            new_badges,
+            is_mayor,
+            became_mayor,
+            special_unlocked,
+        } = reward;
 
         if became_mayor {
             self.metrics.mayorships_granted.inc();
@@ -759,8 +796,14 @@ mod tests {
     use super::*;
     use crate::checkin::{CheatFlag, CheckinSource};
     use crate::rewards::Badge;
+    use crate::venue::SpecialKind;
     use lbsn_geo::{destination, GeoPoint};
     use lbsn_sim::Duration;
+
+    /// A default deployment whose branding threshold is `threshold`.
+    fn branding_config(threshold: Option<u64>) -> ServerConfig {
+        ServerConfig::with_detectors(DetectorConfig::default().branding_threshold(threshold))
+    }
 
     fn abq() -> GeoPoint {
         GeoPoint::new(35.0844, -106.6504).unwrap()
@@ -1149,14 +1192,46 @@ mod tests {
     }
 
     #[test]
+    fn leaderboard_ties_are_identical_across_shard_counts() {
+        // Regression: with every user on an equal score, a truncated
+        // leaderboard must pick (and order) the same users no matter
+        // how they were distributed over shards — ids interleave across
+        // shards differently at each shard count, so any heap-eviction
+        // or merge-order dependence shows up as a reordering here.
+        let board_at = |shards: usize| {
+            let server = LbsnServer::new(
+                SimClock::new(),
+                ServerConfig {
+                    shards,
+                    ..ServerConfig::default()
+                },
+            );
+            for i in 0..40 {
+                let user = server.register_user(UserSpec::anonymous());
+                let venue = server.register_venue(VenueSpec::new(format!("Spot {i}"), abq()));
+                // One first-visit check-in each: identical point totals.
+                assert!(server
+                    .check_in(&req(user, venue, abq()))
+                    .unwrap()
+                    .rewarded());
+            }
+            server.leaderboard(10)
+        };
+        let reference = board_at(1);
+        assert_eq!(reference.len(), 10);
+        let points = reference[0].1;
+        assert!(reference.iter().all(|&(_, p)| p == points), "all tied");
+        // Ties resolve to the lowest (oldest) ids, in ascending order.
+        let ids: Vec<u64> = reference.iter().map(|&(u, _)| u.value()).collect();
+        assert_eq!(ids, (1..=10).collect::<Vec<u64>>());
+        for shards in [2, 4, 16, 64] {
+            assert_eq!(board_at(shards), reference, "shards={shards}");
+        }
+    }
+
+    #[test]
     fn repeated_flags_brand_the_account_and_strip_mayorships() {
-        let server = LbsnServer::new(
-            SimClock::new(),
-            ServerConfig {
-                account_flag_threshold: Some(3),
-                ..ServerConfig::default()
-            },
-        );
+        let server = LbsnServer::new(SimClock::new(), branding_config(Some(3)));
         let venue = server.register_venue(VenueSpec::new("Home", abq()));
         let user = server.register_user(UserSpec::anonymous());
         // A legitimate mayorship first.
@@ -1191,9 +1266,8 @@ mod tests {
         let server = LbsnServer::new(
             SimClock::new(),
             ServerConfig {
-                account_flag_threshold: Some(3),
                 shards: 8,
-                ..ServerConfig::default()
+                ..branding_config(Some(3))
             },
         );
         let user = server.register_user(UserSpec::anonymous());
@@ -1221,13 +1295,7 @@ mod tests {
 
     #[test]
     fn branding_disabled_keeps_per_checkin_judgement() {
-        let server = LbsnServer::new(
-            SimClock::new(),
-            ServerConfig {
-                account_flag_threshold: None,
-                ..ServerConfig::default()
-            },
-        );
+        let server = LbsnServer::new(SimClock::new(), branding_config(None));
         let venue = server.register_venue(VenueSpec::new("Home", abq()));
         let user = server.register_user(UserSpec::anonymous());
         let far = destination(abq(), 90.0, 10_000.0);

@@ -13,7 +13,8 @@ use std::time::Duration as StdDuration;
 use lbsn_geo::{destination, GeoPoint};
 use lbsn_obs::Registry;
 use lbsn_server::{
-    CheckinRequest, CheckinSource, LbsnServer, ServerConfig, UserId, UserSpec, VenueId, VenueSpec,
+    CheckinRequest, CheckinSource, DetectorConfig, LbsnServer, PolicyConfig, ServerConfig, UserId,
+    UserSpec, VenueId, VenueSpec,
 };
 use lbsn_sim::{Duration, SimClock};
 
@@ -216,7 +217,9 @@ fn strip_on_brand_under_concurrent_checkins() {
         let server = Arc::new(LbsnServer::new(
             SimClock::new(),
             ServerConfig {
-                account_flag_threshold: Some(5),
+                policy: PolicyConfig::with_detectors(
+                    DetectorConfig::default().branding_threshold(Some(5)),
+                ),
                 shards: 8,
                 ..ServerConfig::default()
             },

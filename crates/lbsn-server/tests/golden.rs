@@ -1,0 +1,390 @@
+//! Golden equivalence test for the check-in admission pipeline.
+//!
+//! Replays a scripted multi-archetype workload — honest regulars, a
+//! mayorship battle, a GPS spoofer who escalates to account branding, a
+//! teleporter, a rapid-fire burst, a cooldown abuser, a venue explorer
+//! and a loyalty grinder — and digests every [`CheckinOutcome`] plus the
+//! final server state into a JSON fixture.
+//!
+//! The committed fixture (`tests/fixtures/golden_checkins.json`) was
+//! captured from the pre-pipeline engine; any refactor of the admission
+//! path must reproduce it bit-for-bit under the default policy.
+//! Regenerate deliberately with:
+//!
+//! ```text
+//! LBSN_GOLDEN_WRITE=1 cargo test -p lbsn-server --test golden
+//! ```
+
+use lbsn_geo::{destination, GeoPoint};
+use lbsn_server::{
+    CheckinOutcome, CheckinRequest, CheckinSource, LbsnServer, ServerConfig, Special, SpecialKind,
+    UserId, UserSpec, VenueCategory, VenueId, VenueSpec,
+};
+use lbsn_sim::{Duration, SimClock};
+use serde::{Deserialize, Serialize};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_checkins.json"
+);
+
+/// One scripted check-in: who, where, the reported fix, and how far the
+/// shared clock advances *before* submission.
+struct Op {
+    advance_secs: u64,
+    user: UserId,
+    venue: VenueId,
+    reported: GeoPoint,
+}
+
+/// Digest of one [`CheckinOutcome`], stable across engine refactors.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct OutcomeRow {
+    seq: usize,
+    user: u64,
+    venue: u64,
+    at: u64,
+    points: u64,
+    flags: Vec<String>,
+    badges: Vec<String>,
+    is_mayor: bool,
+    became_mayor: bool,
+    special: Option<String>,
+}
+
+impl OutcomeRow {
+    fn from_outcome(seq: usize, o: &CheckinOutcome) -> Self {
+        OutcomeRow {
+            seq,
+            user: o.user.value(),
+            venue: o.venue.value(),
+            at: o.at.secs(),
+            points: o.points,
+            flags: o.flags.iter().map(|f| format!("{f:?}")).collect(),
+            badges: o.new_badges.iter().map(|b| format!("{b:?}")).collect(),
+            is_mayor: o.is_mayor,
+            became_mayor: o.became_mayor,
+            special: o.special_unlocked.clone(),
+        }
+    }
+}
+
+/// Digest of one user's final state.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct UserRow {
+    id: u64,
+    points: u64,
+    total_checkins: u64,
+    valid_checkins: u64,
+    flagged_checkins: u64,
+    branded: bool,
+    badges: usize,
+    mayorships: Vec<u64>,
+}
+
+/// Digest of one venue's final state.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct VenueRow {
+    id: u64,
+    checkins_here: u64,
+    unique_visitors: usize,
+    recent_visitors: Vec<u64>,
+    mayor: Option<u64>,
+}
+
+/// Everything the fixture pins down.
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Golden {
+    outcomes: Vec<OutcomeRow>,
+    users: Vec<UserRow>,
+    venues: Vec<VenueRow>,
+    leaderboard: Vec<Vec<u64>>,
+}
+
+fn base() -> GeoPoint {
+    GeoPoint::new(35.0844, -106.6504).unwrap()
+}
+
+/// Builds the world: 12 venues (5 coffee for FreshBrew, a gym, three
+/// specials) and 8 archetype users, then the full scripted op list.
+fn build_script(server: &LbsnServer) -> Vec<Op> {
+    let b = base();
+    // Venue layout: a ring around the base, far enough apart to be
+    // distinct but close enough for same-day hops at plausible speed.
+    let mut venues: Vec<(VenueId, GeoPoint)> = Vec::new();
+    let specs: Vec<VenueSpec> = vec![
+        VenueSpec::new("Cafe Uno", destination(b, 0.0, 200.0))
+            .category(VenueCategory::Coffee)
+            .special(Special {
+                description: "Free espresso for the mayor!".into(),
+                kind: SpecialKind::MayorOnly,
+            }),
+        VenueSpec::new("Cafe Dos", destination(b, 30.0, 700.0)).category(VenueCategory::Coffee),
+        VenueSpec::new("Cafe Tres", destination(b, 60.0, 1_200.0)).category(VenueCategory::Coffee),
+        VenueSpec::new("Cafe Cuatro", destination(b, 90.0, 1_700.0))
+            .category(VenueCategory::Coffee),
+        VenueSpec::new("Cafe Cinco", destination(b, 120.0, 2_200.0))
+            .category(VenueCategory::Coffee),
+        VenueSpec::new("Iron Temple", destination(b, 150.0, 900.0)).category(VenueCategory::Gym),
+        VenueSpec::new("Sub Shop", destination(b, 180.0, 400.0))
+            .category(VenueCategory::Restaurant)
+            .special(Special {
+                description: "Free sub after 3 visits".into(),
+                kind: SpecialKind::Loyalty { visits: 3 },
+            }),
+        VenueSpec::new("Dive Bar", destination(b, 210.0, 1_100.0))
+            .category(VenueCategory::Bar)
+            .special(Special {
+                description: "Sticker with every check-in".into(),
+                kind: SpecialKind::EveryCheckin,
+            }),
+        VenueSpec::new("Old Town Plaza", destination(b, 240.0, 1_500.0))
+            .category(VenueCategory::Landmark),
+        VenueSpec::new("Sunport", destination(b, 270.0, 3_000.0)).category(VenueCategory::Airport),
+        VenueSpec::new("Book Nook", destination(b, 300.0, 600.0)).category(VenueCategory::Shop),
+        VenueSpec::new("Rio Grande Park", destination(b, 330.0, 1_900.0))
+            .category(VenueCategory::Park),
+    ];
+    for spec in specs {
+        let loc = spec.location;
+        venues.push((server.register_venue(spec), loc));
+    }
+    let at = |v: usize| venues[v]; // 0-based index into the ring
+
+    let regular = server.register_user(UserSpec::named("regular"));
+    let contender = server.register_user(UserSpec::named("contender"));
+    let spoofer = server.register_user(UserSpec::named("spoofer"));
+    let speedster = server.register_user(UserSpec::anonymous());
+    let rapid = server.register_user(UserSpec::anonymous());
+    let cooldown = server.register_user(UserSpec::anonymous());
+    let explorer = server.register_user(UserSpec::named("explorer"));
+    let loyal = server.register_user(UserSpec::anonymous());
+
+    let mut ops: Vec<Op> = Vec::new();
+    let mut op = |advance_secs: u64, user: UserId, venue: usize, reported: GeoPoint| {
+        ops.push(Op {
+            advance_secs,
+            user,
+            venue: at(venue).0,
+            reported,
+        });
+    };
+
+    // Phase 1 — the regular takes Cafe Uno and builds a streak (Bender
+    // needs 4 consecutive days; Local needs 3 visits in a week).
+    for day in 0..5u64 {
+        op(
+            if day == 0 { 3_600 } else { 86_400 - 7_200 },
+            regular,
+            0,
+            destination(at(0).1, 45.0, 20.0),
+        );
+        // Same day, a second venue for variety (points, first visits).
+        op(
+            7_200,
+            regular,
+            day as usize % 3 + 1,
+            at(day as usize % 3 + 1).1,
+        );
+    }
+
+    // Phase 2 — the contender challenges Cafe Uno daily; on day counts
+    // alone they eventually out-visit the regular's window.
+    for day in 0..7u64 {
+        op(
+            if day == 0 { 3_600 } else { 86_400 },
+            contender,
+            0,
+            destination(at(0).1, 90.0, 15.0),
+        );
+    }
+
+    // Phase 3 — the spoofer reports fixes kilometres away until the
+    // account brands (default threshold: 10 flagged check-ins), then
+    // keeps trying (AccountFlagged short-circuit) — mayorship strip and
+    // post-brand rejection are both pinned here.
+    op(3_600, spoofer, 8, at(8).1); // one honest mayorship first
+    for i in 0..11u64 {
+        op(
+            7_200,
+            spoofer,
+            (i % 3) as usize,
+            destination(b, 90.0, 8_000.0 + 500.0 * i as f64),
+        );
+    }
+    op(7_200, spoofer, 8, at(8).1); // branded: even honest fix rejected
+
+    // Phase 4 — the speedster teleports between the two far corners of
+    // the ring fast enough to trip the 40 m/s bound.
+    op(3_600, speedster, 9, at(9).1);
+    op(30, speedster, 4, at(4).1); // ~5 km in 30 s: superhuman
+    op(30, speedster, 9, at(9).1);
+    op(5_400, speedster, 4, at(4).1); // slow hop: clean
+
+    // Phase 5 — rapid-fire: four check-ins inside a tight square at
+    // sub-minute intervals; the fourth draws the flag.
+    op(3_600, rapid, 0, destination(at(0).1, 0.0, 10.0));
+    op(45, rapid, 1, destination(at(0).1, 90.0, 40.0));
+    op(45, rapid, 2, destination(at(0).1, 180.0, 40.0));
+    op(45, rapid, 3, destination(at(0).1, 270.0, 40.0));
+
+    // Phase 6 — cooldown abuse: re-checking the same venue inside the
+    // hour, then cleanly after it.
+    op(3_600, cooldown, 6, at(6).1);
+    op(900, cooldown, 6, at(6).1); // 15 min: TooFrequent
+    op(2_700, cooldown, 6, at(6).1); // +45 min (60 total): clean again
+
+    // Phase 7 — the explorer sweeps every venue (first-visit bonuses,
+    // FreshBrew on the fifth coffee, Adventurer on the tenth venue).
+    for v in 0..12usize {
+        op(5_400, explorer, v, at(v).1);
+    }
+
+    // Phase 8 — the loyal user grinds the Sub Shop to its loyalty
+    // special, spaced past the cooldown.
+    for _ in 0..4 {
+        op(4_000, loyal, 6, at(6).1);
+    }
+
+    // Phase 9 — interleaved epilogue: everyone takes one more pass so
+    // late-stage state (mayor retention, badge thresholds, specials)
+    // lands in the digest.
+    for (i, u) in [
+        regular, contender, speedster, rapid, cooldown, explorer, loyal,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        op(4_000, u, (i * 2) % 12, at((i * 2) % 12).1);
+    }
+
+    ops
+}
+
+/// Runs the scripted workload against a fresh server and digests it.
+fn run_workload(shards: usize) -> Golden {
+    let server = LbsnServer::new(
+        SimClock::new(),
+        ServerConfig {
+            shards,
+            ..ServerConfig::default()
+        },
+    );
+    let ops = build_script(&server);
+    let mut outcomes = Vec::new();
+    for (seq, op) in ops.iter().enumerate() {
+        server.clock().advance(Duration::secs(op.advance_secs));
+        let out = server
+            .check_in(&CheckinRequest {
+                user: op.user,
+                venue: op.venue,
+                reported_location: op.reported,
+                source: CheckinSource::MobileApp,
+            })
+            .expect("scripted ids are registered");
+        outcomes.push(OutcomeRow::from_outcome(seq, &out));
+    }
+
+    let mut users = Vec::new();
+    for id in 1..=server.user_count() {
+        let u = server.user(UserId(id)).unwrap();
+        let mut mayorships: Vec<u64> = u.mayorships.iter().map(|v| v.value()).collect();
+        mayorships.sort_unstable();
+        users.push(UserRow {
+            id,
+            points: u.points,
+            total_checkins: u.total_checkins,
+            valid_checkins: u.valid_checkins,
+            flagged_checkins: u.flagged_checkins,
+            branded: u.branded_cheater,
+            badges: u.badges.len(),
+            mayorships,
+        });
+    }
+    let mut venues = Vec::new();
+    for id in 1..=server.venue_count() {
+        let v = server.venue(VenueId(id)).unwrap();
+        venues.push(VenueRow {
+            id,
+            checkins_here: v.checkins_here,
+            unique_visitors: v.unique_visitors.len(),
+            recent_visitors: v.recent_visitors.iter().map(|u| u.value()).collect(),
+            mayor: v.mayor.map(|u| u.value()),
+        });
+    }
+    let leaderboard = server
+        .leaderboard(10)
+        .into_iter()
+        .map(|(u, p)| vec![u.value(), p])
+        .collect();
+    Golden {
+        outcomes,
+        users,
+        venues,
+        leaderboard,
+    }
+}
+
+#[test]
+fn workload_is_deterministic_across_shard_counts() {
+    let canonical = run_workload(16);
+    for shards in [1, 4] {
+        assert_eq!(
+            run_workload(shards),
+            canonical,
+            "shards={shards} must not change outcomes"
+        );
+    }
+}
+
+#[test]
+fn default_policy_matches_committed_fixture() {
+    let got = run_workload(16);
+    // Sanity: the script must actually exercise every flag type.
+    let all_flags: Vec<String> = got
+        .outcomes
+        .iter()
+        .flat_map(|r| r.flags.iter().cloned())
+        .collect();
+    for f in [
+        "GpsMismatch",
+        "TooFrequent",
+        "SuperhumanSpeed",
+        "RapidFire",
+        "AccountFlagged",
+    ] {
+        assert!(
+            all_flags.iter().any(|x| x == f),
+            "script never raised {f}; fixture would be incomplete"
+        );
+    }
+    assert!(
+        got.users.iter().any(|u| u.branded),
+        "script must brand the spoofer"
+    );
+    assert!(
+        got.outcomes.iter().any(|r| r.special.is_some()),
+        "script must unlock a special"
+    );
+
+    if std::env::var("LBSN_GOLDEN_WRITE").is_ok() {
+        let json = serde_json::to_string_pretty(&got).expect("serialize fixture");
+        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures"))
+            .expect("fixtures dir");
+        std::fs::write(FIXTURE, json).expect("write fixture");
+        panic!("fixture regenerated — rerun without LBSN_GOLDEN_WRITE to verify");
+    }
+
+    let fixture = std::fs::read_to_string(FIXTURE)
+        .expect("committed fixture exists (regenerate with LBSN_GOLDEN_WRITE=1)");
+    let want: Golden = serde_json::from_str(&fixture).expect("fixture parses");
+    assert_eq!(
+        got.outcomes.len(),
+        want.outcomes.len(),
+        "outcome count drifted"
+    );
+    for (g, w) in got.outcomes.iter().zip(want.outcomes.iter()) {
+        assert_eq!(g, w, "outcome row {} drifted", w.seq);
+    }
+    assert_eq!(got, want, "final-state digest drifted");
+}

@@ -1,0 +1,79 @@
+//! The committed default policy file: `policies/default.json`.
+//!
+//! The whole scenario configuration — detector thresholds and switches,
+//! branding threshold, reward point values and rule switches, plus the
+//! deployment parameters — serializes to one JSON file, so a bench
+//! experiment can sweep admission policies without recompiling. This
+//! test pins the committed file to `ServerConfig::default()`: drift in
+//! either direction (a default changed in code, or the file edited by
+//! hand) fails loudly.
+//!
+//! Regenerate after an intentional default change with:
+//!
+//! ```text
+//! LBSN_POLICY_WRITE=1 cargo test -p lbsn-server --test policy_file
+//! ```
+
+use std::path::PathBuf;
+
+use lbsn_server::{PolicyConfig, ServerConfig};
+
+fn policy_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../policies/default.json")
+}
+
+#[test]
+fn committed_default_policy_round_trips() {
+    let path = policy_path();
+    if std::env::var_os("LBSN_POLICY_WRITE").is_some() {
+        let json = serde_json::to_string_pretty(&ServerConfig::default()).unwrap();
+        std::fs::write(&path, json + "\n").unwrap();
+        panic!("wrote {} — rerun without LBSN_POLICY_WRITE", path.display());
+    }
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let parsed: ServerConfig = serde_json::from_str(&raw).unwrap();
+    assert_eq!(
+        parsed,
+        ServerConfig::default(),
+        "policies/default.json drifted from ServerConfig::default() — \
+         regenerate with LBSN_POLICY_WRITE=1 if the change is intentional"
+    );
+    // And back: serializing the defaults reproduces the committed file
+    // value-for-value.
+    let reserialized = serde_json::to_value(&parsed).unwrap();
+    let from_default = serde_json::to_value(&ServerConfig::default()).unwrap();
+    assert_eq!(reserialized, from_default);
+}
+
+#[test]
+fn policy_config_alone_round_trips() {
+    let policy = PolicyConfig::default();
+    let json = serde_json::to_string(&policy).unwrap();
+    let back: PolicyConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, policy);
+}
+
+#[test]
+fn parsed_policy_drives_a_real_server() {
+    use lbsn_geo::GeoPoint;
+    use lbsn_server::{CheckinRequest, CheckinSource, LbsnServer, UserSpec, VenueSpec};
+    use lbsn_sim::SimClock;
+
+    let raw = std::fs::read_to_string(policy_path()).unwrap();
+    let config: ServerConfig = serde_json::from_str(&raw).unwrap();
+    let server = LbsnServer::new(SimClock::new(), config);
+    let here = GeoPoint::new(35.0844, -106.6504).unwrap();
+    let venue = server.register_venue(VenueSpec::new("Cafe", here));
+    let user = server.register_user(UserSpec::anonymous());
+    let out = server
+        .check_in(&CheckinRequest {
+            user,
+            venue,
+            reported_location: here,
+            source: CheckinSource::MobileApp,
+        })
+        .unwrap();
+    assert!(out.rewarded());
+    assert_eq!(out.points, 12, "default point schedule from the file");
+}
