@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use lbsn_device::Emulator;
 use lbsn_geo::GeoPoint;
+use lbsn_obs::names::attack as obs_names;
 use lbsn_obs::{Counter, Histogram, Registry};
 use lbsn_server::{
     AdmissionOutcome, Badge, CheatFlag, CheckinError, CheckinEvidence, LbsnServer, UserId, VenueId,
@@ -38,12 +39,12 @@ struct AttackMetrics {
 impl AttackMetrics {
     fn new(registry: Arc<Registry>) -> Self {
         AttackMetrics {
-            attempted: registry.counter("attack.checkins.attempted"),
-            rewarded: registry.counter("attack.checkins.rewarded"),
-            flagged: registry.counter("attack.checkins.flagged"),
-            verifier_rejected: registry.counter("attack.checkins.verifier_rejected"),
+            attempted: registry.counter(obs_names::CHECKINS_ATTEMPTED),
+            rewarded: registry.counter(obs_names::CHECKINS_REWARDED),
+            flagged: registry.counter(obs_names::CHECKINS_FLAGGED),
+            verifier_rejected: registry.counter(obs_names::CHECKINS_VERIFIER_REJECTED),
             evasion_streak: registry
-                .histogram_with_buckets("attack.evasion.streak", &STREAK_BUCKETS),
+                .histogram_with_buckets(obs_names::EVASION_STREAK, &STREAK_BUCKETS),
             registry,
         }
     }
@@ -201,7 +202,7 @@ impl AttackSession {
         let mut mayorships: HashSet<VenueId> = HashSet::new();
         // Campaigns are rare, high-value roots: force-sample so every
         // one appears in the trace with one child span per path step.
-        let mut campaign = self.metrics.registry.span_forced("attack.campaign");
+        let mut campaign = self.metrics.registry.span_forced(obs_names::CAMPAIGN_SPAN);
         campaign.attr("user", self.user().value());
         campaign.attr("steps", schedule.items().len());
         // Consecutive check-ins that evaded the cheater code; recorded
@@ -213,7 +214,7 @@ impl AttackSession {
                 .debug_monitor()
                 .geo_fix(item.location.lon(), item.location.lat())
                 .expect("schedule coordinates are valid");
-            let mut step = campaign.child("attack.step");
+            let mut step = campaign.child(obs_names::STEP_SPAN);
             step.attr("venue", item.venue.value());
             step.attr("at_secs", item.at.secs());
             report.attempted += 1;

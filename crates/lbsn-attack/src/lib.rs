@@ -27,8 +27,12 @@ mod path;
 mod schedule;
 
 pub use autosquare::{Autosquare, AutosquareReport};
+
 pub use executor::{AttackSession, CampaignReport};
 pub use farmer::{deny_mayorships, DenialReport, FarmResult, MayorFarmer};
 pub use intel::VenueIntel;
+/// This crate's group of registered observability names (see
+/// `lbsn_obs::names` for the registry and the lint that enforces it).
+pub use lbsn_obs::names::attack as metric_names;
 pub use path::{VenueSnapper, VirtualPath};
 pub use schedule::{PacingPolicy, Schedule, ScheduledCheckin};

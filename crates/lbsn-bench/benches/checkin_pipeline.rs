@@ -259,9 +259,9 @@ fn detector_rows(variant: &Variant, ops: usize) -> Vec<String> {
         "superhuman_speed",
         "rapid_fire",
     ] {
-        quantiles(slug, &format!("server.checkin.detector.{slug}.latency"));
+        quantiles(slug, &lbsn_obs::names::server::detector_latency(slug));
     }
-    quantiles("wifi-verify-stage", "server.checkin.stage.verify");
+    quantiles("wifi-verify-stage", lbsn_obs::names::server::STAGE_VERIFY);
     rows
 }
 

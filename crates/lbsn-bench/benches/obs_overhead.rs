@@ -119,9 +119,9 @@ fn bench_span_sampling(c: &mut Criterion) {
 fn bench_record_variants(c: &mut Criterion) {
     let mut group = c.benchmark_group("record");
     let registry = Registry::new();
-    let histogram = registry.histogram("bench.histogram");
-    let sketch = registry.sketch("bench.sketch");
-    let stat = registry.latency("bench.latency_stat");
+    let histogram = registry.histogram(lbsn_obs::names::bench::HISTOGRAM);
+    let sketch = registry.sketch(lbsn_obs::names::bench::SKETCH);
+    let stat = registry.latency(lbsn_obs::names::bench::LATENCY_STAT);
     // Cycle across decades so every fixed bucket and many log buckets
     // get touched, as a real latency stream would.
     let samples: Vec<u64> = (0..1024)

@@ -26,3 +26,7 @@ pub mod harness;
 pub mod obsreport;
 pub mod report;
 pub mod throughput;
+
+/// This crate's group of registered observability names (see
+/// `lbsn_obs::names` for the registry and the lint that enforces it).
+pub use lbsn_obs::names::bench as metric_names;

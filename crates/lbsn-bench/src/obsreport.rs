@@ -10,6 +10,7 @@
 
 use std::collections::BTreeSet;
 
+use lbsn_obs::names as obs;
 use lbsn_obs::{SloOutcome, SloPolicy, SloRule, Snapshot};
 
 /// Quantiles shown per latency metric in the diff table.
@@ -170,17 +171,17 @@ pub fn default_policy() -> SloPolicy {
         name: "experiments-default".to_string(),
         rules: vec![
             SloRule::QuantileMaxNs {
-                metric: "server.checkin.total".to_string(),
+                metric: obs::server::CHECKIN_TOTAL.to_string(),
                 q: 0.99,
                 max_ns: 50_000_000, // 50 ms: in-process pipeline, huge headroom
             },
             SloRule::QuantileMaxNs {
-                metric: "crawler.fetch".to_string(),
+                metric: obs::crawler::FETCH.to_string(),
                 q: 0.99,
                 max_ns: 5_000_000_000, // 5 s simulated round-trip ceiling
             },
             SloRule::QuantileMaxNs {
-                metric: "server.shard.lock_wait".to_string(),
+                metric: obs::server::SHARD_LOCK_WAIT.to_string(),
                 q: 0.99,
                 max_ns: 5_000_000, // 5 ms shard-contention ceiling
             },
@@ -193,25 +194,25 @@ pub fn default_policy() -> SloPolicy {
                 // The GPS detector stands proxy for the chain — it runs
                 // on every non-branded check-in under the default
                 // policy.
-                metric: "server.checkin.detector.gps_proximity.latency".to_string(),
+                metric: obs::server::detector_latency("gps-proximity"),
                 q: 0.99,
                 max_ns: 1 << 20,
             },
             SloRule::CounterMin {
-                metric: "server.checkin.accepted".to_string(),
+                metric: obs::server::ACCEPTED.to_string(),
                 min: 100, // the workload actually exercised the pipeline
             },
             SloRule::CounterMin {
-                metric: "crawler.store.users".to_string(),
+                metric: obs::crawler::STORE_USERS.to_string(),
                 min: 100, // the crawl actually stored profiles
             },
             SloRule::RatioMax {
-                numerator: "crawler.fetch.errors".to_string(),
-                denominator: "crawler.fetch.pages".to_string(),
+                numerator: obs::crawler::FETCH_ERRORS.to_string(),
+                denominator: obs::crawler::FETCH_PAGES.to_string(),
                 max_ratio: 0.01,
             },
             SloRule::GaugeMin {
-                metric: "crawler.throughput.users_per_hour".to_string(),
+                metric: obs::crawler::THROUGHPUT_USERS_PER_HOUR.to_string(),
                 min: 1_000.0, // paper's Fig 3.3 scale is ~100k/h
             },
         ],

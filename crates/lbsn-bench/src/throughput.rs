@@ -210,7 +210,7 @@ pub fn run(config: &ThroughputConfig) -> ThroughputResult {
     );
     let snap = registry.snapshot();
     assert_eq!(
-        snap.counter("server.checkin.accepted"),
+        snap.counter(lbsn_obs::names::server::ACCEPTED),
         total_ops,
         "accepted counter must equal submitted ops"
     );

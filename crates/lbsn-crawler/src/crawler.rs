@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use lbsn_obs::names::crawler as obs_names;
 use lbsn_obs::{Counter, LatencyStat, Registry};
 
 use crate::db::CrawlDatabase;
@@ -138,13 +139,13 @@ impl CrawlerMetrics {
     fn new(registry: Arc<Registry>) -> Self {
         let r = &registry;
         CrawlerMetrics {
-            pages: r.counter("crawler.fetch.pages"),
-            fetch_latency: r.latency("crawler.fetch"),
-            retries: r.counter("crawler.fetch.retries"),
-            errors: r.counter("crawler.fetch.errors"),
-            parse_errors: r.counter("crawler.parse.errors"),
-            stored_users: r.counter("crawler.store.users"),
-            stored_venues: r.counter("crawler.store.venues"),
+            pages: r.counter(obs_names::FETCH_PAGES),
+            fetch_latency: r.latency(obs_names::FETCH),
+            retries: r.counter(obs_names::FETCH_RETRIES),
+            errors: r.counter(obs_names::FETCH_ERRORS),
+            parse_errors: r.counter(obs_names::PARSE_ERRORS),
+            stored_users: r.counter(obs_names::STORE_USERS),
+            stored_venues: r.counter(obs_names::STORE_VENUES),
             registry,
         }
     }
@@ -257,7 +258,7 @@ impl MultiThreadCrawler {
         };
         let registry = &self.metrics.registry;
         registry
-            .gauge(&format!("crawler.throughput.{unit}"))
+            .gauge(&obs_names::throughput(unit))
             .set(stats.pages_per_hour());
         for (i, tally) in tallies.iter().enumerate() {
             let pph = if tally.virtual_ms > 0.0 {
@@ -266,11 +267,11 @@ impl MultiThreadCrawler {
                 0.0
             };
             registry
-                .gauge(&format!("crawler.thread.{i}.{unit}"))
+                .gauge(&obs_names::thread_throughput(i, unit))
                 .set(pph);
         }
         registry.event(
-            "crawler.run.finished",
+            obs_names::RUN_FINISHED_EVENT,
             &[
                 ("target", format!("{:?}", self.config.target)),
                 ("processed", stats.processed.to_string()),
@@ -308,11 +309,11 @@ impl MultiThreadCrawler {
             // One root span per page (head-sampled): fetch → parse →
             // store become children, so a sampled page's lifecycle
             // reads end to end in chrome://tracing.
-            let mut span = self.metrics.registry.span("crawler.page");
+            let mut span = self.metrics.registry.span(obs_names::PAGE_SPAN);
             span.attr("url", &url);
 
             // Fetch with transient-failure retries.
-            let mut fetch_span = span.child("crawler.fetch");
+            let mut fetch_span = span.child(obs_names::FETCH);
             let mut response = self.fetcher.fetch(&url);
             self.metrics.pages.inc();
             self.record_fetch_latency(&response);
@@ -334,12 +335,12 @@ impl MultiThreadCrawler {
             match response.status {
                 200 => {
                     shared.consecutive_404s.store(0, Ordering::Relaxed);
-                    let parse_span = span.child("crawler.parse");
+                    let parse_span = span.child(obs_names::PARSE_SPAN);
                     let stored = match self.config.target {
                         CrawlTarget::Users => match parse_user_page(&response.body) {
                             Ok(row) => {
                                 parse_span.end();
-                                let store_span = span.child("crawler.store");
+                                let store_span = span.child(obs_names::STORE_SPAN);
                                 self.db.insert_user(row);
                                 store_span.end();
                                 true
@@ -352,7 +353,7 @@ impl MultiThreadCrawler {
                         CrawlTarget::Venues => match parse_venue_page(&response.body) {
                             Ok(row) => {
                                 parse_span.end();
-                                let store_span = span.child("crawler.store");
+                                let store_span = span.child(obs_names::STORE_SPAN);
                                 self.db.insert_venue(row);
                                 store_span.end();
                                 true

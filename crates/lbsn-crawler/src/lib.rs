@@ -31,6 +31,10 @@ pub mod scrape;
 mod urlspace;
 
 pub use crawler::{CrawlStats, CrawlTarget, CrawlerConfig, MultiThreadCrawler};
+
 pub use db::{CrawlDatabase, RecentCheckinRow, UserInfoRow, VenueInfoRow, VisitorRef};
 pub use fetch::{FetchResponse, Fetcher, SimulatedHttp, SimulatedHttpConfig};
+/// This crate's group of registered observability names (see
+/// `lbsn_obs::names` for the registry and the lint that enforces it).
+pub use lbsn_obs::names::crawler as metric_names;
 pub use urlspace::UrlSpace;

@@ -1,0 +1,144 @@
+//! lbsn-lint: the workspace invariant analyzer.
+//!
+//! A purpose-built static checker for this repository's three
+//! machine-checkable contracts (see DESIGN.md §"Static & dynamic
+//! invariant checking"):
+//!
+//! 1. **Observability names are registered** — every string literal
+//!    shaped like a metric/span/event name (`server.…`, `crawler.…`,
+//!    `attack.…`, `bench.…`) must resolve against the
+//!    `lbsn_obs::names` registry; so must every metric an SLO rule in
+//!    `baselines/slo.json` references and every name cited in
+//!    README.md / EXPERIMENTS.md. A typo'd name can no longer ship a
+//!    dashboard that silently reads zeros.
+//!    Rule id: [`rules::UNREGISTERED_METRIC_NAME`].
+//! 2. **Forbidden APIs** — `std::sync::{Mutex, RwLock}` outside
+//!    `vendor/` ([`rules::NO_STD_SYNC`]; the vendored `parking_lot` is
+//!    the workspace's lock layer), wall-clock reads in
+//!    simulation-clocked crates ([`rules::NO_WALL_CLOCK`]), and
+//!    `unwrap()`/`expect()` in the server's check-in hot-path modules
+//!    ([`rules::NO_UNWRAP_HOT_PATH`]).
+//! 3. **Policy surface completeness** — every field of the policy
+//!    structs must be set in every `policies/*.json`
+//!    ([`rules::POLICY_FIELD_MISSING`]), so a committed scenario file
+//!    can never silently pick up a changed default.
+//!
+//! Plus a static shadow of the runtime lock-order sentinel:
+//! [`rules::SHARD_LOCK_ORDER`] flags descending shard-literal
+//! acquisitions and venue-before-user acquisition sequences inside a
+//! function.
+//!
+//! The scanner is token-level ([`lexer`]) — no `syn`, no network, no
+//! build artifacts needed — and conservative by design: rules only
+//! fire on patterns that are unambiguous at the token level, and any
+//! true positive a human disagrees with can be waived in place with
+//! `// lint:allow(<rule-id>): <why>` on the offending line or the
+//! line above.
+//!
+//! `#[cfg(test)] mod` regions are exempt from the source rules: tests
+//! legitimately probe unregistered names and hold locks in the wrong
+//! order on purpose.
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One finding: a rule id, a location, and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Root-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Stable rule id (what `lint:allow(...)` names).
+    pub rule: &'static str,
+    /// What went wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{rule}: {file}:{line}: {msg}",
+            rule = self.rule,
+            file = self.file,
+            line = self.line,
+            msg = self.message
+        )
+    }
+}
+
+/// Directory names never descended into: vendored stand-ins (their
+/// whole point is wrapping the forbidden APIs), build output, VCS
+/// metadata, lint fixtures (violation corpora), and this crate itself
+/// (its tests name violations as string literals).
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", "fixtures", "lbsn-lint"];
+
+/// Runs every rule over the tree rooted at `root`, returning findings
+/// sorted by file, line, rule.
+///
+/// # Errors
+///
+/// Only on I/O failures walking or reading the tree — an *absent*
+/// optional input (no `baselines/slo.json`, no `policies/`) simply
+/// skips the rules that need it.
+pub fn run(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut violations = Vec::new();
+    for path in rust_sources(root)? {
+        let source = fs::read_to_string(&path)?;
+        let rel = relative(root, &path);
+        let scan = lexer::scan(&source);
+        rules::check_source(&rel, &scan, &mut violations);
+    }
+    rules::check_slo_baseline(root, &mut violations)?;
+    rules::check_docs(root, &mut violations)?;
+    rules::check_policy_surface(root, &mut violations)?;
+    violations.sort();
+    Ok(violations)
+}
+
+/// Number of `.rs` files [`run`] would scan under `root` — surfaced by
+/// the CLI so "clean" output proves the walk saw the tree.
+pub fn source_count(root: &Path) -> io::Result<usize> {
+    Ok(rust_sources(root)?.len())
+}
+
+/// Every `.rs` file under `root`, skipping [`SKIP_DIRS`], sorted.
+fn rust_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// `path` relative to `root`, with `/` separators.
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

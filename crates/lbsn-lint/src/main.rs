@@ -1,0 +1,48 @@
+//! CLI driver: `cargo run -p lbsn-lint -- --deny-all [--root <path>]`.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage error. Violations
+//! print one per line as `rule-id: file:line: message`, sorted, so CI
+//! diffs are stable.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: lbsn-lint [--deny-all] [--root <path>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            // Every rule is already deny-level; the flag pins the CI
+            // contract so a future "warn" tier can't weaken the gate
+            // silently.
+            "--deny-all" => {}
+            "--root" => match args.next() {
+                Some(path) => root = PathBuf::from(path),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let violations = match lbsn_lint::run(&root) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("lbsn-lint: error scanning {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if violations.is_empty() {
+        let scanned = lbsn_lint::source_count(&root).unwrap_or(0);
+        println!("lbsn-lint: clean ({scanned} source files scanned)");
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        println!("{v}");
+    }
+    eprintln!("lbsn-lint: {} violation(s)", violations.len());
+    ExitCode::from(1)
+}

@@ -1,0 +1,818 @@
+//! The rule set. Each rule has a stable id — the name `lint:allow(...)`
+//! markers and CI output use — and a narrow, token-level trigger.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::lexer::Scan;
+use crate::Violation;
+
+/// A string literal shaped like an observability name does not resolve
+/// against the `lbsn_obs::names` registry.
+pub const UNREGISTERED_METRIC_NAME: &str = "unregistered-metric-name";
+/// `std::sync::Mutex` / `std::sync::RwLock` used outside `vendor/`.
+pub const NO_STD_SYNC: &str = "no-std-sync";
+/// `Instant::now` / `SystemTime::now` in a simulation-clocked crate.
+pub const NO_WALL_CLOCK: &str = "no-wall-clock";
+/// `unwrap()` / `expect()` in a check-in hot-path module.
+pub const NO_UNWRAP_HOT_PATH: &str = "no-unwrap-hot-path";
+/// Shard acquisitions out of order within one function.
+pub const SHARD_LOCK_ORDER: &str = "shard-lock-order";
+/// A `policies/*.json` file does not set every policy struct field.
+pub const POLICY_FIELD_MISSING: &str = "policy-field-missing";
+
+/// Crates that must read time through `SimClock`, never the wall
+/// clock: their whole value is deterministic replay.
+const SIM_CLOCKED_CRATES: &[&str] = &[
+    "crates/lbsn-sim/",
+    "crates/lbsn-device/",
+    "crates/lbsn-workload/",
+    "crates/lbsn-attack/",
+    "crates/lbsn-analysis/",
+    "crates/lbsn-geo/",
+];
+
+/// The server modules on the check-in hot path, where a panic poisons
+/// nothing (parking_lot) but still drops a request mid-pipeline.
+const HOT_PATH_MODULES: &[&str] = &[
+    "crates/lbsn-server/src/server.rs",
+    "crates/lbsn-server/src/shard.rs",
+    "crates/lbsn-server/src/pipeline.rs",
+    "crates/lbsn-server/src/checkin.rs",
+    "crates/lbsn-server/src/rewards.rs",
+    "crates/lbsn-server/src/user.rs",
+    "crates/lbsn-server/src/venue.rs",
+];
+
+/// The policy structs whose serde surface `policies/*.json` must cover,
+/// with the file each is defined in.
+const POLICY_STRUCTS: &[(&str, &str)] = &[
+    ("crates/lbsn-server/src/policy.rs", "PolicyConfig"),
+    ("crates/lbsn-server/src/policy.rs", "DetectorConfig"),
+    ("crates/lbsn-server/src/policy.rs", "RewardConfig"),
+    ("crates/lbsn-server/src/rewards.rs", "PointsPolicy"),
+];
+
+/// Runs every source-level rule over one scanned `.rs` file.
+pub fn check_source(rel: &str, scan: &Scan, out: &mut Vec<Violation>) {
+    let test_lines = test_region_lines(&scan.code);
+    check_metric_literals(rel, scan, &test_lines, out);
+    check_std_sync(rel, scan, &test_lines, out);
+    if SIM_CLOCKED_CRATES.iter().any(|c| rel.starts_with(c)) {
+        check_wall_clock(rel, scan, &test_lines, out);
+    }
+    if HOT_PATH_MODULES.contains(&rel) {
+        check_unwrap(rel, scan, &test_lines, out);
+    }
+    if rel.starts_with("crates/lbsn-server/src/") {
+        check_shard_order(rel, scan, &test_lines, out);
+    }
+}
+
+/// Emits `violation` unless a `lint:allow` marker covers it.
+fn push(scan: &Scan, out: &mut Vec<Violation>, v: Violation) {
+    if !scan.allowed(v.rule, v.line) {
+        out.push(v);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: unregistered-metric-name
+// ---------------------------------------------------------------------
+
+/// Whether a literal is *shaped* like an observability name: a known
+/// subsystem prefix, then dot-separated segments of `[a-z0-9_]` or a
+/// `{placeholder}`. Literals with `*` (doc wildcards) or format
+/// specifiers (`{x:?}`) don't match and are ignored.
+fn metric_shaped(value: &str) -> bool {
+    let mut segments = value.split('.');
+    let Some(first) = segments.next() else {
+        return false;
+    };
+    if !matches!(first, "server" | "crawler" | "attack" | "bench") {
+        return false;
+    }
+    let mut rest = 0;
+    for seg in segments {
+        rest += 1;
+        let placeholder = seg.len() > 2
+            && seg.starts_with('{')
+            && seg.ends_with('}')
+            && seg[1..seg.len() - 1]
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == '_');
+        let plain = !seg.is_empty()
+            && seg
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_');
+        if !placeholder && !plain {
+            return false;
+        }
+    }
+    rest >= 1
+}
+
+fn check_metric_literals(
+    rel: &str,
+    scan: &Scan,
+    test_lines: &BTreeSet<usize>,
+    out: &mut Vec<Violation>,
+) {
+    for lit in &scan.strings {
+        if test_lines.contains(&lit.line) || !metric_shaped(&lit.value) {
+            continue;
+        }
+        if !lbsn_obs::names::is_registered(&lit.value) {
+            push(
+                scan,
+                out,
+                Violation {
+                    file: rel.to_string(),
+                    line: lit.line,
+                    rule: UNREGISTERED_METRIC_NAME,
+                    message: format!(
+                        "\"{}\" is not a registered observability name — add it to \
+                         lbsn_obs::names (and use the constant here)",
+                        lit.value
+                    ),
+                },
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: no-std-sync
+// ---------------------------------------------------------------------
+
+fn check_std_sync(rel: &str, scan: &Scan, test_lines: &BTreeSet<usize>, out: &mut Vec<Violation>) {
+    for (idx, line) in scan.code.lines().enumerate() {
+        let lineno = idx + 1;
+        if test_lines.contains(&lineno) {
+            continue;
+        }
+        let direct = line.contains("std::sync::Mutex") || line.contains("std::sync::RwLock");
+        // Grouped import: `use std::sync::{…, Mutex, …}`. Single-line
+        // only — rustfmt keeps these short in this tree.
+        let grouped = line.contains("use std::sync::{")
+            && (contains_word(line, "Mutex") || contains_word(line, "RwLock"));
+        if direct || grouped {
+            push(
+                scan,
+                out,
+                Violation {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: NO_STD_SYNC,
+                    message: "std::sync::Mutex/RwLock are forbidden outside vendor/ — \
+                              use the vendored parking_lot (non-poisoning, const-init)"
+                        .to_string(),
+                },
+            );
+        }
+    }
+}
+
+/// Whether `word` occurs in `line` delimited by non-identifier chars.
+fn contains_word(line: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !line[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        let after = at + word.len();
+        let after_ok = !line[after..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// Rule: no-wall-clock
+// ---------------------------------------------------------------------
+
+fn check_wall_clock(
+    rel: &str,
+    scan: &Scan,
+    test_lines: &BTreeSet<usize>,
+    out: &mut Vec<Violation>,
+) {
+    for (idx, line) in scan.code.lines().enumerate() {
+        let lineno = idx + 1;
+        if test_lines.contains(&lineno) {
+            continue;
+        }
+        for api in ["Instant::now", "SystemTime::now"] {
+            if line.contains(api) {
+                push(
+                    scan,
+                    out,
+                    Violation {
+                        file: rel.to_string(),
+                        line: lineno,
+                        rule: NO_WALL_CLOCK,
+                        message: format!(
+                            "{api} in a simulation-clocked crate — read time through \
+                             SimClock so runs stay deterministic"
+                        ),
+                    },
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: no-unwrap-hot-path
+// ---------------------------------------------------------------------
+
+fn check_unwrap(rel: &str, scan: &Scan, test_lines: &BTreeSet<usize>, out: &mut Vec<Violation>) {
+    for (idx, line) in scan.code.lines().enumerate() {
+        let lineno = idx + 1;
+        if test_lines.contains(&lineno) {
+            continue;
+        }
+        if line.contains(".unwrap()") || line.contains(".expect(") {
+            push(
+                scan,
+                out,
+                Violation {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: NO_UNWRAP_HOT_PATH,
+                    message: "unwrap()/expect() in a check-in hot-path module — return \
+                              an error, or waive with lint:allow naming the invariant"
+                        .to_string(),
+                },
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: shard-lock-order
+// ---------------------------------------------------------------------
+
+/// Static shadow of the runtime sentinel's rules 1 and 2, at the
+/// granularity a token scan supports: inside one function body,
+/// integer-literal shard acquisitions must strictly ascend, and no
+/// `.users.`-receiver acquisition may follow a `.venues.`-receiver
+/// acquisition. `try_read_shard` is exempt (non-blocking peek).
+fn check_shard_order(
+    rel: &str,
+    scan: &Scan,
+    test_lines: &BTreeSet<usize>,
+    out: &mut Vec<Violation>,
+) {
+    let mut last_literal: Option<u64> = None;
+    let mut venues_acquired = false;
+    for (idx, line) in scan.code.lines().enumerate() {
+        let lineno = idx + 1;
+        if test_lines.contains(&lineno) {
+            continue;
+        }
+        if line.contains("fn ") {
+            last_literal = None;
+            venues_acquired = false;
+        }
+        for call in [".read_shard(", ".write_shard(", ".write_set("] {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(call) {
+                let at = from + pos;
+                from = at + call.len();
+                let receiver = receiver_ident(&line[..at]);
+                if receiver == Some("venues") {
+                    venues_acquired = true;
+                } else if receiver == Some("users") && venues_acquired {
+                    push(
+                        scan,
+                        out,
+                        Violation {
+                            file: rel.to_string(),
+                            line: lineno,
+                            rule: SHARD_LOCK_ORDER,
+                            message: "user-shard acquisition after a venue-shard \
+                                      acquisition in the same function — rule 1 orders \
+                                      user shards first"
+                                .to_string(),
+                        },
+                    );
+                }
+                if call != ".write_set(" {
+                    if let Some(n) = leading_int(&line[from..]) {
+                        if last_literal.is_some_and(|prev| prev >= n) {
+                            push(
+                                scan,
+                                out,
+                                Violation {
+                                    file: rel.to_string(),
+                                    line: lineno,
+                                    rule: SHARD_LOCK_ORDER,
+                                    message: format!(
+                                        "shard {n} acquired after shard \
+                                         {} in the same function — rule 2 requires \
+                                         strictly ascending shard order",
+                                        last_literal.unwrap_or_default()
+                                    ),
+                                },
+                            );
+                        }
+                        last_literal = Some(n);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The identifier immediately before the final `.` of `prefix`
+/// (e.g. `self.users` → `users`).
+fn receiver_ident(prefix: &str) -> Option<&str> {
+    let end = prefix.len();
+    let start = prefix
+        .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .map_or(0, |p| p + 1);
+    (start < end).then(|| &prefix[start..end])
+}
+
+/// Parses an integer literal at the start of `rest` (the argument
+/// position of an acquisition call), if the full argument is one.
+fn leading_int(rest: &str) -> Option<u64> {
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        return None;
+    }
+    let after = rest[digits.len()..].chars().next();
+    matches!(after, Some(')') | Some(',')).then(|| digits.parse().ok())?
+}
+
+// ---------------------------------------------------------------------
+// cfg(test) region detection
+// ---------------------------------------------------------------------
+
+/// Lines belonging to `#[cfg(test)] mod … { … }` regions of blanked
+/// code. Attribute and `mod` keyword may be separated by more
+/// attributes; a `#[cfg(test)]` on a non-module item exempts nothing.
+fn test_region_lines(code: &str) -> BTreeSet<usize> {
+    let mut lines = BTreeSet::new();
+    let bytes = code.as_bytes();
+    let mut search = 0;
+    while let Some(pos) = code[search..].find("#[cfg(test)]") {
+        let attr_at = search + pos;
+        search = attr_at + "#[cfg(test)]".len();
+        let mut i = search;
+        // Skip whitespace and further attributes.
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'#' {
+                while i < bytes.len() && bytes[i] != b']' {
+                    i += 1;
+                }
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        let rest = &code[i..];
+        let is_mod = rest.starts_with("mod ") || rest.starts_with("pub mod ");
+        if !is_mod {
+            continue;
+        }
+        let Some(open_rel) = rest.find('{') else {
+            continue;
+        };
+        let open = i + open_rel;
+        let mut depth = 0usize;
+        let mut end = open;
+        for (j, &b) in bytes[open..].iter().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let start_line = line_of(code, attr_at);
+        let end_line = line_of(code, end);
+        lines.extend(start_line..=end_line);
+        search = end;
+    }
+    lines
+}
+
+/// 1-based line of byte offset `at`.
+fn line_of(code: &str, at: usize) -> usize {
+    code.as_bytes()[..at]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+// ---------------------------------------------------------------------
+// Rule: unregistered-metric-name (slo.json and docs surfaces)
+// ---------------------------------------------------------------------
+
+/// Checks every metric an SLO rule references in `baselines/slo.json`.
+/// Skipped silently when the file is absent (fixture trees).
+pub fn check_slo_baseline(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
+    let path = root.join("baselines/slo.json");
+    let Ok(text) = fs::read_to_string(&path) else {
+        return Ok(());
+    };
+    let parsed: serde_json::Value = serde_json::from_str(&text).map_err(io::Error::other)?;
+    let mut names = Vec::new();
+    collect_metric_refs(&parsed, &mut names);
+    for name in names {
+        if !lbsn_obs::names::is_registered(&name) {
+            out.push(Violation {
+                file: "baselines/slo.json".to_string(),
+                line: find_line(&text, &name),
+                rule: UNREGISTERED_METRIC_NAME,
+                message: format!(
+                    "SLO rule references \"{name}\", which is not a registered \
+                     observability name"
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Gathers the string values of `metric` / `numerator` / `denominator`
+/// keys anywhere in an SLO document.
+fn collect_metric_refs(value: &serde_json::Value, out: &mut Vec<String>) {
+    match value {
+        serde_json::Value::Object(map) => {
+            for (k, v) in map.iter() {
+                if matches!(k.as_str(), "metric" | "numerator" | "denominator") {
+                    if let Some(s) = v.as_str() {
+                        out.push(s.to_string());
+                    }
+                }
+                collect_metric_refs(v, out);
+            }
+        }
+        serde_json::Value::Array(items) => {
+            for v in items {
+                collect_metric_refs(v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Checks every backtick-quoted, metric-shaped name in README.md and
+/// EXPERIMENTS.md. Wildcard citations (`server.checkin.flag.*`) don't
+/// match the shape and are ignored.
+pub fn check_docs(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
+    for doc in ["README.md", "EXPERIMENTS.md"] {
+        let Ok(text) = fs::read_to_string(root.join(doc)) else {
+            continue;
+        };
+        for (idx, line) in text.lines().enumerate() {
+            for span in backtick_spans(line) {
+                if metric_shaped(span) && !lbsn_obs::names::is_registered(span) {
+                    out.push(Violation {
+                        file: doc.to_string(),
+                        line: idx + 1,
+                        rule: UNREGISTERED_METRIC_NAME,
+                        message: format!(
+                            "documentation cites `{span}`, which is not a registered \
+                             observability name"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The contents of every `` `…` `` span in a markdown line.
+fn backtick_spans(line: &str) -> Vec<&str> {
+    let mut spans = Vec::new();
+    let mut parts = line.split('`');
+    // Odd-indexed parts are inside backticks.
+    parts.next();
+    while let (Some(inside), rest) = (parts.next(), parts.next()) {
+        spans.push(inside);
+        if rest.is_none() {
+            break;
+        }
+    }
+    spans
+}
+
+/// First line on which `needle` occurs in `text` (1-based; line 1 if
+/// absent — keeps the span stable even if the value is split oddly).
+fn find_line(text: &str, needle: &str) -> usize {
+    text.lines()
+        .position(|l| l.contains(needle))
+        .map_or(1, |p| p + 1)
+}
+
+// ---------------------------------------------------------------------
+// Rule: policy-field-missing
+// ---------------------------------------------------------------------
+
+/// Every `pub` field of the policy structs must appear as a key in
+/// every `policies/*.json`. Skipped silently when the struct sources or
+/// the policies directory are absent under `root`.
+pub fn check_policy_surface(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
+    let mut fields: Vec<(&'static str, String)> = Vec::new();
+    for &(file, strukt) in POLICY_STRUCTS {
+        let Ok(source) = fs::read_to_string(root.join(file)) else {
+            continue;
+        };
+        let scan = crate::lexer::scan(&source);
+        for field in struct_fields(&scan.code, strukt) {
+            fields.push((strukt, field));
+        }
+    }
+    if fields.is_empty() {
+        return Ok(());
+    }
+    let policies = root.join("policies");
+    let Ok(entries) = fs::read_dir(&policies) else {
+        return Ok(());
+    };
+    let mut files: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .collect();
+    files.sort();
+    for path in files {
+        let text = fs::read_to_string(&path)?;
+        let parsed: serde_json::Value = serde_json::from_str(&text).map_err(io::Error::other)?;
+        let mut keys = BTreeSet::new();
+        collect_keys(&parsed, &mut keys);
+        let rel = format!(
+            "policies/{}",
+            path.file_name().unwrap_or_default().to_string_lossy()
+        );
+        for (strukt, field) in &fields {
+            if !keys.contains(field.as_str()) {
+                out.push(Violation {
+                    file: rel.clone(),
+                    line: 1,
+                    rule: POLICY_FIELD_MISSING,
+                    message: format!(
+                        "does not set `{field}` ({strukt}) — every policy file must \
+                         pin the full policy surface, not inherit defaults"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The `pub` field names of `pub struct <name> { … }` in blanked code.
+fn struct_fields(code: &str, name: &str) -> Vec<String> {
+    let header = format!("pub struct {name} ");
+    let alt = format!("pub struct {name}{{");
+    let start = code.find(&header).or_else(|| code.find(&alt));
+    let Some(start) = start else {
+        return Vec::new();
+    };
+    let Some(open_rel) = code[start..].find('{') else {
+        return Vec::new();
+    };
+    let open = start + open_rel;
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    let mut end = open;
+    for (j, &b) in bytes[open..].iter().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + j;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let body = &code[open + 1..end];
+    let mut fields = Vec::new();
+    for line in body.lines() {
+        let line = line.trim_start();
+        if let Some(rest) = line.strip_prefix("pub ") {
+            if let Some(colon) = rest.find(':') {
+                let ident = rest[..colon].trim();
+                if !ident.is_empty() && ident.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                {
+                    fields.push(ident.to_string());
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Every object key anywhere in a JSON document.
+fn collect_keys(value: &serde_json::Value, out: &mut BTreeSet<String>) {
+    match value {
+        serde_json::Value::Object(map) => {
+            for (k, v) in map.iter() {
+                out.insert(k.clone());
+                collect_keys(v, out);
+            }
+        }
+        serde_json::Value::Array(items) => {
+            for v in items {
+                collect_keys(v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn source_violations(rel: &str, src: &str) -> Vec<Violation> {
+        let mut out = Vec::new();
+        check_source(rel, &scan(src), &mut out);
+        out
+    }
+
+    #[test]
+    fn metric_shape_matcher() {
+        assert!(metric_shaped("server.checkin.total"));
+        assert!(metric_shaped("crawler.thread.{thread}.pages"));
+        assert!(metric_shaped("bench.histogram"));
+        assert!(!metric_shaped("server.checkin.flag.*"), "doc wildcard");
+        assert!(!metric_shaped("flag.{flag:?}"), "format specifier");
+        assert!(!metric_shaped("server"), "prefix alone");
+        assert!(!metric_shaped("server..total"), "empty segment");
+        assert!(!metric_shaped("other.checkin"), "unknown subsystem");
+        assert!(!metric_shaped("server.CheckIn"), "uppercase");
+    }
+
+    #[test]
+    fn unregistered_literal_is_flagged_with_line() {
+        let v = source_violations(
+            "crates/x/src/lib.rs",
+            "fn f(r: &Registry) {\n    r.counter(\"server.checkin.bogus\");\n}\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, UNREGISTERED_METRIC_NAME);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn registered_literal_passes() {
+        let v = source_violations(
+            "crates/x/src/lib.rs",
+            "fn f(r: &Registry) { r.counter(\"server.checkin.total\"); }\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g(r: &Registry) {\n        \
+                   r.counter(\"server.checkin.bogus\");\n    }\n}\n";
+        assert!(source_violations("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_on_non_module_items_exempts_nothing() {
+        let src = "#[cfg(test)]\nfn probe() {}\nfn f(r: &Registry) {\n    \
+                   r.counter(\"server.checkin.bogus\");\n}\n";
+        assert_eq!(source_violations("crates/x/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn lint_allow_suppresses_on_line_and_line_above() {
+        let same = "fn f(r: &Registry) { r.counter(\"server.x.y\"); } \
+                    // lint:allow(unregistered-metric-name)\n";
+        assert!(source_violations("crates/x/src/lib.rs", same).is_empty());
+        let above = "// lint:allow(unregistered-metric-name): migration pending\n\
+                     fn f(r: &Registry) { r.counter(\"server.x.y\"); }\n";
+        assert!(source_violations("crates/x/src/lib.rs", above).is_empty());
+        let wrong_rule = "// lint:allow(no-std-sync)\n\
+                          fn f(r: &Registry) { r.counter(\"server.x.y\"); }\n";
+        assert_eq!(
+            source_violations("crates/x/src/lib.rs", wrong_rule).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn std_sync_locks_are_flagged_everywhere() {
+        let v = source_violations(
+            "crates/x/src/lib.rs",
+            "use std::sync::Mutex;\nuse std::sync::{Arc, RwLock};\nuse std::sync::Arc;\n",
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == NO_STD_SYNC));
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 2);
+    }
+
+    #[test]
+    fn std_sync_arc_and_atomics_pass() {
+        let v = source_violations(
+            "crates/x/src/lib.rs",
+            "use std::sync::Arc;\nuse std::sync::{Arc, Barrier, OnceLock};\n\
+             use std::sync::atomic::{AtomicU64, Ordering};\nuse std::sync::mpsc;\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn wall_clock_only_flagged_in_sim_clocked_crates() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(
+            source_violations("crates/lbsn-sim/src/clock.rs", src).len(),
+            1
+        );
+        assert!(
+            source_violations("crates/lbsn-server/src/shard.rs", src).is_empty(),
+            "the server's lock-wait timing is real wall time by design"
+        );
+    }
+
+    #[test]
+    fn unwrap_only_flagged_in_hot_path_modules() {
+        let src = "fn f(x: Option<u32>) { x.unwrap(); }\n";
+        assert_eq!(
+            source_violations("crates/lbsn-server/src/server.rs", src).len(),
+            1
+        );
+        assert!(source_violations("crates/lbsn-server/src/web.rs", src).is_empty());
+        assert!(source_violations("crates/lbsn-crawler/src/crawler.rs", src).is_empty());
+    }
+
+    #[test]
+    fn descending_shard_literals_are_flagged() {
+        let src =
+            "fn f(m: &S) {\n    let a = m.write_shard(3);\n    let b = m.write_shard(1);\n}\n";
+        let v = source_violations("crates/lbsn-server/src/demo.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, SHARD_LOCK_ORDER);
+        assert_eq!(v[0].line, 3);
+        // A new function resets the tracker.
+        let reset = "fn f(m: &S) { let a = m.write_shard(3); }\n\
+                     fn g(m: &S) { let b = m.write_shard(1); }\n";
+        assert!(source_violations("crates/lbsn-server/src/demo.rs", reset).is_empty());
+    }
+
+    #[test]
+    fn venue_before_user_acquisition_is_flagged() {
+        let src = "fn f(&self) {\n    let v = self.venues.write_shard(s);\n    \
+                   let u = self.users.read_shard(t);\n}\n";
+        let v = source_violations("crates/lbsn-server/src/demo.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, SHARD_LOCK_ORDER);
+        // try_read_shard peeks don't count as venue acquisitions.
+        let peek = "fn f(&self) {\n    let v = self.venues.try_read_shard(s);\n    \
+                    let u = self.users.read_shard(t);\n}\n";
+        assert!(source_violations("crates/lbsn-server/src/demo.rs", peek).is_empty());
+    }
+
+    #[test]
+    fn struct_field_extraction() {
+        let code = "pub struct PointsPolicy {\n    /// doc\n    pub per_checkin: u64,\n    \
+                    pub first_visit_bonus: u64,\n    hidden: u64,\n}\n";
+        assert_eq!(
+            struct_fields(code, "PointsPolicy"),
+            vec!["per_checkin", "first_visit_bonus"]
+        );
+        assert!(struct_fields(code, "Missing").is_empty());
+    }
+
+    #[test]
+    fn backtick_span_extraction() {
+        assert_eq!(
+            backtick_spans("the `server.checkin.total` stat and `crawler.fetch`"),
+            vec!["server.checkin.total", "crawler.fetch"]
+        );
+        assert!(backtick_spans("no spans here").is_empty());
+    }
+}

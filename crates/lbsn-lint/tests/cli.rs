@@ -1,0 +1,92 @@
+//! End-to-end tests of the `lbsn-lint` binary: exact rule ids,
+//! `file:line` spans, and exit codes against the fixture trees — plus
+//! the self-scan that keeps the real workspace clean (run as part of
+//! the ordinary test suite, so `cargo test` alone catches a violation
+//! even before CI's dedicated lint job does).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn lint(root: &Path, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_lbsn-lint"))
+        .arg("--deny-all")
+        .args(["--root", &root.display().to_string()])
+        .args(extra)
+        .output()
+        .expect("spawn lbsn-lint")
+}
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn violations_fixture_reports_every_rule_with_exact_spans() {
+    let out = lint(&fixture("violations"), &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    let expected = [
+        "unregistered-metric-name: README.md:3: documentation cites `server.checkin.whoops`",
+        "unregistered-metric-name: baselines/slo.json:4: SLO rule references \"server.checkin.nope\"",
+        "no-std-sync: crates/lbsn-app/src/lib.rs:1:",
+        "unregistered-metric-name: crates/lbsn-app/src/lib.rs:4: \"server.checkin.bogus\"",
+        "shard-lock-order: crates/lbsn-server/src/server.rs:3: shard 1 acquired after shard 3",
+        "no-unwrap-hot-path: crates/lbsn-server/src/server.rs:7:",
+        "shard-lock-order: crates/lbsn-server/src/server.rs:17: user-shard acquisition after a venue-shard",
+        "no-wall-clock: crates/lbsn-sim/src/lib.rs:2: Instant::now",
+        "policy-field-missing: policies/broken.json:1: does not set `enable_gps` (DetectorConfig)",
+    ];
+    for needle in expected {
+        assert!(stdout.contains(needle), "missing `{needle}` in:\n{stdout}");
+    }
+    assert_eq!(
+        stdout.lines().count(),
+        expected.len(),
+        "exactly one line per violation:\n{stdout}"
+    );
+    // The lint:allow'd unwrap on line 12 is suppressed: only one
+    // no-unwrap finding in the whole tree.
+    assert_eq!(stdout.matches("no-unwrap-hot-path").count(), 1);
+}
+
+#[test]
+fn clean_fixture_exits_zero() {
+    let out = lint(&fixture("clean"), &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = lint(&fixture("clean"), &["--explode"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn missing_root_value_is_a_usage_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_lbsn-lint"))
+        .arg("--root")
+        .output()
+        .expect("spawn lbsn-lint");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn the_workspace_itself_is_clean() {
+    // CARGO_MANIFEST_DIR = crates/lbsn-lint → repo root two levels up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let out = lint(&root, &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "the committed tree must stay lint-clean:\n{stdout}"
+    );
+}

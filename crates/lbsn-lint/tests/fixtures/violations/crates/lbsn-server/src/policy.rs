@@ -1,0 +1,8 @@
+pub struct PolicyConfig {
+    pub detectors: DetectorConfig,
+}
+
+pub struct DetectorConfig {
+    pub gps_radius_m: f64,
+    pub enable_gps: bool,
+}

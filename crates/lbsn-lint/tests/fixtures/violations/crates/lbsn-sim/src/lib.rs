@@ -1,0 +1,3 @@
+pub fn elapsed_ms() -> u128 {
+    std::time::Instant::now().elapsed().as_millis()
+}

@@ -77,7 +77,7 @@ mod tests {
             SpanRecord {
                 id: 2,
                 parent: 1,
-                name: "server.checkin.verify".to_string(),
+                name: crate::names::server::STAGE_VERIFY.to_string(),
                 thread: 1,
                 start_ns: 1_500,
                 end_ns: 4_500,
@@ -90,7 +90,7 @@ mod tests {
             SpanRecord {
                 id: 1,
                 parent: 0,
-                name: "server.checkin".to_string(),
+                name: crate::names::server::CHECKIN_SPAN.to_string(),
                 thread: 1,
                 start_ns: 1_000,
                 end_ns: 6_000,

@@ -30,6 +30,7 @@
 
 mod export;
 mod metrics;
+pub mod names;
 mod registry;
 mod sketch;
 mod slo;

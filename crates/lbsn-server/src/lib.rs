@@ -38,6 +38,10 @@ mod user;
 mod venue;
 pub mod web;
 
+/// This crate's group of registered observability names (see
+/// `lbsn_obs::names` for the registry and the lint that enforces it).
+pub use lbsn_obs::names::server as metric_names;
+
 pub use cheatercode::{CheaterCodeConfig, RuleContext};
 pub use checkin::{
     AdmissionOutcome, CheatFlag, CheckinError, CheckinEvidence, CheckinOutcome, CheckinRecord,

@@ -21,6 +21,8 @@
 //! | `server.checkin.detector.{name}.latency` | histogram (ns) | per-check-in cost of detector `{name}` |
 //! | `server.checkin.verifier.{name}.rejected` | counter | times verifier stage `{name}` rejected |
 //! | `server.checkin.branded` | counter | accounts escalated to branded cheater |
+//! | `server.checkin.lock_retry` | counter | optimistic lock-set widenings (uncovered incumbent mayor) |
+//! | `server.checkin.lock_fallback` | counter | retries exhausted → all user shards locked |
 //! | `server.rewards.badges_granted` | counter | badges awarded |
 //! | `server.rewards.mayorships_granted` | counter | mayorship handovers |
 //! | `server.rewards.points_granted` | counter | points awarded |
@@ -29,6 +31,7 @@
 
 use std::sync::Arc;
 
+use lbsn_obs::names::server as names;
 use lbsn_obs::{Counter, Gauge, Histogram, LatencyStat, Registry};
 
 use crate::checkin::CheatFlag;
@@ -61,6 +64,12 @@ pub struct ServerMetrics {
     flag_account_flagged: Counter,
     /// Accounts escalated to branded-cheater status.
     pub branded: Counter,
+    /// Check-in lock acquisitions that widened the optimistic shard set
+    /// after discovering an uncovered incumbent mayor.
+    pub lock_retry: Counter,
+    /// Check-ins that exhausted the widening retries and fell back to
+    /// locking every user shard.
+    pub lock_fallback: Counter,
     /// Badges awarded.
     pub badges_granted: Counter,
     /// Mayorship handovers (became-mayor transitions).
@@ -81,25 +90,27 @@ impl ServerMetrics {
     pub fn new(registry: Arc<Registry>) -> Self {
         let r = &registry;
         ServerMetrics {
-            checkin_total: r.latency("server.checkin.total"),
-            stage_verify: r.histogram("server.checkin.stage.verify"),
-            stage_cheater_code: r.histogram("server.checkin.stage.cheater_code"),
-            stage_record: r.histogram("server.checkin.stage.record"),
-            stage_rewards: r.histogram("server.checkin.stage.rewards"),
-            accepted: r.counter("server.checkin.accepted"),
-            rejected: r.counter("server.checkin.rejected"),
-            verifier_rejected: r.counter("server.checkin.verifier_rejected"),
-            flag_gps_mismatch: r.counter("server.checkin.flag.gps_mismatch"),
-            flag_too_frequent: r.counter("server.checkin.flag.too_frequent"),
-            flag_superhuman_speed: r.counter("server.checkin.flag.superhuman_speed"),
-            flag_rapid_fire: r.counter("server.checkin.flag.rapid_fire"),
-            flag_account_flagged: r.counter("server.checkin.flag.account_flagged"),
-            branded: r.counter("server.checkin.branded"),
-            badges_granted: r.counter("server.rewards.badges_granted"),
-            mayorships_granted: r.counter("server.rewards.mayorships_granted"),
-            points_granted: r.counter("server.rewards.points_granted"),
-            shard_lock_wait: r.latency("server.shard.lock_wait"),
-            shard_count: r.gauge("server.shard.count"),
+            checkin_total: r.latency(names::CHECKIN_TOTAL),
+            stage_verify: r.histogram(names::STAGE_VERIFY),
+            stage_cheater_code: r.histogram(names::STAGE_CHEATER_CODE),
+            stage_record: r.histogram(names::STAGE_RECORD),
+            stage_rewards: r.histogram(names::STAGE_REWARDS),
+            accepted: r.counter(names::ACCEPTED),
+            rejected: r.counter(names::REJECTED),
+            verifier_rejected: r.counter(names::VERIFIER_REJECTED),
+            flag_gps_mismatch: r.counter(names::FLAG_GPS_MISMATCH),
+            flag_too_frequent: r.counter(names::FLAG_TOO_FREQUENT),
+            flag_superhuman_speed: r.counter(names::FLAG_SUPERHUMAN_SPEED),
+            flag_rapid_fire: r.counter(names::FLAG_RAPID_FIRE),
+            flag_account_flagged: r.counter(names::FLAG_ACCOUNT_FLAGGED),
+            branded: r.counter(names::BRANDED),
+            lock_retry: r.counter(names::LOCK_RETRY),
+            lock_fallback: r.counter(names::LOCK_FALLBACK),
+            badges_granted: r.counter(names::BADGES_GRANTED),
+            mayorships_granted: r.counter(names::MAYORSHIPS_GRANTED),
+            points_granted: r.counter(names::POINTS_GRANTED),
+            shard_lock_wait: r.latency(names::SHARD_LOCK_WAIT),
+            shard_count: r.gauge(names::SHARD_COUNT),
             registry,
         }
     }
@@ -118,21 +129,16 @@ impl ServerMetrics {
     /// Called once per detector at pipeline assembly; the returned
     /// handles are hot-path-cheap.
     pub fn detector_metrics(&self, name: &str) -> (Counter, Histogram) {
-        let slug = name.replace('-', "_");
         (
-            self.registry
-                .counter(&format!("server.checkin.detector.{slug}.rejected")),
-            self.registry
-                .histogram(&format!("server.checkin.detector.{slug}.latency")),
+            self.registry.counter(&names::detector_rejected(name)),
+            self.registry.histogram(&names::detector_latency(name)),
         )
     }
 
     /// Resolves the `server.checkin.verifier.{name}.rejected` counter
     /// for a verifier stage.
     pub fn verifier_rejected_counter(&self, name: &str) -> Counter {
-        let slug = name.replace('-', "_");
-        self.registry
-            .counter(&format!("server.checkin.verifier.{slug}.rejected"))
+        self.registry.counter(&names::verifier_rejected(name))
     }
 
     /// The counter tracking how often `flag` has fired.

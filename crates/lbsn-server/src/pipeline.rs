@@ -41,13 +41,12 @@
 use lbsn_geo::GeoPoint;
 use lbsn_obs::{Counter, Histogram};
 use lbsn_sim::Timestamp;
-use parking_lot::RwLock;
 
 use crate::checkin::{CheatFlag, CheckinEvidence, CheckinRequest};
 use crate::metrics::ServerMetrics;
 use crate::policy::PolicyConfig;
 use crate::rewards::{decide_mayor, evaluate_badges, Badge, PointsPolicy, VenueLookup};
-use crate::shard::WriteSet;
+use crate::shard::{LeafLock, WriteSet};
 use crate::user::User;
 use crate::venue::{SpecialKind, Venue, VenueCategory};
 use crate::VenueId;
@@ -144,7 +143,7 @@ pub struct RewardContext<'a, 'w> {
     users: &'a mut WriteSet<'w, User>,
     venues: &'a mut Vec<Venue>,
     venue_slot: usize,
-    categories: &'a RwLock<Vec<VenueCategory>>,
+    categories: &'a LeafLock<Vec<VenueCategory>>,
 }
 
 impl<'a, 'w> RewardContext<'a, 'w> {
@@ -157,7 +156,7 @@ impl<'a, 'w> RewardContext<'a, 'w> {
         users: &'a mut WriteSet<'w, User>,
         venues: &'a mut Vec<Venue>,
         venue_slot: usize,
-        categories: &'a RwLock<Vec<VenueCategory>>,
+        categories: &'a LeafLock<Vec<VenueCategory>>,
     ) -> Self {
         // `is_mayor` starts as the *current* seat holder check so a
         // pipeline without the mayorship rule still reports the seat
@@ -220,14 +219,14 @@ impl<'a, 'w> RewardContext<'a, 'w> {
     pub fn user(&self) -> &User {
         self.users
             .get(self.request.user.value())
-            .expect("check_in validated the user id")
+            .expect("check_in validated the user id") // lint:allow(no-unwrap-hot-path): id validated at admission
     }
 
     /// Mutable access to the submitting user.
     pub fn user_mut(&mut self) -> &mut User {
         self.users
             .get_mut(self.request.user.value())
-            .expect("check_in validated the user id")
+            .expect("check_in validated the user id") // lint:allow(no-unwrap-hot-path): id validated at admission
     }
 
     /// The claimed venue (the check-in is already counted on it).
@@ -323,7 +322,7 @@ impl RewardRule for MayorshipRule {
         // `check_in` validated that before entering the pipeline.
         let became_mayor = {
             let venue = &ctx.venues[ctx.venue_slot];
-            let challenger = ctx.users.get(uid).expect("validated");
+            let challenger = ctx.users.get(uid).expect("validated"); // lint:allow(no-unwrap-hot-path): id validated at admission
             let incumbent = venue.mayor.and_then(|m| ctx.users.get(m.value()));
             decide_mayor(venue, challenger, incumbent, ctx.now)
         };
@@ -336,7 +335,7 @@ impl RewardRule for MayorshipRule {
             ctx.venues[ctx.venue_slot].mayor = Some(ctx.request.user);
             ctx.users
                 .get_mut(uid)
-                .expect("validated")
+                .expect("validated") // lint:allow(no-unwrap-hot-path): id validated at admission
                 .mayorships
                 .insert(venue_id);
         }
@@ -360,7 +359,7 @@ impl RewardRule for BadgeRule {
         // shards locked (leaf-lock rule).
         let new_badges = {
             let categories = ctx.categories.read();
-            let user = ctx.users.get(uid).expect("validated");
+            let user = ctx.users.get(uid).expect("validated"); // lint:allow(no-unwrap-hot-path): id validated at admission
             evaluate_badges(
                 user,
                 &ctx.venues[ctx.venue_slot],
@@ -369,7 +368,7 @@ impl RewardRule for BadgeRule {
             )
         };
         for b in &new_badges {
-            ctx.users.get_mut(uid).expect("validated").badges.insert(*b);
+            ctx.users.get_mut(uid).expect("validated").badges.insert(*b); // lint:allow(no-unwrap-hot-path): id validated at admission
         }
         ctx.new_badges = new_badges;
     }
@@ -393,7 +392,7 @@ impl RewardRule for PointsRule {
             .award(ctx.first_visit, ctx.first_of_day, ctx.became_mayor);
         ctx.users
             .get_mut(ctx.request.user.value())
-            .expect("validated")
+            .expect("validated") // lint:allow(no-unwrap-hot-path): id validated at admission
             .points += points;
         ctx.points = points;
     }
@@ -412,7 +411,7 @@ impl RewardRule for SpecialsRule {
     fn apply(&self, ctx: &mut RewardContext<'_, '_>) {
         let special_unlocked = {
             let venue = &ctx.venues[ctx.venue_slot];
-            let user = ctx.users.get(ctx.request.user.value()).expect("validated");
+            let user = ctx.users.get(ctx.request.user.value()).expect("validated"); // lint:allow(no-unwrap-hot-path): id validated at admission
             venue.special.as_ref().and_then(|sp| match sp.kind {
                 SpecialKind::MayorOnly if ctx.is_mayor => Some(sp.description.clone()),
                 SpecialKind::MayorOnly => None,
@@ -613,7 +612,7 @@ impl AdmissionPipeline {
         users: &mut WriteSet<'_, User>,
         venues: &mut Vec<Venue>,
         venue_slot: usize,
-        categories: &RwLock<Vec<VenueCategory>>,
+        categories: &LeafLock<Vec<VenueCategory>>,
     ) -> RewardOutcome {
         let mut ctx = RewardContext::new(
             request,

@@ -17,9 +17,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use lbsn_geo::{GeoGrid, GeoPoint, Meters};
+use lbsn_obs::names::server as obs_names;
 use lbsn_obs::Registry;
 use lbsn_sim::{SimClock, Timestamp, DAY};
-use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::checkin::{
@@ -28,7 +29,7 @@ use crate::checkin::{
 use crate::metrics::ServerMetrics;
 use crate::pipeline::{AdmissionPipeline, CheckinVerifier, RuleContext, VerifyContext};
 use crate::policy::{DetectorConfig, PolicyConfig};
-use crate::shard::{ShardedVec, WriteSet};
+use crate::shard::{LeafLock, ShardFamily, ShardWriteGuard, ShardedVec, WriteSet};
 use crate::user::{User, UserSpec};
 use crate::venue::{Venue, VenueCategory, VenueSpec};
 use crate::{UserId, VenueId};
@@ -119,14 +120,14 @@ pub struct LbsnServer {
     users: ShardedVec<User>,
     venues: ShardedVec<Venue>,
     /// Vanity-name resolution (leaf lock).
-    usernames: RwLock<HashMap<String, UserId>>,
+    usernames: LeafLock<HashMap<String, UserId>>,
     /// Spatial index for `venues_near` (leaf lock) — read paths never
     /// touch a venue shard just to find ids near a point.
-    venue_grid: RwLock<GeoGrid<VenueId>>,
+    venue_grid: LeafLock<GeoGrid<VenueId>>,
     /// Per-venue category, append-only (leaf lock). Categories are
     /// immutable after registration, so badge evaluation reads this
     /// table instead of locking arbitrary venue shards mid-check-in.
-    venue_categories: RwLock<Vec<VenueCategory>>,
+    venue_categories: LeafLock<Vec<VenueCategory>>,
     /// Serializes user registration so shard slots fill densely in id
     /// order. Holds the count of registered users.
     user_reg: Mutex<u64>,
@@ -134,7 +135,18 @@ pub struct LbsnServer {
     venue_reg: Mutex<u64>,
     user_count: AtomicU64,
     venue_count: AtomicU64,
+    /// Test seam for the check-in lock-acquisition loop: called with
+    /// the attempt number at the top of every iteration, with no locks
+    /// held, so a test can deterministically force the mayor to hop
+    /// shards between attempts and drive the all-shards fallback.
+    #[cfg(test)]
+    retry_probe: Mutex<Option<RetryProbe>>,
 }
+
+/// Callback installed by tests to interleave state changes between
+/// check-in lock-acquisition attempts.
+#[cfg(test)]
+type RetryProbe = Box<dyn FnMut(u32) + Send>;
 
 impl std::fmt::Debug for LbsnServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -176,8 +188,8 @@ impl LbsnServer {
         let pipeline = AdmissionPipeline::from_policy(&config.policy, &metrics, verifiers);
         let shards = config.shards.max(1).next_power_of_two();
         metrics.shard_count.set(shards as f64);
-        let users = ShardedVec::new(shards, metrics.shard_lock_wait.clone());
-        let venues = ShardedVec::new(shards, metrics.shard_lock_wait.clone());
+        let users = ShardedVec::new(ShardFamily::Users, shards, metrics.shard_lock_wait.clone());
+        let venues = ShardedVec::new(ShardFamily::Venues, shards, metrics.shard_lock_wait.clone());
         LbsnServer {
             clock,
             config,
@@ -185,13 +197,15 @@ impl LbsnServer {
             metrics,
             users,
             venues,
-            usernames: RwLock::new(HashMap::new()),
-            venue_grid: RwLock::new(GeoGrid::new(1_000.0)),
-            venue_categories: RwLock::new(Vec::new()),
+            usernames: LeafLock::new("usernames", HashMap::new()),
+            venue_grid: LeafLock::new("venue_grid", GeoGrid::new(1_000.0)),
+            venue_categories: LeafLock::new("venue_categories", Vec::new()),
             user_reg: Mutex::new(0),
             venue_reg: Mutex::new(0),
             user_count: AtomicU64::new(0),
             venue_count: AtomicU64::new(0),
+            #[cfg(test)]
+            retry_probe: Mutex::new(None),
         }
     }
 
@@ -287,8 +301,8 @@ impl LbsnServer {
                 return Err(CheckinError::UnknownUser(id));
             }
         }
-        set.get_mut(a.value()).unwrap().friends.insert(b);
-        set.get_mut(b.value()).unwrap().friends.insert(a);
+        set.get_mut(a.value()).unwrap().friends.insert(b); // lint:allow(no-unwrap-hot-path): both ids validated above
+        set.get_mut(b.value()).unwrap().friends.insert(a); // lint:allow(no-unwrap-hot-path): both ids validated above
         Ok(())
     }
 
@@ -341,7 +355,7 @@ impl LbsnServer {
     ) -> Result<AdmissionOutcome, CheckinError> {
         let now = self.clock.now();
         if self.pipeline.has_verifiers() {
-            let mut span = self.metrics.registry().span("server.checkin.stage.verify");
+            let mut span = self.metrics.registry().span(obs_names::STAGE_VERIFY);
             span.attr("user", req.user.value());
             span.attr("venue", req.venue.value());
             let stage = self.metrics.stage_verify.start_timer();
@@ -383,9 +397,14 @@ impl LbsnServer {
         let mut shard_ids: Vec<usize> = Vec::with_capacity(2);
         let mut attempt: u32 = 0;
         loop {
+            #[cfg(test)]
+            if let Some(probe) = self.retry_probe.lock().as_mut() {
+                probe(attempt);
+            }
             // User shards (ascending) strictly before the venue shard.
             shard_ids.clear();
             if attempt >= MAYOR_LOCK_RETRIES {
+                self.metrics.lock_fallback.inc();
                 shard_ids.extend(0..self.users.shard_count());
             } else {
                 shard_ids.push(user_shard);
@@ -407,6 +426,7 @@ impl LbsnServer {
             // the mayor may change between attempts).
             if let Some(mayor) = venue.mayor {
                 if !uset.covers(mayor.value()) {
+                    self.metrics.lock_retry.inc();
                     incumbent_shard = Some(self.users.shard_of(mayor.value()));
                     attempt += 1;
                     drop(vguard);
@@ -427,7 +447,7 @@ impl LbsnServer {
         req: &CheckinRequest,
         now: Timestamp,
         mut uset: WriteSet<'_, User>,
-        mut vguard: RwLockWriteGuard<'_, Vec<Venue>>,
+        mut vguard: ShardWriteGuard<'_, Venue>,
         venue_slot: usize,
     ) -> CheckinOutcome {
         let uid = req.user.value();
@@ -435,7 +455,7 @@ impl LbsnServer {
         // One root span per check-in (head-sampled); stages become
         // children and cheater flags become span events, so a sampled
         // request can be followed end to end in chrome://tracing.
-        let mut span = self.metrics.registry().span("server.checkin");
+        let mut span = self.metrics.registry().span(obs_names::CHECKIN_SPAN);
         span.attr("user", req.user.value());
         span.attr("venue", req.venue.value());
 
@@ -443,10 +463,10 @@ impl LbsnServer {
         // chain starts with the terminal branded-account detector, so a
         // branded account short-circuits to rejection before any
         // threshold rule runs.
-        let stage_span = span.child("server.checkin.stage.cheater_code");
+        let stage_span = span.child(obs_names::STAGE_CHEATER_CODE);
         let stage = self.metrics.stage_cheater_code.start_timer();
         let flags = {
-            let user = uset.get(uid).unwrap();
+            let user = uset.get(uid).unwrap(); // lint:allow(no-unwrap-hot-path): uid validated before entry
             let ctx = RuleContext {
                 user,
                 venue: &vguard[venue_slot],
@@ -463,7 +483,7 @@ impl LbsnServer {
         }
 
         // 2. Record it (always — totals include flagged check-ins).
-        let mut stage_span = span.child("server.checkin.stage.record");
+        let mut stage_span = span.child(obs_names::STAGE_RECORD);
         let stage = self.metrics.stage_record.start_timer();
         let rewarded = flags.is_empty();
         let record = CheckinRecord {
@@ -478,14 +498,14 @@ impl LbsnServer {
         // Attributes that must be read *before* the record is appended.
         let day_start = Timestamp(now.secs() / DAY * DAY);
         let (first_of_day, first_visit) = {
-            let user = uset.get(uid).unwrap();
+            let user = uset.get(uid).unwrap(); // lint:allow(no-unwrap-hot-path): uid validated before entry
             (
                 user.valid_checkins_since(day_start).next().is_none(),
                 !user.visited_venues.contains(&req.venue),
             )
         };
 
-        uset.get_mut(uid).unwrap().push_record(record);
+        uset.get_mut(uid).unwrap().push_record(record); // lint:allow(no-unwrap-hot-path): uid validated before entry
 
         if !rewarded {
             self.metrics.rejected.inc();
@@ -494,7 +514,7 @@ impl LbsnServer {
             let mut stripped: Vec<VenueId> = Vec::new();
             let mut branded_now = false;
             {
-                let user = uset.get_mut(uid).unwrap();
+                let user = uset.get_mut(uid).unwrap(); // lint:allow(no-unwrap-hot-path): uid validated before entry
                 user.flagged_checkins += 1;
                 if let Some(threshold) = self.config.policy.detectors.account_flag_threshold {
                     if !user.branded_cheater && user.flagged_checkins >= threshold {
@@ -507,9 +527,9 @@ impl LbsnServer {
             if branded_now {
                 self.metrics.branded.inc();
                 stage_span.event("account.branded");
-                let flagged = uset.get(uid).unwrap().flagged_checkins;
+                let flagged = uset.get(uid).unwrap().flagged_checkins; // lint:allow(no-unwrap-hot-path): uid validated before entry
                 self.metrics.registry().event(
-                    "server.account.branded",
+                    obs_names::ACCOUNT_BRANDED_EVENT,
                     &[
                         ("user", req.user.value().to_string()),
                         ("flagged_checkins", flagged.to_string()),
@@ -550,10 +570,10 @@ impl LbsnServer {
         self.metrics.accepted.inc();
 
         // 3. Apply the valid check-in to user and venue state.
-        let stage_span = span.child("server.checkin.stage.rewards");
+        let stage_span = span.child(obs_names::STAGE_REWARDS);
         let stage = self.metrics.stage_rewards.start_timer();
         {
-            let user = uset.get_mut(uid).unwrap();
+            let user = uset.get_mut(uid).unwrap(); // lint:allow(no-unwrap-hot-path): uid validated before entry
             user.valid_checkins += 1;
             if first_visit {
                 user.visited_venues.insert(req.venue);
@@ -561,7 +581,7 @@ impl LbsnServer {
         }
         if first_visit {
             let category = vguard[venue_slot].category;
-            let user = uset.get_mut(uid).unwrap();
+            let user = uset.get_mut(uid).unwrap(); // lint:allow(no-unwrap-hot-path): uid validated before entry
             *user.venues_by_category.entry(category).or_insert(0) += 1;
         }
         let recent_cap = self.config.recent_visitors_len;
@@ -754,7 +774,7 @@ impl LbsnServer {
                 let key = (u.points, Reverse(u.id.value()));
                 if heap.len() < n {
                     heap.push(Reverse(key));
-                } else if key > heap.peek().unwrap().0 {
+                } else if heap.peek().is_some_and(|min| key > min.0) {
                     heap.pop();
                     heap.push(Reverse(key));
                 }
@@ -1310,6 +1330,72 @@ mod tests {
             .unwrap()
             .rewarded());
         assert!(!server.user(user).unwrap().branded_cheater);
+    }
+
+    #[test]
+    fn mayor_hopping_exhausts_retries_and_falls_back_to_all_shards() {
+        // Regression for the 3-miss lock-all fallback: if the venue's
+        // mayor keeps moving to a user shard outside the held lock set,
+        // the optimistic widening loop must give up after
+        // `MAYOR_LOCK_RETRIES` attempts and lock every user shard —
+        // converging instead of spinning. The retry probe fires at the
+        // top of every attempt with no locks held, so it can hop the
+        // mayor adversarially between attempts; under debug_assertions
+        // the whole dance also runs against the lock-order sentinel,
+        // proving the fallback path (the widest lock set the server
+        // ever takes) obeys the shard discipline.
+        let registry = Arc::new(Registry::new());
+        let server = Arc::new(LbsnServer::with_registry(
+            SimClock::new(),
+            ServerConfig {
+                shards: 4,
+                ..ServerConfig::default()
+            },
+            Arc::clone(&registry),
+        ));
+        let venue = server.register_venue(VenueSpec::new("Contested", abq()));
+        // Users 1..=4 land in shards 0..=3; user 1 (shard 0) checks in.
+        for _ in 0..4 {
+            server.register_user(UserSpec::anonymous());
+        }
+        let checker = UserId(1);
+        {
+            let hopper = Arc::clone(&server);
+            let venue_shard = server.venues.shard_of(venue.value());
+            let venue_slot = server.venues.slot_of(venue.value());
+            *server.retry_probe.lock() = Some(Box::new(move |attempt| {
+                if attempt >= MAYOR_LOCK_RETRIES {
+                    // Fallback attempt: every user shard is about to be
+                    // locked, so hopping can no longer evade coverage.
+                    return;
+                }
+                // Park the mayor in a shard the next lock set cannot
+                // cover: rotate through shards 1, 2, 3 (never the
+                // checker's shard 0, never the previous attempt's).
+                let mayor = UserId(2 + u64::from(attempt % 3));
+                hopper.venues.write_shard(venue_shard)[venue_slot].mayor = Some(mayor);
+            }));
+        }
+        let out = server.check_in(&req(checker, venue, abq())).unwrap();
+        assert!(out.rewarded());
+        assert!(out.became_mayor, "hopping incumbents never accrued days");
+        assert_eq!(server.venue(venue).unwrap().mayor, Some(checker));
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("server.checkin.lock_retry"),
+            u64::from(MAYOR_LOCK_RETRIES),
+            "one widening per evaded attempt"
+        );
+        assert_eq!(snap.counter("server.checkin.lock_fallback"), 1);
+        // The fallback is a one-check-in affair: a quiet follow-up
+        // check-in takes the fast path again.
+        *server.retry_probe.lock() = None;
+        server.clock().advance(Duration::hours(2));
+        server.check_in(&req(checker, venue, abq())).unwrap();
+        assert_eq!(
+            registry.snapshot().counter("server.checkin.lock_fallback"),
+            1
+        );
     }
 
     #[test]
