@@ -1,0 +1,170 @@
+//! The scale ladder: does the observatory's story hold as the world
+//! approaches paper scale?
+//!
+//! Bulk-loads a synthetic population at three rungs — 10k, 100k, and
+//! 1M total entities (users + venues, the paper's full population is
+//! 7.49M) — then drives a fixed check-in mix through each world and
+//! records, per rung:
+//!
+//! * `checkins_per_sec` — fixed-mix throughput after bulk load;
+//! * `resident_bytes_per_user` — the deep-accounted
+//!   `server.mem.bytes_per_user` gauge after a full memory sweep;
+//! * `shard_skew_{users,venues}` — hottest/coldest ops ratio from the
+//!   per-shard contention heatmap (registration + mix + sweep traffic).
+//!
+//! Writes `BENCH_scale.json` at the repo root — the committed capacity
+//! trajectory. `LBSN_BENCH_QUICK=1` runs only the 10k and 100k rungs
+//! with a shorter mix (CI's `scale-smoke` job); the JSON records which
+//! mode produced it.
+//!
+//! Run with `cargo bench -p lbsn-bench --bench scale_ladder`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use lbsn_obs::names::server as obs_names;
+use lbsn_obs::Registry;
+use lbsn_server::{CheckinRequest, CheckinSource, LbsnServer, ServerConfig, UserId, VenueId};
+use lbsn_sim::{Duration, SimClock};
+use lbsn_workload::{plan, register_world, PopulationSpec};
+
+/// Total entities at full scale: 1.89M users + 5.6M venues.
+const FULL_ENTITIES: f64 = 7_490_000.0;
+
+const SEED: u64 = 0x5ca1e;
+
+fn quick() -> bool {
+    std::env::var("LBSN_BENCH_QUICK").is_ok()
+}
+
+struct Rung {
+    entities: u64,
+    users: u64,
+    venues: u64,
+    load_secs: f64,
+    checkins_per_sec: f64,
+    bytes_per_user: f64,
+    total_bytes: f64,
+    skew_users: f64,
+    skew_venues: f64,
+}
+
+/// Hottest/coldest ops skew for one heat family in `snap`, 1.0 when the
+/// family is absent (single-shard or untouched worlds).
+fn skew(snap: &lbsn_obs::Snapshot, family: &str) -> f64 {
+    snap.shard_heat
+        .iter()
+        .find(|h| h.family == family)
+        .map_or(1.0, lbsn_obs::ShardHeatSnapshot::skew_ratio)
+}
+
+fn run_rung(entities: u64, mix_ops: u64) -> Rung {
+    let scale = entities as f64 / FULL_ENTITIES;
+    let spec = PopulationSpec::at_scale(scale, SEED);
+    let registry = Arc::new(Registry::new());
+    let server = LbsnServer::with_registry(
+        SimClock::new(),
+        ServerConfig::default(),
+        Arc::clone(&registry),
+    );
+
+    let started = Instant::now();
+    let world = plan(&spec);
+    let population = register_world(&server, &world);
+    let load_secs = started.elapsed().as_secs_f64();
+    let users = population.users.len() as u64;
+    let venues = population.venue_count;
+
+    // Fixed mix: cycle users × a venue ring, always reporting the
+    // venue's own coordinates, one virtual second per op — user/venue
+    // pairs don't repeat inside the cooldown, so the accepted path runs
+    // end to end every time.
+    let ring = venues.min(1024);
+    let mix_started = Instant::now();
+    for i in 0..mix_ops {
+        let user = UserId(i % users + 1);
+        let venue = VenueId(i % ring + 1);
+        let loc = server
+            .with_venue(venue, |v| v.location)
+            .expect("registered");
+        server.clock().advance(Duration::secs(1));
+        server
+            .check_in(&CheckinRequest {
+                user,
+                venue,
+                reported_location: loc,
+                source: CheckinSource::MobileApp,
+            })
+            .expect("known ids");
+    }
+    let mix_secs = mix_started.elapsed().as_secs_f64();
+
+    // One authoritative sweep so the gauges and occupancy columns
+    // describe the final world, however the periodic sampler landed.
+    server.sample_memory();
+    let snap = registry.snapshot();
+    Rung {
+        entities,
+        users,
+        venues,
+        load_secs,
+        checkins_per_sec: mix_ops as f64 / mix_secs.max(1e-9),
+        bytes_per_user: snap.gauge(obs_names::MEM_BYTES_PER_USER),
+        total_bytes: snap.gauge(obs_names::MEM_TOTAL_BYTES),
+        skew_users: skew(&snap, &obs_names::shard_heat("users")),
+        skew_venues: skew(&snap, &obs_names::shard_heat("venues")),
+    }
+}
+
+fn main() {
+    let quick = quick();
+    let rungs: &[u64] = if quick {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let mix_ops: u64 = if quick { 2_000 } else { 20_000 };
+
+    let mut rows = Vec::new();
+    for &entities in rungs {
+        println!("== rung: {entities} entities ({mix_ops} mix ops) ==");
+        let r = run_rung(entities, mix_ops);
+        println!(
+            "  load {:.2}s, {:.0} checkins/sec, {:.0} bytes/user, skew users {:.2}x venues {:.2}x",
+            r.load_secs, r.checkins_per_sec, r.bytes_per_user, r.skew_users, r.skew_venues
+        );
+        rows.push(format!(
+            "{{\"entities\": {}, \"users\": {}, \"venues\": {}, \"load_secs\": {:.2}, \
+             \"checkins_per_sec\": {:.1}, \"resident_bytes_per_user\": {:.1}, \
+             \"total_mem_bytes\": {:.0}, \"shard_skew_users\": {:.2}, \
+             \"shard_skew_venues\": {:.2}}}",
+            r.entities,
+            r.users,
+            r.venues,
+            r.load_secs,
+            r.checkins_per_sec,
+            r.bytes_per_user,
+            r.total_bytes,
+            r.skew_users,
+            r.skew_venues,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"scale_ladder\",\n  \"mode\": \"{}\",\n  \"mix_ops_per_rung\": {},\n  \
+         \"note\": \"Each rung bulk-loads a fresh world via lbsn-workload at \
+         entities/7.49M of paper scale, runs a fixed accepted-path check-in mix, \
+         then takes one full memory sweep. bytes_per_user is the deep-accounted \
+         server.mem.bytes_per_user gauge; shard skew is hottest/coldest ops over \
+         registration + mix + sweep traffic on 16 shards.\",\n  \"rungs\": [\n{}\n  ]\n}}\n",
+        if quick { "quick" } else { "full" },
+        mix_ops,
+        rows.iter()
+            .map(|r| format!("    {r}"))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_scale.json");
+    std::fs::write(path, json).expect("write BENCH_scale.json");
+    println!("wrote {path}");
+}

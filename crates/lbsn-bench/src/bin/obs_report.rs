@@ -9,17 +9,22 @@
 //! Prints a Markdown regression table (baseline vs new: counters,
 //! gauges, p50/p95/p99) followed by the SLO verdict for the *new*
 //! snapshot. Exits 0 when every SLO holds, 1 on any breach, 2 on usage
-//! or parse errors — so CI can gate merges on
+//! or parse errors — including a snapshot whose schema version is newer
+//! than this build understands — so CI can gate merges on
 //! `target/experiments/metrics/` trajectories.
 
 use std::process::ExitCode;
 
-use lbsn_bench::obsreport::{default_policy, run_report};
+use lbsn_bench::obsreport::{check_schema_ceiling, default_policy, run_report};
 use lbsn_obs::{SloPolicy, Snapshot};
 
 fn load_snapshot(path: &str) -> Result<Snapshot, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    Snapshot::from_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    let snap = Snapshot::from_json(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    // A future-schema document would silently lose fields in the diff:
+    // usage error (exit 2), not a gate verdict.
+    check_schema_ceiling(&snap, path)?;
+    Ok(snap)
 }
 
 fn run() -> Result<bool, String> {

@@ -11,7 +11,7 @@
 use std::collections::BTreeSet;
 
 use lbsn_obs::names as obs;
-use lbsn_obs::{SloOutcome, SloPolicy, SloRule, Snapshot};
+use lbsn_obs::{SloOutcome, SloPolicy, SloRule, Snapshot, SNAPSHOT_SCHEMA_VERSION};
 
 /// Quantiles shown per latency metric in the diff table.
 const QUANTILES: [(f64, &str); 3] = [(0.50, "p50"), (0.95, "p95"), (0.99, "p99")];
@@ -108,6 +108,72 @@ pub fn render_diff_table(rows: &[DiffRow]) -> String {
     out
 }
 
+/// Rejects a snapshot written by a build newer than this one.
+///
+/// Old schemas parse fine (the deserializer fills the gaps), but a
+/// *newer* schema means fields this binary has never heard of were
+/// silently dropped — diffing or gating on such a document would
+/// report false confidence. `label` names the offending file in the
+/// error.
+///
+/// # Errors
+///
+/// A description of the version mismatch when `snap.schema` exceeds
+/// [`SNAPSHOT_SCHEMA_VERSION`].
+pub fn check_schema_ceiling(snap: &Snapshot, label: &str) -> Result<(), String> {
+    if snap.schema > SNAPSHOT_SCHEMA_VERSION {
+        return Err(format!(
+            "{label} carries snapshot schema {} but this obs-report understands \
+             at most {SNAPSHOT_SCHEMA_VERSION}; rebuild obs-report from the same \
+             tree that wrote the snapshot",
+            snap.schema
+        ));
+    }
+    Ok(())
+}
+
+/// Renders every shard family's contention heatmap as Markdown: one
+/// table per family plus a hottest/coldest summary line with the skew
+/// ratio. Empty string when the snapshot has no heatmaps (pre-v3
+/// baselines).
+pub fn render_heatmap(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for family in &snapshot.shard_heat {
+        let hottest = family.shards.iter().max_by_key(|s| s.ops);
+        let coldest = family.shards.iter().min_by_key(|s| s.ops);
+        out.push_str(&format!(
+            "#### `{}` — {} ops, {} contended, skew {:.2}×\n\n",
+            family.family,
+            family.total_ops(),
+            family.total_contended(),
+            family.skew_ratio(),
+        ));
+        if let (Some(hot), Some(cold)) = (hottest, coldest) {
+            out.push_str(&format!(
+                "hottest shard {} ({} ops), coldest shard {} ({} ops)\n\n",
+                hot.shard, hot.ops, cold.shard, cold.ops,
+            ));
+        }
+        out.push_str(
+            "| shard | ops | contended | mean wait ns | max wait ns | occupancy |\n\
+             |---:|---:|---:|---:|---:|---:|\n",
+        );
+        for row in &family.shards {
+            out.push_str(&format!(
+                "| {} | {} | {} | {:.0} | {} | {} |\n",
+                row.shard,
+                row.ops,
+                row.contended,
+                row.mean_wait_ns(),
+                row.wait_max_ns,
+                row.occupancy,
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Renders SLO outcomes as Markdown, breaches first.
 pub fn render_slo_table(outcomes: &[SloOutcome]) -> String {
     let mut out = String::from("| SLO | observed | verdict |\n|---|---:|---|\n");
@@ -148,15 +214,22 @@ pub fn run_report(old: &Snapshot, new: &Snapshot, policy: &SloPolicy) -> Report 
     } else {
         "SLO BREACH"
     };
+    let heatmap = render_heatmap(new);
+    let heatmap_section = if heatmap.is_empty() {
+        String::new()
+    } else {
+        format!("\n### Shard contention heatmap\n\n{heatmap}")
+    };
     let markdown = format!(
         "## obs-report — schema {} baseline vs schema {} run\n\n\
-         ### Metric diff\n\n{}\n### SLO gate `{}` — {}\n\n{}",
+         ### Metric diff\n\n{}\n### SLO gate `{}` — {}\n\n{}{}",
         old.schema,
         new.schema,
         render_diff_table(&rows),
         policy.name,
         verdict,
         render_slo_table(&outcomes),
+        heatmap_section,
     );
     Report { markdown, outcomes }
 }
@@ -214,6 +287,18 @@ pub fn default_policy() -> SloPolicy {
             SloRule::GaugeMin {
                 metric: obs::crawler::THROUGHPUT_USERS_PER_HOUR.to_string(),
                 min: 1_000.0, // paper's Fig 3.3 scale is ~100k/h
+            },
+            SloRule::GaugeMinMax {
+                // Deep-accounted resident bytes per registered user at
+                // the last memory sample. Too low means the sampler
+                // stopped seeing state (instrumentation regression);
+                // too high means a footprint regression that won't
+                // survive the paper's 1.89M-user population. The band
+                // brackets the bed workload's measured ~2-6 KB/user
+                // with an order of magnitude of headroom above.
+                metric: obs::server::MEM_BYTES_PER_USER.to_string(),
+                min: 200.0,
+                max: 65_536.0,
             },
         ],
     }
@@ -290,5 +375,51 @@ mod tests {
         let back = SloPolicy::from_json(&policy.to_json()).unwrap();
         assert_eq!(back, policy);
         assert!(!policy.rules.is_empty());
+        assert!(
+            policy
+                .rules
+                .iter()
+                .any(|r| matches!(r, SloRule::GaugeMinMax { metric, .. }
+                    if metric == obs::server::MEM_BYTES_PER_USER)),
+            "bytes-per-user band is part of the default gate"
+        );
+    }
+
+    #[test]
+    fn heatmap_renders_per_family_tables_and_skew() {
+        let registry = Registry::new();
+        let heat = registry.shard_heat("server.shard.heat.users", 4);
+        for _ in 0..30 {
+            heat.record_fast(1);
+        }
+        heat.record_fast(3);
+        heat.record_wait(3, 5_000);
+        heat.set_occupancy(1, 12);
+        let snap = registry.snapshot();
+        let md = render_heatmap(&snap);
+        assert!(md.contains("`server.shard.heat.users`"));
+        assert!(md.contains("skew 30.00×"), "30 ops vs 1-op floor: {md}");
+        assert!(md.contains("hottest shard 1 (30 ops)"));
+        assert!(md.contains("| 1 | 30 | 0 | 0 | 0 | 12 |"));
+        // The full report embeds the section; an empty snapshot omits it.
+        let report = run_report(&snap, &snap, &SloPolicy::default());
+        assert!(report.markdown.contains("### Shard contention heatmap"));
+        assert_eq!(render_heatmap(&Snapshot::default()), "");
+        let plain = run_report(
+            &Snapshot::default(),
+            &Snapshot::default(),
+            &SloPolicy::default(),
+        );
+        assert!(!plain.markdown.contains("heatmap"));
+    }
+
+    #[test]
+    fn schema_ceiling_rejects_future_snapshots() {
+        let mut snap = Snapshot::default();
+        assert!(check_schema_ceiling(&snap, "run.json").is_ok());
+        snap.schema = lbsn_obs::SNAPSHOT_SCHEMA_VERSION + 1;
+        let err = check_schema_ceiling(&snap, "run.json").unwrap_err();
+        assert!(err.contains("run.json"), "{err}");
+        assert!(err.contains("rebuild obs-report"), "{err}");
     }
 }

@@ -33,6 +33,9 @@ fn healthy_snapshot_json() -> String {
     registry
         .gauge("crawler.throughput.users_per_hour")
         .set(120_000.0);
+    // Inside the GaugeMinMax band (200–65536); the rule fails closed on
+    // a snapshot that never sampled memory.
+    registry.gauge("server.mem.bytes_per_user").set(2_048.0);
     registry.snapshot().to_json()
 }
 

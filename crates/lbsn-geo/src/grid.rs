@@ -73,6 +73,26 @@ impl<T> GeoGrid<T> {
         self.len == 0
     }
 
+    /// Approximate owned heap bytes of the index: the cell table's
+    /// allocation (capacity-based, with hashbrown's ~1-byte-per-slot
+    /// control overhead at 7/8 load) plus each cell's entry vector.
+    /// Feeds the server's `server.mem.side_maps_bytes` gauge; an
+    /// estimate, not an allocator measurement.
+    pub fn approx_heap_bytes(&self) -> usize {
+        let slot = std::mem::size_of::<((i32, i32), Vec<(GeoPoint, T)>)>() + 1;
+        let table = if self.cells.capacity() == 0 {
+            0
+        } else {
+            self.cells.capacity() * slot * 8 / 7
+        };
+        table
+            + self
+                .cells
+                .values()
+                .map(|v| v.capacity() * std::mem::size_of::<(GeoPoint, T)>())
+                .sum::<usize>()
+    }
+
     /// All payloads within `radius` metres of `center`, with distances,
     /// sorted nearest-first.
     pub fn within_radius(&self, center: GeoPoint, radius: Meters) -> Vec<(&T, Meters)> {
@@ -212,5 +232,20 @@ mod tests {
     #[should_panic(expected = "cell size must be positive")]
     fn zero_cell_size_panics() {
         let _: GeoGrid<()> = GeoGrid::new(0.0);
+    }
+
+    #[test]
+    fn approx_heap_bytes_grows_with_entries() {
+        let mut grid: GeoGrid<u64> = GeoGrid::new(500.0);
+        assert_eq!(grid.approx_heap_bytes(), 0, "empty grid owns no heap");
+        for i in 0..200 {
+            grid.insert(p(i as f64 * 0.3 - 30.0, i as f64 * 0.7 - 70.0), i);
+        }
+        let bytes = grid.approx_heap_bytes();
+        // At minimum every entry's payload slot must be accounted for.
+        assert!(
+            bytes >= 200 * std::mem::size_of::<(GeoPoint, u64)>(),
+            "estimate too small: {bytes}"
+        );
     }
 }

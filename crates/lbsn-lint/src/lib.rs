@@ -22,6 +22,11 @@
 //!    structs must be set in every `policies/*.json`
 //!    ([`rules::POLICY_FIELD_MISSING`]), so a committed scenario file
 //!    can never silently pick up a changed default.
+//! 4. **Memory accounting completeness** — every field of a struct with
+//!    a same-file hand-written `MemFootprint` impl must be referenced
+//!    in the impl body ([`rules::MEM_FOOTPRINT_FIELD_MISSING`]), so a
+//!    field added later can't become heap the memory gauges silently
+//!    undercount.
 //!
 //! Plus a static shadow of the runtime lock-order sentinel:
 //! [`rules::SHARD_LOCK_ORDER`] flags descending shard-literal

@@ -22,6 +22,9 @@ pub const NO_UNWRAP_HOT_PATH: &str = "no-unwrap-hot-path";
 pub const SHARD_LOCK_ORDER: &str = "shard-lock-order";
 /// A `policies/*.json` file does not set every policy struct field.
 pub const POLICY_FIELD_MISSING: &str = "policy-field-missing";
+/// A hand-written `MemFootprint` impl never references one of its
+/// struct's fields.
+pub const MEM_FOOTPRINT_FIELD_MISSING: &str = "mem-footprint-field-missing";
 
 /// Crates that must read time through `SimClock`, never the wall
 /// clock: their whole value is deterministic replay.
@@ -69,6 +72,7 @@ pub fn check_source(rel: &str, scan: &Scan, out: &mut Vec<Violation>) {
     if rel.starts_with("crates/lbsn-server/src/") {
         check_shard_order(rel, scan, &test_lines, out);
     }
+    check_mem_footprint(rel, scan, &test_lines, out);
 }
 
 /// Emits `violation` unless a `lint:allow` marker covers it.
@@ -631,6 +635,95 @@ fn struct_fields(code: &str, name: &str) -> Vec<String> {
     fields
 }
 
+// ---------------------------------------------------------------------
+// Rule: mem-footprint-field-missing
+// ---------------------------------------------------------------------
+
+/// A hand-written `MemFootprint` impl must account for every field of
+/// the struct it covers: a field the impl body never names is owned
+/// heap the memory gauges silently undercount — forever, because
+/// nothing else notices. Token-level contract: every field of a
+/// same-file `pub struct <T>` must appear as a word somewhere inside
+/// `impl MemFootprint for <T> { … }` (the exhaustive-destructure idiom
+/// satisfies this for free, with `field: _` marking inline fields).
+/// Impls for generic, foreign, or out-of-file types — including
+/// everything `mem_footprint_inline!` generates — have no same-file
+/// struct definition and are skipped by design.
+fn check_mem_footprint(
+    rel: &str,
+    scan: &Scan,
+    test_lines: &BTreeSet<usize>,
+    out: &mut Vec<Violation>,
+) {
+    const NEEDLE: &str = "MemFootprint for ";
+    let code = &scan.code;
+    let bytes = code.as_bytes();
+    let mut search = 0;
+    while let Some(pos) = code[search..].find(NEEDLE) {
+        let at = search + pos;
+        search = at + NEEDLE.len();
+        let rest = &code[search..];
+        let ident_len = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .count();
+        if ident_len == 0 {
+            // Macro metavariable (`$ty`) or similar — not a concrete type.
+            continue;
+        }
+        let ident = &rest[..ident_len];
+        // Generic targets (`Vec<T>`) and types defined elsewhere yield
+        // no same-file struct fields and drop out here.
+        let fields = struct_fields(code, ident);
+        if fields.is_empty() {
+            continue;
+        }
+        let lineno = line_of(code, at);
+        if test_lines.contains(&lineno) {
+            continue;
+        }
+        let Some(open_rel) = rest[ident_len..].find('{') else {
+            continue;
+        };
+        let open = search + ident_len + open_rel;
+        let mut depth = 0usize;
+        let mut end = open;
+        for (j, &b) in bytes[open..].iter().enumerate() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let body = &code[open + 1..end];
+        for field in fields {
+            if body.lines().any(|line| contains_word(line, &field)) {
+                continue;
+            }
+            push(
+                scan,
+                out,
+                Violation {
+                    file: rel.to_string(),
+                    line: lineno,
+                    rule: MEM_FOOTPRINT_FIELD_MISSING,
+                    message: format!(
+                        "`impl MemFootprint for {ident}` never references field \
+                         `{field}` — destructure exhaustively so every field is \
+                         accounted (or explicitly marked inline with `{field}: _`)"
+                    ),
+                },
+            );
+        }
+    }
+}
+
 /// Every object key anywhere in a JSON document.
 fn collect_keys(value: &serde_json::Value, out: &mut BTreeSet<String>) {
     match value {
@@ -794,6 +887,46 @@ mod tests {
         let peek = "fn f(&self) {\n    let v = self.venues.try_read_shard(s);\n    \
                     let u = self.users.read_shard(t);\n}\n";
         assert!(source_violations("crates/lbsn-server/src/demo.rs", peek).is_empty());
+    }
+
+    #[test]
+    fn mem_footprint_missing_field_is_flagged() {
+        let src = "pub struct Venue {\n    pub name: String,\n    pub tips: Vec<Tip>,\n}\n\
+                   impl MemFootprint for Venue {\n    fn heap_bytes(&self) -> usize {\n        \
+                   self.name.heap_bytes()\n    }\n}\n";
+        let v = source_violations("crates/x/src/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, MEM_FOOTPRINT_FIELD_MISSING);
+        assert_eq!(v[0].line, 5);
+        assert!(v[0].message.contains("`tips`"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn mem_footprint_exhaustive_destructure_passes() {
+        let src = "pub struct Venue {\n    pub name: String,\n    pub tips: Vec<Tip>,\n}\n\
+                   impl MemFootprint for Venue {\n    fn heap_bytes(&self) -> usize {\n        \
+                   let Venue { name, tips: _ } = self;\n        name.heap_bytes()\n    }\n}\n";
+        assert!(source_violations("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn mem_footprint_foreign_and_macro_targets_are_skipped() {
+        // No same-file struct definition: container impls, other files.
+        let foreign = "impl<T: MemFootprint> MemFootprint for Vec<T> {\n    \
+                       fn heap_bytes(&self) -> usize { 0 }\n}\n";
+        assert!(source_violations("crates/x/src/lib.rs", foreign).is_empty());
+        // Macro metavariable target, as in mem_footprint_inline!'s body.
+        let metavar = "macro_rules! m { ($ty:ty) => { impl MemFootprint for $ty {} } }\n";
+        assert!(source_violations("crates/x/src/lib.rs", metavar).is_empty());
+    }
+
+    #[test]
+    fn mem_footprint_waiver_suppresses() {
+        let src = "pub struct Venue {\n    pub name: String,\n    pub tips: Vec<Tip>,\n}\n\
+                   // lint:allow(mem-footprint-field-missing): tips counted via sampling\n\
+                   impl MemFootprint for Venue {\n    fn heap_bytes(&self) -> usize {\n        \
+                   self.name.heap_bytes()\n    }\n}\n";
+        assert!(source_violations("crates/x/src/lib.rs", src).is_empty());
     }
 
     #[test]

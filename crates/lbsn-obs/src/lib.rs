@@ -27,8 +27,17 @@
 //! - **Did this run regress?** A [`Snapshot`] captures everything as
 //!   schema-versioned JSON, and an [`SloPolicy`] turns thresholds into
 //!   a machine-checkable gate (the `obs-report` binary in `lbsn-bench`).
+//! - **Will it hold at paper scale?** [`MemFootprint`] gives deep
+//!   owned-byte accounting for resident-memory gauges without allocator
+//!   hooks, [`ShardHeat`] keeps per-shard contention heatmaps that
+//!   expose skew across lock stripes, and the [`flight`] recorder turns
+//!   a panic mid-run into a forensic dump (held locks, open spans, last
+//!   trace events, final snapshot) instead of a bare backtrace.
 
 mod export;
+pub mod flight;
+mod heat;
+pub mod mem;
 mod metrics;
 pub mod names;
 mod registry;
@@ -40,15 +49,18 @@ mod trace;
 mod window;
 
 pub use export::chrome_trace_json;
+pub use flight::{arm, disarm, dump_flight, FlightDump, HeldLocksProvider};
+pub use heat::ShardHeat;
+pub use mem::MemFootprint;
 pub use metrics::{Counter, Gauge, Histogram, LatencyStat, LatencyTimer, ScopedTimer};
 pub use registry::{global, ObsConfig, Registry};
 pub use sketch::{QuantileSketch, DEFAULT_SKETCH_ALPHA};
 pub use slo::{SloOutcome, SloPolicy, SloRule};
 pub use snapshot::{
-    BucketSnapshot, EventRecord, HistogramSnapshot, SketchBucket, SketchSnapshot, Snapshot,
-    WindowSlot, WindowSnapshot, SNAPSHOT_SCHEMA_VERSION,
+    BucketSnapshot, EventRecord, HistogramSnapshot, ShardHeatRow, ShardHeatSnapshot, SketchBucket,
+    SketchSnapshot, Snapshot, WindowSlot, WindowSnapshot, SNAPSHOT_SCHEMA_VERSION,
 };
-pub use span::{Span, SpanEventRecord, SpanRecord};
+pub use span::{OpenSpan, Span, SpanEventRecord, SpanRecord};
 pub use trace::EventTrace;
 pub use window::{TimeWindow, DEFAULT_WINDOW_SLOTS};
 

@@ -1,0 +1,225 @@
+//! Deep owned-byte accounting: the [`MemFootprint`] trait.
+//!
+//! The paper's population is 1.89 M users and 5.6 M venues; whether the
+//! server holds up at that size is first of all a *bytes-per-user*
+//! question, and nothing in the standard library answers it. This
+//! module provides the measuring stick: a trait that walks a value's
+//! owned allocations — `String` capacities, `Vec` buffers, hash-table
+//! backing stores — and sums them, with **no unsafe code and no
+//! allocator hooks**. The numbers are honest estimates, not allocator
+//! truth: container overhead is modeled from the documented layout
+//! (e.g. a hash table's control bytes and load factor), which is stable
+//! enough to gate "did this refactor double resident memory?" in CI.
+//!
+//! Implementations for the server's own state types live next to those
+//! types in `lbsn-server`; the `mem-footprint-field-missing` lint rule
+//! keeps them exhaustive as structs grow.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::mem::size_of;
+
+/// Deep owned-byte accounting for a value.
+///
+/// `heap_bytes` is the estimated number of bytes the value owns
+/// *outside* its inline representation; [`MemFootprint::deep_bytes`]
+/// adds `size_of_val(self)` back in. Implementations must be pure reads
+/// (no allocation, no locking) so samplers can walk millions of
+/// entities cheaply.
+pub trait MemFootprint {
+    /// Estimated bytes owned on the heap beyond the inline
+    /// `size_of` footprint.
+    fn heap_bytes(&self) -> usize;
+
+    /// Deep size: the inline representation plus owned heap bytes.
+    fn deep_bytes(&self) -> usize {
+        std::mem::size_of_val(self) + self.heap_bytes()
+    }
+}
+
+/// Implements [`MemFootprint`] with zero heap bytes for inline-only
+/// types (plain enums, id newtypes, coordinate structs). Use this for
+/// every `Copy` leaf type that owns no allocation.
+#[macro_export]
+macro_rules! mem_footprint_inline {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl $crate::MemFootprint for $t {
+                fn heap_bytes(&self) -> usize {
+                    0
+                }
+            }
+        )*
+    };
+}
+
+mem_footprint_inline!(
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
+);
+
+impl MemFootprint for String {
+    fn heap_bytes(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl<T: MemFootprint> MemFootprint for Option<T> {
+    fn heap_bytes(&self) -> usize {
+        self.as_ref().map_or(0, MemFootprint::heap_bytes)
+    }
+}
+
+impl<T: MemFootprint + ?Sized> MemFootprint for Box<T> {
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of_val::<T>(self) + self.as_ref().heap_bytes()
+    }
+}
+
+impl<T: MemFootprint> MemFootprint for Vec<T> {
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * size_of::<T>() + self.iter().map(MemFootprint::heap_bytes).sum::<usize>()
+    }
+}
+
+impl<T: MemFootprint> MemFootprint for VecDeque<T> {
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * size_of::<T>() + self.iter().map(MemFootprint::heap_bytes).sum::<usize>()
+    }
+}
+
+/// The hash-table backing-store estimate shared by the set and map
+/// impls: SwissTable keeps one control byte per bucket and sizes the
+/// bucket array at 8/7 of usable capacity.
+fn hash_table_bytes(capacity: usize, entry_size: usize) -> usize {
+    if capacity == 0 {
+        return 0;
+    }
+    capacity * (entry_size + 1) * 8 / 7
+}
+
+impl<T: MemFootprint> MemFootprint for HashSet<T> {
+    fn heap_bytes(&self) -> usize {
+        hash_table_bytes(self.capacity(), size_of::<T>())
+            + self.iter().map(MemFootprint::heap_bytes).sum::<usize>()
+    }
+}
+
+impl<K: MemFootprint, V: MemFootprint> MemFootprint for HashMap<K, V> {
+    fn heap_bytes(&self) -> usize {
+        hash_table_bytes(self.capacity(), size_of::<(K, V)>())
+            + self
+                .iter()
+                .map(|(k, v)| k.heap_bytes() + v.heap_bytes())
+                .sum::<usize>()
+    }
+}
+
+/// The B-tree node estimate shared by the set and map impls: nodes hold
+/// up to 11 entries and run about half-full in the steady state, so per
+/// resident entry we charge the entry itself plus ~weight for node
+/// headers and vacant slots.
+fn btree_bytes(len: usize, entry_size: usize) -> usize {
+    len * (entry_size * 3 / 2 + 16)
+}
+
+impl<T: MemFootprint> MemFootprint for BTreeSet<T> {
+    fn heap_bytes(&self) -> usize {
+        btree_bytes(self.len(), size_of::<T>())
+            + self.iter().map(MemFootprint::heap_bytes).sum::<usize>()
+    }
+}
+
+impl<K: MemFootprint, V: MemFootprint> MemFootprint for BTreeMap<K, V> {
+    fn heap_bytes(&self) -> usize {
+        btree_bytes(self.len(), size_of::<(K, V)>())
+            + self
+                .iter()
+                .map(|(k, v)| k.heap_bytes() + v.heap_bytes())
+                .sum::<usize>()
+    }
+}
+
+impl<A: MemFootprint, B: MemFootprint> MemFootprint for (A, B) {
+    fn heap_bytes(&self) -> usize {
+        self.0.heap_bytes() + self.1.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_types_have_no_heap() {
+        assert_eq!(7u64.heap_bytes(), 0);
+        assert_eq!(7u64.deep_bytes(), 8);
+        assert_eq!(true.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn string_charges_capacity_not_len() {
+        let mut s = String::with_capacity(64);
+        s.push_str("abc");
+        assert_eq!(s.heap_bytes(), 64);
+        assert_eq!(s.deep_bytes(), size_of::<String>() + 64);
+        assert_eq!(String::new().heap_bytes(), 0);
+    }
+
+    #[test]
+    fn vec_charges_buffer_plus_element_heap() {
+        let v: Vec<String> = vec![String::with_capacity(10), String::new()];
+        let expected = v.capacity() * size_of::<String>() + 10;
+        assert_eq!(v.heap_bytes(), expected);
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(empty.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn nested_containers_accumulate() {
+        let mut m: HashMap<u64, Vec<u8>> = HashMap::new();
+        m.insert(1, vec![0u8; 100]);
+        let inner: usize = m.values().map(|v| v.heap_bytes()).sum();
+        assert!(inner >= 100);
+        assert!(m.heap_bytes() > inner, "table overhead counts");
+        let empty: HashMap<u64, u64> = HashMap::new();
+        assert_eq!(empty.heap_bytes(), 0);
+    }
+
+    #[test]
+    fn sets_and_deques_count() {
+        let mut s: HashSet<u64> = HashSet::new();
+        s.insert(3);
+        assert!(s.heap_bytes() >= size_of::<u64>());
+        let mut d: VecDeque<u32> = VecDeque::with_capacity(8);
+        d.push_back(1);
+        assert!(d.heap_bytes() >= d.capacity() * size_of::<u32>());
+    }
+
+    #[test]
+    fn btree_and_box_and_option() {
+        let mut b: BTreeMap<u64, String> = BTreeMap::new();
+        b.insert(1, String::with_capacity(5));
+        assert!(b.heap_bytes() >= size_of::<(u64, String)>() + 5);
+        let boxed: Box<u64> = Box::new(9);
+        assert_eq!(boxed.heap_bytes(), 8);
+        let some: Option<String> = Some(String::with_capacity(3));
+        assert_eq!(some.heap_bytes(), 3);
+        let none: Option<String> = None;
+        assert_eq!(none.heap_bytes(), 0);
+    }
+}

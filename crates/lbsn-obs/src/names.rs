@@ -64,8 +64,27 @@ pub mod server {
     pub const SHARD_LOCK_WAIT: &str = "server.shard.lock_wait";
     /// Configured lock-stripe count.
     pub const SHARD_COUNT: &str = "server.shard.count";
+    /// Per-shard contention heatmap for the `{family}` shard family
+    /// (`users` / `venues`) — ops, waits, and occupancy per stripe.
+    pub const SHARD_HEAT_PATTERN: &str = "server.shard.heat.{family}";
     /// Trace event recorded when an account is branded a cheater.
     pub const ACCOUNT_BRANDED_EVENT: &str = "server.account.branded";
+    /// Deep owned bytes across all user records (sampled gauge).
+    pub const MEM_USERS_BYTES: &str = "server.mem.users_bytes";
+    /// Deep owned bytes across all venue records (sampled gauge).
+    pub const MEM_VENUES_BYTES: &str = "server.mem.venues_bytes";
+    /// Deep owned bytes in the side maps (username/venue-name indexes).
+    pub const MEM_SIDE_MAPS_BYTES: &str = "server.mem.side_maps_bytes";
+    /// Total sampled deep owned bytes of server state.
+    pub const MEM_TOTAL_BYTES: &str = "server.mem.total_bytes";
+    /// Total sampled bytes divided by registered users — the paper-scale
+    /// capacity-planning number the scale ladder tracks per rung.
+    pub const MEM_BYTES_PER_USER: &str = "server.mem.bytes_per_user";
+    /// Memory-sampler sweeps taken (each sweep refreshes every
+    /// `server.mem.*` gauge and the heatmap occupancy rows).
+    pub const MEM_SAMPLES: &str = "server.mem.samples";
+    /// Trace event recorded when a flight dump is written.
+    pub const FLIGHT_DUMP_EVENT: &str = "server.flight.dump";
 
     /// Resolved name of the per-detector rejection counter. Dashes in
     /// the stable detector name become underscores, keeping the metric
@@ -85,6 +104,11 @@ pub mod server {
     pub fn verifier_rejected(verifier: &str) -> String {
         let verifier = verifier.replace('-', "_");
         VERIFIER_REJECTED_PATTERN.replace("{verifier}", &verifier)
+    }
+
+    /// Resolved name of a shard family's contention heatmap.
+    pub fn shard_heat(family: &str) -> String {
+        SHARD_HEAT_PATTERN.replace("{family}", family)
     }
 }
 
@@ -191,7 +215,15 @@ pub const REGISTERED: &[&str] = &[
     server::POINTS_GRANTED,
     server::SHARD_LOCK_WAIT,
     server::SHARD_COUNT,
+    server::SHARD_HEAT_PATTERN,
     server::ACCOUNT_BRANDED_EVENT,
+    server::MEM_USERS_BYTES,
+    server::MEM_VENUES_BYTES,
+    server::MEM_SIDE_MAPS_BYTES,
+    server::MEM_TOTAL_BYTES,
+    server::MEM_BYTES_PER_USER,
+    server::MEM_SAMPLES,
+    server::FLIGHT_DUMP_EVENT,
     crawler::PAGE_SPAN,
     crawler::FETCH,
     crawler::FETCH_PAGES,
@@ -312,6 +344,20 @@ mod tests {
         );
         assert!(is_registered(&server::detector_latency("rapid-fire")));
         assert!(is_registered(&crawler::throughput("users_per_hour")));
+        assert_eq!(server::shard_heat("users"), "server.shard.heat.users");
+        assert!(is_registered(&server::shard_heat("venues")));
+    }
+
+    #[test]
+    fn scale_observatory_names_resolve() {
+        assert!(is_registered(server::MEM_USERS_BYTES));
+        assert!(is_registered(server::MEM_VENUES_BYTES));
+        assert!(is_registered(server::MEM_SIDE_MAPS_BYTES));
+        assert!(is_registered(server::MEM_TOTAL_BYTES));
+        assert!(is_registered(server::MEM_BYTES_PER_USER));
+        assert!(is_registered(server::MEM_SAMPLES));
+        assert!(is_registered(server::FLIGHT_DUMP_EVENT));
+        assert!(!is_registered("server.mem.bytes_per_venue"));
     }
 
     #[test]

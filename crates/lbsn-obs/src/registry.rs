@@ -7,11 +7,13 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 
+use crate::heat::{HeatCell, ShardHeat};
 use crate::metrics::{
     Counter, CounterCell, Gauge, GaugeCell, Histogram, HistogramCell, LatencyStat,
 };
 use crate::sketch::{QuantileSketch, SketchCell, DEFAULT_SKETCH_ALPHA};
 use crate::snapshot::{BucketSnapshot, HistogramSnapshot, Snapshot, SNAPSHOT_SCHEMA_VERSION};
+use crate::span::OpenSpan;
 use crate::span::{Span, SpanSink};
 use crate::trace::EventTrace;
 use crate::window::{ObsClock, TimeWindow, WindowCell, DEFAULT_WINDOW_SLOTS};
@@ -51,6 +53,7 @@ struct Cells {
     histograms: BTreeMap<String, Arc<HistogramCell>>,
     sketches: BTreeMap<String, Arc<SketchCell>>,
     windows: BTreeMap<String, Arc<WindowCell>>,
+    heats: BTreeMap<String, Arc<HeatCell>>,
 }
 
 /// Holds every named metric plus the event trace and span sink.
@@ -222,6 +225,27 @@ impl Registry {
         }
     }
 
+    /// Resolves (registering on first use) the per-shard contention
+    /// heatmap family `name` with `shards` rows. A family keeps the row
+    /// count it was first registered with.
+    pub fn shard_heat(&self, name: &str, shards: usize) -> ShardHeat {
+        if let Some(cell) = self.cells.read().heats.get(name) {
+            return ShardHeat {
+                enabled: Arc::clone(&self.enabled),
+                cell: Arc::clone(cell),
+            };
+        }
+        let mut cells = self.cells.write();
+        let cell = cells
+            .heats
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(HeatCell::new(shards)));
+        ShardHeat {
+            enabled: Arc::clone(&self.enabled),
+            cell: Arc::clone(cell),
+        }
+    }
+
     /// Resolves the composite latency metric `name`: one histogram, one
     /// sketch, and one window sharing the name, fed by a single timer.
     pub fn latency(&self, name: &str) -> LatencyStat {
@@ -335,6 +359,11 @@ impl Registry {
             .iter()
             .map(|(name, cell)| (name.clone(), cell.snapshot()))
             .collect();
+        let shard_heat = cells
+            .heats
+            .iter()
+            .map(|(name, cell)| cell.snapshot(name))
+            .collect();
         Snapshot {
             schema: SNAPSHOT_SCHEMA_VERSION,
             counters,
@@ -342,9 +371,17 @@ impl Registry {
             histograms,
             sketches,
             windows,
+            shard_heat,
             events: self.events.drain_copy(),
             spans: self.spans.drain_copy(),
         }
+    }
+
+    /// Sampled spans that have started but not finished — what the
+    /// flight recorder dumps when a panic interrupts requests
+    /// mid-stage.
+    pub fn open_spans(&self) -> Vec<OpenSpan> {
+        self.spans.open_copy()
     }
 
     /// Zeroes every metric value and clears the event trace and span
@@ -372,6 +409,9 @@ impl Registry {
             cell.reset();
         }
         for cell in cells.windows.values() {
+            cell.reset();
+        }
+        for cell in cells.heats.values() {
             cell.reset();
         }
         drop(cells);
@@ -425,6 +465,38 @@ mod tests {
         // Span ids keep growing across resets.
         let s = registry.span_forced("a.root");
         assert!(s.id().unwrap() > 1);
+    }
+
+    #[test]
+    fn shard_heat_families_snapshot_and_reset() {
+        let registry = Registry::new();
+        let heat = registry.shard_heat("server.shard.heat.users", 4);
+        heat.record_fast(1);
+        heat.record_wait(1, 500);
+        heat.set_occupancy(1, 7);
+        let snap = registry.snapshot();
+        assert_eq!(snap.shard_heat.len(), 1);
+        assert_eq!(snap.shard_heat[0].family, "server.shard.heat.users");
+        assert_eq!(snap.shard_heat[0].shards.len(), 4);
+        assert_eq!(snap.shard_heat[0].shards[1].ops, 2);
+        assert_eq!(snap.shard_heat[0].shards[1].occupancy, 7);
+        // First registration wins the row count.
+        let again = registry.shard_heat("server.shard.heat.users", 64);
+        assert_eq!(again.shard_count(), 4);
+        registry.reset();
+        let snap = registry.snapshot();
+        assert_eq!(snap.shard_heat[0].shards[1].ops, 0);
+        assert_eq!(snap.shard_heat[0].shards[1].occupancy, 0);
+    }
+
+    #[test]
+    fn open_spans_surface_through_the_registry() {
+        let registry = Registry::new();
+        let root = registry.span_forced("server.checkin");
+        assert_eq!(registry.open_spans().len(), 1);
+        assert_eq!(registry.open_spans()[0].name, "server.checkin");
+        root.end();
+        assert!(registry.open_spans().is_empty());
     }
 
     #[test]

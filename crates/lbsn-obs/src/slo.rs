@@ -39,6 +39,18 @@ pub enum SloRule {
         /// Inclusive ceiling.
         max: f64,
     },
+    /// A gauge must sit inside an inclusive band — capacity numbers
+    /// like `server.mem.bytes_per_user`, where too *low* means the
+    /// sampler stopped seeing state and too *high* means a footprint
+    /// regression.
+    GaugeMinMax {
+        /// Gauge name.
+        metric: String,
+        /// Inclusive floor.
+        min: f64,
+        /// Inclusive ceiling.
+        max: f64,
+    },
     /// A counter must be at least `min` (coverage floors — "the run
     /// actually exercised the pipeline").
     CounterMin {
@@ -67,6 +79,7 @@ impl SloRule {
             SloRule::QuantileMaxNs { metric, .. } => metric,
             SloRule::GaugeMin { metric, .. } => metric,
             SloRule::GaugeMax { metric, .. } => metric,
+            SloRule::GaugeMinMax { metric, .. } => metric,
             SloRule::CounterMin { metric, .. } => metric,
             SloRule::RatioMax { numerator, .. } => numerator,
         }
@@ -80,6 +93,9 @@ impl SloRule {
             }
             SloRule::GaugeMin { metric, min } => format!("{metric} >= {min}"),
             SloRule::GaugeMax { metric, max } => format!("{metric} <= {max}"),
+            SloRule::GaugeMinMax { metric, min, max } => {
+                format!("{metric} in [{min}, {max}]")
+            }
             SloRule::CounterMin { metric, min } => format!("{metric} >= {min}"),
             SloRule::RatioMax {
                 numerator,
@@ -104,6 +120,10 @@ impl SloRule {
             },
             SloRule::GaugeMax { metric, max } => match snapshot.gauges.get(metric) {
                 Some(&v) => (Some(v), v <= *max),
+                None => (None, false),
+            },
+            SloRule::GaugeMinMax { metric, min, max } => match snapshot.gauges.get(metric) {
+                Some(&v) => (Some(v), v >= *min && v <= *max),
                 None => (None, false),
             },
             SloRule::CounterMin { metric, min } => match snapshot.counters.get(metric) {
@@ -287,9 +307,36 @@ mod tests {
                     metric: "g".to_string(),
                     max: 7.5,
                 },
+                SloRule::GaugeMinMax {
+                    metric: "b".to_string(),
+                    min: 100.0,
+                    max: 4000.0,
+                },
             ],
         };
         let back = SloPolicy::from_json(&policy.to_json()).unwrap();
         assert_eq!(back, policy);
+    }
+
+    #[test]
+    fn gauge_band_passes_inside_and_fails_outside() {
+        let registry = Registry::new();
+        registry.gauge("server.mem.bytes_per_user").set(900.0);
+        let snap = registry.snapshot();
+        let band = |min: f64, max: f64| SloRule::GaugeMinMax {
+            metric: "server.mem.bytes_per_user".to_string(),
+            min,
+            max,
+        };
+        assert!(band(100.0, 4000.0).evaluate(&snap).pass);
+        assert!(band(900.0, 900.0).evaluate(&snap).pass, "bounds inclusive");
+        assert!(!band(1000.0, 4000.0).evaluate(&snap).pass, "below floor");
+        assert!(!band(100.0, 800.0).evaluate(&snap).pass, "above ceiling");
+        assert_eq!(
+            band(1.0, 2.0).describe(),
+            "server.mem.bytes_per_user in [1, 2]"
+        );
+        // Missing gauge fails closed like every other rule.
+        assert!(!band(0.0, 1.0).evaluate(&Snapshot::default()).pass);
     }
 }

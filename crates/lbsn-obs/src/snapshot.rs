@@ -5,10 +5,15 @@
 //! The snapshot JSON carries a `schema` field. Version 1 (PR 1) had
 //! `counters` / `gauges` / `histograms` / `events` only; version 2 adds
 //! `sketches` (log-bucket quantile sketches), `windows` (per-second
-//! ring slots), and `spans` (finished sampled spans). Deserialization
-//! is backward-compatible: a v1 document (no `schema` field) parses
-//! with the new collections empty and `schema == 1`, so `obs-report`
-//! can diff old baselines against new runs.
+//! ring slots), and `spans` (finished sampled spans); version 3 adds
+//! `shard_heat` (per-shard contention heatmap rows) and a `dropped`
+//! retention tally on each window. Deserialization is
+//! backward-compatible: a v1 document (no `schema` field) parses with
+//! the new collections empty and `schema == 1`, and a v2 document
+//! parses with `shard_heat` empty and window `dropped` zero, so
+//! `obs-report` can diff old baselines against new runs. Documents
+//! *newer* than this build are rejected by `obs-report` (exit 2)
+//! instead of silently dropping sections it can't see.
 
 use std::collections::BTreeMap;
 
@@ -17,7 +22,7 @@ use serde::{Deserialize, Serialize};
 use crate::span::SpanRecord;
 
 /// The snapshot JSON schema version written by this build.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 3;
 
 /// One histogram bucket: observations `<= le` (the last bucket has
 /// `le == u64::MAX` and catches overflow).
@@ -163,12 +168,40 @@ pub struct WindowSlot {
 
 /// Captured state of one window ring (see [`crate::TimeWindow`]):
 /// per-second counts and sums, ascending by second.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct WindowSnapshot {
     /// Width of each slot in seconds (currently always 1).
     pub slot_secs: u64,
+    /// Previously-live slots recycled by newer seconds — observations
+    /// lost to retention over the run (schema ≥ 3; 0 in older
+    /// documents).
+    pub dropped: u64,
     /// Live slots, ascending by `sec`.
     pub slots: Vec<WindowSlot>,
+}
+
+// Hand-written so v1/v2 documents (no `dropped` field) still parse;
+// the vendored serde derive requires every field to be present.
+impl Deserialize for WindowSnapshot {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected object for WindowSnapshot"))?;
+        Ok(WindowSnapshot {
+            slot_secs: Deserialize::deserialize(
+                obj.get("slot_secs")
+                    .ok_or_else(|| serde::Error::missing_field("slot_secs"))?,
+            )?,
+            dropped: match obj.get("dropped") {
+                Some(v) => Deserialize::deserialize(v)?,
+                None => 0,
+            },
+            slots: Deserialize::deserialize(
+                obj.get("slots")
+                    .ok_or_else(|| serde::Error::missing_field("slots"))?,
+            )?,
+        })
+    }
 }
 
 impl WindowSnapshot {
@@ -190,6 +223,71 @@ impl WindowSnapshot {
         };
         let secs = (last.sec - first.sec + 1) as f64;
         self.total_count() as f64 / secs
+    }
+}
+
+/// One shard's contention-heatmap row (schema ≥ 3): lock acquisitions,
+/// how many waited, how long, and how many entities live there.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardHeatRow {
+    /// Shard index within its family.
+    pub shard: u32,
+    /// Lock acquisitions (fast path + contended).
+    pub ops: u64,
+    /// Acquisitions that missed the try-lock fast path and waited.
+    pub contended: u64,
+    /// Total nanoseconds spent waiting across contended acquisitions.
+    pub wait_total_ns: u64,
+    /// Longest single wait, nanoseconds.
+    pub wait_max_ns: u64,
+    /// Resident entities in this shard at the last occupancy refresh.
+    pub occupancy: u64,
+}
+
+impl ShardHeatRow {
+    /// Mean wait per contended acquisition, nanoseconds (0 when
+    /// nothing contended).
+    pub fn mean_wait_ns(&self) -> f64 {
+        if self.contended == 0 {
+            0.0
+        } else {
+            self.wait_total_ns as f64 / self.contended as f64
+        }
+    }
+}
+
+/// One shard family's contention heatmap (schema ≥ 3): a compact row
+/// per shard index, in shard order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardHeatSnapshot {
+    /// Family name (the registered `server.shard.heat.{family}` name).
+    pub family: String,
+    /// Per-shard rows, ascending by shard index.
+    pub shards: Vec<ShardHeatRow>,
+}
+
+impl ShardHeatSnapshot {
+    /// Hottest/coldest skew: max ops over min ops across the family's
+    /// shards, with a 1-op floor on the denominator so a completely
+    /// cold shard reads as a large finite skew instead of dividing by
+    /// zero. 1.0 for an empty or untouched family.
+    pub fn skew_ratio(&self) -> f64 {
+        let max = self.shards.iter().map(|s| s.ops).max().unwrap_or(0);
+        let min = self.shards.iter().map(|s| s.ops).min().unwrap_or(0);
+        if max == 0 {
+            return 1.0;
+        }
+        max as f64 / min.max(1) as f64
+    }
+
+    /// Total acquisitions across the family.
+    pub fn total_ops(&self) -> u64 {
+        self.shards.iter().map(|s| s.ops).sum()
+    }
+
+    /// Total contended acquisitions across the family.
+    pub fn total_contended(&self) -> u64 {
+        self.shards.iter().map(|s| s.contended).sum()
     }
 }
 
@@ -222,6 +320,9 @@ pub struct Snapshot {
     pub sketches: BTreeMap<String, SketchSnapshot>,
     /// Window-ring states by metric name (schema ≥ 2).
     pub windows: BTreeMap<String, WindowSnapshot>,
+    /// Per-shard contention heatmaps, one entry per registered family,
+    /// ascending by family name (schema ≥ 3).
+    pub shard_heat: Vec<ShardHeatSnapshot>,
     /// Retained events, oldest first.
     pub events: Vec<EventRecord>,
     /// Retained finished spans, oldest first (schema ≥ 2).
@@ -237,6 +338,7 @@ impl Default for Snapshot {
             histograms: BTreeMap::new(),
             sketches: BTreeMap::new(),
             windows: BTreeMap::new(),
+            shard_heat: Vec::new(),
             events: Vec::new(),
             spans: Vec::new(),
         }
@@ -244,8 +346,8 @@ impl Default for Snapshot {
 }
 
 // Hand-written so v1 documents (no `schema`, `sketches`, `windows`, or
-// `spans` fields) still parse; the vendored serde derive requires every
-// field to be present.
+// `spans` fields) and v2 documents (no `shard_heat`) still parse; the
+// vendored serde derive requires every field to be present.
 impl Deserialize for Snapshot {
     fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
         let obj = v
@@ -276,6 +378,7 @@ impl Deserialize for Snapshot {
             histograms: required(obj, "histograms")?,
             sketches: optional(obj, "sketches")?,
             windows: optional(obj, "windows")?,
+            shard_heat: optional(obj, "shard_heat")?,
             events: required(obj, "events")?,
             spans: optional(obj, "spans")?,
         })
@@ -288,7 +391,7 @@ impl Snapshot {
         serde_json::to_string_pretty(self).expect("snapshot serializes")
     }
 
-    /// Parses a snapshot from JSON text (schema 1 or 2).
+    /// Parses a snapshot from JSON text (schema 1, 2, or 3).
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(json)
     }
@@ -380,6 +483,7 @@ mod tests {
             "a.w".to_string(),
             WindowSnapshot {
                 slot_secs: 1,
+                dropped: 9,
                 slots: vec![WindowSlot {
                     sec: 3,
                     count: 4,
@@ -387,6 +491,27 @@ mod tests {
                 }],
             },
         );
+        snapshot.shard_heat.push(ShardHeatSnapshot {
+            family: "server.shard.heat.users".to_string(),
+            shards: vec![
+                ShardHeatRow {
+                    shard: 0,
+                    ops: 100,
+                    contended: 4,
+                    wait_total_ns: 2_000,
+                    wait_max_ns: 900,
+                    occupancy: 50,
+                },
+                ShardHeatRow {
+                    shard: 1,
+                    ops: 10,
+                    contended: 0,
+                    wait_total_ns: 0,
+                    wait_max_ns: 0,
+                    occupancy: 48,
+                },
+            ],
+        });
         snapshot.events.push(EventRecord {
             seq: 3,
             name: "phase.start".to_string(),
@@ -433,6 +558,7 @@ mod tests {
         assert_eq!(snap.counter("server.checkin.accepted"), 5);
         assert!(snap.sketches.is_empty());
         assert!(snap.windows.is_empty());
+        assert!(snap.shard_heat.is_empty());
         assert!(snap.spans.is_empty());
         // quantile_ns falls back to the histogram for v1 documents.
         assert_eq!(snap.quantile_ns("server.checkin.total", 0.99), Some(512));
@@ -440,9 +566,110 @@ mod tests {
     }
 
     #[test]
+    fn v2_documents_still_parse() {
+        // A schema-2 snapshot as PR 2/3 wrote them: sketches, windows
+        // (without the v3 `dropped` tally), and spans are present, but
+        // there is no `shard_heat` section.
+        let v2 = r#"{
+            "schema": 2,
+            "counters": {"server.checkin.accepted": 7},
+            "gauges": {"server.shard.count": 16.0},
+            "histograms": {},
+            "sketches": {
+                "server.checkin.total": {
+                    "alpha": 0.01, "gamma": 1.0202020202020203,
+                    "count": 1, "sum": 100, "zero": 0,
+                    "min": 100, "max": 100,
+                    "buckets": [{"idx": 231, "count": 1}]
+                }
+            },
+            "windows": {
+                "server.checkin.total": {
+                    "slot_secs": 1,
+                    "slots": [{"sec": 2, "count": 3, "sum": 33}]
+                }
+            },
+            "events": [],
+            "spans": [{
+                "id": 1, "parent": 0, "name": "server.checkin",
+                "thread": 1, "start_ns": 5, "end_ns": 9,
+                "attrs": [], "events": []
+            }]
+        }"#;
+        let snap = Snapshot::from_json(v2).unwrap();
+        assert_eq!(snap.schema, 2);
+        assert_eq!(snap.counter("server.checkin.accepted"), 7);
+        assert_eq!(snap.windows["server.checkin.total"].dropped, 0);
+        assert_eq!(snap.windows["server.checkin.total"].total_count(), 3);
+        assert!(snap.shard_heat.is_empty());
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.quantile_ns("server.checkin.total", 0.5), Some(100));
+    }
+
+    #[test]
+    fn shard_heat_skew_and_means() {
+        let heat = ShardHeatSnapshot {
+            family: "server.shard.heat.users".to_string(),
+            shards: vec![
+                ShardHeatRow {
+                    shard: 0,
+                    ops: 90,
+                    contended: 3,
+                    wait_total_ns: 300,
+                    wait_max_ns: 200,
+                    occupancy: 10,
+                },
+                ShardHeatRow {
+                    shard: 1,
+                    ops: 10,
+                    contended: 0,
+                    wait_total_ns: 0,
+                    wait_max_ns: 0,
+                    occupancy: 12,
+                },
+            ],
+        };
+        assert!((heat.skew_ratio() - 9.0).abs() < 1e-9);
+        assert_eq!(heat.total_ops(), 100);
+        assert_eq!(heat.total_contended(), 3);
+        assert!((heat.shards[0].mean_wait_ns() - 100.0).abs() < 1e-9);
+        assert_eq!(heat.shards[1].mean_wait_ns(), 0.0);
+        // A cold shard (0 ops) yields a finite skew; an untouched
+        // family yields 1.0.
+        let cold = ShardHeatSnapshot {
+            family: "f".to_string(),
+            shards: vec![
+                ShardHeatRow {
+                    shard: 0,
+                    ops: 50,
+                    contended: 0,
+                    wait_total_ns: 0,
+                    wait_max_ns: 0,
+                    occupancy: 0,
+                },
+                ShardHeatRow {
+                    shard: 1,
+                    ops: 0,
+                    contended: 0,
+                    wait_total_ns: 0,
+                    wait_max_ns: 0,
+                    occupancy: 0,
+                },
+            ],
+        };
+        assert!((cold.skew_ratio() - 50.0).abs() < 1e-9);
+        let empty = ShardHeatSnapshot {
+            family: "f".to_string(),
+            shards: vec![],
+        };
+        assert!((empty.skew_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn window_rates() {
         let w = WindowSnapshot {
             slot_secs: 1,
+            dropped: 0,
             slots: vec![
                 WindowSlot {
                     sec: 2,
@@ -461,6 +688,7 @@ mod tests {
         assert!((w.rate_per_sec() - 3.0).abs() < 1e-9);
         let empty = WindowSnapshot {
             slot_secs: 1,
+            dropped: 0,
             slots: vec![],
         };
         assert_eq!(empty.rate_per_sec(), 0.0);

@@ -65,6 +65,24 @@ impl SpanRecord {
     }
 }
 
+/// A sampled span that has started but not finished — what the flight
+/// recorder dumps when a panic interrupts requests mid-stage. Attrs and
+/// events still live in the owning [`Span`], so only the identity and
+/// start are visible here.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpenSpan {
+    /// Span id (same id space as [`SpanRecord`]).
+    pub id: u64,
+    /// Parent span id; 0 for roots.
+    pub parent: u64,
+    /// Span name.
+    pub name: String,
+    /// Dense per-process thread number.
+    pub thread: u64,
+    /// Start, nanoseconds since the registry's clock started.
+    pub start_ns: u64,
+}
+
 static NEXT_THREAD: AtomicU64 = AtomicU64::new(1);
 thread_local! {
     static THREAD_NUM: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
@@ -84,6 +102,8 @@ pub(crate) struct SpanSink {
     finished: AtomicU64,
     dropped: AtomicU64,
     ring: Mutex<VecDeque<SpanRecord>>,
+    /// Sampled spans started but not yet finished, for flight dumps.
+    open: Mutex<Vec<OpenSpan>>,
     clock: Arc<ObsClock>,
 }
 
@@ -104,6 +124,7 @@ impl SpanSink {
             finished: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             ring: Mutex::new(VecDeque::with_capacity(capacity)),
+            open: Mutex::new(Vec::new()),
             clock,
         }
     }
@@ -131,6 +152,12 @@ impl SpanSink {
 
     fn push(&self, record: SpanRecord) {
         self.finished.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut open = self.open.lock();
+            if let Some(pos) = open.iter().position(|o| o.id == record.id) {
+                open.swap_remove(pos);
+            }
+        }
         let mut ring = self.ring.lock();
         if ring.len() == self.capacity {
             ring.pop_front();
@@ -154,10 +181,20 @@ impl SpanSink {
         self.ring.lock().iter().cloned().collect()
     }
 
+    /// Copies the currently open sampled spans, ascending by id.
+    pub(crate) fn open_copy(&self) -> Vec<OpenSpan> {
+        let mut open: Vec<OpenSpan> = self.open.lock().clone();
+        open.sort_by_key(|o| o.id);
+        open
+    }
+
     /// Discards retained spans and zeroes the finished/dropped tallies.
-    /// Span ids keep growing so they stay unique across resets.
+    /// Span ids keep growing so they stay unique across resets. Open
+    /// spans are forgotten too; one started before a reset simply
+    /// vanishes from the open list when it finishes.
     pub(crate) fn clear(&self) {
         self.ring.lock().clear();
+        self.open.lock().clear();
         self.finished.store(0, Ordering::Relaxed);
         self.dropped.store(0, Ordering::Relaxed);
     }
@@ -192,6 +229,13 @@ impl Span {
     fn start(sink: &Arc<SpanSink>, name: &str, parent: u64) -> Span {
         let id = sink.next_id.fetch_add(1, Ordering::Relaxed);
         let start_ns = sink.clock.now_ns();
+        sink.open.lock().push(OpenSpan {
+            id,
+            parent,
+            name: name.to_string(),
+            thread: thread_num(),
+            start_ns,
+        });
         Span {
             inner: Some(Box::new(SpanInner {
                 sink: Arc::clone(sink),
@@ -348,6 +392,27 @@ mod tests {
         drop(s);
         assert_eq!(sink.finished(), 0);
         assert!(sink.drain_copy().is_empty());
+    }
+
+    #[test]
+    fn open_spans_track_start_and_finish() {
+        let sink = sink(16, 1);
+        let root = Span::start_root(&sink, "req", false);
+        let child = root.child("stage");
+        let open = sink.open_copy();
+        assert_eq!(open.len(), 2);
+        assert_eq!(open[0].name, "req");
+        assert_eq!(open[1].name, "stage");
+        assert_eq!(open[1].parent, open[0].id);
+        child.end();
+        assert_eq!(sink.open_copy().len(), 1);
+        root.end();
+        assert!(sink.open_copy().is_empty());
+        // Unsampled spans never appear in the open list.
+        let quiet = Arc::new(SpanSink::new(16, 0, false, Arc::new(ObsClock::new())));
+        let s = Span::start_root(&quiet, "req", false);
+        assert!(quiet.open_copy().is_empty());
+        drop(s);
     }
 
     #[test]

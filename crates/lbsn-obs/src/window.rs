@@ -48,6 +48,11 @@ struct Slot {
 
 pub(crate) struct WindowCell {
     slots: Vec<Slot>,
+    /// Previously-live slots recycled by a newer second landing on
+    /// them — the window's observations-lost-to-retention tally. Long
+    /// runs *should* grow this steadily; a window that never drops a
+    /// bucket either isn't being written or is sized far too large.
+    dropped: AtomicU64,
 }
 
 impl WindowCell {
@@ -61,6 +66,7 @@ impl WindowCell {
                     sum: AtomicU64::new(0),
                 })
                 .collect(),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -71,6 +77,9 @@ impl WindowCell {
         if slot.epoch.load(Ordering::Relaxed) != epoch {
             let prev = slot.epoch.swap(epoch, Ordering::Relaxed);
             if prev != epoch {
+                if prev != 0 {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
                 slot.count.store(0, Ordering::Relaxed);
                 slot.sum.store(0, Ordering::Relaxed);
             }
@@ -85,6 +94,7 @@ impl WindowCell {
             slot.count.store(0, Ordering::Relaxed);
             slot.sum.store(0, Ordering::Relaxed);
         }
+        self.dropped.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(&self) -> WindowSnapshot {
@@ -101,6 +111,7 @@ impl WindowCell {
         slots.sort_by_key(|s| s.sec);
         WindowSnapshot {
             slot_secs: 1,
+            dropped: self.dropped.load(Ordering::Relaxed),
             slots,
         }
     }
@@ -129,6 +140,12 @@ impl TimeWindow {
     /// Captures the live slots as plain data.
     pub fn snapshot(&self) -> WindowSnapshot {
         self.cell.snapshot()
+    }
+
+    /// Previously-live slots this window has recycled (observations
+    /// lost to retention).
+    pub fn dropped_slots(&self) -> u64 {
+        self.cell.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -172,13 +189,93 @@ mod tests {
         assert_eq!(snap.slots.len(), 1);
         assert_eq!(snap.slots[0].sec, 4);
         assert_eq!(snap.slots[0].sum, 20);
+        assert_eq!(snap.dropped, 1, "the recycle is counted");
     }
 
     #[test]
     fn reset_clears_all_slots() {
         let cell = WindowCell::new(4);
         cell.record_at(0, 1);
+        cell.record_at(4_000_000_000, 1);
         cell.reset();
-        assert!(cell.snapshot().slots.is_empty());
+        let snap = cell.snapshot();
+        assert!(snap.slots.is_empty());
+        assert_eq!(snap.dropped, 0, "reset zeroes the drop tally");
+    }
+
+    const NS: u64 = 1_000_000_000;
+
+    /// A multi-hour run against a one-minute ring: every second past
+    /// the first 60 recycles exactly one previously-live slot, and the
+    /// ring retains precisely the trailing minute.
+    #[test]
+    fn multi_hour_run_retains_only_the_trailing_minute() {
+        let cell = WindowCell::new(DEFAULT_WINDOW_SLOTS);
+        let hours = 3u64;
+        let total_secs = hours * 3600;
+        for sec in 0..total_secs {
+            cell.record_at(sec * NS, sec);
+        }
+        let snap = cell.snapshot();
+        assert_eq!(snap.slots.len(), DEFAULT_WINDOW_SLOTS);
+        assert_eq!(snap.dropped, total_secs - DEFAULT_WINDOW_SLOTS as u64);
+        // Exactly the trailing minute survives, in order.
+        let first_live = total_secs - DEFAULT_WINDOW_SLOTS as u64;
+        let secs: Vec<u64> = snap.slots.iter().map(|s| s.sec).collect();
+        assert_eq!(secs, (first_live..total_secs).collect::<Vec<u64>>());
+        assert!((snap.rate_per_sec() - 1.0).abs() < 1e-9);
+    }
+
+    /// Sparse recording with multi-minute gaps: landing on a slot whose
+    /// previous tenant was hours old still recycles it exactly once,
+    /// and a never-used slot recycles for free.
+    #[test]
+    fn sparse_long_gaps_drop_once_per_recycled_slot() {
+        let cell = WindowCell::new(DEFAULT_WINDOW_SLOTS);
+        cell.record_at(7 * NS, 1);
+        // Same slot index (7 + 60), one hour later: one drop.
+        let much_later = 7 + 3600 * 60;
+        cell.record_at(much_later * NS, 2);
+        assert_eq!(cell.snapshot().dropped, 1);
+        // A different, never-used slot: no drop.
+        cell.record_at((much_later + 1) * NS, 3);
+        assert_eq!(cell.snapshot().dropped, 1);
+        // Re-recording the live second is free.
+        cell.record_at(much_later * NS, 4);
+        let snap = cell.snapshot();
+        assert_eq!(snap.dropped, 1);
+        assert_eq!(snap.total_count(), 3);
+    }
+
+    /// Out-of-order arrivals near the wrap boundary: a late record for
+    /// an already-recycled second resurrects that second's slot (and
+    /// counts another drop) rather than corrupting a neighbour.
+    #[test]
+    fn late_arrival_after_wrap_recycles_again() {
+        let cell = WindowCell::new(4);
+        cell.record_at(NS, 10);
+        cell.record_at(5 * NS, 20); // recycles second 1's slot
+        assert_eq!(cell.snapshot().dropped, 1);
+        cell.record_at(NS, 30); // late: takes the slot back
+        let snap = cell.snapshot();
+        assert_eq!(snap.dropped, 2);
+        assert_eq!(snap.slots.len(), 1);
+        assert_eq!(snap.slots[0].sec, 1);
+        assert_eq!(snap.slots[0].sum, 30, "recycle zeroed the old sum");
+    }
+
+    /// The drop tally survives serialization: a long-run snapshot
+    /// round-trips through JSON with `dropped` intact.
+    #[test]
+    fn dropped_tally_round_trips_through_snapshot_json() {
+        let cell = WindowCell::new(4);
+        for sec in 0..100u64 {
+            cell.record_at(sec * NS, 1);
+        }
+        let snap = cell.snapshot();
+        assert_eq!(snap.dropped, 96);
+        let json = serde_json::to_string(&snap).expect("window snapshot serializes");
+        let back: WindowSnapshot = serde_json::from_str(&json).expect("round-trip");
+        assert_eq!(back, snap);
     }
 }

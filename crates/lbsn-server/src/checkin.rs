@@ -3,6 +3,7 @@
 use std::fmt;
 
 use lbsn_geo::GeoPoint;
+use lbsn_obs::MemFootprint;
 use lbsn_sim::Timestamp;
 use serde::{Deserialize, Serialize};
 
@@ -131,6 +132,25 @@ pub struct CheckinRecord {
     pub rewarded: bool,
     /// Flags raised, empty iff `rewarded`.
     pub flags: Vec<CheatFlag>,
+}
+
+// Fieldless enums carried inline in records: no owned heap.
+lbsn_obs::mem_footprint_inline!(CheckinSource, CheatFlag);
+
+impl MemFootprint for CheckinRecord {
+    fn heap_bytes(&self) -> usize {
+        // Exhaustive destructure so the `mem-footprint-field-missing`
+        // lint sees every field; only `flags` owns heap.
+        let CheckinRecord {
+            venue: _,
+            at: _,
+            location: _,
+            source: _,
+            rewarded: _,
+            flags,
+        } = self;
+        flags.heap_bytes()
+    }
 }
 
 /// The server's response to a check-in.

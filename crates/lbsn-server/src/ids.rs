@@ -52,6 +52,9 @@ id_type!(
     "v"
 );
 
+// Ids are inline `u64` newtypes: no owned heap.
+lbsn_obs::mem_footprint_inline!(UserId, VenueId);
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,6 +28,14 @@
 //! | `server.rewards.points_granted` | counter | points awarded |
 //! | `server.shard.lock_wait` | histogram + sketch + window (ns) | shard-lock acquisition wait (0 on the uncontended fast path) |
 //! | `server.shard.count` | gauge | configured lock-stripe count |
+//! | `server.shard.heat.{users,venues}` | shard heat | per-shard ops / contention / wait / occupancy (the heatmap) |
+//! | `server.mem.users_bytes` | gauge | deep owned bytes of all user state at the last sample |
+//! | `server.mem.venues_bytes` | gauge | deep owned bytes of all venue state at the last sample |
+//! | `server.mem.side_maps_bytes` | gauge | deep owned bytes of usernames + spatial index + category table |
+//! | `server.mem.total_bytes` | gauge | sum of the three gauges above |
+//! | `server.mem.bytes_per_user` | gauge | `total_bytes / registered users` — the paper-scale capacity number |
+//! | `server.mem.samples` | counter | memory-sampler sweeps taken |
+//! | `server.flight.dump` | event | an explicit flight-recorder dump was requested |
 
 use std::sync::Arc;
 
@@ -83,6 +91,20 @@ pub struct ServerMetrics {
     /// Number of lock stripes over user/venue state (set once at
     /// construction).
     pub shard_count: Gauge,
+    /// Deep owned bytes of user state at the last memory sample.
+    pub mem_users_bytes: Gauge,
+    /// Deep owned bytes of venue state at the last memory sample.
+    pub mem_venues_bytes: Gauge,
+    /// Deep owned bytes of the side maps (usernames, spatial index,
+    /// category table) at the last memory sample.
+    pub mem_side_maps_bytes: Gauge,
+    /// Total of the three component gauges above.
+    pub mem_total_bytes: Gauge,
+    /// `total_bytes / registered users` — the capacity number the
+    /// scale-ladder SLO band gates on.
+    pub mem_bytes_per_user: Gauge,
+    /// Memory-sampler sweeps taken.
+    pub mem_samples: Counter,
 }
 
 impl ServerMetrics {
@@ -111,6 +133,12 @@ impl ServerMetrics {
             points_granted: r.counter(names::POINTS_GRANTED),
             shard_lock_wait: r.latency(names::SHARD_LOCK_WAIT),
             shard_count: r.gauge(names::SHARD_COUNT),
+            mem_users_bytes: r.gauge(names::MEM_USERS_BYTES),
+            mem_venues_bytes: r.gauge(names::MEM_VENUES_BYTES),
+            mem_side_maps_bytes: r.gauge(names::MEM_SIDE_MAPS_BYTES),
+            mem_total_bytes: r.gauge(names::MEM_TOTAL_BYTES),
+            mem_bytes_per_user: r.gauge(names::MEM_BYTES_PER_USER),
+            mem_samples: r.counter(names::MEM_SAMPLES),
             registry,
         }
     }

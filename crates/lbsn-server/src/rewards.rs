@@ -104,6 +104,9 @@ pub enum Badge {
     SuperMayor,
 }
 
+// Fieldless achievement enum: no owned heap.
+lbsn_obs::mem_footprint_inline!(Badge);
+
 impl Badge {
     /// All badge kinds, in award-evaluation order.
     pub const ALL: [Badge; 15] = [

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use lbsn_geo::{GeoGrid, GeoPoint, Meters};
 use lbsn_obs::names::server as obs_names;
-use lbsn_obs::Registry;
+use lbsn_obs::{MemFootprint, Registry};
 use lbsn_sim::{SimClock, Timestamp, DAY};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -38,6 +38,23 @@ use crate::{UserId, VenueId};
 /// hopping to shards outside the held set), fall back to locking every
 /// user shard — slow but guaranteed to converge.
 const MAYOR_LOCK_RETRIES: u32 = 3;
+
+/// Minimum sim-clock seconds between periodic memory samples (6
+/// virtual hours). Virtual time alone is not enough to pace the sweep:
+/// a bench advancing ~90 virtual seconds per check-in would sweep every
+/// ~240 ops, and the sweep walks the whole world. The amortization
+/// guard below adds the missing dimension.
+const MEM_SAMPLE_INTERVAL_SECS: u64 = 6 * 3600;
+
+/// Amortization guard for the periodic sweep: once a sample is due,
+/// the sweep waits for one further check-in per this many bytes the
+/// *last* sweep accounted. Walking a byte costs well under a
+/// nanosecond, so one op per 64 bytes bounds the sweep's amortized
+/// cost to a few tens of nanoseconds per check-in — noise against a
+/// multi-microsecond check-in, regardless of world size or how fast
+/// the caller spins virtual time (the obs-overhead <5% budget holds by
+/// construction). The first sweep (cost 0) runs on the first check-in.
+const MEM_SWEEP_BYTES_PER_OP: u64 = 64;
 
 /// Server-wide configuration: the admission policy plus deployment
 /// parameters. Serde-round-trippable, so a whole scenario lives in one
@@ -135,6 +152,17 @@ pub struct LbsnServer {
     venue_reg: Mutex<u64>,
     user_count: AtomicU64,
     venue_count: AtomicU64,
+    /// Sim-clock second at which the next periodic memory sample is
+    /// due; claimed by CAS so concurrent check-ins elect one sampler.
+    next_mem_sample: AtomicU64,
+    /// Bytes accounted by the last sweep — the proxy for its cost that
+    /// the amortization guard in [`LbsnServer::maybe_sample_memory`]
+    /// divides by [`MEM_SWEEP_BYTES_PER_OP`].
+    mem_sweep_cost: AtomicU64,
+    /// Check-ins observed since the current sample became due; the
+    /// guard requires enough of them to amortize the last sweep before
+    /// the next one runs.
+    mem_sweep_ops: AtomicU64,
     /// Test seam for the check-in lock-acquisition loop: called with
     /// the attempt number at the top of every iteration, with no locks
     /// held, so a test can deterministically force the mayor to hop
@@ -188,8 +216,22 @@ impl LbsnServer {
         let pipeline = AdmissionPipeline::from_policy(&config.policy, &metrics, verifiers);
         let shards = config.shards.max(1).next_power_of_two();
         metrics.shard_count.set(shards as f64);
-        let users = ShardedVec::new(ShardFamily::Users, shards, metrics.shard_lock_wait.clone());
-        let venues = ShardedVec::new(ShardFamily::Venues, shards, metrics.shard_lock_wait.clone());
+        let users = ShardedVec::new(
+            ShardFamily::Users,
+            shards,
+            metrics.shard_lock_wait.clone(),
+            metrics
+                .registry()
+                .shard_heat(&obs_names::shard_heat("users"), shards),
+        );
+        let venues = ShardedVec::new(
+            ShardFamily::Venues,
+            shards,
+            metrics.shard_lock_wait.clone(),
+            metrics
+                .registry()
+                .shard_heat(&obs_names::shard_heat("venues"), shards),
+        );
         LbsnServer {
             clock,
             config,
@@ -204,6 +246,9 @@ impl LbsnServer {
             venue_reg: Mutex::new(0),
             user_count: AtomicU64::new(0),
             venue_count: AtomicU64::new(0),
+            next_mem_sample: AtomicU64::new(0),
+            mem_sweep_cost: AtomicU64::new(0),
+            mem_sweep_ops: AtomicU64::new(0),
             #[cfg(test)]
             retry_probe: Mutex::new(None),
         }
@@ -227,6 +272,110 @@ impl LbsnServer {
     /// The number of lock stripes over user and venue state.
     pub fn shard_count(&self) -> usize {
         self.users.shard_count()
+    }
+
+    /// Elects this call to run [`LbsnServer::sample_memory`] when the
+    /// periodic sample is due at `now` *and* enough traffic has passed
+    /// to amortize the last sweep ([`MEM_SWEEP_BYTES_PER_OP`]). The
+    /// common path — sample not yet due — is one relaxed atomic load; a
+    /// CAS claims the slot so concurrent check-ins run at most one
+    /// sweep per interval.
+    fn maybe_sample_memory(&self, now: Timestamp) {
+        let due = self.next_mem_sample.load(Ordering::Relaxed);
+        if now.secs() < due {
+            return;
+        }
+        // A disabled registry degrades every update to a flag check;
+        // the sweep would walk all shards only to set muted gauges. The
+        // slot stays unclaimed, so re-enabling resumes sampling.
+        if !self.metrics.registry().is_enabled() {
+            return;
+        }
+        let ticket = self.mem_sweep_ops.fetch_add(1, Ordering::Relaxed);
+        if ticket < self.mem_sweep_cost.load(Ordering::Relaxed) / MEM_SWEEP_BYTES_PER_OP {
+            return;
+        }
+        if self
+            .next_mem_sample
+            .compare_exchange(
+                due,
+                now.secs() + MEM_SAMPLE_INTERVAL_SECS,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+        {
+            self.mem_sweep_ops.store(0, Ordering::Relaxed);
+            self.sample_memory();
+        }
+    }
+
+    /// Walks all server state, refreshing the `server.mem.*` gauges and
+    /// each shard family's occupancy column in the contention heatmap.
+    ///
+    /// Takes one shard read lock at a time — never two — so it composes
+    /// with the documented lock order from any calling context. The
+    /// sweep's own acquisitions count in the heatmap's ops column, a
+    /// deliberate choice: the heatmap answers "who touched this shard",
+    /// and the sampler did. Runs automatically every
+    /// 6 virtual hours during check-in traffic; benches and tests may
+    /// also call it directly before snapshotting.
+    pub fn sample_memory(&self) {
+        let mut user_bytes = 0usize;
+        for shard in 0..self.users.shard_count() {
+            let guard = self.users.read_shard(shard);
+            self.users.heat().set_occupancy(shard, guard.len() as u64);
+            user_bytes += guard.deep_bytes();
+        }
+        let mut venue_bytes = 0usize;
+        for shard in 0..self.venues.shard_count() {
+            let guard = self.venues.read_shard(shard);
+            self.venues.heat().set_occupancy(shard, guard.len() as u64);
+            venue_bytes += guard.deep_bytes();
+        }
+        // One leaf lock per statement — rule 4 allows no two at once.
+        let mut side_bytes = self.usernames.read().deep_bytes();
+        side_bytes += self.venue_grid.read().approx_heap_bytes();
+        side_bytes += self.venue_categories.read().deep_bytes();
+        let total = user_bytes + venue_bytes + side_bytes;
+        self.mem_sweep_cost.store(total as u64, Ordering::Relaxed);
+        self.metrics.mem_users_bytes.set(user_bytes as f64);
+        self.metrics.mem_venues_bytes.set(venue_bytes as f64);
+        self.metrics.mem_side_maps_bytes.set(side_bytes as f64);
+        self.metrics.mem_total_bytes.set(total as f64);
+        self.metrics
+            .mem_bytes_per_user
+            .set(total as f64 / self.user_count().max(1) as f64);
+        self.metrics.mem_samples.inc();
+    }
+
+    /// Arms the process-wide [`lbsn_obs::flight`] recorder: a panic
+    /// anywhere in the process (and any explicit
+    /// [`LbsnServer::dump_flight`] call) writes a forensic dump into
+    /// `dir` — last trace events, open spans, this server's final
+    /// snapshot, and, in debug builds, the lock-order sentinel's
+    /// held-lock state for the dumping thread.
+    pub fn arm_flight_recorder(&self, dir: impl Into<std::path::PathBuf>) {
+        #[cfg(debug_assertions)]
+        lbsn_obs::flight::set_held_locks_provider(Box::new(
+            crate::shard::sentinel::held_descriptions,
+        ));
+        lbsn_obs::flight::arm(Arc::clone(self.metrics.registry()), dir);
+    }
+
+    /// Writes a flight dump now (the recorder must be armed), recording
+    /// a `server.flight.dump` trace event first so the dump explains
+    /// itself. Returns the dump path, or `None` when not armed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures creating or writing the dump file.
+    pub fn dump_flight(&self, reason: &str) -> std::io::Result<Option<std::path::PathBuf>> {
+        self.metrics.registry().event(
+            obs_names::FLIGHT_DUMP_EVENT,
+            &[("reason", reason.to_string())],
+        );
+        lbsn_obs::flight::dump_flight(reason)
     }
 
     /// Registers a user; IDs are dense and incrementing from 1.
@@ -354,6 +503,8 @@ impl LbsnServer {
         evidence: Option<&CheckinEvidence>,
     ) -> Result<AdmissionOutcome, CheckinError> {
         let now = self.clock.now();
+        // No locks are held yet: safe point for the periodic sweep.
+        self.maybe_sample_memory(now);
         if self.pipeline.has_verifiers() {
             let mut span = self.metrics.registry().span(obs_names::STAGE_VERIFY);
             span.attr("user", req.user.value());
@@ -1441,5 +1592,129 @@ mod tests {
             snap.quantile_ns("server.shard.lock_wait", 0.99).is_some(),
             "lock-wait stat populated"
         );
+    }
+
+    #[test]
+    fn memory_sampler_tracks_state_and_paces_by_sim_time() {
+        let registry = Arc::new(Registry::new());
+        let server = LbsnServer::with_registry(
+            SimClock::new(),
+            ServerConfig::default(),
+            Arc::clone(&registry),
+        );
+        let venue = server.register_venue(VenueSpec::new("Cafe", abq()));
+        let user = server.register_user(UserSpec::named("measured"));
+        // The very first check-in elects itself as the sampler (the
+        // first sweep is due at virtual time zero).
+        server.check_in(&req(user, venue, abq())).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("server.mem.samples"), 1);
+        assert!(snap.gauge("server.mem.users_bytes") > 0.0);
+        assert!(snap.gauge("server.mem.venues_bytes") > 0.0);
+        assert!(snap.gauge("server.mem.side_maps_bytes") > 0.0);
+        let total = snap.gauge("server.mem.total_bytes");
+        assert_eq!(
+            total,
+            snap.gauge("server.mem.users_bytes")
+                + snap.gauge("server.mem.venues_bytes")
+                + snap.gauge("server.mem.side_maps_bytes")
+        );
+        // One registered user: per-user equals the total.
+        assert_eq!(snap.gauge("server.mem.bytes_per_user"), total);
+        // Inside the 6-virtual-hour interval no further sweep runs,
+        // however much traffic flows…
+        for _ in 0..40 {
+            server.clock().advance(Duration::minutes(2));
+            server.check_in(&req(user, venue, abq())).unwrap();
+        }
+        assert_eq!(registry.snapshot().counter("server.mem.samples"), 1);
+        // …and once the interval elapses, the sweep still waits for
+        // enough further check-ins to amortize the last sweep's cost
+        // (one per MEM_SWEEP_BYTES_PER_OP accounted bytes).
+        server.clock().advance(Duration::hours(6));
+        server.check_in(&req(user, venue, abq())).unwrap();
+        assert_eq!(
+            registry.snapshot().counter("server.mem.samples"),
+            1,
+            "the amortization guard defers the due sweep"
+        );
+        let mut ops = 0;
+        while registry.snapshot().counter("server.mem.samples") < 2 {
+            server.clock().advance(Duration::minutes(2));
+            server.check_in(&req(user, venue, abq())).unwrap();
+            ops += 1;
+            assert!(ops < 1024, "sweep never re-ran under sustained traffic");
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("server.mem.samples"), 2);
+        // The sweep also filled the occupancy column of the heatmap.
+        let heat = snap
+            .shard_heat
+            .iter()
+            .find(|h| h.family == "server.shard.heat.users")
+            .expect("users heat family in snapshot");
+        let occupied: u64 = heat.shards.iter().map(|r| r.occupancy).sum();
+        assert_eq!(occupied, 1, "one user resident across all shards");
+        assert!(heat.shards.iter().any(|r| r.ops > 0));
+    }
+
+    /// Acceptance check for the flight recorder: a worker thread killed
+    /// by the lock-order sentinel must leave a dump carrying the
+    /// violating thread's held-lock state and the retained trace.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn sentinel_kill_writes_flight_dump_with_forensics() {
+        use lbsn_obs::FlightDump;
+        let dir = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/flight-test-server"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+        let registry = Arc::new(Registry::new());
+        let server = Arc::new(LbsnServer::with_registry(
+            SimClock::new(),
+            ServerConfig::default(),
+            Arc::clone(&registry),
+        ));
+        server.register_venue(VenueSpec::new("Cafe", abq()));
+        server.register_user(UserSpec::named("witness"));
+        // A marker event that must survive into the dump's trace tail.
+        registry.event(
+            lbsn_obs::names::server::ACCOUNT_BRANDED_EVENT,
+            &[("user", "u424242".to_string())],
+        );
+        server.arm_flight_recorder(dir);
+        let worker = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                // Rule 1 violation: a user shard while holding a venue
+                // shard. The sentinel panics; the flight hook fires
+                // before unwinding releases the guards.
+                let _venue_guard = server.venues.write_shard(0);
+                let _user_guard = server.users.read_shard(0);
+            })
+        };
+        assert!(worker.join().is_err(), "sentinel must kill the worker");
+        lbsn_obs::disarm();
+        let mut found = false;
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            let dump = FlightDump::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+            if dump.reason.contains("rule 1") {
+                assert!(
+                    dump.held_locks.iter().any(|l| l.contains("venue shard 0")),
+                    "held locks must name the venue shard: {:?}",
+                    dump.held_locks
+                );
+                assert!(
+                    dump.events
+                        .iter()
+                        .any(|e| e.fields.iter().any(|(_, v)| v == "u424242")),
+                    "marker event must be in the dump's trace tail"
+                );
+                found = true;
+            }
+        }
+        assert!(found, "no dump carries the sentinel panic reason");
     }
 }

@@ -47,12 +47,16 @@
 //! latency stat: the uncontended try-lock fast path records 0 ns
 //! without reading the clock, the contended slow path records the
 //! measured wait, so the stat's p99 is a direct contention signal the
-//! SLO gate can bound.
+//! SLO gate can bound. The aggregate stat deliberately erases *which*
+//! stripe was hot, so each acquisition additionally bumps a per-shard
+//! [`ShardHeat`] row (ops always; contended count + wait only on the
+//! slow path) — the `server.shard.heat.{users,venues}` families the
+//! scale ladder renders as a contention heatmap.
 
 use std::ops::{Deref, DerefMut};
 use std::time::Instant;
 
-use lbsn_obs::LatencyStat;
+use lbsn_obs::{LatencyStat, ShardHeat};
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Which ordered family of striped locks a [`ShardedVec`] belongs to.
@@ -100,6 +104,8 @@ pub(crate) struct ShardedVec<T> {
     mask: u64,
     /// Acquisition-wait stat shared by every shard of this map.
     lock_wait: LatencyStat,
+    /// Per-shard contention heatmap rows for this family.
+    heat: ShardHeat,
 }
 
 /// Read guard for one shard, dereferencing to the shard's slot vector.
@@ -141,8 +147,13 @@ impl<T> DerefMut for ShardWriteGuard<'_, T> {
 impl<T> ShardedVec<T> {
     /// Creates an empty map with `shard_count` shards (must be a power
     /// of two ≥ 1) in lock family `family`, reporting lock waits into
-    /// `lock_wait`.
-    pub fn new(family: ShardFamily, shard_count: usize, lock_wait: LatencyStat) -> Self {
+    /// `lock_wait` and per-shard contention into `heat`.
+    pub fn new(
+        family: ShardFamily,
+        shard_count: usize,
+        lock_wait: LatencyStat,
+        heat: ShardHeat,
+    ) -> Self {
         assert!(
             shard_count.is_power_of_two(),
             "shard count must be a power of two, got {shard_count}"
@@ -156,6 +167,7 @@ impl<T> ShardedVec<T> {
             bits: shard_count.trailing_zeros(),
             mask: (shard_count - 1) as u64,
             lock_wait,
+            heat,
         }
     }
 
@@ -194,11 +206,12 @@ impl<T> ShardedVec<T> {
         let lock = &self.shards[shard].0;
         let guard = if let Some(guard) = lock.try_read() {
             self.lock_wait.record_zero();
+            self.heat.record_fast(shard);
             guard
         } else {
             let start = Instant::now();
             let guard = lock.read();
-            self.record_wait(start);
+            self.record_wait(shard, start);
             guard
         };
         ShardReadGuard {
@@ -216,11 +229,12 @@ impl<T> ShardedVec<T> {
         let lock = &self.shards[shard].0;
         let guard = if let Some(guard) = lock.try_write() {
             self.lock_wait.record_zero();
+            self.heat.record_fast(shard);
             guard
         } else {
             let start = Instant::now();
             let guard = lock.write();
-            self.record_wait(start);
+            self.record_wait(shard, start);
             guard
         };
         ShardWriteGuard {
@@ -230,9 +244,16 @@ impl<T> ShardedVec<T> {
         }
     }
 
-    fn record_wait(&self, start: Instant) {
+    fn record_wait(&self, shard: usize, start: Instant) {
         let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         self.lock_wait.record_ns(nanos);
+        self.heat.record_wait(shard, nanos);
+    }
+
+    /// This family's heatmap handle (the memory sampler refreshes its
+    /// occupancy rows while walking shards).
+    pub fn heat(&self) -> &ShardHeat {
+        &self.heat
     }
 
     /// Runs a closure against the entity with `id` under its shard's
@@ -617,6 +638,20 @@ pub(crate) mod sentinel {
     pub fn held_count() -> usize {
         HELD.with(|held| held.borrow().len())
     }
+
+    /// Human-readable descriptions of the locks the current thread
+    /// holds, in acquisition order — what the flight recorder's
+    /// held-lock provider reports when a sentinel panic fires on this
+    /// thread (panic hooks run before unwinding drops the guards, so
+    /// the violating acquisitions are still in the list).
+    pub fn held_descriptions() -> Vec<String> {
+        HELD.with(|held| {
+            held.borrow()
+                .iter()
+                .map(|e| format!("{} acquired at {}", e.node, e.site))
+                .collect()
+        })
+    }
 }
 
 #[cfg(test)]
@@ -625,18 +660,22 @@ mod tests {
     use lbsn_obs::Registry;
 
     fn map(shards: usize) -> ShardedVec<u64> {
+        let registry = Registry::new();
         ShardedVec::new(
             ShardFamily::Users,
             shards,
-            Registry::new().latency("test.lock_wait"),
+            registry.latency("test.lock_wait"),
+            registry.shard_heat("test.heat.users", shards),
         )
     }
 
     fn venue_map(shards: usize) -> ShardedVec<u64> {
+        let registry = Registry::new();
         ShardedVec::new(
             ShardFamily::Venues,
             shards,
-            Registry::new().latency("test.lock_wait"),
+            registry.latency("test.lock_wait"),
+            registry.shard_heat("test.heat.venues", shards),
         )
     }
 
@@ -687,6 +726,30 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_rejected() {
         map(6);
+    }
+
+    #[test]
+    fn heatmap_rows_track_per_shard_ops() {
+        let registry = Registry::new();
+        let m = ShardedVec::<u64>::new(
+            ShardFamily::Users,
+            4,
+            registry.latency("test.lock_wait"),
+            registry.shard_heat("test.heat.users", 4),
+        );
+        m.write_shard(1).push(7);
+        drop(m.read_shard(1));
+        drop(m.read_shard(3));
+        m.heat().set_occupancy(1, 1);
+        let snap = registry.snapshot();
+        assert_eq!(snap.shard_heat.len(), 1);
+        let fam = &snap.shard_heat[0];
+        assert_eq!(fam.shards[1].ops, 2);
+        assert_eq!(fam.shards[3].ops, 1);
+        assert_eq!(fam.shards[0].ops, 0);
+        assert_eq!(fam.shards[1].occupancy, 1);
+        // Uncontended single-threaded traffic never counts as contended.
+        assert_eq!(fam.total_contended(), 0);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::collections::{HashMap, HashSet};
 
 use lbsn_geo::GeoPoint;
+use lbsn_obs::MemFootprint;
 use lbsn_sim::Timestamp;
 use serde::{Deserialize, Serialize};
 
@@ -175,6 +176,38 @@ impl User {
     /// Badge-count accessor used by the web frontend.
     pub fn badge_count(&self) -> usize {
         self.badges.len()
+    }
+}
+
+impl MemFootprint for User {
+    fn heap_bytes(&self) -> usize {
+        // Exhaustive destructure so the `mem-footprint-field-missing`
+        // lint sees every field; inline fields contribute nothing.
+        let User {
+            id: _,
+            username,
+            home: _,
+            created_at: _,
+            history,
+            total_checkins: _,
+            valid_checkins: _,
+            flagged_checkins: _,
+            branded_cheater: _,
+            points: _,
+            badges,
+            mayorships,
+            friends,
+            visited_venues,
+            venues_by_category,
+            latest_rewarded_idx: _,
+        } = self;
+        username.heap_bytes()
+            + history.heap_bytes()
+            + badges.heap_bytes()
+            + mayorships.heap_bytes()
+            + friends.heap_bytes()
+            + visited_venues.heap_bytes()
+            + venues_by_category.heap_bytes()
     }
 }
 

@@ -3,6 +3,7 @@
 use std::collections::{HashSet, VecDeque};
 
 use lbsn_geo::GeoPoint;
+use lbsn_obs::MemFootprint;
 use lbsn_sim::Timestamp;
 use serde::{Deserialize, Serialize};
 
@@ -223,6 +224,57 @@ impl Venue {
                     ..
                 })
             )
+    }
+}
+
+// Inline leaves of venue state: no owned heap.
+lbsn_obs::mem_footprint_inline!(VenueCategory, SpecialKind);
+
+impl MemFootprint for Special {
+    fn heap_bytes(&self) -> usize {
+        let Special {
+            description,
+            kind: _,
+        } = self;
+        description.heap_bytes()
+    }
+}
+
+impl MemFootprint for Tip {
+    fn heap_bytes(&self) -> usize {
+        let Tip {
+            user: _,
+            text,
+            at: _,
+        } = self;
+        text.heap_bytes()
+    }
+}
+
+impl MemFootprint for Venue {
+    fn heap_bytes(&self) -> usize {
+        // Exhaustive destructure so the `mem-footprint-field-missing`
+        // lint sees every field; inline fields contribute nothing.
+        let Venue {
+            id: _,
+            name,
+            address,
+            location: _,
+            category: _,
+            special,
+            mayor: _,
+            checkins_here: _,
+            unique_visitors,
+            recent_visitors,
+            tips,
+            created_at: _,
+        } = self;
+        name.heap_bytes()
+            + address.heap_bytes()
+            + special.heap_bytes()
+            + unique_visitors.heap_bytes()
+            + recent_visitors.heap_bytes()
+            + tips.heap_bytes()
     }
 }
 
