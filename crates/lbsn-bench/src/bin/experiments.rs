@@ -106,6 +106,31 @@ fn main() {
     }
     eprintln!("# wrote {}/E*.json", metrics_dir.display());
 
+    // Dump each experiment's retained decision records as JSONL, one
+    // file per experiment with captured records — the corpus `obs-audit`
+    // answers forensics queries against.
+    let audit_dir = args.output.join("audit");
+    std::fs::create_dir_all(&audit_dir).expect("create audit dir");
+    let mut audit_files = 0;
+    for e in &all {
+        let Some(snapshot) = &e.metrics else { continue };
+        if snapshot.decisions.is_empty() {
+            continue;
+        }
+        let mut jsonl = String::new();
+        for record in &snapshot.decisions {
+            jsonl.push_str(&serde_json::to_string(record).expect("serialize decision record"));
+            jsonl.push('\n');
+        }
+        let path = audit_dir.join(format!("{}.jsonl", e.id));
+        std::fs::write(&path, jsonl).expect("write audit dump");
+        audit_files += 1;
+    }
+    eprintln!(
+        "# wrote {}/E*.jsonl ({audit_files} experiments with captured decisions)",
+        audit_dir.display()
+    );
+
     // Merge every experiment's sampled spans into one Chrome-trace file
     // (open in chrome://tracing or Perfetto). Bed-backed experiments
     // share one registry, so the same span can appear in several

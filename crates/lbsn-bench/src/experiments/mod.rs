@@ -74,6 +74,8 @@ pub fn run_all(scale: f64, seed: u64, output_dir: &std::path::Path) -> Vec<Exper
         with_global_metrics(e10_defenses),
         with_global_metrics(|| e11_crawl_defense(seed)),
         with_global_metrics(|| e12_cheater_code(seed)),
-        with_global_metrics(e13_policy_matrix),
+        // E13 attaches its own snapshot: every cell runs against its
+        // own registry so per-cell audit forensics don't merge.
+        e13_policy_matrix(),
     ]
 }

@@ -6,6 +6,12 @@
 //! [`ServerConfig`], optionally fronted by a Wi-Fi
 //! [`VerifierStage`](lbsn_defense::VerifierStage) — the same probe
 //! battery runs unchanged against every cell.
+//!
+//! Each cell runs against its own registry (probe user ids restart per
+//! cell, so sharing an audit plane would merge unrelated accounts), and
+//! the battery's forensics claim is checked the same way an operator
+//! would: `obs-audit why` on each flagged probe account must name the
+//! detector or verifier the cell's policy enables.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -18,6 +24,7 @@ use lbsn_server::{
 };
 use lbsn_sim::{Duration, SimClock};
 
+use crate::obsaudit::{parse_audit_input, render_why};
 use crate::report::Experiment;
 
 fn sf() -> GeoPoint {
@@ -52,6 +59,13 @@ struct Probes {
     rapid_flagged: bool,
     /// The ABQ→SF 10-minute teleport drew the speed flag.
     teleport_flagged: bool,
+    /// `obs-audit why` on the spoof account, run against the cell's
+    /// snapshot; `None` when the account drew no captured negative.
+    spoof_why: Option<String>,
+    /// `obs-audit why` on the teleporting account.
+    teleport_why: Option<String>,
+    /// The cell's full registry snapshot (for report attachment).
+    snapshot: lbsn_obs::Snapshot,
 }
 
 impl Probes {
@@ -79,7 +93,9 @@ impl Probes {
 }
 
 /// Runs the probe battery against a server built purely from `config`,
-/// optionally fronted by a venue-side Wi-Fi verifier stage.
+/// optionally fronted by a venue-side Wi-Fi verifier stage. Each cell
+/// gets its own registry: probe user ids restart from 1 every cell, so
+/// a shared audit plane would merge unrelated accounts' forensics.
 fn run_cell(config: ServerConfig, wifi: bool) -> Probes {
     let routers = Arc::new(RouterRegistry::new());
     let verifiers: Vec<Box<dyn CheckinVerifier>> = if wifi {
@@ -90,7 +106,9 @@ fn run_cell(config: ServerConfig, wifi: bool) -> Probes {
     } else {
         Vec::new()
     };
-    let server = LbsnServer::with_pipeline(SimClock::new(), config, lbsn_obs::global(), verifiers);
+    let registry = Arc::new(lbsn_obs::Registry::new());
+    let server =
+        LbsnServer::with_pipeline(SimClock::new(), config, Arc::clone(&registry), verifiers);
 
     let v_sf = server.register_venue(VenueSpec::new("Wharf Sign", sf()));
     let v_abq = server.register_venue(VenueSpec::new("Home Cafe", abq()));
@@ -155,12 +173,32 @@ fn run_cell(config: ServerConfig, wifi: bool) -> Probes {
     let teleport_flagged =
         flags(&check(runner, v_sf, sf(), sf())).contains(&CheatFlag::SuperhumanSpeed);
 
+    // Interrogate the cell exactly the way an operator would: snapshot
+    // the registry and run the `obs-audit why` query over it.
+    let snapshot = registry.snapshot();
+    let audit = parse_audit_input(&snapshot.to_json(), "cell snapshot")
+        .expect("cell snapshot parses as an audit corpus");
+    let spoof_why = render_why(&audit, cheater.value());
+    let teleport_why = render_why(&audit, runner.value());
+
     Probes {
         honest_ok,
         spoof,
         rapid_flagged,
         teleport_flagged,
+        spoof_why,
+        teleport_why,
+        snapshot,
     }
+}
+
+/// Whether an `obs-audit why` answer blames `name` — i.e. the account
+/// drew a negative decision attributed to that detector or verifier.
+fn blames(why: &Option<String>, name: &str) -> bool {
+    why.as_deref().is_some_and(|w| {
+        w.contains(&format!("| `{name}` | **fired**"))
+            || w.contains(&format!("| `{name}` | reject |"))
+    })
 }
 
 /// E13: detector on/off combinations ± Wi-Fi verifier, each cell a
@@ -182,6 +220,14 @@ pub fn e13_policy_matrix() -> Experiment {
         p.observed(),
         p.honest_ok && p.spoof == "rewarded" && p.rapid_flagged && p.teleport_flagged,
     );
+    // The undetected spoof leaves no negative evidence; the teleport's
+    // `why` must blame the speed detector with its compared values.
+    exp.row(
+        "forensics: default, no verifier",
+        "obs-audit why blames the detector the cell enables",
+        "spoof leaves no evidence; teleport blamed on superhuman-speed",
+        !blames(&p.spoof_why, "verifier-stack") && blames(&p.teleport_why, "superhuman-speed"),
+    );
 
     // Cell 2: same file, venue-side Wi-Fi verification stage installed.
     // Only the spoof's fate changes; honest traffic and the behavioural
@@ -193,6 +239,16 @@ pub fn e13_policy_matrix() -> Experiment {
         p.observed(),
         p.honest_ok && p.spoof == "dropped by verifier" && p.rapid_flagged && p.teleport_flagged,
     );
+    exp.row(
+        "forensics: default + Wi-Fi verifier",
+        "obs-audit why blames the verifier stage for the spoof drop",
+        "spoof blamed on verifier-stack; teleport blamed on superhuman-speed",
+        blames(&p.spoof_why, "verifier-stack") && blames(&p.teleport_why, "superhuman-speed"),
+    );
+    // Attach the richest cell's snapshot (verifier drop + detector
+    // flags + sampled accepts) as E13's observability record — the
+    // corpus the README forensics walkthrough queries.
+    let wifi_snapshot = p.snapshot.clone();
 
     // Cell 3: one detector ablated by editing JSON, nothing else moves.
     let p = run_cell(load_policy("no-rapid-fire.json"), false);
@@ -201,6 +257,12 @@ pub fn e13_policy_matrix() -> Experiment {
         "ablating one §2.3 rule is a one-line config edit",
         p.observed(),
         p.honest_ok && p.spoof == "rewarded" && !p.rapid_flagged && p.teleport_flagged,
+    );
+    exp.row(
+        "forensics: no-rapid-fire",
+        "the ablated rule never appears in any account's evidence",
+        "teleport still blamed on superhuman-speed, never on rapid-fire",
+        blames(&p.teleport_why, "superhuman-speed") && !blames(&p.teleport_why, "rapid-fire"),
     );
 
     // Cell 4: the pre-April-2010 service with a modern verifier bolted
@@ -213,11 +275,19 @@ pub fn e13_policy_matrix() -> Experiment {
         p.observed(),
         p.honest_ok && p.spoof == "dropped by verifier" && !p.rapid_flagged && !p.teleport_flagged,
     );
+    exp.row(
+        "forensics: detectors-off + Wi-Fi verifier",
+        "with every detector off, only the verifier can be blamed",
+        "spoof blamed on verifier-stack; teleport leaves no evidence",
+        blames(&p.spoof_why, "verifier-stack") && !blames(&p.teleport_why, "superhuman-speed"),
+    );
 
     exp.note(
-        "Every cell deserializes a committed policies/*.json into ServerConfig; \
-         the probe battery and all pipeline code are identical across cells.",
+        "Every cell deserializes a committed policies/*.json into ServerConfig and runs \
+         against its own registry; the probe battery, pipeline code, and the obs-audit \
+         forensics queries are identical across cells.",
     );
+    exp.attach_metrics(wifi_snapshot);
     exp
 }
 

@@ -12,7 +12,12 @@
 //! * the **obs-report binary** (`cargo run -p lbsn-bench --release
 //!   --bin obs-report -- baseline.json new.json`) diffs two metric
 //!   snapshots and gates the new one on an SLO policy (see
-//!   [`obsreport`]).
+//!   [`obsreport`]);
+//! * the **obs-audit binary** (`cargo run -p lbsn-bench --release
+//!   --bin obs-audit -- why <user-id> snapshot.json`) answers
+//!   forensics queries — why an account was branded, the worst
+//!   offenders, the reason histogram — against a metrics snapshot or a
+//!   decision JSONL dump (see [`obsaudit`]).
 //!
 //! Both build on [`harness::TestBed`]: a generated population replayed
 //! through the real server and crawled back into a
@@ -23,6 +28,7 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod obsaudit;
 pub mod obsreport;
 pub mod report;
 pub mod throughput;

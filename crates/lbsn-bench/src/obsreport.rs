@@ -414,6 +414,72 @@ mod tests {
     }
 
     #[test]
+    fn cross_version_baselines_diff_against_v4_runs() {
+        // One committed fixture per schema generation obs-report has
+        // ever gated on: v1 (counters/gauges/histograms only), v2
+        // (+sketches/windows/spans), v3 (+shard_heat), v4 (+audit
+        // decisions and account forensics). Every one must still load
+        // as a baseline and diff cleanly against a current-schema run.
+        let fixtures: [(u32, &str); 4] = [
+            (
+                1,
+                r#"{"counters": {"c.pages": 5}, "gauges": {}, "histograms": {}, "events": []}"#,
+            ),
+            (
+                2,
+                r#"{"schema": 2, "counters": {"c.pages": 6}, "gauges": {}, "histograms": {},
+                    "sketches": {}, "windows": {}, "events": [], "spans": []}"#,
+            ),
+            (
+                3,
+                r#"{"schema": 3, "counters": {"c.pages": 7}, "gauges": {}, "histograms": {},
+                    "sketches": {}, "windows": {}, "events": [], "spans": [], "shard_heat": []}"#,
+            ),
+            (
+                4,
+                r#"{"schema": 4, "counters": {"c.pages": 8}, "gauges": {}, "histograms": {},
+                    "sketches": {}, "windows": {}, "events": [], "spans": [], "shard_heat": [],
+                    "decisions": [], "account_forensics": []}"#,
+            ),
+        ];
+        let new = sample();
+        for (version, text) in fixtures {
+            let old = Snapshot::from_json(text)
+                .unwrap_or_else(|e| panic!("v{version} fixture must parse: {e}"));
+            assert_eq!(old.schema, version);
+            check_schema_ceiling(&old, "baseline.json")
+                .unwrap_or_else(|e| panic!("v{version} is at or below the ceiling: {e}"));
+            let report = run_report(&old, &new, &SloPolicy::default());
+            assert!(
+                report
+                    .markdown
+                    .contains(&format!("schema {version} baseline vs schema 4 run")),
+                "v{version}: {}",
+                report.markdown
+            );
+            let pages = diff_rows(&old, &new)
+                .into_iter()
+                .find(|r| r.metric == "c.pages")
+                .unwrap();
+            assert_eq!(pages.old, Some(4.0 + version as f64));
+            assert_eq!(pages.new, Some(10.0));
+        }
+    }
+
+    #[test]
+    fn exit_2_message_names_seen_and_max_versions() {
+        let snap = Snapshot {
+            schema: lbsn_obs::SNAPSHOT_SCHEMA_VERSION + 3,
+            ..Snapshot::default()
+        };
+        let err = check_schema_ceiling(&snap, "run.json").unwrap_err();
+        let seen = format!("schema {}", snap.schema);
+        let max = format!("at most {}", lbsn_obs::SNAPSHOT_SCHEMA_VERSION);
+        assert!(err.contains(&seen), "names the version seen: {err}");
+        assert!(err.contains(&max), "names the max supported: {err}");
+    }
+
+    #[test]
     fn schema_ceiling_rejects_future_snapshots() {
         let mut snap = Snapshot::default();
         assert!(check_schema_ceiling(&snap, "run.json").is_ok());

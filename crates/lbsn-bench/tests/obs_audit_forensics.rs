@@ -1,0 +1,182 @@
+//! End-to-end forensics: inject a GPS-spoofing cheater into a real
+//! server, brand the account, and verify `obs-audit why` answers with
+//! the firing detector, the values it compared, and the virtual time
+//! of the terminal decision — both through the library and through the
+//! compiled binary (exit codes 0/1/2).
+
+use std::process::Command;
+use std::sync::Arc;
+
+use lbsn_bench::obsaudit::{parse_audit_input, render_reason_histogram, render_why};
+use lbsn_geo::GeoPoint;
+use lbsn_obs::Registry;
+use lbsn_server::{
+    AdmissionOutcome, CheckinRequest, CheckinSource, LbsnServer, ServerConfig, UserId, UserSpec,
+    VenueSpec,
+};
+use lbsn_sim::{Duration, SimClock};
+
+fn wharf() -> GeoPoint {
+    GeoPoint::new(37.8080, -122.4177).unwrap()
+}
+
+fn abq() -> GeoPoint {
+    GeoPoint::new(35.0844, -106.6504).unwrap()
+}
+
+/// Stands up a default-policy server on its own registry and runs one
+/// honest user plus a GPS-spoofing cheater into branding: every spoofed
+/// check-in reports a fix ~1500 km from the venue, so `gps-proximity`
+/// flags all of them and the 10th flag crosses the default branding
+/// threshold. Returns the cheater's id and the registry.
+fn branded_cheater_bed() -> (UserId, Arc<Registry>) {
+    let registry = Arc::new(Registry::new());
+    let server = LbsnServer::with_pipeline(
+        SimClock::new(),
+        ServerConfig::default(),
+        Arc::clone(&registry),
+        Vec::new(),
+    );
+    let venue = server.register_venue(VenueSpec::new("Wharf Sign", wharf()));
+
+    let honest = server.register_user(UserSpec::anonymous());
+    let out = server
+        .check_in_with_evidence(
+            &CheckinRequest {
+                user: honest,
+                venue,
+                reported_location: wharf(),
+                source: CheckinSource::MobileApp,
+            },
+            None,
+        )
+        .unwrap();
+    assert!(matches!(out, AdmissionOutcome::Processed(o) if o.rewarded()));
+
+    let cheater = server.register_user(UserSpec::anonymous());
+    // Two-hour gaps defeat the cooldown and speed rules, isolating the
+    // GPS detector; the 10th flag (t = 9 * 7200 s = d0+18:00:00) brands.
+    for _ in 0..10 {
+        let out = server
+            .check_in_with_evidence(
+                &CheckinRequest {
+                    user: cheater,
+                    venue,
+                    reported_location: abq(),
+                    source: CheckinSource::ServerApi,
+                },
+                None,
+            )
+            .unwrap();
+        assert!(!out.rewarded(), "every spoof is flagged");
+        server.clock().advance(Duration::hours(2));
+    }
+    let account = registry.audit().account(cheater.value()).unwrap();
+    assert!(
+        account.branded,
+        "the 10th flag crosses the default threshold"
+    );
+    (cheater, registry)
+}
+
+#[test]
+fn why_names_detector_thresholds_and_terminal_time() {
+    let (cheater, registry) = branded_cheater_bed();
+    let snapshot = registry.snapshot();
+    let data = parse_audit_input(&snapshot.to_json(), "bed.json").unwrap();
+
+    let why = render_why(&data, cheater.value()).expect("cheater has captured evidence");
+    assert!(why.contains("BRANDED cheater"), "{why}");
+    // The firing detector, with the flag it raised.
+    assert!(
+        why.contains("| `gps-proximity` | **fired** (gps_mismatch) |"),
+        "{why}"
+    );
+    // The values it compared: observed spoof distance vs the 500 m
+    // default radius, in meters.
+    assert!(why.contains("| 500 | m |"), "{why}");
+    let fired_row = why
+        .lines()
+        .find(|l| l.contains("**fired**"))
+        .expect("a fired verdict row");
+    let observed: f64 = fired_row
+        .split('|')
+        .nth(3)
+        .and_then(|v| v.trim().parse().ok())
+        .expect("observed distance parses");
+    assert!(observed > 1_000_000.0, "ABQ is ~1500 km out: {fired_row}");
+    // The virtual time of the terminal (branding) decision.
+    assert!(
+        why.contains("`branded.gps_mismatch` at d0+18:00:00"),
+        "{why}"
+    );
+    assert!(why.contains("first offense d0+00:00:00"), "{why}");
+
+    let histogram = render_reason_histogram(&data).unwrap();
+    assert!(
+        histogram.contains("`rejected.gps_mismatch` | 9"),
+        "{histogram}"
+    );
+    assert!(
+        histogram.contains("`branded.gps_mismatch` | 1"),
+        "{histogram}"
+    );
+}
+
+#[test]
+fn obs_audit_binary_answers_with_documented_exit_codes() {
+    let (cheater, registry) = branded_cheater_bed();
+    let dir = std::env::temp_dir().join(format!("obs-audit-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("bed.json");
+    std::fs::write(&snap_path, registry.snapshot().to_json()).unwrap();
+    let bin = env!("CARGO_BIN_EXE_obs-audit");
+    let run = |args: &[&str]| {
+        let out = Command::new(bin)
+            .args(args)
+            .output()
+            .expect("spawn obs-audit");
+        (
+            out.status.code().unwrap(),
+            String::from_utf8_lossy(&out.stdout).to_string(),
+            String::from_utf8_lossy(&out.stderr).to_string(),
+        )
+    };
+    let snap = snap_path.to_str().unwrap();
+
+    // Exit 0: the query is answered, naming detector and thresholds.
+    let user = cheater.value().to_string();
+    let (code, stdout, _) = run(&["why", &user, snap]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("BRANDED cheater"), "{stdout}");
+    assert!(stdout.contains("`gps-proximity` | **fired**"), "{stdout}");
+    assert!(stdout.contains("| 500 | m |"), "{stdout}");
+    assert!(stdout.contains("at d0+18:00:00"), "{stdout}");
+
+    let (code, stdout, _) = run(&["top-offenders", snap]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("| yes | `gps-proximity` |"), "{stdout}");
+
+    let (code, stdout, _) = run(&["reason-histogram", snap]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("`branded.gps_mismatch`"), "{stdout}");
+
+    // Exit 1: the corpus holds no answer for an unknown account.
+    let (code, _, stderr) = run(&["why", "999999", snap]);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(stderr.contains("no captured decisions"), "{stderr}");
+
+    // Exit 2: usage and parse errors.
+    let garbage = dir.join("garbage.json");
+    std::fs::write(&garbage, "not json").unwrap();
+    let (code, _, stderr) = run(&["why", &user, garbage.to_str().unwrap()]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("neither"), "{stderr}");
+    let (code, _, _) = run(&["frobnicate", snap]);
+    assert_eq!(code, 2);
+    let (code, _, stderr) = run(&[]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("usage"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -75,18 +75,27 @@ impl VerifierStack {
 
     /// The stack's combined verdict.
     pub fn verify(&self, ctx: &VerificationContext) -> Verdict {
-        let mut any_accept = false;
+        self.verify_explained(ctx).0
+    }
+
+    /// The stack's combined verdict plus the name of the deciding
+    /// verifier: the rejecting one on [`Verdict::Reject`], the first
+    /// accepting one on [`Verdict::Accept`], and `""` when the stack
+    /// is empty or every member abstained. Feeds the decision audit
+    /// plane's verifier-vote evidence.
+    pub fn verify_explained(&self, ctx: &VerificationContext) -> (Verdict, &'static str) {
+        let mut accepted_by: Option<&'static str> = None;
         for v in &self.verifiers {
             match v.verify(ctx) {
-                Verdict::Reject => return Verdict::Reject,
-                Verdict::Accept => any_accept = true,
+                Verdict::Reject => return (Verdict::Reject, v.name()),
+                Verdict::Accept => accepted_by = accepted_by.or(Some(v.name())),
                 Verdict::Unverifiable => {}
             }
         }
-        if any_accept || self.verifiers.is_empty() {
-            Verdict::Accept
-        } else {
-            Verdict::Unverifiable
+        match accepted_by {
+            Some(name) => (Verdict::Accept, name),
+            None if self.verifiers.is_empty() => (Verdict::Accept, ""),
+            None => (Verdict::Unverifiable, ""),
         }
     }
 
@@ -258,6 +267,26 @@ mod tests {
             "honest cellular walk-in rejected"
         );
         assert!((row.detection_rate - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explained_verdicts_name_the_deciding_verifier() {
+        let stack = VerifierStack::new()
+            .push(Box::new(AddressMapping::default()))
+            .push(Box::new(WifiVerifier::narrowed(30.0)));
+        let s = scenarios();
+        // Cross-country broadband spoof: address mapping fires first.
+        let (v, name) = stack.verify_explained(&s[2].ctx);
+        assert_eq!(v, Verdict::Reject);
+        assert_eq!(name, "address-mapping");
+        // Honest walk-in: the accepting verifier is named.
+        let (v, name) = stack.verify_explained(&s[0].ctx);
+        assert_eq!(v, Verdict::Accept);
+        assert!(!name.is_empty());
+        // Empty stack accepts with no deciding verifier.
+        let (v, name) = VerifierStack::new().verify_explained(&s[0].ctx);
+        assert_eq!(v, Verdict::Accept);
+        assert_eq!(name, "");
     }
 
     #[test]

@@ -134,8 +134,12 @@ impl CheckinVerifier for VerifierStage {
     }
 
     fn verify(&self, ctx: &VerifyContext<'_>) -> VerifierVerdict {
+        self.verify_explained(ctx).0
+    }
+
+    fn verify_explained(&self, ctx: &VerifyContext<'_>) -> (VerifierVerdict, &'static str) {
         let Some(evidence) = ctx.evidence else {
-            return VerifierVerdict::Abstain;
+            return (VerifierVerdict::Abstain, "");
         };
         let ip_origin = if evidence.cellular {
             IpOrigin::CarrierHub(evidence.ip_location)
@@ -149,11 +153,13 @@ impl CheckinVerifier for VerifierStage {
             ip_origin,
             venue_has_router: self.routers.has_router(ctx.request.venue),
         };
-        match self.stack.verify(&vctx) {
+        let (verdict, decided_by) = self.stack.verify_explained(&vctx);
+        let mapped = match verdict {
             Verdict::Reject => VerifierVerdict::Reject,
             Verdict::Accept => VerifierVerdict::Admit,
             Verdict::Unverifiable => VerifierVerdict::Abstain,
-        }
+        };
+        (mapped, decided_by)
     }
 }
 

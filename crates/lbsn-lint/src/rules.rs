@@ -12,6 +12,9 @@ use crate::Violation;
 /// A string literal shaped like an observability name does not resolve
 /// against the `lbsn_obs::names` registry.
 pub const UNREGISTERED_METRIC_NAME: &str = "unregistered-metric-name";
+/// A string literal shaped like a terminal-outcome reason slug does not
+/// resolve against the `lbsn_obs::names::reasons` registry.
+pub const AUDIT_REASON_UNREGISTERED: &str = "audit-reason-unregistered";
 /// `std::sync::Mutex` / `std::sync::RwLock` used outside `vendor/`.
 pub const NO_STD_SYNC: &str = "no-std-sync";
 /// `Instant::now` / `SystemTime::now` in a simulation-clocked crate.
@@ -58,10 +61,18 @@ const POLICY_STRUCTS: &[(&str, &str)] = &[
     ("crates/lbsn-server/src/rewards.rs", "PointsPolicy"),
 ];
 
+/// The crates whose code reports terminal admission outcomes to the
+/// audit plane — the surfaces where a reason-shaped literal must
+/// resolve against the reason registry.
+const REASON_SLUG_CRATES: &[&str] = &["crates/lbsn-server/src/", "crates/lbsn-defense/src/"];
+
 /// Runs every source-level rule over one scanned `.rs` file.
 pub fn check_source(rel: &str, scan: &Scan, out: &mut Vec<Violation>) {
     let test_lines = test_region_lines(&scan.code);
     check_metric_literals(rel, scan, &test_lines, out);
+    if REASON_SLUG_CRATES.iter().any(|c| rel.starts_with(c)) {
+        check_reason_literals(rel, scan, &test_lines, out);
+    }
     check_std_sync(rel, scan, &test_lines, out);
     if SIM_CLOCKED_CRATES.iter().any(|c| rel.starts_with(c)) {
         check_wall_clock(rel, scan, &test_lines, out);
@@ -139,6 +150,65 @@ fn check_metric_literals(
                     message: format!(
                         "\"{}\" is not a registered observability name — add it to \
                          lbsn_obs::names (and use the constant here)",
+                        lit.value
+                    ),
+                },
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rule: audit-reason-unregistered
+// ---------------------------------------------------------------------
+
+/// Whether a literal is *shaped* like a terminal-outcome reason slug:
+/// the bare `accepted` tier, or a negative tier (`rejected` / `branded`
+/// / `verifier`) followed by exactly one `[a-z0-9_]` detail segment.
+/// The reason namespace is structurally disjoint from metric names —
+/// metric first segments are subsystems, never outcome tiers.
+fn reason_shaped(value: &str) -> bool {
+    let mut segments = value.split('.');
+    let Some(first) = segments.next() else {
+        return false;
+    };
+    match first {
+        "accepted" => segments.next().is_none(),
+        "rejected" | "branded" | "verifier" => {
+            let Some(detail) = segments.next() else {
+                return false;
+            };
+            segments.next().is_none()
+                && !detail.is_empty()
+                && detail
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        }
+        _ => false,
+    }
+}
+
+fn check_reason_literals(
+    rel: &str,
+    scan: &Scan,
+    test_lines: &BTreeSet<usize>,
+    out: &mut Vec<Violation>,
+) {
+    for lit in &scan.strings {
+        if test_lines.contains(&lit.line) || !reason_shaped(&lit.value) {
+            continue;
+        }
+        if !lbsn_obs::names::is_registered_reason(&lit.value) {
+            push(
+                scan,
+                out,
+                Violation {
+                    file: rel.to_string(),
+                    line: lit.line,
+                    rule: AUDIT_REASON_UNREGISTERED,
+                    message: format!(
+                        "\"{}\" is not a registered terminal-outcome reason — add it to \
+                         lbsn_obs::names::reasons so forensics tooling can resolve it",
                         lit.value
                     ),
                 },
@@ -814,6 +884,49 @@ mod tests {
             source_violations("crates/x/src/lib.rs", wrong_rule).len(),
             1
         );
+    }
+
+    #[test]
+    fn reason_shape_matcher() {
+        assert!(reason_shaped("accepted"));
+        assert!(reason_shaped("rejected.gps_mismatch"));
+        assert!(reason_shaped("branded.rapid_fire"));
+        assert!(reason_shaped("verifier.verifier_stack"));
+        assert!(!reason_shaped("accepted.extra"), "accepted has no detail");
+        assert!(!reason_shaped("rejected"), "tier alone");
+        assert!(!reason_shaped("rejected.a.b"), "too many segments");
+        assert!(!reason_shaped("rejected.Gps"), "uppercase");
+        assert!(!reason_shaped("server.checkin.total"), "metric namespace");
+        assert!(!reason_shaped("gps_mismatch"), "bare flag slug");
+    }
+
+    #[test]
+    fn unregistered_reason_is_flagged_in_gated_crates_only() {
+        let src = "fn f() -> &'static str {\n    \"rejected.gps_mismtach\"\n}\n";
+        let v = source_violations("crates/lbsn-server/src/pipeline.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, AUDIT_REASON_UNREGISTERED);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(
+            source_violations("crates/lbsn-defense/src/stage.rs", src).len(),
+            1
+        );
+        // Outside the admission surfaces the shape is not policed.
+        assert!(source_violations("crates/lbsn-bench/src/obsaudit.rs", src).is_empty());
+    }
+
+    #[test]
+    fn registered_reasons_and_waivers_pass() {
+        let ok = "fn f() -> &'static str { \"branded.rapid_fire\" }\n\
+                  fn g() -> &'static str { \"verifier.any_stage_name\" }\n\
+                  fn h() -> &'static str { \"accepted\" }\n";
+        assert!(source_violations("crates/lbsn-server/src/server.rs", ok).is_empty());
+        let waived = "// lint:allow(audit-reason-unregistered): migration pending\n\
+                      fn f() -> &'static str { \"rejected.future_rule\" }\n";
+        assert!(source_violations("crates/lbsn-server/src/server.rs", waived).is_empty());
+        let tests_exempt = "#[cfg(test)]\nmod tests {\n    \
+                            fn f() -> &'static str { \"rejected.future_rule\" }\n}\n";
+        assert!(source_violations("crates/lbsn-server/src/server.rs", tests_exempt).is_empty());
     }
 
     #[test]

@@ -27,6 +27,7 @@ use std::time::{SystemTime, UNIX_EPOCH};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::audit::DecisionRecord;
 use crate::snapshot::{EventRecord, Snapshot};
 use crate::span::OpenSpan;
 use crate::Registry;
@@ -39,6 +40,10 @@ pub type HeldLocksProvider = Box<dyn Fn() -> Vec<String> + Send + Sync>;
 
 /// Trace events retained in a dump (the tail of the ring).
 const DUMP_EVENT_TAIL: usize = 256;
+
+/// Decision records retained in a dump (the tail of the audit ring) —
+/// the admission decisions immediately preceding the failure.
+const DUMP_DECISION_TAIL: usize = 64;
 
 struct Armed {
     registry: Arc<Registry>,
@@ -65,6 +70,9 @@ pub struct FlightDump {
     pub open_spans: Vec<OpenSpan>,
     /// The tail of the trace ring, oldest first.
     pub events: Vec<EventRecord>,
+    /// The last decision records the audit plane captured, oldest
+    /// first (empty when no audit plane was resolved).
+    pub decisions: Vec<DecisionRecord>,
     /// Full metrics snapshot at dump time.
     pub snapshot: Snapshot,
 }
@@ -142,6 +150,7 @@ fn write_dump(reason: &str) -> io::Result<Option<PathBuf>> {
         held_locks,
         open_spans: registry.open_spans(),
         events,
+        decisions: registry.last_decisions(DUMP_DECISION_TAIL),
         snapshot: registry.snapshot(),
     };
     let json = serde_json::to_string_pretty(&dump).map_err(io::Error::other)?;
@@ -180,6 +189,10 @@ mod tests {
         let registry = Arc::new(Registry::new());
         registry.counter("server.checkin.accepted").add(3);
         registry.event("server.account.branded", &[("user", "9".to_string())]);
+        let plane = registry.audit();
+        let mut decision = crate::DecisionBuilder::new(9, 2, 777);
+        decision.verdict("rapid-fire", Some("rapid_fire"), 4.0, 4.0, "checkins", 50);
+        plane.finish(&decision, crate::DecisionOutcome::Branded("rapid_fire"));
         let open = registry.span_forced("server.checkin");
         set_held_locks_provider(Box::new(|| vec!["shard users[2] (test)".to_string()]));
         arm(Arc::clone(&registry), &dir);
@@ -196,6 +209,11 @@ mod tests {
             .iter()
             .any(|e| e.name == "server.account.branded"));
         assert_eq!(dump.snapshot.counter("server.checkin.accepted"), 3);
+        // The dump carries the audit tail: the branding decision that
+        // preceded the failure, evidence included.
+        assert_eq!(dump.decisions.len(), 1);
+        assert_eq!(dump.decisions[0].user, 9);
+        assert_eq!(dump.decisions[0].outcome, "branded.rapid_fire");
         drop(open);
 
         // Panic dump via the installed hook (the panic is caught, but

@@ -33,7 +33,18 @@
 //!   expose skew across lock stripes, and the [`flight`] recorder turns
 //!   a panic mid-run into a forensic dump (held locks, open spans, last
 //!   trace events, final snapshot) instead of a bare backtrace.
+//! - **Why was this account branded?** The decision [`audit`] plane
+//!   captures one wide [`DecisionRecord`] per admitted-or-refused
+//!   check-in (detector verdicts with compared thresholds, verifier
+//!   votes, reward outcomes, per-stage nanos) into a lock-striped
+//!   bounded ring with outcome-biased tail sampling — every negative is
+//!   retained, accepts are sampled 1-in-N — and folds them into
+//!   per-account [`AccountForensics`] timelines that survive ring
+//!   eviction. The `obs-audit` binary in `lbsn-bench` answers
+//!   `why <user>`, `top-offenders`, and `reason-histogram` against a
+//!   snapshot or JSONL dump.
 
+pub mod audit;
 mod export;
 pub mod flight;
 mod heat;
@@ -48,6 +59,11 @@ mod span;
 mod trace;
 mod window;
 
+pub use audit::{
+    fold_records, AccountForensics, AuditConfig, AuditPlane, DecisionBuilder, DecisionOutcome,
+    DecisionRecord, DetectorVerdict, RewardSummary, StageNanos, VerifierVote,
+    MAX_DETECTOR_VERDICTS, MAX_VERIFIER_VOTES,
+};
 pub use export::chrome_trace_json;
 pub use flight::{arm, disarm, dump_flight, FlightDump, HeldLocksProvider};
 pub use heat::ShardHeat;

@@ -155,8 +155,18 @@ pub struct ScopedTimer {
 }
 
 impl ScopedTimer {
-    /// Stops the timer now instead of at scope end.
-    pub fn stop(self) {}
+    /// Stops the timer now instead of at scope end, recording and
+    /// returning the elapsed nanoseconds (0 when the timer is inert).
+    pub fn stop(mut self) -> u64 {
+        match self.start.take() {
+            Some(start) => {
+                let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                self.histogram.record(nanos);
+                nanos
+            }
+            None => 0,
+        }
+    }
 
     /// Abandons the timer without recording.
     pub fn discard(mut self) {
@@ -247,8 +257,18 @@ pub struct LatencyTimer {
 }
 
 impl LatencyTimer {
-    /// Stops the timer now instead of at scope end.
-    pub fn stop(self) {}
+    /// Stops the timer now instead of at scope end, recording and
+    /// returning the elapsed nanoseconds (0 when the timer is inert).
+    pub fn stop(mut self) -> u64 {
+        match self.start.take() {
+            Some(start) => {
+                let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                self.stat.record_ns(nanos);
+                nanos
+            }
+            None => 0,
+        }
+    }
 
     /// Abandons the timer without recording.
     pub fn discard(mut self) {

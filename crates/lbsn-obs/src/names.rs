@@ -85,6 +85,13 @@ pub mod server {
     pub const MEM_SAMPLES: &str = "server.mem.samples";
     /// Trace event recorded when a flight dump is written.
     pub const FLIGHT_DUMP_EVENT: &str = "server.flight.dump";
+    /// Decision records the audit plane captured (negatives + sampled
+    /// accepts).
+    pub const AUDIT_RECORDS: &str = "server.audit.records";
+    /// Accepted decisions the audit tail sampler dropped.
+    pub const AUDIT_SAMPLED_OUT: &str = "server.audit.sampled_out";
+    /// Captured decision records recycled by audit-ring wrap-around.
+    pub const AUDIT_EVICTED: &str = "server.audit.evicted";
 
     /// Resolved name of the per-detector rejection counter. Dashes in
     /// the stable detector name become underscores, keeping the metric
@@ -187,6 +194,81 @@ pub mod bench {
     pub const LATENCY_STAT: &str = "bench.latency_stat";
 }
 
+/// Terminal-outcome **reason slugs** the decision audit plane writes
+/// into [`crate::DecisionRecord::outcome`]. Slugs are dot-separated like
+/// metric names but live in their own namespace — the first segment is
+/// the outcome kind (`accepted` / `rejected` / `branded` / `verifier`),
+/// structurally disjoint from the metric subsystems above. `lbsn-lint`
+/// enforces the registry with the `audit-reason-unregistered` rule:
+/// a reason-shaped literal in `lbsn-server` / `lbsn-defense` must
+/// resolve against [`REGISTERED_REASONS`].
+pub mod reasons {
+    /// The check-in was recorded and rewarded.
+    pub const ACCEPTED: &str = "accepted";
+    /// First segment of every flagged-but-not-branding reason.
+    pub const REJECTED_PREFIX: &str = "rejected.";
+    /// First segment of every reason that tipped an account into
+    /// branded-cheater status.
+    pub const BRANDED_PREFIX: &str = "branded.";
+    /// One reason per cheater-code flag, rejected tier.
+    pub const REJECTED_GPS_MISMATCH: &str = "rejected.gps_mismatch";
+    pub const REJECTED_TOO_FREQUENT: &str = "rejected.too_frequent";
+    pub const REJECTED_SUPERHUMAN_SPEED: &str = "rejected.superhuman_speed";
+    pub const REJECTED_RAPID_FIRE: &str = "rejected.rapid_fire";
+    pub const REJECTED_ACCOUNT_FLAGGED: &str = "rejected.account_flagged";
+    /// One reason per cheater-code flag, branding tier.
+    pub const BRANDED_GPS_MISMATCH: &str = "branded.gps_mismatch";
+    pub const BRANDED_TOO_FREQUENT: &str = "branded.too_frequent";
+    pub const BRANDED_SUPERHUMAN_SPEED: &str = "branded.superhuman_speed";
+    pub const BRANDED_RAPID_FIRE: &str = "branded.rapid_fire";
+    pub const BRANDED_ACCOUNT_FLAGGED: &str = "branded.account_flagged";
+    /// Dropped pre-admission by verifier stage `{verifier}`.
+    pub const VERIFIER_PATTERN: &str = "verifier.{verifier}";
+
+    /// Resolved rejected-tier reason for a flag slug.
+    pub fn rejected(flag_slug: &str) -> String {
+        format!("{}{}", REJECTED_PREFIX, flag_slug.replace('-', "_"))
+    }
+
+    /// Resolved branding-tier reason for a flag slug.
+    pub fn branded(flag_slug: &str) -> String {
+        format!("{}{}", BRANDED_PREFIX, flag_slug.replace('-', "_"))
+    }
+
+    /// Resolved reason for a verifier-stage drop. Dashes in the stable
+    /// stage name become underscores, as in the metric namespace.
+    pub fn verifier(stage: &str) -> String {
+        let stage = stage.replace('-', "_");
+        VERIFIER_PATTERN.replace("{verifier}", &stage)
+    }
+}
+
+/// Every registered terminal-outcome reason slug and pattern, the
+/// ground truth behind [`is_registered_reason`] and the
+/// `audit-reason-unregistered` lint rule.
+pub const REGISTERED_REASONS: &[&str] = &[
+    reasons::ACCEPTED,
+    reasons::REJECTED_GPS_MISMATCH,
+    reasons::REJECTED_TOO_FREQUENT,
+    reasons::REJECTED_SUPERHUMAN_SPEED,
+    reasons::REJECTED_RAPID_FIRE,
+    reasons::REJECTED_ACCOUNT_FLAGGED,
+    reasons::BRANDED_GPS_MISMATCH,
+    reasons::BRANDED_TOO_FREQUENT,
+    reasons::BRANDED_SUPERHUMAN_SPEED,
+    reasons::BRANDED_RAPID_FIRE,
+    reasons::BRANDED_ACCOUNT_FLAGGED,
+    reasons::VERIFIER_PATTERN,
+];
+
+/// Whether `reason` resolves against the reason registry. Matching is
+/// segment-wise with the same placeholder rule as [`is_registered`].
+pub fn is_registered_reason(reason: &str) -> bool {
+    REGISTERED_REASONS
+        .iter()
+        .any(|pat| segments_match(pat, reason))
+}
+
 /// Every registered name and `{placeholder}` pattern, the ground truth
 /// behind [`is_registered`] and the `lbsn-lint` name scan.
 pub const REGISTERED: &[&str] = &[
@@ -224,6 +306,9 @@ pub const REGISTERED: &[&str] = &[
     server::MEM_BYTES_PER_USER,
     server::MEM_SAMPLES,
     server::FLIGHT_DUMP_EVENT,
+    server::AUDIT_RECORDS,
+    server::AUDIT_SAMPLED_OUT,
+    server::AUDIT_EVICTED,
     crawler::PAGE_SPAN,
     crawler::FETCH,
     crawler::FETCH_PAGES,
@@ -365,5 +450,47 @@ mod tests {
         for pat in REGISTERED {
             assert!(is_registered(pat), "{pat} must match itself");
         }
+    }
+
+    #[test]
+    fn audit_plane_names_resolve() {
+        assert!(is_registered(server::AUDIT_RECORDS));
+        assert!(is_registered(server::AUDIT_SAMPLED_OUT));
+        assert!(is_registered(server::AUDIT_EVICTED));
+        assert!(!is_registered("server.audit.dropped"));
+    }
+
+    #[test]
+    fn reason_slugs_resolve() {
+        assert!(is_registered_reason(reasons::ACCEPTED));
+        assert!(is_registered_reason("rejected.gps_mismatch"));
+        assert!(is_registered_reason("branded.rapid_fire"));
+        assert!(is_registered_reason("verifier.verifier_stack"));
+        assert!(is_registered_reason(reasons::VERIFIER_PATTERN));
+        for pat in REGISTERED_REASONS {
+            assert!(is_registered_reason(pat), "{pat} must match itself");
+        }
+    }
+
+    #[test]
+    fn unregistered_reasons_are_rejected() {
+        assert!(!is_registered_reason("rejected.gps_mismtach"), "typo");
+        assert!(!is_registered_reason("rejected"), "tier alone");
+        assert!(!is_registered_reason("accepted.extra"));
+        assert!(!is_registered_reason("throttled.rapid_fire"));
+        // Reason and metric namespaces stay disjoint.
+        assert!(!is_registered(reasons::REJECTED_RAPID_FIRE));
+        assert!(!is_registered_reason(server::AUDIT_RECORDS));
+    }
+
+    #[test]
+    fn reason_builders_expand() {
+        assert_eq!(reasons::rejected("gps_mismatch"), "rejected.gps_mismatch");
+        assert_eq!(reasons::branded("rapid_fire"), "branded.rapid_fire");
+        assert_eq!(
+            reasons::verifier("verifier-stack"),
+            "verifier.verifier_stack"
+        );
+        assert!(is_registered_reason(&reasons::verifier("wifi-presence")));
     }
 }

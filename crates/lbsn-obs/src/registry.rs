@@ -7,10 +7,12 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 
+use crate::audit::{AuditConfig, AuditPlane, DecisionRecord};
 use crate::heat::{HeatCell, ShardHeat};
 use crate::metrics::{
     Counter, CounterCell, Gauge, GaugeCell, Histogram, HistogramCell, LatencyStat,
 };
+use crate::names;
 use crate::sketch::{QuantileSketch, SketchCell, DEFAULT_SKETCH_ALPHA};
 use crate::snapshot::{BucketSnapshot, HistogramSnapshot, Snapshot, SNAPSHOT_SCHEMA_VERSION};
 use crate::span::OpenSpan;
@@ -66,6 +68,7 @@ pub struct Registry {
     events: EventTrace,
     clock: Arc<ObsClock>,
     spans: Arc<SpanSink>,
+    audit: OnceLock<Arc<AuditPlane>>,
 }
 
 impl Default for Registry {
@@ -94,6 +97,7 @@ impl Registry {
                 Arc::clone(&clock),
             )),
             clock,
+            audit: OnceLock::new(),
         }
     }
 
@@ -246,6 +250,31 @@ impl Registry {
         }
     }
 
+    /// Resolves this registry's decision audit plane, creating it with
+    /// the default [`AuditConfig`] on first use.
+    pub fn audit(&self) -> Arc<AuditPlane> {
+        self.audit_with_config(AuditConfig::default())
+    }
+
+    /// Resolves the audit plane, creating it with `config` on first
+    /// use. As with histograms, the first registration wins the
+    /// configuration; later calls get the existing plane.
+    pub fn audit_with_config(&self, config: AuditConfig) -> Arc<AuditPlane> {
+        Arc::clone(
+            self.audit
+                .get_or_init(|| Arc::new(AuditPlane::new(config, Arc::clone(&self.enabled)))),
+        )
+    }
+
+    /// The `n` most recently captured decision records — what a flight
+    /// dump embeds. Empty when nothing has resolved the audit plane.
+    pub fn last_decisions(&self, n: usize) -> Vec<DecisionRecord> {
+        self.audit
+            .get()
+            .map(|plane| plane.last_decisions(n))
+            .unwrap_or_default()
+    }
+
     /// Resolves the composite latency metric `name`: one histogram, one
     /// sketch, and one window sharing the name, fed by a single timer.
     pub fn latency(&self, name: &str) -> LatencyStat {
@@ -364,6 +393,18 @@ impl Registry {
             .iter()
             .map(|(name, cell)| cell.snapshot(name))
             .collect();
+        let (decisions, account_forensics) = match self.audit.get() {
+            Some(plane) => {
+                counters.insert(names::server::AUDIT_RECORDS.to_string(), plane.records());
+                counters.insert(
+                    names::server::AUDIT_SAMPLED_OUT.to_string(),
+                    plane.sampled_out(),
+                );
+                counters.insert(names::server::AUDIT_EVICTED.to_string(), plane.evicted());
+                (plane.decisions(), plane.forensics())
+            }
+            None => (Vec::new(), Vec::new()),
+        };
         Snapshot {
             schema: SNAPSHOT_SCHEMA_VERSION,
             counters,
@@ -374,6 +415,8 @@ impl Registry {
             shard_heat,
             events: self.events.drain_copy(),
             spans: self.spans.drain_copy(),
+            decisions,
+            account_forensics,
         }
     }
 
@@ -417,6 +460,9 @@ impl Registry {
         drop(cells);
         self.events.clear();
         self.spans.clear();
+        if let Some(plane) = self.audit.get() {
+            plane.reset();
+        }
     }
 }
 
@@ -487,6 +533,52 @@ mod tests {
         let snap = registry.snapshot();
         assert_eq!(snap.shard_heat[0].shards[1].ops, 0);
         assert_eq!(snap.shard_heat[0].shards[1].occupancy, 0);
+    }
+
+    #[test]
+    fn audit_plane_snapshots_and_resets_through_the_registry() {
+        use crate::{DecisionBuilder, DecisionOutcome};
+
+        let registry = Registry::new();
+        // Before anything resolves the plane, snapshots carry no audit
+        // sections and synthesize no audit counters.
+        let snap = registry.snapshot();
+        assert!(snap.decisions.is_empty());
+        assert!(!snap.counters.contains_key("server.audit.records"));
+        assert!(registry.last_decisions(64).is_empty());
+
+        let plane = registry.audit_with_config(AuditConfig {
+            capacity: 8,
+            stripes: 1,
+            sample_every: 1,
+        });
+        // First registration wins the configuration.
+        let again = registry.audit();
+        assert!(Arc::ptr_eq(&plane, &again));
+
+        let mut b = DecisionBuilder::new(5, 1, 100);
+        b.verdict("rapid-fire", Some("rapid_fire"), 4.0, 4.0, "checkins", 10);
+        plane.finish(&b, DecisionOutcome::Rejected("rapid_fire"));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("server.audit.records"), 1);
+        assert_eq!(snap.counter("server.audit.sampled_out"), 0);
+        assert_eq!(snap.counter("server.audit.evicted"), 0);
+        assert_eq!(snap.decisions.len(), 1);
+        assert_eq!(snap.account_forensics.len(), 1);
+        assert_eq!(snap.account_forensics[0].user, 5);
+        assert_eq!(registry.last_decisions(64).len(), 1);
+
+        // The plane shares the registry's enabled flag.
+        registry.set_enabled(false);
+        plane.finish(&b, DecisionOutcome::Rejected("rapid_fire"));
+        registry.set_enabled(true);
+        assert_eq!(plane.records(), 1);
+
+        registry.reset();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("server.audit.records"), 0);
+        assert!(snap.decisions.is_empty());
+        assert!(snap.account_forensics.is_empty());
     }
 
     #[test]

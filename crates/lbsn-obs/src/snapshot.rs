@@ -7,22 +7,26 @@
 //! `sketches` (log-bucket quantile sketches), `windows` (per-second
 //! ring slots), and `spans` (finished sampled spans); version 3 adds
 //! `shard_heat` (per-shard contention heatmap rows) and a `dropped`
-//! retention tally on each window. Deserialization is
+//! retention tally on each window; version 4 adds `decisions` (retained
+//! wide admission records from the audit plane) and `account_forensics`
+//! (per-account evidence timelines). Deserialization is
 //! backward-compatible: a v1 document (no `schema` field) parses with
-//! the new collections empty and `schema == 1`, and a v2 document
-//! parses with `shard_heat` empty and window `dropped` zero, so
-//! `obs-report` can diff old baselines against new runs. Documents
-//! *newer* than this build are rejected by `obs-report` (exit 2)
-//! instead of silently dropping sections it can't see.
+//! the new collections empty and `schema == 1`, a v2 document parses
+//! with `shard_heat` empty and window `dropped` zero, and a v3 document
+//! parses with the audit sections empty, so `obs-report` can diff old
+//! baselines against new runs. Documents *newer* than this build are
+//! rejected by `obs-report` (exit 2) instead of silently dropping
+//! sections it can't see.
 
 use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
+use crate::audit::{AccountForensics, DecisionRecord};
 use crate::span::SpanRecord;
 
 /// The snapshot JSON schema version written by this build.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 3;
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 4;
 
 /// One histogram bucket: observations `<= le` (the last bucket has
 /// `le == u64::MAX` and catches overflow).
@@ -327,6 +331,12 @@ pub struct Snapshot {
     pub events: Vec<EventRecord>,
     /// Retained finished spans, oldest first (schema ≥ 2).
     pub spans: Vec<SpanRecord>,
+    /// Retained wide admission records from the audit plane, ascending
+    /// by capture sequence (schema ≥ 4).
+    pub decisions: Vec<DecisionRecord>,
+    /// Per-account evidence timelines, ascending by user id
+    /// (schema ≥ 4).
+    pub account_forensics: Vec<AccountForensics>,
 }
 
 impl Default for Snapshot {
@@ -341,13 +351,16 @@ impl Default for Snapshot {
             shard_heat: Vec::new(),
             events: Vec::new(),
             spans: Vec::new(),
+            decisions: Vec::new(),
+            account_forensics: Vec::new(),
         }
     }
 }
 
 // Hand-written so v1 documents (no `schema`, `sketches`, `windows`, or
-// `spans` fields) and v2 documents (no `shard_heat`) still parse; the
-// vendored serde derive requires every field to be present.
+// `spans` fields), v2 documents (no `shard_heat`), and v3 documents (no
+// `decisions` / `account_forensics`) still parse; the vendored serde
+// derive requires every field to be present.
 impl Deserialize for Snapshot {
     fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
         let obj = v
@@ -381,6 +394,8 @@ impl Deserialize for Snapshot {
             shard_heat: optional(obj, "shard_heat")?,
             events: required(obj, "events")?,
             spans: optional(obj, "spans")?,
+            decisions: optional(obj, "decisions")?,
+            account_forensics: optional(obj, "account_forensics")?,
         })
     }
 }
@@ -391,7 +406,7 @@ impl Snapshot {
         serde_json::to_string_pretty(self).expect("snapshot serializes")
     }
 
-    /// Parses a snapshot from JSON text (schema 1, 2, or 3).
+    /// Parses a snapshot from JSON text (schema 1 through 4).
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(json)
     }
@@ -530,6 +545,38 @@ mod tests {
                 name: "flag".to_string(),
             }],
         });
+        snapshot.decisions.push(DecisionRecord {
+            seq: 0,
+            user: 7,
+            venue: 3,
+            at_secs: 3600,
+            outcome: "rejected.gps_mismatch".to_string(),
+            detectors: vec![crate::DetectorVerdict {
+                detector: "gps-proximity".to_string(),
+                fired: true,
+                flag: "gps_mismatch".to_string(),
+                observed: 1512.0,
+                threshold: 150.0,
+                unit: "m".to_string(),
+                elapsed_ns: 900,
+            }],
+            votes: vec![crate::VerifierVote {
+                verifier: "verifier-stack".to_string(),
+                vote: "admit".to_string(),
+                evidence: String::new(),
+            }],
+            reward: crate::RewardSummary::default(),
+            stage_ns: crate::StageNanos {
+                verify: 0,
+                detect: 1000,
+                record: 400,
+                rewards: 0,
+                total: 1500,
+            },
+        });
+        let mut account = AccountForensics::new(7);
+        account.fold(&snapshot.decisions[0]);
+        snapshot.account_forensics.push(account);
         let back = Snapshot::from_json(&snapshot.to_json()).unwrap();
         assert_eq!(back, snapshot);
         assert_eq!(back.schema, SNAPSHOT_SCHEMA_VERSION);
@@ -560,6 +607,8 @@ mod tests {
         assert!(snap.windows.is_empty());
         assert!(snap.shard_heat.is_empty());
         assert!(snap.spans.is_empty());
+        assert!(snap.decisions.is_empty());
+        assert!(snap.account_forensics.is_empty());
         // quantile_ns falls back to the histogram for v1 documents.
         assert_eq!(snap.quantile_ns("server.checkin.total", 0.99), Some(512));
         assert_eq!(snap.quantile_ns("absent.metric", 0.5), None);
@@ -603,7 +652,51 @@ mod tests {
         assert_eq!(snap.windows["server.checkin.total"].total_count(), 3);
         assert!(snap.shard_heat.is_empty());
         assert_eq!(snap.spans.len(), 1);
+        assert!(snap.decisions.is_empty());
+        assert!(snap.account_forensics.is_empty());
         assert_eq!(snap.quantile_ns("server.checkin.total", 0.5), Some(100));
+    }
+
+    #[test]
+    fn v3_documents_still_parse() {
+        // A schema-3 snapshot as PR 6 wrote them: shard_heat and window
+        // `dropped` are present, but there is no audit plane — no
+        // `decisions` or `account_forensics` sections.
+        let v3 = r#"{
+            "schema": 3,
+            "counters": {"server.checkin.rejected": 2},
+            "gauges": {"server.mem.bytes_per_user": 412.5},
+            "histograms": {},
+            "sketches": {},
+            "windows": {
+                "server.checkin.total": {
+                    "slot_secs": 1,
+                    "dropped": 4,
+                    "slots": [{"sec": 9, "count": 1, "sum": 11}]
+                }
+            },
+            "shard_heat": [{
+                "family": "server.shard.heat.users",
+                "shards": [{
+                    "shard": 0, "ops": 12, "contended": 1,
+                    "wait_total_ns": 800, "wait_max_ns": 800,
+                    "occupancy": 3
+                }]
+            }],
+            "events": [],
+            "spans": []
+        }"#;
+        let snap = Snapshot::from_json(v3).unwrap();
+        assert_eq!(snap.schema, 3);
+        assert_eq!(snap.counter("server.checkin.rejected"), 2);
+        assert_eq!(snap.windows["server.checkin.total"].dropped, 4);
+        assert_eq!(snap.shard_heat.len(), 1);
+        assert!(snap.decisions.is_empty());
+        assert!(snap.account_forensics.is_empty());
+        // And a v3 document re-serialized by this build round-trips as
+        // v4 shape with the audit sections empty.
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
     }
 
     #[test]

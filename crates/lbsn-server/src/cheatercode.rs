@@ -36,6 +36,35 @@ pub struct RuleContext<'a> {
     pub now: Timestamp,
 }
 
+/// A rule's verdict *with the evidence it compared*: the measured value
+/// against the configured threshold. Captured by the decision audit
+/// plane so `obs-audit why <user>` can print not just *which* rule
+/// fired but *what it saw* (e.g. `4,431 m vs 500 m`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Judgement {
+    /// The flag the rule raises, or `None`.
+    pub flag: Option<CheatFlag>,
+    /// The value the rule measured (meters, seconds, m/s, …).
+    pub observed: f64,
+    /// The configured threshold it was compared against.
+    pub threshold: f64,
+    /// Unit of `observed` / `threshold`; empty when the rule has no
+    /// scalar evidence.
+    pub unit: &'static str,
+}
+
+impl Judgement {
+    /// A pass/fail verdict with no scalar evidence.
+    pub fn bare(flag: Option<CheatFlag>) -> Self {
+        Judgement {
+            flag,
+            observed: 0.0,
+            threshold: 0.0,
+            unit: "",
+        }
+    }
+}
+
 /// A server-side anti-cheating rule.
 ///
 /// Rules are pure judgements: they return the flag they would raise, or
@@ -47,6 +76,14 @@ pub trait CheatRule: Send + Sync {
     fn name(&self) -> &'static str;
     /// Judge a check-in.
     fn check(&self, ctx: &RuleContext<'_>) -> Option<CheatFlag>;
+    /// Judge a check-in and report the compared evidence. The default
+    /// wraps [`CheatRule::check`] with no scalar evidence; the standard
+    /// rules override it (and implement `check` on top), so the audit
+    /// plane records exactly the observed-vs-threshold pair the rule
+    /// actually evaluated.
+    fn judge(&self, ctx: &RuleContext<'_>) -> Judgement {
+        Judgement::bare(self.check(ctx))
+    }
     /// Whether a raised flag ends detection outright: when a terminal
     /// detector fires, its flag is the check-in's *only* flag and no
     /// later detector runs. The branded-account detector is terminal
@@ -71,10 +108,16 @@ impl CheatRule for GpsProximityRule {
     }
 
     fn check(&self, ctx: &RuleContext<'_>) -> Option<CheatFlag> {
-        if distance(ctx.request.reported_location, ctx.venue.location) > self.radius_m {
-            Some(CheatFlag::GpsMismatch)
-        } else {
-            None
+        self.judge(ctx).flag
+    }
+
+    fn judge(&self, ctx: &RuleContext<'_>) -> Judgement {
+        let dist = distance(ctx.request.reported_location, ctx.venue.location);
+        Judgement {
+            flag: (dist > self.radius_m).then_some(CheatFlag::GpsMismatch),
+            observed: dist,
+            threshold: self.radius_m,
+            unit: "m",
         }
     }
 }
@@ -92,19 +135,31 @@ impl CheatRule for FrequentCheckinRule {
     }
 
     fn check(&self, ctx: &RuleContext<'_>) -> Option<CheatFlag> {
+        self.judge(ctx).flag
+    }
+
+    fn judge(&self, ctx: &RuleContext<'_>) -> Judgement {
         // Only rewarded check-ins arm the cooldown; otherwise a flagged
         // retry would keep extending its own punishment window.
-        let recent_same_venue = ctx
-            .user
-            .history
-            .iter()
-            .rev()
-            .take_while(|r| ctx.now.since(r.at) < self.cooldown)
-            .any(|r| r.rewarded && r.venue == ctx.request.venue);
-        if recent_same_venue {
-            Some(CheatFlag::TooFrequent)
-        } else {
-            None
+        let threshold = self.cooldown.as_secs() as f64;
+        let mut observed = threshold;
+        let mut flag = None;
+        for r in ctx.user.history.iter().rev() {
+            let gap = ctx.now.since(r.at);
+            if gap >= self.cooldown {
+                break;
+            }
+            if r.rewarded && r.venue == ctx.request.venue {
+                observed = gap.as_secs() as f64;
+                flag = Some(CheatFlag::TooFrequent);
+                break;
+            }
+        }
+        Judgement {
+            flag,
+            observed,
+            threshold,
+            unit: "s",
         }
     }
 }
@@ -130,20 +185,32 @@ impl CheatRule for SuperhumanSpeedRule {
     }
 
     fn check(&self, ctx: &RuleContext<'_>) -> Option<CheatFlag> {
-        let prev = ctx.user.last_valid_checkin()?;
+        self.judge(ctx).flag
+    }
+
+    fn judge(&self, ctx: &RuleContext<'_>) -> Judgement {
+        let pass = Judgement {
+            flag: None,
+            observed: 0.0,
+            threshold: self.max_speed_mps,
+            unit: "mps",
+        };
+        let Some(prev) = ctx.user.last_valid_checkin() else {
+            return pass;
+        };
         let gap = ctx.now.since(prev.at);
         if gap > self.max_gap {
-            return None;
+            return pass;
         }
         let speed = lbsn_geo::implied_speed_mps(
             prev.location,
             ctx.request.reported_location,
             gap.as_secs() as f64,
         );
-        if speed > self.max_speed_mps {
-            Some(CheatFlag::SuperhumanSpeed)
-        } else {
-            None
+        Judgement {
+            flag: (speed > self.max_speed_mps).then_some(CheatFlag::SuperhumanSpeed),
+            observed: speed,
+            ..pass
         }
     }
 }
@@ -166,8 +233,19 @@ impl CheatRule for RapidFireRule {
     }
 
     fn check(&self, ctx: &RuleContext<'_>) -> Option<CheatFlag> {
+        self.judge(ctx).flag
+    }
+
+    fn judge(&self, ctx: &RuleContext<'_>) -> Judgement {
+        let threshold = self.count as f64;
+        let pass = Judgement {
+            flag: None,
+            observed: 1.0,
+            threshold,
+            unit: "checkins",
+        };
         if self.count < 2 {
-            return None;
+            return pass;
         }
         // Chain backwards through history while consecutive intervals
         // stay within the burst spacing.
@@ -183,13 +261,14 @@ impl CheatRule for RapidFireRule {
                 break;
             }
         }
+        let observed = burst.len() as f64;
         if burst.len() < self.count {
-            return None;
+            return Judgement { observed, ..pass };
         }
-        if square_extent_m(&burst) <= self.square_m {
-            Some(CheatFlag::RapidFire)
-        } else {
-            None
+        Judgement {
+            flag: (square_extent_m(&burst) <= self.square_m).then_some(CheatFlag::RapidFire),
+            observed,
+            ..pass
         }
     }
 }

@@ -104,6 +104,20 @@ pub enum CheatFlag {
     AccountFlagged,
 }
 
+impl CheatFlag {
+    /// Stable snake_case slug for reason composition (audit plane) and
+    /// the `server.checkin.flag.*` metric suffixes.
+    pub fn slug(self) -> &'static str {
+        match self {
+            CheatFlag::GpsMismatch => "gps_mismatch",
+            CheatFlag::TooFrequent => "too_frequent",
+            CheatFlag::SuperhumanSpeed => "superhuman_speed",
+            CheatFlag::RapidFire => "rapid_fire",
+            CheatFlag::AccountFlagged => "account_flagged",
+        }
+    }
+}
+
 impl fmt::Display for CheatFlag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

@@ -50,7 +50,7 @@ pub use checkin::{
 pub use ids::{UserId, VenueId};
 pub use metrics::ServerMetrics;
 pub use pipeline::{
-    AdmissionPipeline, BrandedAccountDetector, CheckinVerifier, Detector, RewardContext,
+    AdmissionPipeline, BrandedAccountDetector, CheckinVerifier, Detector, Judgement, RewardContext,
     RewardRule, VerifierVerdict, VerifyContext,
 };
 pub use policy::{DetectorConfig, PolicyConfig, RewardConfig};

@@ -36,11 +36,19 @@
 //! | `server.mem.bytes_per_user` | gauge | `total_bytes / registered users` — the paper-scale capacity number |
 //! | `server.mem.samples` | counter | memory-sampler sweeps taken |
 //! | `server.flight.dump` | event | an explicit flight-recorder dump was requested |
+//! | `server.audit.records` | counter (synthesized) | decision records captured by the audit plane |
+//! | `server.audit.sampled_out` | counter (synthesized) | accepted decisions dropped by 1-in-N tail sampling |
+//! | `server.audit.evicted` | counter (synthesized) | captured records recycled out of the bounded audit ring |
+//!
+//! The three `server.audit.*` counters are synthesized into snapshots
+//! by the registry from the audit plane's own atomics (like the
+//! `trace.*` counters) — the server holds the plane handle, not
+//! separate counter cells, so nothing double-counts.
 
 use std::sync::Arc;
 
 use lbsn_obs::names::server as names;
-use lbsn_obs::{Counter, Gauge, Histogram, LatencyStat, Registry};
+use lbsn_obs::{AuditPlane, Counter, Gauge, Histogram, LatencyStat, Registry};
 
 use crate::checkin::CheatFlag;
 
@@ -105,6 +113,10 @@ pub struct ServerMetrics {
     pub mem_bytes_per_user: Gauge,
     /// Memory-sampler sweeps taken.
     pub mem_samples: Counter,
+    /// The decision audit plane: one wide event per admission decision,
+    /// resolved once (default [`lbsn_obs::AuditConfig`]) so the check-in
+    /// hot path pays no `OnceLock` probe.
+    pub audit: Arc<AuditPlane>,
 }
 
 impl ServerMetrics {
@@ -139,6 +151,7 @@ impl ServerMetrics {
             mem_total_bytes: r.gauge(names::MEM_TOTAL_BYTES),
             mem_bytes_per_user: r.gauge(names::MEM_BYTES_PER_USER),
             mem_samples: r.counter(names::MEM_SAMPLES),
+            audit: r.audit(),
             registry,
         }
     }

@@ -39,7 +39,7 @@
 //! request, the venue's registered location, and the evidence.
 
 use lbsn_geo::GeoPoint;
-use lbsn_obs::{Counter, Histogram};
+use lbsn_obs::{Counter, DecisionBuilder, Histogram};
 use lbsn_sim::Timestamp;
 
 use crate::checkin::{CheatFlag, CheckinEvidence, CheckinRequest};
@@ -51,7 +51,7 @@ use crate::user::User;
 use crate::venue::{SpecialKind, Venue, VenueCategory};
 use crate::VenueId;
 
-pub use crate::cheatercode::{CheatRule as Detector, RuleContext};
+pub use crate::cheatercode::{CheatRule as Detector, Judgement, RuleContext};
 use crate::cheatercode::{
     FrequentCheckinRule, GpsProximityRule, RapidFireRule, SuperhumanSpeedRule,
 };
@@ -75,6 +75,16 @@ impl Detector for BrandedAccountDetector {
         ctx.user
             .branded_cheater
             .then_some(CheatFlag::AccountFlagged)
+    }
+
+    fn judge(&self, ctx: &RuleContext<'_>) -> Judgement {
+        let branded = ctx.user.branded_cheater;
+        Judgement {
+            flag: branded.then_some(CheatFlag::AccountFlagged),
+            observed: if branded { 1.0 } else { 0.0 },
+            threshold: 1.0,
+            unit: "branded",
+        }
     }
 
     fn is_terminal(&self) -> bool {
@@ -121,6 +131,12 @@ pub trait CheckinVerifier: Send + Sync {
     fn name(&self) -> &'static str;
     /// Judge a check-in.
     fn verify(&self, ctx: &VerifyContext<'_>) -> VerifierVerdict;
+    /// Judge a check-in and name the deciding inner mechanism (e.g. the
+    /// rejecting verifier inside a composite stack), for the decision
+    /// audit plane. The default reports no inner evidence.
+    fn verify_explained(&self, ctx: &VerifyContext<'_>) -> (VerifierVerdict, &'static str) {
+        (self.verify(ctx), "")
+    }
 }
 
 /// Mutable state a [`RewardRule`] works against: the locked user shard
@@ -566,12 +582,25 @@ impl AdmissionPipeline {
     }
 
     /// Runs the verifier stages in order; the first [`Reject`]
-    /// short-circuits and its stage name is returned.
+    /// short-circuits and its stage name is returned. Every consulted
+    /// stage's vote (with inner evidence, when the stage reports any)
+    /// lands on the decision builder.
     ///
     /// [`Reject`]: VerifierVerdict::Reject
-    pub(crate) fn verify(&self, ctx: &VerifyContext<'_>) -> Option<&'static str> {
+    pub(crate) fn verify(
+        &self,
+        ctx: &VerifyContext<'_>,
+        decision: &mut DecisionBuilder,
+    ) -> Option<&'static str> {
         for v in &self.verifiers {
-            if v.verifier.verify(ctx) == VerifierVerdict::Reject {
+            let (verdict, evidence) = v.verifier.verify_explained(ctx);
+            let vote = match verdict {
+                VerifierVerdict::Admit => "admit",
+                VerifierVerdict::Reject => "reject",
+                VerifierVerdict::Abstain => "abstain",
+            };
+            decision.vote(v.verifier.name(), vote, evidence);
+            if verdict == VerifierVerdict::Reject {
                 v.rejected.inc();
                 return Some(v.verifier.name());
             }
@@ -581,14 +610,28 @@ impl AdmissionPipeline {
 
     /// Runs every detector; returns all flags raised (deduplicated, in
     /// detector order). A terminal detector that fires short-circuits
-    /// the chain and its flag is the only one reported.
-    pub(crate) fn detect(&self, ctx: &RuleContext<'_>) -> Vec<CheatFlag> {
+    /// the chain and its flag is the only one reported. Each consulted
+    /// detector's verdict — evidence values and per-detector cost
+    /// included — lands on the decision builder.
+    pub(crate) fn detect(
+        &self,
+        ctx: &RuleContext<'_>,
+        decision: &mut DecisionBuilder,
+    ) -> Vec<CheatFlag> {
         let mut flags = Vec::new();
         for d in &self.detectors {
             let timer = d.latency.start_timer();
-            let fired = d.detector.check(ctx);
-            timer.stop();
-            if let Some(f) = fired {
+            let judgement = d.detector.judge(ctx);
+            let elapsed_ns = timer.stop();
+            decision.verdict(
+                d.detector.name(),
+                judgement.flag.map(CheatFlag::slug),
+                judgement.observed,
+                judgement.threshold,
+                judgement.unit,
+                elapsed_ns,
+            );
+            if let Some(f) = judgement.flag {
                 d.rejected.inc();
                 if d.detector.is_terminal() {
                     return vec![f];
@@ -769,7 +812,8 @@ mod tests {
             evidence: None,
             now: Timestamp(0),
         };
-        assert_eq!(p.verify(&ctx), Some("always-reject"));
+        let mut decision = DecisionBuilder::new(1, 1, 0);
+        assert_eq!(p.verify(&ctx, &mut decision), Some("always-reject"));
         let snap = registry.snapshot();
         assert_eq!(
             snap.counter("server.checkin.verifier.always_reject.rejected"),

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use lbsn_geo::{GeoGrid, GeoPoint, Meters};
 use lbsn_obs::names::server as obs_names;
-use lbsn_obs::{MemFootprint, Registry};
+use lbsn_obs::{DecisionBuilder, DecisionOutcome, MemFootprint, Registry};
 use lbsn_sim::{SimClock, Timestamp, DAY};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -505,6 +505,10 @@ impl LbsnServer {
         let now = self.clock.now();
         // No locks are held yet: safe point for the periodic sweep.
         self.maybe_sample_memory(now);
+        // The wide-event accumulator for this decision: stack-allocated,
+        // `Copy` contents only, so the unsampled accept path allocates
+        // nothing (see `lbsn_obs::audit`).
+        let mut decision = DecisionBuilder::new(req.user.value(), req.venue.value(), now.secs());
         if self.pipeline.has_verifiers() {
             let mut span = self.metrics.registry().span(obs_names::STAGE_VERIFY);
             span.attr("user", req.user.value());
@@ -519,12 +523,15 @@ impl LbsnServer {
                 evidence,
                 now,
             };
-            let rejected_by = self.pipeline.verify(&ctx);
-            stage.stop();
+            let rejected_by = self.pipeline.verify(&ctx, &mut decision);
+            decision.verify_ns(stage.stop());
             if let Some(verifier) = rejected_by {
                 self.metrics.verifier_rejected.inc();
                 span.event_with(|| format!("verifier.rejected.{verifier}"));
                 span.end();
+                self.metrics
+                    .audit
+                    .finish(&decision, DecisionOutcome::VerifierRejected(verifier));
                 return Ok(AdmissionOutcome::VerifierRejected { verifier });
             }
             span.end();
@@ -586,7 +593,7 @@ impl LbsnServer {
                 }
             }
             return Ok(AdmissionOutcome::Processed(
-                self.check_in_locked(req, now, uset, vguard, venue_slot),
+                self.check_in_locked(req, now, decision, uset, vguard, venue_slot),
             ));
         }
     }
@@ -597,6 +604,7 @@ impl LbsnServer {
         &self,
         req: &CheckinRequest,
         now: Timestamp,
+        mut decision: DecisionBuilder,
         mut uset: WriteSet<'_, User>,
         mut vguard: ShardWriteGuard<'_, Venue>,
         venue_slot: usize,
@@ -624,9 +632,9 @@ impl LbsnServer {
                 request: req,
                 now,
             };
-            self.pipeline.detect(&ctx)
+            self.pipeline.detect(&ctx, &mut decision)
         };
-        stage.stop();
+        decision.detect_ns(stage.stop());
         stage_span.end();
         for &flag in &flags {
             self.metrics.flag_counter(flag).inc();
@@ -700,9 +708,18 @@ impl LbsnServer {
             drop(vguard);
             drop(uset);
             self.strip_mayor_seats(req.user, &stripped);
-            stage.stop();
+            decision.record_ns(stage.stop());
             stage_span.end();
-            total_timer.stop();
+            decision.total_ns(total_timer.stop());
+            // The terminal reason is the *first* flag raised (detector
+            // order); branding on this decision escalates it.
+            let flag_slug = flags.first().map(|f| f.slug()).unwrap_or("");
+            let outcome = if branded_now {
+                DecisionOutcome::Branded(flag_slug)
+            } else {
+                DecisionOutcome::Rejected(flag_slug)
+            };
+            self.metrics.audit.finish(&decision, outcome);
             return CheckinOutcome {
                 user: req.user,
                 venue: req.venue,
@@ -716,7 +733,7 @@ impl LbsnServer {
             };
         }
 
-        stage.stop();
+        decision.record_ns(stage.stop());
         stage_span.end();
         self.metrics.accepted.inc();
 
@@ -765,9 +782,18 @@ impl LbsnServer {
         }
         self.metrics.badges_granted.add(new_badges.len() as u64);
         self.metrics.points_granted.add(points);
-        stage.stop();
+        decision.reward(
+            points,
+            new_badges.len() as u64,
+            became_mayor,
+            special_unlocked.is_some(),
+        );
+        decision.rewards_ns(stage.stop());
         stage_span.end();
-        total_timer.stop();
+        decision.total_ns(total_timer.stop());
+        self.metrics
+            .audit
+            .finish(&decision, DecisionOutcome::Accepted);
 
         CheckinOutcome {
             user: req.user,
