@@ -1,0 +1,219 @@
+//! Open-loop tail latency of the batched request frontend.
+//!
+//! Two parts, mirroring `checkin_throughput`:
+//!
+//! * criterion groups (`checkin_frontend/rate-F/batch-B/depth-D`)
+//!   timing one full open-loop run per iteration across the arrival
+//!   rate × `batch_max` × queue-depth grid — the relative view;
+//! * a report pass that calibrates the backend's batch-drain rate μ,
+//!   then measures sojourn (submit→decision) p50/p99/p999 and shed
+//!   ratio at 0.5×, 0.9×, and 1.2× μ, plus the contended-venue
+//!   batched-vs-per-op throughput ratio, and writes
+//!   `BENCH_checkin_frontend.json` at the repo root — the committed
+//!   trajectory CI's `bench-smoke` job regenerates.
+//!
+//! Closed-loop drivers cannot overload the server (each thread waits
+//! for its own previous op), so the shed path and queueing tail only
+//! show up here: arrivals follow a Poisson schedule that does not slow
+//! down when the server does (see [`lbsn_bench::throughput`]).
+//!
+//! `LBSN_BENCH_QUICK=1` shrinks arrival counts for CI smoke runs (the
+//! JSON records which mode produced it).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, Criterion};
+use lbsn_bench::throughput::{
+    calibrate_drain_rate, run, run_batched, run_open_loop, OpenLoopConfig, OpenLoopResult,
+    ThroughputConfig, Workload,
+};
+use lbsn_server::FrontendConfig;
+
+/// Load factors relative to the calibrated drain rate μ: comfortably
+/// under, near saturation, and past it.
+const LOAD_FACTORS: [f64; 3] = [0.5, 0.9, 1.2];
+
+fn quick() -> bool {
+    std::env::var("LBSN_BENCH_QUICK").is_ok()
+}
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkin_frontend");
+    let arrivals = if quick() { 200 } else { 2_000 };
+    if quick() {
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(10))
+            .measurement_time(Duration::from_millis(100));
+    } else {
+        // One iteration is a full open-loop run with real waiting in
+        // it; keep criterion's sampling budget modest.
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(8));
+    }
+    let mu = calibrate_drain_rate(
+        &OpenLoopConfig::at_rate(1.0, 0),
+        if quick() { 2_000 } else { 20_000 },
+    );
+    for factor in LOAD_FACTORS {
+        for batch_max in [1usize, 64] {
+            for queue_depth in [64usize, 1024] {
+                let mut cfg = OpenLoopConfig::at_rate(mu * factor, arrivals);
+                cfg.frontend = FrontendConfig {
+                    workers: 4,
+                    queue_depth,
+                    batch_max,
+                };
+                group.bench_function(
+                    format!("rate-{factor}x/batch-{batch_max}/depth-{queue_depth}"),
+                    |b| b.iter(|| run_open_loop(&cfg)),
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(checkin_frontend, bench_frontend);
+
+/// One JSON sweep row, `lead` being the sweep-specific first field
+/// (e.g. `"load_factor": 0.9`).
+fn sweep_row(label: &str, lead: &str, r: &OpenLoopResult) -> String {
+    println!(
+        "  {label}: offered {:.0}/s achieved {:.0}/s shed {:.4} p50 {}us p99 {}us p999 {}us",
+        r.offered_rate_per_sec,
+        r.achieved_rate_per_sec,
+        r.shed_ratio,
+        r.sojourn_p50_ns / 1_000,
+        r.sojourn_p99_ns / 1_000,
+        r.sojourn_p999_ns / 1_000,
+    );
+    format!(
+        "{{{lead}, \"offered_rate_per_sec\": {:.1}, \"achieved_rate_per_sec\": {:.1}, \
+         \"submitted\": {}, \"decided\": {}, \"shed\": {}, \"shed_ratio\": {:.4}, \
+         \"sojourn_p50_ns\": {}, \"sojourn_p99_ns\": {}, \"sojourn_p999_ns\": {}}}",
+        r.offered_rate_per_sec,
+        r.achieved_rate_per_sec,
+        r.submitted,
+        r.decided,
+        r.shed,
+        r.shed_ratio,
+        r.sojourn_p50_ns,
+        r.sojourn_p99_ns,
+        r.sojourn_p999_ns,
+    )
+}
+
+fn write_report() {
+    let quick = quick();
+    let (calib_ops, arrivals, contended_ops) = if quick {
+        (2_000, 1_000, 500)
+    } else {
+        (100_000, 100_000, 50_000)
+    };
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    // Shallower queues than the default 1024: at 1.2x mu the sweep
+    // should actually reach the high-water mark within the run, not
+    // buffer the entire overload in 16k queue slots.
+    let frontend = FrontendConfig {
+        queue_depth: 256,
+        ..FrontendConfig::default()
+    };
+
+    println!("== report: calibrating batch-drain rate ({calib_ops} ops) ==");
+    let mu = calibrate_drain_rate(&OpenLoopConfig::at_rate(1.0, 0), calib_ops);
+    println!("  drain rate: {mu:.0} checkins/sec");
+
+    println!("== report: open-loop load sweep ({arrivals} arrivals/run) ==");
+    let load_sweep: Vec<String> = LOAD_FACTORS
+        .iter()
+        .map(|&factor| {
+            let mut cfg = OpenLoopConfig::at_rate(mu * factor, arrivals);
+            cfg.frontend = frontend.clone();
+            let r = run_open_loop(&cfg);
+            sweep_row(
+                &format!("load-{factor}x"),
+                &format!("\"load_factor\": {factor}"),
+                &r,
+            )
+        })
+        .collect();
+
+    println!("== report: batch_max sweep at 0.9x mu ==");
+    let batch_sweep: Vec<String> = [1usize, 16, 64]
+        .iter()
+        .map(|&batch_max| {
+            let mut cfg = OpenLoopConfig::at_rate(mu * 0.9, arrivals);
+            cfg.frontend = FrontendConfig {
+                batch_max,
+                ..frontend.clone()
+            };
+            let r = run_open_loop(&cfg);
+            sweep_row(
+                &format!("batch-{batch_max}"),
+                &format!("\"batch_max\": {batch_max}"),
+                &r,
+            )
+        })
+        .collect();
+
+    println!("== report: contended-venue batched vs per-op (4 threads x {contended_ops} ops) ==");
+    let contended = ThroughputConfig::pure(Workload::ContendedVenue, 4, contended_ops);
+    let per_op = run(&contended).checkins_per_sec;
+    let batched = run_batched(&contended, frontend.batch_max).checkins_per_sec;
+    println!(
+        "  per-op {per_op:.0}/s batched {batched:.0}/s ratio {:.2}",
+        batched / per_op
+    );
+
+    let json = format!(
+        r#"{{
+  "bench": "checkin_frontend",
+  "mode": "{mode}",
+  "hardware": {{"cores": {cores}}},
+  "note": "Open-loop Poisson arrivals against the request frontend: offered load is set by the schedule, not the server, so queueing delay and shedding are visible. Rates are expressed against the calibrated batch-drain rate mu of the same world (check_in_batch driven directly, no queue in front). Sojourn is submit-to-decision. The contended_venue comparison drives 4 threads at one shared venue: the per-op path pays a venue-shard lock acquisition per check-in, the batched path pays one per batch of batch_max.",
+  "calibrated_drain_rate_per_sec": {mu:.1},
+  "frontend": {{"workers": {workers}, "queue_depth": {queue_depth}, "batch_max": {batch_max}}},
+  "load_sweep": [
+{load_sweep}
+  ],
+  "batch_sweep_at_0_9x": [
+{batch_sweep}
+  ],
+  "contended_venue_batch_vs_per_op": {{
+    "threads": 4,
+    "ops_per_thread": {contended_ops},
+    "per_op_checkins_per_sec": {per_op:.1},
+    "batched_checkins_per_sec": {batched:.1},
+    "ratio": {ratio:.4}
+  }}
+}}
+"#,
+        mode = if quick { "quick" } else { "full" },
+        workers = frontend.workers,
+        queue_depth = frontend.queue_depth,
+        batch_max = frontend.batch_max,
+        load_sweep = indent(&load_sweep),
+        batch_sweep = indent(&batch_sweep),
+        ratio = batched / per_op,
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_checkin_frontend.json"
+    );
+    std::fs::write(path, json).expect("write BENCH_checkin_frontend.json");
+    println!("wrote {path}");
+}
+
+fn indent(rows: &[String]) -> String {
+    rows.iter()
+        .map(|r| format!("    {r}"))
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn main() {
+    checkin_frontend();
+    write_report();
+}

@@ -16,25 +16,28 @@
 //! | E11 | §5.2 — anti-crawl defenses | [`e11_crawl_defense`] |
 //! | E12 | §2.3 — cheater code rules | [`e12_cheater_code`] |
 //! | E13 | §2.3 + §5.1 — policy matrix from config | [`e13_policy_matrix`] |
+//! | E14 | DESIGN §12 — frontend under overload | [`e14_overload`] |
 
 mod attacks;
 mod crawling;
 mod defense;
 mod figures;
+mod overload;
 mod policy_matrix;
 
 pub use attacks::{e01_spoofing, e04_virtual_tour, e09_venue_intel};
 pub use crawling::{e02_crawl_throughput, e03_starbucks_map, e11_crawl_defense};
 pub use defense::{e10_defenses, e12_cheater_code};
 pub use figures::{e05_recent_vs_total, e06_badges_vs_total, e07_dispersion, e08_population_stats};
+pub use overload::e14_overload;
 pub use policy_matrix::e13_policy_matrix;
 
 use crate::harness::TestBed;
 use crate::report::Experiment;
 
 /// The experiment IDs, in the order [`run_all`] returns them.
-pub const KNOWN_IDS: [&str; 13] = [
-    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
+pub const KNOWN_IDS: [&str; 14] = [
+    "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14",
 ];
 
 /// Runs `run` against a freshly-reset process-wide registry and
@@ -77,5 +80,9 @@ pub fn run_all(scale: f64, seed: u64, output_dir: &std::path::Path) -> Vec<Exper
         // E13 attaches its own snapshot: every cell runs against its
         // own registry so per-cell audit forensics don't merge.
         e13_policy_matrix(),
+        // E14 must stay LAST among the bed experiments: its cumulative
+        // bed snapshot is the one CI's slo-gate reads, and it must be a
+        // superset of every earlier bed experiment's metrics.
+        with_bed_metrics(&bed, || e14_overload(&bed)),
     ]
 }

@@ -1,0 +1,173 @@
+//! E14 — the request frontend under overload.
+//!
+//! The paper's crawler (§3.2) and mayor-attack scripts (§3.4) both
+//! depend on the service staying responsive while being hammered; this
+//! experiment measures what the batched request frontend (DESIGN.md
+//! §12) does when offered load exceeds drain capacity: decisions stay
+//! exact (conservation), excess is shed at the queue high-water mark
+//! with a retry hint instead of queueing without bound, and every shed
+//! lands in the decision audit plane under `shed.queue_full`.
+//!
+//! Runs **last** in [`run_all`](crate::experiments::run_all) against
+//! the shared bed, so the attached metrics snapshot is a superset of
+//! every earlier bed experiment's — CI's slo-gate reads this
+//! experiment's snapshot (`metrics/E14.json`) and applies both the
+//! pipeline SLOs and the frontend SLOs (p99 sojourn, shed-ratio
+//! ceiling) to it.
+
+use std::sync::Arc;
+
+use lbsn_obs::names::{reasons, server as obs_names};
+use lbsn_server::{
+    CheckinRequest, CheckinSource, FrontendConfig, RequestFrontend, UserId, VenueId,
+};
+use lbsn_sim::Duration;
+
+use crate::harness::TestBed;
+use crate::report::Experiment;
+
+/// Check-ins submitted in the headroom phase (deep queues, no shed
+/// expected).
+const HEADROOM_BURST: u64 = 4_000;
+/// Check-ins fired at the depth-1 frontend in the overload phase.
+const OVERLOAD_BURST: u64 = 1_000;
+
+/// Frontend counters at one instant.
+struct FrontendCounters {
+    submitted: u64,
+    decided: u64,
+    shed: u64,
+}
+
+fn counters(bed: &TestBed) -> FrontendCounters {
+    let snap = bed.registry.snapshot();
+    FrontendCounters {
+        submitted: snap.counter(obs_names::FRONTEND_SUBMITTED),
+        decided: snap.counter(obs_names::FRONTEND_DECIDED),
+        shed: snap.counter(obs_names::FRONTEND_SHED),
+    }
+}
+
+/// One submission against a population venue, reporting the venue's own
+/// coordinates (GPS verification passes) after a 2-virtual-minute
+/// advance (cooldown windows expire between same-user submissions).
+fn request(bed: &TestBed, user: u64, venue: u64) -> CheckinRequest {
+    let venue = VenueId(venue);
+    let reported_location = bed
+        .server
+        .with_venue(venue, |v| v.location)
+        .expect("population venue");
+    bed.server.clock().advance(Duration::secs(121));
+    CheckinRequest {
+        user: UserId(user),
+        venue,
+        reported_location,
+        source: CheckinSource::MobileApp,
+    }
+}
+
+/// E14: overload behavior of the batched request frontend.
+pub fn e14_overload(bed: &TestBed) -> Experiment {
+    let mut exp = Experiment::new(
+        "E14",
+        "Request frontend under overload",
+        "DESIGN §12 — admission backpressure",
+    );
+    let users = bed.population.users.len() as u64;
+    let venues = bed.population.venue_count;
+    assert!(users > 0 && venues > 0, "bed population is empty");
+
+    // Phase A — headroom: default-depth queues, a burst far below
+    // capacity. Everything should be decided, nothing shed.
+    let before = counters(bed);
+    {
+        let frontend = RequestFrontend::new(Arc::clone(&bed.server), FrontendConfig::default());
+        for i in 0..HEADROOM_BURST {
+            let _ = frontend.submit(request(bed, i % users + 1, i % venues + 1));
+        }
+        frontend.quiesce();
+        frontend.shutdown();
+    }
+    let after_a = counters(bed);
+    exp.row(
+        "headroom burst fully decided",
+        format!("{HEADROOM_BURST} submitted, 0 shed"),
+        format!(
+            "{} submitted, {} shed",
+            after_a.submitted - before.submitted,
+            after_a.shed - before.shed
+        ),
+        after_a.submitted - before.submitted == HEADROOM_BURST && after_a.shed == before.shed,
+    );
+
+    // Phase B — overload: a single user hammering a workers-1 /
+    // depth-1 / batch-1 frontend. The submit loop outruns the drain
+    // loop, so the one queue slot is usually occupied and the
+    // high-water mark does the only thing it can: shed.
+    {
+        let frontend = RequestFrontend::new(
+            Arc::clone(&bed.server),
+            FrontendConfig {
+                workers: 1,
+                queue_depth: 1,
+                batch_max: 1,
+            },
+        );
+        for i in 0..OVERLOAD_BURST {
+            let _ = frontend.submit(request(bed, 1, i % venues + 1));
+        }
+        frontend.quiesce();
+        frontend.shutdown();
+    }
+    let after_b = counters(bed);
+    let shed_b = after_b.shed - after_a.shed;
+    exp.row(
+        "overload burst sheds at high-water mark",
+        format!("some of {OVERLOAD_BURST} shed (depth-1 queue)"),
+        format!("{shed_b} shed"),
+        shed_b > 0,
+    );
+
+    exp.row(
+        "conservation: submitted = decided + shed",
+        format!("{} = decided + shed", after_b.submitted),
+        format!("{} + {}", after_b.decided, after_b.shed),
+        after_b.submitted == after_b.decided + after_b.shed,
+    );
+
+    let snap = bed.registry.snapshot();
+    let p99_ns = snap
+        .quantile_ns(obs_names::FRONTEND_SOJOURN, 0.99)
+        .unwrap_or(u64::MAX);
+    exp.row(
+        "p99 sojourn (submit→decision) under SLO",
+        "< 100 ms",
+        format!("{:.2} ms", p99_ns as f64 / 1e6),
+        p99_ns < 100_000_000,
+    );
+
+    let audited_sheds = bed
+        .registry
+        .audit()
+        .decisions()
+        .iter()
+        .filter(|r| r.outcome == reasons::SHED_QUEUE_FULL)
+        .count() as u64;
+    exp.row(
+        "shed decisions reach the audit plane",
+        "every shed audited as shed.queue_full",
+        format!("{audited_sheds} of {} shed audited", after_b.shed),
+        audited_sheds > 0 && audited_sheds <= after_b.shed,
+    );
+
+    exp.note(format!(
+        "Overload ratio this run: {} shed / {} submitted = {:.3} — the slo-gate \
+         shed-ratio ceiling (0.25) is deliberately above the designed overload \
+         phase so the gate catches regressions (a frontend that sheds under \
+         headroom), not the experiment's own stress phase.",
+        after_b.shed,
+        after_b.submitted,
+        after_b.shed as f64 / after_b.submitted.max(1) as f64,
+    ));
+    exp
+}

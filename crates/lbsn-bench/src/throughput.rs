@@ -33,9 +33,10 @@ use std::time::{Duration, Instant};
 use lbsn_geo::{destination, GeoPoint};
 use lbsn_obs::Registry;
 use lbsn_server::{
-    CheckinRequest, CheckinSource, LbsnServer, ServerConfig, UserId, UserSpec, VenueId, VenueSpec,
+    CheckinRequest, CheckinSource, FrontendConfig, LbsnServer, RequestFrontend, ServerConfig,
+    UserId, UserSpec, VenueId, VenueSpec,
 };
-use lbsn_sim::SimClock;
+use lbsn_sim::{RngStream, SimClock};
 use serde::Serialize;
 
 /// Which contention shape the worker threads generate.
@@ -111,14 +112,8 @@ pub struct ThroughputResult {
 /// (venue, location) ring it cycles through.
 type ThreadPlan = (Vec<UserId>, Vec<(VenueId, GeoPoint)>);
 
-/// Runs one throughput measurement.
-///
-/// # Panics
-///
-/// If any check-in errors or is flagged — the workload is constructed
-/// so every op passes the cheater code, and the accepted counter is
-/// asserted to prove it.
-pub fn run(config: &ThroughputConfig) -> ThroughputResult {
+/// Builds the server and per-thread plans one throughput run drives.
+fn build_world(config: &ThroughputConfig) -> (Arc<Registry>, Arc<LbsnServer>, Vec<ThreadPlan>) {
     let registry = Arc::new(Registry::new());
     let server = Arc::new(LbsnServer::with_registry(
         SimClock::new(),
@@ -159,11 +154,37 @@ pub fn run(config: &ThroughputConfig) -> ThroughputResult {
         };
         plans.push((users, venues));
     }
+    (registry, server, plans)
+}
+
+/// The `i`-th request of a thread plan — the same op sequence whether
+/// the thread submits per-op or in batches.
+fn plan_request(plan: &ThreadPlan, i: usize) -> CheckinRequest {
+    let (users, venues) = plan;
+    let user = users[i % users.len()];
+    let (venue, loc) = venues[(i / users.len()) % venues.len()];
+    CheckinRequest {
+        user,
+        venue,
+        reported_location: loc,
+        source: CheckinSource::MobileApp,
+    }
+}
+
+/// Runs one throughput measurement.
+///
+/// # Panics
+///
+/// If any check-in errors or is flagged — the workload is constructed
+/// so every op passes the cheater code, and the accepted counter is
+/// asserted to prove it.
+pub fn run(config: &ThroughputConfig) -> ThroughputResult {
+    let (registry, server, plans) = build_world(config);
 
     let barrier = Arc::new(Barrier::new(config.threads + 1));
     let rejected = Arc::new(AtomicU64::new(0));
     let mut workers = Vec::new();
-    for (users, venues) in plans {
+    for plan in plans {
         let server = Arc::clone(&server);
         let barrier = Arc::clone(&barrier);
         let rejected = Arc::clone(&rejected);
@@ -172,19 +193,12 @@ pub fn run(config: &ThroughputConfig) -> ThroughputResult {
         workers.push(std::thread::spawn(move || {
             barrier.wait();
             for i in 0..ops {
-                let user = users[i % users.len()];
-                let (venue, loc) = venues[(i / users.len()) % venues.len()];
                 // ~2 virtual minutes per op: clears the 1 h same-venue
                 // cooldown long before any (user, venue) pair recurs
                 // and keeps rapid-fire intervals far above 1 min.
                 server.clock().advance(lbsn_sim::Duration::secs(121));
                 let out = server
-                    .check_in(&CheckinRequest {
-                        user,
-                        venue,
-                        reported_location: loc,
-                        source: CheckinSource::MobileApp,
-                    })
+                    .check_in(&plan_request(&plan, i))
                     .expect("registered ids");
                 if !out.rewarded() {
                     rejected.fetch_add(1, Ordering::Relaxed);
@@ -223,6 +237,269 @@ pub fn run(config: &ThroughputConfig) -> ThroughputResult {
     }
 }
 
+/// Like [`run`], but each thread admits its op stream through
+/// [`LbsnServer::check_in_batch`] in chunks of `batch_max` — the same
+/// requests in the same order, so the accepted-counter assertion holds
+/// identically. The interesting comparison is `ContendedVenue`: the
+/// per-op path pays a venue-shard lock acquisition per check-in, the
+/// batched path pays one per batch.
+pub fn run_batched(config: &ThroughputConfig, batch_max: usize) -> ThroughputResult {
+    assert!(batch_max >= 1, "batch_max must be at least 1");
+    let (registry, server, plans) = build_world(config);
+
+    let barrier = Arc::new(Barrier::new(config.threads + 1));
+    let rejected = Arc::new(AtomicU64::new(0));
+    let mut workers = Vec::new();
+    for plan in plans {
+        let server = Arc::clone(&server);
+        let barrier = Arc::clone(&barrier);
+        let rejected = Arc::clone(&rejected);
+        let ops = config.ops_per_thread;
+        workers.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut i = 0;
+            while i < ops {
+                let len = batch_max.min(ops - i);
+                // Hoist the per-op virtual-time advances to the batch
+                // boundary. Always advance a full batch's worth: a
+                // short tail batch would otherwise leave same-user
+                // gaps inside the 1 h cooldown and trip TooFrequent.
+                server
+                    .clock()
+                    .advance(lbsn_sim::Duration::secs(121 * batch_max as u64));
+                let reqs: Vec<CheckinRequest> =
+                    (i..i + len).map(|j| plan_request(&plan, j)).collect();
+                for out in server.check_in_batch(&reqs) {
+                    if !out.expect("registered ids").rewarded() {
+                        rejected.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                i += len;
+            }
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+    let elapsed = start.elapsed();
+
+    let total_ops = (config.threads * config.ops_per_thread) as u64;
+    assert_eq!(
+        rejected.load(Ordering::Relaxed),
+        0,
+        "batched throughput workload must not trip the cheater code"
+    );
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counter(lbsn_obs::names::server::ACCEPTED),
+        total_ops,
+        "accepted counter must equal submitted ops"
+    );
+    let secs = elapsed.as_secs_f64();
+    ThroughputResult {
+        threads: config.threads,
+        total_ops,
+        elapsed_secs: secs,
+        checkins_per_sec: total_ops as f64 / secs.max(1e-9),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Open-loop arrivals: offered load is set by a Poisson process, not by
+// how fast the server drains — the regime where queueing delay and
+// shedding become visible. A closed-loop driver can never overload the
+// server (each thread waits for its previous op); an open-loop one
+// keeps submitting on schedule and lets the frontend queue absorb,
+// delay, or shed the excess.
+// ---------------------------------------------------------------------
+
+/// Parameters for one open-loop run against the request frontend.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Target mean arrival rate (Poisson, exponential inter-arrivals).
+    pub arrival_rate_per_sec: f64,
+    /// Total submissions to generate.
+    pub arrivals: usize,
+    /// Frontend under test (workers, queue depth, batch size).
+    pub frontend: FrontendConfig,
+    /// Server lock-stripe count.
+    pub shards: usize,
+    /// Registered user pool the arrivals cycle through.
+    pub users: usize,
+    /// Venue ring the arrivals cycle through.
+    pub venues: usize,
+    /// Root seed for the inter-arrival stream.
+    pub seed: u64,
+}
+
+impl OpenLoopConfig {
+    /// An open-loop run at `rate` arrivals/sec with default topology.
+    pub fn at_rate(rate: f64, arrivals: usize) -> Self {
+        OpenLoopConfig {
+            arrival_rate_per_sec: rate,
+            arrivals,
+            frontend: FrontendConfig::default(),
+            shards: 16,
+            users: 256,
+            venues: 64,
+            seed: 0x0b5e_1e55,
+        }
+    }
+}
+
+/// The outcome of one open-loop run.
+#[derive(Debug, Clone, Serialize)]
+pub struct OpenLoopResult {
+    /// The rate the Poisson schedule aimed for.
+    pub offered_rate_per_sec: f64,
+    /// The rate the arrival thread actually sustained (submissions over
+    /// the submission window). Falls below offered when inter-arrival
+    /// gaps get shorter than the submit path itself.
+    pub achieved_rate_per_sec: f64,
+    /// Submissions generated.
+    pub submitted: u64,
+    /// Submissions decided by the pipeline.
+    pub decided: u64,
+    /// Submissions shed at the queue high-water mark.
+    pub shed: u64,
+    /// `shed / submitted`.
+    pub shed_ratio: f64,
+    /// Sojourn (submit→decision) quantiles over decided ops, in ns.
+    pub sojourn_p50_ns: u64,
+    /// 99th percentile sojourn.
+    pub sojourn_p99_ns: u64,
+    /// 99.9th percentile sojourn.
+    pub sojourn_p999_ns: u64,
+    /// Wall-clock seconds from first arrival to full drain.
+    pub elapsed_secs: f64,
+}
+
+/// Builds the single-pool world the open-loop driver submits against:
+/// one venue ring shared by one user pool, every fix at the venue, 2
+/// virtual minutes per arrival — flag-free by the same argument as the
+/// closed-loop workloads.
+fn open_loop_world(cfg: &OpenLoopConfig) -> (Arc<Registry>, Arc<LbsnServer>, ThreadPlan) {
+    let registry = Arc::new(Registry::new());
+    let server = Arc::new(LbsnServer::with_registry(
+        SimClock::new(),
+        ServerConfig {
+            shards: cfg.shards,
+            ..ServerConfig::default()
+        },
+        Arc::clone(&registry),
+    ));
+    let abq = GeoPoint::new(35.0844, -106.6504).unwrap();
+    let users: Vec<UserId> = (0..cfg.users)
+        .map(|_| server.register_user(UserSpec::anonymous()))
+        .collect();
+    let venues: Vec<(VenueId, GeoPoint)> = (0..cfg.venues)
+        .map(|i| {
+            let loc = destination(abq, ((i * 11) % 360) as f64, 100.0 + 50.0 * (i % 16) as f64);
+            (
+                server.register_venue(VenueSpec::new(format!("OL{i}"), loc)),
+                loc,
+            )
+        })
+        .collect();
+    (registry, server, (users, venues))
+}
+
+/// Runs one open-loop measurement: a single arrival thread submits on a
+/// Poisson schedule (spin-waiting between arrivals — sleep granularity
+/// is far too coarse at interesting rates), tickets are dropped (the
+/// worker records sojourn at decision time regardless), and the run
+/// ends once the frontend has fully drained.
+pub fn run_open_loop(cfg: &OpenLoopConfig) -> OpenLoopResult {
+    assert!(
+        cfg.arrival_rate_per_sec > 0.0,
+        "arrival rate must be positive"
+    );
+    let (registry, server, plan) = open_loop_world(cfg);
+    let frontend = RequestFrontend::new(Arc::clone(&server), cfg.frontend.clone());
+    let mut arrivals = RngStream::from_seed(cfg.seed).fork("open-loop-arrivals");
+
+    // Warmup outside the measurement: worker-thread spawn, first-touch
+    // allocations, and branch warm-up otherwise land on the first few
+    // hundred sojourn samples and smear the low-rate runs' tails.
+    // Counters and sketches reset to zero afterwards, so conservation
+    // below still balances.
+    for i in 0..(cfg.arrivals / 10).clamp(64, 2_000) {
+        server.clock().advance(lbsn_sim::Duration::secs(121));
+        let _ = frontend.submit(plan_request(&plan, i));
+    }
+    frontend.quiesce();
+    registry.reset();
+
+    let start = Instant::now();
+    let mut next = 0.0f64; // seconds since start of the next arrival
+    for i in 0..cfg.arrivals {
+        // Exponential inter-arrival gap; 1 - U keeps ln() finite.
+        next += -(1.0 - arrivals.next_f64()).ln() / cfg.arrival_rate_per_sec;
+        while start.elapsed().as_secs_f64() < next {
+            std::hint::spin_loop();
+        }
+        server.clock().advance(lbsn_sim::Duration::secs(121));
+        // SubmitOutcome is deliberately unused: enqueued tickets are
+        // dropped (sojourn is recorded worker-side) and sheds are
+        // counted by the frontend's own metrics.
+        let _ = frontend.submit(plan_request(&plan, i));
+    }
+    let submit_window = start.elapsed().as_secs_f64();
+    frontend.quiesce();
+    let elapsed = start.elapsed().as_secs_f64();
+    frontend.shutdown();
+
+    let snap = registry.snapshot();
+    let submitted = snap.counter(lbsn_obs::names::server::FRONTEND_SUBMITTED);
+    let decided = snap.counter(lbsn_obs::names::server::FRONTEND_DECIDED);
+    let shed = snap.counter(lbsn_obs::names::server::FRONTEND_SHED);
+    assert_eq!(submitted, cfg.arrivals as u64, "every arrival submitted");
+    assert_eq!(decided + shed, submitted, "frontend conservation");
+    let q = |p: f64| {
+        snap.quantile_ns(lbsn_obs::names::server::FRONTEND_SOJOURN, p)
+            .unwrap_or(0)
+    };
+    OpenLoopResult {
+        offered_rate_per_sec: cfg.arrival_rate_per_sec,
+        achieved_rate_per_sec: submitted as f64 / submit_window.max(1e-9),
+        submitted,
+        decided,
+        shed,
+        shed_ratio: shed as f64 / submitted.max(1) as f64,
+        sojourn_p50_ns: q(0.5),
+        sojourn_p99_ns: q(0.99),
+        sojourn_p999_ns: q(0.999),
+        elapsed_secs: elapsed,
+    }
+}
+
+/// Estimates the backend's batch-drain service rate (ops/sec): the
+/// saturation point μ the open-loop sweep expresses its arrival rates
+/// against (0.5×, 0.9×, 1.2×). Measured by driving `check_in_batch`
+/// directly — no queue in front — over the same world the open-loop
+/// run uses.
+pub fn calibrate_drain_rate(cfg: &OpenLoopConfig, ops: usize) -> f64 {
+    let (_registry, server, plan) = open_loop_world(cfg);
+    let batch_max = cfg.frontend.batch_max.max(1);
+    let start = Instant::now();
+    let mut i = 0;
+    while i < ops {
+        let len = batch_max.min(ops - i);
+        // Full-batch advance even on the tail: see run_batched.
+        server
+            .clock()
+            .advance(lbsn_sim::Duration::secs(121 * batch_max as u64));
+        let reqs: Vec<CheckinRequest> = (i..i + len).map(|j| plan_request(&plan, j)).collect();
+        for out in server.check_in_batch(&reqs) {
+            out.expect("registered ids");
+        }
+        i += len;
+    }
+    ops as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +516,51 @@ mod tests {
         let r = run(&ThroughputConfig::pure(Workload::ContendedVenue, 4, 200));
         assert_eq!(r.total_ops, 800);
         assert!(r.checkins_per_sec > 0.0);
+    }
+
+    #[test]
+    fn batched_run_is_flag_free() {
+        let r = run_batched(
+            &ThroughputConfig::pure(Workload::ContendedVenue, 2, 300),
+            16,
+        );
+        assert_eq!(r.total_ops, 600);
+        assert!(r.checkins_per_sec > 0.0);
+    }
+
+    #[test]
+    fn open_loop_below_saturation_sheds_nothing() {
+        // 500/s against a backend that drains tens of thousands per
+        // second: the queue never builds, nothing sheds, and every
+        // decision records a sojourn sample.
+        let r = run_open_loop(&OpenLoopConfig::at_rate(500.0, 200));
+        assert_eq!(r.submitted, 200);
+        assert_eq!(r.decided, 200);
+        assert_eq!(r.shed, 0);
+        assert!(r.sojourn_p99_ns > 0);
+        assert!(r.sojourn_p50_ns <= r.sojourn_p999_ns);
+    }
+
+    #[test]
+    fn open_loop_overload_sheds_and_conserves() {
+        // A one-deep queue per shard and a crawl-speed drain (the
+        // worker still decides at full speed, but arrivals at 50k/s
+        // against depth 1 guarantee overflow).
+        let mut cfg = OpenLoopConfig::at_rate(50_000.0, 2_000);
+        cfg.frontend = FrontendConfig {
+            workers: 1,
+            queue_depth: 1,
+            batch_max: 1,
+        };
+        let r = run_open_loop(&cfg);
+        assert_eq!(r.decided + r.shed, r.submitted);
+        assert!(r.shed > 0, "depth-1 queues at 50k/s must shed");
+    }
+
+    #[test]
+    fn calibration_rate_is_positive() {
+        let rate = calibrate_drain_rate(&OpenLoopConfig::at_rate(1.0, 0), 500);
+        assert!(rate > 0.0);
     }
 
     #[test]

@@ -44,6 +44,7 @@ const SIM_CLOCKED_CRATES: &[&str] = &[
 /// nothing (parking_lot) but still drops a request mid-pipeline.
 const HOT_PATH_MODULES: &[&str] = &[
     "crates/lbsn-server/src/server.rs",
+    "crates/lbsn-server/src/frontend.rs",
     "crates/lbsn-server/src/shard.rs",
     "crates/lbsn-server/src/pipeline.rs",
     "crates/lbsn-server/src/checkin.rs",

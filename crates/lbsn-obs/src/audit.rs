@@ -182,6 +182,10 @@ pub enum DecisionOutcome {
     /// Dropped pre-admission by a verifier stage; payload is the stage
     /// name (e.g. `verifier-stack`).
     VerifierRejected(&'static str),
+    /// Shed by the request frontend at the queue high-water mark —
+    /// never admitted, never recorded, told to retry later
+    /// (`shed.queue_full`).
+    Shed,
 }
 
 impl DecisionOutcome {
@@ -197,6 +201,7 @@ impl DecisionOutcome {
             DecisionOutcome::Rejected(flag) => reasons::rejected(flag),
             DecisionOutcome::Branded(flag) => reasons::branded(flag),
             DecisionOutcome::VerifierRejected(stage) => reasons::verifier(stage),
+            DecisionOutcome::Shed => reasons::SHED_QUEUE_FULL.to_string(),
         }
     }
 }

@@ -85,6 +85,22 @@ pub mod server {
     pub const MEM_SAMPLES: &str = "server.mem.samples";
     /// Trace event recorded when a flight dump is written.
     pub const FLIGHT_DUMP_EVENT: &str = "server.flight.dump";
+    /// Check-ins submitted to the request frontend (enqueued + shed).
+    pub const FRONTEND_SUBMITTED: &str = "server.frontend.submitted";
+    /// Check-ins the frontend's batch-drain workers decided (the
+    /// queue-conservation counterpart: submitted = decided + shed).
+    pub const FRONTEND_DECIDED: &str = "server.frontend.decided";
+    /// Submissions shed at the queue high-water mark with a
+    /// retry-after instead of being enqueued.
+    pub const FRONTEND_SHED: &str = "server.frontend.shed";
+    /// Check-ins currently queued across all frontend shard queues.
+    pub const FRONTEND_QUEUE_DEPTH: &str = "server.frontend.queue_depth";
+    /// Ops admitted per batch drain (histogram — how much lock
+    /// amortization the workers actually got).
+    pub const FRONTEND_BATCH_SIZE: &str = "server.frontend.batch_size";
+    /// Submit→decision sojourn latency through the frontend queue
+    /// (histogram + sketch + window).
+    pub const FRONTEND_SOJOURN: &str = "server.frontend.sojourn";
     /// Decision records the audit plane captured (negatives + sampled
     /// accepts).
     pub const AUDIT_RECORDS: &str = "server.audit.records";
@@ -224,6 +240,9 @@ pub mod reasons {
     pub const BRANDED_ACCOUNT_FLAGGED: &str = "branded.account_flagged";
     /// Dropped pre-admission by verifier stage `{verifier}`.
     pub const VERIFIER_PATTERN: &str = "verifier.{verifier}";
+    /// Shed by the request frontend at the queue high-water mark —
+    /// never admitted, never recorded, told to retry later.
+    pub const SHED_QUEUE_FULL: &str = "shed.queue_full";
 
     /// Resolved rejected-tier reason for a flag slug.
     pub fn rejected(flag_slug: &str) -> String {
@@ -259,6 +278,7 @@ pub const REGISTERED_REASONS: &[&str] = &[
     reasons::BRANDED_RAPID_FIRE,
     reasons::BRANDED_ACCOUNT_FLAGGED,
     reasons::VERIFIER_PATTERN,
+    reasons::SHED_QUEUE_FULL,
 ];
 
 /// Whether `reason` resolves against the reason registry. Matching is
@@ -306,6 +326,12 @@ pub const REGISTERED: &[&str] = &[
     server::MEM_BYTES_PER_USER,
     server::MEM_SAMPLES,
     server::FLIGHT_DUMP_EVENT,
+    server::FRONTEND_SUBMITTED,
+    server::FRONTEND_DECIDED,
+    server::FRONTEND_SHED,
+    server::FRONTEND_QUEUE_DEPTH,
+    server::FRONTEND_BATCH_SIZE,
+    server::FRONTEND_SOJOURN,
     server::AUDIT_RECORDS,
     server::AUDIT_SAMPLED_OUT,
     server::AUDIT_EVICTED,
@@ -458,6 +484,19 @@ mod tests {
         assert!(is_registered(server::AUDIT_SAMPLED_OUT));
         assert!(is_registered(server::AUDIT_EVICTED));
         assert!(!is_registered("server.audit.dropped"));
+    }
+
+    #[test]
+    fn frontend_names_resolve() {
+        assert!(is_registered(server::FRONTEND_SUBMITTED));
+        assert!(is_registered(server::FRONTEND_DECIDED));
+        assert!(is_registered(server::FRONTEND_SHED));
+        assert!(is_registered(server::FRONTEND_QUEUE_DEPTH));
+        assert!(is_registered(server::FRONTEND_BATCH_SIZE));
+        assert!(is_registered(server::FRONTEND_SOJOURN));
+        assert!(!is_registered("server.frontend.dropped"));
+        assert!(is_registered_reason(reasons::SHED_QUEUE_FULL));
+        assert!(!is_registered_reason("shed.overload"));
     }
 
     #[test]

@@ -256,6 +256,13 @@ pub enum CheckinError {
     /// use [`check_in_with_evidence`](crate::LbsnServer::check_in_with_evidence)
     /// to observe the rejection as an [`AdmissionOutcome`] instead.
     VerifierRejected(&'static str),
+    /// Shed by the request frontend at the queue high-water mark —
+    /// never admitted, never recorded. `retry_after` estimates when the
+    /// queue will have drained enough to accept a resubmission.
+    Shed {
+        /// Drain-rate-based resubmission hint.
+        retry_after: std::time::Duration,
+    },
 }
 
 impl fmt::Display for CheckinError {
@@ -265,6 +272,12 @@ impl fmt::Display for CheckinError {
             CheckinError::UnknownVenue(v) => write!(f, "unknown venue {v}"),
             CheckinError::VerifierRejected(stage) => {
                 write!(f, "rejected by location verifier {stage}")
+            }
+            CheckinError::Shed { retry_after } => {
+                write!(
+                    f,
+                    "shed at queue high-water mark, retry after {retry_after:?}"
+                )
             }
         }
     }

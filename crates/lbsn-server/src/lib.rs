@@ -27,6 +27,7 @@
 pub mod api;
 pub mod cheatercode;
 mod checkin;
+mod frontend;
 mod ids;
 pub mod metrics;
 pub mod pipeline;
@@ -47,6 +48,7 @@ pub use checkin::{
     AdmissionOutcome, CheatFlag, CheckinError, CheckinEvidence, CheckinOutcome, CheckinRecord,
     CheckinRequest, CheckinSource,
 };
+pub use frontend::{CheckinTicket, FrontendConfig, RequestFrontend, SubmitOutcome};
 pub use ids::{UserId, VenueId};
 pub use metrics::ServerMetrics;
 pub use pipeline::{

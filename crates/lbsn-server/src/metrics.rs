@@ -35,6 +35,12 @@
 //! | `server.mem.total_bytes` | gauge | sum of the three gauges above |
 //! | `server.mem.bytes_per_user` | gauge | `total_bytes / registered users` — the paper-scale capacity number |
 //! | `server.mem.samples` | counter | memory-sampler sweeps taken |
+//! | `server.frontend.submitted` | counter | check-ins submitted to the request frontend (enqueued + shed) |
+//! | `server.frontend.decided` | counter | queued check-ins the batch-drain workers decided |
+//! | `server.frontend.shed` | counter | submissions shed at the queue high-water mark |
+//! | `server.frontend.queue_depth` | gauge | check-ins currently queued across all frontend shard queues |
+//! | `server.frontend.batch_size` | histogram | ops admitted per batch drain |
+//! | `server.frontend.sojourn` | histogram + sketch + window (ns) | submit→decision sojourn through the frontend |
 //! | `server.flight.dump` | event | an explicit flight-recorder dump was requested |
 //! | `server.audit.records` | counter (synthesized) | decision records captured by the audit plane |
 //! | `server.audit.sampled_out` | counter (synthesized) | accepted decisions dropped by 1-in-N tail sampling |
@@ -113,6 +119,21 @@ pub struct ServerMetrics {
     pub mem_bytes_per_user: Gauge,
     /// Memory-sampler sweeps taken.
     pub mem_samples: Counter,
+    /// Check-ins submitted to the request frontend (enqueued + shed).
+    pub frontend_submitted: Counter,
+    /// Queued check-ins the frontend's batch-drain workers decided.
+    /// Conservation: `submitted = decided + shed` once drained.
+    pub frontend_decided: Counter,
+    /// Submissions shed at the queue high-water mark with a
+    /// retry-after instead of being enqueued.
+    pub frontend_shed: Counter,
+    /// Check-ins currently queued across all frontend shard queues.
+    pub frontend_queue_depth: Gauge,
+    /// Ops admitted per batch drain — how much lock amortization the
+    /// workers actually got.
+    pub frontend_batch_size: Histogram,
+    /// Submit→decision sojourn latency through the frontend queue.
+    pub frontend_sojourn: LatencyStat,
     /// The decision audit plane: one wide event per admission decision,
     /// resolved once (default [`lbsn_obs::AuditConfig`]) so the check-in
     /// hot path pays no `OnceLock` probe.
@@ -151,6 +172,12 @@ impl ServerMetrics {
             mem_total_bytes: r.gauge(names::MEM_TOTAL_BYTES),
             mem_bytes_per_user: r.gauge(names::MEM_BYTES_PER_USER),
             mem_samples: r.counter(names::MEM_SAMPLES),
+            frontend_submitted: r.counter(names::FRONTEND_SUBMITTED),
+            frontend_decided: r.counter(names::FRONTEND_DECIDED),
+            frontend_shed: r.counter(names::FRONTEND_SHED),
+            frontend_queue_depth: r.gauge(names::FRONTEND_QUEUE_DEPTH),
+            frontend_batch_size: r.histogram(names::FRONTEND_BATCH_SIZE),
+            frontend_sojourn: r.latency(names::FRONTEND_SOJOURN),
             audit: r.audit(),
             registry,
         }

@@ -274,6 +274,14 @@ impl LbsnServer {
         self.users.shard_count()
     }
 
+    /// The user-shard index `user`'s record lives in — the routing key
+    /// the request frontend uses to bind a submission to its shard
+    /// queue (same-user submissions always land on the same queue, so
+    /// per-user FIFO order survives batching).
+    pub fn user_shard(&self, user: UserId) -> usize {
+        self.users.shard_of(user.value())
+    }
+
     /// Elects this call to run [`LbsnServer::sample_memory`] when the
     /// periodic sample is due at `now` *and* enough traffic has passed
     /// to amortize the last sweep ([`MEM_SWEEP_BYTES_PER_OP`]). The
@@ -598,17 +606,187 @@ impl LbsnServer {
         }
     }
 
+    /// Processes a slice of check-ins in submission order under an
+    /// *amortized* lock protocol: one user-shard `write_set` covering
+    /// every remaining requester (plus peeked incumbent-mayor shards)
+    /// is acquired once, and ops are walked FIFO under it, switching
+    /// the single held venue-shard guard as the venue changes. This is
+    /// the batch-drain entry point the request frontend uses to admit
+    /// up to `batch_max` queued check-ins per acquisition.
+    ///
+    /// Decisions are bit-for-bit identical to calling
+    /// [`LbsnServer::check_in`] per element in the same order under the
+    /// same clock: ops are never reordered, every mayorship challenge
+    /// re-validates incumbent coverage under the real locks (releasing
+    /// and widening exactly like the per-op retry loop, with the same
+    /// `MAYOR_LOCK_RETRIES` all-shards fallback), and a decision that
+    /// brands the account releases everything for the two-phase mayor
+    /// strip before later ops run.
+    ///
+    /// Lock-order discipline is preserved: user shards are acquired
+    /// ascending and strictly before any venue shard (rules 1–2), at
+    /// most one venue shard is held at a time (rule 3 — the guard is
+    /// dropped before the next venue's is taken), and no side map is
+    /// held across acquisitions (rule 4).
+    ///
+    /// On a server built with verifier stages the batch falls back to
+    /// per-op admission (verifiers judge out-of-band evidence the batch
+    /// path does not carry); correctness is unchanged, only the
+    /// amortization is lost. Unknown ids yield per-op `Err` entries
+    /// without disturbing the rest of the batch.
+    pub fn check_in_batch(
+        &self,
+        reqs: &[CheckinRequest],
+    ) -> Vec<Result<CheckinOutcome, CheckinError>> {
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        if self.pipeline.has_verifiers() {
+            return reqs.iter().map(|r| self.check_in(r)).collect();
+        }
+        let mut results: Vec<Result<CheckinOutcome, CheckinError>> = Vec::with_capacity(reqs.len());
+        // `i` is the next unprocessed op; `attempt` counts lock-set
+        // acquisitions made on op `i`'s behalf (reset as `i` advances).
+        let mut i = 0usize;
+        let mut attempt: u32 = 0;
+        // Incumbent-mayor shards learned under the real locks; kept for
+        // the rest of the batch so a re-acquisition covers them.
+        let mut extra_shards: Vec<usize> = Vec::new();
+        let mut shard_ids: Vec<usize> = Vec::with_capacity(reqs.len() + 2);
+        'acquire: while i < reqs.len() {
+            // No locks are held here: safe point for the periodic sweep.
+            self.maybe_sample_memory(self.clock.now());
+            #[cfg(test)]
+            if let Some(probe) = self.retry_probe.lock().as_mut() {
+                probe(attempt);
+            }
+            shard_ids.clear();
+            if attempt >= MAYOR_LOCK_RETRIES {
+                self.metrics.lock_fallback.inc();
+                shard_ids.extend(0..self.users.shard_count());
+            } else {
+                // Requester shards for every remaining op, plus each
+                // remaining venue's incumbent-mayor shard peeked with a
+                // cheap try-read. Racy by design — the coverage
+                // re-check under the real locks catches any change.
+                for req in &reqs[i..] {
+                    shard_ids.push(self.users.shard_of(req.user.value()));
+                    let vshard = self.venues.shard_of(req.venue.value());
+                    let vslot = self.venues.slot_of(req.venue.value());
+                    if let Some(mayor) = self
+                        .venues
+                        .try_read_shard(vshard)
+                        .and_then(|guard| guard.get(vslot).and_then(|v| v.mayor))
+                    {
+                        shard_ids.push(self.users.shard_of(mayor.value()));
+                    }
+                }
+                shard_ids.extend_from_slice(&extra_shards);
+            }
+            let mut uset = self.users.write_set(&mut shard_ids);
+            // Walk ops FIFO under this one user lock set. Rule 3: the
+            // venue guard is held one shard at a time, released before
+            // the next venue's shard is acquired.
+            let mut vguard: Option<(usize, ShardWriteGuard<'_, Venue>)> = None;
+            while i < reqs.len() {
+                let req = &reqs[i];
+                let now = self.clock.now();
+                if uset.get(req.user.value()).is_none() {
+                    results.push(Err(CheckinError::UnknownUser(req.user)));
+                    i += 1;
+                    attempt = 0;
+                    continue;
+                }
+                let vshard = self.venues.shard_of(req.venue.value());
+                let vslot = self.venues.slot_of(req.venue.value());
+                if vguard.as_ref().map(|(held, _)| *held) != Some(vshard) {
+                    drop(vguard.take()); // release before switching (rule 3)
+                    vguard = Some((vshard, self.venues.write_shard(vshard)));
+                }
+                let Some((_, guard)) = vguard.as_mut() else {
+                    unreachable!("venue guard installed above")
+                };
+                let Some(venue) = guard.get(vslot) else {
+                    results.push(Err(CheckinError::UnknownVenue(req.venue)));
+                    i += 1;
+                    attempt = 0;
+                    continue;
+                };
+                // Same re-validation as the per-op loop: if the current
+                // incumbent's shard is outside the held set, release
+                // everything and re-acquire with it included.
+                if let Some(mayor) = venue.mayor {
+                    if !uset.covers(mayor.value()) {
+                        self.metrics.lock_retry.inc();
+                        extra_shards.push(self.users.shard_of(mayor.value()));
+                        attempt += 1;
+                        continue 'acquire;
+                    }
+                }
+                let decision =
+                    DecisionBuilder::new(req.user.value(), req.venue.value(), now.secs());
+                let (outcome, stripped) =
+                    self.check_in_core(req, now, decision, &mut uset, guard, vslot);
+                results.push(Ok(outcome));
+                i += 1;
+                attempt = 0;
+                if !stripped.is_empty() {
+                    // This decision branded the account: run the
+                    // two-phase mayor strip with nothing held, then
+                    // re-acquire for the remainder of the batch.
+                    drop(vguard.take());
+                    drop(uset);
+                    self.strip_mayor_seats(req.user, &stripped);
+                    continue 'acquire;
+                }
+            }
+            return results;
+        }
+        results
+    }
+
     /// The pipeline body, entered with the user lock set and the venue
-    /// shard held and every id validated.
+    /// shard held and every id validated. Owns the guards so it can
+    /// release them before the two-phase mayor strip.
     fn check_in_locked(
         &self,
         req: &CheckinRequest,
         now: Timestamp,
-        mut decision: DecisionBuilder,
+        decision: DecisionBuilder,
         mut uset: WriteSet<'_, User>,
         mut vguard: ShardWriteGuard<'_, Venue>,
         venue_slot: usize,
     ) -> CheckinOutcome {
+        let (outcome, stripped) =
+            self.check_in_core(req, now, decision, &mut uset, &mut vguard, venue_slot);
+        // Two-phase strip (lock rule 3): the user-side mayorship set is
+        // already drained; release the held shards, then clear the
+        // venue-side seats one shard at a time. A concurrent check-in
+        // by this user is already rejected (`branded_cheater` is set),
+        // so nothing re-enters the set.
+        drop(vguard);
+        drop(uset);
+        self.strip_mayor_seats(req.user, &stripped);
+        outcome
+    }
+
+    /// The pipeline body proper, borrowing the caller's held locks so
+    /// [`LbsnServer::check_in_batch`] can run many ops under one
+    /// acquisition. Returns the venue seats to strip when this decision
+    /// branded the account: the caller must release every held shard,
+    /// run [`LbsnServer::strip_mayor_seats`], and only then process
+    /// further ops — a branded account's subsequent check-ins are
+    /// already rejected by the terminal detector, but a *stale seat*
+    /// would change how later ops judge a mayorship challenge.
+    fn check_in_core(
+        &self,
+        req: &CheckinRequest,
+        now: Timestamp,
+        mut decision: DecisionBuilder,
+        uset: &mut WriteSet<'_, User>,
+        vguard: &mut ShardWriteGuard<'_, Venue>,
+        venue_slot: usize,
+    ) -> (CheckinOutcome, Vec<VenueId>) {
         let uid = req.user.value();
         let total_timer = self.metrics.checkin_total.start_timer();
         // One root span per check-in (head-sampled); stages become
@@ -700,14 +878,6 @@ impl LbsnServer {
             } else {
                 vguard[venue_slot].mayor == Some(req.user)
             };
-            // Two-phase strip (lock rule 3): the user-side mayorship
-            // set is already drained; release the held shards, then
-            // clear the venue-side seats one shard at a time. A
-            // concurrent check-in by this user is already rejected
-            // (`branded_cheater` is set), so nothing re-enters the set.
-            drop(vguard);
-            drop(uset);
-            self.strip_mayor_seats(req.user, &stripped);
             decision.record_ns(stage.stop());
             stage_span.end();
             decision.total_ns(total_timer.stop());
@@ -720,17 +890,20 @@ impl LbsnServer {
                 DecisionOutcome::Rejected(flag_slug)
             };
             self.metrics.audit.finish(&decision, outcome);
-            return CheckinOutcome {
-                user: req.user,
-                venue: req.venue,
-                at: now,
-                points: 0,
-                new_badges: Vec::new(),
-                is_mayor,
-                became_mayor: false,
-                special_unlocked: None,
-                flags,
-            };
+            return (
+                CheckinOutcome {
+                    user: req.user,
+                    venue: req.venue,
+                    at: now,
+                    points: 0,
+                    new_badges: Vec::new(),
+                    is_mayor,
+                    became_mayor: false,
+                    special_unlocked: None,
+                    flags,
+                },
+                stripped,
+            );
         }
 
         decision.record_ns(stage.stop());
@@ -764,8 +937,8 @@ impl LbsnServer {
             now,
             first_visit,
             first_of_day,
-            &mut uset,
-            &mut vguard,
+            uset,
+            vguard,
             venue_slot,
             &self.venue_categories,
         );
@@ -795,17 +968,20 @@ impl LbsnServer {
             .audit
             .finish(&decision, DecisionOutcome::Accepted);
 
-        CheckinOutcome {
-            user: req.user,
-            venue: req.venue,
-            at: now,
-            points,
-            new_badges,
-            is_mayor,
-            became_mayor,
-            special_unlocked,
-            flags,
-        }
+        (
+            CheckinOutcome {
+                user: req.user,
+                venue: req.venue,
+                at: now,
+                points,
+                new_badges,
+                is_mayor,
+                became_mayor,
+                special_unlocked,
+                flags,
+            },
+            Vec::new(),
+        )
     }
 
     /// Clears `user` out of the mayor seat of every venue in `venues`,

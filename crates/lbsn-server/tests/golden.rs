@@ -263,6 +263,19 @@ fn build_script(server: &LbsnServer) -> Vec<Op> {
 
 /// Runs the scripted workload against a fresh server and digests it.
 fn run_workload(shards: usize) -> Golden {
+    run_workload_grouped(shards, 1, false)
+}
+
+/// Runs the script with clock advances hoisted to batch boundaries:
+/// ops are grouped into chunks of `batch_size`, the clock advances by
+/// the chunk's summed `advance_secs` *before* the chunk, and the chunk
+/// is admitted either through [`LbsnServer::check_in_batch`]
+/// (`batched`) or per-op in the same order (`!batched`). With
+/// `batch_size == 1` both drivers see exactly the committed fixture's
+/// clock schedule, so the batch path must reproduce the fixture
+/// bit-for-bit; with larger chunks the two drivers must agree with
+/// each other under the identical (hoisted) schedule.
+fn run_workload_grouped(shards: usize, batch_size: usize, batched: bool) -> Golden {
     let server = LbsnServer::new(
         SimClock::new(),
         ServerConfig {
@@ -272,17 +285,32 @@ fn run_workload(shards: usize) -> Golden {
     );
     let ops = build_script(&server);
     let mut outcomes = Vec::new();
-    for (seq, op) in ops.iter().enumerate() {
-        server.clock().advance(Duration::secs(op.advance_secs));
-        let out = server
-            .check_in(&CheckinRequest {
+    let mut seq = 0usize;
+    for chunk in ops.chunks(batch_size) {
+        let advance: u64 = chunk.iter().map(|o| o.advance_secs).sum();
+        server.clock().advance(Duration::secs(advance));
+        let reqs: Vec<CheckinRequest> = chunk
+            .iter()
+            .map(|op| CheckinRequest {
                 user: op.user,
                 venue: op.venue,
                 reported_location: op.reported,
                 source: CheckinSource::MobileApp,
             })
-            .expect("scripted ids are registered");
-        outcomes.push(OutcomeRow::from_outcome(seq, &out));
+            .collect();
+        if batched {
+            for res in server.check_in_batch(&reqs) {
+                let out = res.expect("scripted ids are registered");
+                outcomes.push(OutcomeRow::from_outcome(seq, &out));
+                seq += 1;
+            }
+        } else {
+            for req in &reqs {
+                let out = server.check_in(req).expect("scripted ids are registered");
+                outcomes.push(OutcomeRow::from_outcome(seq, &out));
+                seq += 1;
+            }
+        }
     }
 
     let mut users = Vec::new();
@@ -322,6 +350,42 @@ fn run_workload(shards: usize) -> Golden {
         users,
         venues,
         leaderboard,
+    }
+}
+
+#[test]
+fn batch_of_one_matches_committed_fixture() {
+    // check_in_batch with singleton batches sees the committed
+    // fixture's exact clock schedule, so it must reproduce the fixture
+    // — decisions, final state, leaderboard — bit-for-bit.
+    let got = run_workload_grouped(16, 1, true);
+    let fixture = std::fs::read_to_string(FIXTURE)
+        .expect("committed fixture exists (regenerate with LBSN_GOLDEN_WRITE=1)");
+    let want: Golden = serde_json::from_str(&fixture).expect("fixture parses");
+    assert_eq!(got, want, "batched singleton replay drifted from fixture");
+}
+
+#[test]
+fn batched_replay_matches_per_op_across_batch_sizes() {
+    // Under an identical (hoisted) clock schedule, draining the script
+    // in batches of any size must decide every op exactly like per-op
+    // admission in the same order — including the mayorship battle,
+    // the branding escalation mid-batch, and the post-brand strips.
+    for batch_size in [2, 4, 7, 16, 64, 1000] {
+        let per_op = run_workload_grouped(16, batch_size, false);
+        let batched = run_workload_grouped(16, batch_size, true);
+        assert_eq!(
+            batched, per_op,
+            "batch_size={batch_size} drifted from per-op admission"
+        );
+    }
+    // Batch equivalence must also hold on degenerate shard layouts.
+    for shards in [1, 4] {
+        assert_eq!(
+            run_workload_grouped(shards, 8, true),
+            run_workload_grouped(shards, 8, false),
+            "shards={shards} batched replay drifted"
+        );
     }
 }
 
