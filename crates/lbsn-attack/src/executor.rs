@@ -351,12 +351,12 @@ mod tests {
         let session = AttackSession::new(Arc::clone(&server), owner);
         assert!(session.badmouth(rival, "Dirty tables, rude staff. Avoid."));
         let v = server.venue(rival).unwrap();
-        assert_eq!(v.tips.len(), 1);
-        assert_eq!(v.tips[0].user, owner);
-        assert!(v.tips[0].text.contains("Avoid"));
+        assert_eq!(v.tips().len(), 1);
+        assert_eq!(v.tips()[0].user, owner);
+        assert!(v.tips()[0].text.contains("Avoid"));
         // The fake visit shows in the recent-visitor list — the comment
         // reads like a real customer's.
-        assert!(v.recent_visitors.contains(&owner));
+        assert!(v.recent_visitors().contains(&owner));
     }
 
     #[test]

@@ -221,12 +221,12 @@ mod tests {
             let v = server.venue(venue).unwrap();
             db.insert_venue(lbsn_crawler::VenueInfoRow {
                 id: venue.value(),
-                name: v.name.clone(),
-                address: v.address.clone(),
+                name: v.name().to_string(),
+                address: v.address().to_string(),
                 category: "Other".into(),
                 location: v.location,
                 checkins_here: v.checkins_here,
-                unique_visitors: v.unique_visitors.len() as u64,
+                unique_visitors: v.unique_visitors().len() as u64,
                 special: None,
                 tips: 0,
                 mayor: v.mayor.map(|m| m.value()),

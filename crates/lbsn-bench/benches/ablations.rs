@@ -148,7 +148,7 @@ fn ablation_visitor_list(c: &mut Criterion) {
         lbsn_workload::generate(&server, &plan);
         // Signal: total recent-list presence across venues.
         let mut presence = 0u64;
-        server.for_each_venue(|v| presence += v.recent_visitors.len() as u64);
+        server.for_each_venue(|v| presence += v.recent_visitors().len() as u64);
         presence
     };
     for len in [1usize, 5, 10, 50] {

@@ -1,9 +1,9 @@
 //! The scale ladder: does the observatory's story hold as the world
 //! approaches paper scale?
 //!
-//! Bulk-loads a synthetic population at three rungs — 10k, 100k, and
-//! 1M total entities (users + venues, the paper's full population is
-//! 7.49M) — then drives a fixed check-in mix through each world and
+//! Bulk-loads a synthetic population at four rungs — 10k, 100k, 1M,
+//! and the paper's full 7.49M total entities (1.89M users + 5.6M
+//! venues) — then drives a fixed check-in mix through each world and
 //! records, per rung:
 //!
 //! * `checkins_per_sec` — fixed-mix throughput after bulk load;
@@ -12,10 +12,21 @@
 //! * `shard_skew_{users,venues}` — hottest/coldest ops ratio from the
 //!   per-shard contention heatmap (registration + mix + sweep traffic).
 //!
+//! Worlds land through the bulk-load path (`register_world_bulk` →
+//! chunked per-shard staging, venue strings interned into per-shard
+//! arenas) followed by one `compact_memory` pass, so the resident
+//! numbers describe a settled world, not doubling-growth slack.
+//!
+//! The final (paper) rung additionally runs the Fig 3.3/3.4 crawler
+//! sweep: every user profile at 100k users/h and every venue page at
+//! 50k venues/h, paced in virtual time, the way the paper's crawler
+//! walked the live service. The sweep's wall-clock rates say how far
+//! above the paper's pacing this single-threaded server sits.
+//!
 //! Writes `BENCH_scale.json` at the repo root — the committed capacity
-//! trajectory. `LBSN_BENCH_QUICK=1` runs only the 10k and 100k rungs
-//! with a shorter mix (CI's `scale-smoke` job); the JSON records which
-//! mode produced it.
+//! trajectory. `LBSN_BENCH_QUICK=1` runs the 10k and 100k rungs plus a
+//! 1%-scale paper rung (74.9k entities) with a shorter mix (CI's
+//! `scale-smoke` job); the JSON records which mode produced it.
 //!
 //! Run with `cargo bench -p lbsn-bench --bench scale_ladder`.
 
@@ -26,12 +37,18 @@ use lbsn_obs::names::server as obs_names;
 use lbsn_obs::Registry;
 use lbsn_server::{CheckinRequest, CheckinSource, LbsnServer, ServerConfig, UserId, VenueId};
 use lbsn_sim::{Duration, SimClock};
-use lbsn_workload::{plan, register_world, PopulationSpec};
+use lbsn_workload::{register_world_bulk, PopulationSpec};
 
 /// Total entities at full scale: 1.89M users + 5.6M venues.
 const FULL_ENTITIES: f64 = 7_490_000.0;
 
 const SEED: u64 = 0x5ca1e;
+
+/// Fig 3.3: "we can crawl all users' information once per day" at
+/// roughly this API rate.
+const CRAWL_USERS_PER_HOUR: u64 = 100_000;
+/// Fig 3.4: venue crawl rate (venues carry more payload per fetch).
+const CRAWL_VENUES_PER_HOUR: u64 = 50_000;
 
 fn quick() -> bool {
     std::env::var("LBSN_BENCH_QUICK").is_ok()
@@ -52,6 +69,16 @@ struct Rung {
     skew_venues: f64,
 }
 
+/// The paper-rate crawler sweep over a loaded world.
+struct Crawl {
+    virtual_hours: f64,
+    wall_secs: f64,
+    user_profiles_per_sec: f64,
+    venue_pages_per_sec: f64,
+    named_user_fraction: f64,
+    mayored_venue_fraction: f64,
+}
+
 /// User-pool size of the smallest rung: the hot-set mix cycles only
 /// this many users so its working set matches the 10k rung's even
 /// inside a 1M-entity world.
@@ -66,7 +93,58 @@ fn skew(snap: &lbsn_obs::Snapshot, family: &str) -> f64 {
         .map_or(1.0, lbsn_obs::ShardHeatSnapshot::skew_ratio)
 }
 
-fn run_rung(entities: u64, mix_ops: u64) -> Rung {
+/// Sweeps every user profile and venue page at the paper's crawl rates,
+/// advancing the virtual clock to match the pacing (100k users/h then
+/// 50k venues/h). Touches only projection accessors — `user_profile`
+/// and a venue field read — the way the crawler's API calls would.
+fn crawl_world(server: &LbsnServer, users: u64, venues: u64) -> Crawl {
+    let wall = Instant::now();
+    let mut named = 0u64;
+    let mut advanced = 0u64;
+    for i in 0..users {
+        let due = i * 3600 / CRAWL_USERS_PER_HOUR;
+        if due > advanced {
+            server.clock().advance(Duration::secs(due - advanced));
+            advanced = due;
+        }
+        let profile = server.user_profile(UserId(i + 1)).expect("registered");
+        if profile.username.is_some() {
+            named += 1;
+        }
+    }
+    let user_wall = wall.elapsed().as_secs_f64();
+    let mut mayored = 0u64;
+    let venue_wall = Instant::now();
+    let mut v_advanced = 0u64;
+    for i in 0..venues {
+        let due = i * 3600 / CRAWL_VENUES_PER_HOUR;
+        if due > v_advanced {
+            server.clock().advance(Duration::secs(due - v_advanced));
+            v_advanced = due;
+        }
+        let has_mayor = server
+            .with_venue(VenueId(i + 1), |v| {
+                // The page fields a crawler parses: identity + status.
+                let _ = (v.name().len(), v.address().len(), v.checkins_here);
+                v.mayor.is_some()
+            })
+            .expect("registered");
+        if has_mayor {
+            mayored += 1;
+        }
+    }
+    let venue_secs = venue_wall.elapsed().as_secs_f64();
+    Crawl {
+        virtual_hours: (advanced + v_advanced) as f64 / 3600.0,
+        wall_secs: wall.elapsed().as_secs_f64(),
+        user_profiles_per_sec: users as f64 / user_wall.max(1e-9),
+        venue_pages_per_sec: venues as f64 / venue_secs.max(1e-9),
+        named_user_fraction: named as f64 / users.max(1) as f64,
+        mayored_venue_fraction: mayored as f64 / venues.max(1) as f64,
+    }
+}
+
+fn run_rung(entities: u64, mix_ops: u64, crawl: bool) -> (Rung, Option<Crawl>) {
     let scale = entities as f64 / FULL_ENTITIES;
     let spec = PopulationSpec::at_scale(scale, SEED);
     let registry = Arc::new(Registry::new());
@@ -77,8 +155,8 @@ fn run_rung(entities: u64, mix_ops: u64) -> Rung {
     );
 
     let started = Instant::now();
-    let world = plan(&spec);
-    let population = register_world(&server, &world);
+    let population = register_world_bulk(&server, &spec);
+    server.compact_memory();
     let load_secs = started.elapsed().as_secs_f64();
     let users = population.users.len() as u64;
     let venues = population.venue_count;
@@ -118,11 +196,13 @@ fn run_rung(entities: u64, mix_ops: u64) -> Rung {
     // the venue-record working set, which this probe does not narrow.)
     let hot_set_checkins_per_sec = mix(users.min(HOT_SET_USERS), mix_ops, mix_ops);
 
+    let crawl_stats = crawl.then(|| crawl_world(&server, users, venues));
+
     // One authoritative sweep so the gauges and occupancy columns
     // describe the final world, however the periodic sampler landed.
     server.sample_memory();
     let snap = registry.snapshot();
-    Rung {
+    let rung = Rung {
         entities,
         users,
         venues,
@@ -137,22 +217,29 @@ fn run_rung(entities: u64, mix_ops: u64) -> Rung {
         side_maps_bytes: snap.gauge(obs_names::MEM_SIDE_MAPS_BYTES),
         skew_users: skew(&snap, &obs_names::shard_heat("users")),
         skew_venues: skew(&snap, &obs_names::shard_heat("venues")),
-    }
+    };
+    (rung, crawl_stats)
 }
 
 fn main() {
     let quick = quick();
+    // The last rung is the paper rung: full 7.49M entities (or a 1 %
+    // stand-in under quick mode) plus the crawler sweep.
     let rungs: &[u64] = if quick {
-        &[10_000, 100_000]
+        &[10_000, 100_000, 74_900]
     } else {
-        &[10_000, 100_000, 1_000_000]
+        &[10_000, 100_000, 1_000_000, 7_490_000]
     };
     let mix_ops: u64 = if quick { 2_000 } else { 20_000 };
 
     let mut rows = Vec::new();
-    for &entities in rungs {
-        println!("== rung: {entities} entities ({mix_ops} mix ops) ==");
-        let r = run_rung(entities, mix_ops);
+    for (i, &entities) in rungs.iter().enumerate() {
+        let is_paper_rung = i == rungs.len() - 1;
+        println!(
+            "== rung: {entities} entities ({mix_ops} mix ops{}) ==",
+            if is_paper_rung { ", crawler sweep" } else { "" }
+        );
+        let (r, crawl) = run_rung(entities, mix_ops, is_paper_rung);
         println!(
             "  load {:.2}s, {:.0} checkins/sec ({:.0} hot-set), lock_wait p99 {}ns, \
              {:.0} bytes/user, skew users {:.2}x venues {:.2}x",
@@ -164,12 +251,34 @@ fn main() {
             r.skew_users,
             r.skew_venues
         );
+        let crawl_json = match &crawl {
+            Some(c) => {
+                println!(
+                    "  crawl: {:.1} virtual h in {:.1}s wall ({:.0} profiles/s, {:.0} pages/s)",
+                    c.virtual_hours, c.wall_secs, c.user_profiles_per_sec, c.venue_pages_per_sec
+                );
+                format!(
+                    ", \"crawl\": {{\"paced_users_per_hour\": {CRAWL_USERS_PER_HOUR}, \
+                     \"paced_venues_per_hour\": {CRAWL_VENUES_PER_HOUR}, \
+                     \"virtual_hours\": {:.1}, \"wall_secs\": {:.1}, \
+                     \"user_profiles_per_sec\": {:.0}, \"venue_pages_per_sec\": {:.0}, \
+                     \"named_user_fraction\": {:.3}, \"mayored_venue_fraction\": {:.4}}}",
+                    c.virtual_hours,
+                    c.wall_secs,
+                    c.user_profiles_per_sec,
+                    c.venue_pages_per_sec,
+                    c.named_user_fraction,
+                    c.mayored_venue_fraction,
+                )
+            }
+            None => String::new(),
+        };
         rows.push(format!(
             "{{\"entities\": {}, \"users\": {}, \"venues\": {}, \"load_secs\": {:.2}, \
              \"checkins_per_sec\": {:.1}, \"hot_set_checkins_per_sec\": {:.1}, \
              \"lock_wait_p99_ns\": {}, \"resident_bytes_per_user\": {:.1}, \
              \"total_mem_bytes\": {:.0}, \"side_maps_bytes\": {:.0}, \
-             \"shard_skew_users\": {:.2}, \"shard_skew_venues\": {:.2}}}",
+             \"shard_skew_users\": {:.2}, \"shard_skew_venues\": {:.2}{}}}",
             r.entities,
             r.users,
             r.venues,
@@ -182,27 +291,30 @@ fn main() {
             r.side_maps_bytes,
             r.skew_users,
             r.skew_venues,
+            crawl_json,
         ));
     }
 
     let json = format!(
         "{{\n  \"bench\": \"scale_ladder\",\n  \"mode\": \"{}\",\n  \"mix_ops_per_rung\": {},\n  \
-         \"note\": \"Each rung bulk-loads a fresh world via lbsn-workload at \
-         entities/7.49M of paper scale, runs a fixed accepted-path check-in mix, \
-         then takes one full memory sweep. bytes_per_user is the deep-accounted \
-         server.mem.bytes_per_user gauge; shard skew is hottest/coldest ops over \
-         registration + mix + sweep traffic on 16 shards. \
+         \"note\": \"Each rung bulk-loads a fresh world via lbsn-workload's \
+         register_world_bulk at entities/7.49M of paper scale (chunked per-shard \
+         staging, venue strings interned into per-shard arenas, one compact_memory \
+         pass), runs a fixed accepted-path check-in mix, then takes one full memory \
+         sweep. bytes_per_user is the deep-accounted server.mem.bytes_per_user gauge \
+         over the whole world (venues included); shard skew is hottest/coldest ops \
+         over registration + mix + sweep traffic on 16 shards. \
          hot_set_checkins_per_sec reruns the identical mix with the user cycle \
          narrowed to the smallest rung's 2523-user pool: per-op work is unchanged, \
-         only the user-record working set shrinks. On the 1M rung's throughput cliff \
-         (several-fold below the 10k rung): narrowing only the user cycle recovers a \
-         large multiple of the full-mix rate (the residual gap is the venue \
-         working set, which the probe leaves at full width), lock_wait_p99_ns \
-         stays flat across rungs (the mix is single-threaded; the sharded locks \
-         are uncontended), and side_maps_bytes stays a small fraction of \
-         total_mem_bytes - so the cliff is cache misses against the ~470MB \
-         resident world, not lock contention, side-map growth, or \
-         population-dependent per-op cost.\",\n  \"rungs\": [\n{}\n  ]\n}}\n",
+         only the user-record working set shrinks, so the remaining cliff at the big \
+         rungs is cache misses against the resident world, not lock contention \
+         (lock_wait_p99_ns stays flat; the mix is single-threaded) or side-map \
+         growth. The last rung is the paper rung - the full 1.89M-user / 5.6M-venue \
+         August-2010 population (1 % stand-in under quick mode) - and additionally \
+         runs the Fig 3.3/3.4 crawler sweep: every user profile at 100k users/h and \
+         every venue page at 50k venues/h, paced in virtual time; its wall rates \
+         say how far above the paper's pacing the single-threaded server sits.\",\n  \
+         \"rungs\": [\n{}\n  ]\n}}\n",
         if quick { "quick" } else { "full" },
         mix_ops,
         rows.iter()

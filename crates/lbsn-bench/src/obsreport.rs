@@ -293,12 +293,30 @@ pub fn default_policy() -> SloPolicy {
                 // the last memory sample. Too low means the sampler
                 // stopped seeing state (instrumentation regression);
                 // too high means a footprint regression that won't
-                // survive the paper's 1.89M-user population. The band
-                // brackets the bed workload's measured ~2-6 KB/user
-                // with an order of magnitude of headroom above.
+                // survive the paper's 1.89M-user population. The
+                // hot/cold entity split, packed check-in history, and
+                // venue-string arenas put the bed workload at ~2.4
+                // KB/user (small worlds carry fixed overhead the 1M
+                // rung amortises to ~0.9 KB); the band leaves ~1.7×
+                // headroom so a return to boxed-per-entity layouts
+                // fails the gate.
                 metric: obs::server::MEM_BYTES_PER_USER.to_string(),
                 min: 200.0,
-                max: 65_536.0,
+                max: 4_096.0,
+            },
+            SloRule::QuantileMaxNs {
+                metric: obs::server::FRONTEND_SOJOURN.to_string(),
+                q: 0.99,
+                max_ns: 100_000_000, // 100 ms queue sojourn under overload
+            },
+            SloRule::RatioMax {
+                numerator: obs::server::FRONTEND_SHED.to_string(),
+                denominator: obs::server::FRONTEND_SUBMITTED.to_string(),
+                max_ratio: 0.25,
+            },
+            SloRule::CounterMin {
+                metric: obs::server::FRONTEND_DECIDED.to_string(),
+                min: 100, // the overload experiment actually drained
             },
         ],
     }

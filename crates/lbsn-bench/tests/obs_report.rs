@@ -33,9 +33,17 @@ fn healthy_snapshot_json() -> String {
     registry
         .gauge("crawler.throughput.users_per_hour")
         .set(120_000.0);
-    // Inside the GaugeMinMax band (200–65536); the rule fails closed on
+    // Inside the GaugeMinMax band (200–4096); the rule fails closed on
     // a snapshot that never sampled memory.
     registry.gauge("server.mem.bytes_per_user").set(2_048.0);
+    // Frontend rules: fast sojourns, nothing shed, submitted = decided.
+    let sojourn = registry.latency("server.frontend.sojourn");
+    for _ in 0..200 {
+        sojourn.record_ns(2_000_000); // 2 ms
+    }
+    registry.counter("server.frontend.submitted").add(200);
+    registry.counter("server.frontend.decided").add(200);
+    registry.counter("server.frontend.shed");
     registry.snapshot().to_json()
 }
 

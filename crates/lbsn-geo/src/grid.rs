@@ -150,6 +150,18 @@ impl<T> GeoGrid<T> {
     pub fn iter(&self) -> impl Iterator<Item = (GeoPoint, &T)> {
         self.cells.values().flatten().map(|(p, v)| (*p, v))
     }
+
+    /// Drops excess capacity in the cell table and every cell's entry
+    /// vector. Bulk loading grows cells by doubling, which can leave
+    /// close to 2× slack; [`GeoGrid::approx_heap_bytes`] charges
+    /// capacity, so post-load compaction shows up directly in the
+    /// memory gauges.
+    pub fn shrink_to_fit(&mut self) {
+        for cell in self.cells.values_mut() {
+            cell.shrink_to_fit();
+        }
+        self.cells.shrink_to_fit();
+    }
 }
 
 #[cfg(test)]

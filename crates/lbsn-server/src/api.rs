@@ -104,7 +104,7 @@ impl ApiClient {
     pub fn venue_summary(&self, id: VenueId) -> Option<VenueSummary> {
         self.server.with_venue(id, |v| VenueSummary {
             id: v.id,
-            name: v.name.clone(),
+            name: v.name().to_string(),
             location: v.location,
             category: v.category,
             has_special: v.special.is_some(),
@@ -138,7 +138,7 @@ mod tests {
         let out = api.checkin(user, venue, sf).unwrap();
         assert!(out.rewarded());
         // Source is recorded, distinguishable in user history.
-        let rec = server.user(user).unwrap().history[0].clone();
+        let rec = server.user(user).unwrap().history.iter().next().unwrap();
         assert_eq!(rec.source, CheckinSource::ServerApi);
     }
 

@@ -27,7 +27,9 @@
 pub mod api;
 pub mod cheatercode;
 mod checkin;
+mod compact;
 mod frontend;
+mod history;
 mod ids;
 pub mod metrics;
 pub mod pipeline;
@@ -48,7 +50,9 @@ pub use checkin::{
     AdmissionOutcome, CheatFlag, CheckinError, CheckinEvidence, CheckinOutcome, CheckinRecord,
     CheckinRequest, CheckinSource,
 };
+pub use compact::{ArenaStr, BadgeSet, CategoryCounts, IdSet, StrArena};
 pub use frontend::{CheckinTicket, FrontendConfig, RequestFrontend, SubmitOutcome};
+pub use history::{FlagSet, HistoryIter, PackedHistory, PackedRecord};
 pub use ids::{UserId, VenueId};
 pub use metrics::ServerMetrics;
 pub use pipeline::{
@@ -58,5 +62,7 @@ pub use pipeline::{
 pub use policy::{DetectorConfig, PolicyConfig, RewardConfig};
 pub use rewards::{Badge, PointsPolicy};
 pub use server::{LbsnServer, ServerConfig};
-pub use user::{User, UserSpec};
-pub use venue::{Special, SpecialKind, Tip, Venue, VenueCategory, VenueSpec};
+pub use user::{User, UserCold, UserProfile, UserSpec};
+pub use venue::{
+    Special, SpecialKind, Tip, Venue, VenueActivity, VenueCategory, VenueCold, VenueSpec,
+};

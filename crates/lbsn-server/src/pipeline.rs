@@ -748,6 +748,7 @@ mod tests {
             VenueId(1),
             crate::venue::VenueSpec::new("V", GeoPoint::new(35.0, -106.0).unwrap()),
             Timestamp(0),
+            &mut crate::StrArena::new(),
         );
         let req = CheckinRequest {
             user: crate::UserId(1),

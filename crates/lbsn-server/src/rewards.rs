@@ -228,17 +228,9 @@ pub fn evaluate_badges(
     check(Badge::SchoolNight, (1..4).contains(&hour_of_day));
 
     // Category badges.
-    let coffee = user
-        .venues_by_category
-        .get(&VenueCategory::Coffee)
-        .copied()
-        .unwrap_or(0);
+    let coffee = user.venues_by_category.count(VenueCategory::Coffee);
     check(Badge::FreshBrew, coffee >= 5);
-    let airports = user
-        .venues_by_category
-        .get(&VenueCategory::Airport)
-        .copied()
-        .unwrap_or(0);
+    let airports = user.venues_by_category.count(VenueCategory::Airport);
     check(Badge::JetSetter, airports >= 5);
 
     // Gym Rat: 10 gym check-ins in the trailing 30 days (check-ins, not
@@ -309,7 +301,12 @@ mod tests {
     }
 
     fn venue(id: u64) -> Venue {
-        Venue::from_spec(VenueId(id), VenueSpec::new("V", loc()), Timestamp(0))
+        Venue::from_spec(
+            VenueId(id),
+            VenueSpec::new("V", loc()),
+            Timestamp(0),
+            &mut crate::StrArena::new(),
+        )
     }
 
     fn user(id: u64) -> User {
@@ -463,7 +460,7 @@ mod tests {
         // FreshBrew counts distinct venues per category from user state.
         let mut c = user(2);
         add_valid(&mut c, 1, 0);
-        c.venues_by_category.insert(VenueCategory::Coffee, 5);
+        c.venues_by_category.set(VenueCategory::Coffee, 5);
         let badges = evaluate_badges(&c, &venue(1), Timestamp(0), &NoVenues);
         assert!(badges.contains(&Badge::FreshBrew));
     }

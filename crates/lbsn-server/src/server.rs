@@ -26,6 +26,7 @@ use serde::{Deserialize, Serialize};
 use crate::checkin::{
     AdmissionOutcome, CheckinError, CheckinEvidence, CheckinOutcome, CheckinRecord, CheckinRequest,
 };
+use crate::compact::{ArenaStr, StrArena};
 use crate::metrics::ServerMetrics;
 use crate::pipeline::{AdmissionPipeline, CheckinVerifier, RuleContext, VerifyContext};
 use crate::policy::{DetectorConfig, PolicyConfig};
@@ -55,6 +56,12 @@ const MEM_SAMPLE_INTERVAL_SECS: u64 = 6 * 3600;
 /// the caller spins virtual time (the obs-overhead <5% budget holds by
 /// construction). The first sweep (cost 0) runs on the first check-in.
 const MEM_SWEEP_BYTES_PER_OP: u64 = 64;
+
+/// Specs staged between lock acquisitions by the bulk registration
+/// paths. Large enough to amortize locking across a shard's worth of
+/// entities, small enough that staging stays cache- and
+/// allocation-friendly at paper scale.
+const BULK_CHUNK: usize = 65_536;
 
 /// Server-wide configuration: the admission policy plus deployment
 /// parameters. Serde-round-trippable, so a whole scenario lives in one
@@ -145,6 +152,11 @@ pub struct LbsnServer {
     /// immutable after registration, so badge evaluation reads this
     /// table instead of locking arbitrary venue shards mid-check-in.
     venue_categories: LeafLock<Vec<VenueCategory>>,
+    /// Per-venue-shard string arenas holding interned name+address
+    /// text (see [`crate::StrArena`]). Locked *before* the venue shard
+    /// during registration, never while a shard lock is held. Bulk
+    /// loading seals whole batches into shared chunks.
+    venue_arenas: Vec<Mutex<StrArena>>,
     /// Serializes user registration so shard slots fill densely in id
     /// order. Holds the count of registered users.
     user_reg: Mutex<u64>,
@@ -242,6 +254,7 @@ impl LbsnServer {
             usernames: LeafLock::new("usernames", HashMap::new()),
             venue_grid: LeafLock::new("venue_grid", GeoGrid::new(1_000.0)),
             venue_categories: LeafLock::new("venue_categories", Vec::new()),
+            venue_arenas: (0..shards).map(|_| Mutex::new(StrArena::new())).collect(),
             user_reg: Mutex::new(0),
             venue_reg: Mutex::new(0),
             user_count: AtomicU64::new(0),
@@ -345,6 +358,11 @@ impl LbsnServer {
         let mut side_bytes = self.usernames.read().deep_bytes();
         side_bytes += self.venue_grid.read().approx_heap_bytes();
         side_bytes += self.venue_categories.read().deep_bytes();
+        // Interned venue text is charged here, once per shard, rather
+        // than per venue handle (`ArenaStr` reports zero).
+        for arena in &self.venue_arenas {
+            side_bytes += arena.lock().bytes();
+        }
         let total = user_bytes + venue_bytes + side_bytes;
         self.mem_sweep_cost.store(total as u64, Ordering::Relaxed);
         self.metrics.mem_users_bytes.set(user_bytes as f64);
@@ -410,7 +428,11 @@ impl LbsnServer {
     pub fn register_venue(&self, spec: VenueSpec) -> VenueId {
         let mut registered = self.venue_reg.lock();
         let id = VenueId(*registered + 1);
-        let venue = Venue::from_spec(id, spec, self.clock.now());
+        let venue = {
+            // Arena before shard lock — never the other way around.
+            let mut arena = self.venue_arenas[self.venues.shard_of(id.value())].lock();
+            Venue::from_spec(id, spec, self.clock.now(), &mut arena)
+        };
         let location = venue.location;
         // Category first: by the time the venue is visible in its
         // shard, badge evaluation can already resolve its category.
@@ -425,6 +447,171 @@ impl LbsnServer {
         *registered += 1;
         self.venue_count.fetch_add(1, Ordering::Release);
         id
+    }
+
+    /// Bulk-registers users, returning how many were added. IDs are
+    /// assigned exactly as by repeated [`LbsnServer::register_user`]
+    /// calls (dense, incrementing, in iteration order); the difference
+    /// is purely mechanical: specs are staged per shard in chunks, so a
+    /// paper-scale population takes a handful of lock acquisitions per
+    /// shard instead of two per user.
+    pub fn bulk_register_users(&self, specs: impl IntoIterator<Item = UserSpec>) -> u64 {
+        let mut registered = self.user_reg.lock();
+        let now = self.clock.now();
+        let shards = self.users.shard_count();
+        let mut staged: Vec<Vec<User>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut names: Vec<(String, UserId)> = Vec::new();
+        let mut count = 0u64;
+        let mut iter = specs.into_iter();
+        loop {
+            let mut in_chunk = 0usize;
+            for spec in iter.by_ref().take(BULK_CHUNK) {
+                let id = UserId(*registered + count + 1);
+                count += 1;
+                in_chunk += 1;
+                let user = User::from_spec(id, spec, now);
+                if let Some(name) = &user.username {
+                    names.push((name.clone(), id));
+                }
+                staged[self.users.shard_of(id.value())].push(user);
+            }
+            for (shard, batch) in staged.iter_mut().enumerate() {
+                if batch.is_empty() {
+                    continue;
+                }
+                let mut guard = self.users.write_shard(shard);
+                debug_assert_eq!(guard.len(), self.users.slot_of(batch[0].id.value()));
+                guard.append(batch);
+            }
+            // Names resolve only once the profiles are visible.
+            if !names.is_empty() {
+                self.usernames.write().extend(names.drain(..));
+            }
+            if in_chunk < BULK_CHUNK {
+                break;
+            }
+        }
+        *registered += count;
+        self.user_count.fetch_add(count, Ordering::Release);
+        count
+    }
+
+    /// Bulk-registers venues, returning how many were added. Same ID
+    /// assignment as repeated [`LbsnServer::register_venue`]; name and
+    /// address text for each chunk's worth of venues in a shard is
+    /// sealed into one shared arena chunk (one allocation per shard per
+    /// chunk, against two `String`s per venue on the incremental path).
+    pub fn bulk_register_venues(&self, specs: impl IntoIterator<Item = VenueSpec>) -> u64 {
+        let mut registered = self.venue_reg.lock();
+        let now = self.clock.now();
+        let shards = self.venues.shard_count();
+        let mut staged: Vec<Vec<(VenueId, VenueSpec)>> = (0..shards).map(|_| Vec::new()).collect();
+        let mut built: Vec<Venue> = Vec::new();
+        let mut categories: Vec<VenueCategory> = Vec::new();
+        let mut grid_entries: Vec<(GeoPoint, VenueId)> = Vec::new();
+        let mut count = 0u64;
+        let mut iter = specs.into_iter();
+        loop {
+            let mut in_chunk = 0usize;
+            for spec in iter.by_ref().take(BULK_CHUNK) {
+                let id = VenueId(*registered + count + 1);
+                count += 1;
+                in_chunk += 1;
+                categories.push(spec.category);
+                grid_entries.push((spec.location, id));
+                staged[self.venues.shard_of(id.value())].push((id, spec));
+            }
+            // Categories first, as on the incremental path: by the time
+            // a venue is visible in its shard, badge evaluation can
+            // already resolve its category.
+            if !categories.is_empty() {
+                self.venue_categories.write().extend(categories.drain(..));
+            }
+            for (shard, batch) in staged.iter_mut().enumerate() {
+                if batch.is_empty() {
+                    continue;
+                }
+                {
+                    // Arena before shard lock — never the other way
+                    // around, and never both at once.
+                    let mut arena = self.venue_arenas[shard].lock();
+                    let spans: Vec<(u32, u32, u16)> = batch
+                        .iter()
+                        .map(|(_, spec)| {
+                            let (off, _) = arena.stage(&spec.name);
+                            let (_, addr_len) = arena.stage(&spec.address);
+                            (
+                                off,
+                                spec.name.len() as u32 + addr_len,
+                                spec.name.len() as u16,
+                            )
+                        })
+                        .collect();
+                    let chunk = arena.seal();
+                    built.extend(batch.drain(..).zip(spans).map(
+                        |((id, spec), (off, len, name_len))| {
+                            Venue::from_parts(
+                                id,
+                                spec.location,
+                                spec.category,
+                                spec.special,
+                                now,
+                                ArenaStr::slice(&chunk, off, len),
+                                name_len,
+                            )
+                        },
+                    ));
+                }
+                let mut guard = self.venues.write_shard(shard);
+                debug_assert_eq!(guard.len(), self.venues.slot_of(built[0].id.value()));
+                guard.append(&mut built);
+            }
+            // Discoverability last.
+            if !grid_entries.is_empty() {
+                let mut grid = self.venue_grid.write();
+                for (location, id) in grid_entries.drain(..) {
+                    grid.insert(location, id);
+                }
+            }
+            if in_chunk < BULK_CHUNK {
+                break;
+            }
+        }
+        *registered += count;
+        self.venue_count.fetch_add(count, Ordering::Release);
+        count
+    }
+
+    /// Drops excess capacity across all server state — entity shard
+    /// vectors, per-entity collections, the spatial grid, and the side
+    /// maps. Bulk loading grows everything by doubling, which leaves up
+    /// to 2× slack that the capacity-charging [`MemFootprint`] sweeps
+    /// would faithfully report; call this once after a load (the scale
+    /// harness does) so the gauges reflect steady-state residency.
+    ///
+    /// Takes one lock at a time, so it composes with the documented
+    /// lock order from any calling context.
+    pub fn compact_memory(&self) {
+        for shard in 0..self.users.shard_count() {
+            let mut guard = self.users.write_shard(shard);
+            for user in guard.iter_mut() {
+                user.shrink_to_fit();
+            }
+            guard.shrink_to_fit();
+        }
+        for shard in 0..self.venues.shard_count() {
+            let mut guard = self.venues.write_shard(shard);
+            for venue in guard.iter_mut() {
+                venue.shrink_to_fit();
+            }
+            guard.shrink_to_fit();
+        }
+        for arena in &self.venue_arenas {
+            arena.lock().shrink_to_fit();
+        }
+        self.usernames.write().shrink_to_fit();
+        self.venue_grid.write().shrink_to_fit();
+        self.venue_categories.write().shrink_to_fit();
     }
 
     /// Venues within `radius` metres of `center`, nearest first, capped
@@ -923,7 +1110,7 @@ impl LbsnServer {
         if first_visit {
             let category = vguard[venue_slot].category;
             let user = uset.get_mut(uid).unwrap(); // lint:allow(no-unwrap-hot-path): uid validated before entry
-            *user.venues_by_category.entry(category).or_insert(0) += 1;
+            user.venues_by_category.bump(category);
         }
         let recent_cap = self.config.recent_visitors_len;
         vguard[venue_slot].record_valid_checkin(req.user, recent_cap);
@@ -1024,9 +1211,18 @@ impl LbsnServer {
     }
 
     /// Clones a user's full record (history included — prefer
-    /// [`LbsnServer::with_user`] on hot paths).
+    /// [`LbsnServer::with_user`] on hot paths, or
+    /// [`LbsnServer::user_profile`] for profile-page reads).
     pub fn user(&self, id: UserId) -> Option<User> {
         self.users.with(id.value(), |u| u.clone())
+    }
+
+    /// The profile-page projection of a user — just the fields the web
+    /// frontend renders. Scrape-shaped read paths over a paper-scale
+    /// world go through here so each page view copies a few dozen
+    /// bytes, not a lifetime check-in history.
+    pub fn user_profile(&self, id: UserId) -> Option<crate::user::UserProfile> {
+        self.users.with(id.value(), |u| u.profile())
     }
 
     /// Clones a venue's full record.
@@ -1064,7 +1260,7 @@ impl LbsnServer {
             hits.extend(
                 guard
                     .iter()
-                    .filter(|v| v.name.to_lowercase().contains(&needle))
+                    .filter(|v| v.name().to_lowercase().contains(&needle))
                     .take(limit)
                     .map(|v| v.id),
             );
@@ -1097,7 +1293,7 @@ impl LbsnServer {
         let v = guard
             .get_mut(self.venues.slot_of(venue.value()))
             .ok_or(CheckinError::UnknownVenue(venue))?;
-        v.tips.insert(
+        v.activity_mut().tips.insert(
             0,
             crate::venue::Tip {
                 user,
@@ -1196,6 +1392,98 @@ mod tests {
             reported_location: loc,
             source: CheckinSource::MobileApp,
         }
+    }
+
+    #[test]
+    fn bulk_registration_matches_incremental() {
+        // The bulk path must be an observably identical mechanical
+        // shortcut: same IDs, same profile state, same discoverability.
+        let make_user_specs = || {
+            (0..40u64).map(|i| {
+                if i % 3 == 0 {
+                    UserSpec::named(format!("user-{i}")).home(destination(
+                        abq(),
+                        10.0,
+                        50.0 * i as f64,
+                    ))
+                } else {
+                    UserSpec::anonymous()
+                }
+            })
+        };
+        let make_venue_specs = || {
+            (0..40u64).map(|i| {
+                let spec = VenueSpec::new(
+                    format!("Venue {i}"),
+                    destination(abq(), (i * 9 % 360) as f64, 100.0 + 40.0 * i as f64),
+                )
+                .address(format!("{i} Central Ave"))
+                .category(if i % 4 == 0 {
+                    VenueCategory::Coffee
+                } else {
+                    VenueCategory::Bar
+                });
+                if i % 5 == 0 {
+                    spec.special(crate::venue::Special {
+                        description: format!("Deal {i}"),
+                        kind: SpecialKind::MayorOnly,
+                    })
+                } else {
+                    spec
+                }
+            })
+        };
+
+        let incremental = LbsnServer::new(SimClock::new(), ServerConfig::default());
+        for spec in make_user_specs() {
+            incremental.register_user(spec);
+        }
+        for spec in make_venue_specs() {
+            incremental.register_venue(spec);
+        }
+        let bulk = LbsnServer::new(SimClock::new(), ServerConfig::default());
+        assert_eq!(bulk.bulk_register_users(make_user_specs()), 40);
+        assert_eq!(bulk.bulk_register_venues(make_venue_specs()), 40);
+        bulk.compact_memory();
+
+        assert_eq!(bulk.user_count(), incremental.user_count());
+        assert_eq!(bulk.venue_count(), incremental.venue_count());
+        for id in 1..=40u64 {
+            let (a, b) = (
+                incremental.user(UserId(id)).unwrap(),
+                bulk.user(UserId(id)).unwrap(),
+            );
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.username, b.username);
+            assert_eq!(a.home, b.home);
+            let (va, vb) = (
+                incremental.venue(VenueId(id)).unwrap(),
+                bulk.venue(VenueId(id)).unwrap(),
+            );
+            assert_eq!(va.id, vb.id);
+            assert_eq!(va.name(), vb.name());
+            assert_eq!(va.address(), vb.address());
+            assert_eq!(va.location, vb.location);
+            assert_eq!(va.category, vb.category);
+            assert_eq!(va.special, vb.special);
+        }
+        assert_eq!(
+            bulk.user_id_by_name("user-39"),
+            incremental.user_id_by_name("user-39")
+        );
+        assert_eq!(
+            bulk.search_venues_by_name("venue 1", 50),
+            incremental.search_venues_by_name("venue 1", 50)
+        );
+        let near_bulk: Vec<(VenueId, f64)> = bulk.venues_near(abq(), 2_000.0, 10);
+        let near_inc: Vec<(VenueId, f64)> = incremental.venues_near(abq(), 2_000.0, 10);
+        assert_eq!(near_bulk, near_inc);
+        // Registration continues seamlessly after a bulk load.
+        assert_eq!(bulk.register_user(UserSpec::anonymous()), UserId(41));
+        assert_eq!(
+            bulk.register_venue(VenueSpec::new("After", abq())),
+            VenueId(41)
+        );
     }
 
     #[test]
@@ -1300,7 +1588,7 @@ mod tests {
         // Venue state untouched.
         let v = server.venue(venue).unwrap();
         assert_eq!(v.checkins_here, 0);
-        assert!(v.recent_visitors.is_empty());
+        assert!(v.recent_visitors().is_empty());
         assert_eq!(v.mayor, None);
     }
 
@@ -1463,8 +1751,8 @@ mod tests {
             server.clock().advance(Duration::minutes(5));
         }
         let v = server.venue(venue).unwrap();
-        assert_eq!(v.recent_visitors.len(), 2);
-        assert_eq!(v.unique_visitors.len(), 4);
+        assert_eq!(v.recent_visitors().len(), 2);
+        assert_eq!(v.unique_visitors().len(), 4);
         assert_eq!(v.checkins_here, 4);
     }
 
@@ -1498,10 +1786,10 @@ mod tests {
         server.clock().advance(Duration::minutes(5));
         server.leave_tip(user, venue, "Long line today").unwrap();
         let v = server.venue(venue).unwrap();
-        assert_eq!(v.tips.len(), 2);
-        assert_eq!(v.tips[0].text, "Long line today");
-        assert_eq!(v.tips[1].text, "Great coffee");
-        assert!(v.tips[0].at > v.tips[1].at);
+        assert_eq!(v.tips().len(), 2);
+        assert_eq!(v.tips()[0].text, "Long line today");
+        assert_eq!(v.tips()[1].text, "Great coffee");
+        assert!(v.tips()[0].at > v.tips()[1].at);
         assert_eq!(
             server.leave_tip(UserId(99), venue, "x"),
             Err(CheckinError::UnknownUser(UserId(99)))

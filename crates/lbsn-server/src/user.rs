@@ -1,6 +1,14 @@
 //! Users: accounts, check-in history, and earned rewards.
+//!
+//! The struct is split hot/cold for paper-scale residency (DESIGN.md
+//! §13): the fields the check-in hot path reads live inline in [`User`]
+//! (~2 cache lines inside the shard's dense slot vector), while
+//! everything only the profile/web/forensics paths touch lives behind
+//! one pointer in [`UserCold`]. `Deref` keeps cold-field call sites
+//! (`u.badges`, `u.friends`, …) unchanged.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
+use std::ops::{Deref, DerefMut};
 
 use lbsn_geo::GeoPoint;
 use lbsn_obs::MemFootprint;
@@ -8,9 +16,12 @@ use lbsn_sim::Timestamp;
 use serde::{Deserialize, Serialize};
 
 use crate::checkin::CheckinRecord;
-use crate::rewards::Badge;
-use crate::venue::VenueCategory;
+use crate::compact::{BadgeSet, CategoryCounts, IdSet};
+use crate::history::{PackedHistory, PackedRecord};
 use crate::{UserId, VenueId};
+
+/// Sentinel for "no rewarded check-in yet" in [`User::latest_rewarded_off`].
+const NO_REWARDED: u32 = u32::MAX;
 
 /// Parameters for registering a user.
 #[derive(Debug, Clone, Default)]
@@ -43,25 +54,36 @@ impl UserSpec {
     }
 }
 
-/// Server-side user state.
+/// Server-side user state: the hot half.
 ///
 /// The public profile page exposes username, home, total check-ins,
 /// badge count and friend count (the paper's `UserInfo` table);
 /// mayorships and the check-in history are hidden from the page — the
 /// paper infers them from venue pages instead.
+///
+/// Only fields the admission pipeline reads per check-in are inline;
+/// profile-only state is one hop away in [`UserCold`], reachable
+/// directly through `Deref`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct User {
     /// User ID (dense, incrementing — the enumeration weakness).
     pub id: UserId,
-    /// Vanity username, if chosen.
-    pub username: Option<String>,
-    /// Self-reported home location.
-    pub home: Option<GeoPoint>,
     /// Registration time. The paper dates accounts by ID; we keep the
     /// timestamp too.
     pub created_at: Timestamp,
-    /// Every check-in ever submitted, valid or flagged, in time order.
-    pub history: Vec<CheckinRecord>,
+    /// Every check-in ever submitted, valid or flagged, in time order,
+    /// packed (delta timestamps, bitset flags, quantized coordinates).
+    pub history: PackedHistory,
+    /// Byte offset into `history` of the most recent *rewarded*
+    /// check-in, or `u32::MAX` for none. Maintained by
+    /// [`User::push_record`] so the speed rule's
+    /// [`User::last_valid_checkin`] is O(1) even for the cheater
+    /// cohort's shape — long histories that are almost all flagged.
+    latest_rewarded_off: u32,
+    /// Timestamp of the most recent rewarded check-in (decode key for
+    /// `latest_rewarded_off`, and the O(1) answer to
+    /// [`User::has_valid_checkin_since`]).
+    latest_rewarded_at: Timestamp,
     /// Total submitted check-ins (valid + flagged). Foursquare's policy,
     /// per §4.2: flagged check-ins still count here.
     pub total_checkins: u64,
@@ -75,66 +97,122 @@ pub struct User {
     pub branded_cheater: bool,
     /// Points balance.
     pub points: u64,
+    /// Cold profile state (web/forensics paths only).
+    cold: Box<UserCold>,
+}
+
+/// Server-side user state: the cold half. Reached only by profile,
+/// web-page, reward-evaluation and forensics paths — never by the
+/// per-check-in detector scan.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UserCold {
+    /// Vanity username, if chosen.
+    pub username: Option<String>,
+    /// Self-reported home location.
+    pub home: Option<GeoPoint>,
     /// Badges earned (each at most once).
-    pub badges: HashSet<Badge>,
+    pub badges: BadgeSet,
     /// Venues this user is currently mayor of.
-    pub mayorships: HashSet<VenueId>,
+    pub mayorships: IdSet<VenueId>,
     /// Friends (symmetric).
-    pub friends: HashSet<UserId>,
+    pub friends: IdSet<UserId>,
     /// Distinct venues with at least one valid check-in.
-    pub visited_venues: HashSet<VenueId>,
+    pub visited_venues: IdSet<VenueId>,
     /// Distinct venues per category (drives category badges).
-    pub venues_by_category: HashMap<VenueCategory, u32>,
-    /// Index into `history` of the most recent *rewarded* check-in.
-    /// Maintained by [`User::push_record`] so the speed rule's
-    /// [`User::last_valid_checkin`] is O(1) even for the cheater
-    /// cohort's shape — long histories that are almost all flagged.
-    pub latest_rewarded_idx: Option<usize>,
+    pub venues_by_category: CategoryCounts,
+}
+
+impl Deref for User {
+    type Target = UserCold;
+    fn deref(&self) -> &UserCold {
+        &self.cold
+    }
+}
+
+impl DerefMut for User {
+    fn deref_mut(&mut self) -> &mut UserCold {
+        &mut self.cold
+    }
+}
+
+/// The fields the public profile page exposes (the paper's `UserInfo`
+/// table). Returned by `LbsnServer::user_profile` so scrape-shaped
+/// reads copy a few dozen bytes instead of cloning a full history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// User ID.
+    pub id: UserId,
+    /// Vanity username, if chosen.
+    pub username: Option<String>,
+    /// Self-reported home location.
+    pub home: Option<GeoPoint>,
+    /// Total submitted check-ins (valid + flagged).
+    pub total_checkins: u64,
+    /// Number of badges earned.
+    pub badge_count: usize,
+    /// Number of friends.
+    pub friend_count: usize,
+    /// Points balance.
+    pub points: u64,
 }
 
 impl User {
     pub(crate) fn from_spec(id: UserId, spec: UserSpec, now: Timestamp) -> Self {
         User {
             id,
-            username: spec.username,
-            home: spec.home,
             created_at: now,
-            history: Vec::new(),
+            history: PackedHistory::new(),
+            latest_rewarded_off: NO_REWARDED,
+            latest_rewarded_at: Timestamp(0),
             total_checkins: 0,
             valid_checkins: 0,
             flagged_checkins: 0,
             branded_cheater: false,
             points: 0,
-            badges: HashSet::new(),
-            mayorships: HashSet::new(),
-            friends: HashSet::new(),
-            visited_venues: HashSet::new(),
-            venues_by_category: HashMap::new(),
-            latest_rewarded_idx: None,
+            cold: Box::new(UserCold {
+                username: spec.username,
+                home: spec.home,
+                ..UserCold::default()
+            }),
         }
     }
 
     /// Appends a check-in to the history, bumping the submitted-total
-    /// and maintaining the latest-rewarded index. All history growth
-    /// must go through here — pushing to `history` directly desyncs
+    /// and maintaining the latest-rewarded cache. All history growth
+    /// must go through here — encoding records elsewhere desyncs
     /// [`User::last_valid_checkin`].
     pub fn push_record(&mut self, record: CheckinRecord) {
+        let off = self.history.push(&record);
         if record.rewarded {
-            self.latest_rewarded_idx = Some(self.history.len());
+            self.latest_rewarded_off = off;
+            self.latest_rewarded_at = record.at;
         }
-        self.history.push(record);
         self.total_checkins += 1;
     }
 
     /// The most recent check-in, if any (valid or flagged).
-    pub fn last_checkin(&self) -> Option<&CheckinRecord> {
-        self.history.last()
+    pub fn last_checkin(&self) -> Option<PackedRecord> {
+        self.history.iter().next_back()
     }
 
     /// The most recent *valid* check-in, if any. O(1) via the cached
-    /// index — no reverse scan over flag-heavy histories.
-    pub fn last_valid_checkin(&self) -> Option<&CheckinRecord> {
-        self.latest_rewarded_idx.map(|i| &self.history[i])
+    /// offset — no reverse scan over flag-heavy histories.
+    pub fn last_valid_checkin(&self) -> Option<PackedRecord> {
+        if self.latest_rewarded_off == NO_REWARDED {
+            None
+        } else {
+            Some(
+                self.history
+                    .decode_at(self.latest_rewarded_off, self.latest_rewarded_at),
+            )
+        }
+    }
+
+    /// Whether any rewarded check-in landed at or after `since`. O(1):
+    /// answered from the latest-rewarded cache (the server clock is
+    /// monotonic, so the newest rewarded timestamp decides).
+    pub fn has_valid_checkin_since(&self, since: Timestamp) -> bool {
+        self.latest_rewarded_off != NO_REWARDED && self.latest_rewarded_at >= since
     }
 
     /// Iterates over valid check-ins at `venue` no earlier than `since`,
@@ -144,7 +222,7 @@ impl User {
         &self,
         venue: VenueId,
         since: Timestamp,
-    ) -> impl Iterator<Item = &CheckinRecord> {
+    ) -> impl Iterator<Item = PackedRecord> + '_ {
         self.history
             .iter()
             .rev()
@@ -165,7 +243,10 @@ impl User {
     }
 
     /// Valid check-ins within `[since, now]`, any venue.
-    pub fn valid_checkins_since(&self, since: Timestamp) -> impl Iterator<Item = &CheckinRecord> {
+    pub fn valid_checkins_since(
+        &self,
+        since: Timestamp,
+    ) -> impl Iterator<Item = PackedRecord> + '_ {
         self.history
             .iter()
             .rev()
@@ -177,6 +258,39 @@ impl User {
     pub fn badge_count(&self) -> usize {
         self.badges.len()
     }
+
+    /// The profile-page projection (see [`UserProfile`]).
+    pub fn profile(&self) -> UserProfile {
+        UserProfile {
+            id: self.id,
+            username: self.username.clone(),
+            home: self.home,
+            total_checkins: self.total_checkins,
+            badge_count: self.badges.len(),
+            friend_count: self.friends.len(),
+            points: self.points,
+        }
+    }
+
+    /// Drops excess collection capacity (post-bulk-load compaction).
+    pub fn shrink_to_fit(&mut self) {
+        self.history.shrink_to_fit();
+        let UserCold {
+            username,
+            home: _,
+            badges: _,
+            mayorships,
+            friends,
+            visited_venues,
+            venues_by_category: _,
+        } = &mut *self.cold;
+        if let Some(name) = username {
+            name.shrink_to_fit();
+        }
+        mayorships.shrink_to_fit();
+        friends.shrink_to_fit();
+        visited_venues.shrink_to_fit();
+    }
 }
 
 impl MemFootprint for User {
@@ -185,24 +299,33 @@ impl MemFootprint for User {
         // lint sees every field; inline fields contribute nothing.
         let User {
             id: _,
-            username,
-            home: _,
             created_at: _,
             history,
+            latest_rewarded_off: _,
+            latest_rewarded_at: _,
             total_checkins: _,
             valid_checkins: _,
             flagged_checkins: _,
             branded_cheater: _,
             points: _,
+            cold,
+        } = self;
+        history.heap_bytes() + cold.heap_bytes()
+    }
+}
+
+impl MemFootprint for UserCold {
+    fn heap_bytes(&self) -> usize {
+        let UserCold {
+            username,
+            home: _,
             badges,
             mayorships,
             friends,
             visited_venues,
             venues_by_category,
-            latest_rewarded_idx: _,
         } = self;
         username.heap_bytes()
-            + history.heap_bytes()
             + badges.heap_bytes()
             + mayorships.heap_bytes()
             + friends.heap_bytes()
@@ -258,20 +381,31 @@ mod tests {
     }
 
     #[test]
-    fn latest_rewarded_index_tracks_pushes() {
+    fn latest_rewarded_cache_tracks_pushes() {
         let mut u = user_with_history(vec![record(1, 100, true)]);
-        assert_eq!(u.latest_rewarded_idx, Some(0));
+        assert_eq!(u.last_valid_checkin().unwrap().venue, VenueId(1));
         // A run of flagged check-ins leaves the cache pointing at the
         // last rewarded one.
         for i in 0..50u64 {
             u.push_record(record(2, 200 + i, false));
         }
-        assert_eq!(u.latest_rewarded_idx, Some(0));
-        assert_eq!(u.last_valid_checkin().unwrap().venue, VenueId(1));
+        let cached = u.last_valid_checkin().unwrap();
+        assert_eq!(cached.venue, VenueId(1));
+        assert_eq!(cached.at, Timestamp(100));
         u.push_record(record(3, 300, true));
-        assert_eq!(u.latest_rewarded_idx, Some(51));
         assert_eq!(u.last_valid_checkin().unwrap().venue, VenueId(3));
         assert_eq!(u.total_checkins, 52);
+    }
+
+    #[test]
+    fn has_valid_checkin_since_uses_latest_rewarded() {
+        let mut u = user_with_history(vec![record(1, 100, true), record(2, 150, false)]);
+        assert!(u.has_valid_checkin_since(Timestamp(100)));
+        assert!(u.has_valid_checkin_since(Timestamp(50)));
+        assert!(!u.has_valid_checkin_since(Timestamp(101)));
+        u.push_record(record(3, 400, true));
+        assert!(u.has_valid_checkin_since(Timestamp(400)));
+        assert!(!user_with_history(vec![]).has_valid_checkin_since(Timestamp(0)));
     }
 
     #[test]
@@ -309,5 +443,25 @@ mod tests {
         let since = Timestamp(98 * DAY);
         assert_eq!(u.valid_checkins_since(since).count(), 2);
         let _ = Duration::days(1); // silence unused import in some cfgs
+    }
+
+    #[test]
+    fn profile_projection_matches_fields() {
+        let mut u = User::from_spec(
+            UserId(9),
+            UserSpec::named("dora").home(GeoPoint::new(40.0, -96.0).unwrap()),
+            Timestamp(5),
+        );
+        u.points = 77;
+        u.friends.insert(UserId(2));
+        u.friends.insert(UserId(3));
+        u.push_record(record(1, 10, true));
+        let p = u.profile();
+        assert_eq!(p.id, UserId(9));
+        assert_eq!(p.username.as_deref(), Some("dora"));
+        assert_eq!(p.total_checkins, 1);
+        assert_eq!(p.friend_count, 2);
+        assert_eq!(p.points, 77);
+        assert_eq!(p.badge_count, 0);
     }
 }

@@ -1,12 +1,19 @@
 //! Venues: places users check into, with specials and a mayor.
-
-use std::collections::{HashSet, VecDeque};
+//!
+//! Like [`crate::user`], the struct is split hot/cold (DESIGN.md §13):
+//! the check-in hot path reads only location, category, mayor and the
+//! valid-check-in counter, which sit inline in [`Venue`]; name/address
+//! text (arena-interned), the special, and the visitor-activity block
+//! live behind one cold pointer. At paper scale ~97 % of venues never
+//! see a check-in, so [`VenueActivity`] is lazily allocated — an idle
+//! venue owns no collection headers at all.
 
 use lbsn_geo::GeoPoint;
 use lbsn_obs::MemFootprint;
 use lbsn_sim::Timestamp;
 use serde::{Deserialize, Serialize};
 
+use crate::compact::{ArenaStr, IdSet, StrArena};
 use crate::{UserId, VenueId};
 
 /// Coarse venue category, used by category badges (Fresh Brew, Gym Rat…)
@@ -144,57 +151,159 @@ impl VenueSpec {
     }
 }
 
-/// Server-side venue state.
+/// Server-side venue state: the hot half.
 ///
-/// The public profile page (crate [`crate::web`]) exposes `name`,
-/// `address`, coordinates, `checkins_here`, `unique_visitors`, the
+/// The public profile page (crate [`crate::web`]) exposes the name,
+/// address, coordinates, `checkins_here`, unique visitors, the
 /// special, the mayor link, and the recent-visitor list — the exact
-/// fields the paper's `VenueInfo` table stores (Fig 3.3).
+/// fields the paper's `VenueInfo` table stores (Fig 3.3). Only what
+/// the admission pipeline reads per check-in sits inline; the rest is
+/// one hop away in [`VenueCold`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Venue {
     /// Venue ID (dense, incrementing).
     pub id: VenueId,
-    /// Display name.
-    pub name: String,
-    /// Street address.
-    pub address: String,
     /// Location.
     pub location: GeoPoint,
     /// Category.
     pub category: VenueCategory,
-    /// Partner special, if any.
-    pub special: Option<Special>,
     /// Current mayor, if any.
     pub mayor: Option<UserId>,
     /// Total *valid* check-ins here.
     pub checkins_here: u64,
-    /// Distinct users who have validly checked in here.
-    pub unique_visitors: HashSet<UserId>,
-    /// The "Who's been here" list: most recent distinct visitors,
-    /// newest first, capped at the server's configured length.
-    pub recent_visitors: VecDeque<UserId>,
-    /// User-left tips, newest first.
-    pub tips: Vec<Tip>,
     /// Registration time.
     pub created_at: Timestamp,
+    /// Cold state (profile text, special, visitor activity).
+    cold: Box<VenueCold>,
 }
 
+/// Server-side venue state: the cold half. Reached by web-page,
+/// reward (specials) and forensics paths.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VenueCold {
+    /// Name + address, concatenated and arena-interned; `name_len`
+    /// splits the two (see [`Venue::name`] / [`Venue::address`]).
+    text: ArenaStr,
+    /// Byte length of the name prefix of `text`.
+    name_len: u16,
+    /// Partner special, if any (boxed: >99 % of synthesized venues have
+    /// none, so only the `Option` niche is resident).
+    pub special: Option<Box<Special>>,
+    /// Visitor activity, allocated on the first valid check-in or tip.
+    activity: Option<Box<VenueActivity>>,
+}
+
+/// The per-venue state that only exists once somebody actually checks
+/// in (or leaves a tip). At rung scale ~97 % of venues never do.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct VenueActivity {
+    /// Distinct users who have validly checked in here.
+    pub unique_visitors: IdSet<UserId>,
+    /// The "Who's been here" list: most recent distinct visitors,
+    /// newest first, capped at the server's configured length.
+    pub recent_visitors: Vec<UserId>,
+    /// User-left tips, newest first.
+    pub tips: Vec<Tip>,
+}
+
+impl std::ops::Deref for Venue {
+    type Target = VenueCold;
+    fn deref(&self) -> &VenueCold {
+        &self.cold
+    }
+}
+
+impl std::ops::DerefMut for Venue {
+    fn deref_mut(&mut self) -> &mut VenueCold {
+        &mut self.cold
+    }
+}
+
+static EMPTY_USERS: [UserId; 0] = [];
+static EMPTY_TIPS: [Tip; 0] = [];
+
 impl Venue {
-    pub(crate) fn from_spec(id: VenueId, spec: VenueSpec, now: Timestamp) -> Self {
+    pub(crate) fn from_spec(
+        id: VenueId,
+        spec: VenueSpec,
+        now: Timestamp,
+        arena: &mut StrArena,
+    ) -> Self {
+        let mut text = String::with_capacity(spec.name.len() + spec.address.len());
+        text.push_str(&spec.name);
+        text.push_str(&spec.address);
+        Venue::from_parts(
+            id,
+            spec.location,
+            spec.category,
+            spec.special,
+            now,
+            arena.intern(&text),
+            spec.name.len() as u16,
+        )
+    }
+
+    /// Assembles a venue around already-interned profile text — the
+    /// bulk-load entry point, where whole batches share one arena chunk.
+    pub(crate) fn from_parts(
+        id: VenueId,
+        location: GeoPoint,
+        category: VenueCategory,
+        special: Option<Special>,
+        now: Timestamp,
+        text: ArenaStr,
+        name_len: u16,
+    ) -> Self {
         Venue {
             id,
-            name: spec.name,
-            address: spec.address,
-            location: spec.location,
-            category: spec.category,
-            special: spec.special,
+            location,
+            category,
             mayor: None,
             checkins_here: 0,
-            unique_visitors: HashSet::new(),
-            recent_visitors: VecDeque::new(),
-            tips: Vec::new(),
             created_at: now,
+            cold: Box::new(VenueCold {
+                text,
+                name_len,
+                special: special.map(Box::new),
+                activity: None,
+            }),
         }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &str {
+        &self.cold.text[..self.cold.name_len as usize]
+    }
+
+    /// Street address.
+    pub fn address(&self) -> &str {
+        &self.cold.text[self.cold.name_len as usize..]
+    }
+
+    /// Distinct users who have validly checked in here, ascending by ID.
+    pub fn unique_visitors(&self) -> &[UserId] {
+        self.cold
+            .activity
+            .as_ref()
+            .map_or(&EMPTY_USERS, |a| a.unique_visitors.as_slice())
+    }
+
+    /// The "Who's been here" list, newest first.
+    pub fn recent_visitors(&self) -> &[UserId] {
+        self.cold
+            .activity
+            .as_ref()
+            .map_or(&EMPTY_USERS, |a| &a.recent_visitors)
+    }
+
+    /// User-left tips, newest first.
+    pub fn tips(&self) -> &[Tip] {
+        self.cold.activity.as_ref().map_or(&EMPTY_TIPS, |a| &a.tips)
+    }
+
+    /// The activity block, allocated on first use.
+    pub(crate) fn activity_mut(&mut self) -> &mut VenueActivity {
+        self.cold.activity.get_or_insert_with(Default::default)
     }
 
     /// Records a valid check-in's effect on venue counters and the
@@ -203,14 +312,13 @@ impl Venue {
     /// presence, not multiplicity).
     pub(crate) fn record_valid_checkin(&mut self, user: UserId, recent_cap: usize) {
         self.checkins_here += 1;
-        self.unique_visitors.insert(user);
-        if let Some(pos) = self.recent_visitors.iter().position(|u| *u == user) {
-            self.recent_visitors.remove(pos);
+        let activity = self.activity_mut();
+        activity.unique_visitors.insert(user);
+        if let Some(pos) = activity.recent_visitors.iter().position(|u| *u == user) {
+            activity.recent_visitors.remove(pos);
         }
-        self.recent_visitors.push_front(user);
-        while self.recent_visitors.len() > recent_cap {
-            self.recent_visitors.pop_back();
-        }
+        activity.recent_visitors.insert(0, user);
+        activity.recent_visitors.truncate(recent_cap);
     }
 
     /// Whether this venue currently has a mayor-only special with no
@@ -218,12 +326,21 @@ impl Venue {
     pub fn is_unclaimed_special(&self) -> bool {
         self.mayor.is_none()
             && matches!(
-                self.special,
+                self.special.as_deref(),
                 Some(Special {
                     kind: SpecialKind::MayorOnly,
                     ..
                 })
             )
+    }
+
+    /// Drops excess collection capacity (post-bulk-load compaction).
+    pub fn shrink_to_fit(&mut self) {
+        if let Some(activity) = &mut self.cold.activity {
+            activity.unique_visitors.shrink_to_fit();
+            activity.recent_visitors.shrink_to_fit();
+            activity.tips.shrink_to_fit();
+        }
     }
 }
 
@@ -257,24 +374,39 @@ impl MemFootprint for Venue {
         // lint sees every field; inline fields contribute nothing.
         let Venue {
             id: _,
-            name,
-            address,
             location: _,
             category: _,
-            special,
             mayor: _,
             checkins_here: _,
+            created_at: _,
+            cold,
+        } = self;
+        cold.heap_bytes()
+    }
+}
+
+impl MemFootprint for VenueCold {
+    fn heap_bytes(&self) -> usize {
+        // `text` charges nothing here: arena chunk bytes are accounted
+        // once per shard (side_maps_bytes), not per venue.
+        let VenueCold {
+            text,
+            name_len: _,
+            special,
+            activity,
+        } = self;
+        text.heap_bytes() + special.heap_bytes() + activity.heap_bytes()
+    }
+}
+
+impl MemFootprint for VenueActivity {
+    fn heap_bytes(&self) -> usize {
+        let VenueActivity {
             unique_visitors,
             recent_visitors,
             tips,
-            created_at: _,
         } = self;
-        name.heap_bytes()
-            + address.heap_bytes()
-            + special.heap_bytes()
-            + unique_visitors.heap_bytes()
-            + recent_visitors.heap_bytes()
-            + tips.heap_bytes()
+        unique_visitors.heap_bytes() + recent_visitors.heap_bytes() + tips.heap_bytes()
     }
 }
 
@@ -290,17 +422,30 @@ mod tests {
                 description: "Free coffee for the mayor!".into(),
                 kind: SpecialKind::MayorOnly,
             });
-        Venue::from_spec(VenueId(1), spec, Timestamp(0))
+        Venue::from_spec(VenueId(1), spec, Timestamp(0), &mut StrArena::new())
     }
 
     #[test]
     fn from_spec_initialises_counters() {
         let v = venue();
         assert_eq!(v.checkins_here, 0);
-        assert!(v.unique_visitors.is_empty());
-        assert!(v.recent_visitors.is_empty());
+        assert!(v.unique_visitors().is_empty());
+        assert!(v.recent_visitors().is_empty());
         assert_eq!(v.mayor, None);
         assert_eq!(v.category.label(), "Coffee Shop");
+        assert_eq!(v.name(), "Test Cafe");
+        assert_eq!(v.address(), "123 Central Ave");
+    }
+
+    #[test]
+    fn idle_venue_owns_no_activity_heap() {
+        let v = venue();
+        // The special is boxed; everything else an idle venue holds is
+        // the cold block itself. No collection headers.
+        let expected = std::mem::size_of::<VenueCold>()
+            + std::mem::size_of::<Special>()
+            + "Free coffee for the mayor!".len();
+        assert_eq!(v.heap_bytes(), expected);
     }
 
     #[test]
@@ -310,18 +455,12 @@ mod tests {
             v.record_valid_checkin(UserId(i), 3);
         }
         // Cap 3: only the 3 most recent remain, newest first.
-        assert_eq!(
-            v.recent_visitors,
-            VecDeque::from(vec![UserId(5), UserId(4), UserId(3)])
-        );
+        assert_eq!(v.recent_visitors(), &[UserId(5), UserId(4), UserId(3)]);
         // Revisit by user 3 moves them to the front without duplication.
         v.record_valid_checkin(UserId(3), 3);
-        assert_eq!(
-            v.recent_visitors,
-            VecDeque::from(vec![UserId(3), UserId(5), UserId(4)])
-        );
+        assert_eq!(v.recent_visitors(), &[UserId(3), UserId(5), UserId(4)]);
         assert_eq!(v.checkins_here, 6);
-        assert_eq!(v.unique_visitors.len(), 5);
+        assert_eq!(v.unique_visitors().len(), 5);
     }
 
     #[test]
@@ -331,10 +470,10 @@ mod tests {
         v.mayor = Some(UserId(9));
         assert!(!v.is_unclaimed_special());
         v.mayor = None;
-        v.special = Some(Special {
+        v.special = Some(Box::new(Special {
             description: "10% off any check-in".into(),
             kind: SpecialKind::EveryCheckin,
-        });
+        }));
         assert!(!v.is_unclaimed_special(), "non-mayor specials don't count");
         v.special = None;
         assert!(!v.is_unclaimed_special());

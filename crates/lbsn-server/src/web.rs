@@ -183,12 +183,13 @@ impl WebFrontend {
         } else {
             return PageResponse::not_found();
         };
-        let page = self.server.with_user(id, |u| {
-            let display = u
+        // The projection accessor: page rendering never clones a
+        // check-in history, no matter how long the account's record is.
+        let page = self.server.user_profile(id).map(|p| {
+            let display = p
                 .username
-                .clone()
-                .unwrap_or_else(|| format!("user{}", u.id.value()));
-            let home = u
+                .unwrap_or_else(|| format!("user{}", p.id.value()));
+            let home = p
                 .home
                 .map(|h| format!("{:.4}, {:.4}", h.lat(), h.lon()))
                 .unwrap_or_else(|| "unknown".to_string());
@@ -202,13 +203,13 @@ impl WebFrontend {
                  <span class=\"stat friends\">{friends}</span>\n\
                  <span class=\"stat points\">{points}</span>\n\
                  </div></body></html>",
-                id = u.id.value(),
+                id = p.id.value(),
                 display = display,
                 home = home,
-                total = u.total_checkins,
-                badges = u.badge_count(),
-                friends = u.friends.len(),
-                points = u.points,
+                total = p.total_checkins,
+                badges = p.badge_count,
+                friends = p.friend_count,
+                points = p.points,
             )
         });
         match page {
@@ -246,7 +247,7 @@ impl WebFrontend {
             };
             let visitors_html = if config.show_whos_been_here {
                 let entries: String = v
-                    .recent_visitors
+                    .recent_visitors()
                     .iter()
                     .map(|u| {
                         if config.hash_visitor_ids {
@@ -269,7 +270,7 @@ impl WebFrontend {
             // Up to five most-recent tips appear on the page.
             let tips_html = {
                 let entries: String = v
-                    .tips
+                    .tips()
                     .iter()
                     .take(5)
                     .map(|t| {
@@ -282,7 +283,7 @@ impl WebFrontend {
                     .collect();
                 format!(
                     "<span class=\"stat tips\">{}</span>\n<div class=\"tips\">{entries}</div>\n",
-                    v.tips.len()
+                    v.tips().len()
                 )
             };
             format!(
@@ -296,13 +297,13 @@ impl WebFrontend {
                  <span class=\"stat unique-visitors\">{unique}</span>\n\
                  {tips}{special}{mayor}{visitors}</div></body></html>",
                 id = v.id.value(),
-                name = v.name,
-                address = v.address,
+                name = v.name(),
+                address = v.address(),
                 category = v.category.label(),
                 lat = v.location.lat(),
                 lon = v.location.lon(),
                 checkins = v.checkins_here,
-                unique = v.unique_visitors.len(),
+                unique = v.unique_visitors().len(),
                 tips = tips_html,
                 special = special_html,
                 mayor = mayor_html,

@@ -332,7 +332,7 @@ fn crawler_reads_run_concurrently_with_writers() {
                     match (r + i) % 5 {
                         0 => {
                             server.for_each_venue(|v| {
-                                assert!(v.unique_visitors.len() as u64 <= v.checkins_here);
+                                assert!(v.unique_visitors().len() as u64 <= v.checkins_here);
                             });
                         }
                         1 => {

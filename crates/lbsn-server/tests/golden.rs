@@ -335,8 +335,8 @@ fn run_workload_grouped(shards: usize, batch_size: usize, batched: bool) -> Gold
         venues.push(VenueRow {
             id,
             checkins_here: v.checkins_here,
-            unique_visitors: v.unique_visitors.len(),
-            recent_visitors: v.recent_visitors.iter().map(|u| u.value()).collect(),
+            unique_visitors: v.unique_visitors().len(),
+            recent_visitors: v.recent_visitors().iter().map(|u| u.value()).collect(),
             mayor: v.mayor.map(|u| u.value()),
         });
     }
@@ -451,4 +451,56 @@ fn default_policy_matches_committed_fixture() {
         assert_eq!(g, w, "outcome row {} drifted", w.seq);
     }
     assert_eq!(got, want, "final-state digest drifted");
+}
+
+#[test]
+fn packed_history_reproduces_fixture_verdicts() {
+    // The packed per-user check-in history is the server's only record
+    // of past detector decisions. Decoding it back must reproduce the
+    // committed fixture's verdicts exactly — same venues, timestamps,
+    // reward decisions, and flag sets, per user, in admission order —
+    // or the compact encoding has silently changed behaviour.
+    let server = LbsnServer::new(SimClock::new(), ServerConfig::default());
+    let ops = build_script(&server);
+    for op in &ops {
+        server.clock().advance(Duration::secs(op.advance_secs));
+        server
+            .check_in(&CheckinRequest {
+                user: op.user,
+                venue: op.venue,
+                reported_location: op.reported,
+                source: CheckinSource::MobileApp,
+            })
+            .expect("scripted ids are registered");
+    }
+
+    let fixture = std::fs::read_to_string(FIXTURE)
+        .expect("committed fixture exists (regenerate with LBSN_GOLDEN_WRITE=1)");
+    let want: Golden = serde_json::from_str(&fixture).expect("fixture parses");
+    for id in 1..=server.user_count() {
+        let expected: Vec<&OutcomeRow> = want.outcomes.iter().filter(|o| o.user == id).collect();
+        let user = server.user(UserId(id)).unwrap();
+        // Forward iteration is oldest-first — admission order.
+        let decoded: Vec<_> = user.history.iter().map(|p| p.to_record()).collect();
+        assert_eq!(decoded.len(), expected.len(), "user {id} history length");
+        for (r, o) in decoded.iter().zip(&expected) {
+            assert_eq!(r.venue.value(), o.venue, "user {id} venue at seq {}", o.seq);
+            assert_eq!(r.at.secs(), o.at, "user {id} timestamp at seq {}", o.seq);
+            let mut got_flags: Vec<String> = r.flags.iter().map(|f| format!("{f:?}")).collect();
+            let mut want_flags = o.flags.clone();
+            got_flags.sort();
+            want_flags.sort();
+            assert_eq!(
+                got_flags, want_flags,
+                "user {id} verdict drifted at seq {}",
+                o.seq
+            );
+            assert_eq!(
+                r.rewarded,
+                o.flags.is_empty(),
+                "user {id} reward bit drifted at seq {}",
+                o.seq
+            );
+        }
+    }
 }

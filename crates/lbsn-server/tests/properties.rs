@@ -110,13 +110,16 @@ proptest! {
                     u.valid_checkins
                 );
                 // History is time-ordered.
-                for w in u.history.windows(2) {
+                let records: Vec<_> = u.history.iter().collect();
+                for w in records.windows(2) {
                     assert!(w[0].at <= w[1].at);
                 }
                 // Distinct-venue tracking matches history.
-                let distinct: std::collections::HashSet<_> =
+                let mut distinct: Vec<_> =
                     u.history.iter().filter(|r| r.rewarded).map(|r| r.venue).collect();
-                assert_eq!(distinct, u.visited_venues);
+                distinct.sort_unstable();
+                distinct.dedup();
+                assert_eq!(distinct, u.visited_venues.as_slice());
             }).unwrap();
         }
         prop_assert_eq!(total_all, submitted);
@@ -126,15 +129,15 @@ proptest! {
         for vid in 1..=6u64 {
             server.with_venue(VenueId(vid), |v| {
                 venue_valid += v.checkins_here;
-                assert!(v.recent_visitors.len() <= 10);
+                assert!(v.recent_visitors().len() <= 10);
                 // Recent list entries are unique.
-                let set: std::collections::HashSet<_> = v.recent_visitors.iter().collect();
-                assert_eq!(set.len(), v.recent_visitors.len());
+                let set: std::collections::HashSet<_> = v.recent_visitors().iter().collect();
+                assert_eq!(set.len(), v.recent_visitors().len());
                 // Everyone on the recent list is a unique visitor.
-                for u in &v.recent_visitors {
-                    assert!(v.unique_visitors.contains(u));
+                for u in v.recent_visitors() {
+                    assert!(v.unique_visitors().contains(u));
                 }
-                assert!(v.unique_visitors.len() as u64 <= v.checkins_here);
+                assert!(v.unique_visitors().len() as u64 <= v.checkins_here);
             }).unwrap();
         }
         // Venue valid totals equal user valid totals.
@@ -217,5 +220,98 @@ proptest! {
             last_points[idx] = points;
             last_badges[idx] = badges;
         }
+    }
+}
+
+/// An arbitrary check-in record for the packed-history round trip:
+/// venue ids across the full range, timestamps in any order (the delta
+/// encoding is signed), coordinates both on and off the 1e-7-degree
+/// quantization grid, every flag subset, both sources.
+fn arb_record() -> impl Strategy<Value = lbsn_server::CheckinRecord> {
+    (
+        1u64..=5_600_000,
+        0u64..=4_000_000_000,
+        (-90i32 * 10_000_000..=90 * 10_000_000).prop_map(|q| q as f64 / 1e7),
+        (-180i32 * 10_000_000..=180 * 10_000_000).prop_map(|q| q as f64 / 1e7),
+        prop_oneof![Just(0.0f64), -4e-9..4e-9f64], // nudge off the grid
+        any::<bool>(),
+        0u8..32,
+    )
+        .prop_map(
+            |(venue, at, lat, lon, jitter, api, flag_bits): (u64, u64, f64, f64, f64, bool, u8)| {
+                let flags = lbsn_server::FlagSet::from_bits(flag_bits).to_vec();
+                lbsn_server::CheckinRecord {
+                    venue: VenueId(venue),
+                    at: lbsn_sim::Timestamp(at),
+                    location: GeoPoint::new(
+                        (lat + jitter).clamp(-90.0, 90.0),
+                        (lon + jitter).clamp(-180.0, 180.0),
+                    )
+                    .unwrap(),
+                    source: if api {
+                        CheckinSource::ServerApi
+                    } else {
+                        CheckinSource::MobileApp
+                    },
+                    rewarded: flags.is_empty(),
+                    flags,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// The packed history encodes and decodes arbitrary record streams
+    /// identically: forward iteration, backward iteration, and random
+    /// O(1) offset decodes all reproduce every field bit-for-bit —
+    /// including flag sets, both entry sources, and coordinates that
+    /// don't sit on the quantization grid.
+    #[test]
+    fn packed_history_round_trips(records in prop::collection::vec(arb_record(), 0..80)) {
+        let mut h = lbsn_server::PackedHistory::new();
+        let mut offsets = Vec::new();
+        for r in &records {
+            offsets.push(h.push(r));
+        }
+        prop_assert_eq!(h.len(), records.len());
+
+        // Forward (oldest-first) and backward (newest-first) scans.
+        let fwd: Vec<_> = h.iter().map(|p| p.to_record()).collect();
+        prop_assert_eq!(&fwd, &records);
+        let back: Vec<_> = h.iter().rev().map(|p| p.to_record()).collect();
+        let mut rev = records.clone();
+        rev.reverse();
+        prop_assert_eq!(&back, &rev);
+
+        // Out-of-order point decodes via the stored offsets.
+        for (i, &off) in offsets.iter().enumerate().rev() {
+            let got = h.decode_at(off, records[i].at).to_record();
+            prop_assert_eq!(&got, &records[i]);
+        }
+    }
+
+    /// Scans bounded by a timestamp window match the naive filter over
+    /// the same stream: no record inside the window is skipped, none
+    /// outside it leaks in.
+    #[test]
+    fn packed_history_window_scans_match_naive(
+        records in prop::collection::vec(arb_record(), 1..60),
+        cut in 0u64..=4_000_000_000,
+    ) {
+        let mut h = lbsn_server::PackedHistory::new();
+        for r in &records {
+            h.push(r);
+        }
+        let since = lbsn_sim::Timestamp(cut);
+        // Newest-first, the direction the detectors scan in.
+        let got: Vec<_> = h
+            .iter()
+            .rev()
+            .map(|p| p.to_record())
+            .filter(|r| r.at >= since)
+            .collect();
+        let mut want: Vec<_> = records.iter().filter(|r| r.at >= since).cloned().collect();
+        want.reverse();
+        prop_assert_eq!(got, want);
     }
 }

@@ -102,9 +102,12 @@ impl Population {
     }
 }
 
-/// Lays out the whole population deterministically from the spec.
-pub fn plan(spec: &PopulationSpec) -> PopulationPlan {
-    let venues = plan_venues(spec);
+/// Plans the population's people — archetypes, signup days, activity
+/// targets, usernames, and the friend graph — without planning any
+/// events. [`plan`] builds its event list on top of this; the bulk
+/// loader ([`register_world_bulk`]) uses it directly so paper-scale
+/// worlds never materialise hundreds of millions of planned check-ins.
+fn plan_users(spec: &PopulationSpec) -> Vec<PlannedUser> {
     let root = RngStream::from_seed(spec.seed);
     let mut rng = root.fork("users");
     let n = spec.user_count() as usize;
@@ -249,6 +252,15 @@ pub fn plan(spec: &PopulationSpec) -> PopulationPlan {
         users[idx].total_target = 12_200 + rng.range_u64(0, 400);
     }
 
+    users
+}
+
+/// Lays out the whole population deterministically from the spec.
+pub fn plan(spec: &PopulationSpec) -> PopulationPlan {
+    let venues = plan_venues(spec);
+    let users = plan_users(spec);
+    let root = RngStream::from_seed(spec.seed);
+
     // Plan every user's events and merge.
     let mut events: Vec<PlannedEvent> = Vec::new();
     for (i, user) in users.iter().enumerate() {
@@ -318,6 +330,63 @@ pub fn register_world(server: &LbsnServer, plan: &PopulationPlan) -> Population 
     Population {
         users,
         venue_count: plan.venues.venues.len() as u64,
+        stats: GenerationStats::default(),
+    }
+}
+
+/// Registers a spec's whole world through the server's bulk-load path.
+///
+/// Venues and users land via chunked per-shard staging
+/// ([`LbsnServer::bulk_register_users`] /
+/// [`LbsnServer::bulk_register_venues`]) instead of one registration
+/// call per entity, and no event list is ever planned — which is what
+/// lets the scale ladder load the paper's full 7.49M-entity population
+/// without first materialising its check-in history. The registered
+/// state is identical to [`register_world`] on [`plan`]'s output: same
+/// IDs, usernames, homes, venue fields, and friendship graph.
+pub fn register_world_bulk(server: &LbsnServer, spec: &PopulationSpec) -> Population {
+    let venue_plan = plan_venues(spec);
+    let metros = venue_plan.metros.clone();
+    let venue_count = venue_plan.venues.len() as u64;
+    server.bulk_register_venues(venue_plan.venues.into_iter().map(|v| v.spec));
+
+    let planned = plan_users(spec);
+    let root = RngStream::from_seed(spec.seed);
+    server.bulk_register_users(planned.iter().enumerate().map(|(i, u)| {
+        let metro = metros[u.home_metro.min(metros.len() - 1)];
+        let mut hrng = root.fork_indexed("home", i as u64);
+        let home = destination(
+            metro.location(),
+            hrng.range_f64(0.0, 360.0),
+            hrng.range_f64(0.0, 8_000.0),
+        );
+        let user_spec = match &u.username {
+            Some(name) => UserSpec::named(name.clone()),
+            None => UserSpec::anonymous(),
+        };
+        user_spec.home(home)
+    }));
+    for (i, u) in planned.iter().enumerate() {
+        for &j in &u.friends {
+            server
+                .add_friendship(UserId(i as u64 + 1), UserId(j as u64 + 1))
+                .expect("plan indices are registered");
+        }
+    }
+
+    let users = planned
+        .iter()
+        .enumerate()
+        .map(|(i, u)| UserTruth {
+            id: UserId(i as u64 + 1),
+            archetype: u.archetype,
+            home_metro: u.home_metro,
+            signup_day: u.signup_day,
+        })
+        .collect();
+    Population {
+        users,
+        venue_count,
         stats: GenerationStats::default(),
     }
 }
@@ -582,6 +651,56 @@ mod tests {
                 "friendship {a}-{b} not symmetric"
             );
         }
+    }
+
+    #[test]
+    fn bulk_world_matches_incremental_registration() {
+        let spec = PopulationSpec::tiny(600, 9);
+        let p = plan(&spec);
+        let inc = LbsnServer::new(SimClock::new(), ServerConfig::default());
+        let pop_inc = register_world(&inc, &p);
+        let bulk = LbsnServer::new(SimClock::new(), ServerConfig::default());
+        let pop_bulk = register_world_bulk(&bulk, &spec);
+
+        assert_eq!(pop_inc.users, pop_bulk.users);
+        assert_eq!(pop_inc.venue_count, pop_bulk.venue_count);
+        assert_eq!(inc.user_count(), bulk.user_count());
+        assert_eq!(inc.venue_count(), bulk.venue_count());
+
+        for id in (1..=inc.user_count()).step_by(13) {
+            let snap = |s: &LbsnServer| {
+                s.with_user(UserId(id), |u| {
+                    (
+                        u.username.clone(),
+                        u.home,
+                        u.friends.iter().copied().collect::<Vec<_>>(),
+                    )
+                })
+                .unwrap()
+            };
+            assert_eq!(snap(&inc), snap(&bulk), "user {id} diverged");
+        }
+        for id in (1..=inc.venue_count()).step_by(17) {
+            let snap = |s: &LbsnServer| {
+                s.with_venue(VenueId(id), |v| {
+                    (
+                        v.name().to_string(),
+                        v.address().to_string(),
+                        v.location,
+                        v.category,
+                        v.special.clone(),
+                    )
+                })
+                .unwrap()
+            };
+            assert_eq!(snap(&inc), snap(&bulk), "venue {id} diverged");
+        }
+
+        // The bulk world replays the same plan identically.
+        let a = replay_span(&inc, &p, 0, 40);
+        let b = replay_span(&bulk, &p, 0, 40);
+        assert_eq!(a, b);
+        assert!(a.submitted > 0);
     }
 
     #[test]

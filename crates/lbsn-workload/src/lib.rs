@@ -30,8 +30,8 @@ mod venues;
 pub use archetype::Archetype;
 pub use events::PlannedEvent;
 pub use generate::{
-    generate, plan, register_world, replay_span, GenerationStats, Population, PopulationPlan,
-    UserTruth,
+    generate, plan, register_world, register_world_bulk, replay_span, GenerationStats, Population,
+    PopulationPlan, UserTruth,
 };
 pub use spec::PopulationSpec;
 pub use venues::{PlannedVenue, VenuePlan};

@@ -58,7 +58,7 @@ fn main() {
         println!(
             "   #{:<2} {:<28} -> {} (+{} pts){}",
             i + 1,
-            server.venue(*v).unwrap().name,
+            server.venue(*v).unwrap().name().to_string(),
             if outcome.rewarded() {
                 "ACCEPTED"
             } else {

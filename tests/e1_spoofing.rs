@@ -141,8 +141,8 @@ fn all_vectors_indistinguishable_to_the_server() {
     let app_s = lbsn::device::ClientApp::install(phone_s, Arc::clone(&server), spoofer);
     app_s.check_in(wharf).unwrap();
 
-    let rec_h = server.user(honest).unwrap().history[0].clone();
-    let rec_s = server.user(spoofer).unwrap().history[0].clone();
+    let rec_h = server.user(honest).unwrap().history.iter().next().unwrap();
+    let rec_s = server.user(spoofer).unwrap().history.iter().next().unwrap();
     assert_eq!(rec_h.location, rec_s.location);
     assert_eq!(rec_h.source, rec_s.source);
     assert_eq!(rec_h.rewarded, rec_s.rewarded);

@@ -288,6 +288,11 @@ impl Serialize for f64 {
 
 impl Deserialize for f64 {
     fn deserialize(value: &Value) -> Result<Self, Error> {
+        // The writer degrades non-finite floats to `null` (JSON has no
+        // NaN/Infinity); accept the round trip back.
+        if matches!(value, Value::Null) {
+            return Ok(f64::NAN);
+        }
         value
             .as_number()
             .map(Number::as_f64)
@@ -393,6 +398,34 @@ impl<T: Deserialize> Deserialize for Vec<T> {
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         seq_to_value(self.iter())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        seq_to_value(self.iter())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = seq_from_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of {N} elements, got {len}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
     }
 }
 
