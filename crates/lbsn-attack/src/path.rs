@@ -51,6 +51,30 @@ impl VirtualPath {
         VirtualPath::from_moves(start, &moves)
     }
 
+    /// A clockwise rectangular spiral: straight runs grow as
+    /// 1, 1, 2, 2, 3, 3, … steps, so the walk keeps covering new
+    /// ground instead of closing back onto its own track the way
+    /// [`VirtualPath::clockwise_circuit`] does after one lap. The
+    /// outermost arm after `steps` moves is about `√steps` steps long,
+    /// so a 240-step spiral at 0.005° stays within ~9 km of the start —
+    /// inside E4's 15 km venue radius even at the smallest CI scale.
+    pub fn outward_spiral(start: GeoPoint, step_deg: f64, steps: usize) -> Self {
+        let step_m = step_deg * METERS_PER_DEGREE_LAT;
+        let headings = [0.0, 90.0, 180.0, 270.0]; // N, E, S, W
+        let mut moves = Vec::with_capacity(steps);
+        let mut turn = 0usize;
+        let mut run = 0usize;
+        while moves.len() < steps {
+            moves.push((headings[turn % 4], step_m));
+            run += 1;
+            if run == turn / 2 + 1 {
+                run = 0;
+                turn += 1;
+            }
+        }
+        VirtualPath::from_moves(start, &moves)
+    }
+
     /// Number of waypoints.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -159,6 +183,68 @@ mod tests {
             .map(|q| distance(p.points[0], *q))
             .fold(0.0f64, f64::max);
         assert!(far > 3_000.0, "far corner {far}");
+    }
+
+    #[test]
+    fn spiral_never_retraces_and_stays_bounded() {
+        let p = VirtualPath::outward_spiral(abq(), 0.005, 240);
+        assert_eq!(p.len(), 241);
+        // Every waypoint is new ground: no two closer than half a step.
+        for (i, a) in p.points.iter().enumerate() {
+            for b in &p.points[i + 1..] {
+                assert!(
+                    distance(*a, *b) > 200.0,
+                    "spiral retraced itself at waypoint {i}"
+                );
+            }
+        }
+        // ... yet the whole walk stays inside E4's 15 km venue radius.
+        let far = p
+            .points
+            .iter()
+            .map(|q| distance(p.points[0], *q))
+            .fold(0.0f64, f64::max);
+        assert!(far < 12_000.0, "spiral wandered {far} m from the start");
+    }
+
+    #[test]
+    fn spiral_out_tours_the_circuit_on_a_sparse_grid() {
+        // A sparse 5×5 venue grid, one venue per ~1.1 km: the closed
+        // circuit laps its own track and stops yielding new venues,
+        // while the spiral keeps crossing fresh snap cells. This is the
+        // E4 regression at tiny world scales, in miniature.
+        let mut venues = Vec::new();
+        for i in -2i64..=2 {
+            for j in -2i64..=2 {
+                let p = destination(
+                    destination(abq(), 0.0, 1_100.0 * i as f64),
+                    90.0,
+                    1_100.0 * j as f64,
+                );
+                venues.push((VenueId(((i + 2) * 5 + j + 3) as u64), p));
+            }
+        }
+        let lookup: std::collections::HashMap<_, _> = venues.iter().cloned().collect();
+        let snapper = VenueSnapper::from_venues(venues);
+        let distinct = |path: &VirtualPath| {
+            snapper
+                .tour(path, |id| lookup.get(&id).copied())
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+        };
+        // Once the circuit closes, further laps revisit the same ring
+        // of snap cells; the spiral keeps reaching venues it has never
+        // seen. (Consecutive-dedup tour *length* can still grow on a
+        // lap — distinct venues is what feeds E4's 25-check-in quota.)
+        let steps = 120;
+        let circuit = distinct(&VirtualPath::clockwise_circuit(abq(), 0.005, steps, 7));
+        let spiral = distinct(&VirtualPath::outward_spiral(abq(), 0.005, steps));
+        assert!(
+            spiral > circuit,
+            "spiral {spiral} distinct venues vs circuit {circuit}"
+        );
     }
 
     #[test]

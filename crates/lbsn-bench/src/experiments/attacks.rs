@@ -164,9 +164,12 @@ pub fn e04_virtual_tour(bed: &TestBed, output_dir: &Path) -> Experiment {
     let snapper = VenueSnapper::from_venues(nearby.iter().copied());
     let lookup: std::collections::HashMap<VenueId, GeoPoint> = nearby.iter().copied().collect();
 
-    // The paper's walk: start downtown, head north, keep turning right,
-    // 0.005° steps.
-    let path = VirtualPath::clockwise_circuit(abq, 0.005, 40, 7);
+    // The paper's walk: start downtown, head north, keep turning
+    // right, 0.005° steps. An outward spiral rather than a closed
+    // circuit: a circuit retraces its own track after one lap and
+    // stops yielding new venues, which starves the tour when the
+    // scaled-down world has few venues per snap cell.
+    let path = VirtualPath::outward_spiral(abq, 0.005, 240);
     let tour: Vec<(VenueId, GeoPoint)> = snapper
         .tour(&path, |id| lookup.get(&id).copied())
         .into_iter()

@@ -30,7 +30,20 @@ pub struct StrLit {
     pub value: String,
 }
 
-/// The three views of a scanned source file; see the module docs.
+/// One `lint:allow(...)` marker with its justification text — the
+/// waiver-report and stale-waiver surfaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowMarker {
+    /// 1-based line the marker is on.
+    pub line: usize,
+    /// The rule ids named inside the parentheses.
+    pub rules: Vec<String>,
+    /// The free text after the closing paren (leading `:` stripped) —
+    /// the human justification for the waiver.
+    pub note: String,
+}
+
+/// The views of a scanned source file; see the module docs.
 #[derive(Debug, Default)]
 pub struct Scan {
     /// Source with comments and string literals blanked to spaces.
@@ -39,6 +52,8 @@ pub struct Scan {
     pub strings: Vec<StrLit>,
     /// `(line, rule)` pairs from `lint:allow(...)` comment markers.
     pub allows: Vec<(usize, String)>,
+    /// The same markers, one entry per marker, with justification text.
+    pub markers: Vec<AllowMarker>,
 }
 
 impl Scan {
@@ -59,6 +74,7 @@ pub fn scan(source: &str) -> Scan {
     let mut code: Vec<u8> = Vec::with_capacity(bytes.len());
     let mut strings = Vec::new();
     let mut allows = Vec::new();
+    let mut markers = Vec::new();
     let mut line = 1usize;
     let mut i = 0usize;
     // True when the previous code byte could end an identifier — used
@@ -81,7 +97,7 @@ pub fn scan(source: &str) -> Scan {
                     i += 1;
                 }
                 let text = &source[start..i];
-                collect_allows(text, line, &mut allows);
+                collect_allows(text, line, &mut allows, &mut markers);
                 code.extend(std::iter::repeat_n(b' ', i - start));
                 prev_ident = false;
             }
@@ -167,22 +183,38 @@ pub fn scan(source: &str) -> Scan {
         code: String::from_utf8_lossy(&code).into_owned(),
         strings,
         allows,
+        markers,
     }
 }
 
-/// Parses every `lint:allow(a, b)` marker in a line comment's text.
-fn collect_allows(comment: &str, line: usize, out: &mut Vec<(usize, String)>) {
+/// Parses every `lint:allow(a, b): why` marker in a line comment's
+/// text, recording both the flat `(line, rule)` pairs and the full
+/// marker with its justification note.
+fn collect_allows(
+    comment: &str,
+    line: usize,
+    out: &mut Vec<(usize, String)>,
+    markers: &mut Vec<AllowMarker>,
+) {
     let mut rest = comment;
     while let Some(pos) = rest.find("lint:allow(") {
         rest = &rest[pos + "lint:allow(".len()..];
         let Some(close) = rest.find(')') else { return };
+        let mut rules = Vec::new();
         for rule in rest[..close].split(',') {
             let rule = rule.trim();
             if !rule.is_empty() {
                 out.push((line, rule.to_string()));
+                rules.push(rule.to_string());
             }
         }
         rest = &rest[close + 1..];
+        if !rules.is_empty() {
+            // The justification runs to the next marker, if any.
+            let note_end = rest.find("lint:allow(").unwrap_or(rest.len());
+            let note = rest[..note_end].trim_start_matches(':').trim().to_string();
+            markers.push(AllowMarker { line, rules, note });
+        }
     }
 }
 

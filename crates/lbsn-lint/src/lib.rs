@@ -1,8 +1,8 @@
 //! lbsn-lint: the workspace invariant analyzer.
 //!
-//! A purpose-built static checker for this repository's three
+//! A purpose-built static checker for this repository's
 //! machine-checkable contracts (see DESIGN.md §"Static & dynamic
-//! invariant checking"):
+//! invariant checking" and §14):
 //!
 //! 1. **Observability names are registered** — every string literal
 //!    shaped like a metric/span/event name (`server.…`, `crawler.…`,
@@ -27,18 +27,29 @@
 //!    in the impl body ([`rules::MEM_FOOTPRINT_FIELD_MISSING`]), so a
 //!    field added later can't become heap the memory gauges silently
 //!    undercount.
-//!
-//! Plus a static shadow of the runtime lock-order sentinel:
-//! [`rules::SHARD_LOCK_ORDER`] flags descending shard-literal
-//! acquisitions and venue-before-user acquisition sequences inside a
-//! function.
+//! 5. **Lock discipline, interprocedurally** — an item-level parse
+//!    ([`parse`]) feeds a workspace call graph ([`callgraph`]) and a
+//!    summary-based lock-effect analysis ([`lockflow`]) that verifies
+//!    the DESIGN.md §7 rules *across* function boundaries
+//!    ([`rules::LOCK_DISCIPLINE`]); call edges whose effects cannot be
+//!    bounded (recursion, dynamic dispatch) degrade to
+//!    [`rules::LOCK_EFFECT_UNKNOWN`] while locks are held, never to a
+//!    false pass. Files the parser cannot model fall back to the old
+//!    token-level [`rules::SHARD_LOCK_ORDER`] rule.
+//! 6. **Waiver and registry hygiene** — a `lint:allow` marker whose
+//!    line no longer triggers its rule is itself a violation
+//!    ([`rules::STALE_WAIVER`]), and a name registered in
+//!    `lbsn_obs::names` that is never recorded — or recorded but cited
+//!    in neither the docs nor the SLO baseline — is dead weight
+//!    ([`rules::DEAD_METRIC`]).
 //!
 //! The scanner is token-level ([`lexer`]) — no `syn`, no network, no
 //! build artifacts needed — and conservative by design: rules only
 //! fire on patterns that are unambiguous at the token level, and any
 //! true positive a human disagrees with can be waived in place with
 //! `// lint:allow(<rule-id>): <why>` on the offending line or the
-//! line above.
+//! line above. Waived findings are still recorded (JSON output and the
+//! stale-waiver audit see them); they just don't fail the build.
 //!
 //! `#[cfg(test)] mod` regions are exempt from the source rules: tests
 //! legitimately probe unregistered names and hold locks in the wrong
@@ -46,7 +57,10 @@
 
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod lockflow;
+pub mod parse;
 pub mod rules;
 
 use std::fmt;
@@ -65,6 +79,9 @@ pub struct Violation {
     pub rule: &'static str,
     /// What went wrong and what to do instead.
     pub message: String,
+    /// A `lint:allow` marker covers this finding: recorded for the
+    /// JSON report and the stale-waiver audit, but not a failure.
+    pub waived: bool,
 }
 
 impl fmt::Display for Violation {
@@ -80,14 +97,52 @@ impl fmt::Display for Violation {
     }
 }
 
+/// One scanned-and-parsed source file, shared by every pass.
+#[derive(Debug)]
+pub struct FileCtx {
+    /// Root-relative path with `/` separators.
+    pub rel: String,
+    /// The lexer's views of the file.
+    pub scan: lexer::Scan,
+    /// Item-level parse, `None` when the file can't be modeled (the
+    /// token-level fallback rules cover it instead).
+    pub parsed: Option<Vec<parse::FnItem>>,
+}
+
+/// One active waiver: where it is, what it suppresses, and why.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WaiverEntry {
+    /// Root-relative path of the file the marker is in.
+    pub file: String,
+    /// 1-based line of the marker.
+    pub line: usize,
+    /// The rule id it waives.
+    pub rule: String,
+    /// The justification text after the marker.
+    pub note: String,
+}
+
 /// Directory names never descended into: vendored stand-ins (their
 /// whole point is wrapping the forbidden APIs), build output, VCS
 /// metadata, lint fixtures (violation corpora), and this crate itself
 /// (its tests name violations as string literals).
 const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", "fixtures", "lbsn-lint"];
 
+/// Scans and parses every `.rs` file under `root`.
+fn load_files(root: &Path) -> io::Result<Vec<FileCtx>> {
+    let mut files = Vec::new();
+    for path in rust_sources(root)? {
+        let source = fs::read_to_string(&path)?;
+        let rel = relative(root, &path);
+        let scan = lexer::scan(&source);
+        let parsed = parse::parse(&scan.code);
+        files.push(FileCtx { rel, scan, parsed });
+    }
+    Ok(files)
+}
+
 /// Runs every rule over the tree rooted at `root`, returning findings
-/// sorted by file, line, rule.
+/// (including waived ones) sorted by file, line, rule.
 ///
 /// # Errors
 ///
@@ -95,18 +150,52 @@ const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", "fixtures", "lbsn-lint"
 /// optional input (no `baselines/slo.json`, no `policies/`) simply
 /// skips the rules that need it.
 pub fn run(root: &Path) -> io::Result<Vec<Violation>> {
+    let files = load_files(root)?;
     let mut violations = Vec::new();
-    for path in rust_sources(root)? {
-        let source = fs::read_to_string(&path)?;
-        let rel = relative(root, &path);
-        let scan = lexer::scan(&source);
-        rules::check_source(&rel, &scan, &mut violations);
+    for f in &files {
+        rules::check_source(&f.rel, &f.scan, f.parsed.is_none(), &mut violations);
     }
+    lockflow::check(&files, &mut violations);
     rules::check_slo_baseline(root, &mut violations)?;
     rules::check_docs(root, &mut violations)?;
     rules::check_policy_surface(root, &mut violations)?;
+    rules::check_dead_metrics(root, &files, &mut violations);
+    // Last: stale-waiver audits the markers against every finding
+    // above, *including* the waived ones.
+    rules::check_stale_waivers(&files, &mut violations);
     violations.sort();
     Ok(violations)
+}
+
+/// Every active `lint:allow` waiver under `root` (markers inside
+/// `#[cfg(test)]` regions are inert and excluded), sorted by file,
+/// line, rule — the `--waivers` report and the committed
+/// `baselines/waivers.txt`.
+///
+/// # Errors
+///
+/// Only on I/O failures walking or reading the tree.
+pub fn waivers(root: &Path) -> io::Result<Vec<WaiverEntry>> {
+    let files = load_files(root)?;
+    let mut out = Vec::new();
+    for f in &files {
+        let test_lines = rules::test_region_lines(&f.scan.code);
+        for marker in &f.scan.markers {
+            if test_lines.contains(&marker.line) {
+                continue;
+            }
+            for rule in &marker.rules {
+                out.push(WaiverEntry {
+                    file: f.rel.clone(),
+                    line: marker.line,
+                    rule: rule.clone(),
+                    note: marker.note.clone(),
+                });
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
 }
 
 /// Number of `.rs` files [`run`] would scan under `root` — surfaced by

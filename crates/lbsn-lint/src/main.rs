@@ -1,19 +1,28 @@
-//! CLI driver: `cargo run -p lbsn-lint -- --deny-all [--root <path>]`.
+//! CLI driver:
+//! `cargo run -p lbsn-lint -- --deny-all [--root <path>] [--format text|json] [--waivers]`.
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage error. Violations
-//! print one per line as `rule-id: file:line: message`, sorted, so CI
-//! diffs are stable.
+//! Exit codes: 0 clean, 1 violations found, 2 usage error. In text
+//! mode, unwaived violations print one per line as
+//! `rule-id: file:line: message`, sorted, so CI diffs are stable, and
+//! failures end with a per-rule count summary on stderr. JSON mode
+//! emits every finding — waived ones included — as
+//! `{rule, file, line, message, waived}` records for the CI artifact.
+//! `--waivers` prints the active waiver inventory instead (rule, site,
+//! justification), the source of `baselines/waivers.txt`.
 
-use std::path::PathBuf;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: lbsn-lint [--deny-all] [--root <path>]");
+    eprintln!("usage: lbsn-lint [--deny-all] [--root <path>] [--format text|json] [--waivers]");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut waivers = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -25,8 +34,17 @@ fn main() -> ExitCode {
                 Some(path) => root = PathBuf::from(path),
                 None => return usage(),
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                _ => return usage(),
+            },
+            "--waivers" => waivers = true,
             _ => return usage(),
         }
+    }
+    if waivers {
+        return run_waivers(&root);
     }
     let violations = match lbsn_lint::run(&root) {
         Ok(v) => v,
@@ -35,14 +53,74 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if violations.is_empty() {
+    let failing: Vec<_> = violations.iter().filter(|v| !v.waived).collect();
+    if json {
+        let records: Vec<serde_json::Value> = violations
+            .iter()
+            .map(|v| {
+                let mut record = serde_json::Map::default();
+                record.insert("rule".into(), serde_json::Value::String(v.rule.into()));
+                record.insert("file".into(), serde_json::Value::String(v.file.clone()));
+                record.insert(
+                    "line".into(),
+                    serde_json::Value::Number(serde_json::Number::PosInt(v.line as u64)),
+                );
+                record.insert(
+                    "message".into(),
+                    serde_json::Value::String(v.message.clone()),
+                );
+                record.insert("waived".into(), serde_json::Value::Bool(v.waived));
+                serde_json::Value::Object(record)
+            })
+            .collect();
+        match serde_json::to_string_pretty(&serde_json::Value::Array(records)) {
+            Ok(text) => println!("{text}"),
+            Err(err) => {
+                eprintln!("lbsn-lint: error serializing report: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    } else if failing.is_empty() {
         let scanned = lbsn_lint::source_count(&root).unwrap_or(0);
         println!("lbsn-lint: clean ({scanned} source files scanned)");
+    } else {
+        for v in &failing {
+            println!("{v}");
+        }
+    }
+    if failing.is_empty() {
         return ExitCode::SUCCESS;
     }
-    for v in &violations {
-        println!("{v}");
+    let mut per_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for v in &failing {
+        *per_rule.entry(v.rule).or_default() += 1;
     }
-    eprintln!("lbsn-lint: {} violation(s)", violations.len());
+    eprintln!("lbsn-lint: {} violation(s)", failing.len());
+    for (rule, count) in per_rule {
+        eprintln!("  {rule}: {count}");
+    }
     ExitCode::from(1)
+}
+
+/// Prints the active waiver inventory, one line per waiver:
+/// `file:line<TAB>rule<TAB>justification`.
+fn run_waivers(root: &Path) -> ExitCode {
+    let entries = match lbsn_lint::waivers(root) {
+        Ok(entries) => entries,
+        Err(err) => {
+            eprintln!("lbsn-lint: error scanning {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    println!("# Active lint:allow waivers ({}).", entries.len());
+    println!("# Regenerate: cargo run -p lbsn-lint -- --waivers --root . > baselines/waivers.txt");
+    for e in &entries {
+        let note = if e.note.is_empty() {
+            "(no justification)"
+        } else {
+            e.note.as_str()
+        };
+        println!("{}:{}\t{}\t{}", e.file, e.line, e.rule, note);
+    }
+    ExitCode::SUCCESS
 }

@@ -7,7 +7,7 @@ use std::io;
 use std::path::Path;
 
 use crate::lexer::Scan;
-use crate::Violation;
+use crate::{FileCtx, Violation};
 
 /// A string literal shaped like an observability name does not resolve
 /// against the `lbsn_obs::names` registry.
@@ -21,8 +21,23 @@ pub const NO_STD_SYNC: &str = "no-std-sync";
 pub const NO_WALL_CLOCK: &str = "no-wall-clock";
 /// `unwrap()` / `expect()` in a check-in hot-path module.
 pub const NO_UNWRAP_HOT_PATH: &str = "no-unwrap-hot-path";
-/// Shard acquisitions out of order within one function.
+/// Shard acquisitions out of order within one function — the legacy
+/// token-level rule, now a fallback for files the item parser cannot
+/// model (the interprocedural [`LOCK_DISCIPLINE`] covers the rest).
 pub const SHARD_LOCK_ORDER: &str = "shard-lock-order";
+/// A lock acquisition (direct or through a callee's effect signature)
+/// violates the DESIGN.md §7 discipline given the held set.
+pub const LOCK_DISCIPLINE: &str = "lock-discipline";
+/// A call whose lock effects cannot be bounded (recursion through
+/// acquisitions, dynamic dispatch with no workspace body) happens
+/// while locks are held.
+pub const LOCK_EFFECT_UNKNOWN: &str = "lock-effect-unknown";
+/// A `lint:allow` marker whose line no longer triggers the waived
+/// rule — waivers must not rot.
+pub const STALE_WAIVER: &str = "stale-waiver";
+/// A name registered in `lbsn_obs::names` is never recorded anywhere,
+/// or recorded but cited in neither the docs nor the SLO baseline.
+pub const DEAD_METRIC: &str = "dead-metric";
 /// A `policies/*.json` file does not set every policy struct field.
 pub const POLICY_FIELD_MISSING: &str = "policy-field-missing";
 /// A hand-written `MemFootprint` impl never references one of its
@@ -48,6 +63,8 @@ const HOT_PATH_MODULES: &[&str] = &[
     "crates/lbsn-server/src/shard.rs",
     "crates/lbsn-server/src/pipeline.rs",
     "crates/lbsn-server/src/checkin.rs",
+    "crates/lbsn-server/src/history.rs",
+    "crates/lbsn-server/src/compact.rs",
     "crates/lbsn-server/src/rewards.rs",
     "crates/lbsn-server/src/user.rs",
     "crates/lbsn-server/src/venue.rs",
@@ -68,7 +85,10 @@ const POLICY_STRUCTS: &[(&str, &str)] = &[
 const REASON_SLUG_CRATES: &[&str] = &["crates/lbsn-server/src/", "crates/lbsn-defense/src/"];
 
 /// Runs every source-level rule over one scanned `.rs` file.
-pub fn check_source(rel: &str, scan: &Scan, out: &mut Vec<Violation>) {
+/// `fallback` is set when the item parser could not model the file:
+/// the legacy token-level shard-order rule then covers what the
+/// interprocedural analysis cannot see.
+pub fn check_source(rel: &str, scan: &Scan, fallback: bool, out: &mut Vec<Violation>) {
     let test_lines = test_region_lines(&scan.code);
     check_metric_literals(rel, scan, &test_lines, out);
     if REASON_SLUG_CRATES.iter().any(|c| rel.starts_with(c)) {
@@ -81,17 +101,41 @@ pub fn check_source(rel: &str, scan: &Scan, out: &mut Vec<Violation>) {
     if HOT_PATH_MODULES.contains(&rel) {
         check_unwrap(rel, scan, &test_lines, out);
     }
-    if rel.starts_with("crates/lbsn-server/src/") {
+    if fallback && rel.starts_with("crates/lbsn-server/src/") {
         check_shard_order(rel, scan, &test_lines, out);
     }
     check_mem_footprint(rel, scan, &test_lines, out);
 }
 
-/// Emits `violation` unless a `lint:allow` marker covers it.
-fn push(scan: &Scan, out: &mut Vec<Violation>, v: Violation) {
-    if !scan.allowed(v.rule, v.line) {
-        out.push(v);
-    }
+/// Records `violation`, marking it waived when a `lint:allow` marker
+/// covers it. Waived findings don't fail the build but stay visible to
+/// the JSON report and the stale-waiver audit.
+fn push(scan: &Scan, out: &mut Vec<Violation>, mut v: Violation) {
+    v.waived = scan.allowed(v.rule, v.line);
+    out.push(v);
+}
+
+/// [`push`] for callers outside this module (the lock-flow pass),
+/// building the violation from parts.
+pub(crate) fn push_violation(
+    scan: &Scan,
+    out: &mut Vec<Violation>,
+    file: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+) {
+    push(
+        scan,
+        out,
+        Violation {
+            waived: false,
+            file,
+            line,
+            rule,
+            message,
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -145,6 +189,7 @@ fn check_metric_literals(
                 scan,
                 out,
                 Violation {
+                    waived: false,
                     file: rel.to_string(),
                     line: lit.line,
                     rule: UNREGISTERED_METRIC_NAME,
@@ -204,6 +249,7 @@ fn check_reason_literals(
                 scan,
                 out,
                 Violation {
+                    waived: false,
                     file: rel.to_string(),
                     line: lit.line,
                     rule: AUDIT_REASON_UNREGISTERED,
@@ -238,6 +284,7 @@ fn check_std_sync(rel: &str, scan: &Scan, test_lines: &BTreeSet<usize>, out: &mu
                 scan,
                 out,
                 Violation {
+                    waived: false,
                     file: rel.to_string(),
                     line: lineno,
                     rule: NO_STD_SYNC,
@@ -294,6 +341,7 @@ fn check_wall_clock(
                     scan,
                     out,
                     Violation {
+                        waived: false,
                         file: rel.to_string(),
                         line: lineno,
                         rule: NO_WALL_CLOCK,
@@ -323,6 +371,7 @@ fn check_unwrap(rel: &str, scan: &Scan, test_lines: &BTreeSet<usize>, out: &mut 
                 scan,
                 out,
                 Violation {
+                    waived: false,
                     file: rel.to_string(),
                     line: lineno,
                     rule: NO_UNWRAP_HOT_PATH,
@@ -374,6 +423,7 @@ fn check_shard_order(
                         scan,
                         out,
                         Violation {
+                            waived: false,
                             file: rel.to_string(),
                             line: lineno,
                             rule: SHARD_LOCK_ORDER,
@@ -391,6 +441,7 @@ fn check_shard_order(
                                 scan,
                                 out,
                                 Violation {
+                                    waived: false,
                                     file: rel.to_string(),
                                     line: lineno,
                                     rule: SHARD_LOCK_ORDER,
@@ -413,7 +464,7 @@ fn check_shard_order(
 
 /// The identifier immediately before the final `.` of `prefix`
 /// (e.g. `self.users` → `users`).
-fn receiver_ident(prefix: &str) -> Option<&str> {
+pub(crate) fn receiver_ident(prefix: &str) -> Option<&str> {
     let end = prefix.len();
     let start = prefix
         .rfind(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
@@ -423,7 +474,7 @@ fn receiver_ident(prefix: &str) -> Option<&str> {
 
 /// Parses an integer literal at the start of `rest` (the argument
 /// position of an acquisition call), if the full argument is one.
-fn leading_int(rest: &str) -> Option<u64> {
+pub(crate) fn leading_int(rest: &str) -> Option<u64> {
     let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
     if digits.is_empty() {
         return None;
@@ -439,7 +490,7 @@ fn leading_int(rest: &str) -> Option<u64> {
 /// Lines belonging to `#[cfg(test)] mod … { … }` regions of blanked
 /// code. Attribute and `mod` keyword may be separated by more
 /// attributes; a `#[cfg(test)]` on a non-module item exempts nothing.
-fn test_region_lines(code: &str) -> BTreeSet<usize> {
+pub(crate) fn test_region_lines(code: &str) -> BTreeSet<usize> {
     let mut lines = BTreeSet::new();
     let bytes = code.as_bytes();
     let mut search = 0;
@@ -519,6 +570,7 @@ pub fn check_slo_baseline(root: &Path, out: &mut Vec<Violation>) -> io::Result<(
     for name in names {
         if !lbsn_obs::names::is_registered(&name) {
             out.push(Violation {
+                waived: false,
                 file: "baselines/slo.json".to_string(),
                 line: find_line(&text, &name),
                 rule: UNREGISTERED_METRIC_NAME,
@@ -567,6 +619,7 @@ pub fn check_docs(root: &Path, out: &mut Vec<Violation>) -> io::Result<()> {
             for span in backtick_spans(line) {
                 if metric_shaped(span) && !lbsn_obs::names::is_registered(span) {
                     out.push(Violation {
+                        waived: false,
                         file: doc.to_string(),
                         line: idx + 1,
                         rule: UNREGISTERED_METRIC_NAME,
@@ -647,6 +700,7 @@ pub fn check_policy_surface(root: &Path, out: &mut Vec<Violation>) -> io::Result
         for (strukt, field) in &fields {
             if !keys.contains(field.as_str()) {
                 out.push(Violation {
+                    waived: false,
                     file: rel.clone(),
                     line: 1,
                     rule: POLICY_FIELD_MISSING,
@@ -781,6 +835,7 @@ fn check_mem_footprint(
                 scan,
                 out,
                 Violation {
+                    waived: false,
                     file: rel.to_string(),
                     line: lineno,
                     rule: MEM_FOOTPRINT_FIELD_MISSING,
@@ -813,6 +868,197 @@ fn collect_keys(value: &serde_json::Value, out: &mut BTreeSet<String>) {
     }
 }
 
+// ---------------------------------------------------------------------
+// Rule: dead-metric
+// ---------------------------------------------------------------------
+
+/// Root-relative path of the observability name registry.
+const NAMES_REGISTRY: &str = "crates/lbsn-obs/src/names.rs";
+
+/// The documentation surfaces a registered name must be cited in (or
+/// the SLO baseline) once it is recorded.
+const CITATION_DOCS: &[&str] = &["README.md", "DESIGN.md", "EXPERIMENTS.md"];
+
+/// Every name in `lbsn_obs::names::REGISTERED` must be *recorded*
+/// somewhere in the workspace — referenced by its const ident, matched
+/// by a concrete literal, or reached through one of the registry's own
+/// builder functions — and, once recorded, *cited* in the docs or the
+/// SLO baseline. A registry entry nothing records is dead weight; one
+/// nothing documents is a dashboard nobody can find.
+///
+/// Skipped silently when the registry file is not part of the scanned
+/// tree (fixture corpora).
+pub fn check_dead_metrics(root: &Path, files: &[FileCtx], out: &mut Vec<Violation>) {
+    let Some(registry) = files.iter().find(|f| f.rel == NAMES_REGISTRY) else {
+        return;
+    };
+    // Const declarations of the registry: ident -> (value, line).
+    let mut consts: Vec<(String, String, usize)> = Vec::new();
+    for (idx, line) in registry.scan.code.lines().enumerate() {
+        let lineno = idx + 1;
+        let Some(pos) = line.find("const ") else {
+            continue;
+        };
+        if !line.contains("&str") || line.contains("&[&str]") {
+            continue;
+        }
+        let rest = &line[pos + "const ".len()..];
+        let end = rest
+            .bytes()
+            .position(|b| !(b.is_ascii_alphanumeric() || b == b'_'))
+            .unwrap_or(rest.len());
+        let ident = &rest[..end];
+        if ident.is_empty() {
+            continue;
+        }
+        // The literal sits on the same line or wraps to the next.
+        let Some(lit) = registry
+            .scan
+            .strings
+            .iter()
+            .find(|l| l.line >= lineno && l.line <= lineno + 1)
+        else {
+            continue;
+        };
+        consts.push((ident.to_string(), lit.value.clone(), lineno));
+    }
+    // Builder functions in the registry whose bodies reference a const:
+    // a call to the builder anywhere counts as recording that const.
+    let mut builders: Vec<(String, String)> = Vec::new(); // (builder, ident)
+    if let Some(items) = &registry.parsed {
+        for item in items {
+            let Some((b0, b1)) = item.body else { continue };
+            let body = &registry.scan.code[b0..b1];
+            for (ident, _, _) in &consts {
+                if body_references(body, ident) {
+                    builders.push((item.name.clone(), ident.clone()));
+                }
+            }
+        }
+    }
+    // Citation surfaces: docs text and SLO metric references.
+    let mut docs_text = String::new();
+    for doc in CITATION_DOCS {
+        if let Ok(text) = fs::read_to_string(root.join(doc)) {
+            docs_text.push_str(&text);
+            docs_text.push('\n');
+        }
+    }
+    let mut doc_wildcards: Vec<String> = Vec::new();
+    for line in docs_text.lines() {
+        for span in backtick_spans(line) {
+            if let Some(prefix) = span.strip_suffix(".*") {
+                doc_wildcards.push(format!("{prefix}."));
+            }
+        }
+    }
+    let mut slo_refs: Vec<String> = Vec::new();
+    if let Ok(text) = fs::read_to_string(root.join("baselines/slo.json")) {
+        if let Ok(parsed) = serde_json::from_str::<serde_json::Value>(&text) {
+            collect_metric_refs(&parsed, &mut slo_refs);
+        }
+    }
+
+    for name in lbsn_obs::names::REGISTERED {
+        let Some((ident, _, lineno)) = consts.iter().find(|(_, v, _)| v == name) else {
+            continue;
+        };
+        let my_builders: Vec<&str> = builders
+            .iter()
+            .filter(|(_, i)| i == ident)
+            .map(|(b, _)| b.as_str())
+            .collect();
+        let recorded = files.iter().any(|f| {
+            if f.rel == NAMES_REGISTRY {
+                return false;
+            }
+            contains_word(&f.scan.code, ident)
+                || f.scan
+                    .strings
+                    .iter()
+                    .any(|l| lbsn_obs::names::segments_match(name, &l.value))
+                || my_builders.iter().any(|b| contains_word(&f.scan.code, b))
+        });
+        let cited = docs_text.contains(name)
+            || doc_wildcards.iter().any(|w| name.starts_with(w.as_str()))
+            || slo_refs
+                .iter()
+                .any(|r| lbsn_obs::names::segments_match(name, r));
+        let message = if !recorded {
+            format!(
+                "registered name \"{name}\" (`{ident}`) is never recorded anywhere \
+                 in the workspace — drop it from the registry or record it"
+            )
+        } else if !cited {
+            format!(
+                "registered name \"{name}\" (`{ident}`) is recorded but cited in \
+                 neither README/DESIGN/EXPERIMENTS nor baselines/slo.json — document \
+                 the series or drop it"
+            )
+        } else {
+            continue;
+        };
+        push(
+            &registry.scan,
+            out,
+            Violation {
+                waived: false,
+                file: NAMES_REGISTRY.to_string(),
+                line: *lineno,
+                rule: DEAD_METRIC,
+                message,
+            },
+        );
+    }
+}
+
+/// Whether a blanked body references `ident` as a whole word.
+fn body_references(body: &str, ident: &str) -> bool {
+    body.lines().any(|l| contains_word(l, ident))
+}
+
+// ---------------------------------------------------------------------
+// Rule: stale-waiver
+// ---------------------------------------------------------------------
+
+/// Audits every active `lint:allow` marker against the findings the
+/// other passes produced (waived findings included): a marker whose
+/// rule no longer fires on its line or the next is itself a violation,
+/// so the waiver inventory cannot rot. Must run last. Markers inside
+/// `#[cfg(test)]` regions are inert and not audited; a stale-waiver
+/// finding cannot itself be waived.
+pub fn check_stale_waivers(files: &[FileCtx], out: &mut Vec<Violation>) {
+    let mut stale = Vec::new();
+    for f in files {
+        let test_lines = test_region_lines(&f.scan.code);
+        for marker in &f.scan.markers {
+            if test_lines.contains(&marker.line) {
+                continue;
+            }
+            for rule in &marker.rules {
+                let covered = out.iter().any(|v| {
+                    v.file == f.rel
+                        && v.rule == rule
+                        && (v.line == marker.line || v.line == marker.line + 1)
+                });
+                if !covered {
+                    stale.push(Violation {
+                        waived: false,
+                        file: f.rel.clone(),
+                        line: marker.line,
+                        rule: STALE_WAIVER,
+                        message: format!(
+                            "lint:allow({rule}) matches no finding on this line or the \
+                             next — the waived code changed; remove the stale marker"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out.extend(stale);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -820,7 +1066,8 @@ mod tests {
 
     fn source_violations(rel: &str, src: &str) -> Vec<Violation> {
         let mut out = Vec::new();
-        check_source(rel, &scan(src), &mut out);
+        check_source(rel, &scan(src), true, &mut out);
+        out.retain(|v| !v.waived);
         out
     }
 

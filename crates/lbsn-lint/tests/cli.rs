@@ -32,9 +32,9 @@ fn violations_fixture_reports_every_rule_with_exact_spans() {
         "unregistered-metric-name: baselines/slo.json:4: SLO rule references \"server.checkin.nope\"",
         "no-std-sync: crates/lbsn-app/src/lib.rs:1:",
         "unregistered-metric-name: crates/lbsn-app/src/lib.rs:4: \"server.checkin.bogus\"",
-        "shard-lock-order: crates/lbsn-server/src/server.rs:3: shard 1 acquired after shard 3",
+        "lock-discipline: crates/lbsn-server/src/server.rs:3: shard 1 acquired after shard 3",
         "no-unwrap-hot-path: crates/lbsn-server/src/server.rs:7:",
-        "shard-lock-order: crates/lbsn-server/src/server.rs:17: user-shard acquisition after a venue-shard",
+        "lock-discipline: crates/lbsn-server/src/server.rs:17: user-shard acquisition while a venue shard is held",
         "no-wall-clock: crates/lbsn-sim/src/lib.rs:2: Instant::now",
         "policy-field-missing: policies/broken.json:1: does not set `enable_gps` (DetectorConfig)",
     ];
@@ -73,6 +73,121 @@ fn missing_root_value_is_a_usage_error() {
         .output()
         .expect("spawn lbsn-lint");
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn interproc_fixture_reports_cross_function_findings_with_exact_spans() {
+    let out = lint(&fixture("interproc"), &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    let expected = [
+        // Arena interned under a shard write lock, one call deep.
+        "lock-discipline: crates/lbsn-server/src/arena.rs:10: arena mutex acquisition \
+         (via `intern_name`) while a shard write lock is held",
+        // The unparseable file falls back to the token-level rule.
+        "shard-lock-order: crates/lbsn-server/src/fallback.rs:7: user-shard acquisition \
+         after a venue-shard acquisition in the same function",
+        // The seeded cross-function rule-1 inversion.
+        "lock-discipline: crates/lbsn-server/src/inversion.rs:15: user-shard acquisition \
+         (via `audit_user`) while a venue shard is held",
+        // Side-map leaf held across a call that locks a shard.
+        "lock-discipline: crates/lbsn-server/src/sidemap.rs:10: user-shard acquisition \
+         (via `lock_user_shard`) while the `usernames` side-map leaf is held",
+        // Recursion and dynamic dispatch degrade to explicit warnings.
+        "lock-effect-unknown: crates/lbsn-server/src/unknown.rs:22: call to `spiral` \
+         has unknown lock effects",
+        "lock-effect-unknown: crates/lbsn-server/src/unknown.rs:23: call to `probe` \
+         resolves only to trait declarations",
+    ];
+    for needle in expected {
+        assert!(stdout.contains(needle), "missing `{needle}` in:\n{stdout}");
+    }
+    assert_eq!(
+        stdout.lines().count(),
+        expected.len(),
+        "exactly one line per violation:\n{stdout}"
+    );
+}
+
+#[test]
+fn token_level_fallback_provably_misses_the_cross_function_inversion() {
+    // The same three functions as the interproc corpus, made
+    // unparseable so only the token-level fallback rule runs: it
+    // resets at every `fn` and reports nothing. Paired with the test
+    // above, this pins the exact miss the interprocedural analysis
+    // exists to close.
+    let out = lint(&fixture("interproc-fallback"), &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "token-level fallback must NOT see the cross-function inversion:\n{stdout}"
+    );
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn json_format_emits_all_findings_including_waived() {
+    let out = lint(&fixture("violations"), &["--format", "json"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "violations still fail in json mode"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let parsed: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON report");
+    let serde_json::Value::Array(records) = parsed else {
+        panic!("top level must be an array: {stdout}");
+    };
+    // Text mode prints 9 failing findings; JSON adds the waived unwrap.
+    assert_eq!(records.len(), 10, "{stdout}");
+    let field = |r: &serde_json::Value, k: &str| -> serde_json::Value {
+        match r {
+            serde_json::Value::Object(map) => map.get(k).expect("field present").clone(),
+            _ => panic!("record must be an object"),
+        }
+    };
+    let mut waived = 0;
+    for r in &records {
+        for k in ["rule", "file", "message"] {
+            assert!(matches!(field(r, k), serde_json::Value::String(_)));
+        }
+        assert!(matches!(field(r, "line"), serde_json::Value::Number(_)));
+        if field(r, "waived") == serde_json::Value::Bool(true) {
+            waived += 1;
+            assert_eq!(
+                field(r, "rule"),
+                serde_json::Value::String("no-unwrap-hot-path".to_string())
+            );
+            assert_eq!(
+                field(r, "line"),
+                serde_json::Value::Number(serde_json::Number::PosInt(12))
+            );
+        }
+    }
+    assert_eq!(waived, 1, "exactly the lint:allow'd unwrap is waived");
+}
+
+#[test]
+fn waiver_baseline_matches_the_committed_inventory() {
+    // `--waivers` over the real tree must reproduce
+    // baselines/waivers.txt byte for byte: adding a lint:allow without
+    // regenerating the baseline fails here, so every new waiver shows
+    // up in review as a diff to a committed file.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root");
+    let out = lint(&root, &["--waivers"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let committed = std::fs::read_to_string(root.join("baselines/waivers.txt"))
+        .expect("baselines/waivers.txt is committed");
+    assert_eq!(
+        stdout, committed,
+        "waiver inventory changed — regenerate with:\n  \
+         cargo run -p lbsn-lint -- --waivers --root . > baselines/waivers.txt"
+    );
 }
 
 #[test]

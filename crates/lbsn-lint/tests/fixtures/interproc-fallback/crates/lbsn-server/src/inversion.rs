@@ -1,0 +1,19 @@
+//! The same cross-function inversion as the interproc corpus, made
+//! unparseable on purpose: the token-level fallback resets its state
+//! at every `fn` and sees each function alone, so it reports nothing —
+//! the exact miss that motivated the summary-based analysis.
+
+fn lock_target_venue(server: &Server, v: usize) -> ShardWriteGuard<'_, Venue> {
+    server.venues.write_shard(v)
+}
+
+fn audit_user(server: &Server, u: usize) {
+    let _profile = server.users.read_shard(u);
+}
+
+fn cross_function_inversion(server: &Server, u: usize, v: usize) {
+    let vguard = lock_target_venue(server, v);
+    audit_user(server, u);
+    drop(vguard);
+}
+}

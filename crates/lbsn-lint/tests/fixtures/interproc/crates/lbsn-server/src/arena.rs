@@ -1,0 +1,11 @@
+//! Arena-under-shard-write across a call: the venue shard is held
+//! for writing while a helper takes the interner mutex.
+
+fn intern_name(server: &Server, name: &str) -> u32 {
+    server.venue_arena.lock().intern(name)
+}
+
+fn rename_venue(server: &Server, v: usize) {
+    let mut slot = server.venues.write_shard(v);
+    slot.name = intern_name(server, "espresso");
+}

@@ -1,0 +1,9 @@
+//! An unbalanced brace defeats the item parser; the file falls back
+//! to the token-level shard-order rule, which still catches the
+//! single-function inversion below.
+
+fn tangled(server: &Server) {
+    let a = server.venues.write_shard(1);
+    let b = server.users.read_shard(2);
+}
+}

@@ -1,0 +1,17 @@
+//! Cross-function rule-1 inversion: the helper locks and returns a
+//! venue-shard guard; the caller, still holding it, locks a user
+//! shard through a second helper. No single function shows both.
+
+fn lock_target_venue(server: &Server, v: usize) -> ShardWriteGuard<'_, Venue> {
+    server.venues.write_shard(v)
+}
+
+fn audit_user(server: &Server, u: usize) {
+    let _profile = server.users.read_shard(u);
+}
+
+fn cross_function_inversion(server: &Server, u: usize, v: usize) {
+    let vguard = lock_target_venue(server, v);
+    audit_user(server, u);
+    drop(vguard);
+}

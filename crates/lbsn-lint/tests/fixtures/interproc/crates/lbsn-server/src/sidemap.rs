@@ -1,0 +1,12 @@
+//! Rule 4 across a call: the username side-map leaf is held while a
+//! helper acquires a user shard.
+
+fn lock_user_shard(server: &Server, u: usize) {
+    let _slot = server.users.write_shard(u);
+}
+
+fn resolve_then_lock(server: &Server) {
+    let names = server.usernames.read();
+    lock_user_shard(server, names.len());
+    drop(names);
+}

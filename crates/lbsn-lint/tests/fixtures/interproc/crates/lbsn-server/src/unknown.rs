@@ -1,0 +1,25 @@
+//! Call edges the analysis cannot bound: recursion with an
+//! acquisition inside, and dynamic dispatch onto a bodiless trait
+//! method. Both degrade to an explicit warning while locks are held —
+//! never to a silent pass.
+
+trait Probe {
+    fn probe(&self, server: &Server);
+}
+
+fn spiral(server: &Server, depth: usize) {
+    if depth == 0 {
+        return;
+    }
+    {
+        let _hop = server.users.read_shard(depth);
+    }
+    spiral(server, depth - 1);
+}
+
+fn drive(server: &Server, probe: &dyn Probe, u: usize) {
+    let uguard = server.users.read_shard(u);
+    spiral(server, 3);
+    probe.probe(server);
+    drop(uguard);
+}

@@ -378,7 +378,12 @@ fn is_placeholder(seg: &str) -> bool {
     seg.len() > 2 && seg.starts_with('{') && seg.ends_with('}')
 }
 
-fn segments_match(pattern: &str, name: &str) -> bool {
+/// Whether `name` matches `pattern` segment-by-segment, where a
+/// `{placeholder}` segment (on either side) matches any one segment —
+/// the registry's matching core, exported for tools (lbsn-lint's
+/// dead-metric audit) that compare one specific pattern against
+/// recorded literals rather than the whole registry.
+pub fn segments_match(pattern: &str, name: &str) -> bool {
     let mut p = pattern.split('.');
     let mut n = name.split('.');
     loop {
